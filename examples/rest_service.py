@@ -1,0 +1,82 @@
+"""Run the Serenade REST service and talk to it over HTTP — the paper's
+online component (§4.2) end to end, including the Prometheus metrics
+endpoint.
+
+Run with::
+
+    python examples/rest_service.py
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+from repro.core import SessionIndex
+from repro.data import generate_clickstream
+from repro.serving import ServingCluster
+from repro.serving.http import SerenadeHTTPServer
+
+
+def post(base: str, path: str, payload: dict) -> dict:
+    request = urllib.request.Request(
+        f"{base}{path}",
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return json.load(response)
+
+
+def main() -> None:
+    log = generate_clickstream(num_sessions=8_000, num_items=1_000, seed=13)
+    index = SessionIndex.from_clicks(log, max_sessions_per_item=500)
+    cluster = ServingCluster.with_index(index, num_pods=2, m=500, k=100)
+
+    with SerenadeHTTPServer(cluster, port=0) as server:
+        base = f"http://127.0.0.1:{server.port}"
+        print(f"Serenade listening on {base}")
+
+        health = json.load(urllib.request.urlopen(f"{base}/healthz", timeout=10))
+        print(f"health: {health}")
+
+        # A user browses three product pages; the frontend calls us on each.
+        for item in (10, 11, 42):
+            answer = post(
+                base,
+                "/v1/recommend",
+                {
+                    "session_id": "demo-visitor",
+                    "item_id": item,
+                    "variant": "serenade-hist",
+                    "count": 5,
+                },
+            )
+            top = [entry["item_id"] for entry in answer["items"]]
+            print(
+                f"after viewing item {item:>3}: top-5 {top} "
+                f"(pod {answer['pod']}, {answer['latency_ms']:.2f} ms)"
+            )
+
+        # A non-consenting user gets depersonalised recommendations.
+        anonymous = post(
+            base,
+            "/v1/recommend",
+            {"session_id": "anon", "item_id": 42, "consent": False, "count": 5},
+        )
+        print(f"depersonalised top-5: {[e['item_id'] for e in anonymous['items']]}")
+
+        metrics = urllib.request.urlopen(f"{base}/metrics", timeout=10).read()
+        interesting = [
+            line
+            for line in metrics.decode("utf-8").splitlines()
+            if line.startswith("serenade_requests_total")
+            or line.startswith("serenade_request_latency_seconds_count")
+        ]
+        print("\nmetrics:")
+        for line in interesting:
+            print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

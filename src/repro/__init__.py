@@ -1,0 +1,42 @@
+"""repro — a from-scratch reproduction of the Serenade system (SIGMOD 2022).
+
+Serenade is the production session-based recommender of bol.com, built
+around VMIS-kNN, an index-backed nearest-neighbour algorithm that answers
+next-item queries with sub-millisecond latency against hundreds of millions
+of historical clicks.
+
+Quickstart::
+
+    from repro import VMISKNN
+    from repro.data import generate_clickstream
+
+    clicks = generate_clickstream(num_sessions=1000, num_items=500, seed=7)
+    model = VMISKNN.from_clicks(clicks, m=500, k=100)
+    print(model.recommend([42, 17], how_many=5))
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from repro.core import (
+    Click,
+    EvolvingSession,
+    ScoredItem,
+    SessionIndex,
+    SessionRecommender,
+    VMISKNN,
+    VSKNN,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Click",
+    "EvolvingSession",
+    "ScoredItem",
+    "SessionIndex",
+    "SessionRecommender",
+    "VMISKNN",
+    "VSKNN",
+    "__version__",
+]

@@ -1,0 +1,19 @@
+"""Baseline recommenders: non-neural classics and numpy neural models."""
+
+from repro.baselines.itemknn import ItemKNNRecommender
+from repro.baselines.markov import MarkovRecommender
+from repro.baselines.neural import GRU4Rec, NARM, STAMP
+from repro.baselines.popularity import PopularityRecommender
+from repro.baselines.sknn import SKNNRecommender
+from repro.baselines.stan import STANRecommender
+
+__all__ = [
+    "GRU4Rec",
+    "ItemKNNRecommender",
+    "MarkovRecommender",
+    "NARM",
+    "PopularityRecommender",
+    "SKNNRecommender",
+    "STANRecommender",
+    "STAMP",
+]

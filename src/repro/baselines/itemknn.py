@@ -1,0 +1,87 @@
+"""Item-to-item collaborative filtering — the paper's *legacy* system.
+
+The A/B test (§5.2.3) compares Serenade against "our existing legacy
+recommendation system …, which applies a variant of classic item-to-item
+collaborative filtering [Sarwar et al. 2001]". This module implements that
+legacy control arm: cosine similarity between items over their session
+co-occurrence vectors, recommending the items most similar to the one
+currently viewed. It is *static* — it ignores everything about the
+evolving session except the most recent item, which is exactly why the
+session-aware Serenade variants beat it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.core.types import Click, ItemId, ScoredItem, clicks_to_sessions
+
+
+class ItemKNNRecommender:
+    """Cosine item-to-item CF over session co-occurrences."""
+
+    name = "item-knn (legacy)"
+
+    def __init__(
+        self,
+        neighbors_per_item: int = 100,
+        min_cooccurrence: int = 1,
+        exclude_current_items: bool = False,
+    ) -> None:
+        """Args:
+        neighbors_per_item: per-item neighbour list cap (memory bound).
+        min_cooccurrence: co-click support threshold below which a pair
+            is considered noise.
+        exclude_current_items: drop session items from the results.
+        """
+        if neighbors_per_item < 1:
+            raise ValueError("neighbors_per_item must be >= 1")
+        self.neighbors_per_item = neighbors_per_item
+        self.min_cooccurrence = min_cooccurrence
+        self.exclude_current_items = exclude_current_items
+        self._neighbors: dict[ItemId, list[ScoredItem]] = {}
+
+    def fit(self, clicks: Sequence[Click]) -> "ItemKNNRecommender":
+        cooccurrence: dict[ItemId, dict[ItemId, int]] = {}
+        item_sessions: dict[ItemId, int] = {}
+        for events in clicks_to_sessions(clicks).values():
+            items = sorted({item for _, item in events})
+            for item in items:
+                item_sessions[item] = item_sessions.get(item, 0) + 1
+            for position, left in enumerate(items):
+                row = cooccurrence.setdefault(left, {})
+                for right in items[position + 1 :]:
+                    row[right] = row.get(right, 0) + 1
+
+        self._neighbors = {}
+        for left, row in cooccurrence.items():
+            for right, count in row.items():
+                if count < self.min_cooccurrence:
+                    continue
+                similarity = count / math.sqrt(
+                    item_sessions[left] * item_sessions[right]
+                )
+                self._neighbors.setdefault(left, []).append(
+                    ScoredItem(right, similarity)
+                )
+                self._neighbors.setdefault(right, []).append(
+                    ScoredItem(left, similarity)
+                )
+        for item, neighbor_list in self._neighbors.items():
+            neighbor_list.sort(key=lambda s: (-s.score, s.item_id))
+            del neighbor_list[self.neighbors_per_item :]
+        return self
+
+    def recommend(
+        self, session_items: Sequence[ItemId], how_many: int = 21
+    ) -> list[ScoredItem]:
+        if not session_items:
+            return []
+        candidates = self._neighbors.get(session_items[-1], [])
+        if not self.exclude_current_items:
+            return candidates[:how_many]
+        current = set(session_items)
+        return [
+            scored for scored in candidates if scored.item_id not in current
+        ][:how_many]

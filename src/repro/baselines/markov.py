@@ -1,0 +1,58 @@
+"""First-order Markov / association-rule baseline.
+
+Scores candidates by the conditional click-through frequency from the
+session's most recent item — the classic "sequential rules" baseline of
+the session-rec studies the paper builds on. A configurable window also
+counts skip-one transitions with a decayed weight.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.types import Click, ItemId, ScoredItem, clicks_to_sessions
+
+
+class MarkovRecommender:
+    """Weighted item-to-next-item transition counts."""
+
+    name = "markov"
+
+    def __init__(self, window: int = 2, exclude_current_items: bool = False) -> None:
+        """``window``: how many successors of each click to count; the
+        w-th successor gets weight 1/w."""
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self.exclude_current_items = exclude_current_items
+        self._transitions: dict[ItemId, dict[ItemId, float]] = {}
+
+    def fit(self, clicks: Sequence[Click]) -> "MarkovRecommender":
+        self._transitions = {}
+        for events in clicks_to_sessions(clicks).values():
+            items = [item for _, item in events]
+            for position, source in enumerate(items):
+                successors = items[position + 1 : position + 1 + self.window]
+                for distance, target in enumerate(successors, start=1):
+                    if target == source:
+                        continue
+                    row = self._transitions.setdefault(source, {})
+                    row[target] = row.get(target, 0.0) + 1.0 / distance
+        return self
+
+    def recommend(
+        self, session_items: Sequence[ItemId], how_many: int = 21
+    ) -> list[ScoredItem]:
+        if not session_items:
+            return []
+        row = self._transitions.get(session_items[-1], {})
+        current = set(session_items) if self.exclude_current_items else frozenset()
+        ranked = sorted(
+            (
+                (score, item)
+                for item, score in row.items()
+                if item not in current
+            ),
+            key=lambda pair: (-pair[0], pair[1]),
+        )
+        return [ScoredItem(item, score) for score, item in ranked[:how_many]]

@@ -1,0 +1,41 @@
+"""Numpy neural baselines: GRU4Rec, NARM, STAMP."""
+
+from repro.baselines.neural.gru4rec import GRU4Rec
+from repro.baselines.neural.layers import (
+    Adagrad,
+    Dense,
+    Embedding,
+    GRUCell,
+    glorot,
+    sigmoid,
+    softmax,
+    softmax_cross_entropy,
+)
+from repro.baselines.neural.narm import NARM
+from repro.baselines.neural.stamp import STAMP
+from repro.baselines.neural.training import (
+    TrainingLog,
+    Vocabulary,
+    prediction_steps,
+    run_epochs,
+    training_sequences,
+)
+
+__all__ = [
+    "Adagrad",
+    "Dense",
+    "Embedding",
+    "GRU4Rec",
+    "GRUCell",
+    "NARM",
+    "STAMP",
+    "TrainingLog",
+    "Vocabulary",
+    "glorot",
+    "prediction_steps",
+    "run_epochs",
+    "sigmoid",
+    "softmax",
+    "softmax_cross_entropy",
+    "training_sequences",
+]

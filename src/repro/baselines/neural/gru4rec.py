@@ -1,0 +1,143 @@
+"""GRU4Rec (Hidasi et al., 2015) — numpy reimplementation.
+
+The first RNN architecture for session-based recommendation: item
+embeddings feed a GRU whose hidden state after the last click scores the
+whole catalog through an output projection. Training follows the
+original's truncated scheme — gradients flow through the output layer and
+a single GRU step (BPTT(1)).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.types import Click, ItemId, ScoredItem
+from repro.baselines.neural.layers import (
+    Adagrad,
+    Embedding,
+    GRUCell,
+    softmax_cross_entropy,
+)
+from repro.baselines.neural.training import (
+    TrainingLog,
+    Vocabulary,
+    run_epochs,
+    training_sequences,
+)
+
+
+class GRU4Rec:
+    """Session-based RNN recommender."""
+
+    name = "GRU4Rec"
+
+    def __init__(
+        self,
+        embedding_dim: int = 32,
+        hidden_dim: int = 48,
+        epochs: int = 3,
+        learning_rate: float = 0.08,
+        max_steps_per_epoch: int | None = None,
+        seed: int = 17,
+        exclude_current_items: bool = False,
+    ) -> None:
+        self.embedding_dim = embedding_dim
+        self.hidden_dim = hidden_dim
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.max_steps_per_epoch = max_steps_per_epoch
+        self.seed = seed
+        self.exclude_current_items = exclude_current_items
+
+        self.vocabulary: Vocabulary | None = None
+        self.training_log: TrainingLog | None = None
+        self._embedding: Embedding | None = None
+        self._gru: GRUCell | None = None
+        self._output_weight: np.ndarray | None = None
+        self._output_bias: np.ndarray | None = None
+        self._optimizer: Adagrad | None = None
+
+    def fit(self, clicks: Sequence[Click]) -> "GRU4Rec":
+        rng = np.random.default_rng(self.seed)
+        self.vocabulary = Vocabulary.from_clicks(clicks)
+        num_items = len(self.vocabulary)
+        if num_items == 0:
+            raise ValueError("no items in the training clicks")
+        self._embedding = Embedding(num_items, self.embedding_dim, rng)
+        self._gru = GRUCell(self.embedding_dim, self.hidden_dim, rng)
+        self._output_weight = rng.normal(
+            0.0, 0.1, size=(self.hidden_dim, num_items)
+        )
+        self._output_bias = np.zeros(num_items)
+        self._optimizer = Adagrad(self.learning_rate)
+
+        sequences = training_sequences(clicks, self.vocabulary)
+        self.training_log = run_epochs(
+            sequences,
+            self._train_step,
+            self.epochs,
+            rng,
+            self.max_steps_per_epoch,
+        )
+        return self
+
+    def _encode(self, prefix: Sequence[int]) -> tuple[np.ndarray, dict, int]:
+        """Run the GRU over the prefix; return (h, last cache, last index)."""
+        h = self._gru.initial_state()
+        cache: dict = {}
+        last_index = prefix[-1]
+        for index in prefix:
+            x = self._embedding.weight[index]
+            h, cache = self._gru.forward(x, h)
+        return h, cache, last_index
+
+    def _train_step(self, prefix: Sequence[int], target: int) -> float:
+        h, cache, last_index = self._encode(prefix)
+        logits = h @ self._output_weight + self._output_bias
+        loss, grad_logits = softmax_cross_entropy(logits, target)
+
+        # Output layer gradients.
+        grad_output_weight = np.outer(h, grad_logits)
+        grad_h = grad_logits @ self._output_weight.T
+        self._optimizer.update(self._output_weight, grad_output_weight)
+        self._optimizer.update(self._output_bias, grad_logits)
+
+        # One GRU step and the last item's embedding (BPTT(1)).
+        grad_x, gru_grads = self._gru.backward(grad_h, cache)
+        self._gru.apply_gradients(self._optimizer, gru_grads)
+        self._embedding.apply_gradient(
+            self._optimizer, np.array([last_index]), grad_x[np.newaxis, :]
+        )
+        return loss
+
+    def recommend(
+        self, session_items: Sequence[ItemId], how_many: int = 21
+    ) -> list[ScoredItem]:
+        if self.vocabulary is None:
+            raise RuntimeError("fit() must be called before recommend()")
+        prefix = self.vocabulary.encode(session_items)
+        if not prefix:
+            return []
+        h, _, _ = self._encode(prefix)
+        logits = h @ self._output_weight + self._output_bias
+        return self._rank(logits, session_items, how_many)
+
+    def _rank(
+        self,
+        logits: np.ndarray,
+        session_items: Sequence[ItemId],
+        how_many: int,
+    ) -> list[ScoredItem]:
+        if self.exclude_current_items:
+            for index in self.vocabulary.encode(session_items):
+                logits[index] = -np.inf
+        count = min(how_many, len(logits))
+        top = np.argpartition(-logits, count - 1)[:count]
+        top = top[np.argsort(-logits[top])]
+        return [
+            ScoredItem(self.vocabulary.index_to_item[i], float(logits[i]))
+            for i in top
+            if logits[i] > -np.inf
+        ]

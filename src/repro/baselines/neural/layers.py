@@ -1,0 +1,211 @@
+"""Numpy neural-network primitives for the session-based baselines.
+
+The paper compares VMIS-kNN against GRU4Rec, NARM and STAMP. Re-running
+the authors' GPU stacks is out of scope here, so the three architectures
+are implemented from scratch on numpy with explicit forward/backward
+passes. These primitives keep the models small and readable:
+
+* :class:`Embedding` with sparse Adagrad updates (only touched rows);
+* :class:`Dense` affine layers;
+* :class:`GRUCell` with a single-step backward (BPTT(1)), the truncation
+  the original GRU4Rec training scheme uses;
+* :class:`Adagrad`, the optimiser of choice of the original papers;
+* softmax cross-entropy over the full (small) catalog.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def glorot(rng: np.random.Generator, fan_in: int, fan_out: int) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation."""
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max()
+    exp = np.exp(shifted)
+    return exp / exp.sum()
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, target: int
+) -> tuple[float, np.ndarray]:
+    """Loss and gradient d(loss)/d(logits) for one target class."""
+    probabilities = softmax(logits)
+    loss = -float(np.log(max(probabilities[target], 1e-12)))
+    gradient = probabilities.copy()
+    gradient[target] -= 1.0
+    return loss, gradient
+
+
+class Adagrad:
+    """Per-parameter Adagrad with support for sparse (row) updates."""
+
+    def __init__(self, learning_rate: float = 0.05, epsilon: float = 1e-8) -> None:
+        self.learning_rate = learning_rate
+        self.epsilon = epsilon
+        self._accumulators: dict[int, np.ndarray] = {}
+
+    def _accumulator(self, parameter: np.ndarray) -> np.ndarray:
+        key = id(parameter)
+        accumulator = self._accumulators.get(key)
+        if accumulator is None:
+            accumulator = np.zeros_like(parameter)
+            self._accumulators[key] = accumulator
+        return accumulator
+
+    def update(self, parameter: np.ndarray, gradient: np.ndarray) -> None:
+        """Dense in-place update."""
+        accumulator = self._accumulator(parameter)
+        accumulator += gradient * gradient
+        parameter -= (
+            self.learning_rate * gradient / (np.sqrt(accumulator) + self.epsilon)
+        )
+
+    def update_rows(
+        self, parameter: np.ndarray, rows: np.ndarray, gradient: np.ndarray
+    ) -> None:
+        """Sparse update of selected rows (for embeddings)."""
+        accumulator = self._accumulator(parameter)
+        np.add.at(accumulator, rows, gradient * gradient)
+        parameter[rows] -= (
+            self.learning_rate
+            * gradient
+            / (np.sqrt(accumulator[rows]) + self.epsilon)
+        )
+
+
+class Embedding:
+    """Item embedding table with gradient scatter."""
+
+    def __init__(self, num_items: int, dim: int, rng: np.random.Generator) -> None:
+        self.weight = rng.normal(0.0, 0.1, size=(num_items, dim))
+
+    def lookup(self, item_indices: np.ndarray) -> np.ndarray:
+        return self.weight[item_indices]
+
+    def apply_gradient(
+        self, optimizer: Adagrad, item_indices: np.ndarray, gradient: np.ndarray
+    ) -> None:
+        optimizer.update_rows(self.weight, item_indices, gradient)
+
+
+class Dense:
+    """Affine layer ``y = x W + b`` with cached-input backward."""
+
+    def __init__(
+        self, fan_in: int, fan_out: int, rng: np.random.Generator
+    ) -> None:
+        self.weight = glorot(rng, fan_in, fan_out)
+        self.bias = np.zeros(fan_out)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x @ self.weight + self.bias
+
+    def backward(
+        self, x: np.ndarray, grad_output: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Returns (grad_x, grad_weight, grad_bias) for a single example."""
+        grad_weight = np.outer(x, grad_output)
+        grad_bias = grad_output
+        grad_x = grad_output @ self.weight.T
+        return grad_x, grad_weight, grad_bias
+
+    def apply_gradient(
+        self, optimizer: Adagrad, grad_weight: np.ndarray, grad_bias: np.ndarray
+    ) -> None:
+        optimizer.update(self.weight, grad_weight)
+        optimizer.update(self.bias, grad_bias)
+
+
+class GRUCell:
+    """A gated recurrent unit with single-step (BPTT(1)) backward.
+
+    Gates follow the standard formulation::
+
+        z = sigmoid(x Wz + h Uz + bz)        (update gate)
+        r = sigmoid(x Wr + h Ur + br)        (reset gate)
+        c = tanh(x Wc + (r * h) Uc + bc)     (candidate)
+        h' = (1 - z) * h + z * c
+    """
+
+    def __init__(
+        self, input_dim: int, hidden_dim: int, rng: np.random.Generator
+    ) -> None:
+        self.hidden_dim = hidden_dim
+        self.Wz = glorot(rng, input_dim, hidden_dim)
+        self.Wr = glorot(rng, input_dim, hidden_dim)
+        self.Wc = glorot(rng, input_dim, hidden_dim)
+        self.Uz = glorot(rng, hidden_dim, hidden_dim)
+        self.Ur = glorot(rng, hidden_dim, hidden_dim)
+        self.Uc = glorot(rng, hidden_dim, hidden_dim)
+        self.bz = np.zeros(hidden_dim)
+        self.br = np.zeros(hidden_dim)
+        self.bc = np.zeros(hidden_dim)
+
+    def initial_state(self) -> np.ndarray:
+        return np.zeros(self.hidden_dim)
+
+    def forward(self, x: np.ndarray, h: np.ndarray) -> tuple[np.ndarray, dict]:
+        """One step; returns (h_next, cache for backward)."""
+        z = sigmoid(x @ self.Wz + h @ self.Uz + self.bz)
+        r = sigmoid(x @ self.Wr + h @ self.Ur + self.br)
+        candidate = np.tanh(x @ self.Wc + (r * h) @ self.Uc + self.bc)
+        h_next = (1.0 - z) * h + z * candidate
+        cache = {"x": x, "h": h, "z": z, "r": r, "c": candidate}
+        return h_next, cache
+
+    def backward(
+        self, grad_h_next: np.ndarray, cache: dict
+    ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        """Single-step backward: grads w.r.t. x and the parameters.
+
+        The gradient into the previous hidden state is *not* propagated
+        (BPTT truncated at one step), matching GRU4Rec's training scheme.
+        """
+        x, h, z, r, candidate = (
+            cache["x"],
+            cache["h"],
+            cache["z"],
+            cache["r"],
+            cache["c"],
+        )
+        grad_c = grad_h_next * z
+        grad_z = grad_h_next * (candidate - h)
+
+        grad_c_pre = grad_c * (1.0 - candidate * candidate)
+        grad_z_pre = grad_z * z * (1.0 - z)
+        grad_rh = grad_c_pre @ self.Uc.T
+        grad_r = grad_rh * h
+        grad_r_pre = grad_r * r * (1.0 - r)
+
+        grads = {
+            "Wz": np.outer(x, grad_z_pre),
+            "Wr": np.outer(x, grad_r_pre),
+            "Wc": np.outer(x, grad_c_pre),
+            "Uz": np.outer(h, grad_z_pre),
+            "Ur": np.outer(h, grad_r_pre),
+            "Uc": np.outer(r * h, grad_c_pre),
+            "bz": grad_z_pre,
+            "br": grad_r_pre,
+            "bc": grad_c_pre,
+        }
+        grad_x = (
+            grad_z_pre @ self.Wz.T
+            + grad_r_pre @ self.Wr.T
+            + grad_c_pre @ self.Wc.T
+        )
+        return grad_x, grads
+
+    def apply_gradients(
+        self, optimizer: Adagrad, grads: dict[str, np.ndarray]
+    ) -> None:
+        for name, gradient in grads.items():
+            optimizer.update(getattr(self, name), gradient)

@@ -1,0 +1,199 @@
+"""NARM (Li et al., CIKM 2017) — numpy reimplementation.
+
+Neural Attentive Recommendation Machine: a GRU encodes the session; a
+*global* representation (the last hidden state) captures the user's overall
+purpose while a *local* representation attends over all hidden states to
+pick out the salient clicks. Both are concatenated and scored against the
+item embeddings through a bilinear decoder::
+
+    h_1..h_L = GRU(x_1..x_L)
+    a_j = v . sigmoid(A1 h_L + A2 h_j)
+    c_local = sum_j a_j h_j ;  c = [h_L ; c_local]
+    score_i = x_i . (B c)
+
+Training backpropagates exactly through the decoder and attention, and one
+step into the GRU (the same BPTT(1) truncation used for GRU4Rec).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.types import Click, ItemId, ScoredItem
+from repro.baselines.neural.layers import (
+    Adagrad,
+    Embedding,
+    GRUCell,
+    glorot,
+    sigmoid,
+    softmax_cross_entropy,
+)
+from repro.baselines.neural.training import (
+    TrainingLog,
+    Vocabulary,
+    run_epochs,
+    training_sequences,
+)
+
+
+class NARM:
+    """Attentive GRU session recommender."""
+
+    name = "NARM"
+
+    def __init__(
+        self,
+        embedding_dim: int = 32,
+        hidden_dim: int = 48,
+        epochs: int = 3,
+        learning_rate: float = 0.08,
+        max_steps_per_epoch: int | None = None,
+        seed: int = 29,
+        exclude_current_items: bool = False,
+    ) -> None:
+        self.embedding_dim = embedding_dim
+        self.hidden_dim = hidden_dim
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.max_steps_per_epoch = max_steps_per_epoch
+        self.seed = seed
+        self.exclude_current_items = exclude_current_items
+
+        self.vocabulary: Vocabulary | None = None
+        self.training_log: TrainingLog | None = None
+        self._embedding: Embedding | None = None
+        self._gru: GRUCell | None = None
+        self._A1 = self._A2 = self._v = None  # attention
+        self._B = None  # bilinear decoder: (2*hidden, embedding_dim)
+        self._optimizer: Adagrad | None = None
+
+    def fit(self, clicks: Sequence[Click]) -> "NARM":
+        rng = np.random.default_rng(self.seed)
+        self.vocabulary = Vocabulary.from_clicks(clicks)
+        num_items = len(self.vocabulary)
+        if num_items == 0:
+            raise ValueError("no items in the training clicks")
+        self._embedding = Embedding(num_items, self.embedding_dim, rng)
+        self._gru = GRUCell(self.embedding_dim, self.hidden_dim, rng)
+        self._A1 = glorot(rng, self.hidden_dim, self.hidden_dim)
+        self._A2 = glorot(rng, self.hidden_dim, self.hidden_dim)
+        self._v = rng.normal(0.0, 0.1, size=self.hidden_dim)
+        self._B = glorot(rng, 2 * self.hidden_dim, self.embedding_dim)
+        self._optimizer = Adagrad(self.learning_rate)
+
+        sequences = training_sequences(clicks, self.vocabulary)
+        self.training_log = run_epochs(
+            sequences,
+            self._train_step,
+            self.epochs,
+            rng,
+            self.max_steps_per_epoch,
+        )
+        return self
+
+    def _forward(self, prefix: Sequence[int]) -> dict:
+        indices = np.asarray(prefix)
+        X = self._embedding.weight[indices]
+        h = self._gru.initial_state()
+        hidden_states = []
+        caches = []
+        for x in X:
+            h, cache = self._gru.forward(x, h)
+            hidden_states.append(h)
+            caches.append(cache)
+        H = np.asarray(hidden_states)  # (L, hidden)
+        h_last = H[-1]
+        pre = h_last @ self._A1 + H @ self._A2  # (L, hidden)
+        gate = sigmoid(pre)
+        attention = gate @ self._v  # (L,)
+        c_local = attention @ H
+        c = np.concatenate([h_last, c_local])  # (2*hidden,)
+        decoded = c @ self._B  # (embedding_dim,)
+        logits = self._embedding.weight @ decoded
+        return {
+            "indices": indices,
+            "X": X,
+            "H": H,
+            "caches": caches,
+            "gate": gate,
+            "attention": attention,
+            "c": c,
+            "decoded": decoded,
+            "logits": logits,
+        }
+
+    def _train_step(self, prefix: Sequence[int], target: int) -> float:
+        state = self._forward(prefix)
+        loss, grad_logits = softmax_cross_entropy(state["logits"], target)
+        E = self._embedding.weight
+        H, gate, attention = state["H"], state["gate"], state["attention"]
+        hidden = self.hidden_dim
+        h_last = H[-1]
+
+        # logits = E @ decoded ; decoded = c @ B
+        grad_decoded = grad_logits @ E
+        grad_E_out = np.outer(grad_logits, state["decoded"])
+        grad_B = np.outer(state["c"], grad_decoded)
+        grad_c = grad_decoded @ self._B.T
+        grad_h_last = grad_c[:hidden].copy()
+        grad_c_local = grad_c[hidden:]
+
+        # c_local = attention @ H
+        grad_attention = H @ grad_c_local  # (L,)
+        grad_H = np.outer(attention, grad_c_local)  # (L, hidden)
+
+        # attention = sigmoid(h_last A1 + H A2) @ v
+        grad_gate = np.outer(grad_attention, self._v)
+        grad_v = gate.T @ grad_attention
+        grad_pre = grad_gate * gate * (1.0 - gate)
+        grad_A1 = np.outer(h_last, grad_pre.sum(axis=0))
+        grad_A2 = H.T @ grad_pre
+        grad_h_last += grad_pre.sum(axis=0) @ self._A1.T
+        grad_H += grad_pre @ self._A2.T
+        grad_H[-1] += grad_h_last
+
+        optimizer = self._optimizer
+        optimizer.update(self._B, grad_B)
+        optimizer.update(self._A1, grad_A1)
+        optimizer.update(self._A2, grad_A2)
+        optimizer.update(self._v, grad_v)
+        optimizer.update(E, grad_E_out)
+
+        # Backpropagate each step's hidden-state gradient one GRU step
+        # (BPTT(1)): parameters accumulate over steps, embeddings scatter.
+        accumulated: dict[str, np.ndarray] = {}
+        grad_X = np.zeros_like(state["X"])
+        for position, cache in enumerate(state["caches"]):
+            grad_x, gru_grads = self._gru.backward(grad_H[position], cache)
+            grad_X[position] = grad_x
+            for parameter_name, gradient in gru_grads.items():
+                if parameter_name in accumulated:
+                    accumulated[parameter_name] += gradient
+                else:
+                    accumulated[parameter_name] = gradient
+        self._gru.apply_gradients(optimizer, accumulated)
+        self._embedding.apply_gradient(optimizer, state["indices"], grad_X)
+        return loss
+
+    def recommend(
+        self, session_items: Sequence[ItemId], how_many: int = 21
+    ) -> list[ScoredItem]:
+        if self.vocabulary is None:
+            raise RuntimeError("fit() must be called before recommend()")
+        prefix = self.vocabulary.encode(session_items)
+        if not prefix:
+            return []
+        logits = self._forward(prefix)["logits"].copy()
+        if self.exclude_current_items:
+            for index in set(prefix):
+                logits[index] = -np.inf
+        count = min(how_many, len(logits))
+        top = np.argpartition(-logits, count - 1)[:count]
+        top = top[np.argsort(-logits[top])]
+        return [
+            ScoredItem(self.vocabulary.index_to_item[i], float(logits[i]))
+            for i in top
+            if logits[i] > -np.inf
+        ]

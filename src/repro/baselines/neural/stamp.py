@@ -1,0 +1,207 @@
+"""STAMP (Liu et al., KDD 2018) — numpy reimplementation.
+
+Short-Term Attention/Memory Priority: a feed-forward architecture that
+attends over the session's item embeddings with a query built from the
+session mean (general interest) and the last click (current interest),
+then scores items by a trilinear composition::
+
+    m_s = mean(x_1..x_L)                     (general memory)
+    m_t = x_L                                (short-term memory)
+    a_j = w0 . sigmoid(W1 x_j + W2 m_t + W3 m_s + ba)
+    m_a = sum_j a_j x_j                      (attended memory)
+    h_s = tanh(Ws m_a + bs),  h_t = tanh(Wt m_t + bt)
+    score_i = x_i . (h_s * h_t)
+
+Being fully feed-forward, STAMP admits an exact backward pass, which this
+implementation performs (no truncation anywhere).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.types import Click, ItemId, ScoredItem
+from repro.baselines.neural.layers import (
+    Adagrad,
+    Embedding,
+    glorot,
+    sigmoid,
+    softmax_cross_entropy,
+)
+from repro.baselines.neural.training import (
+    TrainingLog,
+    Vocabulary,
+    run_epochs,
+    training_sequences,
+)
+
+
+class STAMP:
+    """Attention-MLP session recommender with short-term priority."""
+
+    name = "STAMP"
+
+    def __init__(
+        self,
+        embedding_dim: int = 32,
+        epochs: int = 3,
+        learning_rate: float = 0.05,
+        max_steps_per_epoch: int | None = None,
+        seed: int = 23,
+        exclude_current_items: bool = False,
+    ) -> None:
+        self.embedding_dim = embedding_dim
+        self.epochs = epochs
+        self.learning_rate = learning_rate
+        self.max_steps_per_epoch = max_steps_per_epoch
+        self.seed = seed
+        self.exclude_current_items = exclude_current_items
+
+        self.vocabulary: Vocabulary | None = None
+        self.training_log: TrainingLog | None = None
+        self._embedding: Embedding | None = None
+        self._optimizer: Adagrad | None = None
+        # Attention parameters.
+        self._W1 = self._W2 = self._W3 = None
+        self._w0 = self._ba = None
+        # Output MLPs.
+        self._Ws = self._bs = self._Wt = self._bt = None
+
+    def fit(self, clicks: Sequence[Click]) -> "STAMP":
+        rng = np.random.default_rng(self.seed)
+        self.vocabulary = Vocabulary.from_clicks(clicks)
+        num_items = len(self.vocabulary)
+        if num_items == 0:
+            raise ValueError("no items in the training clicks")
+        d = self.embedding_dim
+        self._embedding = Embedding(num_items, d, rng)
+        self._W1 = glorot(rng, d, d)
+        self._W2 = glorot(rng, d, d)
+        self._W3 = glorot(rng, d, d)
+        self._w0 = rng.normal(0.0, 0.1, size=d)
+        self._ba = np.zeros(d)
+        self._Ws = glorot(rng, d, d)
+        self._bs = np.zeros(d)
+        self._Wt = glorot(rng, d, d)
+        self._bt = np.zeros(d)
+        self._optimizer = Adagrad(self.learning_rate)
+
+        sequences = training_sequences(clicks, self.vocabulary)
+        self.training_log = run_epochs(
+            sequences,
+            self._train_step,
+            self.epochs,
+            rng,
+            self.max_steps_per_epoch,
+        )
+        return self
+
+    def _forward(self, prefix: Sequence[int]) -> dict:
+        """Forward pass; returns every intermediate needed by backward."""
+        X = self._embedding.weight[np.asarray(prefix)]  # (L, d)
+        m_s = X.mean(axis=0)
+        m_t = X[-1]
+        pre = X @ self._W1 + m_t @ self._W2 + m_s @ self._W3 + self._ba  # (L, d)
+        gate = sigmoid(pre)
+        attention = gate @ self._w0  # (L,)
+        m_a = attention @ X  # (d,)
+        hs_pre = m_a @ self._Ws + self._bs
+        h_s = np.tanh(hs_pre)
+        ht_pre = m_t @ self._Wt + self._bt
+        h_t = np.tanh(ht_pre)
+        composed = h_s * h_t
+        logits = self._embedding.weight @ composed
+        return {
+            "prefix": np.asarray(prefix),
+            "X": X,
+            "m_s": m_s,
+            "m_t": m_t,
+            "gate": gate,
+            "attention": attention,
+            "m_a": m_a,
+            "h_s": h_s,
+            "h_t": h_t,
+            "composed": composed,
+            "logits": logits,
+        }
+
+    def _train_step(self, prefix: Sequence[int], target: int) -> float:
+        state = self._forward(prefix)
+        loss, grad_logits = softmax_cross_entropy(state["logits"], target)
+        E = self._embedding.weight
+        X, gate, attention = state["X"], state["gate"], state["attention"]
+        length = len(state["prefix"])
+
+        # logits = E @ composed
+        grad_composed = grad_logits @ E
+        grad_E_out = np.outer(grad_logits, state["composed"])  # dense, (V, d)
+
+        grad_h_s = grad_composed * state["h_t"]
+        grad_h_t = grad_composed * state["h_s"]
+        grad_hs_pre = grad_h_s * (1.0 - state["h_s"] ** 2)
+        grad_ht_pre = grad_h_t * (1.0 - state["h_t"] ** 2)
+
+        grad_Ws = np.outer(state["m_a"], grad_hs_pre)
+        grad_Wt = np.outer(state["m_t"], grad_ht_pre)
+        grad_m_a = grad_hs_pre @ self._Ws.T
+        grad_m_t = grad_ht_pre @ self._Wt.T
+
+        # m_a = attention @ X
+        grad_attention = X @ grad_m_a  # (L,)
+        grad_X = np.outer(attention, grad_m_a)  # (L, d)
+
+        # attention = gate @ w0 ; gate = sigmoid(pre)
+        grad_gate = np.outer(grad_attention, self._w0)
+        grad_w0 = gate.T @ grad_attention
+        grad_pre = grad_gate * gate * (1.0 - gate)  # (L, d)
+
+        grad_W1 = X.T @ grad_pre
+        grad_W2 = np.outer(state["m_t"], grad_pre.sum(axis=0))
+        grad_W3 = np.outer(state["m_s"], grad_pre.sum(axis=0))
+        grad_ba = grad_pre.sum(axis=0)
+        grad_X += grad_pre @ self._W1.T
+        grad_m_t += grad_pre.sum(axis=0) @ self._W2.T
+        grad_m_s = grad_pre.sum(axis=0) @ self._W3.T
+
+        # m_s = mean(X); m_t = X[-1]
+        grad_X += grad_m_s / length
+        grad_X[-1] += grad_m_t
+
+        optimizer = self._optimizer
+        optimizer.update(self._Ws, grad_Ws)
+        optimizer.update(self._bs, grad_hs_pre)
+        optimizer.update(self._Wt, grad_Wt)
+        optimizer.update(self._bt, grad_ht_pre)
+        optimizer.update(self._W1, grad_W1)
+        optimizer.update(self._W2, grad_W2)
+        optimizer.update(self._W3, grad_W3)
+        optimizer.update(self._ba, grad_ba)
+        optimizer.update(self._w0, grad_w0)
+        # Embedding rows: the session's items (as inputs) plus the full
+        # output gradient (logits touch every item's embedding).
+        optimizer.update(E, grad_E_out)
+        self._embedding.apply_gradient(optimizer, state["prefix"], grad_X)
+        return loss
+
+    def recommend(
+        self, session_items: Sequence[ItemId], how_many: int = 21
+    ) -> list[ScoredItem]:
+        if self.vocabulary is None:
+            raise RuntimeError("fit() must be called before recommend()")
+        prefix = self.vocabulary.encode(session_items)
+        if not prefix:
+            return []
+        logits = self._forward(prefix)["logits"].copy()
+        if self.exclude_current_items:
+            for index in set(prefix):
+                logits[index] = -np.inf
+        count = min(how_many, len(logits))
+        top = np.argpartition(-logits, count - 1)[:count]
+        top = top[np.argsort(-logits[top])]
+        return [
+            ScoredItem(self.vocabulary.index_to_item[i], float(logits[i]))
+            for i in top
+            if logits[i] > -np.inf
+        ]

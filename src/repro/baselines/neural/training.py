@@ -1,0 +1,106 @@
+"""Shared training utilities for the neural session models.
+
+All three baselines consume the same supervision signal: within each
+training session, every prefix predicts the immediately following item.
+This module provides the vocabulary mapping, the (prefix, target) step
+iterator and a small training-loop driver with epoch-level loss reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro.core.types import Click, ItemId, clicks_to_sessions
+
+
+@dataclass
+class Vocabulary:
+    """Bidirectional mapping between external item ids and model indices."""
+
+    item_to_index: dict[ItemId, int]
+    index_to_item: list[ItemId]
+
+    @classmethod
+    def from_clicks(cls, clicks: Sequence[Click]) -> "Vocabulary":
+        items = sorted({click.item_id for click in clicks})
+        return cls(
+            item_to_index={item: i for i, item in enumerate(items)},
+            index_to_item=items,
+        )
+
+    def __len__(self) -> int:
+        return len(self.index_to_item)
+
+    def encode(self, items: Sequence[ItemId]) -> list[int]:
+        """Map external ids to indices, silently dropping unknown items."""
+        return [
+            self.item_to_index[item]
+            for item in items
+            if item in self.item_to_index
+        ]
+
+
+def training_sequences(
+    clicks: Sequence[Click], vocabulary: Vocabulary, min_length: int = 2
+) -> list[list[int]]:
+    """Vocabulary-encoded session sequences with at least two items."""
+    sequences = []
+    for events in clicks_to_sessions(clicks).values():
+        encoded = vocabulary.encode([item for _, item in events])
+        if len(encoded) >= min_length:
+            sequences.append(encoded)
+    return sequences
+
+
+def prediction_steps(
+    sequences: Sequence[Sequence[int]],
+) -> Iterator[tuple[list[int], int]]:
+    """Yield every (prefix, next-item) supervision step."""
+    for sequence in sequences:
+        for cut in range(1, len(sequence)):
+            yield list(sequence[:cut]), sequence[cut]
+
+
+@dataclass
+class TrainingLog:
+    """Per-epoch average losses, for convergence checks in tests."""
+
+    epoch_losses: list[float]
+
+    @property
+    def improved(self) -> bool:
+        """Did the final epoch beat the first one?"""
+        return len(self.epoch_losses) >= 2 and (
+            self.epoch_losses[-1] < self.epoch_losses[0]
+        )
+
+
+def run_epochs(
+    sequences: Sequence[Sequence[int]],
+    step_fn: Callable[[Sequence[int], int], float],
+    epochs: int,
+    rng: np.random.Generator,
+    max_steps_per_epoch: int | None = None,
+) -> TrainingLog:
+    """Drive ``step_fn(prefix, target) -> loss`` over shuffled epochs."""
+    if epochs < 1:
+        raise ValueError("epochs must be >= 1")
+    order = np.arange(len(sequences))
+    losses = []
+    for _ in range(epochs):
+        rng.shuffle(order)
+        total, steps = 0.0, 0
+        for sequence_index in order:
+            sequence = sequences[sequence_index]
+            for cut in range(1, len(sequence)):
+                total += step_fn(sequence[:cut], sequence[cut])
+                steps += 1
+                if max_steps_per_epoch is not None and steps >= max_steps_per_epoch:
+                    break
+            if max_steps_per_epoch is not None and steps >= max_steps_per_epoch:
+                break
+        losses.append(total / max(steps, 1))
+    return TrainingLog(epoch_losses=losses)

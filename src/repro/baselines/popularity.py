@@ -1,0 +1,47 @@
+"""Popularity baseline: recommend the globally most-clicked items.
+
+The weakest sensible baseline for session-based recommendation; any
+session-aware method must clearly beat it (cf. the reality-check papers
+[28, 30] the paper cites).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.types import Click, ItemId, ScoredItem
+
+
+class PopularityRecommender:
+    """Ranks items by click count, optionally excluding session items."""
+
+    name = "popularity"
+
+    def __init__(self, exclude_current_items: bool = False) -> None:
+        self.exclude_current_items = exclude_current_items
+        self._ranked: list[ScoredItem] = []
+
+    def fit(self, clicks: Sequence[Click]) -> "PopularityRecommender":
+        counts: dict[ItemId, int] = {}
+        for click in clicks:
+            counts[click.item_id] = counts.get(click.item_id, 0) + 1
+        total = sum(counts.values()) or 1
+        self._ranked = [
+            ScoredItem(item, count / total)
+            for item, count in sorted(
+                counts.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+        ]
+        return self
+
+    def recommend(
+        self, session_items: Sequence[ItemId], how_many: int = 21
+    ) -> list[ScoredItem]:
+        if not self._ranked:
+            raise RuntimeError("fit() must be called before recommend()")
+        if not self.exclude_current_items:
+            return self._ranked[:how_many]
+        current = set(session_items)
+        return [
+            scored for scored in self._ranked if scored.item_id not in current
+        ][:how_many]

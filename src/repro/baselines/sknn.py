@@ -1,0 +1,75 @@
+"""S-kNN: plain session-kNN without sequential weighting.
+
+The unweighted ancestor of VS-kNN in the session-rec family: session
+similarity is the binary cosine between item sets, with no decay on
+insertion order and no match-weight function. Included as an ablation
+point — the quality gap between S-kNN and VMIS-kNN isolates the value of
+the sequence-aware weighting.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.core.index import SessionIndex
+from repro.core.scoring import top_n
+from repro.core.types import Click, ItemId, ScoredItem
+
+
+class SKNNRecommender:
+    """Cosine session-kNN over the most recent matching sessions."""
+
+    name = "s-knn"
+
+    def __init__(
+        self,
+        index: SessionIndex,
+        m: int = 500,
+        k: int = 100,
+        exclude_current_items: bool = False,
+    ) -> None:
+        self.index = index
+        self.m = m
+        self.k = k
+        self.exclude_current_items = exclude_current_items
+
+    @classmethod
+    def from_clicks(cls, clicks: Iterable[Click], m: int = 500, **kwargs) -> "SKNNRecommender":
+        index = SessionIndex.from_clicks(clicks, max_sessions_per_item=m)
+        return cls(index, m=m, **kwargs)
+
+    def recommend(
+        self, session_items: Sequence[ItemId], how_many: int = 21
+    ) -> list[ScoredItem]:
+        if not session_items:
+            return []
+        index = self.index
+        evolving = set(session_items)
+
+        # Candidate overlap counts over per-item recent postings.
+        overlap: dict[int, int] = {}
+        for item in evolving:
+            for session_id in index.sessions_for_item(item)[: self.m]:
+                overlap[session_id] = overlap.get(session_id, 0) + 1
+
+        # Binary cosine similarity, top-k.
+        scored = sorted(
+            (
+                (
+                    count / math.sqrt(len(evolving) * len(index.items_of(sid))),
+                    index.timestamp_of(sid),
+                    sid,
+                )
+                for sid, count in overlap.items()
+            ),
+            reverse=True,
+        )[: self.k]
+
+        scores: dict[ItemId, float] = {}
+        current = evolving if self.exclude_current_items else frozenset()
+        for similarity, _, session_id in scored:
+            for item in index.items_of(session_id):
+                if item not in current:
+                    scores[item] = scores.get(item, 0.0) + similarity
+        return top_n(scores, how_many)

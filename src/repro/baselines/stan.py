@@ -1,0 +1,147 @@
+"""STAN — Sequence and Time-Aware Neighborhood (Garg et al., SIGIR 2019).
+
+The strongest published sibling of VS-kNN in the session-kNN family and a
+common comparator in the studies the paper cites. STAN refines plain
+session-kNN with three exponential-decay factors:
+
+1. items of the *current* session are weighted by recency of their
+   position (lambda_1);
+2. candidate sessions are weighted by how recently they *occurred*
+   relative to the current session (lambda_2);
+3. items of a neighbour session are weighted by their positional
+   proximity to the matched item (lambda_3).
+
+Included here as an extension baseline: it lets users check that the
+VMIS-kNN index serves other members of the algorithm family too (STAN
+runs on the same :class:`SessionIndex`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from repro.core.index import SessionIndex
+from repro.core.scoring import top_n
+from repro.core.types import Click, ItemId, ScoredItem, Timestamp
+
+
+class STANRecommender:
+    """Sequence- and time-aware neighbourhood recommender.
+
+    Args:
+        index: the shared session index (posting lists + item sets).
+        m: number of recent candidate sessions to score.
+        k: number of neighbour sessions used for item scoring.
+        lambda1: decay (in positions) for current-session item weights;
+            larger = flatter (``None`` disables the factor).
+        lambda2: decay (in seconds) for candidate-session age; larger =
+            flatter (``None`` disables).
+        lambda3: decay (in positions) for neighbour-item proximity to the
+            matched item (``None`` disables).
+    """
+
+    name = "STAN"
+
+    def __init__(
+        self,
+        index: SessionIndex,
+        m: int = 500,
+        k: int = 100,
+        lambda1: float | None = 2.0,
+        lambda2: float | None = 24 * 3600.0,
+        lambda3: float | None = 2.0,
+        exclude_current_items: bool = False,
+    ) -> None:
+        if m < 1 or k < 1:
+            raise ValueError(f"m and k must be >= 1, got m={m}, k={k}")
+        for name, value in (("lambda1", lambda1), ("lambda2", lambda2), ("lambda3", lambda3)):
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive or None, got {value}")
+        self.index = index
+        self.m = m
+        self.k = k
+        self.lambda1 = lambda1
+        self.lambda2 = lambda2
+        self.lambda3 = lambda3
+        self.exclude_current_items = exclude_current_items
+
+    @classmethod
+    def from_clicks(cls, clicks: Iterable[Click], m: int = 500, **kwargs) -> "STANRecommender":
+        index = SessionIndex.from_clicks(clicks, max_sessions_per_item=m)
+        return cls(index, m=m, **kwargs)
+
+    def _item_weights(self, session_items: Sequence[ItemId]) -> dict[ItemId, float]:
+        """Factor 1: recency-decayed weights of the current session."""
+        length = len(session_items)
+        weights: dict[ItemId, float] = {}
+        for position, item in enumerate(session_items, start=1):
+            if self.lambda1 is None:
+                weight = 1.0
+            else:
+                weight = math.exp(-(length - position) / self.lambda1)
+            weights[item] = max(weights.get(item, 0.0), weight)
+        return weights
+
+    def find_neighbors(
+        self, session_items: Sequence[ItemId], now: Timestamp | None = None
+    ) -> list[tuple[int, float]]:
+        """Top-k candidate sessions under factors 1 and 2."""
+        if not session_items:
+            return []
+        index = self.index
+        weights = self._item_weights(session_items)
+
+        overlaps: dict[int, float] = {}
+        for item, weight in weights.items():
+            for session_id in index.sessions_for_item(item)[: self.m]:
+                overlaps[session_id] = overlaps.get(session_id, 0.0) + weight
+        if not overlaps:
+            return []
+        if now is None:
+            now = max(index.timestamp_of(sid) for sid in overlaps)
+
+        scored = []
+        norm = math.sqrt(len(weights))
+        for session_id, overlap in overlaps.items():
+            similarity = overlap / (
+                norm * math.sqrt(len(index.items_of(session_id)))
+            )
+            if self.lambda2 is not None:
+                age = max(0, now - index.timestamp_of(session_id))
+                similarity *= math.exp(-age / self.lambda2)
+            scored.append((similarity, index.timestamp_of(session_id), session_id))
+        scored.sort(reverse=True)
+        return [(sid, sim) for sim, _, sid in scored[: self.k]]
+
+    def recommend(
+        self, session_items: Sequence[ItemId], how_many: int = 21
+    ) -> list[ScoredItem]:
+        neighbors = self.find_neighbors(session_items)
+        if not neighbors:
+            return []
+        index = self.index
+        current = set(session_items)
+        scores: dict[ItemId, float] = {}
+        for session_id, similarity in neighbors:
+            neighbor_items = index.items_of(session_id)
+            # Position of the most recent item shared with the session.
+            match_position = max(
+                (
+                    position
+                    for position, item in enumerate(neighbor_items)
+                    if item in current
+                ),
+                default=None,
+            )
+            if match_position is None:
+                continue
+            for position, item in enumerate(neighbor_items):
+                if self.exclude_current_items and item in current:
+                    continue
+                weight = similarity
+                if self.lambda3 is not None:
+                    distance = abs(position - match_position)
+                    weight *= math.exp(-distance / self.lambda3)
+                scores[item] = scores.get(item, 0.0) + weight
+        return top_n(scores, how_many)

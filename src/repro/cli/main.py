@@ -1,0 +1,318 @@
+"""Command-line interface: the operational surface of the reproduction.
+
+``python -m repro <command>`` drives the full lifecycle a Serenade
+operator needs — data generation, the daily index build, offline
+evaluation and hyperparameter search, ad-hoc recommendations, and the
+HTTP serving component:
+
+.. code-block:: bash
+
+    python -m repro generate --profile ecom-1m-sim --scale 0.01 --out clicks.tsv
+    python -m repro stats clicks.tsv
+    python -m repro build-index clicks.tsv --m 500 --out daily.vmis
+    python -m repro recommend daily.vmis --session 17,42 --count 5
+    python -m repro evaluate clicks.tsv --m 500 --k 100
+    python -m repro grid-search clicks.tsv --ks 50,100 --ms 100,500
+    python -m repro serve daily.vmis --port 8080
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from repro.core.vmis import VMISKNN
+from repro.data.clicklog import ClickLog
+from repro.data.datasets import dataset_names, load_dataset
+from repro.data.split import temporal_split
+from repro.data.stats import dataset_statistics, format_table
+from repro.data.synthetic import generate_clickstream
+from repro.eval.evaluator import evaluate_next_item
+from repro.eval.gridsearch import grid_search
+from repro.index.builder import IndexBuilder
+from repro.index.parallel import build_index_parallel
+from repro.index.serialization import load_index, save_index
+
+
+def _int_list(text: str) -> list[int]:
+    try:
+        values = [int(part) for part in text.split(",") if part.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated integers, got {text!r}"
+        ) from None
+    if not values:
+        raise argparse.ArgumentTypeError("expected at least one integer")
+    return values
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Serenade (SIGMOD 2022) reproduction toolkit",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="generate a synthetic clickstream as TSV"
+    )
+    generate.add_argument(
+        "--profile",
+        choices=dataset_names(),
+        default=None,
+        help="Table 1 dataset profile (default: generic generator)",
+    )
+    generate.add_argument("--scale", type=float, default=0.01)
+    generate.add_argument("--sessions", type=int, default=5_000)
+    generate.add_argument("--items", type=int, default=1_000)
+    generate.add_argument("--days", type=int, default=10)
+    generate.add_argument("--seed", type=int, default=42)
+    generate.add_argument("--out", required=True, help="output TSV path")
+
+    stats = commands.add_parser("stats", help="Table 1 statistics of a TSV log")
+    stats.add_argument("clicks", help="click log TSV")
+
+    sessionize_cmd = commands.add_parser(
+        "sessionize",
+        help="cut a raw user-event TSV (user_id, item_id, timestamp) "
+        "into sessions by inactivity gap",
+    )
+    sessionize_cmd.add_argument("events", help="user event TSV")
+    sessionize_cmd.add_argument(
+        "--gap", type=int, default=1800, help="inactivity gap in seconds"
+    )
+    sessionize_cmd.add_argument("--max-length", type=int, default=None)
+    sessionize_cmd.add_argument("--out", required=True, help="click log TSV")
+
+    build = commands.add_parser("build-index", help="run the offline index build")
+    build.add_argument("clicks", help="click log TSV")
+    build.add_argument("--m", type=int, default=500, help="postings per item")
+    build.add_argument("--workers", type=int, default=1)
+    build.add_argument("--out", required=True, help="index artifact path")
+
+    recommend = commands.add_parser(
+        "recommend", help="next-item recommendations from an index artifact"
+    )
+    recommend.add_argument("index", help="index artifact (.vmis)")
+    recommend.add_argument(
+        "--session", type=_int_list, required=True, help="comma-separated item ids"
+    )
+    recommend.add_argument("--m", type=int, default=500)
+    recommend.add_argument("--k", type=int, default=100)
+    recommend.add_argument("--count", type=int, default=21)
+
+    evaluate = commands.add_parser(
+        "evaluate", help="next-item evaluation with a held-out last day"
+    )
+    evaluate.add_argument("clicks", help="click log TSV")
+    evaluate.add_argument("--m", type=int, default=500)
+    evaluate.add_argument("--k", type=int, default=100)
+    evaluate.add_argument("--cutoff", type=int, default=20)
+    evaluate.add_argument("--test-days", type=float, default=1.0)
+    evaluate.add_argument("--max-predictions", type=int, default=None)
+
+    grid = commands.add_parser(
+        "grid-search", help="(k, m) hyperparameter sweep (Figure 2)"
+    )
+    grid.add_argument("clicks", help="click log TSV")
+    grid.add_argument("--ks", type=_int_list, default=[50, 100, 500])
+    grid.add_argument("--ms", type=_int_list, default=[100, 500, 1000])
+    grid.add_argument("--metric", default="mrr")
+    grid.add_argument("--cutoff", type=int, default=20)
+    grid.add_argument("--max-predictions", type=int, default=500)
+
+    experiment = commands.add_parser(
+        "experiment", help="run a declarative experiment config (JSON)"
+    )
+    experiment.add_argument("config", help="experiment config JSON path")
+    experiment.add_argument(
+        "--out", default=None, help="optional JSON results output path"
+    )
+
+    serve = commands.add_parser("serve", help="start the HTTP serving component")
+    serve.add_argument("index", help="index artifact (.vmis)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("--pods", type=int, default=2)
+    serve.add_argument("--m", type=int, default=500)
+    serve.add_argument("--k", type=int, default=100)
+
+    return parser
+
+
+def cmd_generate(args) -> int:
+    if args.profile is not None:
+        log = load_dataset(args.profile, scale=args.scale, seed=args.seed)
+    else:
+        log = generate_clickstream(
+            num_sessions=args.sessions,
+            num_items=args.items,
+            days=args.days,
+            seed=args.seed,
+        )
+    log.to_tsv(args.out)
+    print(
+        f"wrote {len(log):,} clicks / {log.num_sessions():,} sessions "
+        f"to {args.out}"
+    )
+    return 0
+
+
+def cmd_stats(args) -> int:
+    log = ClickLog.from_tsv(args.clicks)
+    print(format_table([dataset_statistics(log, name=args.clicks)]))
+    return 0
+
+
+def cmd_sessionize(args) -> int:
+    from repro.data.sessionize import UserEvent, sessionize
+
+    events = []
+    with open(args.events, "r", encoding="utf-8") as handle:
+        header = next(handle, "")
+        expected = ["user_id", "item_id", "timestamp"]
+        if header.strip().split("\t") != expected:
+            raise SystemExit(
+                f"bad header {header.strip()!r}; expected {expected}"
+            )
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            user_id, item_id, timestamp = line.split("\t")
+            events.append(UserEvent(int(user_id), int(item_id), int(timestamp)))
+    log, report = sessionize(
+        events, inactivity_gap=args.gap, max_session_length=args.max_length
+    )
+    log.to_tsv(args.out)
+    print(
+        f"cut {report.events:,} events from {report.users:,} users into "
+        f"{report.sessions:,} sessions "
+        f"({report.sessions_per_user:.2f}/user) -> {args.out}"
+    )
+    return 0
+
+
+def cmd_build_index(args) -> int:
+    log = ClickLog.from_tsv(args.clicks)
+    started = time.perf_counter()
+    if args.workers > 1:
+        index = build_index_parallel(
+            list(log), max_sessions_per_item=args.m, num_workers=args.workers
+        )
+    else:
+        builder = IndexBuilder(max_sessions_per_item=args.m)
+        index = builder.build(list(log))
+    elapsed = time.perf_counter() - started
+    size = save_index(index, args.out)
+    print(
+        f"built index over {index.num_sessions:,} sessions / "
+        f"{index.num_items:,} items in {elapsed:.1f}s; "
+        f"artifact {args.out} ({size / 1024:.0f} KiB)"
+    )
+    return 0
+
+
+def cmd_recommend(args) -> int:
+    index = load_index(args.index)
+    model = VMISKNN(index, m=args.m, k=args.k)
+    for rank, scored in enumerate(
+        model.recommend(args.session, how_many=args.count), start=1
+    ):
+        print(f"{rank:>3}. item {scored.item_id:>8}  score {scored.score:.4f}")
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    log = ClickLog.from_tsv(args.clicks)
+    split = temporal_split(log, test_days=args.test_days)
+    model = VMISKNN.from_clicks(list(split.train), m=args.m, k=args.k)
+    result = evaluate_next_item(
+        model,
+        split.test_sequences(),
+        cutoff=args.cutoff,
+        measure_latency=True,
+        max_predictions=args.max_predictions,
+    )
+    print(f"predictions: {result.predictions}")
+    for metric, value in result.summary().items():
+        print(f"{metric:<10} {value:.4f}")
+    print(f"p90 latency: {result.latency_percentile(90) * 1e3:.2f} ms")
+    return 0
+
+
+def cmd_grid_search(args) -> int:
+    log = ClickLog.from_tsv(args.clicks)
+    split = temporal_split(log, test_days=1)
+    result = grid_search(
+        list(split.train),
+        split.test_sequences(),
+        ks=args.ks,
+        ms=args.ms,
+        cutoff=args.cutoff,
+        max_predictions=args.max_predictions,
+    )
+    print(result.heatmap(args.metric))
+    best = result.best(args.metric)
+    print(f"best {args.metric}: k={best.k}, m={best.m} -> {best.metric(args.metric):.4f}")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    from repro.experiments import ExperimentConfig, run_experiment
+
+    config = ExperimentConfig.load(args.config)
+    report = run_experiment(config)
+    print(report.render())
+    if args.out:
+        report.save_json(args.out)
+        print(f"results written to {args.out}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.serving.app import ServingCluster
+    from repro.serving.http import SerenadeHTTPServer
+
+    index = load_index(args.index)
+    cluster = ServingCluster.with_index(
+        index, num_pods=args.pods, m=args.m, k=args.k
+    )
+    server = SerenadeHTTPServer(cluster, host=args.host, port=args.port)
+    server.start()
+    print(
+        f"serving {index.num_items:,} items on "
+        f"http://{args.host}:{server.port} "
+        f"({args.pods} pods; POST /v1/recommend, GET /healthz, GET /metrics)"
+    )
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("shutting down")
+        server.stop()
+    return 0
+
+
+_COMMANDS = {
+    "generate": cmd_generate,
+    "stats": cmd_stats,
+    "sessionize": cmd_sessionize,
+    "build-index": cmd_build_index,
+    "recommend": cmd_recommend,
+    "evaluate": cmd_evaluate,
+    "grid-search": cmd_grid_search,
+    "experiment": cmd_experiment,
+    "serve": cmd_serve,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

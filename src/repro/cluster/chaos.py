@@ -1,0 +1,174 @@
+"""Fault injection for the serving cluster (§4.2's fault-tolerance story).
+
+The paper's colocation design trades durability of session state for
+latency: "the session data could be temporarily lost in cases of machine
+failures or elastic scaling", which is acceptable because sessions are
+short-lived and the recommender "would quickly collect new interactions".
+
+This module makes that claim testable. A :class:`ChaosSchedule` injects
+pod kills and restarts at chosen points of a simulated load test, and the
+:class:`ChaosReport` quantifies exactly what the paper argues is tolerable:
+
+* how many live sessions were on the killed pod (lost state);
+* how routing redistributes those sessions to surviving pods;
+* how quickly re-routed sessions rebuild enough history to receive
+  session-aware recommendations again (the "recovery horizon").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.cluster.loadgen import TimedRequest
+from repro.cluster.metrics import LatencyRecorder
+from repro.serving.app import ServingCluster
+
+
+@dataclass(frozen=True)
+class PodKill:
+    """Kill (and optionally later restart) one pod at a point in time."""
+
+    at_time: float
+    pod_id: str
+    restart_at: float | None = None
+
+    def validate(self) -> None:
+        if self.restart_at is not None and self.restart_at <= self.at_time:
+            raise ValueError("restart_at must be after at_time")
+
+
+@dataclass
+class ChaosEventOutcome:
+    """What one injected failure actually did."""
+
+    at_time: float
+    pod_id: str
+    sessions_lost: int
+    restarted_at: float | None = None
+
+
+@dataclass
+class ChaosReport:
+    """Aggregate outcome of a chaos run."""
+
+    total_requests: int
+    failed_requests: int
+    events: list[ChaosEventOutcome]
+    latency: LatencyRecorder
+    # Requests whose session state was lost and that were answered with
+    # less history than the client had actually generated.
+    degraded_requests: int = 0
+    # Of those, how many had already re-accumulated >= 2 items of history
+    # (i.e. full serenade-hist context) by the time they were served.
+    recovered_requests: int = 0
+    session_moves: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def availability(self) -> float:
+        if self.total_requests == 0:
+            return 1.0
+        return 1.0 - self.failed_requests / self.total_requests
+
+
+class ChaosInjector:
+    """Drives a cluster through arrivals while killing/restarting pods.
+
+    Unlike :class:`~repro.cluster.simulation.ClusterSimulator`, which
+    models queueing, the injector focuses on state: every request is
+    served for real, and the injector tracks per-session history length
+    to detect degradation after a kill.
+    """
+
+    def __init__(self, cluster: ServingCluster, kills: Iterable[PodKill]) -> None:
+        self.cluster = cluster
+        self.kills = sorted(kills, key=lambda kill: kill.at_time)
+        for kill in self.kills:
+            kill.validate()
+
+    def run(self, arrivals: Iterable[TimedRequest]) -> ChaosReport:
+        pending = list(self.kills)
+        restarts: list[tuple[float, str]] = []
+        latency = LatencyRecorder()
+        report = ChaosReport(
+            total_requests=0, failed_requests=0, events=[], latency=latency
+        )
+        # Ground truth: how many clicks each session has actually issued.
+        true_history: dict[str, int] = {}
+        owner_before_kill: dict[str, str] = {}
+
+        for timed in arrivals:
+            now = timed.arrival_time
+            self._apply_due_restarts(restarts, now, report)
+            self._apply_due_kills(pending, restarts, now, report, owner_before_kill)
+
+            request = timed.request
+            true_history[request.session_key] = (
+                true_history.get(request.session_key, 0) + 1
+            )
+            report.total_requests += 1
+            try:
+                pod_id = self.cluster.router.route(request.session_key)
+                response = self.cluster.pods[pod_id].handle(request)
+            except Exception:
+                report.failed_requests += 1
+                continue
+            latency.record(response.service_seconds)
+
+            # Detect lost state: the pod's stored history is shorter than
+            # what the session actually generated.
+            stored = self.cluster.pods[pod_id].sessions.get_session(
+                request.session_key
+            )
+            stored_length = len(stored) if stored else 0
+            if stored_length < min(
+                true_history[request.session_key],
+                self.cluster.pods[pod_id].sessions.max_items,
+            ):
+                report.degraded_requests += 1
+                if stored_length >= 2:
+                    report.recovered_requests += 1
+            if request.session_key in owner_before_kill:
+                report.session_moves[request.session_key] = pod_id
+        return report
+
+    def _apply_due_kills(
+        self, pending, restarts, now, report, owner_before_kill
+    ) -> None:
+        while pending and pending[0].at_time <= now:
+            kill = pending.pop(0)
+            if kill.pod_id not in self.cluster.pods:
+                raise ValueError(f"cannot kill unknown pod {kill.pod_id!r}")
+            victim = self.cluster.pods[kill.pod_id]
+            sessions_lost = len(victim.sessions)
+            for session_key in list(self._sessions_of(victim)):
+                owner_before_kill[session_key] = kill.pod_id
+            self.cluster.router.remove_pod(kill.pod_id)
+            del self.cluster.pods[kill.pod_id]
+            report.events.append(
+                ChaosEventOutcome(
+                    at_time=kill.at_time,
+                    pod_id=kill.pod_id,
+                    sessions_lost=sessions_lost,
+                    restarted_at=kill.restart_at,
+                )
+            )
+            if kill.restart_at is not None:
+                restarts.append((kill.restart_at, kill.pod_id))
+                restarts.sort()
+
+    def _apply_due_restarts(self, restarts, now, report) -> None:
+        del report
+        while restarts and restarts[0][0] <= now:
+            _, pod_id = restarts.pop(0)
+            # A restarted pod comes back empty (state was machine-local).
+            self.cluster._spawn_pod(  # noqa: SLF001 - deliberate: chaos is
+                pod_id,  # part of the cluster's own test surface
+                self.cluster._rules,
+                self.cluster._clock,
+                self.cluster._record_service_times,
+            )
+
+    @staticmethod
+    def _sessions_of(server) -> list[str]:
+        return [key.decode("utf-8") for key in server.sessions._store.keys()]

@@ -1,0 +1,83 @@
+"""Statistical significance testing for A/B outcomes (§5.2.3).
+
+The paper reports that both Serenade variants' engagement uplifts over the
+legacy system are "statistically significant". We use the standard
+two-proportion z-test on conversion counts, plus Wilson confidence
+intervals for per-arm rates — implemented directly (no scipy dependency in
+the library; scipy is only used to cross-check in the test suite).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def _normal_sf(z: float) -> float:
+    """Survival function of the standard normal, via erfc."""
+    return 0.5 * math.erfc(z / math.sqrt(2.0))
+
+
+@dataclass(frozen=True)
+class ZTestResult:
+    """Outcome of a two-proportion z-test."""
+
+    z_score: float
+    p_value: float
+    rate_a: float
+    rate_b: float
+
+    @property
+    def relative_uplift(self) -> float:
+        """(rate_b - rate_a) / rate_a — how the paper quotes +2.85 %."""
+        if self.rate_a == 0:
+            raise ZeroDivisionError("control arm has zero conversion rate")
+        return (self.rate_b - self.rate_a) / self.rate_a
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        return self.p_value < alpha
+
+
+def two_proportion_ztest(
+    conversions_a: int, exposures_a: int, conversions_b: int, exposures_b: int
+) -> ZTestResult:
+    """Two-sided two-proportion z-test (pooled variance).
+
+    Arm A is the control (legacy), arm B the treatment (Serenade).
+    """
+    if exposures_a <= 0 or exposures_b <= 0:
+        raise ValueError("both arms need at least one exposure")
+    if not 0 <= conversions_a <= exposures_a:
+        raise ValueError("conversions_a out of range")
+    if not 0 <= conversions_b <= exposures_b:
+        raise ValueError("conversions_b out of range")
+    rate_a = conversions_a / exposures_a
+    rate_b = conversions_b / exposures_b
+    pooled = (conversions_a + conversions_b) / (exposures_a + exposures_b)
+    variance = pooled * (1.0 - pooled) * (1.0 / exposures_a + 1.0 / exposures_b)
+    if variance == 0.0:
+        return ZTestResult(0.0, 1.0, rate_a, rate_b)
+    z = (rate_b - rate_a) / math.sqrt(variance)
+    p = 2.0 * _normal_sf(abs(z))
+    return ZTestResult(z_score=z, p_value=p, rate_a=rate_a, rate_b=rate_b)
+
+
+def wilson_interval(
+    conversions: int, exposures: int, confidence: float = 0.95
+) -> tuple[float, float]:
+    """Wilson score interval for a conversion rate."""
+    if exposures <= 0:
+        raise ValueError("exposures must be positive")
+    if not 0 <= conversions <= exposures:
+        raise ValueError("conversions out of range")
+    # z for the two-sided confidence level (0.95 -> 1.9600).
+    z = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}.get(confidence)
+    if z is None:
+        raise ValueError("confidence must be one of 0.90, 0.95, 0.99")
+    rate = conversions / exposures
+    denominator = 1.0 + z * z / exposures
+    centre = rate + z * z / (2.0 * exposures)
+    margin = z * math.sqrt(
+        rate * (1.0 - rate) / exposures + z * z / (4.0 * exposures * exposures)
+    )
+    return ((centre - margin) / denominator, (centre + margin) / denominator)

@@ -1,0 +1,47 @@
+"""Core algorithms: the session index, VS-kNN and VMIS-kNN."""
+
+from repro.core.heaps import BoundedTopK, DAryMinHeap, MostRecentTracker
+from repro.core.index import SessionIndex
+from repro.core.predictor import SessionRecommender, TrainableRecommender
+from repro.core.scoring import score_items, top_n
+from repro.core.types import (
+    Click,
+    EvolvingSession,
+    ItemId,
+    ScoredItem,
+    SessionId,
+    Timestamp,
+)
+from repro.core.vmis import VMISKNN
+from repro.core.vsknn import VSKNN
+from repro.core.weights import (
+    DECAY_FUNCTIONS,
+    MATCH_WEIGHT_FUNCTIONS,
+    decay_weights,
+    resolve_decay,
+    resolve_match_weight,
+)
+
+__all__ = [
+    "BoundedTopK",
+    "Click",
+    "DAryMinHeap",
+    "DECAY_FUNCTIONS",
+    "EvolvingSession",
+    "ItemId",
+    "MATCH_WEIGHT_FUNCTIONS",
+    "MostRecentTracker",
+    "ScoredItem",
+    "SessionId",
+    "SessionIndex",
+    "SessionRecommender",
+    "Timestamp",
+    "TrainableRecommender",
+    "VMISKNN",
+    "VSKNN",
+    "decay_weights",
+    "resolve_decay",
+    "resolve_match_weight",
+    "score_items",
+    "top_n",
+]

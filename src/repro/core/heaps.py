@@ -1,0 +1,215 @@
+"""Capacity-bounded d-ary heaps.
+
+VMIS-kNN maintains two bounded heaps during a query (Algorithm 2): a
+min-heap ``b_t`` over session timestamps that tracks the ``m`` most recent
+matching sessions, and a heap ``N_s`` that selects the ``k`` highest-scored
+neighbour sessions. The paper notes that octonary heaps (eight children per
+node) outperform binary heaps for insert-heavy workloads, which we expose
+through the ``arity`` parameter and evaluate in the ablation benchmark.
+
+Entries are ``(priority, tiebreak, payload)`` triples ordered
+lexicographically on ``(priority, tiebreak)``; the payload never takes part
+in comparisons, so it may be any object.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generic, Iterator, TypeVar
+
+Payload = TypeVar("Payload")
+
+_Entry = tuple[float, float, Any]
+
+
+class DAryMinHeap(Generic[Payload]):
+    """A d-ary min-heap over ``(priority, tiebreak, payload)`` entries."""
+
+    def __init__(self, arity: int = 8) -> None:
+        if arity < 2:
+            raise ValueError(f"heap arity must be >= 2, got {arity}")
+        self._arity = arity
+        self._entries: list[_Entry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    @property
+    def arity(self) -> int:
+        return self._arity
+
+    def push(self, priority: float, tiebreak: float, payload: Payload) -> None:
+        """Insert an entry in O(log_d n)."""
+        self._entries.append((priority, tiebreak, payload))
+        self._sift_up(len(self._entries) - 1)
+
+    def peek(self) -> tuple[float, float, Payload]:
+        """Return the minimum entry without removing it."""
+        if not self._entries:
+            raise IndexError("peek from an empty heap")
+        return self._entries[0]
+
+    def pop(self) -> tuple[float, float, Payload]:
+        """Remove and return the minimum entry."""
+        if not self._entries:
+            raise IndexError("pop from an empty heap")
+        root = self._entries[0]
+        last = self._entries.pop()
+        if self._entries:
+            self._entries[0] = last
+            self._sift_down(0)
+        return root
+
+    def replace_root(
+        self, priority: float, tiebreak: float, payload: Payload
+    ) -> tuple[float, float, Payload]:
+        """Replace the minimum entry and return it (Lines 31/37 of Alg. 2).
+
+        Equivalent to ``pop`` followed by ``push`` but with a single
+        sift-down, which is the hot operation in the similarity loops.
+        """
+        if not self._entries:
+            raise IndexError("replace_root on an empty heap")
+        root = self._entries[0]
+        self._entries[0] = (priority, tiebreak, payload)
+        self._sift_down(0)
+        return root
+
+    def __iter__(self) -> Iterator[tuple[float, float, Payload]]:
+        """Iterate entries in arbitrary (heap storage) order."""
+        return iter(self._entries)
+
+    def drain_sorted(self) -> list[tuple[float, float, Payload]]:
+        """Pop everything, returning entries in ascending priority order."""
+        out = []
+        while self._entries:
+            out.append(self.pop())
+        return out
+
+    # The sift loops compare (priority, tiebreak) with explicit field
+    # comparisons instead of tuple slicing: these run once per posting in
+    # VMIS-kNN's inner loop, and the slice allocation dominates otherwise.
+
+    def _sift_up(self, index: int) -> None:
+        entries, arity = self._entries, self._arity
+        entry = entries[index]
+        priority, tiebreak = entry[0], entry[1]
+        while index > 0:
+            parent = (index - 1) // arity
+            parent_entry = entries[parent]
+            if parent_entry[0] < priority or (
+                parent_entry[0] == priority and parent_entry[1] <= tiebreak
+            ):
+                break
+            entries[index] = parent_entry
+            index = parent
+        entries[index] = entry
+
+    def _sift_down(self, index: int) -> None:
+        entries, arity = self._entries, self._arity
+        size = len(entries)
+        entry = entries[index]
+        priority, tiebreak = entry[0], entry[1]
+        while True:
+            first_child = index * arity + 1
+            if first_child >= size:
+                break
+            smallest = first_child
+            smallest_entry = entries[first_child]
+            for child in range(first_child + 1, min(first_child + arity, size)):
+                child_entry = entries[child]
+                if child_entry[0] < smallest_entry[0] or (
+                    child_entry[0] == smallest_entry[0]
+                    and child_entry[1] < smallest_entry[1]
+                ):
+                    smallest, smallest_entry = child, child_entry
+            if smallest_entry[0] > priority or (
+                smallest_entry[0] == priority and smallest_entry[1] >= tiebreak
+            ):
+                break
+            entries[index] = smallest_entry
+            index = smallest
+        entries[index] = entry
+
+
+class BoundedTopK(Generic[Payload]):
+    """Keeps the ``capacity`` entries with the *largest* priorities seen.
+
+    Internally a min-heap whose root is the weakest retained entry; a new
+    entry only displaces the root if it beats it on ``(priority, tiebreak)``.
+    This realises the top-k similarity loop of Algorithm 2 (Lines 33-38),
+    including the timestamp tiebreak on equal similarity scores.
+    """
+
+    def __init__(self, capacity: int, arity: int = 8) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._heap: DAryMinHeap[Payload] = DAryMinHeap(arity)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def offer(self, priority: float, tiebreak: float, payload: Payload) -> None:
+        """Consider one entry for inclusion in the top-k."""
+        if len(self._heap) < self._capacity:
+            self._heap.push(priority, tiebreak, payload)
+            return
+        root_priority, root_tiebreak, _ = self._heap.peek()
+        if (priority, tiebreak) > (root_priority, root_tiebreak):
+            self._heap.replace_root(priority, tiebreak, payload)
+
+    def descending(self) -> list[tuple[float, float, Payload]]:
+        """Return retained entries from strongest to weakest (destructive)."""
+        return self._heap.drain_sorted()[::-1]
+
+    def items(self) -> list[tuple[float, float, Payload]]:
+        """Return retained entries in arbitrary order (non-destructive)."""
+        return list(self._heap)
+
+
+class MostRecentTracker(Generic[Payload]):
+    """Tracks the ``capacity`` entries with the largest timestamps.
+
+    Realises the heap ``b_t`` of Algorithm 2: the root is the *oldest*
+    retained session, so a candidate older than the root can be rejected
+    immediately — and, since per-item posting lists are sorted by descending
+    timestamp, rejection also justifies early termination of the scan.
+    """
+
+    def __init__(self, capacity: int, arity: int = 8) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._heap: DAryMinHeap[Payload] = DAryMinHeap(arity)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._heap) >= self._capacity
+
+    def oldest_timestamp(self) -> float:
+        """Timestamp of the oldest retained entry (the heap root)."""
+        return self._heap.peek()[0]
+
+    def add(self, timestamp: float, payload: Payload) -> None:
+        """Add an entry; caller must have ensured capacity is available."""
+        if self.is_full:
+            raise OverflowError("tracker is full; use displace_oldest")
+        self._heap.push(timestamp, 0.0, payload)
+
+    def displace_oldest(self, timestamp: float, payload: Payload) -> Payload:
+        """Replace the oldest entry with a more recent one; return evictee."""
+        _, _, evicted = self._heap.replace_root(timestamp, 0.0, payload)
+        return evicted
+
+    def payloads(self) -> list[Payload]:
+        return [payload for _, _, payload in self._heap]

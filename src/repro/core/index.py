@@ -1,0 +1,154 @@
+"""The session-similarity index (M, t) of VMIS-kNN (Section 3).
+
+``M`` is a hash index from an item to the (at most) ``m`` most recent
+historical sessions containing that item, each posting list sorted by
+descending session timestamp. ``t`` is a flat array mapping a session id to
+its timestamp; sessions are remapped to consecutive integers at build time
+so this lookup is O(1) array indexing, exactly as the paper describes.
+
+The index additionally stores the item set of every historical session
+(needed by the item-scoring step of both algorithms) and per-item session
+frequencies ``h_i`` for the inverse-document-frequency weighting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.types import Click, ItemId, SessionId, Timestamp, clicks_to_sessions
+
+
+@dataclass
+class SessionIndex:
+    """Immutable query-time view of the prebuilt index.
+
+    Attributes:
+        item_to_sessions: posting lists, descending session-timestamp order.
+        session_timestamps: ``t`` array; index = internal session id.
+        session_items: distinct items per historical session.
+        item_session_counts: ``h_i`` — number of historical sessions
+            containing item ``i`` *before* posting-list truncation.
+        max_sessions_per_item: the ``m`` used at build time.
+    """
+
+    item_to_sessions: dict[ItemId, list[SessionId]]
+    session_timestamps: list[Timestamp]
+    session_items: list[tuple[ItemId, ...]]
+    item_session_counts: dict[ItemId, int]
+    max_sessions_per_item: int
+
+    _idf_cache: dict[ItemId, float] = field(default_factory=dict, repr=False)
+
+    @classmethod
+    def from_clicks(
+        cls, clicks: Iterable[Click], max_sessions_per_item: int = 5000
+    ) -> "SessionIndex":
+        """Build the index from raw click events.
+
+        This is the in-process equivalent of the offline Spark pipeline:
+        group clicks by session, order sessions by their last-click
+        timestamp, invert to per-item posting lists and truncate each list
+        to the ``m`` most recent sessions.
+        """
+        if max_sessions_per_item < 1:
+            raise ValueError(
+                f"max_sessions_per_item must be >= 1, got {max_sessions_per_item}"
+            )
+        sessions = clicks_to_sessions(clicks)
+        return cls.from_sessions(
+            {
+                session_id: (
+                    max(ts for ts, _ in events),
+                    [item for _, item in events],
+                )
+                for session_id, events in sessions.items()
+            },
+            max_sessions_per_item,
+        )
+
+    @classmethod
+    def from_sessions(
+        cls,
+        sessions: Mapping[SessionId, tuple[Timestamp, Sequence[ItemId]]],
+        max_sessions_per_item: int = 5000,
+    ) -> "SessionIndex":
+        """Build the index from already-grouped sessions.
+
+        ``sessions`` maps an external session id to ``(timestamp, items)``
+        where ``timestamp`` is the session's most recent click. External ids
+        are remapped to consecutive internal ids ordered by ascending
+        timestamp, so larger internal id implies more (or equally) recent.
+        """
+        ordered = sorted(sessions.items(), key=lambda kv: (kv[1][0], kv[0]))
+        session_timestamps: list[Timestamp] = []
+        session_items: list[tuple[ItemId, ...]] = []
+        item_to_sessions: dict[ItemId, list[SessionId]] = {}
+        item_session_counts: dict[ItemId, int] = {}
+
+        for internal_id, (_, (timestamp, items)) in enumerate(ordered):
+            distinct = tuple(dict.fromkeys(items))
+            session_timestamps.append(timestamp)
+            session_items.append(distinct)
+            for item in distinct:
+                item_to_sessions.setdefault(item, []).append(internal_id)
+                item_session_counts[item] = item_session_counts.get(item, 0) + 1
+
+        # Posting lists were appended in ascending-timestamp order; reverse
+        # and truncate so each holds the m most recent sessions, newest first.
+        for item, postings in item_to_sessions.items():
+            postings.reverse()
+            if len(postings) > max_sessions_per_item:
+                del postings[max_sessions_per_item:]
+
+        return cls(
+            item_to_sessions=item_to_sessions,
+            session_timestamps=session_timestamps,
+            session_items=session_items,
+            item_session_counts=item_session_counts,
+            max_sessions_per_item=max_sessions_per_item,
+        )
+
+    @property
+    def num_sessions(self) -> int:
+        """Number of historical sessions |H| the index was built from."""
+        return len(self.session_timestamps)
+
+    @property
+    def num_items(self) -> int:
+        """Number of distinct items |I| with at least one posting."""
+        return len(self.item_to_sessions)
+
+    def sessions_for_item(self, item_id: ItemId) -> list[SessionId]:
+        """Posting list ``m_i``: most recent sessions first; [] if unknown."""
+        return self.item_to_sessions.get(item_id, [])
+
+    def timestamp_of(self, session_id: SessionId) -> Timestamp:
+        """Timestamp lookup in the ``t`` array."""
+        return self.session_timestamps[session_id]
+
+    def items_of(self, session_id: SessionId) -> tuple[ItemId, ...]:
+        """Distinct items of a historical session, in click order."""
+        return self.session_items[session_id]
+
+    def idf(self, item_id: ItemId) -> float:
+        """``log(|H| / h_i)`` with memoisation; 0.0 for unseen items."""
+        cached = self._idf_cache.get(item_id)
+        if cached is not None:
+            return cached
+        count = self.item_session_counts.get(item_id, 0)
+        value = math.log(self.num_sessions / count) if count else 0.0
+        self._idf_cache[item_id] = value
+        return value
+
+    def memory_profile(self) -> dict[str, int]:
+        """Rough element counts, used by capacity-planning examples."""
+        postings = sum(len(v) for v in self.item_to_sessions.values())
+        stored_items = sum(len(v) for v in self.session_items)
+        return {
+            "num_items": self.num_items,
+            "num_sessions": self.num_sessions,
+            "posting_entries": postings,
+            "stored_session_items": stored_items,
+        }

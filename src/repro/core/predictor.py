@@ -1,0 +1,43 @@
+"""The common recommender interface implemented by every algorithm.
+
+Everything that can answer "given this session, what next?" — VMIS-kNN,
+VS-kNN, the alternative engines, and all baselines — satisfies
+``SessionRecommender``, so the evaluation harness, the serving layer and
+the benchmarks are generic over the algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence, runtime_checkable
+
+from repro.core.types import ItemId, ScoredItem
+
+
+@runtime_checkable
+class SessionRecommender(Protocol):
+    """Anything that recommends next items for an evolving session."""
+
+    def recommend(
+        self, session_items: Sequence[ItemId], how_many: int = 21
+    ) -> list[ScoredItem]:
+        """Return up to ``how_many`` next-item recommendations, best first.
+
+        ``session_items`` is the evolving session in click order (oldest
+        first). The default of 21 items matches the number required by the
+        bol.com frontend UI (Section 4.2).
+        """
+        ...
+
+
+@runtime_checkable
+class TrainableRecommender(Protocol):
+    """A recommender that learns from a historical click log first."""
+
+    def fit(self, clicks: Sequence) -> "TrainableRecommender":
+        """Train on historical clicks and return self."""
+        ...
+
+    def recommend(
+        self, session_items: Sequence[ItemId], how_many: int = 21
+    ) -> list[ScoredItem]:
+        ...

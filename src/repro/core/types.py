@@ -1,0 +1,115 @@
+"""Fundamental data types shared across the library.
+
+The whole system operates on click events: tuples of (session id, item id,
+timestamp), exactly the schema the paper's datasets use (Table 1). Item and
+session identifiers are plain integers; the index builder remaps arbitrary
+external identifiers to consecutive integers so that session metadata can be
+stored in flat arrays with O(1) random access (Section 3 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+ItemId = int
+SessionId = int
+Timestamp = int
+
+
+@dataclass(frozen=True, slots=True)
+class Click:
+    """A single user-item interaction event."""
+
+    session_id: SessionId
+    item_id: ItemId
+    timestamp: Timestamp
+
+    def as_tuple(self) -> tuple[SessionId, ItemId, Timestamp]:
+        return (self.session_id, self.item_id, self.timestamp)
+
+
+@dataclass(frozen=True, slots=True)
+class ScoredItem:
+    """An item together with its recommendation score (higher is better)."""
+
+    item_id: ItemId
+    score: float
+
+    def __lt__(self, other: "ScoredItem") -> bool:
+        return (self.score, self.item_id) < (other.score, other.item_id)
+
+
+@dataclass(slots=True)
+class EvolvingSession:
+    """The state of a live user session, ordered oldest to newest.
+
+    ``items`` keeps the raw click order including duplicates; ``max_items``
+    caps the history used for prediction, mirroring the paper's statement
+    that the number of items in an evolving session is "capped at a maximum
+    value" to bound prediction latency.
+    """
+
+    session_id: SessionId
+    items: list[ItemId] = field(default_factory=list)
+    last_updated: Timestamp = 0
+    max_items: int = 100
+
+    def add_click(self, item_id: ItemId, timestamp: Timestamp) -> None:
+        """Append one interaction, trimming history beyond ``max_items``."""
+        self.items.append(item_id)
+        if len(self.items) > self.max_items:
+            del self.items[: len(self.items) - self.max_items]
+        self.last_updated = max(self.last_updated, timestamp)
+
+    @property
+    def most_recent_item(self) -> ItemId:
+        if not self.items:
+            raise ValueError("session has no interactions yet")
+        return self.items[-1]
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+def insertion_orders(session_items: Sequence[ItemId]) -> dict[ItemId, int]:
+    """Map each distinct item to its 1-based insertion order omega(s).
+
+    For items clicked several times the position of the *most recent*
+    occurrence wins, matching the reverse-order traversal of Algorithm 2
+    where the first (most recent) visit of an item is the one processed.
+
+    >>> insertion_orders([10, 20, 10])
+    {10: 3, 20: 2}
+    """
+    orders: dict[ItemId, int] = {}
+    for position, item in enumerate(session_items, start=1):
+        orders[item] = position
+    return orders
+
+
+def unique_items_reversed(session_items: Sequence[ItemId]) -> Iterator[ItemId]:
+    """Yield distinct items of a session in reverse insertion order.
+
+    This is the item intersection loop order of Algorithm 2: most recent
+    items first, duplicates skipped via the hashset ``d``.
+    """
+    seen: set[ItemId] = set()
+    for item in reversed(session_items):
+        if item not in seen:
+            seen.add(item)
+            yield item
+
+
+def clicks_to_sessions(
+    clicks: Iterable[Click],
+) -> dict[SessionId, list[tuple[Timestamp, ItemId]]]:
+    """Group clicks into per-session (timestamp, item) lists in time order."""
+    sessions: dict[SessionId, list[tuple[Timestamp, ItemId]]] = {}
+    for click in clicks:
+        sessions.setdefault(click.session_id, []).append(
+            (click.timestamp, click.item_id)
+        )
+    for events in sessions.values():
+        events.sort()
+    return sessions

@@ -1,0 +1,206 @@
+"""VMIS-kNN — Algorithm 2, the paper's core contribution.
+
+Vector-Multiplication-Indexed-Session-kNN computes the same nearest
+neighbours as VS-kNN but against a prebuilt index (M, t), executing the
+join between the evolving session and the historical sessions *jointly*
+with the two aggregations (m most recent matches, top-k similarities), so
+intermediate state stays proportional to the output:
+
+* the item intersection loop walks the evolving session newest-first and
+  streams each item's posting list, accumulating similarity scores in a
+  hashmap ``r`` bounded by ``m`` entries;
+* a bounded min-heap ``b_t`` over timestamps decides which matching
+  sessions are recent enough to keep, enabling **early stopping**: posting
+  lists are sorted newest-first, so once a list entry is older than the
+  heap root the rest of the list can be skipped;
+* a bounded top-k heap selects the final neighbours, breaking score ties
+  towards more recent sessions.
+
+``heap_arity=8`` (octonary heaps) and ``early_stopping=True`` are the
+micro-optimisations evaluated in Figure 3(a) bottom; disable both to get
+the paper's "VMIS-kNN-no-opt" variant.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.heaps import BoundedTopK, MostRecentTracker
+from repro.core.index import SessionIndex
+from repro.core.scoring import score_items, top_n
+from repro.core.types import (
+    Click,
+    ItemId,
+    ScoredItem,
+    SessionId,
+    unique_items_reversed,
+)
+from repro.core.weights import (
+    DecayFn,
+    MatchWeightFn,
+    resolve_decay,
+)
+
+
+class VMISKNN:
+    """The indexed session-kNN recommender (Algorithm 2).
+
+    Args:
+        index: prebuilt :class:`SessionIndex`; its build-time ``m`` should
+            be at least the query-time ``m`` or posting lists will bound the
+            effective sample.
+        m: sample size — how many recent matching sessions to consider.
+        k: number of nearest neighbour sessions.
+        decay: the ``pi`` decay function (name or callable).
+        match_weight: the ``lambda`` match-weight function (name or callable).
+        heap_arity: children per heap node; 8 = the paper's octonary heaps.
+        early_stopping: skip posting-list tails older than every retained
+            session (Line 32 of Algorithm 2).
+        max_session_items: cap on evolving-session length — only the most
+            recent items are used, bounding the prediction cost (the
+            paper caps |s| "at a maximum value"; None = uncapped).
+        scoring_style: ``"vmis"`` (default, the paper's simplified scoring)
+            or ``"vsknn"`` for strict Algorithm 1 scoring.
+        exclude_current_items: drop items of the evolving session from the
+            recommendation list (the serving configuration).
+    """
+
+    def __init__(
+        self,
+        index: SessionIndex,
+        m: int = 500,
+        k: int = 100,
+        decay: str | DecayFn = "linear",
+        match_weight: str | MatchWeightFn = "paper",
+        heap_arity: int = 8,
+        early_stopping: bool = True,
+        scoring_style: str = "vmis",
+        exclude_current_items: bool = False,
+        max_session_items: int | None = None,
+    ) -> None:
+        if m < 1 or k < 1:
+            raise ValueError(f"m and k must be >= 1, got m={m}, k={k}")
+        if max_session_items is not None and max_session_items < 1:
+            raise ValueError("max_session_items must be >= 1 or None")
+        self.index = index
+        self.m = m
+        self.k = k
+        self.decay = decay
+        self.match_weight = match_weight
+        self.heap_arity = heap_arity
+        self.early_stopping = early_stopping
+        self.scoring_style = scoring_style
+        self.exclude_current_items = exclude_current_items
+        self.max_session_items = max_session_items
+
+    def _capped(self, session_items):
+        """Apply the paper's cap on evolving-session length: only the
+        most recent items take part, bounding prediction cost."""
+        if (
+            self.max_session_items is not None
+            and len(session_items) > self.max_session_items
+        ):
+            return session_items[-self.max_session_items :]
+        return session_items
+
+    @classmethod
+    def from_clicks(
+        cls, clicks: Iterable[Click], m: int = 500, **kwargs
+    ) -> "VMISKNN":
+        """Build the index from raw clicks and construct the recommender."""
+        index = SessionIndex.from_clicks(clicks, max_sessions_per_item=m)
+        return cls(index, m=m, **kwargs)
+
+    @classmethod
+    def no_opt(cls, index: SessionIndex, **kwargs) -> "VMISKNN":
+        """The paper's VMIS-kNN-no-opt: binary heaps, no early stopping."""
+        kwargs.setdefault("heap_arity", 2)
+        kwargs.setdefault("early_stopping", False)
+        return cls(index, **kwargs)
+
+    def find_neighbors(
+        self, session_items: Sequence[ItemId]
+    ) -> list[tuple[SessionId, float]]:
+        """``neighbor_sessions_from_index`` (Lines 8-39 of Algorithm 2).
+
+        The body binds index arrays, the similarity hashmap and the heap
+        primitives to locals: this loop runs once per posting and is the
+        latency-critical path of the whole system, so we spend the
+        readability equivalent of the paper's Rust micro-optimisations on
+        avoiding attribute lookups inside it.
+        """
+        if not session_items:
+            return []
+        session_items = self._capped(session_items)
+        index = self.index
+        decay_fn = resolve_decay(self.decay)
+        session_length = len(session_items)
+        # Position of the most recent occurrence of each distinct item;
+        # consumed newest-first by the intersection loop below.
+        positions: dict[ItemId, int] = {}
+        for position, item in enumerate(session_items, start=1):
+            positions[item] = max(positions.get(item, 0), position)
+
+        timestamps = index.session_timestamps
+        sessions_for_item = index.sessions_for_item
+        early_stopping = self.early_stopping
+        m = self.m
+
+        similarities: dict[SessionId, float] = {}  # the hashmap r
+        recent = MostRecentTracker[SessionId](m, self.heap_arity)  # b_t
+        recent_heap = recent._heap
+        heap_push = recent_heap.push
+        heap_replace = recent_heap.replace_root
+        heap_entries = recent_heap._entries
+        retained = 0  # |r|; cheaper than len() calls in the hot loop
+        oldest_retained = 0.0  # timestamp at the heap root while full
+
+        # Item intersection loop (Line 12): distinct items, newest first.
+        for item in unique_items_reversed(session_items):
+            postings = sessions_for_item(item)
+            if not postings:
+                continue
+            decay_weight = decay_fn(positions[item], session_length)
+            for session_id in postings:
+                if session_id in similarities:
+                    similarities[session_id] += decay_weight
+                    continue
+                timestamp = timestamps[session_id]
+                if retained < m:
+                    similarities[session_id] = decay_weight
+                    heap_push(timestamp, 0.0, session_id)
+                    retained += 1
+                    if retained == m:
+                        oldest_retained = heap_entries[0][0]
+                elif timestamp > oldest_retained:
+                    _, _, evicted = heap_replace(timestamp, 0.0, session_id)
+                    del similarities[evicted]
+                    similarities[session_id] = decay_weight
+                    oldest_retained = heap_entries[0][0]
+                elif early_stopping:
+                    # Postings are sorted newest-first: every remaining
+                    # session in this list is at least as old (Line 32).
+                    break
+
+        # Top-k similarity loop (Lines 33-38), ties favour recency.
+        top = BoundedTopK[SessionId](self.k, self.heap_arity)
+        offer = top.offer
+        for session_id, similarity in similarities.items():
+            offer(similarity, timestamps[session_id], session_id)
+        return [(sid, sim) for sim, _, sid in top.descending()]
+
+    def recommend(
+        self, session_items: Sequence[ItemId], how_many: int = 21
+    ) -> list[ScoredItem]:
+        """Full VMIS-kNN prediction: neighbours, then item scoring."""
+        session_items = self._capped(session_items)
+        neighbors = self.find_neighbors(session_items)
+        scores = score_items(
+            self.index,
+            session_items,
+            neighbors,
+            match_weight=self.match_weight,
+            style=self.scoring_style,
+            exclude_current_items=self.exclude_current_items,
+        )
+        return top_n(scores, how_many)

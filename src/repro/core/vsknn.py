@@ -1,0 +1,113 @@
+"""VS-kNN — Algorithm 1 of the paper (the non-indexed baseline).
+
+This implementation mirrors the paper's microbenchmark baseline: the
+historical data lives in plain hashmaps, and each query first materialises
+the set of *all* historical sessions that share at least one item with the
+evolving session, then takes a recency-based sample of size ``m``, computes
+similarities for the sample and finally ranks items. The contrast with
+VMIS-kNN is exactly that this full candidate set is materialised (Section
+5.1.3), which is what the prebuilt index avoids.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.index import SessionIndex
+from repro.core.scoring import score_items, top_n
+from repro.core.types import Click, ItemId, ScoredItem, SessionId
+from repro.core.weights import DecayFn, decay_weights, MatchWeightFn
+
+
+class VSKNN:
+    """The Vector-Session-kNN baseline recommender.
+
+    Args:
+        index: session data (we reuse :class:`SessionIndex` as storage but
+            query it without exploiting posting-list recency order; posting
+            lists must be untruncated for faithful VS-kNN semantics, so
+            build the index with a large ``max_sessions_per_item``).
+        m: recency-based sample size.
+        k: number of nearest neighbour sessions.
+        decay: the ``pi`` decay function (name or callable).
+        match_weight: the ``lambda`` match-weight function (name or callable).
+        scoring_style: ``"vsknn"`` (Algorithm 1, default) or ``"vmis"``
+            (Algorithm 2's simplified scoring) — switchable so equivalence
+            tests can compare against VMIS-kNN on identical scoring.
+        exclude_current_items: drop items of the evolving session from the
+            recommendation list (the serving configuration).
+    """
+
+    def __init__(
+        self,
+        index: SessionIndex,
+        m: int = 500,
+        k: int = 100,
+        decay: str | DecayFn = "linear",
+        match_weight: str | MatchWeightFn = "paper",
+        scoring_style: str = "vsknn",
+        exclude_current_items: bool = False,
+    ) -> None:
+        if m < 1 or k < 1:
+            raise ValueError(f"m and k must be >= 1, got m={m}, k={k}")
+        self.index = index
+        self.m = m
+        self.k = k
+        self.decay = decay
+        self.match_weight = match_weight
+        self.scoring_style = scoring_style
+        self.exclude_current_items = exclude_current_items
+
+    @classmethod
+    def from_clicks(cls, clicks: Iterable[Click], **kwargs) -> "VSKNN":
+        """Build storage from raw clicks and construct the recommender."""
+        index = SessionIndex.from_clicks(clicks, max_sessions_per_item=2**62)
+        return cls(index, **kwargs)
+
+    def find_neighbors(
+        self, session_items: Sequence[ItemId]
+    ) -> list[tuple[SessionId, float]]:
+        """Return the k nearest sessions with similarities (Lines 5-7)."""
+        if not session_items:
+            return []
+        # Line 5: all historical sessions sharing at least one item. This is
+        # the expensive materialisation step that VMIS-kNN eliminates.
+        candidates: set[SessionId] = set()
+        for item in set(session_items):
+            candidates.update(self.index.sessions_for_item(item))
+        if not candidates:
+            return []
+
+        # Line 6: recency-based sample of size m (most recent timestamps).
+        timestamps = self.index.session_timestamps
+        sample = sorted(candidates, key=lambda sid: (timestamps[sid], sid))
+        sample = sample[-self.m :]
+
+        # Line 7: decayed dot-product similarity against each sampled session.
+        weights = decay_weights(session_items, self.decay)
+        scored: list[tuple[float, int, SessionId]] = []
+        for session_id in sample:
+            similarity = sum(
+                weights[item]
+                for item in self.index.items_of(session_id)
+                if item in weights
+            )
+            if similarity > 0.0:
+                scored.append((similarity, timestamps[session_id], session_id))
+        scored.sort(reverse=True)
+        return [(sid, sim) for sim, _, sid in scored[: self.k]]
+
+    def recommend(
+        self, session_items: Sequence[ItemId], how_many: int = 21
+    ) -> list[ScoredItem]:
+        """Score items across the neighbour sessions (Lines 8-9)."""
+        neighbors = self.find_neighbors(session_items)
+        scores = score_items(
+            self.index,
+            session_items,
+            neighbors,
+            match_weight=self.match_weight,
+            style=self.scoring_style,
+            exclude_current_items=self.exclude_current_items,
+        )
+        return top_n(scores, how_many)

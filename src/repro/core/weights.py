@@ -1,0 +1,124 @@
+"""Decay (pi) and match-weight (lambda) functions of VS-kNN / VMIS-kNN.
+
+The decay function ``pi`` weights each item of the evolving session by its
+insertion order, so that recent items dominate the session similarity
+(Section 2, toy example: ``pi(omega(s))_i = omega_i / |s|``). The match
+weight ``lambda`` scales a neighbour's contribution to an item score by the
+insertion time of the most recent item shared with the evolving session;
+the paper's default is ``1 - 0.1 x`` for ``x < 10`` and zero otherwise.
+
+Both families are hyperparameters; we ship the variants used by the
+session-rec reference implementation so the grid search of Figure 2 can
+sweep them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+from repro.core.types import ItemId, insertion_orders
+
+DecayFn = Callable[[int, int], float]
+MatchWeightFn = Callable[[int], float]
+
+
+def linear_decay(position: int, session_length: int) -> float:
+    """Paper default: insertion time divided by session length."""
+    return position / session_length
+
+
+def quadratic_decay(position: int, session_length: int) -> float:
+    """Quadratic emphasis on recent items."""
+    return (position / session_length) ** 2
+
+
+def log_decay(position: int, session_length: int) -> float:
+    """Logarithmic decay: gentler de-emphasis of early items."""
+    return math.log1p(position) / math.log1p(session_length)
+
+
+def harmonic_decay(position: int, session_length: int) -> float:
+    """Harmonic decay: weight 1/(steps back from the most recent item)."""
+    return 1.0 / (session_length - position + 1)
+
+
+def uniform_decay(position: int, session_length: int) -> float:  # noqa: ARG001
+    """No positional weighting; reduces the similarity to set overlap size."""
+    return 1.0
+
+
+DECAY_FUNCTIONS: dict[str, DecayFn] = {
+    "linear": linear_decay,
+    "quadratic": quadratic_decay,
+    "log": log_decay,
+    "harmonic": harmonic_decay,
+    "uniform": uniform_decay,
+}
+
+
+def paper_match_weight(insertion_time: int) -> float:
+    """Paper default lambda: ``1 - 0.1 x`` for ``x < 10``, else zero."""
+    if insertion_time < 10:
+        return 1.0 - 0.1 * insertion_time
+    return 0.0
+
+
+def uniform_match_weight(insertion_time: int) -> float:  # noqa: ARG001
+    """Every neighbour contributes with weight one."""
+    return 1.0
+
+
+def reciprocal_match_weight(insertion_time: int) -> float:
+    """Weight 1/x on the insertion time of the most recent shared item."""
+    return 1.0 / insertion_time
+
+
+MATCH_WEIGHT_FUNCTIONS: dict[str, MatchWeightFn] = {
+    "paper": paper_match_weight,
+    "uniform": uniform_match_weight,
+    "reciprocal": reciprocal_match_weight,
+}
+
+
+def resolve_decay(decay: str | DecayFn) -> DecayFn:
+    """Look up a decay function by name, or pass a callable through."""
+    if callable(decay):
+        return decay
+    try:
+        return DECAY_FUNCTIONS[decay]
+    except KeyError:
+        known = ", ".join(sorted(DECAY_FUNCTIONS))
+        raise ValueError(f"unknown decay {decay!r}; known: {known}") from None
+
+
+def resolve_match_weight(match_weight: str | MatchWeightFn) -> MatchWeightFn:
+    """Look up a match-weight function by name, or pass a callable through."""
+    if callable(match_weight):
+        return match_weight
+    try:
+        return MATCH_WEIGHT_FUNCTIONS[match_weight]
+    except KeyError:
+        known = ", ".join(sorted(MATCH_WEIGHT_FUNCTIONS))
+        raise ValueError(
+            f"unknown match weight {match_weight!r}; known: {known}"
+        ) from None
+
+
+def decay_weights(
+    session_items: Sequence[ItemId], decay: str | DecayFn = "linear"
+) -> dict[ItemId, float]:
+    """Compute ``pi(omega(s))`` for every distinct item of a session.
+
+    Duplicate items take the decay weight of their most recent occurrence,
+    consistent with the reverse-order traversal of Algorithm 2.
+
+    >>> decay_weights([1, 2, 4])
+    {1: 0.3333333333333333, 2: 0.6666666666666666, 4: 1.0}
+    """
+    decay_fn = resolve_decay(decay)
+    length = len(session_items)
+    return {
+        item: decay_fn(position, length)
+        for item, position in insertion_orders(session_items).items()
+    }

@@ -1,0 +1,54 @@
+"""Data layer: click logs, synthetic generation, splits and statistics."""
+
+from repro.data.clicklog import SECONDS_PER_DAY, ClickLog
+from repro.data.datasets import (
+    DATASET_PROFILES,
+    DatasetProfile,
+    dataset_names,
+    get_profile,
+    load_dataset,
+)
+from repro.data.sessionize import (
+    DEFAULT_INACTIVITY_GAP,
+    SessionizationReport,
+    UserEvent,
+    resessionize,
+    sessionize,
+)
+from repro.data.split import TrainTestSplit, sliding_window_splits, temporal_split
+from repro.data.stats import (
+    DatasetStatistics,
+    TABLE1_COLUMNS,
+    dataset_statistics,
+    format_table,
+)
+from repro.data.synthetic import (
+    ClickstreamConfig,
+    ClickstreamGenerator,
+    generate_clickstream,
+)
+
+__all__ = [
+    "ClickLog",
+    "ClickstreamConfig",
+    "ClickstreamGenerator",
+    "DATASET_PROFILES",
+    "DatasetProfile",
+    "DatasetStatistics",
+    "DEFAULT_INACTIVITY_GAP",
+    "SessionizationReport",
+    "UserEvent",
+    "resessionize",
+    "sessionize",
+    "SECONDS_PER_DAY",
+    "TABLE1_COLUMNS",
+    "TrainTestSplit",
+    "dataset_names",
+    "dataset_statistics",
+    "format_table",
+    "generate_clickstream",
+    "get_profile",
+    "load_dataset",
+    "sliding_window_splits",
+    "temporal_split",
+]

@@ -1,0 +1,170 @@
+"""Click-log container and IO.
+
+A :class:`ClickLog` is the in-memory equivalent of the paper's BigQuery
+click tables: an ordered collection of ``(session_id, item_id, timestamp)``
+tuples with the standard preprocessing operations used by the session-rec
+evaluation protocol (minimum session length, minimum item support) and
+simple TSV persistence.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.core.types import Click, ItemId, SessionId, Timestamp
+
+SECONDS_PER_DAY = 86_400
+
+
+class ClickLog:
+    """An immutable-by-convention sequence of click events."""
+
+    def __init__(self, clicks: Iterable[Click]) -> None:
+        self._clicks: list[Click] = sorted(
+            clicks, key=lambda c: (c.timestamp, c.session_id, c.item_id)
+        )
+
+    def __len__(self) -> int:
+        return len(self._clicks)
+
+    def __iter__(self) -> Iterator[Click]:
+        return iter(self._clicks)
+
+    def __getitem__(self, index: int) -> Click:
+        return self._clicks[index]
+
+    @property
+    def clicks(self) -> Sequence[Click]:
+        return self._clicks
+
+    def num_sessions(self) -> int:
+        return len({c.session_id for c in self._clicks})
+
+    def num_items(self) -> int:
+        return len({c.item_id for c in self._clicks})
+
+    def time_range(self) -> tuple[Timestamp, Timestamp]:
+        """(first, last) click timestamps; raises on an empty log."""
+        if not self._clicks:
+            raise ValueError("click log is empty")
+        return self._clicks[0].timestamp, self._clicks[-1].timestamp
+
+    def num_days(self) -> int:
+        """Number of calendar days the log touches (Table 1's "days")."""
+        first, last = self.time_range()
+        return int(last // SECONDS_PER_DAY - first // SECONDS_PER_DAY) + 1
+
+    def sessions(self) -> dict[SessionId, list[Click]]:
+        """Group clicks by session, each list in time order."""
+        grouped: dict[SessionId, list[Click]] = {}
+        for click in self._clicks:
+            grouped.setdefault(click.session_id, []).append(click)
+        return grouped
+
+    def session_item_sequences(self) -> dict[SessionId, list[ItemId]]:
+        """Item sequences per session, in click order."""
+        return {
+            sid: [c.item_id for c in clicks]
+            for sid, clicks in self.sessions().items()
+        }
+
+    def filter(self, predicate: Callable[[Click], bool]) -> "ClickLog":
+        """A new log with only the clicks satisfying ``predicate``."""
+        return ClickLog(c for c in self._clicks if predicate(c))
+
+    def filter_min_session_length(self, min_length: int = 2) -> "ClickLog":
+        """Drop sessions shorter than ``min_length`` clicks.
+
+        Single-click sessions carry no next-item signal; dropping them is
+        the standard session-rec preprocessing step.
+        """
+        lengths: dict[SessionId, int] = {}
+        for click in self._clicks:
+            lengths[click.session_id] = lengths.get(click.session_id, 0) + 1
+        return self.filter(lambda c: lengths[c.session_id] >= min_length)
+
+    def filter_min_item_support(self, min_support: int = 5) -> "ClickLog":
+        """Drop items clicked fewer than ``min_support`` times."""
+        support: dict[ItemId, int] = {}
+        for click in self._clicks:
+            support[click.item_id] = support.get(click.item_id, 0) + 1
+        return self.filter(lambda c: support[c.item_id] >= min_support)
+
+    def preprocess(
+        self, min_session_length: int = 2, min_item_support: int = 5
+    ) -> "ClickLog":
+        """Standard cleanup: item support first, then session length.
+
+        The order matters and matches session-rec: removing rare items can
+        shorten sessions below the threshold, so length filtering runs last.
+        """
+        return self.filter_min_item_support(min_item_support).filter_min_session_length(
+            min_session_length
+        )
+
+    def split_at(self, timestamp: Timestamp) -> tuple["ClickLog", "ClickLog"]:
+        """Split into (before, from) ``timestamp`` — session-atomically.
+
+        A session belongs entirely to the partition of its *last* click,
+        so evolving test sessions are never truncated mid-way. This mirrors
+        the paper's "last day as held-out test set" protocol.
+        """
+        last_click: dict[SessionId, Timestamp] = {}
+        for click in self._clicks:
+            last_click[click.session_id] = max(
+                last_click.get(click.session_id, 0), click.timestamp
+            )
+        train = ClickLog(
+            c for c in self._clicks if last_click[c.session_id] < timestamp
+        )
+        test = ClickLog(
+            c for c in self._clicks if last_click[c.session_id] >= timestamp
+        )
+        return train, test
+
+    def to_tsv(self, path: str | Path) -> None:
+        """Write the log as a tab-separated file with a header row."""
+        with open(path, "w", encoding="utf-8") as handle:
+            self._write_tsv(handle)
+
+    def to_tsv_string(self) -> str:
+        buffer = io.StringIO()
+        self._write_tsv(buffer)
+        return buffer.getvalue()
+
+    def _write_tsv(self, handle: io.TextIOBase) -> None:
+        handle.write("session_id\titem_id\ttimestamp\n")
+        for click in self._clicks:
+            handle.write(f"{click.session_id}\t{click.item_id}\t{click.timestamp}\n")
+
+    @classmethod
+    def from_tsv(cls, path: str | Path) -> "ClickLog":
+        """Read a log from a tab-separated file written by :meth:`to_tsv`."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls._read_tsv(handle)
+
+    @classmethod
+    def from_tsv_string(cls, text: str) -> "ClickLog":
+        return cls._read_tsv(io.StringIO(text))
+
+    @classmethod
+    def _read_tsv(cls, handle: Iterable[str]) -> "ClickLog":
+        lines = iter(handle)
+        header = next(lines, None)
+        if header is None:
+            return cls([])
+        expected = ["session_id", "item_id", "timestamp"]
+        if header.strip().split("\t") != expected:
+            raise ValueError(f"bad header {header.strip()!r}, expected {expected}")
+        clicks = []
+        for line_number, line in enumerate(lines, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            fields = line.split("\t")
+            if len(fields) != 3:
+                raise ValueError(f"line {line_number}: expected 3 fields, got {fields}")
+            clicks.append(Click(int(fields[0]), int(fields[1]), int(fields[2])))
+        return cls(clicks)

@@ -1,0 +1,154 @@
+"""Registry of named dataset profiles mirroring Table 1 of the paper.
+
+The paper evaluates on two public datasets (retailrocket, rsc15) and four
+proprietary samples of bol.com traffic (ecom-1m … ecom-180m). We cannot
+redistribute any of them, so each profile here configures the synthetic
+generator to approximate the corresponding row of Table 1 — at a
+laptop-friendly ``scale`` (fraction of the paper's session count), with the
+items-per-session and popularity structure preserved.
+
+Example::
+
+    from repro.data import load_dataset
+    log = load_dataset("ecom-1m-sim", scale=0.02, seed=1)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.clicklog import ClickLog
+from repro.data.synthetic import ClickstreamConfig, ClickstreamGenerator
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Target shape of one Table 1 row (full-size paper numbers)."""
+
+    name: str
+    paper_clicks: int
+    paper_sessions: int
+    paper_items: int
+    days: int
+    public: bool
+    # Generator shape parameters tuned per dataset family.
+    mean_session_length: float
+    length_tail: float
+    num_categories_per_10k_items: float = 400.0
+
+    def config(self, scale: float, seed: int) -> ClickstreamConfig:
+        """Scale the profile down and produce a generator config.
+
+        Sessions scale linearly; the catalog scales with the square root of
+        the session count so item frequencies stay realistic (halving the
+        traffic does not halve the catalog on a real platform).
+        """
+        if not 0.0 < scale <= 1.0:
+            raise ValueError(f"scale must be in (0, 1], got {scale}")
+        num_sessions = max(200, int(self.paper_sessions * scale))
+        item_fraction = max(scale ** 0.5, num_sessions / self.paper_sessions)
+        num_items = max(50, int(self.paper_items * min(1.0, item_fraction)))
+        num_categories = max(
+            5, int(num_items / 10_000 * self.num_categories_per_10k_items)
+        )
+        num_categories = min(num_categories, num_items)
+        return ClickstreamConfig(
+            num_sessions=num_sessions,
+            num_items=num_items,
+            num_categories=num_categories,
+            days=self.days,
+            mean_session_length=self.mean_session_length,
+            length_tail=self.length_tail,
+            seed=seed,
+        )
+
+
+# Paper numbers from Table 1; *-sim suffix marks these as simulations.
+DATASET_PROFILES: dict[str, DatasetProfile] = {
+    "retailrocket-sim": DatasetProfile(
+        name="retailrocket-sim",
+        paper_clicks=86_635,
+        paper_sessions=23_318,
+        paper_items=21_276,
+        days=10,
+        public=True,
+        mean_session_length=3.7,
+        length_tail=0.08,
+    ),
+    "rsc15-sim": DatasetProfile(
+        name="rsc15-sim",
+        paper_clicks=31_708_461,
+        paper_sessions=7_981_581,
+        paper_items=37_483,
+        days=181,
+        public=True,
+        mean_session_length=4.0,
+        length_tail=0.08,
+        num_categories_per_10k_items=150.0,
+    ),
+    "ecom-1m-sim": DatasetProfile(
+        name="ecom-1m-sim",
+        paper_clicks=1_152_438,
+        paper_sessions=214_490,
+        paper_items=110_988,
+        days=30,
+        public=False,
+        mean_session_length=5.4,
+        length_tail=0.13,
+    ),
+    "ecom-60m-sim": DatasetProfile(
+        name="ecom-60m-sim",
+        paper_clicks=67_017_367,
+        paper_sessions=10_679_757,
+        paper_items=1_760_602,
+        days=29,
+        public=False,
+        mean_session_length=6.3,
+        length_tail=0.15,
+    ),
+    "ecom-90m-sim": DatasetProfile(
+        name="ecom-90m-sim",
+        paper_clicks=89_883_761,
+        paper_sessions=13_799_762,
+        paper_items=2_263_670,
+        days=91,
+        public=False,
+        mean_session_length=6.5,
+        length_tail=0.15,
+    ),
+    "ecom-180m-sim": DatasetProfile(
+        name="ecom-180m-sim",
+        paper_clicks=189_317_506,
+        paper_sessions=28_824_487,
+        paper_items=3_305_412,
+        days=91,
+        public=False,
+        mean_session_length=6.6,
+        length_tail=0.16,
+    ),
+}
+
+
+def dataset_names() -> list[str]:
+    """All registered profile names, Table 1 order."""
+    return list(DATASET_PROFILES)
+
+
+def get_profile(name: str) -> DatasetProfile:
+    """Look up a profile; raises with the known names on a typo."""
+    try:
+        return DATASET_PROFILES[name]
+    except KeyError:
+        known = ", ".join(DATASET_PROFILES)
+        raise ValueError(f"unknown dataset {name!r}; known: {known}") from None
+
+
+def load_dataset(name: str, scale: float = 0.01, seed: int = 42) -> ClickLog:
+    """Generate the named dataset at the given scale.
+
+    ``scale`` is the fraction of the paper's session count; the default of
+    1 % keeps even ecom-180m-sim generable in seconds. Deterministic in
+    ``(name, scale, seed)``.
+    """
+    profile = get_profile(name)
+    return ClickstreamGenerator(profile.config(scale, seed)).generate()

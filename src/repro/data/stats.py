@@ -1,0 +1,89 @@
+"""Dataset statistics — the machinery behind Table 1.
+
+Computes, for any :class:`ClickLog`, the exact columns of the paper's
+Table 1: total clicks, sessions, items, days spanned, and the 25th/50th/
+75th/99th percentiles of clicks per session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.clicklog import ClickLog
+
+
+@dataclass(frozen=True)
+class DatasetStatistics:
+    """One row of Table 1."""
+
+    name: str
+    clicks: int
+    sessions: int
+    items: int
+    days: int
+    clicks_per_session_p25: float
+    clicks_per_session_p50: float
+    clicks_per_session_p75: float
+    clicks_per_session_p99: float
+
+    def as_row(self) -> list[str]:
+        return [
+            self.name,
+            f"{self.clicks:,}",
+            f"{self.sessions:,}",
+            f"{self.items:,}",
+            str(self.days),
+            f"{self.clicks_per_session_p25:.0f}",
+            f"{self.clicks_per_session_p50:.0f}",
+            f"{self.clicks_per_session_p75:.0f}",
+            f"{self.clicks_per_session_p99:.0f}",
+        ]
+
+
+TABLE1_COLUMNS = [
+    "dataset",
+    "clicks",
+    "sessions",
+    "items",
+    "days",
+    "p25",
+    "p50",
+    "p75",
+    "p99",
+]
+
+
+def dataset_statistics(log: ClickLog, name: str = "dataset") -> DatasetStatistics:
+    """Compute the Table 1 row for a click log."""
+    if len(log) == 0:
+        raise ValueError("cannot compute statistics of an empty log")
+    session_lengths = np.fromiter(
+        (len(clicks) for clicks in log.sessions().values()), dtype=np.int64
+    )
+    p25, p50, p75, p99 = np.percentile(session_lengths, [25, 50, 75, 99])
+    return DatasetStatistics(
+        name=name,
+        clicks=len(log),
+        sessions=log.num_sessions(),
+        items=log.num_items(),
+        days=log.num_days(),
+        clicks_per_session_p25=float(p25),
+        clicks_per_session_p50=float(p50),
+        clicks_per_session_p75=float(p75),
+        clicks_per_session_p99=float(p99),
+    )
+
+
+def format_table(rows: list[DatasetStatistics]) -> str:
+    """Render statistics rows as an aligned text table (Table 1 layout)."""
+    table = [TABLE1_COLUMNS] + [row.as_row() for row in rows]
+    widths = [max(len(r[col]) for r in table) for col in range(len(TABLE1_COLUMNS))]
+    lines = []
+    for i, row in enumerate(table):
+        line = "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        lines.append(line)
+        if i == 0:
+            lines.append("-" * len(line))
+    return "\n".join(lines)

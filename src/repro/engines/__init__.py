@@ -1,0 +1,34 @@
+"""Alternative engines for the Figure 3(a) implementation comparison."""
+
+from repro.engines.dataflow import (
+    Arrangement,
+    DataflowVMIS,
+    KeyedSum,
+    SessionSimilarityDataflow,
+)
+from repro.engines.errors import MemoryBudgetExceeded
+from repro.engines.hashmap import GarbageCollectorSimulator, HashmapVMIS
+from repro.engines.reference import ReferenceVSKNN
+from repro.engines.sqlengine import RelationalExecutor, SQLVMIS, Table
+
+ENGINE_CLASSES = {
+    "VS-Py": ReferenceVSKNN,
+    "VMIS-Diff": DataflowVMIS,
+    "VMIS-Java": HashmapVMIS,
+    "VMIS-SQL": SQLVMIS,
+}
+
+__all__ = [
+    "Arrangement",
+    "DataflowVMIS",
+    "ENGINE_CLASSES",
+    "GarbageCollectorSimulator",
+    "HashmapVMIS",
+    "KeyedSum",
+    "MemoryBudgetExceeded",
+    "ReferenceVSKNN",
+    "RelationalExecutor",
+    "SQLVMIS",
+    "SessionSimilarityDataflow",
+    "Table",
+]

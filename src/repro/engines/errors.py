@@ -1,0 +1,24 @@
+"""Shared engine error types.
+
+In Figure 3(a) several baseline implementations "fail to complete the
+computation" on the larger datasets because their intermediate results
+exhaust memory (marked ``X`` in the plot). Our engines enforce an explicit
+intermediate-result budget and raise :class:`MemoryBudgetExceeded` instead
+of grinding a machine into swap, which reproduces the failure mode
+deterministically.
+"""
+
+from __future__ import annotations
+
+
+class MemoryBudgetExceeded(RuntimeError):
+    """An engine materialised more intermediate rows than its budget."""
+
+    def __init__(self, engine: str, rows: int, budget: int) -> None:
+        super().__init__(
+            f"{engine}: materialised {rows:,} intermediate rows, "
+            f"budget is {budget:,}"
+        )
+        self.engine = engine
+        self.rows = rows
+        self.budget = budget

@@ -1,0 +1,109 @@
+"""VS-Py: the research-style reference implementation (§5.2.1).
+
+Mimics the original session-rec ``vsknn.py`` reference code, which the
+paper describes as "a mere research implementation" expected to be
+non-competitive: the historical data lives in per-item session sets and
+per-session item sets; every query materialises
+
+* the full union of candidate sessions over all items of the evolving
+  session, and
+* a per-candidate *set intersection* with the evolving session to compute
+  the similarity,
+
+with no bounded heaps, no recency-ordered postings and no early stopping.
+The intermediate candidate set grows with item popularity and dataset
+size, which is why this engine (like the original) stops scaling; an
+explicit row budget turns that into a clean failure.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.index import SessionIndex
+from repro.core.scoring import top_n
+from repro.core.types import Click, ItemId, ScoredItem, SessionId
+from repro.core.weights import decay_weights, paper_match_weight
+from repro.engines.errors import MemoryBudgetExceeded
+
+
+class ReferenceVSKNN:
+    """The deliberately-naive reference engine ("VS-Py")."""
+
+    name = "VS-Py"
+
+    def __init__(
+        self,
+        index: SessionIndex,
+        m: int = 500,
+        k: int = 100,
+        intermediate_budget: int = 5_000_000,
+    ) -> None:
+        self.index = index
+        self.m = m
+        self.k = k
+        self.intermediate_budget = intermediate_budget
+        # Research-style storage: plain per-item session sets (unordered)
+        # and per-session item sets, rebuilt from the shared index.
+        self._item_sessions: dict[ItemId, set[SessionId]] = {
+            item: set(postings)
+            for item, postings in index.item_to_sessions.items()
+        }
+        self._session_items: list[set[ItemId]] = [
+            set(items) for items in index.session_items
+        ]
+
+    @classmethod
+    def from_clicks(cls, clicks: Iterable[Click], **kwargs) -> "ReferenceVSKNN":
+        index = SessionIndex.from_clicks(clicks, max_sessions_per_item=2**62)
+        return cls(index, **kwargs)
+
+    def recommend(
+        self, session_items: Sequence[ItemId], how_many: int = 21
+    ) -> list[ScoredItem]:
+        if not session_items:
+            return []
+        # Materialise ALL candidate sessions (the expensive union).
+        candidates: set[SessionId] = set()
+        for item in set(session_items):
+            candidates |= self._item_sessions.get(item, set())
+            if len(candidates) > self.intermediate_budget:
+                raise MemoryBudgetExceeded(
+                    self.name, len(candidates), self.intermediate_budget
+                )
+        if not candidates:
+            return []
+
+        # Recency sample of size m via a full sort of the candidates.
+        timestamps = self.index.session_timestamps
+        sample = sorted(candidates, key=lambda sid: (timestamps[sid], sid))[-self.m :]
+
+        # Per-candidate set intersection (no shared-prefix reuse).
+        weights = decay_weights(session_items)
+        evolving = set(session_items)
+        scored = []
+        for session_id in sample:
+            shared = self._session_items[session_id] & evolving
+            if not shared:
+                continue
+            similarity = sum(weights[item] for item in shared)
+            scored.append((similarity, timestamps[session_id], session_id))
+        scored.sort(reverse=True)
+        neighbors = scored[: self.k]
+
+        # Item scoring, research style: dictionaries all the way down.
+        orders = {item: pos for pos, item in enumerate(session_items, start=1)}
+        scores: dict[ItemId, float] = {}
+        for similarity, _, session_id in neighbors:
+            items = self._session_items[session_id]
+            shared_positions = [orders[i] for i in items if i in orders]
+            if not shared_positions:
+                continue
+            match = paper_match_weight(max(shared_positions))
+            if match == 0.0:
+                continue
+            for item in items:
+                scores[item] = scores.get(item, 0.0) + (
+                    match * similarity * (1.0 / len(session_items))
+                ) * (1.0 + self.index.idf(item))
+        return top_n(scores, how_many)

@@ -1,0 +1,36 @@
+"""Offline evaluation: metrics, session replay, hyperparameter search."""
+
+from repro.eval.analysis import (
+    BreakdownReport,
+    SliceMetrics,
+    breakdown_evaluation,
+    popularity_buckets,
+)
+from repro.eval.evaluator import EvaluationResult, evaluate_next_item
+from repro.eval.gridsearch import GridPoint, GridSearchResult, grid_search
+from repro.eval.metrics import (
+    average_precision,
+    coverage,
+    hit,
+    precision,
+    recall,
+    reciprocal_rank,
+)
+
+__all__ = [
+    "BreakdownReport",
+    "EvaluationResult",
+    "SliceMetrics",
+    "breakdown_evaluation",
+    "popularity_buckets",
+    "GridPoint",
+    "GridSearchResult",
+    "average_precision",
+    "coverage",
+    "evaluate_next_item",
+    "grid_search",
+    "hit",
+    "precision",
+    "recall",
+    "reciprocal_rank",
+]

@@ -1,0 +1,139 @@
+"""Diagnostic breakdowns beyond the headline metrics.
+
+The paper's evaluation reports single averaged numbers per metric; when
+operating a recommender one also wants to know *where* the quality comes
+from. This module slices next-item accuracy two ways:
+
+* **by prefix length** — how quickly quality ramps up as a session grows
+  (the reason serenade-hist uses two items while depersonalised serving
+  works from one);
+* **by target popularity** — head/torso/tail item buckets, quantifying
+  how much a recommender leans on blockbusters (the idf weighting of
+  VS-kNN exists precisely to temper this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.predictor import SessionRecommender
+from repro.core.types import Click, ItemId, SessionId
+from repro.eval.metrics import hit, reciprocal_rank
+
+
+@dataclass
+class SliceMetrics:
+    """Accumulated MRR/HR for one slice of the predictions."""
+
+    predictions: int = 0
+    mrr_total: float = 0.0
+    hits_total: float = 0.0
+
+    def record(self, recommended: Sequence[ItemId], target: ItemId) -> None:
+        self.predictions += 1
+        self.mrr_total += reciprocal_rank(recommended, target)
+        self.hits_total += hit(recommended, target)
+
+    @property
+    def mrr(self) -> float:
+        return self.mrr_total / self.predictions if self.predictions else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits_total / self.predictions if self.predictions else 0.0
+
+
+@dataclass
+class BreakdownReport:
+    """Per-prefix-length and per-popularity-bucket accuracy."""
+
+    cutoff: int
+    by_prefix_length: dict[int, SliceMetrics] = field(default_factory=dict)
+    by_popularity: dict[str, SliceMetrics] = field(default_factory=dict)
+
+    def render(self) -> str:
+        lines = [f"accuracy by prefix length (cutoff {self.cutoff}):"]
+        lines.append(f"{'prefix':>7} {'preds':>7} {'MRR':>7} {'HR':>7}")
+        for length in sorted(self.by_prefix_length):
+            slice_metrics = self.by_prefix_length[length]
+            lines.append(
+                f"{length:>7} {slice_metrics.predictions:>7} "
+                f"{slice_metrics.mrr:>7.4f} {slice_metrics.hit_rate:>7.4f}"
+            )
+        lines.append("")
+        lines.append("accuracy by target-item popularity:")
+        lines.append(f"{'bucket':>7} {'preds':>7} {'MRR':>7} {'HR':>7}")
+        for bucket in ("head", "torso", "tail"):
+            slice_metrics = self.by_popularity.get(bucket, SliceMetrics())
+            lines.append(
+                f"{bucket:>7} {slice_metrics.predictions:>7} "
+                f"{slice_metrics.mrr:>7.4f} {slice_metrics.hit_rate:>7.4f}"
+            )
+        return "\n".join(lines)
+
+
+def popularity_buckets(
+    train_clicks: Sequence[Click], head_share: float = 0.5, torso_share: float = 0.9
+) -> dict[ItemId, str]:
+    """Assign each training item to head/torso/tail by cumulative clicks.
+
+    ``head`` items account for the first ``head_share`` of all clicks,
+    ``torso`` up to ``torso_share``, the rest is ``tail``.
+    """
+    if not 0.0 < head_share < torso_share < 1.0:
+        raise ValueError("need 0 < head_share < torso_share < 1")
+    counts: dict[ItemId, int] = {}
+    for click in train_clicks:
+        counts[click.item_id] = counts.get(click.item_id, 0) + 1
+    total = sum(counts.values())
+    buckets: dict[ItemId, str] = {}
+    cumulative = 0
+    for item, count in sorted(counts.items(), key=lambda kv: -kv[1]):
+        # Bucket by where the item's click mass *starts*, so the item that
+        # straddles the 50% boundary still counts as head.
+        start = cumulative
+        cumulative += count
+        if start < head_share * total:
+            buckets[item] = "head"
+        elif start < torso_share * total:
+            buckets[item] = "torso"
+        else:
+            buckets[item] = "tail"
+    return buckets
+
+
+def breakdown_evaluation(
+    recommender: SessionRecommender,
+    test_sequences: Mapping[SessionId, Sequence[ItemId]],
+    train_clicks: Sequence[Click],
+    cutoff: int = 20,
+    max_prefix_length: int = 10,
+    max_predictions: int | None = None,
+) -> BreakdownReport:
+    """Replay test sessions, slicing accuracy by prefix length and target
+    popularity. Prefix lengths beyond ``max_prefix_length`` are folded
+    into the last bucket (sessions that long are rare; see Table 1)."""
+    buckets = popularity_buckets(train_clicks)
+    report = BreakdownReport(cutoff=cutoff)
+    done = 0
+    for sequence in test_sequences.values():
+        for step in range(1, len(sequence)):
+            prefix = sequence[:step]
+            target = sequence[step]
+            recommended = [
+                scored.item_id
+                for scored in recommender.recommend(prefix, how_many=cutoff)
+            ]
+            length_key = min(step, max_prefix_length)
+            report.by_prefix_length.setdefault(
+                length_key, SliceMetrics()
+            ).record(recommended, target)
+            bucket = buckets.get(target, "tail")
+            report.by_popularity.setdefault(bucket, SliceMetrics()).record(
+                recommended, target
+            )
+            done += 1
+            if max_predictions is not None and done >= max_predictions:
+                return report
+    return report

@@ -1,0 +1,116 @@
+"""Next-item evaluation by incremental session replay (§5.1 protocol).
+
+For every held-out session, the evaluator reveals it one click at a time:
+after each prefix it asks the recommender for a top-``cutoff`` list, scores
+it against the immediate next item (MRR, HitRate) and against all remaining
+items (Precision, Recall, MAP), and optionally records the prediction
+latency — the measurement behind both the quality tables and the latency
+figures.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.predictor import SessionRecommender
+from repro.core.types import ItemId, SessionId
+from repro.eval.metrics import (
+    average_precision,
+    hit,
+    precision,
+    recall,
+    reciprocal_rank,
+)
+
+
+@dataclass
+class EvaluationResult:
+    """Averaged metrics plus raw per-prediction latencies."""
+
+    cutoff: int
+    predictions: int = 0
+    mrr: float = 0.0
+    hit_rate: float = 0.0
+    precision: float = 0.0
+    recall: float = 0.0
+    map: float = 0.0
+    latencies_seconds: list[float] = field(default_factory=list)
+
+    def latency_percentile(self, q: float) -> float:
+        """q-th percentile prediction latency in seconds (q in [0, 100])."""
+        if not self.latencies_seconds:
+            raise ValueError("no latencies recorded")
+        ordered = sorted(self.latencies_seconds)
+        position = min(
+            len(ordered) - 1, max(0, round(q / 100.0 * (len(ordered) - 1)))
+        )
+        return ordered[position]
+
+    def summary(self) -> dict[str, float]:
+        return {
+            f"MRR@{self.cutoff}": self.mrr,
+            f"HR@{self.cutoff}": self.hit_rate,
+            f"Prec@{self.cutoff}": self.precision,
+            f"R@{self.cutoff}": self.recall,
+            f"MAP@{self.cutoff}": self.map,
+        }
+
+
+def evaluate_next_item(
+    recommender: SessionRecommender,
+    test_sequences: Mapping[SessionId, Sequence[ItemId]] | Sequence[Sequence[ItemId]],
+    cutoff: int = 20,
+    measure_latency: bool = False,
+    max_predictions: int | None = None,
+) -> EvaluationResult:
+    """Replay test sessions incrementally and average the metrics.
+
+    Args:
+        recommender: anything satisfying :class:`SessionRecommender`.
+        test_sequences: held-out sessions (mapping or plain list of
+            sequences); each must have at least two items.
+        cutoff: list length (the paper uses 20).
+        measure_latency: record per-prediction wall-clock times.
+        max_predictions: optional cap for quick runs.
+    """
+    if hasattr(test_sequences, "values"):
+        sequences = list(test_sequences.values())
+    else:
+        sequences = list(test_sequences)
+
+    result = EvaluationResult(cutoff=cutoff)
+    totals = {"mrr": 0.0, "hr": 0.0, "prec": 0.0, "rec": 0.0, "map": 0.0}
+    done = 0
+    for sequence in sequences:
+        for step in range(1, len(sequence)):
+            prefix = sequence[:step]
+            next_item = sequence[step]
+            remaining = sequence[step:]
+            if measure_latency:
+                started = time.perf_counter()
+                recommended_scored = recommender.recommend(prefix, how_many=cutoff)
+                result.latencies_seconds.append(time.perf_counter() - started)
+            else:
+                recommended_scored = recommender.recommend(prefix, how_many=cutoff)
+            recommended = [scored.item_id for scored in recommended_scored]
+            totals["mrr"] += reciprocal_rank(recommended, next_item)
+            totals["hr"] += hit(recommended, next_item)
+            totals["prec"] += precision(recommended, remaining)
+            totals["rec"] += recall(recommended, remaining)
+            totals["map"] += average_precision(recommended, remaining)
+            done += 1
+            if max_predictions is not None and done >= max_predictions:
+                break
+        if max_predictions is not None and done >= max_predictions:
+            break
+
+    result.predictions = done
+    if done:
+        result.mrr = totals["mrr"] / done
+        result.hit_rate = totals["hr"] / done
+        result.precision = totals["prec"] / done
+        result.recall = totals["rec"] / done
+        result.map = totals["map"] / done
+    return result

@@ -1,0 +1,80 @@
+"""Ranking metrics for next-item evaluation (§5.1).
+
+The paper reports MRR@20 and HitRate-style metrics against the *immediate*
+next item, and Precision/Recall/MAP@20 against *all remaining* items of the
+session — the session-rec protocol. All metrics are per-prediction values
+in [0, 1]; the evaluator averages them over every prediction step.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.types import ItemId
+
+
+def reciprocal_rank(recommended: Sequence[ItemId], next_item: ItemId) -> float:
+    """1/rank of the immediate next item, 0 if absent (MRR contribution)."""
+    for rank, item in enumerate(recommended, start=1):
+        if item == next_item:
+            return 1.0 / rank
+    return 0.0
+
+
+def hit(recommended: Sequence[ItemId], next_item: ItemId) -> float:
+    """1 if the immediate next item appears anywhere in the list."""
+    return 1.0 if next_item in recommended else 0.0
+
+
+def precision(recommended: Sequence[ItemId], remaining: Sequence[ItemId]) -> float:
+    """Fraction of recommended items that occur later in the session."""
+    if not recommended:
+        return 0.0
+    relevant = set(remaining)
+    hits = sum(1 for item in recommended if item in relevant)
+    return hits / len(recommended)
+
+
+def recall(recommended: Sequence[ItemId], remaining: Sequence[ItemId]) -> float:
+    """Fraction of the session's remaining items that were recommended."""
+    relevant = set(remaining)
+    if not relevant:
+        return 0.0
+    hits = sum(1 for item in set(recommended) if item in relevant)
+    return hits / len(relevant)
+
+
+def average_precision(
+    recommended: Sequence[ItemId], remaining: Sequence[ItemId]
+) -> float:
+    """AP@|recommended| against the remaining items (MAP contribution)."""
+    relevant = set(remaining)
+    if not relevant:
+        return 0.0
+    hits = 0
+    precision_sum = 0.0
+    seen: set[ItemId] = set()
+    for rank, item in enumerate(recommended, start=1):
+        if item in relevant and item not in seen:
+            # A duplicate recommendation of an already-credited item must
+            # not count as a second hit, or AP can exceed one.
+            seen.add(item)
+            hits += 1
+            precision_sum += hits / rank
+    if hits == 0:
+        return 0.0
+    return precision_sum / min(len(relevant), len(recommended))
+
+
+def coverage(all_recommended: Sequence[Sequence[ItemId]], catalog_size: int) -> float:
+    """Fraction of the catalog that appeared in at least one list.
+
+    Not in the paper's headline tables but standard for judging whether a
+    recommender only ever surfaces blockbusters.
+    """
+    if catalog_size <= 0:
+        raise ValueError("catalog_size must be positive")
+    seen: set[ItemId] = set()
+    for recommended in all_recommended:
+        seen.update(recommended)
+    return len(seen) / catalog_size

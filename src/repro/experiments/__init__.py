@@ -1,0 +1,31 @@
+"""Declarative experiments: config, model registry, runner."""
+
+from repro.experiments.config import (
+    DatasetSpec,
+    ExperimentConfig,
+    ModelSpec,
+    ProtocolSpec,
+)
+from repro.experiments.registry import (
+    build_model,
+    register_model,
+    registered_models,
+)
+from repro.experiments.runner import (
+    ExperimentReport,
+    ModelOutcome,
+    run_experiment,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "ExperimentConfig",
+    "ExperimentReport",
+    "ModelOutcome",
+    "ModelSpec",
+    "ProtocolSpec",
+    "build_model",
+    "register_model",
+    "registered_models",
+    "run_experiment",
+]

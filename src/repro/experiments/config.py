@@ -1,0 +1,161 @@
+"""Declarative experiment configuration.
+
+The paper's companion repository drives its comparisons from experiment
+configuration files (the session-rec style). This module provides the
+equivalent: a JSON-serialisable description of *what to run* — dataset,
+candidate models with hyperparameters, and the evaluation protocol — that
+the runner executes reproducibly.
+
+Example (JSON)::
+
+    {
+      "name": "quality-shootout",
+      "dataset": {"profile": "ecom-1m-sim", "scale": 0.02, "seed": 7},
+      "protocol": {"test_days": 1, "cutoff": 20, "max_predictions": 500},
+      "models": [
+        {"name": "vmis", "params": {"m": 500, "k": 100}},
+        {"name": "itemknn", "params": {}}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.data.clicklog import ClickLog
+from repro.data.datasets import dataset_names, load_dataset
+from repro.data.synthetic import generate_clickstream
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Which clickstream to evaluate on.
+
+    Either a Table 1 ``profile`` (with ``scale``), or generic generator
+    parameters (``sessions``/``items``/``days``), or a ``path`` to a TSV.
+    Exactly one source must be set.
+    """
+
+    profile: str | None = None
+    scale: float = 0.01
+    path: str | None = None
+    sessions: int | None = None
+    items: int = 1_000
+    days: int = 10
+    seed: int = 42
+    generator_params: dict = field(default_factory=dict)
+
+    def validate(self) -> None:
+        sources = [
+            self.profile is not None,
+            self.path is not None,
+            self.sessions is not None,
+        ]
+        if sum(sources) != 1:
+            raise ValueError(
+                "exactly one of profile / path / sessions must be set"
+            )
+        if self.profile is not None and self.profile not in dataset_names():
+            raise ValueError(
+                f"unknown profile {self.profile!r}; known: {dataset_names()}"
+            )
+        if self.generator_params and self.sessions is None:
+            raise ValueError(
+                "generator_params only apply to the synthetic-generator "
+                "source (set sessions)"
+            )
+
+    def load(self) -> ClickLog:
+        self.validate()
+        if self.profile is not None:
+            return load_dataset(self.profile, scale=self.scale, seed=self.seed)
+        if self.path is not None:
+            return ClickLog.from_tsv(self.path)
+        return generate_clickstream(
+            num_sessions=self.sessions,
+            num_items=self.items,
+            days=self.days,
+            seed=self.seed,
+            **self.generator_params,
+        )
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """The evaluation protocol (§5.1: last day held out, top-20 lists)."""
+
+    test_days: float = 1.0
+    cutoff: int = 20
+    max_predictions: int | None = None
+
+    def validate(self) -> None:
+        if self.test_days <= 0:
+            raise ValueError("test_days must be positive")
+        if self.cutoff < 1:
+            raise ValueError("cutoff must be >= 1")
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """One candidate: a registered model name plus hyperparameters."""
+
+    name: str
+    params: dict = field(default_factory=dict)
+    label: str | None = None
+
+    @property
+    def display_name(self) -> str:
+        return self.label or self.name
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """A full experiment: dataset x models under one protocol."""
+
+    name: str
+    dataset: DatasetSpec
+    models: tuple[ModelSpec, ...]
+    protocol: ProtocolSpec = ProtocolSpec()
+
+    def validate(self) -> None:
+        if not self.name:
+            raise ValueError("experiment needs a name")
+        if not self.models:
+            raise ValueError("experiment needs at least one model")
+        self.dataset.validate()
+        self.protocol.validate()
+        labels = [model.display_name for model in self.models]
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"duplicate model labels: {labels}")
+
+    # -- (de)serialization --------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), indent=2)
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_json())
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "ExperimentConfig":
+        try:
+            dataset = DatasetSpec(**raw["dataset"])
+            models = tuple(ModelSpec(**model) for model in raw["models"])
+            protocol = ProtocolSpec(**raw.get("protocol", {}))
+            config = cls(
+                name=raw["name"],
+                dataset=dataset,
+                models=models,
+                protocol=protocol,
+            )
+        except (KeyError, TypeError) as error:
+            raise ValueError(f"malformed experiment config: {error}") from error
+        config.validate()
+        return config
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ExperimentConfig":
+        return cls.from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,104 @@
+"""Model registry: experiment-config names to recommender builders.
+
+Every builder takes the training clicks and the spec's hyperparameters
+and returns a fitted object satisfying
+:class:`~repro.core.predictor.SessionRecommender`. Third-party models can
+be registered at runtime with :func:`register_model`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.baselines.itemknn import ItemKNNRecommender
+from repro.baselines.markov import MarkovRecommender
+from repro.baselines.neural import GRU4Rec, NARM, STAMP
+from repro.baselines.popularity import PopularityRecommender
+from repro.baselines.sknn import SKNNRecommender
+from repro.baselines.stan import STANRecommender
+from repro.core.predictor import SessionRecommender
+from repro.core.types import Click
+from repro.core.vmis import VMISKNN
+from repro.core.vsknn import VSKNN
+
+ModelBuilder = Callable[[Sequence[Click], dict], SessionRecommender]
+
+_REGISTRY: dict[str, ModelBuilder] = {}
+
+
+def register_model(name: str, builder: ModelBuilder) -> None:
+    """Register (or replace) a model builder under a config name."""
+    if not name:
+        raise ValueError("model name must be non-empty")
+    _REGISTRY[name] = builder
+
+
+def build_model(name: str, train_clicks: Sequence[Click], params: dict) -> SessionRecommender:
+    """Instantiate and fit a registered model."""
+    builder = _REGISTRY.get(name)
+    if builder is None:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(f"unknown model {name!r}; known: {known}")
+    return builder(train_clicks, dict(params))
+
+
+def registered_models() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+# -- built-in builders -------------------------------------------------------
+
+
+def _build_vmis(train_clicks, params):
+    return VMISKNN.from_clicks(train_clicks, **params)
+
+
+def _build_vsknn(train_clicks, params):
+    return VSKNN.from_clicks(train_clicks, **params)
+
+
+def _build_sknn(train_clicks, params):
+    return SKNNRecommender.from_clicks(train_clicks, **params)
+
+
+def _build_stan(train_clicks, params):
+    return STANRecommender.from_clicks(train_clicks, **params)
+
+
+def _build_itemknn(train_clicks, params):
+    return ItemKNNRecommender(**params).fit(train_clicks)
+
+
+def _build_markov(train_clicks, params):
+    return MarkovRecommender(**params).fit(train_clicks)
+
+
+def _build_popularity(train_clicks, params):
+    return PopularityRecommender(**params).fit(train_clicks)
+
+
+def _build_gru4rec(train_clicks, params):
+    return GRU4Rec(**params).fit(train_clicks)
+
+
+def _build_narm(train_clicks, params):
+    return NARM(**params).fit(train_clicks)
+
+
+def _build_stamp(train_clicks, params):
+    return STAMP(**params).fit(train_clicks)
+
+
+for _name, _builder in {
+    "vmis": _build_vmis,
+    "vsknn": _build_vsknn,
+    "sknn": _build_sknn,
+    "stan": _build_stan,
+    "itemknn": _build_itemknn,
+    "markov": _build_markov,
+    "popularity": _build_popularity,
+    "gru4rec": _build_gru4rec,
+    "narm": _build_narm,
+    "stamp": _build_stamp,
+}.items():
+    register_model(_name, _builder)

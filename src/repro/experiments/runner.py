@@ -1,0 +1,130 @@
+"""Experiment execution: config in, comparison table out.
+
+``run_experiment`` loads the dataset, performs the temporal split, fits
+every candidate model, evaluates them under the shared protocol and
+returns a :class:`ExperimentReport` with quality metrics, fit times and
+per-prediction latency percentiles — the table a practitioner compares
+candidates with before an online test.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.data.split import temporal_split
+from repro.eval.evaluator import EvaluationResult, evaluate_next_item
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.registry import build_model
+
+
+@dataclass
+class ModelOutcome:
+    """One model's results under the experiment protocol."""
+
+    label: str
+    fit_seconds: float
+    result: EvaluationResult
+
+    def latency_p90_ms(self) -> float:
+        return self.result.latency_percentile(90) * 1e3
+
+    def as_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "fit_seconds": self.fit_seconds,
+            "predictions": self.result.predictions,
+            "metrics": self.result.summary(),
+            "latency_p90_ms": self.latency_p90_ms(),
+        }
+
+
+@dataclass
+class ExperimentReport:
+    """All model outcomes for one experiment run."""
+
+    config: ExperimentConfig
+    train_clicks: int
+    test_sessions: int
+    outcomes: list[ModelOutcome] = field(default_factory=list)
+
+    def best(self, metric: str = "mrr") -> ModelOutcome:
+        return max(
+            self.outcomes, key=lambda outcome: getattr(outcome.result, metric)
+        )
+
+    def render(self) -> str:
+        cutoff = self.config.protocol.cutoff
+        header = (
+            f"{'model':<16} {'fit s':>7} {'MRR@'+str(cutoff):>8} "
+            f"{'HR@'+str(cutoff):>8} {'Prec@'+str(cutoff):>9} "
+            f"{'MAP@'+str(cutoff):>8} {'p90 ms':>8}"
+        )
+        lines = [
+            f"experiment: {self.config.name} "
+            f"({self.train_clicks:,} train clicks, "
+            f"{self.test_sessions:,} test sessions)",
+            header,
+            "-" * len(header),
+        ]
+        for outcome in sorted(
+            self.outcomes, key=lambda o: -o.result.mrr
+        ):
+            result = outcome.result
+            lines.append(
+                f"{outcome.label:<16} {outcome.fit_seconds:>7.1f} "
+                f"{result.mrr:>8.4f} {result.hit_rate:>8.4f} "
+                f"{result.precision:>9.4f} {result.map:>8.4f} "
+                f"{outcome.latency_p90_ms():>8.2f}"
+            )
+        return "\n".join(lines)
+
+    def save_json(self, path: str | Path) -> None:
+        payload = {
+            "experiment": self.config.name,
+            "train_clicks": self.train_clicks,
+            "test_sessions": self.test_sessions,
+            "outcomes": [outcome.as_dict() for outcome in self.outcomes],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentReport:
+    """Execute one experiment configuration end to end."""
+    config.validate()
+    log = config.dataset.load()
+    split = temporal_split(log, test_days=config.protocol.test_days)
+    train = list(split.train)
+    sequences = split.test_sequences()
+    if not sequences:
+        raise ValueError(
+            "the split produced no usable test sessions; widen the dataset "
+            "or shrink test_days"
+        )
+
+    report = ExperimentReport(
+        config=config,
+        train_clicks=len(train),
+        test_sessions=len(sequences),
+    )
+    for spec in config.models:
+        started = time.perf_counter()
+        model = build_model(spec.name, train, spec.params)
+        fit_seconds = time.perf_counter() - started
+        result = evaluate_next_item(
+            model,
+            sequences,
+            cutoff=config.protocol.cutoff,
+            measure_latency=True,
+            max_predictions=config.protocol.max_predictions,
+        )
+        report.outcomes.append(
+            ModelOutcome(
+                label=spec.display_name,
+                fit_seconds=fit_seconds,
+                result=result,
+            )
+        )
+    return report

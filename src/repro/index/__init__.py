@@ -1,0 +1,49 @@
+"""Offline index generation, persistence, compression and maintenance."""
+
+from repro.index.builder import BuildReport, IndexBuilder, build_index
+from repro.index.capacity import (
+    CPYTHON,
+    CapacityEstimate,
+    CostSchedule,
+    NATIVE,
+    estimate_capacity,
+    extrapolate,
+    measure_index,
+)
+from repro.index.compression import (
+    CompressedSessionIndex,
+    compression_ratio,
+    uncompressed_payload_bytes,
+)
+from repro.index.maintenance import IncrementalIndexer, rebuild_equivalent
+from repro.index.parallel import ParallelIndexBuilder, build_index_parallel
+from repro.index.serialization import (
+    deserialize_index,
+    load_index,
+    save_index,
+    serialize_index,
+)
+
+__all__ = [
+    "BuildReport",
+    "CPYTHON",
+    "CapacityEstimate",
+    "CostSchedule",
+    "NATIVE",
+    "estimate_capacity",
+    "extrapolate",
+    "measure_index",
+    "CompressedSessionIndex",
+    "IncrementalIndexer",
+    "IndexBuilder",
+    "ParallelIndexBuilder",
+    "build_index",
+    "build_index_parallel",
+    "compression_ratio",
+    "deserialize_index",
+    "load_index",
+    "rebuild_equivalent",
+    "save_index",
+    "serialize_index",
+    "uncompressed_payload_bytes",
+]

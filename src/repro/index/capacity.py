@@ -1,0 +1,182 @@
+"""Capacity planning: how big will the index be at production scale?
+
+The paper reports that the serving component needs "around 13 gigabytes
+of memory" for the index built from 180 days of clicks (§4.2: ~111M
+sessions, 582M interactions, 6.5M items after filtering). Operators size
+machines from a *sample*: build a small index, measure per-entry costs,
+extrapolate.
+
+This module does exactly that. The cost model counts the logical entries
+of each component — postings (bounded by ``min(h_i, m)`` per item),
+stored session items, the timestamp array, and hash-table overheads — and
+prices them with a configurable bytes-per-entry schedule. The default
+schedule reflects a compact native implementation (the paper's Rust
+serving process), not CPython object sizes; a CPython schedule is also
+provided for sizing this repository's own processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.index import SessionIndex
+
+
+@dataclass(frozen=True)
+class CostSchedule:
+    """Bytes per logical entry of each index component."""
+
+    name: str
+    bytes_per_posting: float
+    bytes_per_session_item: float
+    bytes_per_session_timestamp: float
+    bytes_per_item_overhead: float  # hash entry: item id -> vector header
+    bytes_per_session_overhead: float  # per-session vector header
+
+
+#: A compact representation: 4-byte ids, 8-byte timestamps, small headers —
+#: the regime of the paper's Rust/Avro pipeline.
+NATIVE = CostSchedule(
+    name="native",
+    bytes_per_posting=4.0,
+    bytes_per_session_item=4.0,
+    bytes_per_session_timestamp=8.0,
+    bytes_per_item_overhead=48.0,
+    bytes_per_session_overhead=24.0,
+)
+
+#: CPython dict/list/int object costs, for sizing this repo's processes.
+CPYTHON = CostSchedule(
+    name="cpython",
+    bytes_per_posting=36.0,
+    bytes_per_session_item=36.0,
+    bytes_per_session_timestamp=36.0,
+    bytes_per_item_overhead=120.0,
+    bytes_per_session_overhead=72.0,
+)
+
+
+@dataclass(frozen=True)
+class CapacityEstimate:
+    """A sized index: component bytes plus the total."""
+
+    schedule: str
+    sessions: int
+    items: int
+    postings: int
+    stored_session_items: int
+    posting_bytes: float
+    session_item_bytes: float
+    timestamp_bytes: float
+    overhead_bytes: float
+
+    @property
+    def total_bytes(self) -> float:
+        return (
+            self.posting_bytes
+            + self.session_item_bytes
+            + self.timestamp_bytes
+            + self.overhead_bytes
+        )
+
+    @property
+    def total_gigabytes(self) -> float:
+        return self.total_bytes / 1024**3
+
+    def render(self) -> str:
+        return "\n".join(
+            [
+                f"capacity estimate ({self.schedule} schedule):",
+                f"  sessions:          {self.sessions:>15,}",
+                f"  items:             {self.items:>15,}",
+                f"  postings:          {self.postings:>15,}",
+                f"  stored items:      {self.stored_session_items:>15,}",
+                f"  posting bytes:     {self.posting_bytes:>15,.0f}",
+                f"  session items:     {self.session_item_bytes:>15,.0f}",
+                f"  timestamps:        {self.timestamp_bytes:>15,.0f}",
+                f"  overheads:         {self.overhead_bytes:>15,.0f}",
+                f"  TOTAL:             {self.total_gigabytes:>14.2f} GiB",
+            ]
+        )
+
+
+def estimate_capacity(
+    sessions: int,
+    items: int,
+    postings: int,
+    stored_session_items: int,
+    schedule: CostSchedule = NATIVE,
+) -> CapacityEstimate:
+    """Price raw component counts under a cost schedule."""
+    if min(sessions, items, postings, stored_session_items) < 0:
+        raise ValueError("component counts must be non-negative")
+    return CapacityEstimate(
+        schedule=schedule.name,
+        sessions=sessions,
+        items=items,
+        postings=postings,
+        stored_session_items=stored_session_items,
+        posting_bytes=postings * schedule.bytes_per_posting,
+        session_item_bytes=stored_session_items
+        * schedule.bytes_per_session_item,
+        timestamp_bytes=sessions * schedule.bytes_per_session_timestamp,
+        overhead_bytes=items * schedule.bytes_per_item_overhead
+        + sessions * schedule.bytes_per_session_overhead,
+    )
+
+
+def measure_index(index: SessionIndex, schedule: CostSchedule = NATIVE) -> CapacityEstimate:
+    """Size an in-memory index directly."""
+    profile = index.memory_profile()
+    return estimate_capacity(
+        sessions=profile["num_sessions"],
+        items=profile["num_items"],
+        postings=profile["posting_entries"],
+        stored_session_items=profile["stored_session_items"],
+        schedule=schedule,
+    )
+
+
+def extrapolate(
+    sample: SessionIndex,
+    target_sessions: int,
+    target_items: int,
+    max_sessions_per_item: int | None = None,
+    schedule: CostSchedule = NATIVE,
+) -> CapacityEstimate:
+    """Extrapolate a sample index to production scale.
+
+    Stored session items and timestamps scale linearly with the session
+    count. Postings scale with the item count times the *expected posting
+    length*, which saturates at ``m``: the sample's mean posting length is
+    scaled by the sessions-per-item growth factor and clipped to ``m`` —
+    exactly the saturation that makes the real index (Zipf-headed, m=500
+    in production) much smaller than ``items x m``.
+    """
+    if target_sessions < 1 or target_items < 1:
+        raise ValueError("targets must be positive")
+    profile = sample.memory_profile()
+    if profile["num_sessions"] == 0 or profile["num_items"] == 0:
+        raise ValueError("sample index is empty")
+    m = max_sessions_per_item or sample.max_sessions_per_item
+
+    session_growth = target_sessions / profile["num_sessions"]
+    items_per_session = profile["stored_session_items"] / profile["num_sessions"]
+    target_stored = int(items_per_session * target_sessions)
+
+    # Per-item posting growth: sessions-per-item scales with
+    # (session growth) / (item growth); posting lengths clip at m.
+    item_growth = target_items / profile["num_items"]
+    posting_scale = session_growth / item_growth
+    total_postings = 0.0
+    for postings in sample.item_to_sessions.values():
+        total_postings += min(float(m), len(postings) * posting_scale)
+    target_postings = int(total_postings * item_growth)
+
+    return estimate_capacity(
+        sessions=target_sessions,
+        items=target_items,
+        postings=target_postings,
+        stored_session_items=target_stored,
+        schedule=schedule,
+    )

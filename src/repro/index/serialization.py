@@ -1,0 +1,179 @@
+"""On-disk index format (the Avro-artifact substitute).
+
+The paper's Spark job writes the index as compressed Avro files which the
+serving component ingests at startup. We use a self-contained binary
+container with the same roles — versioned, schema'd, checksummed:
+
+* magic ``VMIS`` + format version (u32 LE);
+* a JSON header (counts, the build-time ``m``) with a u32 length prefix;
+* the ``t`` timestamp array as u64 LE;
+* per-session item tuples, varint-encoded;
+* per-item posting lists, varint-encoded with the item's true session
+  frequency ``h_i`` (needed for idf, which truncation would otherwise bias);
+* a trailing CRC32 over everything before it.
+
+Varints use the LEB128 scheme; posting lists are *descending*, so they are
+stored as first value + positive deltas, which keeps varints short and is
+the usual inverted-index trick.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from pathlib import Path
+
+from repro.core.index import SessionIndex
+
+MAGIC = b"VMIS"
+FORMAT_VERSION = 1
+
+
+def _write_varint(out: bytearray, value: int) -> None:
+    if value < 0:
+        raise ValueError(f"varints are unsigned, got {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _read_varint(buffer: bytes, offset: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        byte = buffer[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+
+
+def _encode_descending(values: list[int]) -> bytearray:
+    """Delta-encode a strictly descending int list as varints."""
+    out = bytearray()
+    _write_varint(out, len(values))
+    previous = None
+    for value in values:
+        if previous is None:
+            _write_varint(out, value)
+        else:
+            delta = previous - value
+            if delta <= 0:
+                raise ValueError("posting list must be strictly descending")
+            _write_varint(out, delta)
+        previous = value
+    return out
+
+
+def _decode_descending(buffer: bytes, offset: int) -> tuple[list[int], int]:
+    count, offset = _read_varint(buffer, offset)
+    values: list[int] = []
+    previous = 0
+    for position in range(count):
+        raw, offset = _read_varint(buffer, offset)
+        previous = raw if position == 0 else previous - raw
+        values.append(previous)
+    return values, offset
+
+
+def serialize_index(index: SessionIndex) -> bytes:
+    """Serialize an index to the binary container format."""
+    out = bytearray()
+    out += MAGIC
+    out += struct.pack("<I", FORMAT_VERSION)
+
+    header = json.dumps(
+        {
+            "num_sessions": index.num_sessions,
+            "num_items": index.num_items,
+            "max_sessions_per_item": index.max_sessions_per_item,
+        }
+    ).encode("utf-8")
+    out += struct.pack("<I", len(header))
+    out += header
+
+    out += struct.pack(f"<{index.num_sessions}Q", *index.session_timestamps)
+
+    for items in index.session_items:
+        _write_varint(out, len(items))
+        for item in items:
+            _write_varint(out, item)
+
+    for item, postings in sorted(index.item_to_sessions.items()):
+        _write_varint(out, item)
+        _write_varint(out, index.item_session_counts[item])
+        out += _encode_descending(postings)
+
+    out += struct.pack("<I", zlib.crc32(bytes(out)) & 0xFFFFFFFF)
+    return bytes(out)
+
+
+def deserialize_index(data: bytes) -> SessionIndex:
+    """Parse the binary container back into a :class:`SessionIndex`."""
+    if len(data) < 12 or data[:4] != MAGIC:
+        raise ValueError("not a VMIS index file (bad magic)")
+    stored_crc = struct.unpack("<I", data[-4:])[0]
+    actual_crc = zlib.crc32(data[:-4]) & 0xFFFFFFFF
+    if stored_crc != actual_crc:
+        raise ValueError(
+            f"index file corrupted: crc {actual_crc:#x} != stored {stored_crc:#x}"
+        )
+    version = struct.unpack("<I", data[4:8])[0]
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported index format version {version}")
+
+    header_len = struct.unpack("<I", data[8:12])[0]
+    offset = 12 + header_len
+    header = json.loads(data[12:offset].decode("utf-8"))
+    num_sessions = header["num_sessions"]
+    num_items = header["num_items"]
+
+    timestamps = list(
+        struct.unpack_from(f"<{num_sessions}Q", data, offset)
+    )
+    offset += 8 * num_sessions
+
+    session_items: list[tuple[int, ...]] = []
+    for _ in range(num_sessions):
+        count, offset = _read_varint(data, offset)
+        items = []
+        for _ in range(count):
+            item, offset = _read_varint(data, offset)
+            items.append(item)
+        session_items.append(tuple(items))
+
+    item_to_sessions: dict[int, list[int]] = {}
+    item_session_counts: dict[int, int] = {}
+    for _ in range(num_items):
+        item, offset = _read_varint(data, offset)
+        frequency, offset = _read_varint(data, offset)
+        postings, offset = _decode_descending(data, offset)
+        item_to_sessions[item] = postings
+        item_session_counts[item] = frequency
+
+    return SessionIndex(
+        item_to_sessions=item_to_sessions,
+        session_timestamps=timestamps,
+        session_items=session_items,
+        item_session_counts=item_session_counts,
+        max_sessions_per_item=header["max_sessions_per_item"],
+    )
+
+
+def save_index(index: SessionIndex, path: str | Path) -> int:
+    """Write an index artifact; returns the number of bytes written."""
+    data = serialize_index(index)
+    Path(path).write_bytes(data)
+    return len(data)
+
+
+def load_index(path: str | Path) -> SessionIndex:
+    """Load an index artifact written by :func:`save_index`."""
+    return deserialize_index(Path(path).read_bytes())

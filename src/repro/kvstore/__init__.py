@@ -1,0 +1,6 @@
+"""Embedded key-value store with TTL and WAL (RocksDB substitute)."""
+
+from repro.kvstore.store import KVStore
+from repro.kvstore.wal import OP_DELETE, OP_PUT, WalRecord, WriteAheadLog
+
+__all__ = ["KVStore", "OP_DELETE", "OP_PUT", "WalRecord", "WriteAheadLog"]

@@ -1,0 +1,141 @@
+"""Write-ahead log for the embedded key-value store.
+
+Binary, append-only record stream. Each record is::
+
+    u32 crc32  (over everything after this field)
+    u8  op     (1 = put, 2 = delete)
+    u32 key length,   key bytes
+    f64 expire_at     (0.0 = never expires; puts only)
+    u32 value length, value bytes   (puts only)
+
+Replay is tolerant of a torn final record (a crash mid-append), which is
+truncated away — the standard WAL recovery contract.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from pathlib import Path
+from typing import BinaryIO, Iterator
+
+OP_PUT = 1
+OP_DELETE = 2
+
+_CRC = struct.Struct("<I")
+_LEN = struct.Struct("<I")
+_EXPIRY = struct.Struct("<d")
+
+
+class WalRecord:
+    """One decoded WAL entry."""
+
+    __slots__ = ("op", "key", "value", "expire_at")
+
+    def __init__(
+        self, op: int, key: bytes, value: bytes = b"", expire_at: float = 0.0
+    ) -> None:
+        self.op = op
+        self.key = key
+        self.value = value
+        self.expire_at = expire_at
+
+    def encode(self) -> bytes:
+        body = bytearray()
+        body.append(self.op)
+        body += _LEN.pack(len(self.key))
+        body += self.key
+        if self.op == OP_PUT:
+            body += _EXPIRY.pack(self.expire_at)
+            body += _LEN.pack(len(self.value))
+            body += self.value
+        return _CRC.pack(zlib.crc32(bytes(body)) & 0xFFFFFFFF) + bytes(body)
+
+
+class WriteAheadLog:
+    """Append-only durability log; one instance owns one file handle."""
+
+    def __init__(self, path: str | Path, sync_every: int = 0) -> None:
+        """Open (creating if needed) the log at ``path``.
+
+        Args:
+            path: log file location.
+            sync_every: fsync after every N appends; 0 disables fsync
+                (fastest, the configuration used by simulations).
+        """
+        self.path = Path(path)
+        self.sync_every = sync_every
+        self._appends_since_sync = 0
+        self._handle: BinaryIO = open(self.path, "ab")
+
+    def append(self, record: WalRecord) -> None:
+        """Append one record, honouring the fsync policy."""
+        self._handle.write(record.encode())
+        self._appends_since_sync += 1
+        if self.sync_every and self._appends_since_sync >= self.sync_every:
+            self._handle.flush()
+            import os
+
+            os.fsync(self._handle.fileno())
+            self._appends_since_sync = 0
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.flush()
+            self._handle.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @staticmethod
+    def replay(path: str | Path) -> Iterator[WalRecord]:
+        """Yield all intact records; stop silently at a torn tail."""
+        path = Path(path)
+        if not path.exists():
+            return
+        data = path.read_bytes()
+        offset = 0
+        total = len(data)
+        while offset + _CRC.size <= total:
+            (stored_crc,) = _CRC.unpack_from(data, offset)
+            record, consumed = WriteAheadLog._try_decode(data, offset + _CRC.size)
+            if record is None:
+                return  # torn tail
+            body = data[offset + _CRC.size : offset + _CRC.size + consumed]
+            if zlib.crc32(body) & 0xFFFFFFFF != stored_crc:
+                return  # corrupted tail
+            yield record
+            offset += _CRC.size + consumed
+
+    @staticmethod
+    def _try_decode(data: bytes, offset: int) -> tuple[WalRecord | None, int]:
+        start = offset
+        total = len(data)
+        if offset + 1 + _LEN.size > total:
+            return None, 0
+        op = data[offset]
+        offset += 1
+        (key_len,) = _LEN.unpack_from(data, offset)
+        offset += _LEN.size
+        if offset + key_len > total:
+            return None, 0
+        key = data[offset : offset + key_len]
+        offset += key_len
+        if op == OP_DELETE:
+            return WalRecord(op, key), offset - start
+        if op != OP_PUT:
+            return None, 0
+        if offset + _EXPIRY.size + _LEN.size > total:
+            return None, 0
+        (expire_at,) = _EXPIRY.unpack_from(data, offset)
+        offset += _EXPIRY.size
+        (value_len,) = _LEN.unpack_from(data, offset)
+        offset += _LEN.size
+        if offset + value_len > total:
+            return None, 0
+        value = data[offset : offset + value_len]
+        offset += value_len
+        return WalRecord(op, key, value, expire_at), offset - start

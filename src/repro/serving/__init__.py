@@ -1,0 +1,43 @@
+"""Online serving: stateful pods, sticky routing, rules and variants."""
+
+from repro.serving.app import ServingCluster
+from repro.serving.http import SerenadeHTTPServer, SerenadeService
+from repro.serving.monitoring import Counter, Histogram, MetricsRegistry
+from repro.serving.router import StickySessionRouter
+from repro.serving.rules import (
+    BusinessRules,
+    exclude_adult,
+    exclude_seen_in_session,
+    exclude_unavailable,
+)
+from repro.serving.server import (
+    FRONTEND_SLOT_SIZE,
+    RecommendationRequest,
+    RecommendationResponse,
+    RecommendationServer,
+)
+from repro.serving.session_store import SessionStore, decode_items, encode_items
+from repro.serving.variants import ServingVariant, session_view
+
+__all__ = [
+    "BusinessRules",
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "SerenadeHTTPServer",
+    "SerenadeService",
+    "FRONTEND_SLOT_SIZE",
+    "RecommendationRequest",
+    "RecommendationResponse",
+    "RecommendationServer",
+    "ServingCluster",
+    "ServingVariant",
+    "SessionStore",
+    "StickySessionRouter",
+    "decode_items",
+    "encode_items",
+    "exclude_adult",
+    "exclude_seen_in_session",
+    "exclude_unavailable",
+    "session_view",
+]

@@ -1,0 +1,134 @@
+"""The Serenade application: a routed cluster of stateful pods (Figure 1).
+
+``ServingCluster`` wires the sticky-session router to a set of
+:class:`RecommendationServer` pods that each hold a replica of the session
+similarity index. It is the in-process equivalent of the Kubernetes
+deployment: the shop frontend calls :meth:`handle`, the router picks the
+pod owning the session, and the pod answers from machine-local state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.core.index import SessionIndex
+from repro.core.predictor import SessionRecommender
+from repro.core.vmis import VMISKNN
+from repro.kvstore.store import Clock
+from repro.serving.router import StickySessionRouter
+from repro.serving.rules import BusinessRules
+from repro.serving.server import (
+    RecommendationRequest,
+    RecommendationResponse,
+    RecommendationServer,
+)
+
+RecommenderFactory = Callable[[], SessionRecommender]
+
+
+class ServingCluster:
+    """A fleet of stateful recommendation servers behind sticky routing."""
+
+    def __init__(
+        self,
+        recommender_factory: RecommenderFactory,
+        num_pods: int = 2,
+        rules: BusinessRules | None = None,
+        clock: Clock | None = None,
+        record_service_times: bool = True,
+    ) -> None:
+        """Build the cluster.
+
+        Args:
+            recommender_factory: called once per pod — every pod holds its
+                *own replica* of the index, the paper's replication choice.
+            num_pods: pod count (the production deployment uses two).
+            rules: business rules shared by all pods.
+            clock: injectable time source for the session TTLs.
+        """
+        if num_pods < 1:
+            raise ValueError("num_pods must be >= 1")
+        self._factory = recommender_factory
+        self.router = StickySessionRouter()
+        self.pods: dict[str, RecommendationServer] = {}
+        for pod_number in range(num_pods):
+            self._spawn_pod(f"pod-{pod_number}", rules, clock, record_service_times)
+        self._rules = rules
+        self._clock = clock
+        self._record_service_times = record_service_times
+
+    def _spawn_pod(
+        self,
+        pod_id: str,
+        rules: BusinessRules | None,
+        clock: Clock | None,
+        record_service_times: bool,
+    ) -> None:
+        server = RecommendationServer(
+            pod_id,
+            self._factory(),
+            rules=rules,
+            clock=clock,
+            record_service_times=record_service_times,
+        )
+        self.pods[pod_id] = server
+        self.router.add_pod(pod_id)
+
+    @classmethod
+    def with_index(
+        cls,
+        index: SessionIndex,
+        num_pods: int = 2,
+        m: int = 500,
+        k: int = 100,
+        **kwargs,
+    ) -> "ServingCluster":
+        """Cluster of VMIS-kNN pods sharing one prebuilt index object.
+
+        In production every pod loads its own copy; in-process we can share
+        the immutable index structure safely.
+        """
+        return cls(
+            lambda: VMISKNN(index, m=m, k=k, exclude_current_items=True),
+            num_pods=num_pods,
+            **kwargs,
+        )
+
+    def handle(self, request: RecommendationRequest) -> RecommendationResponse:
+        """Route a frontend request to the owning pod and serve it."""
+        pod_id = self.router.route(request.session_key)
+        return self.pods[pod_id].handle(request)
+
+    def scale_to(self, num_pods: int) -> None:
+        """Elastically add/remove pods (sessions on removed pods are lost,
+        the trade-off the paper accepts and discusses in §4.2)."""
+        if num_pods < 1:
+            raise ValueError("num_pods must be >= 1")
+        current = len(self.pods)
+        for pod_number in range(current, num_pods):
+            self._spawn_pod(
+                f"pod-{pod_number}",
+                self._rules,
+                self._clock,
+                self._record_service_times,
+            )
+        for pod_number in range(num_pods, current):
+            pod_id = f"pod-{pod_number}"
+            self.router.remove_pod(pod_id)
+            del self.pods[pod_id]
+
+    def rollout_index(self, recommender_factory: RecommenderFactory) -> None:
+        """Replicate a freshly built index to every pod (daily refresh)."""
+        self._factory = recommender_factory
+        for server in self.pods.values():
+            server.replace_recommender(recommender_factory())
+
+    def total_requests(self) -> int:
+        return sum(server.stats.requests for server in self.pods.values())
+
+    def all_service_times(self) -> list[float]:
+        """Service times across pods (for latency percentile reporting)."""
+        times: list[float] = []
+        for server in self.pods.values():
+            times.extend(server.stats.service_times)
+        return times

@@ -1,0 +1,216 @@
+"""The REST serving application (§4.2's Actix web app, on the stdlib).
+
+Serenade's online component is a web application: the shop frontend POSTs
+a session update and receives 21 recommended items. This module exposes a
+:class:`ServingCluster` over HTTP with the same contract:
+
+* ``POST /v1/recommend`` — body
+  ``{"session_id": "abc", "item_id": 42, "consent": true,
+  "variant": "serenade-hist", "count": 21}``;
+  responds ``{"items": [{"item_id": ..., "score": ...}, ...],
+  "pod": "pod-0", "latency_ms": ...}``.
+* ``GET /healthz`` — liveness probe (Kubernetes-style).
+* ``GET /metrics`` — Prometheus text exposition of request counts and
+  latency histograms.
+
+The server is threaded; the underlying KV store and metrics registry are
+thread-safe, so concurrent frontend requests behave like the paper's
+multi-core pods.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.serving.app import ServingCluster
+from repro.serving.monitoring import MetricsRegistry
+from repro.serving.server import RecommendationRequest
+from repro.serving.variants import ServingVariant
+
+_VARIANTS = {variant.value: variant for variant in ServingVariant}
+
+
+class BadRequest(ValueError):
+    """The request body was malformed; reported back as HTTP 400."""
+
+
+def parse_recommend_payload(payload: dict) -> RecommendationRequest:
+    """Validate and convert a JSON body into a typed request."""
+    if not isinstance(payload, dict):
+        raise BadRequest("body must be a JSON object")
+    session_id = payload.get("session_id")
+    if not isinstance(session_id, str) or not session_id:
+        raise BadRequest("session_id must be a non-empty string")
+    item_id = payload.get("item_id")
+    if not isinstance(item_id, int) or isinstance(item_id, bool):
+        raise BadRequest("item_id must be an integer")
+    consent = payload.get("consent", True)
+    if not isinstance(consent, bool):
+        raise BadRequest("consent must be a boolean")
+    variant_name = payload.get("variant", ServingVariant.HIST.value)
+    variant = _VARIANTS.get(variant_name)
+    if variant is None:
+        raise BadRequest(
+            f"unknown variant {variant_name!r}; known: {sorted(_VARIANTS)}"
+        )
+    count = payload.get("count", 21)
+    if not isinstance(count, int) or isinstance(count, bool) or not 1 <= count <= 100:
+        raise BadRequest("count must be an integer in [1, 100]")
+    return RecommendationRequest(
+        session_key=session_id,
+        item_id=item_id,
+        consent=consent,
+        variant=variant,
+        how_many=count,
+    )
+
+
+class SerenadeService:
+    """The application object behind the HTTP handler (testable directly)."""
+
+    def __init__(self, cluster: ServingCluster) -> None:
+        self.cluster = cluster
+        self.metrics = MetricsRegistry()
+        self._requests = self.metrics.counter(
+            "serenade_requests_total", "Recommendation requests by status"
+        )
+        self._latency = self.metrics.histogram(
+            "serenade_request_latency_seconds", "End-to-end request latency"
+        )
+
+    def recommend(self, payload: dict) -> dict:
+        """Handle one /v1/recommend call; raises BadRequest on bad input."""
+        request = parse_recommend_payload(payload)
+        started = time.perf_counter()
+        response = self.cluster.handle(request)
+        elapsed = time.perf_counter() - started
+        self._requests.increment(status="ok")
+        self._latency.observe(elapsed)
+        return {
+            "items": [
+                {"item_id": scored.item_id, "score": scored.score}
+                for scored in response.items
+            ],
+            "pod": response.served_by,
+            "latency_ms": elapsed * 1e3,
+        }
+
+    def record_bad_request(self) -> None:
+        self._requests.increment(status="bad_request")
+
+    def health(self) -> dict:
+        return {
+            "status": "ok",
+            "pods": self.cluster.router.pods,
+            "requests_served": self.cluster.total_requests(),
+        }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP calls to the :class:`SerenadeService` on the server."""
+
+    server_version = "Serenade/1.0"
+
+    @property
+    def service(self) -> SerenadeService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # keep test output quiet; metrics carry the signal
+
+    def _send_json(self, status: int, body: dict) -> None:
+        encoded = json.dumps(body).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(encoded)))
+        self.end_headers()
+        self.wfile.write(encoded)
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib API)
+        if self.path == "/healthz":
+            self._send_json(200, self.service.health())
+        elif self.path == "/metrics":
+            text = self.service.metrics.render_prometheus().encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", "text/plain; version=0.0.4")
+            self.send_header("Content-Length", str(len(text)))
+            self.end_headers()
+            self.wfile.write(text)
+        else:
+            self._send_json(404, {"error": f"no route {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib API)
+        if self.path != "/v1/recommend":
+            self._send_json(404, {"error": f"no route {self.path}"})
+            return
+        length = int(self.headers.get("Content-Length", "0"))
+        raw = self.rfile.read(length) if length else b""
+        try:
+            payload = json.loads(raw.decode("utf-8")) if raw else {}
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            self.service.record_bad_request()
+            self._send_json(400, {"error": "body is not valid JSON"})
+            return
+        try:
+            self._send_json(200, self.service.recommend(payload))
+        except BadRequest as error:
+            self.service.record_bad_request()
+            self._send_json(400, {"error": str(error)})
+
+
+class _Server(ThreadingHTTPServer):
+    """Threaded server with a deep accept backlog.
+
+    The stdlib default ``request_queue_size`` of 5 drops connections under
+    the bursty frontend traffic this service exists to absorb.
+    """
+
+    request_queue_size = 128
+    daemon_threads = True
+
+
+class SerenadeHTTPServer:
+    """A threaded HTTP server wrapping a serving cluster.
+
+    Usage::
+
+        server = SerenadeHTTPServer(cluster, port=0)  # 0 = ephemeral port
+        server.start()
+        ... requests against f"http://127.0.0.1:{server.port}" ...
+        server.stop()
+    """
+
+    def __init__(self, cluster: ServingCluster, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.service = SerenadeService(cluster)
+        self._httpd = _Server((host, port), _Handler)
+        self._httpd.service = self.service  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    def start(self) -> "SerenadeHTTPServer":
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="serenade-http", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "SerenadeHTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

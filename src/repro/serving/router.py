@@ -1,0 +1,67 @@
+"""Sticky-session request routing (§4.1).
+
+Serenade partitions evolving sessions *and* their requests over the
+serving pods by session identifier, relying on Kubernetes session affinity
+so that every request of a session lands on the pod that holds its state.
+
+We implement the affinity with **rendezvous (highest-random-weight)
+hashing**: each (session, pod) pair gets a deterministic weight, and a
+session routes to the live pod with the highest weight. This gives the two
+invariants the design needs:
+
+* stability — the same session key always maps to the same pod while the
+  pod set is unchanged;
+* minimal disruption — removing a pod only remaps the sessions that were
+  on that pod; adding a pod only steals the sessions that now rank it first.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def _weight(session_key: str, pod_id: str) -> int:
+    digest = hashlib.blake2b(
+        f"{session_key}\x00{pod_id}".encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+class StickySessionRouter:
+    """Rendezvous-hash router over a mutable set of pod identifiers."""
+
+    def __init__(self, pod_ids: list[str] | None = None) -> None:
+        self._pods: list[str] = []
+        for pod_id in pod_ids or []:
+            self.add_pod(pod_id)
+
+    @property
+    def pods(self) -> list[str]:
+        """Live pod ids, insertion-ordered."""
+        return list(self._pods)
+
+    def add_pod(self, pod_id: str) -> None:
+        """Register a pod; duplicate ids are rejected."""
+        if pod_id in self._pods:
+            raise ValueError(f"pod {pod_id!r} already registered")
+        self._pods.append(pod_id)
+
+    def remove_pod(self, pod_id: str) -> None:
+        """Deregister a pod (machine failure or scale-down)."""
+        try:
+            self._pods.remove(pod_id)
+        except ValueError:
+            raise ValueError(f"pod {pod_id!r} is not registered") from None
+
+    def route(self, session_key: str) -> str:
+        """The pod that owns this session's state."""
+        if not self._pods:
+            raise RuntimeError("no pods registered")
+        return max(self._pods, key=lambda pod: _weight(session_key, pod))
+
+    def assignment_counts(self, session_keys: list[str]) -> dict[str, int]:
+        """How many of the given sessions each pod would receive."""
+        counts = {pod: 0 for pod in self._pods}
+        for key in session_keys:
+            counts[self.route(key)] += 1
+        return counts

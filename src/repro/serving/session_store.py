@@ -1,0 +1,92 @@
+"""Colocated evolving-session storage (§4.1/§4.2).
+
+Each recommendation server keeps the evolving sessions of *its* users in a
+machine-local :class:`~repro.kvstore.KVStore`, so session reads and writes
+never cross the network — the colocation decision at the heart of
+Serenade's latency budget. Sessions expire after 30 minutes of inactivity,
+exactly the paper's RocksDB configuration; every update refreshes the TTL.
+
+Values are struct-packed item-id arrays, keyed by the external session key.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Sequence
+
+from repro.core.types import ItemId, Timestamp
+from repro.kvstore.store import Clock, KVStore
+
+SESSION_TTL_SECONDS = 30 * 60  # the paper's 30-minute inactivity window
+
+_ITEM = struct.Struct("<q")
+
+
+def encode_items(items: Sequence[ItemId]) -> bytes:
+    """Pack an item sequence into a fixed-width binary value."""
+    return b"".join(_ITEM.pack(item) for item in items)
+
+
+def decode_items(value: bytes) -> list[ItemId]:
+    """Unpack a binary value back into the item sequence."""
+    if len(value) % _ITEM.size:
+        raise ValueError(f"corrupt session value of {len(value)} bytes")
+    return [
+        _ITEM.unpack_from(value, offset)[0]
+        for offset in range(0, len(value), _ITEM.size)
+    ]
+
+
+class SessionStore:
+    """Evolving sessions in a local KV store with inactivity expiry."""
+
+    def __init__(
+        self,
+        ttl_seconds: float = SESSION_TTL_SECONDS,
+        max_items: int = 100,
+        clock: Clock | None = None,
+    ) -> None:
+        """Create a store for one serving pod.
+
+        Args:
+            ttl_seconds: inactivity window before a session is dropped.
+            max_items: cap on stored history per session (the paper caps
+                the evolving session length to bound prediction cost).
+            clock: injectable time source for simulations.
+        """
+        kwargs = {"default_ttl": ttl_seconds}
+        if clock is not None:
+            kwargs["clock"] = clock
+        self._store = KVStore(**kwargs)
+        self.max_items = max_items
+
+    def append_click(self, session_key: str, item_id: ItemId) -> list[ItemId]:
+        """Record one interaction and return the updated item history.
+
+        This is the read-modify-write executed for every incoming request
+        (step 2 in Figure 1); it refreshes the session's TTL.
+        """
+        key = session_key.encode("utf-8")
+        value = self._store.get(key)
+        items = decode_items(value) if value is not None else []
+        items.append(item_id)
+        if len(items) > self.max_items:
+            del items[: len(items) - self.max_items]
+        self._store.put(key, encode_items(items))
+        return items
+
+    def get_session(self, session_key: str) -> list[ItemId] | None:
+        """Current item history, or None if unknown/expired."""
+        value = self._store.get(session_key.encode("utf-8"))
+        return decode_items(value) if value is not None else None
+
+    def drop_session(self, session_key: str) -> bool:
+        """Forget a session immediately (e.g., consent revocation)."""
+        return self._store.delete(session_key.encode("utf-8"))
+
+    def sweep_expired(self) -> int:
+        """Evict idle sessions; returns how many were dropped."""
+        return self._store.sweep()
+
+    def __len__(self) -> int:
+        return len(self._store)

@@ -1,0 +1,47 @@
+"""Serving variants: how much session history feeds the prediction.
+
+The A/B test of §5.2.3 compares two Serenade variants — *serenade-hist*
+uses the last two interactions of the evolving session, *serenade-recent*
+only the most recent one. Depersonalised serving (§4.2, for users who
+withhold consent) uses only the item currently displayed, ignoring stored
+state entirely. Variants are pure view functions over the session history,
+so a single stateful server can serve all of them per-request.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Sequence
+
+from repro.core.types import ItemId
+
+
+class ServingVariant(enum.Enum):
+    """Which slice of the evolving session the recommender sees."""
+
+    FULL = "full"
+    HIST = "serenade-hist"
+    RECENT = "serenade-recent"
+    DEPERSONALISED = "depersonalised"
+
+
+def session_view(
+    items: Sequence[ItemId],
+    variant: ServingVariant,
+    current_item: ItemId | None = None,
+) -> list[ItemId]:
+    """Project the stored session onto the variant's visible history.
+
+    ``current_item`` is the item of the triggering request; it is the only
+    input for DEPERSONALISED serving (stored state must not be used without
+    consent).
+    """
+    if variant is ServingVariant.DEPERSONALISED:
+        if current_item is None:
+            raise ValueError("depersonalised serving needs the current item")
+        return [current_item]
+    if variant is ServingVariant.RECENT:
+        return list(items[-1:])
+    if variant is ServingVariant.HIST:
+        return list(items[-2:])
+    return list(items)

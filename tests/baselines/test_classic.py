@@ -1,0 +1,123 @@
+"""Tests for the non-neural baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.itemknn import ItemKNNRecommender
+from repro.baselines.markov import MarkovRecommender
+from repro.baselines.popularity import PopularityRecommender
+from repro.baselines.sknn import SKNNRecommender
+from repro.core.types import Click
+
+
+@pytest.fixture()
+def train_clicks(toy_clicks):
+    return toy_clicks
+
+
+class TestPopularity:
+    def test_ranks_by_frequency(self, train_clicks):
+        model = PopularityRecommender().fit(train_clicks)
+        ranked = [s.item_id for s in model.recommend([], how_many=5)]
+        # Item 2 occurs 4 times; items 1 and 4 occur 3 times each and tie
+        # on count, breaking towards the smaller item id.
+        assert ranked[:3] == [2, 1, 4]
+
+    def test_exclusion(self, train_clicks):
+        model = PopularityRecommender(exclude_current_items=True).fit(train_clicks)
+        ranked = {s.item_id for s in model.recommend([1, 2], how_many=5)}
+        assert ranked.isdisjoint({1, 2})
+
+    def test_scores_are_probabilities(self, train_clicks):
+        model = PopularityRecommender().fit(train_clicks)
+        total = sum(s.score for s in model.recommend([], how_many=100))
+        assert total == pytest.approx(1.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            PopularityRecommender().recommend([1])
+
+
+class TestMarkov:
+    def test_learns_transitions(self):
+        clicks = [Click(0, 1, 1), Click(0, 2, 2), Click(1, 1, 3), Click(1, 2, 4)]
+        model = MarkovRecommender(window=1).fit(clicks)
+        ranked = model.recommend([1], how_many=3)
+        assert ranked[0].item_id == 2
+        assert ranked[0].score == 2.0
+
+    def test_window_weights_decay(self):
+        clicks = [Click(0, 1, 1), Click(0, 2, 2), Click(0, 3, 3)]
+        model = MarkovRecommender(window=2).fit(clicks)
+        scores = {s.item_id: s.score for s in model.recommend([1], how_many=3)}
+        assert scores[2] == pytest.approx(1.0)
+        assert scores[3] == pytest.approx(0.5)
+
+    def test_only_last_item_matters(self, train_clicks):
+        model = MarkovRecommender().fit(train_clicks)
+        assert model.recommend([1, 2]) == model.recommend([5, 2])
+
+    def test_self_transitions_ignored(self):
+        clicks = [Click(0, 1, 1), Click(0, 1, 2), Click(0, 2, 3)]
+        model = MarkovRecommender(window=1).fit(clicks)
+        assert all(s.item_id != 1 for s in model.recommend([1], how_many=5))
+
+    def test_empty_session(self, train_clicks):
+        assert MarkovRecommender().fit(train_clicks).recommend([]) == []
+
+    def test_bad_window(self):
+        with pytest.raises(ValueError):
+            MarkovRecommender(window=0)
+
+
+class TestItemKNN:
+    def test_cooccurring_items_are_neighbors(self, train_clicks):
+        model = ItemKNNRecommender().fit(train_clicks)
+        neighbors = {s.item_id for s in model.recommend([1], how_many=5)}
+        # Item 1 co-occurs with 2, 4 and 5 across the toy sessions.
+        assert neighbors <= {2, 4, 5}
+        assert 2 in neighbors
+
+    def test_cosine_normalisation(self):
+        # a appears with b once; a in 1 session, b in 2 -> 1/sqrt(2).
+        clicks = [
+            Click(0, 1, 1),
+            Click(0, 2, 2),
+            Click(1, 2, 3),
+            Click(1, 3, 4),
+        ]
+        model = ItemKNNRecommender().fit(clicks)
+        ranked = {s.item_id: s.score for s in model.recommend([1], how_many=3)}
+        assert ranked[2] == pytest.approx(1 / (2**0.5))
+
+    def test_min_cooccurrence_filters_noise(self, train_clicks):
+        strict = ItemKNNRecommender(min_cooccurrence=3).fit(train_clicks)
+        assert strict.recommend([1], how_many=5) == []
+
+    def test_neighbor_cap(self, train_clicks):
+        model = ItemKNNRecommender(neighbors_per_item=1).fit(train_clicks)
+        assert len(model.recommend([2], how_many=10)) <= 1
+
+    def test_uses_only_last_item(self, train_clicks):
+        model = ItemKNNRecommender().fit(train_clicks)
+        assert model.recommend([5, 1]) == model.recommend([3, 1])
+
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ItemKNNRecommender(neighbors_per_item=0)
+
+
+class TestSKNN:
+    def test_recommends_from_similar_sessions(self, train_clicks):
+        model = SKNNRecommender.from_clicks(train_clicks, m=10, k=10)
+        ranked = {s.item_id for s in model.recommend([1, 2], how_many=5)}
+        assert ranked  # cosine neighbours exist
+
+    def test_order_of_session_irrelevant(self, train_clicks):
+        model = SKNNRecommender.from_clicks(train_clicks, m=10, k=10)
+        assert model.recommend([1, 2]) == model.recommend([2, 1])
+
+    def test_empty_session(self, train_clicks):
+        model = SKNNRecommender.from_clicks(train_clicks)
+        assert model.recommend([]) == []

@@ -1,0 +1,180 @@
+"""Numeric tests for the neural primitives, including gradient checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.neural.layers import (
+    Adagrad,
+    Dense,
+    Embedding,
+    GRUCell,
+    sigmoid,
+    softmax,
+    softmax_cross_entropy,
+)
+
+
+RNG = np.random.default_rng(0)
+
+
+class TestActivations:
+    def test_sigmoid_range_and_midpoint(self):
+        x = np.array([-100.0, 0.0, 100.0])
+        y = sigmoid(x)
+        assert y[0] == pytest.approx(0.0, abs=1e-6)
+        assert y[1] == pytest.approx(0.5)
+        assert y[2] == pytest.approx(1.0, abs=1e-6)
+
+    def test_softmax_sums_to_one(self):
+        probabilities = softmax(RNG.normal(size=50))
+        assert probabilities.sum() == pytest.approx(1.0)
+        assert (probabilities > 0).all()
+
+    def test_softmax_shift_invariant(self):
+        logits = RNG.normal(size=10)
+        np.testing.assert_allclose(softmax(logits), softmax(logits + 100.0))
+
+
+class TestSoftmaxCrossEntropy:
+    def test_loss_value(self):
+        logits = np.zeros(4)
+        loss, _ = softmax_cross_entropy(logits, 2)
+        assert loss == pytest.approx(np.log(4))
+
+    def test_gradient_sums_to_zero(self):
+        logits = RNG.normal(size=8)
+        _, gradient = softmax_cross_entropy(logits, 3)
+        assert gradient.sum() == pytest.approx(0.0, abs=1e-10)
+
+    def test_gradient_check(self):
+        logits = RNG.normal(size=6)
+        _, analytic = softmax_cross_entropy(logits, 1)
+        epsilon = 1e-6
+        for position in range(6):
+            bumped = logits.copy()
+            bumped[position] += epsilon
+            loss_plus, _ = softmax_cross_entropy(bumped, 1)
+            bumped[position] -= 2 * epsilon
+            loss_minus, _ = softmax_cross_entropy(bumped, 1)
+            numeric = (loss_plus - loss_minus) / (2 * epsilon)
+            assert analytic[position] == pytest.approx(numeric, abs=1e-5)
+
+
+class TestDense:
+    def test_forward_shape(self):
+        layer = Dense(4, 3, RNG)
+        assert layer.forward(np.ones(4)).shape == (3,)
+
+    def test_gradient_check(self):
+        layer = Dense(5, 3, RNG)
+        x = RNG.normal(size=5)
+        target = RNG.normal(size=3)
+
+        def loss_of(weight):
+            layer_weight = layer.weight
+            layer.weight = weight
+            value = 0.5 * np.sum((layer.forward(x) - target) ** 2)
+            layer.weight = layer_weight
+            return value
+
+        output = layer.forward(x)
+        grad_output = output - target
+        grad_x, grad_weight, grad_bias = layer.backward(x, grad_output)
+
+        epsilon = 1e-6
+        for i in range(5):
+            for j in range(3):
+                perturbed = layer.weight.copy()
+                perturbed[i, j] += epsilon
+                loss_plus = loss_of(perturbed)
+                perturbed[i, j] -= 2 * epsilon
+                loss_minus = loss_of(perturbed)
+                numeric = (loss_plus - loss_minus) / (2 * epsilon)
+                assert grad_weight[i, j] == pytest.approx(numeric, abs=1e-4)
+        np.testing.assert_allclose(grad_bias, grad_output)
+        del grad_x
+
+
+class TestGRUCell:
+    def test_forward_shapes_and_state(self):
+        cell = GRUCell(4, 6, RNG)
+        h, cache = cell.forward(np.ones(4), cell.initial_state())
+        assert h.shape == (6,)
+        assert set(cache) == {"x", "h", "z", "r", "c"}
+
+    def test_gradient_check_wrt_input(self):
+        cell = GRUCell(3, 4, RNG)
+        x = RNG.normal(size=3)
+        h_prev = RNG.normal(size=4)
+        target = RNG.normal(size=4)
+
+        def loss_at(x_value):
+            h, _ = cell.forward(x_value, h_prev)
+            return 0.5 * np.sum((h - target) ** 2)
+
+        h, cache = cell.forward(x, h_prev)
+        grad_x, _ = cell.backward(h - target, cache)
+
+        epsilon = 1e-6
+        for position in range(3):
+            bumped = x.copy()
+            bumped[position] += epsilon
+            loss_plus = loss_at(bumped)
+            bumped[position] -= 2 * epsilon
+            loss_minus = loss_at(bumped)
+            numeric = (loss_plus - loss_minus) / (2 * epsilon)
+            assert grad_x[position] == pytest.approx(numeric, abs=1e-4)
+
+    def test_gradient_check_wrt_parameters(self):
+        cell = GRUCell(3, 4, RNG)
+        x = RNG.normal(size=3)
+        h_prev = RNG.normal(size=4)
+        target = RNG.normal(size=4)
+        h, cache = cell.forward(x, h_prev)
+        _, grads = cell.backward(h - target, cache)
+
+        epsilon = 1e-6
+        for name in ("Wz", "Ur", "bc"):
+            parameter = getattr(cell, name)
+            analytic = grads[name]
+            flat_index = (
+                np.unravel_index(0, parameter.shape)
+                if parameter.ndim > 1
+                else (0,)
+            )
+            original = parameter[flat_index]
+            parameter[flat_index] = original + epsilon
+            h_plus, _ = cell.forward(x, h_prev)
+            loss_plus = 0.5 * np.sum((h_plus - target) ** 2)
+            parameter[flat_index] = original - epsilon
+            h_minus, _ = cell.forward(x, h_prev)
+            loss_minus = 0.5 * np.sum((h_minus - target) ** 2)
+            parameter[flat_index] = original
+            numeric = (loss_plus - loss_minus) / (2 * epsilon)
+            assert analytic[flat_index] == pytest.approx(numeric, abs=1e-4), name
+
+
+class TestEmbeddingAndOptimizer:
+    def test_lookup(self):
+        embedding = Embedding(10, 4, RNG)
+        rows = embedding.lookup(np.array([2, 5]))
+        np.testing.assert_allclose(rows[0], embedding.weight[2])
+
+    def test_adagrad_decreases_quadratic_loss(self):
+        parameter = np.array([5.0, -3.0])
+        optimizer = Adagrad(learning_rate=0.5)
+        for _ in range(200):
+            optimizer.update(parameter, parameter.copy())  # grad of x^2/2
+        assert np.abs(parameter).max() < 1.0
+
+    def test_sparse_update_touches_only_rows(self):
+        embedding = Embedding(10, 4, RNG)
+        optimizer = Adagrad(0.1)
+        before = embedding.weight.copy()
+        rows = np.array([3])
+        embedding.apply_gradient(optimizer, rows, np.ones((1, 4)))
+        changed = np.abs(embedding.weight - before).sum(axis=1) > 0
+        assert changed[3]
+        assert changed.sum() == 1

@@ -1,0 +1,92 @@
+"""Behavioural tests for GRU4Rec, NARM and STAMP."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.neural import GRU4Rec, NARM, STAMP
+from repro.baselines.neural.training import (
+    Vocabulary,
+    prediction_steps,
+    training_sequences,
+)
+from repro.core.types import Click
+
+
+@pytest.fixture(scope="module")
+def pattern_clicks():
+    """Strongly patterned data: item 2i is always followed by 2i+1."""
+    clicks = []
+    timestamp = 0
+    rng = np.random.default_rng(3)
+    for session in range(300):
+        start = int(rng.integers(0, 10)) * 2
+        for offset, item in enumerate((start, start + 1)):
+            timestamp += 5
+            clicks.append(Click(session, item, timestamp))
+    return clicks
+
+
+MODEL_CLASSES = [GRU4Rec, NARM, STAMP]
+
+
+class TestVocabulary:
+    def test_encode_drops_unknown(self, pattern_clicks):
+        vocabulary = Vocabulary.from_clicks(pattern_clicks)
+        encoded = vocabulary.encode([0, 99999, 1])
+        assert len(encoded) == 2
+
+    def test_training_sequences_min_length(self, pattern_clicks):
+        vocabulary = Vocabulary.from_clicks(pattern_clicks)
+        sequences = training_sequences(pattern_clicks, vocabulary)
+        assert all(len(s) >= 2 for s in sequences)
+        assert len(sequences) == 300
+
+    def test_prediction_steps(self):
+        steps = list(prediction_steps([[1, 2, 3]]))
+        assert steps == [([1], 2), ([1, 2], 3)]
+
+
+@pytest.mark.parametrize("model_cls", MODEL_CLASSES)
+class TestModelBehaviour:
+    def test_loss_decreases(self, model_cls, pattern_clicks):
+        model = model_cls(epochs=3, embedding_dim=16, seed=1).fit(pattern_clicks)
+        assert model.training_log.improved
+
+    def test_learns_the_pattern(self, model_cls, pattern_clicks):
+        model = model_cls(epochs=4, embedding_dim=16, seed=1).fit(pattern_clicks)
+        hits = 0
+        for start in range(0, 20, 2):
+            top = model.recommend([start], how_many=3)
+            if top and any(s.item_id == start + 1 for s in top):
+                hits += 1
+        assert hits >= 7  # 10 patterns; most must be learned
+
+    def test_recommend_respects_how_many(self, model_cls, pattern_clicks):
+        model = model_cls(epochs=1, embedding_dim=8, seed=2).fit(pattern_clicks)
+        assert len(model.recommend([0], how_many=4)) <= 4
+
+    def test_scores_descending(self, model_cls, pattern_clicks):
+        model = model_cls(epochs=1, embedding_dim=8, seed=2).fit(pattern_clicks)
+        scores = [s.score for s in model.recommend([0, 1], how_many=10)]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_unknown_items_give_empty(self, model_cls, pattern_clicks):
+        model = model_cls(epochs=1, embedding_dim=8, seed=2).fit(pattern_clicks)
+        assert model.recommend([123456]) == []
+
+    def test_unfitted_raises(self, model_cls):
+        with pytest.raises(RuntimeError):
+            model_cls().recommend([1])
+
+    def test_deterministic_given_seed(self, model_cls, pattern_clicks):
+        first = model_cls(epochs=1, embedding_dim=8, seed=9).fit(pattern_clicks)
+        second = model_cls(epochs=1, embedding_dim=8, seed=9).fit(pattern_clicks)
+        assert [s.item_id for s in first.recommend([0], 5)] == [
+            s.item_id for s in second.recommend([0], 5)
+        ]
+
+    def test_empty_training_rejected(self, model_cls):
+        with pytest.raises(ValueError):
+            model_cls().fit([])

@@ -1,0 +1,91 @@
+"""Tests for the STAN baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.stan import STANRecommender
+from repro.core.index import SessionIndex
+
+
+class TestConstruction:
+    def test_rejects_bad_hyperparameters(self, toy_index):
+        with pytest.raises(ValueError):
+            STANRecommender(toy_index, m=0)
+        with pytest.raises(ValueError):
+            STANRecommender(toy_index, lambda1=-1.0)
+        with pytest.raises(ValueError):
+            STANRecommender(toy_index, lambda2=0.0)
+
+    def test_from_clicks(self, toy_clicks):
+        model = STANRecommender.from_clicks(toy_clicks, m=5)
+        assert model.index.num_sessions == 6
+
+
+class TestNeighbors:
+    def test_empty_session(self, toy_index):
+        model = STANRecommender(toy_index)
+        assert model.find_neighbors([]) == []
+        assert model.recommend([]) == []
+
+    def test_unknown_items(self, toy_index):
+        assert STANRecommender(toy_index).find_neighbors([999]) == []
+
+    def test_k_respected(self, toy_index):
+        model = STANRecommender(toy_index, m=10, k=2)
+        assert len(model.find_neighbors([1, 2, 4])) <= 2
+
+    def test_recency_factor_prefers_recent_sessions(self, toy_index):
+        """Factor 2: with a sharp lambda2, the most recent session wins
+        even against one with equal item overlap."""
+        # Sessions 0 (items 1,2 @ ts 101) and 2 (items 1,2,4 @ ts 302)
+        # both overlap {1, 2}.
+        sharp = STANRecommender(toy_index, m=10, k=10, lambda2=50.0)
+        neighbors = sharp.find_neighbors([1, 2], now=302)
+        ranked = [sid for sid, _ in neighbors]
+        assert ranked[0] == 2
+
+    def test_disabling_factors_changes_scores(self, toy_index):
+        with_decay = STANRecommender(toy_index, lambda2=100.0)
+        without_decay = STANRecommender(toy_index, lambda2=None)
+        a = dict(with_decay.find_neighbors([1, 2], now=302))
+        b = dict(without_decay.find_neighbors([1, 2], now=302))
+        assert a != b
+
+
+class TestRecommend:
+    def test_scores_descending(self, toy_index):
+        model = STANRecommender(toy_index, m=10, k=10)
+        scores = [s.score for s in model.recommend([1, 2, 4], how_many=10)]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_proximity_factor_boosts_adjacent_items(self, toy_clicks):
+        """Factor 3: items next to the matched item in a neighbour session
+        outscore distant ones, all else equal."""
+        index = SessionIndex.from_clicks(toy_clicks, max_sessions_per_item=10)
+        model = STANRecommender(
+            index, m=10, k=10, lambda1=None, lambda2=None, lambda3=0.5
+        )
+        # Session 5 = (2, 4, 5): matching on item 2, item 4 is adjacent
+        # while 5 is two steps away.
+        scores = {s.item_id: s.score for s in model.recommend([2], how_many=10)}
+        assert scores[4] > scores[5]
+
+    def test_exclude_current_items(self, toy_index):
+        model = STANRecommender(toy_index, exclude_current_items=True)
+        recommended = {s.item_id for s in model.recommend([1, 2])}
+        assert recommended.isdisjoint({1, 2})
+
+    def test_beats_popularity_on_synthetic_data(self, medium_log):
+        from repro.baselines.popularity import PopularityRecommender
+        from repro.data.split import temporal_split
+        from repro.eval.evaluator import evaluate_next_item
+
+        split = temporal_split(medium_log)
+        train = list(split.train)
+        stan = STANRecommender.from_clicks(train, m=300, k=100)
+        pop = PopularityRecommender().fit(train)
+        sequences = split.test_sequences()
+        stan_result = evaluate_next_item(stan, sequences, max_predictions=300)
+        pop_result = evaluate_next_item(pop, sequences, max_predictions=300)
+        assert stan_result.mrr > pop_result.mrr

@@ -1,0 +1,237 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.cli.main import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def clicks_tsv(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "clicks.tsv"
+    code = main(
+        [
+            "generate",
+            "--sessions",
+            "1500",
+            "--items",
+            "300",
+            "--seed",
+            "3",
+            "--out",
+            str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def index_artifact(clicks_tsv, tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli-idx") / "idx.vmis"
+    code = main(["build-index", str(clicks_tsv), "--m", "200", "--out", str(path)])
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_int_list_parsing(self):
+        args = build_parser().parse_args(
+            ["grid-search", "x.tsv", "--ks", "10,20", "--ms", "5"]
+        )
+        assert args.ks == [10, 20]
+        assert args.ms == [5]
+
+    def test_bad_int_list_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["grid-search", "x.tsv", "--ks", "a,b"])
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["generate", "--profile", "imagenet", "--out", "x"]
+            )
+
+
+class TestCommands:
+    def test_generate_profile(self, tmp_path, capsys):
+        out = tmp_path / "rr.tsv"
+        code = main(
+            [
+                "generate",
+                "--profile",
+                "retailrocket-sim",
+                "--scale",
+                "0.01",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_stats(self, clicks_tsv, capsys):
+        assert main(["stats", str(clicks_tsv)]) == 0
+        output = capsys.readouterr().out
+        assert "p99" in output and "1,500" in output
+
+    def test_build_index_reports_size(self, clicks_tsv, tmp_path, capsys):
+        out = tmp_path / "i.vmis"
+        assert main(["build-index", str(clicks_tsv), "--out", str(out)]) == 0
+        assert "KiB" in capsys.readouterr().out
+
+    def test_build_index_parallel(self, clicks_tsv, tmp_path):
+        out = tmp_path / "p.vmis"
+        code = main(
+            [
+                "build-index",
+                str(clicks_tsv),
+                "--workers",
+                "2",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+
+    def test_recommend(self, index_artifact, capsys):
+        code = main(
+            ["recommend", str(index_artifact), "--session", "10,11", "--count", "3"]
+        )
+        assert code == 0
+        lines = [l for l in capsys.readouterr().out.splitlines() if l.strip()]
+        assert 1 <= len(lines) <= 3
+        assert "score" in lines[0]
+
+    def test_evaluate(self, clicks_tsv, capsys):
+        code = main(
+            [
+                "evaluate",
+                str(clicks_tsv),
+                "--m",
+                "200",
+                "--max-predictions",
+                "100",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "MRR@20" in output and "p90 latency" in output
+
+    def test_grid_search(self, clicks_tsv, capsys):
+        code = main(
+            [
+                "grid-search",
+                str(clicks_tsv),
+                "--ks",
+                "10,50",
+                "--ms",
+                "20,100",
+                "--max-predictions",
+                "50",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "best mrr" in output
+
+
+class TestServeCommand:
+    def test_serve_starts_and_answers(self, index_artifact, monkeypatch, capsys):
+        """Start `repro serve` with a patched sleep that exits immediately
+        after we've verified the HTTP surface."""
+        import sys
+
+        # `repro.cli.main` the submodule is shadowed by the `main` function
+        # re-exported from the package, so fetch it via sys.modules.
+        cli_main = sys.modules["repro.cli.main"]
+
+        probe_result = {}
+
+        def fake_sleep(_seconds):
+            # Runs on the main thread after the server has started.
+            port = probe_result["port"]
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/healthz", timeout=5
+            ) as response:
+                probe_result["health"] = json.load(response)
+            raise KeyboardInterrupt
+
+        # Intercept the server construction to learn the ephemeral port.
+        original = cli_main.__dict__.get("cmd_serve")
+        from repro.serving.http import SerenadeHTTPServer
+
+        class ProbingServer(SerenadeHTTPServer):
+            def start(self):
+                result = super().start()
+                probe_result["port"] = self.port
+                return result
+
+        monkeypatch.setattr(
+            "repro.serving.http.SerenadeHTTPServer", ProbingServer
+        )
+        monkeypatch.setattr(cli_main.time, "sleep", fake_sleep)
+        code = main(
+            ["serve", str(index_artifact), "--port", "0", "--pods", "1"]
+        )
+        assert code == 0
+        assert probe_result["health"]["status"] == "ok"
+        assert "serving" in capsys.readouterr().out
+        del original
+
+
+class TestSessionizeCommand:
+    def test_sessionize_tsv(self, tmp_path, capsys):
+        events = tmp_path / "events.tsv"
+        events.write_text(
+            "user_id\titem_id\ttimestamp\n"
+            "1\t10\t0\n1\t11\t100\n1\t12\t4000\n2\t20\t50\n"
+        )
+        out = tmp_path / "sessions.tsv"
+        code = main(["sessionize", str(events), "--gap", "1800", "--out", str(out)])
+        assert code == 0
+        assert "3 sessions" in capsys.readouterr().out
+        from repro.data.clicklog import ClickLog
+
+        log = ClickLog.from_tsv(out)
+        assert log.num_sessions() == 3
+
+    def test_sessionize_bad_header(self, tmp_path):
+        events = tmp_path / "bad.tsv"
+        events.write_text("a\tb\tc\n1\t2\t3\n")
+        with pytest.raises(SystemExit, match="bad header"):
+            main(["sessionize", str(events), "--out", str(tmp_path / "o.tsv")])
+
+
+class TestExperimentCommand:
+    def test_experiment_from_json(self, tmp_path, capsys):
+        config = {
+            "name": "cli-exp",
+            "dataset": {"sessions": 400, "items": 120, "days": 6, "seed": 1},
+            "models": [
+                {"name": "vmis", "params": {"m": 50, "k": 20}},
+                {"name": "popularity", "params": {}},
+            ],
+            "protocol": {"max_predictions": 50},
+        }
+        config_path = tmp_path / "exp.json"
+        config_path.write_text(json.dumps(config))
+        results_path = tmp_path / "results.json"
+        code = main(
+            ["experiment", str(config_path), "--out", str(results_path)]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "cli-exp" in output and "vmis" in output
+        payload = json.loads(results_path.read_text())
+        assert len(payload["outcomes"]) == 2

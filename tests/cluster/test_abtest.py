@@ -1,0 +1,206 @@
+"""Tests for the A/B experiment framework."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.abtest import ABTest, VariantRecommender
+from repro.core.types import ScoredItem
+from repro.serving.variants import ServingVariant
+
+
+class OracleRecommender:
+    """Always ranks the true next item first (needs the cheat sheet)."""
+
+    def __init__(self, answers):
+        self._answers = answers  # prefix tuple -> next item
+
+    def recommend(self, session_items, how_many=21):
+        answer = self._answers.get(tuple(session_items))
+        if answer is None:
+            return []
+        return [ScoredItem(answer, 1.0)]
+
+
+class RandomJunkRecommender:
+    """Never recommends anything useful."""
+
+    def recommend(self, session_items, how_many=21):
+        return [ScoredItem(10_000 + i, 1.0) for i in range(how_many)]
+
+
+def build_answers(sequences):
+    answers = {}
+    for sequence in sequences.values():
+        for cut in range(1, len(sequence)):
+            answers[tuple(sequence[:cut])] = sequence[cut]
+    return answers
+
+
+@pytest.fixture()
+def sequences():
+    return {i: [i, i + 1, i + 2, i + 3] for i in range(200)}
+
+
+class TestAssignment:
+    def test_sticky(self, sequences):
+        test = ABTest(
+            arms={"a": RandomJunkRecommender(), "b": RandomJunkRecommender()},
+            control="a",
+        )
+        assert all(
+            test.assign("user-7") == test.assign("user-7") for _ in range(5)
+        )
+
+    def test_roughly_balanced(self):
+        test = ABTest(
+            arms={"a": RandomJunkRecommender(), "b": RandomJunkRecommender()},
+            control="a",
+        )
+        assignments = [test.assign(f"u{i}") for i in range(2000)]
+        share = assignments.count("a") / len(assignments)
+        assert 0.4 < share < 0.6
+
+    def test_control_must_be_an_arm(self):
+        with pytest.raises(ValueError):
+            ABTest(arms={"a": RandomJunkRecommender()}, control="missing")
+
+
+class TestEngagementMechanism:
+    def test_better_recommender_earns_higher_slot_rate(self, sequences):
+        answers = build_answers(sequences)
+        test = ABTest(
+            arms={
+                "legacy": RandomJunkRecommender(),
+                "oracle": OracleRecommender(answers),
+            },
+            control="legacy",
+            seed=5,
+        )
+        report = test.run(sequences)
+        assert (
+            report.arms["oracle"].slot_rate > report.arms["legacy"].slot_rate
+        )
+        assert report.slot_uplift("oracle") > 1.0  # oracle is far better
+
+    def test_uplift_significant_with_enough_sessions(self, sequences):
+        answers = build_answers(sequences)
+        test = ABTest(
+            arms={
+                "legacy": RandomJunkRecommender(),
+                "oracle": OracleRecommender(answers),
+            },
+            control="legacy",
+        )
+        report = test.run(sequences)
+        assert report.slot_tests["oracle"].significant()
+
+    def test_exposures_count_prediction_steps(self, sequences):
+        test = ABTest(
+            arms={"a": RandomJunkRecommender(), "b": RandomJunkRecommender()},
+            control="a",
+        )
+        report = test.run(sequences)
+        total_exposures = sum(o.exposures for o in report.arms.values())
+        expected = sum(len(s) - 1 for s in sequences.values())
+        assert total_exposures == expected
+
+    def test_deterministic_given_seed(self, sequences):
+        def run_once():
+            test = ABTest(
+                arms={
+                    "a": RandomJunkRecommender(),
+                    "b": RandomJunkRecommender(),
+                },
+                control="a",
+                seed=11,
+            )
+            report = test.run(sequences)
+            return [
+                (o.exposures, o.slot_conversions)
+                for o in report.arms.values()
+            ]
+
+        assert run_once() == run_once()
+
+
+class TestCannibalisation:
+    def test_overlapping_arm_suppresses_other_slot(self, sequences):
+        answers = build_answers(sequences)
+
+        class CoPurchaseClone(OracleRecommender):
+            pass
+
+        co_slot = OracleRecommender(
+            {(s[-1],): a for s, a in ((k, v) for k, v in answers.items())}
+        )
+        # Arm "clone" recommends exactly what the co-purchase slot shows.
+        clone_answers = {
+            prefix: answers[prefix] for prefix in answers
+        }
+        test = ABTest(
+            arms={
+                "control": RandomJunkRecommender(),
+                "clone": OracleRecommender(clone_answers),
+            },
+            control="control",
+            cannibalisation=1.0,
+        )
+        report = test.run(sequences, reference_cooccurrence=co_slot)
+        assert (
+            report.arms["clone"].cannibalisation_pressure
+            > report.arms["control"].cannibalisation_pressure
+        )
+        assert (
+            report.arms["clone"].other_slot_rate
+            < report.arms["control"].other_slot_rate
+        )
+
+    def test_no_reference_means_no_pressure(self, sequences):
+        test = ABTest(
+            arms={"a": RandomJunkRecommender(), "b": RandomJunkRecommender()},
+            control="a",
+        )
+        report = test.run(sequences)
+        assert all(
+            o.cannibalisation_pressure == 0.0 for o in report.arms.values()
+        )
+
+
+class TestVariantRecommender:
+    def test_view_projection(self):
+        calls = []
+
+        class Spy:
+            def recommend(self, session_items, how_many=21):
+                calls.append(list(session_items))
+                return []
+
+        recent = VariantRecommender(Spy(), ServingVariant.RECENT)
+        recent.recommend([1, 2, 3])
+        hist = VariantRecommender(Spy(), ServingVariant.HIST)
+        hist.recommend([1, 2, 3])
+        assert calls == [[3], [2, 3]]
+
+    def test_empty_session(self):
+        class Boom:
+            def recommend(self, session_items, how_many=21):
+                raise AssertionError("must not be called")
+
+        assert VariantRecommender(Boom(), ServingVariant.RECENT).recommend([]) == []
+
+
+class TestReportRendering:
+    def test_summary_table(self, sequences):
+        answers = build_answers(sequences)
+        test = ABTest(
+            arms={
+                "legacy": RandomJunkRecommender(),
+                "serenade": OracleRecommender(answers),
+            },
+            control="legacy",
+        )
+        report = test.run(sequences)
+        text = report.summary()
+        assert "legacy" in text and "serenade" in text
+        assert "%" in text

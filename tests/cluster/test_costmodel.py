@@ -1,0 +1,58 @@
+"""Tests for the §7 operational-cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.costmodel import (
+    MachinePrices,
+    cost_comparison,
+    neural_ranker_cost,
+    serenade_cost,
+)
+
+
+class TestSerenadeCost:
+    def test_paper_deployment_is_under_30_eur(self):
+        """§7: two pods x three cores + a 40-minute 75-machine build must
+        land under 30 euros per day at list prices."""
+        cost = serenade_cost()
+        assert cost.total_eur_per_day < 30.0
+        assert cost.serving_eur_per_day > 0
+        assert cost.training_eur_per_day > 0
+
+    def test_components_sum(self):
+        cost = serenade_cost()
+        assert cost.total_eur_per_day == pytest.approx(
+            cost.serving_eur_per_day + cost.training_eur_per_day
+        )
+
+    def test_scales_with_pods(self):
+        base = serenade_cost(serving_pods=2)
+        double = serenade_cost(serving_pods=4)
+        assert double.serving_eur_per_day == pytest.approx(
+            2 * base.serving_eur_per_day
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            serenade_cost(MachinePrices(serving_core_hour=0))
+        with pytest.raises(ValueError):
+            serenade_cost(serving_pods=0)
+
+
+class TestComparison:
+    def test_neural_costs_an_order_of_magnitude_more(self):
+        serenade = serenade_cost()
+        neural = neural_ranker_cost()
+        assert neural.total_eur_per_day > 2 * serenade.total_eur_per_day
+
+    def test_report_renders(self):
+        report = cost_comparison()
+        assert "serenade" in report and "neural" in report
+        assert "ratio" in report
+
+    def test_prices_are_parameters(self):
+        cheap_gpu = MachinePrices(gpu_machine_hour=0.10)
+        neural = neural_ranker_cost(cheap_gpu)
+        assert neural.training_eur_per_day < neural_ranker_cost().training_eur_per_day

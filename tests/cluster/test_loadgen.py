@@ -1,0 +1,101 @@
+"""Tests for the traffic generator and rate profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.loadgen import (
+    TrafficGenerator,
+    constant_rate,
+    diurnal_rate,
+    ramp_rate,
+)
+from repro.data.clicklog import ClickLog
+
+
+class TestRateProfiles:
+    def test_constant(self):
+        profile = constant_rate(500)
+        assert profile(0) == 500
+        assert profile(10_000) == 500
+
+    def test_ramp(self):
+        profile = ramp_rate(100, 1100, duration=100)
+        assert profile(0) == pytest.approx(100)
+        assert profile(50) == pytest.approx(600)
+        assert profile(100) == pytest.approx(1100)
+        assert profile(500) == pytest.approx(1100)
+
+    def test_diurnal_bounds_and_peak(self):
+        profile = diurnal_rate(200, 600, peak_hour=20)
+        values = [profile(hour * 3600.0) for hour in range(24)]
+        assert min(values) >= 200 - 1e-6
+        assert max(values) <= 600 + 1e-6
+        assert values.index(max(values)) == 20
+
+    def test_diurnal_is_periodic(self):
+        profile = diurnal_rate(200, 600)
+        assert profile(3600.0) == pytest.approx(profile(3600.0 + 86_400.0))
+
+
+class TestTrafficGenerator:
+    def test_arrival_times_ordered_within_step(self, small_log):
+        generator = TrafficGenerator(small_log, seed=1)
+        arrivals = list(generator.generate(constant_rate(50), duration=5))
+        assert arrivals
+        times = [a.arrival_time for a in arrivals]
+        assert times == sorted(times)
+        assert all(0 <= t < 5 for t in times)
+
+    def test_rate_roughly_respected(self, small_log):
+        generator = TrafficGenerator(small_log, seed=2)
+        arrivals = list(generator.generate(constant_rate(100), duration=20))
+        assert 1400 <= len(arrivals) <= 2600  # 2000 expected, Poisson noise
+
+    def test_sampling_thins_traffic(self, small_log):
+        full = list(
+            TrafficGenerator(small_log, seed=3).generate(
+                constant_rate(100), duration=10
+            )
+        )
+        thinned = list(
+            TrafficGenerator(small_log, seed=3).generate(
+                constant_rate(100), duration=10, sample_fraction=0.1
+            )
+        )
+        assert len(thinned) < len(full) / 5
+
+    def test_sessions_replay_item_sequences(self, small_log):
+        generator = TrafficGenerator(small_log, seed=4)
+        arrivals = list(generator.generate(constant_rate(30), duration=10))
+        by_session: dict[str, list[int]] = {}
+        for timed in arrivals:
+            by_session.setdefault(timed.request.session_key, []).append(
+                timed.request.item_id
+            )
+        known = {
+            tuple(items) for items in small_log.session_item_sequences().values()
+        }
+        for items in by_session.values():
+            # Every replayed stream must be a prefix of some real session.
+            assert any(tuple(items) == seq[: len(items)] for seq in known)
+
+    def test_deterministic_given_seed(self, small_log):
+        first = list(
+            TrafficGenerator(small_log, seed=5).generate(constant_rate(40), 5)
+        )
+        second = list(
+            TrafficGenerator(small_log, seed=5).generate(constant_rate(40), 5)
+        )
+        assert [(a.arrival_time, a.request.session_key) for a in first] == [
+            (a.arrival_time, a.request.session_key) for a in second
+        ]
+
+    def test_bad_sample_fraction(self, small_log):
+        generator = TrafficGenerator(small_log, seed=1)
+        with pytest.raises(ValueError):
+            list(generator.generate(constant_rate(10), 1, sample_fraction=0))
+
+    def test_empty_source_rejected(self):
+        with pytest.raises(ValueError):
+            TrafficGenerator(ClickLog([]))

@@ -1,0 +1,86 @@
+"""Tests for latency/utilisation metrics and timeline aggregation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.metrics import LatencyRecorder, TimelineAggregator, percentile
+
+
+class TestPercentile:
+    def test_exact_values(self):
+        samples = sorted(float(v) for v in range(1, 101))
+        assert percentile(samples, 0) == 1.0
+        assert percentile(samples, 100) == 100.0
+        assert percentile(samples, 50) == pytest.approx(50.0, abs=1.0)
+
+    def test_single_sample(self):
+        assert percentile([7.0], 99.5) == 7.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_q(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 150)
+
+
+class TestLatencyRecorder:
+    def test_summary_in_milliseconds(self):
+        recorder = LatencyRecorder()
+        for value in (0.001, 0.002, 0.010):
+            recorder.record(value)
+        summary = recorder.summary_ms()
+        assert summary["p75"] <= summary["p90"] <= summary["p99.5"]
+        assert summary["p99.5"] == pytest.approx(10.0)
+
+    def test_len(self):
+        recorder = LatencyRecorder()
+        recorder.record(0.5)
+        assert len(recorder) == 1
+
+
+class TestTimelineAggregator:
+    def test_bucketing(self):
+        timeline = TimelineAggregator(bucket_seconds=10.0)
+        timeline.record_request(1.0, 0.002, "pod-a", 0.001)
+        timeline.record_request(5.0, 0.004, "pod-a", 0.002)
+        timeline.record_request(15.0, 0.006, "pod-b", 0.003)
+        buckets = timeline.buckets(cores_per_pod=1)
+        assert len(buckets) == 2
+        assert buckets[0].start == 0.0
+        assert buckets[0].requests_per_second == pytest.approx(0.2)
+        assert buckets[1].requests_per_second == pytest.approx(0.1)
+
+    def test_core_usage_computation(self):
+        timeline = TimelineAggregator(bucket_seconds=10.0)
+        # 2 seconds of busy time in a 10-second bucket on 1 core = 20 %.
+        timeline.record_request(0.0, 0.1, "pod-a", 2.0)
+        bucket = timeline.buckets(cores_per_pod=1)[0]
+        assert bucket.core_usage_percent["pod-a"] == pytest.approx(20.0)
+        # On 2 cores the same busy time is 10 %.
+        bucket2 = timeline.buckets(cores_per_pod=2)[0]
+        assert bucket2.core_usage_percent["pod-a"] == pytest.approx(10.0)
+
+    def test_observed_fraction_scales_throughput(self):
+        timeline = TimelineAggregator(bucket_seconds=10.0, observed_fraction=0.1)
+        for offset in range(5):
+            timeline.record_request(float(offset), 0.001, "p", 0.001)
+        bucket = timeline.buckets()[0]
+        # 5 observed requests at 10% sampling = 50 nominal in 10 s = 5 rps.
+        assert bucket.requests_per_second == pytest.approx(5.0)
+
+    def test_latency_percentiles_per_bucket(self):
+        timeline = TimelineAggregator(bucket_seconds=60.0)
+        for latency in (0.001, 0.002, 0.003, 0.100):
+            timeline.record_request(0.0, latency, "p", latency)
+        bucket = timeline.buckets()[0]
+        assert bucket.latency_p995_ms == pytest.approx(100.0)
+        assert bucket.latency_p75_ms <= bucket.latency_p90_ms
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TimelineAggregator(bucket_seconds=0)
+        with pytest.raises(ValueError):
+            TimelineAggregator(bucket_seconds=1, observed_fraction=0.0)

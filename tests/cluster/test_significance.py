@@ -1,0 +1,91 @@
+"""Tests for the statistical machinery, cross-checked against scipy."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.cluster.significance import (
+    two_proportion_ztest,
+    wilson_interval,
+)
+
+
+class TestZTest:
+    def test_identical_arms_not_significant(self):
+        result = two_proportion_ztest(100, 1000, 100, 1000)
+        assert result.z_score == 0.0
+        assert result.p_value == pytest.approx(1.0)
+        assert not result.significant()
+
+    def test_clear_uplift_significant(self):
+        result = two_proportion_ztest(100, 10_000, 150, 10_000)
+        assert result.significant()
+        assert result.relative_uplift == pytest.approx(0.5)
+        assert result.z_score > 0
+
+    def test_direction_of_z(self):
+        worse = two_proportion_ztest(150, 1000, 100, 1000)
+        assert worse.z_score < 0
+
+    def test_p_value_matches_normal_sf(self):
+        result = two_proportion_ztest(120, 5000, 160, 5000)
+        expected_p = 2 * scipy_stats.norm.sf(abs(result.z_score))
+        assert result.p_value == pytest.approx(expected_p, rel=1e-9)
+
+    def test_matches_scipy_chi2_without_correction(self):
+        # A 2x2 chi-square test without Yates correction equals z^2.
+        table = [[100, 900], [140, 860]]
+        chi2, p, _, _ = scipy_stats.chi2_contingency(table, correction=False)
+        result = two_proportion_ztest(100, 1000, 140, 1000)
+        assert result.z_score**2 == pytest.approx(chi2, rel=1e-9)
+        assert result.p_value == pytest.approx(p, rel=1e-9)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            two_proportion_ztest(1, 0, 1, 10)
+        with pytest.raises(ValueError):
+            two_proportion_ztest(11, 10, 1, 10)
+        with pytest.raises(ValueError):
+            two_proportion_ztest(1, 10, -1, 10)
+
+    def test_uplift_requires_nonzero_control(self):
+        result = two_proportion_ztest(0, 100, 10, 100)
+        with pytest.raises(ZeroDivisionError):
+            result.relative_uplift
+
+    def test_degenerate_all_convert(self):
+        result = two_proportion_ztest(10, 10, 10, 10)
+        assert result.p_value == 1.0
+
+
+class TestWilson:
+    def test_contains_point_estimate(self):
+        low, high = wilson_interval(30, 100)
+        assert low < 0.30 < high
+
+    def test_narrower_with_more_data(self):
+        narrow = wilson_interval(300, 1000)
+        wide = wilson_interval(30, 100)
+        assert (narrow[1] - narrow[0]) < (wide[1] - wide[0])
+
+    def test_bounds_in_unit_interval(self):
+        low, high = wilson_interval(0, 50)
+        assert 0.0 <= low <= high <= 1.0
+        low, high = wilson_interval(50, 50)
+        assert 0.0 <= low <= high <= 1.0
+
+    def test_matches_scipy_binomtest_ci(self):
+        result = scipy_stats.binomtest(30, 100)
+        expected = result.proportion_ci(confidence_level=0.95, method="wilson")
+        low, high = wilson_interval(30, 100)
+        assert low == pytest.approx(expected.low, abs=1e-4)
+        assert high == pytest.approx(expected.high, abs=1e-4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 100, confidence=0.42)

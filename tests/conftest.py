@@ -1,0 +1,57 @@
+"""Shared fixtures: deterministic click data at several scales."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.index import SessionIndex
+from repro.core.types import Click
+from repro.data.clicklog import ClickLog
+from repro.data.synthetic import generate_clickstream
+
+
+@pytest.fixture(scope="session")
+def toy_clicks() -> list[Click]:
+    """Six tiny sessions with known overlaps, timestamps 1 second apart.
+
+    Sessions (by item): 0:[1,2], 1:[2,3], 2:[1,2,4], 3:[3,4], 4:[1,5],
+    5:[2,4,5]. Useful for hand-checkable assertions.
+    """
+    rows = [
+        (0, 1, 100),
+        (0, 2, 101),
+        (1, 2, 200),
+        (1, 3, 201),
+        (2, 1, 300),
+        (2, 2, 301),
+        (2, 4, 302),
+        (3, 3, 400),
+        (3, 4, 401),
+        (4, 1, 500),
+        (4, 5, 501),
+        (5, 2, 600),
+        (5, 4, 601),
+        (5, 5, 602),
+    ]
+    return [Click(s, i, t) for s, i, t in rows]
+
+
+@pytest.fixture(scope="session")
+def toy_index(toy_clicks) -> SessionIndex:
+    return SessionIndex.from_clicks(toy_clicks, max_sessions_per_item=10)
+
+
+@pytest.fixture(scope="session")
+def small_log() -> ClickLog:
+    """~800 synthetic sessions over 8 days; fast to build, non-trivial."""
+    return generate_clickstream(
+        num_sessions=800, num_items=300, days=8, seed=1234
+    )
+
+
+@pytest.fixture(scope="session")
+def medium_log() -> ClickLog:
+    """~4000 synthetic sessions for integration-level tests."""
+    return generate_clickstream(
+        num_sessions=4000, num_items=800, days=10, seed=777
+    )

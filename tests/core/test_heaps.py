@@ -1,0 +1,161 @@
+"""Unit and property tests for the bounded d-ary heaps."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.heaps import BoundedTopK, DAryMinHeap, MostRecentTracker
+
+
+class TestDAryMinHeap:
+    def test_pop_order_is_sorted(self):
+        heap = DAryMinHeap(arity=2)
+        for value in [5, 1, 4, 2, 3]:
+            heap.push(value, 0.0, f"p{value}")
+        assert [entry[0] for entry in heap.drain_sorted()] == [1, 2, 3, 4, 5]
+
+    def test_tiebreak_orders_equal_priorities(self):
+        heap = DAryMinHeap(arity=8)
+        heap.push(1.0, 2.0, "late")
+        heap.push(1.0, 1.0, "early")
+        assert heap.pop()[2] == "early"
+        assert heap.pop()[2] == "late"
+
+    def test_replace_root_returns_old_minimum(self):
+        heap = DAryMinHeap(arity=8)
+        for value in [3, 1, 2]:
+            heap.push(value, 0.0, value)
+        old = heap.replace_root(10, 0.0, 10)
+        assert old[0] == 1
+        assert [entry[0] for entry in heap.drain_sorted()] == [2, 3, 10]
+
+    def test_empty_heap_raises(self):
+        heap = DAryMinHeap()
+        with pytest.raises(IndexError):
+            heap.pop()
+        with pytest.raises(IndexError):
+            heap.peek()
+        with pytest.raises(IndexError):
+            heap.replace_root(1, 0, None)
+
+    def test_invalid_arity_rejected(self):
+        with pytest.raises(ValueError):
+            DAryMinHeap(arity=1)
+
+    @given(
+        values=st.lists(st.integers(-1000, 1000), min_size=1, max_size=200),
+        arity=st.sampled_from([2, 3, 4, 8, 16]),
+    )
+    def test_heap_sorts_any_input(self, values, arity):
+        heap = DAryMinHeap(arity=arity)
+        for value in values:
+            heap.push(float(value), 0.0, value)
+        drained = [entry[0] for entry in heap.drain_sorted()]
+        assert drained == sorted(float(v) for v in values)
+
+    @given(
+        operations=st.lists(
+            st.tuples(st.sampled_from(["push", "pop", "replace"]), st.integers(0, 99)),
+            max_size=100,
+        )
+    )
+    def test_heap_invariant_under_mixed_operations(self, operations):
+        heap = DAryMinHeap(arity=4)
+        model: list[float] = []
+        for operation, value in operations:
+            if operation == "push":
+                heap.push(float(value), 0.0, value)
+                model.append(float(value))
+            elif operation == "pop" and model:
+                assert heap.pop()[0] == min(model)
+                model.remove(min(model))
+            elif operation == "replace" and model:
+                old = heap.replace_root(float(value), 0.0, value)
+                assert old[0] == min(model)
+                model.remove(min(model))
+                model.append(float(value))
+        assert len(heap) == len(model)
+        assert sorted(entry[0] for entry in heap.drain_sorted()) == sorted(model)
+
+
+class TestBoundedTopK:
+    def test_keeps_largest(self):
+        top = BoundedTopK(3)
+        for value in [1, 9, 5, 7, 3]:
+            top.offer(float(value), 0.0, value)
+        assert [payload for _, _, payload in top.descending()] == [9, 7, 5]
+
+    def test_capacity_never_exceeded(self):
+        top = BoundedTopK(2)
+        for value in range(10):
+            top.offer(float(value), 0.0, value)
+            assert len(top) <= 2
+
+    def test_tiebreak_prefers_higher_tiebreak(self):
+        top = BoundedTopK(1)
+        top.offer(1.0, 100.0, "old")
+        top.offer(1.0, 200.0, "new")
+        assert top.descending()[0][2] == "new"
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            BoundedTopK(0)
+
+    @given(
+        values=st.lists(
+            st.tuples(st.floats(-1e6, 1e6), st.integers(0, 10**6)),
+            min_size=1,
+            max_size=300,
+        ),
+        capacity=st.integers(1, 50),
+    )
+    @settings(max_examples=60)
+    def test_topk_matches_sort_oracle(self, values, capacity):
+        top = BoundedTopK(capacity, arity=8)
+        for index, (priority, tiebreak) in enumerate(values):
+            top.offer(priority, float(tiebreak), index)
+        got = [(p, t) for p, t, _ in top.descending()]
+        expected = sorted(
+            ((p, float(t)) for p, t in values), reverse=True
+        )[:capacity]
+        assert got == expected
+
+
+class TestMostRecentTracker:
+    def test_tracks_most_recent(self):
+        tracker = MostRecentTracker(2)
+        tracker.add(10.0, "a")
+        tracker.add(20.0, "b")
+        assert tracker.is_full
+        evicted = tracker.displace_oldest(30.0, "c")
+        assert evicted == "a"
+        assert sorted(tracker.payloads()) == ["b", "c"]
+
+    def test_add_when_full_raises(self):
+        tracker = MostRecentTracker(1)
+        tracker.add(1.0, "x")
+        with pytest.raises(OverflowError):
+            tracker.add(2.0, "y")
+
+    def test_oldest_timestamp(self):
+        tracker = MostRecentTracker(3)
+        for timestamp in (5.0, 3.0, 9.0):
+            tracker.add(timestamp, timestamp)
+        assert tracker.oldest_timestamp() == 3.0
+
+    @given(
+        timestamps=st.lists(st.integers(0, 10**6), min_size=1, max_size=200),
+        capacity=st.integers(1, 40),
+    )
+    def test_retains_the_most_recent_set(self, timestamps, capacity):
+        tracker = MostRecentTracker(capacity)
+        for position, timestamp in enumerate(timestamps):
+            if not tracker.is_full:
+                tracker.add(float(timestamp), position)
+            elif timestamp > tracker.oldest_timestamp():
+                tracker.displace_oldest(float(timestamp), position)
+        kept = sorted(timestamps[p] for p in tracker.payloads())
+        expected = sorted(timestamps)[-len(kept) :]
+        assert kept == expected

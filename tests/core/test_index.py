@@ -1,0 +1,120 @@
+"""Tests for the session-similarity index (M, t)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.index import SessionIndex
+from repro.core.types import Click
+
+
+def clicks_strategy(max_sessions=30, max_items=20):
+    return st.lists(
+        st.tuples(
+            st.integers(0, max_sessions - 1),
+            st.integers(0, max_items - 1),
+            st.integers(0, 10_000),
+        ),
+        min_size=1,
+        max_size=150,
+    ).map(lambda rows: [Click(s, i, t) for s, i, t in rows])
+
+
+class TestIndexConstruction:
+    def test_toy_index_shape(self, toy_index):
+        assert toy_index.num_sessions == 6
+        assert toy_index.num_items == 5
+
+    def test_postings_sorted_by_descending_timestamp(self, toy_index):
+        for item, postings in toy_index.item_to_sessions.items():
+            timestamps = [toy_index.timestamp_of(s) for s in postings]
+            assert timestamps == sorted(timestamps, reverse=True), item
+
+    def test_truncation_keeps_most_recent(self, toy_clicks):
+        index = SessionIndex.from_clicks(toy_clicks, max_sessions_per_item=1)
+        # Item 2 occurs in sessions finishing at 101, 201, 302, 602; the
+        # single retained posting must be the most recent one.
+        postings = index.sessions_for_item(2)
+        assert len(postings) == 1
+        assert index.timestamp_of(postings[0]) == 602
+
+    def test_counts_survive_truncation(self, toy_clicks):
+        full = SessionIndex.from_clicks(toy_clicks, max_sessions_per_item=100)
+        truncated = SessionIndex.from_clicks(toy_clicks, max_sessions_per_item=1)
+        assert truncated.item_session_counts == full.item_session_counts
+
+    def test_unknown_item_has_empty_postings(self, toy_index):
+        assert toy_index.sessions_for_item(999) == []
+
+    def test_invalid_m_rejected(self, toy_clicks):
+        with pytest.raises(ValueError):
+            SessionIndex.from_clicks(toy_clicks, max_sessions_per_item=0)
+
+    def test_duplicate_items_within_session_stored_once(self):
+        clicks = [Click(0, 7, 1), Click(0, 7, 2), Click(0, 8, 3)]
+        index = SessionIndex.from_clicks(clicks, 10)
+        assert index.items_of(0) == (7, 8)
+        assert index.item_session_counts[7] == 1
+
+
+class TestIdf:
+    def test_idf_values(self, toy_index):
+        # Item 1 occurs in 3 of 6 sessions -> log(2).
+        assert toy_index.idf(1) == pytest.approx(math.log(2))
+
+    def test_idf_of_unknown_item_is_zero(self, toy_index):
+        assert toy_index.idf(424242) == 0.0
+
+    def test_idf_cached(self, toy_index):
+        first = toy_index.idf(2)
+        assert toy_index.idf(2) == first
+        assert 2 in toy_index._idf_cache
+
+
+class TestIndexProperties:
+    @given(clicks=clicks_strategy(), m=st.integers(1, 10))
+    @settings(max_examples=60)
+    def test_every_posting_is_a_real_click(self, clicks, m):
+        index = SessionIndex.from_clicks(clicks, max_sessions_per_item=m)
+        # Reconstruct ground truth: item -> set of sessions clicking it.
+        truth: dict[int, set[int]] = {}
+        for click in clicks:
+            truth.setdefault(click.item_id, set())
+        for internal_id in range(index.num_sessions):
+            for item in index.items_of(internal_id):
+                truth[item].add(internal_id)
+        for item, postings in index.item_to_sessions.items():
+            assert len(postings) <= m
+            assert len(set(postings)) == len(postings)
+            for session_id in postings:
+                assert item in index.items_of(session_id)
+
+    @given(clicks=clicks_strategy())
+    @settings(max_examples=60)
+    def test_internal_ids_ordered_by_timestamp(self, clicks):
+        index = SessionIndex.from_clicks(clicks, max_sessions_per_item=50)
+        timestamps = index.session_timestamps
+        assert timestamps == sorted(timestamps)
+
+    @given(clicks=clicks_strategy(), m=st.integers(1, 8))
+    @settings(max_examples=60)
+    def test_postings_are_the_m_most_recent(self, clicks, m):
+        full = SessionIndex.from_clicks(clicks, max_sessions_per_item=10**9)
+        truncated = SessionIndex.from_clicks(clicks, max_sessions_per_item=m)
+        for item, full_postings in full.item_to_sessions.items():
+            expected = full_postings[:m]
+            assert truncated.item_to_sessions[item] == expected
+
+
+class TestMemoryProfile:
+    def test_profile_counts(self, toy_index):
+        profile = toy_index.memory_profile()
+        assert profile["num_sessions"] == 6
+        assert profile["num_items"] == 5
+        assert profile["posting_entries"] == sum(
+            len(v) for v in toy_index.item_to_sessions.values()
+        )

@@ -1,0 +1,83 @@
+"""Cross-cutting property tests on the core algorithm's invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.index import SessionIndex
+from repro.core.types import Click
+from repro.core.vmis import VMISKNN
+
+
+def clicks_strategy():
+    return st.lists(
+        st.tuples(
+            st.integers(0, 19),
+            st.integers(0, 14),
+            st.integers(0, 9_999),
+        ),
+        min_size=2,
+        max_size=150,
+    ).map(lambda rows: [Click(s, i, t) for s, i, t in rows])
+
+
+def session_strategy():
+    return st.lists(st.integers(0, 14), min_size=1, max_size=10)
+
+
+class TestVMISInvariants:
+    @given(clicks=clicks_strategy(), session=session_strategy(), m=st.integers(1, 12), k=st.integers(1, 12))
+    @settings(max_examples=80, deadline=None)
+    def test_neighbor_count_bounded_by_m_and_k(self, clicks, session, m, k):
+        index = SessionIndex.from_clicks(clicks, max_sessions_per_item=m)
+        model = VMISKNN(index, m=m, k=k)
+        neighbors = model.find_neighbors(session)
+        assert len(neighbors) <= min(m, k)
+
+    @given(clicks=clicks_strategy(), session=session_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_similarities_positive_and_bounded(self, clicks, session):
+        index = SessionIndex.from_clicks(clicks, max_sessions_per_item=100)
+        model = VMISKNN(index, m=100, k=100)
+        for _, similarity in model.find_neighbors(session):
+            assert similarity > 0.0
+            # Sum of per-item decay weights is at most the number of
+            # distinct items (each weight <= 1).
+            assert similarity <= len(set(session)) + 1e-9
+
+    @given(clicks=clicks_strategy(), session=session_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_neighbors_sorted_by_similarity(self, clicks, session):
+        index = SessionIndex.from_clicks(clicks, max_sessions_per_item=100)
+        model = VMISKNN(index, m=100, k=100)
+        similarities = [s for _, s in model.find_neighbors(session)]
+        assert similarities == sorted(similarities, reverse=True)
+
+    @given(clicks=clicks_strategy(), session=session_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_deterministic(self, clicks, session):
+        index = SessionIndex.from_clicks(clicks, max_sessions_per_item=50)
+        model = VMISKNN(index, m=50, k=20)
+        assert model.recommend(session, 10) == model.recommend(session, 10)
+
+    @given(clicks=clicks_strategy(), session=session_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_recommendations_come_from_neighbor_sessions(self, clicks, session):
+        index = SessionIndex.from_clicks(clicks, max_sessions_per_item=50)
+        model = VMISKNN(index, m=50, k=20)
+        neighbor_items: set[int] = set()
+        for session_id, _ in model.find_neighbors(session):
+            neighbor_items.update(index.items_of(session_id))
+        recommended = {s.item_id for s in model.recommend(session, 50)}
+        assert recommended <= neighbor_items
+
+    @given(clicks=clicks_strategy(), session=session_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_growing_m_never_shrinks_candidates(self, clicks, session):
+        index = SessionIndex.from_clicks(clicks, max_sessions_per_item=10**6)
+        small = VMISKNN(index, m=3, k=10**6)
+        large = VMISKNN(index, m=30, k=10**6)
+        assert len(small.find_neighbors(session)) <= len(
+            large.find_neighbors(session)
+        )

@@ -1,0 +1,73 @@
+"""Tests for the item-scoring step shared by VS-kNN and VMIS-kNN."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.scoring import score_items, top_n
+from repro.core.types import ScoredItem
+
+
+class TestScoreItems:
+    def test_empty_neighbors_yield_no_scores(self, toy_index):
+        assert score_items(toy_index, [1, 2], []) == {}
+
+    def test_vmis_scoring_uses_pure_idf(self, toy_index):
+        # Single neighbour: session 2 = items (1, 2, 4); evolving [1, 2].
+        # Most recent shared item has position 2 -> lambda = 0.8.
+        scores = score_items(
+            toy_index, [1, 2], [(2, 1.5)], match_weight="paper", style="vmis"
+        )
+        expected_4 = 0.8 * 1.5 * toy_index.idf(4)
+        assert scores[4] == pytest.approx(expected_4)
+
+    def test_vsknn_scoring_adds_one_to_idf_and_length_norm(self, toy_index):
+        scores = score_items(
+            toy_index, [1, 2], [(2, 1.5)], match_weight="paper", style="vsknn"
+        )
+        expected_4 = 0.8 * 1.5 * 0.5 * (1.0 + toy_index.idf(4))
+        assert scores[4] == pytest.approx(expected_4)
+
+    def test_neighbor_without_overlap_contributes_nothing(self, toy_index):
+        # Session 3 = items (3, 4); evolving session [1, 5] shares nothing
+        # (that combination is session 4; use a session id with no overlap).
+        scores = score_items(toy_index, [2], [(4, 1.0)])  # session 4 = (1, 5)
+        assert scores == {}
+
+    def test_exclude_current_items(self, toy_index):
+        scores = score_items(
+            toy_index, [1, 2], [(2, 1.0)], exclude_current_items=True
+        )
+        assert 1 not in scores and 2 not in scores
+        assert 4 in scores
+
+    def test_zero_match_weight_skips_neighbor(self, toy_index):
+        # An evolving session of length >= 10 pushes lambda to zero for a
+        # neighbour whose most recent shared item is the latest click.
+        long_session = [99] * 9 + [1]  # item 1 at position 10
+        scores = score_items(toy_index, long_session, [(2, 1.0)])
+        assert scores == {}
+
+    def test_unknown_style_rejected(self, toy_index):
+        with pytest.raises(ValueError):
+            score_items(toy_index, [1], [(0, 1.0)], style="bogus")
+
+
+class TestTopN:
+    def test_orders_by_score_then_item_id(self):
+        scores = {5: 1.0, 3: 2.0, 9: 2.0}
+        ranked = top_n(scores, 3)
+        assert ranked == [
+            ScoredItem(3, 2.0),
+            ScoredItem(9, 2.0),
+            ScoredItem(5, 1.0),
+        ]
+
+    def test_truncates(self):
+        ranked = top_n({i: float(i) for i in range(10)}, 4)
+        assert [s.item_id for s in ranked] == [9, 8, 7, 6]
+
+    def test_empty(self):
+        assert top_n({}, 5) == []

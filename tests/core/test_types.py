@@ -1,0 +1,80 @@
+"""Tests for the fundamental data types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.types import (
+    Click,
+    EvolvingSession,
+    clicks_to_sessions,
+    insertion_orders,
+    unique_items_reversed,
+)
+
+
+class TestClick:
+    def test_as_tuple_roundtrip(self):
+        click = Click(1, 2, 3)
+        assert click.as_tuple() == (1, 2, 3)
+
+    def test_clicks_are_hashable_and_frozen(self):
+        click = Click(1, 2, 3)
+        assert click in {click}
+        with pytest.raises(AttributeError):
+            click.item_id = 5
+
+
+class TestEvolvingSession:
+    def test_add_click_appends_and_tracks_time(self):
+        session = EvolvingSession(session_id=7)
+        session.add_click(10, timestamp=100)
+        session.add_click(20, timestamp=200)
+        assert session.items == [10, 20]
+        assert session.last_updated == 200
+        assert session.most_recent_item == 20
+        assert len(session) == 2
+
+    def test_history_capped_at_max_items(self):
+        session = EvolvingSession(session_id=1, max_items=3)
+        for item in range(10):
+            session.add_click(item, timestamp=item)
+        assert session.items == [7, 8, 9]
+
+    def test_most_recent_item_on_empty_raises(self):
+        with pytest.raises(ValueError):
+            EvolvingSession(session_id=1).most_recent_item
+
+    def test_out_of_order_timestamps_keep_max(self):
+        session = EvolvingSession(session_id=1)
+        session.add_click(1, timestamp=500)
+        session.add_click(2, timestamp=300)
+        assert session.last_updated == 500
+
+
+class TestInsertionOrders:
+    def test_basic_ordering(self):
+        assert insertion_orders([1, 2, 4]) == {1: 1, 2: 2, 4: 3}
+
+    def test_duplicates_take_most_recent_position(self):
+        assert insertion_orders([10, 20, 10]) == {10: 3, 20: 2}
+
+    def test_empty(self):
+        assert insertion_orders([]) == {}
+
+
+class TestUniqueItemsReversed:
+    def test_reverse_order_without_duplicates(self):
+        assert list(unique_items_reversed([1, 2, 1, 3])) == [3, 1, 2]
+
+    def test_matches_paper_traversal(self):
+        # Most recent item first; a duplicate's first (most recent)
+        # occurrence wins.
+        assert list(unique_items_reversed([5, 5, 5])) == [5]
+
+
+class TestClicksToSessions:
+    def test_groups_and_sorts_by_time(self):
+        clicks = [Click(1, 30, 3), Click(1, 10, 1), Click(2, 20, 2)]
+        sessions = clicks_to_sessions(clicks)
+        assert sessions == {1: [(1, 10), (3, 30)], 2: [(2, 20)]}

@@ -1,0 +1,151 @@
+"""Tests for VMIS-kNN (Algorithm 2), including the VS-kNN equivalence oracle."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.index import SessionIndex
+from repro.core.types import Click
+from repro.core.vmis import VMISKNN
+from repro.core.vsknn import VSKNN
+
+
+def clicks_strategy():
+    return st.lists(
+        st.tuples(
+            st.integers(0, 14),  # session
+            st.integers(0, 11),  # item
+            st.integers(0, 5_000),  # timestamp
+        ),
+        min_size=2,
+        max_size=120,
+    ).map(lambda rows: [Click(s, i, t) for s, i, t in rows])
+
+
+def session_strategy():
+    return st.lists(st.integers(0, 11), min_size=1, max_size=8)
+
+
+class TestVMISNeighbors:
+    def test_empty_session(self, toy_index):
+        model = VMISKNN(toy_index, m=10, k=5)
+        assert model.find_neighbors([]) == []
+        assert model.recommend([]) == []
+
+    def test_toy_similarity(self, toy_index):
+        model = VMISKNN(toy_index, m=10, k=10)
+        neighbors = dict(model.find_neighbors([1, 2, 4]))
+        assert neighbors[5] == pytest.approx(5 / 3)
+
+    def test_m_bounds_retained_sessions(self, toy_index):
+        model = VMISKNN(toy_index, m=2, k=10)
+        assert len(model.find_neighbors([1, 2, 4])) <= 2
+
+    def test_m_keeps_most_recent_sessions(self, toy_clicks):
+        index = SessionIndex.from_clicks(toy_clicks, max_sessions_per_item=10)
+        model = VMISKNN(index, m=2, k=10)
+        neighbors = model.find_neighbors([2])
+        timestamps = {index.timestamp_of(sid) for sid, _ in neighbors}
+        assert timestamps <= {302, 602}
+
+    def test_duplicate_items_counted_once(self, toy_index):
+        model = VMISKNN(toy_index, m=10, k=10)
+        with_duplicates = dict(model.find_neighbors([2, 2, 2]))
+        without = dict(model.find_neighbors([2]))
+        assert with_duplicates == without
+
+    def test_tie_on_similarity_prefers_recent(self, toy_index):
+        model = VMISKNN(toy_index, m=10, k=1)
+        # Sessions 0 (ts 101) and 2 (ts 302) both contain items 1 and 2;
+        # equal similarity for session [1, 2] -> the more recent wins.
+        (winner, _), = model.find_neighbors([1, 2])
+        assert winner == 2
+
+    def test_rejects_bad_hyperparameters(self, toy_index):
+        with pytest.raises(ValueError):
+            VMISKNN(toy_index, m=0)
+        with pytest.raises(ValueError):
+            VMISKNN(toy_index, k=-1)
+
+
+class TestOptimisationVariants:
+    def test_no_opt_factory(self, toy_index):
+        model = VMISKNN.no_opt(toy_index, m=5, k=3)
+        assert model.heap_arity == 2
+        assert model.early_stopping is False
+
+    def test_early_stopping_does_not_change_results(self, medium_log):
+        index = SessionIndex.from_clicks(medium_log, max_sessions_per_item=50)
+        fast = VMISKNN(index, m=50, k=20, early_stopping=True)
+        slow = VMISKNN(index, m=50, k=20, early_stopping=False)
+        sequences = list(medium_log.session_item_sequences().values())[:40]
+        for sequence in sequences:
+            prefix = sequence[: max(1, len(sequence) // 2)]
+            assert sorted(fast.find_neighbors(prefix)) == sorted(
+                slow.find_neighbors(prefix)
+            ), prefix
+
+    def test_arity_does_not_change_results(self, medium_log):
+        index = SessionIndex.from_clicks(medium_log, max_sessions_per_item=50)
+        octonary = VMISKNN(index, m=50, k=20, heap_arity=8)
+        binary = VMISKNN(index, m=50, k=20, heap_arity=2)
+        sequences = list(medium_log.session_item_sequences().values())[:40]
+        for sequence in sequences:
+            prefix = sequence[: max(1, len(sequence) // 2)]
+            assert sorted(octonary.find_neighbors(prefix)) == sorted(
+                binary.find_neighbors(prefix)
+            )
+
+
+class TestEquivalenceWithVSKNN:
+    """With m large enough to hold every match, the indexed algorithm must
+    compute exactly the neighbour similarities of Algorithm 1."""
+
+    @given(clicks=clicks_strategy(), session=session_strategy())
+    @settings(max_examples=80, deadline=None)
+    def test_neighbor_similarities_match(self, clicks, session):
+        index = SessionIndex.from_clicks(clicks, max_sessions_per_item=10**6)
+        m = index.num_sessions + 1
+        vmis = VMISKNN(index, m=m, k=10**6)
+        vs = VSKNN(index, m=m, k=10**6)
+        got = dict(vmis.find_neighbors(session))
+        expected = dict(vs.find_neighbors(session))
+        assert set(got) == set(expected)
+        for session_id, similarity in expected.items():
+            assert got[session_id] == pytest.approx(similarity)
+
+    @given(clicks=clicks_strategy(), session=session_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_recommendations_match_on_shared_scoring(self, clicks, session):
+        index = SessionIndex.from_clicks(clicks, max_sessions_per_item=10**6)
+        m = index.num_sessions + 1
+        vmis = VMISKNN(index, m=m, k=10**6, scoring_style="vmis")
+        vs = VSKNN(index, m=m, k=10**6, scoring_style="vmis")
+        got = vmis.recommend(session, how_many=50)
+        expected = vs.recommend(session, how_many=50)
+        assert [s.item_id for s in got] == [s.item_id for s in expected]
+        for mine, theirs in zip(got, expected):
+            assert mine.score == pytest.approx(theirs.score)
+
+
+class TestVMISRecommend:
+    def test_scores_descending_and_truncated(self, toy_index):
+        model = VMISKNN(toy_index, m=10, k=10)
+        ranked = model.recommend([1, 2, 4], how_many=3)
+        assert len(ranked) <= 3
+        scores = [s.score for s in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_exclude_current_items(self, toy_index):
+        model = VMISKNN(toy_index, m=10, k=10, exclude_current_items=True)
+        recommended = {s.item_id for s in model.recommend([1, 2])}
+        assert recommended.isdisjoint({1, 2})
+
+    def test_from_clicks_truncates_at_m(self, toy_clicks):
+        model = VMISKNN.from_clicks(toy_clicks, m=2)
+        assert all(
+            len(postings) <= 2
+            for postings in model.index.item_to_sessions.values()
+        )

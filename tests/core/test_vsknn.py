@@ -1,0 +1,69 @@
+"""Tests for the VS-kNN baseline (Algorithm 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.index import SessionIndex
+from repro.core.types import Click
+from repro.core.vsknn import VSKNN
+
+
+class TestVSKNNNeighbors:
+    def test_empty_session_returns_nothing(self, toy_index):
+        model = VSKNN(toy_index, m=10, k=5)
+        assert model.find_neighbors([]) == []
+        assert model.recommend([]) == []
+
+    def test_unknown_items_return_nothing(self, toy_index):
+        model = VSKNN(toy_index, m=10, k=5)
+        assert model.find_neighbors([12345]) == []
+
+    def test_similarity_matches_toy_example(self, toy_index):
+        """Paper toy example: s = [1, 2, 4], h = [2, 4] -> similarity 5/3."""
+        model = VSKNN(toy_index, m=10, k=10)
+        neighbors = dict(model.find_neighbors([1, 2, 4]))
+        # Session 5 contains items (2, 4, 5): shared 2 (pos 2) and 4 (pos 3)
+        # -> 2/3 + 3/3 = 5/3.
+        assert neighbors[5] == pytest.approx(5 / 3)
+
+    def test_k_limits_neighbor_count(self, toy_index):
+        model = VSKNN(toy_index, m=10, k=2)
+        assert len(model.find_neighbors([1, 2, 4])) == 2
+
+    def test_recency_sampling_prefers_recent_sessions(self, toy_clicks):
+        index = SessionIndex.from_clicks(toy_clicks, max_sessions_per_item=2**62)
+        model = VSKNN(index, m=2, k=10)
+        neighbors = model.find_neighbors([2])
+        # Sessions containing item 2 end at 101, 201, 302, 602; with m=2
+        # only the two most recent (302, 602) may appear.
+        timestamps = {index.timestamp_of(sid) for sid, _ in neighbors}
+        assert timestamps <= {302, 602}
+
+    def test_rejects_bad_hyperparameters(self, toy_index):
+        with pytest.raises(ValueError):
+            VSKNN(toy_index, m=0)
+        with pytest.raises(ValueError):
+            VSKNN(toy_index, k=0)
+
+
+class TestVSKNNRecommend:
+    def test_recommends_unseen_items_from_neighbors(self, toy_index):
+        model = VSKNN(toy_index, m=10, k=10, exclude_current_items=True)
+        recommended = {s.item_id for s in model.recommend([1, 2])}
+        assert recommended  # sessions with 1 or 2 contain 3, 4, 5
+        assert recommended.isdisjoint({1, 2})
+
+    def test_scores_descending(self, toy_index):
+        model = VSKNN(toy_index, m=10, k=10)
+        scores = [s.score for s in model.recommend([1, 2, 4], how_many=10)]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_how_many_respected(self, toy_index):
+        model = VSKNN(toy_index, m=10, k=10)
+        assert len(model.recommend([1, 2, 4], how_many=2)) == 2
+
+    def test_from_clicks_builds_untruncated_storage(self, toy_clicks):
+        model = VSKNN.from_clicks(toy_clicks, m=3, k=5)
+        # Build-time cap must not truncate: item 2 occurs in 4 sessions.
+        assert len(model.index.sessions_for_item(2)) == 4

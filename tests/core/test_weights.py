@@ -1,0 +1,89 @@
+"""Tests for the decay and match-weight functions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.weights import (
+    DECAY_FUNCTIONS,
+    MATCH_WEIGHT_FUNCTIONS,
+    decay_weights,
+    harmonic_decay,
+    linear_decay,
+    log_decay,
+    paper_match_weight,
+    quadratic_decay,
+    resolve_decay,
+    resolve_match_weight,
+    uniform_decay,
+)
+
+
+class TestDecayFunctions:
+    def test_linear_matches_paper_toy_example(self):
+        # omega(s) = [1, 2, 3] over three items -> weights 1/3, 2/3, 3/3.
+        weights = decay_weights([1, 2, 4], decay="linear")
+        assert weights == {1: pytest.approx(1 / 3), 2: pytest.approx(2 / 3), 4: 1.0}
+
+    def test_most_recent_item_gets_full_weight(self):
+        for name, decay_fn in DECAY_FUNCTIONS.items():
+            assert decay_fn(5, 5) == pytest.approx(1.0), name
+
+    @given(
+        position=st.integers(1, 50),
+        length=st.integers(1, 50),
+    )
+    def test_all_decays_bounded_and_positive(self, position, length):
+        if position > length:
+            return
+        for decay_fn in (
+            linear_decay,
+            quadratic_decay,
+            log_decay,
+            harmonic_decay,
+            uniform_decay,
+        ):
+            value = decay_fn(position, length)
+            assert 0.0 < value <= 1.0
+
+    @given(length=st.integers(2, 40))
+    def test_decays_are_monotone_in_position(self, length):
+        for decay_fn in (linear_decay, quadratic_decay, log_decay, harmonic_decay):
+            values = [decay_fn(p, length) for p in range(1, length + 1)]
+            assert values == sorted(values)
+
+    def test_duplicate_items_use_latest_position(self):
+        weights = decay_weights([7, 8, 7], decay="linear")
+        assert weights[7] == 1.0  # position 3 of 3
+
+
+class TestMatchWeights:
+    def test_paper_default_values(self):
+        # lambda(3) = 0.7 per the toy example in Section 2.
+        assert paper_match_weight(3) == pytest.approx(0.7)
+        assert paper_match_weight(1) == pytest.approx(0.9)
+
+    def test_paper_default_zero_beyond_ten(self):
+        assert paper_match_weight(10) == 0.0
+        assert paper_match_weight(25) == 0.0
+
+    def test_registry_contains_paper_default(self):
+        assert MATCH_WEIGHT_FUNCTIONS["paper"] is paper_match_weight
+
+
+class TestResolvers:
+    def test_resolve_by_name(self):
+        assert resolve_decay("linear") is linear_decay
+
+    def test_resolve_passthrough_callable(self):
+        custom = lambda p, n: 1.0  # noqa: E731
+        assert resolve_decay(custom) is custom
+        assert resolve_match_weight(custom) is custom
+
+    def test_unknown_names_raise_with_suggestions(self):
+        with pytest.raises(ValueError, match="linear"):
+            resolve_decay("nope")
+        with pytest.raises(ValueError, match="paper"):
+            resolve_match_weight("nope")

@@ -1,0 +1,105 @@
+"""Tests for the ClickLog container and its IO / preprocessing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.types import Click
+from repro.data.clicklog import SECONDS_PER_DAY, ClickLog
+
+
+@pytest.fixture()
+def log() -> ClickLog:
+    rows = [
+        (0, 1, 100),
+        (0, 2, 150),
+        (1, 1, 2_000),
+        (2, 3, SECONDS_PER_DAY + 10),
+        (2, 3, SECONDS_PER_DAY + 20),
+        (2, 1, SECONDS_PER_DAY + 30),
+    ]
+    return ClickLog(Click(s, i, t) for s, i, t in rows)
+
+
+class TestBasics:
+    def test_len_and_counts(self, log):
+        assert len(log) == 6
+        assert log.num_sessions() == 3
+        assert log.num_items() == 3
+
+    def test_clicks_sorted_by_time(self, log):
+        timestamps = [c.timestamp for c in log]
+        assert timestamps == sorted(timestamps)
+
+    def test_time_range_and_days(self, log):
+        first, last = log.time_range()
+        assert first == 100
+        assert last == SECONDS_PER_DAY + 30
+        assert log.num_days() == 2
+
+    def test_empty_log_raises_on_time_range(self):
+        with pytest.raises(ValueError):
+            ClickLog([]).time_range()
+
+    def test_sessions_grouped_in_order(self, log):
+        sessions = log.sessions()
+        assert [c.item_id for c in sessions[2]] == [3, 3, 1]
+
+    def test_item_sequences(self, log):
+        assert log.session_item_sequences()[0] == [1, 2]
+
+
+class TestFiltering:
+    def test_min_session_length(self, log):
+        filtered = log.filter_min_session_length(2)
+        assert filtered.num_sessions() == 2
+        assert 1 not in filtered.sessions()
+
+    def test_min_item_support(self, log):
+        filtered = log.filter_min_item_support(3)
+        # Item 1 has 3 clicks; items 2 and 3 have 1 and 2.
+        assert {c.item_id for c in filtered} == {1}
+
+    def test_preprocess_order_support_then_length(self, log):
+        processed = log.preprocess(min_session_length=2, min_item_support=3)
+        # After support filtering only item 1 remains; every session is
+        # then shorter than 2 clicks and gets dropped.
+        assert len(processed) == 0
+
+
+class TestSplit:
+    def test_split_is_session_atomic(self, log):
+        train, test = log.split_at(SECONDS_PER_DAY)
+        assert {c.session_id for c in train} == {0, 1}
+        assert {c.session_id for c in test} == {2}
+
+    def test_session_with_late_last_click_goes_entirely_to_test(self):
+        rows = [(0, 1, 10), (0, 2, 5_000)]
+        log = ClickLog(Click(s, i, t) for s, i, t in rows)
+        train, test = log.split_at(1_000)
+        assert len(train) == 0
+        assert len(test) == 2
+
+
+class TestTsvRoundtrip:
+    def test_roundtrip_string(self, log):
+        text = log.to_tsv_string()
+        restored = ClickLog.from_tsv_string(text)
+        assert [c.as_tuple() for c in restored] == [c.as_tuple() for c in log]
+
+    def test_roundtrip_file(self, log, tmp_path):
+        path = tmp_path / "clicks.tsv"
+        log.to_tsv(path)
+        restored = ClickLog.from_tsv(path)
+        assert len(restored) == len(log)
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ValueError, match="bad header"):
+            ClickLog.from_tsv_string("a\tb\tc\n1\t2\t3\n")
+
+    def test_bad_row_rejected(self):
+        with pytest.raises(ValueError, match="line 2"):
+            ClickLog.from_tsv_string("session_id\titem_id\ttimestamp\n1\t2\n")
+
+    def test_empty_string_gives_empty_log(self):
+        assert len(ClickLog.from_tsv_string("")) == 0

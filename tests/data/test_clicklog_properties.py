@@ -1,0 +1,56 @@
+"""Property tests for ClickLog IO and preprocessing."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.types import Click
+from repro.data.clicklog import ClickLog
+
+
+def clicks_strategy():
+    return st.lists(
+        st.tuples(
+            st.integers(0, 2**40),
+            st.integers(0, 2**40),
+            st.integers(0, 2**40),
+        ),
+        max_size=80,
+    ).map(lambda rows: [Click(s, i, t) for s, i, t in rows])
+
+
+class TestTsvRoundtripProperty:
+    @given(clicks=clicks_strategy())
+    @settings(max_examples=60)
+    def test_roundtrip_preserves_everything(self, clicks):
+        log = ClickLog(clicks)
+        restored = ClickLog.from_tsv_string(log.to_tsv_string())
+        assert [c.as_tuple() for c in restored] == [c.as_tuple() for c in log]
+
+
+class TestPreprocessingProperties:
+    @given(clicks=clicks_strategy(), min_support=st.integers(1, 5))
+    @settings(max_examples=60)
+    def test_item_support_holds_after_filter(self, clicks, min_support):
+        log = ClickLog(clicks).filter_min_item_support(min_support)
+        counts: dict[int, int] = {}
+        for click in log:
+            counts[click.item_id] = counts.get(click.item_id, 0) + 1
+        assert all(count >= min_support for count in counts.values())
+
+    @given(clicks=clicks_strategy(), min_length=st.integers(1, 5))
+    @settings(max_examples=60)
+    def test_session_length_holds_after_filter(self, clicks, min_length):
+        log = ClickLog(clicks).filter_min_session_length(min_length)
+        assert all(
+            len(session) >= min_length for session in log.sessions().values()
+        )
+
+    @given(clicks=clicks_strategy(), cutoff=st.integers(0, 2**40))
+    @settings(max_examples=60)
+    def test_split_partitions_completely(self, clicks, cutoff):
+        log = ClickLog(clicks)
+        train, test = log.split_at(cutoff)
+        assert len(train) + len(test) == len(log)
+        assert set(train.sessions()).isdisjoint(test.sessions())

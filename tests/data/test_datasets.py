@@ -1,0 +1,69 @@
+"""Tests for the Table 1 dataset profile registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.datasets import (
+    DATASET_PROFILES,
+    dataset_names,
+    get_profile,
+    load_dataset,
+)
+
+
+class TestRegistry:
+    def test_all_six_table1_rows_present(self):
+        assert dataset_names() == [
+            "retailrocket-sim",
+            "rsc15-sim",
+            "ecom-1m-sim",
+            "ecom-60m-sim",
+            "ecom-90m-sim",
+            "ecom-180m-sim",
+        ]
+
+    def test_paper_numbers_recorded(self):
+        profile = get_profile("ecom-180m-sim")
+        assert profile.paper_clicks == 189_317_506
+        assert profile.paper_sessions == 28_824_487
+        assert profile.days == 91
+        assert not profile.public
+
+    def test_public_flags(self):
+        assert get_profile("rsc15-sim").public
+        assert not get_profile("ecom-1m-sim").public
+
+    def test_unknown_name_raises_with_known_names(self):
+        with pytest.raises(ValueError, match="retailrocket-sim"):
+            get_profile("mnist")
+
+
+class TestScaling:
+    def test_scale_controls_session_count(self):
+        small = load_dataset("retailrocket-sim", scale=0.02, seed=1)
+        large = load_dataset("retailrocket-sim", scale=0.05, seed=1)
+        assert small.num_sessions() < large.num_sessions()
+
+    def test_scaled_sessions_approximate_target(self):
+        profile = get_profile("retailrocket-sim")
+        log = load_dataset("retailrocket-sim", scale=0.05, seed=1)
+        assert log.num_sessions() == int(profile.paper_sessions * 0.05)
+
+    def test_catalog_scales_sublinearly(self):
+        profile = get_profile("ecom-1m-sim")
+        config = profile.config(scale=0.01, seed=1)
+        # sqrt scaling: 1% of sessions keeps ~10% of the catalog.
+        assert config.num_items > profile.paper_items * 0.01
+        assert config.num_items <= profile.paper_items * 0.2
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            load_dataset("rsc15-sim", scale=0.0)
+        with pytest.raises(ValueError):
+            load_dataset("rsc15-sim", scale=1.5)
+
+    def test_deterministic_given_seed(self):
+        first = load_dataset("retailrocket-sim", scale=0.02, seed=4)
+        second = load_dataset("retailrocket-sim", scale=0.02, seed=4)
+        assert [c.as_tuple() for c in first] == [c.as_tuple() for c in second]

@@ -1,0 +1,116 @@
+"""Tests for inactivity-gap sessionization."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.sessionize import (
+    DEFAULT_INACTIVITY_GAP,
+    UserEvent,
+    resessionize,
+    sessionize,
+)
+
+
+class TestBasicCutting:
+    def test_gap_starts_new_session(self):
+        events = [
+            UserEvent(1, 10, 0),
+            UserEvent(1, 11, 100),
+            UserEvent(1, 12, 100 + DEFAULT_INACTIVITY_GAP + 1),
+        ]
+        log, report = sessionize(events)
+        assert report.sessions == 2
+        sequences = log.session_item_sequences()
+        assert sorted(map(tuple, sequences.values())) == [(10, 11), (12,)]
+
+    def test_exact_gap_does_not_split(self):
+        events = [
+            UserEvent(1, 10, 0),
+            UserEvent(1, 11, DEFAULT_INACTIVITY_GAP),
+        ]
+        _, report = sessionize(events)
+        assert report.sessions == 1
+
+    def test_users_are_independent(self):
+        events = [UserEvent(1, 10, 0), UserEvent(2, 20, 5)]
+        _, report = sessionize(events)
+        assert report.sessions == 2
+        assert report.users == 2
+
+    def test_out_of_order_events_sorted(self):
+        events = [UserEvent(1, 11, 100), UserEvent(1, 10, 0)]
+        log, _ = sessionize(events)
+        sequence = list(log.session_item_sequences().values())[0]
+        assert sequence == [10, 11]
+
+    def test_session_ids_ordered_by_start_time(self):
+        events = [
+            UserEvent(2, 20, 50),
+            UserEvent(1, 10, 0),
+        ]
+        log, _ = sessionize(events)
+        by_session = log.session_item_sequences()
+        assert by_session[0] == [10]  # earliest start gets id 0
+        assert by_session[1] == [20]
+
+    def test_empty_input(self):
+        log, report = sessionize([])
+        assert len(log) == 0
+        assert report.sessions == 0
+        assert report.sessions_per_user == 0.0
+
+
+class TestLengthCap:
+    def test_overflow_starts_new_session(self):
+        events = [UserEvent(1, i, i * 10) for i in range(7)]
+        _, report = sessionize(events, max_session_length=3)
+        assert report.sessions == 3
+        assert report.max_session_length == 3
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            sessionize([], inactivity_gap=0)
+        with pytest.raises(ValueError):
+            sessionize([], max_session_length=0)
+
+
+class TestResessionize:
+    def test_smaller_gap_produces_more_sessions(self, small_log):
+        wide, wide_report = resessionize(small_log, inactivity_gap=3600)
+        narrow, narrow_report = resessionize(small_log, inactivity_gap=30)
+        assert narrow_report.sessions >= wide_report.sessions
+        assert len(wide) == len(small_log) == len(narrow)
+
+    def test_report_counts(self, small_log):
+        _, report = resessionize(small_log)
+        assert report.events == len(small_log)
+        assert report.users == small_log.num_sessions()
+
+
+class TestProperties:
+    @given(
+        events=st.lists(
+            st.tuples(
+                st.integers(0, 5),
+                st.integers(0, 20),
+                st.integers(0, 100_000),
+            ),
+            max_size=80,
+        ),
+        gap=st.integers(1, 5_000),
+    )
+    @settings(max_examples=60)
+    def test_no_click_lost_and_gaps_respected(self, events, gap):
+        user_events = [UserEvent(u, i, t) for u, i, t in events]
+        log, report = sessionize(user_events, inactivity_gap=gap)
+        assert len(log) == len(user_events)
+        assert report.events == len(user_events)
+        # Within every produced session, consecutive gaps never exceed gap.
+        for clicks in log.sessions().values():
+            timestamps = [c.timestamp for c in clicks]
+            assert all(
+                b - a <= gap for a, b in zip(timestamps, timestamps[1:])
+            )

@@ -1,0 +1,98 @@
+"""Tests for temporal train/test splitting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.types import Click
+from repro.data.clicklog import SECONDS_PER_DAY, ClickLog
+from repro.data.split import sliding_window_splits, temporal_split
+
+
+class TestTemporalSplit:
+    def test_last_day_held_out(self, small_log):
+        split = temporal_split(small_log, test_days=1)
+        _, last_train = split.train.time_range()
+        first_test, _ = split.test.time_range()
+        # The boundary is the cutoff; trains end before tests *end*, and
+        # every test session's last click is inside the final day.
+        _, log_end = small_log.time_range()
+        cutoff = log_end - SECONDS_PER_DAY
+        last_clicks = {
+            sid: clicks[-1].timestamp
+            for sid, clicks in split.test.sessions().items()
+        }
+        assert all(ts >= cutoff for ts in last_clicks.values())
+        train_last = {
+            sid: clicks[-1].timestamp
+            for sid, clicks in split.train.sessions().items()
+        }
+        assert all(ts < cutoff for ts in train_last.values())
+
+    def test_partition_is_complete_and_disjoint(self, small_log):
+        split = temporal_split(small_log)
+        assert len(split.train) + len(split.test) == len(small_log)
+        assert set(split.train.sessions()).isdisjoint(split.test.sessions())
+
+    def test_rejects_nonpositive_window(self, small_log):
+        with pytest.raises(ValueError):
+            temporal_split(small_log, test_days=0)
+
+    def test_rejects_window_swallowing_log(self, small_log):
+        with pytest.raises(ValueError, match="swallows"):
+            temporal_split(small_log, test_days=10_000)
+
+
+class TestTestSequences:
+    def test_unknown_items_filtered(self):
+        rows = [
+            (0, 1, 100),
+            (0, 2, 200),
+            # test session: item 99 never occurs in training
+            (1, 1, SECONDS_PER_DAY * 3),
+            (1, 99, SECONDS_PER_DAY * 3 + 10),
+            (1, 2, SECONDS_PER_DAY * 3 + 20),
+        ]
+        log = ClickLog(Click(s, i, t) for s, i, t in rows)
+        split = temporal_split(log, test_days=1)
+        sequences = split.test_sequences()
+        assert sequences == {1: [1, 2]}
+
+    def test_sessions_shrinking_below_two_dropped(self):
+        rows = [
+            (0, 1, 100),
+            (1, 99, SECONDS_PER_DAY * 3),
+            (1, 1, SECONDS_PER_DAY * 3 + 10),
+        ]
+        log = ClickLog(Click(s, i, t) for s, i, t in rows)
+        split = temporal_split(log, test_days=1)
+        assert split.test_sequences() == {}
+
+
+class TestSlidingWindows:
+    def test_produces_requested_windows(self, medium_log):
+        splits = sliding_window_splits(
+            medium_log, num_windows=3, train_days=4, test_days=1
+        )
+        assert 1 <= len(splits) <= 3
+        for split in splits:
+            assert len(split.train) > 0
+            assert len(split.test) > 0
+
+    def test_windows_are_time_ordered_and_distinct(self, medium_log):
+        splits = sliding_window_splits(
+            medium_log, num_windows=3, train_days=3, test_days=1
+        )
+        starts = [split.train.time_range()[0] for split in splits]
+        assert starts == sorted(starts)
+        assert len(set(starts)) == len(starts)
+
+    def test_rejects_oversized_window(self, small_log):
+        with pytest.raises(ValueError):
+            sliding_window_splits(
+                small_log, num_windows=2, train_days=100, test_days=1
+            )
+
+    def test_rejects_zero_windows(self, small_log):
+        with pytest.raises(ValueError):
+            sliding_window_splits(small_log, num_windows=0, train_days=2)

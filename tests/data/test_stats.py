@@ -1,0 +1,66 @@
+"""Tests for the Table 1 statistics machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.types import Click
+from repro.data.clicklog import ClickLog
+from repro.data.stats import dataset_statistics, format_table
+
+
+@pytest.fixture()
+def uniform_log() -> ClickLog:
+    """20 sessions of exactly 4 clicks each."""
+    clicks = []
+    for session in range(20):
+        for position in range(4):
+            clicks.append(Click(session, position, session * 100 + position))
+    return ClickLog(clicks)
+
+
+class TestDatasetStatistics:
+    def test_counts(self, uniform_log):
+        stats = dataset_statistics(uniform_log, "uniform")
+        assert stats.clicks == 80
+        assert stats.sessions == 20
+        assert stats.items == 4
+        assert stats.name == "uniform"
+
+    def test_percentiles_of_constant_lengths(self, uniform_log):
+        stats = dataset_statistics(uniform_log)
+        assert stats.clicks_per_session_p25 == 4
+        assert stats.clicks_per_session_p50 == 4
+        assert stats.clicks_per_session_p99 == 4
+
+    def test_empty_log_rejected(self):
+        with pytest.raises(ValueError):
+            dataset_statistics(ClickLog([]))
+
+    def test_percentiles_ordered(self, small_log):
+        stats = dataset_statistics(small_log)
+        assert (
+            stats.clicks_per_session_p25
+            <= stats.clicks_per_session_p50
+            <= stats.clicks_per_session_p75
+            <= stats.clicks_per_session_p99
+        )
+
+
+class TestFormatTable:
+    def test_contains_header_and_rows(self, uniform_log, small_log):
+        table = format_table(
+            [
+                dataset_statistics(uniform_log, "uniform"),
+                dataset_statistics(small_log, "synthetic"),
+            ]
+        )
+        lines = table.splitlines()
+        assert "dataset" in lines[0] and "p99" in lines[0]
+        assert lines[1].startswith("-")
+        assert "uniform" in lines[2]
+        assert "synthetic" in lines[3]
+
+    def test_thousands_separators(self, small_log):
+        table = format_table([dataset_statistics(small_log, "s")])
+        assert "," in table  # click counts are formatted with separators

@@ -1,0 +1,94 @@
+"""Tests for the synthetic clickstream generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.stats import dataset_statistics
+from repro.data.synthetic import (
+    ClickstreamConfig,
+    ClickstreamGenerator,
+    generate_clickstream,
+)
+
+
+class TestConfigValidation:
+    def test_rejects_no_sessions(self):
+        with pytest.raises(ValueError):
+            ClickstreamConfig(num_sessions=0).validate()
+
+    def test_rejects_more_categories_than_items(self):
+        with pytest.raises(ValueError):
+            ClickstreamConfig(num_items=5, num_categories=10).validate()
+
+    def test_rejects_bad_locality(self):
+        with pytest.raises(ValueError):
+            ClickstreamConfig(locality=1.5).validate()
+
+    def test_rejects_zero_days(self):
+        with pytest.raises(ValueError):
+            ClickstreamConfig(days=0).validate()
+
+
+class TestDeterminism:
+    def test_same_seed_same_log(self):
+        first = generate_clickstream(num_sessions=200, num_items=100, seed=5)
+        second = generate_clickstream(num_sessions=200, num_items=100, seed=5)
+        assert [c.as_tuple() for c in first] == [c.as_tuple() for c in second]
+
+    def test_different_seed_different_log(self):
+        first = generate_clickstream(num_sessions=200, num_items=100, seed=5)
+        second = generate_clickstream(num_sessions=200, num_items=100, seed=6)
+        assert [c.as_tuple() for c in first] != [c.as_tuple() for c in second]
+
+
+class TestShape:
+    def test_session_count_and_catalog_bounds(self, small_log):
+        assert small_log.num_sessions() == 800
+        assert small_log.num_items() <= 300
+
+    def test_every_session_has_at_least_two_clicks(self, small_log):
+        assert all(len(c) >= 2 for c in small_log.sessions().values())
+
+    def test_timestamps_increase_within_sessions(self, small_log):
+        for clicks in small_log.sessions().values():
+            timestamps = [c.timestamp for c in clicks]
+            assert timestamps == sorted(timestamps)
+
+    def test_length_distribution_matches_table1_shape(self):
+        log = generate_clickstream(num_sessions=5000, num_items=500, seed=11)
+        stats = dataset_statistics(log)
+        assert 2 <= stats.clicks_per_session_p50 <= 6
+        assert stats.clicks_per_session_p99 >= 15
+
+    def test_popularity_is_skewed(self, small_log):
+        counts = {}
+        for click in small_log:
+            counts[click.item_id] = counts.get(click.item_id, 0) + 1
+        ordered = sorted(counts.values(), reverse=True)
+        top_decile = sum(ordered[: max(1, len(ordered) // 10)])
+        assert top_decile / len(small_log) > 0.25  # heavy head
+
+    def test_days_span_respected(self):
+        log = generate_clickstream(num_sessions=400, num_items=200, days=5, seed=3)
+        assert log.num_days() <= 6  # last click may spill slightly past
+
+
+class TestTopicalCoherence:
+    def test_sessions_concentrate_on_categories(self):
+        config = ClickstreamConfig(
+            num_sessions=300, num_items=200, num_categories=20, seed=9
+        )
+        generator = ClickstreamGenerator(config)
+        log = generator.generate()
+        category_of = np.arange(config.num_items) % config.num_categories
+        concentrations = []
+        for clicks in log.sessions().values():
+            if len(clicks) < 4:
+                continue
+            categories = [category_of[c.item_id] for c in clicks]
+            counts = np.bincount(categories, minlength=config.num_categories)
+            concentrations.append(counts.max() / len(categories))
+        # Sessions should mostly stay within one category.
+        assert np.mean(concentrations) > 0.5

@@ -1,0 +1,87 @@
+"""Unit tests for the mini-dataflow operators themselves."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engines.dataflow import Arrangement, KeyedSum
+
+
+class TestArrangement:
+    def test_insert_and_read(self):
+        arrangement = Arrangement()
+        arrangement.apply("k", "v", +1)
+        assert arrangement.values_of("k") == {"v": 1}
+
+    def test_retraction_cancels(self):
+        arrangement = Arrangement()
+        arrangement.apply("k", "v", +1)
+        arrangement.apply("k", "v", -1)
+        assert arrangement.values_of("k") == {}
+        assert len(arrangement) == 0
+
+    def test_multiplicities_accumulate(self):
+        arrangement = Arrangement()
+        arrangement.apply("k", "v", +1)
+        arrangement.apply("k", "v", +1)
+        assert arrangement.values_of("k") == {"v": 2}
+
+    def test_update_counter(self):
+        arrangement = Arrangement()
+        for _ in range(5):
+            arrangement.apply("k", "v", +1)
+        assert arrangement.updates == 5
+
+    @given(
+        deltas=st.lists(
+            st.tuples(
+                st.integers(0, 3), st.integers(0, 3), st.sampled_from([1, -1])
+            ),
+            max_size=100,
+        )
+    )
+    @settings(max_examples=60)
+    def test_matches_multiset_model(self, deltas):
+        arrangement = Arrangement()
+        model: dict[tuple[int, int], int] = {}
+        for key, value, diff in deltas:
+            arrangement.apply(key, value, diff)
+            model[(key, value)] = model.get((key, value), 0) + diff
+        for (key, value), count in model.items():
+            stored = arrangement.values_of(key).get(value, 0)
+            assert stored == count
+
+
+class TestKeyedSum:
+    def test_sum_maintained(self):
+        reducer = KeyedSum()
+        reducer.apply("a", 2.0, +1)
+        reducer.apply("a", 3.0, +1)
+        assert reducer.sums["a"] == 5.0
+
+    def test_retraction_subtracts(self):
+        reducer = KeyedSum()
+        reducer.apply("a", 2.0, +1)
+        reducer.apply("a", 2.0, -1)
+        assert "a" not in reducer.sums  # zeroed entries are dropped
+
+    @given(
+        deltas=st.lists(
+            st.tuples(
+                st.integers(0, 3),
+                st.floats(0.01, 10.0, allow_nan=False),
+                st.sampled_from([1, -1]),
+            ),
+            max_size=100,
+        )
+    )
+    @settings(max_examples=60)
+    def test_matches_float_model(self, deltas):
+        reducer = KeyedSum()
+        model: dict[int, float] = {}
+        for key, amount, diff in deltas:
+            reducer.apply(key, amount, diff)
+            model[key] = model.get(key, 0.0) + amount * diff
+        for key, total in model.items():
+            assert abs(reducer.sums.get(key, 0.0) - total) < 1e-6

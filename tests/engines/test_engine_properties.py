@@ -1,0 +1,78 @@
+"""Property tests: every engine computes the same function as VMIS-kNN."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.index import SessionIndex
+from repro.core.types import Click
+from repro.core.vmis import VMISKNN
+from repro.engines import DataflowVMIS, HashmapVMIS, SQLVMIS
+
+
+def clicks_strategy():
+    return st.lists(
+        st.tuples(
+            st.integers(0, 11),
+            st.integers(0, 9),
+            st.integers(0, 5_000),
+        ),
+        min_size=2,
+        max_size=80,
+    ).map(lambda rows: [Click(s, i, t) for s, i, t in rows])
+
+
+def session_strategy():
+    return st.lists(st.integers(0, 9), min_size=1, max_size=6)
+
+
+class TestEnginesComputeTheSameFunction:
+    """With m above every candidate-set size, all engines must agree with
+    the reference VMIS-kNN on the final ranking (random inputs)."""
+
+    @given(clicks=clicks_strategy(), session=session_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_hashmap_agrees(self, clicks, session):
+        index = SessionIndex.from_clicks(clicks, max_sessions_per_item=10**6)
+        m = index.num_sessions + 1
+        expected = VMISKNN(index, m=m, k=10**6).recommend(session, 20)
+        got = HashmapVMIS(index, m=m, k=10**6).recommend(session, 20)
+        assert [s.item_id for s in got] == [s.item_id for s in expected]
+
+    @given(clicks=clicks_strategy(), session=session_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_dataflow_agrees(self, clicks, session):
+        index = SessionIndex.from_clicks(clicks, max_sessions_per_item=10**6)
+        m = index.num_sessions + 1
+        expected = VMISKNN(index, m=m, k=10**6).recommend(session, 20)
+        engine = DataflowVMIS(index, m=m, k=10**6)
+        got = engine.recommend(session, 20)
+        assert [s.item_id for s in got] == [s.item_id for s in expected]
+
+    @given(clicks=clicks_strategy(), session=session_strategy())
+    @settings(max_examples=30, deadline=None)
+    def test_sql_agrees(self, clicks, session):
+        index = SessionIndex.from_clicks(clicks, max_sessions_per_item=10**6)
+        m = index.num_sessions + 1
+        expected = VMISKNN(index, m=m, k=10**6).recommend(session, 20)
+        engine = SQLVMIS(index, m=m, k=10**6, intermediate_budget=10**9)
+        got = engine.recommend(session, 20)
+        assert [s.item_id for s in got] == [s.item_id for s in expected]
+
+    @given(
+        clicks=clicks_strategy(),
+        session=session_strategy(),
+        extension=st.lists(st.integers(0, 9), min_size=1, max_size=3),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_dataflow_incremental_equals_fresh(self, clicks, session, extension):
+        """Feeding a session incrementally (prefix then extension) must
+        equal computing the full session from scratch."""
+        index = SessionIndex.from_clicks(clicks, max_sessions_per_item=10**6)
+        engine = DataflowVMIS(index, m=10**6, k=10**6)
+        engine.recommend(session, 20)  # warm incremental state
+        incremental = engine.recommend(session + extension, 20)
+        fresh_engine = DataflowVMIS(index, m=10**6, k=10**6)
+        fresh = fresh_engine.recommend(session + extension, 20)
+        assert incremental == fresh

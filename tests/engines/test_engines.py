@@ -1,0 +1,161 @@
+"""Tests for the four alternative engines of the Figure 3(a) comparison."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.index import SessionIndex
+from repro.core.vmis import VMISKNN
+from repro.engines import (
+    DataflowVMIS,
+    GarbageCollectorSimulator,
+    HashmapVMIS,
+    MemoryBudgetExceeded,
+    ReferenceVSKNN,
+    SQLVMIS,
+)
+
+
+@pytest.fixture(scope="module")
+def engine_index(medium_log):
+    return SessionIndex.from_clicks(medium_log, max_sessions_per_item=10**9)
+
+
+@pytest.fixture(scope="module")
+def test_prefixes(medium_log):
+    sequences = list(medium_log.session_item_sequences().values())[:15]
+    return [seq[: max(1, len(seq) // 2)] for seq in sequences]
+
+
+class TestAllEnginesProduceResults:
+    @pytest.mark.parametrize(
+        "engine_cls", [ReferenceVSKNN, DataflowVMIS, HashmapVMIS, SQLVMIS]
+    )
+    def test_nonempty_descending_recommendations(
+        self, engine_cls, engine_index, test_prefixes
+    ):
+        engine = engine_cls(engine_index, m=100, k=50)
+        produced = 0
+        for prefix in test_prefixes:
+            results = engine.recommend(prefix, how_many=10)
+            scores = [s.score for s in results]
+            assert scores == sorted(scores, reverse=True)
+            produced += bool(results)
+        assert produced > 0
+
+    @pytest.mark.parametrize(
+        "engine_cls", [ReferenceVSKNN, DataflowVMIS, HashmapVMIS, SQLVMIS]
+    )
+    def test_empty_session(self, engine_cls, engine_index):
+        assert engine_cls(engine_index, m=10, k=5).recommend([]) == []
+
+
+class TestCrossEngineAgreement:
+    """With m larger than every candidate set, all VMIS-style engines must
+    rank the same items as the reference VMIS-kNN implementation."""
+
+    def test_hashmap_matches_vmis(self, engine_index, test_prefixes):
+        m = engine_index.num_sessions + 1
+        vmis = VMISKNN(engine_index, m=m, k=50)
+        hashmap = HashmapVMIS(engine_index, m=m, k=50)
+        for prefix in test_prefixes:
+            expected = [s.item_id for s in vmis.recommend(prefix, 10)]
+            got = [s.item_id for s in hashmap.recommend(prefix, 10)]
+            assert got == expected, prefix
+
+    def test_dataflow_matches_vmis(self, engine_index, test_prefixes):
+        m = engine_index.num_sessions + 1
+        vmis = VMISKNN(engine_index, m=m, k=50)
+        dataflow = DataflowVMIS(engine_index, m=m, k=50)
+        for prefix in test_prefixes:
+            dataflow.reset()
+            expected = [s.item_id for s in vmis.recommend(prefix, 10)]
+            got = [s.item_id for s in dataflow.recommend(prefix, 10)]
+            assert got == expected, prefix
+
+    def test_sql_matches_vmis(self, engine_index, test_prefixes):
+        m = engine_index.num_sessions + 1
+        vmis = VMISKNN(engine_index, m=m, k=50)
+        sql = SQLVMIS(engine_index, m=m, k=50, intermediate_budget=10**9)
+        for prefix in test_prefixes:
+            expected = [s.item_id for s in vmis.recommend(prefix, 10)]
+            got = [s.item_id for s in sql.recommend(prefix, 10)]
+            assert got == expected, prefix
+
+
+class TestDataflowIncrementality:
+    def test_growing_session_reuses_state(self, engine_index):
+        engine = DataflowVMIS(engine_index, m=50, k=20)
+        sequence = next(
+            items
+            for items in (
+                engine_index.items_of(sid)
+                for sid in range(engine_index.num_sessions)
+            )
+            if len(items) >= 3
+        )
+        engine.recommend(list(sequence[:1]))
+        state_after_one = engine.state_size()
+        engine.recommend(list(sequence[:2]))  # extends -> incremental
+        assert engine._flow is not None
+        assert engine._flow.items == list(sequence[:2])
+        assert engine.state_size()["similarities"] >= 0
+        del state_after_one
+
+    def test_non_prefix_input_resets(self, engine_index):
+        engine = DataflowVMIS(engine_index, m=50, k=20)
+        engine.recommend([1, 2])
+        engine.recommend([3])
+        assert engine._flow.items == [3]
+
+    def test_retraction_on_weight_change(self, engine_index):
+        # Appending a click changes all decay weights; the maintained sums
+        # must equal a from-scratch computation.
+        engine_a = DataflowVMIS(engine_index, m=100, k=30)
+        engine_b = DataflowVMIS(engine_index, m=100, k=30)
+        session = [1, 5, 9, 3]
+        for cut in range(1, len(session) + 1):
+            incremental = engine_a.recommend(session[:cut], 10)
+            engine_b.reset()
+            fresh = engine_b.recommend(session[:cut], 10)
+            assert incremental == fresh
+
+
+class TestMemoryBudgets:
+    def test_reference_budget_enforced(self, engine_index):
+        engine = ReferenceVSKNN(engine_index, m=100, k=50, intermediate_budget=5)
+        # Any reasonably popular item should blow a 5-row budget.
+        popular_item = max(
+            engine_index.item_to_sessions,
+            key=lambda item: len(engine_index.item_to_sessions[item]),
+        )
+        with pytest.raises(MemoryBudgetExceeded):
+            engine.recommend([popular_item])
+
+    def test_sql_budget_enforced(self, engine_index):
+        engine = SQLVMIS(engine_index, m=100, k=50, intermediate_budget=10)
+        popular_item = max(
+            engine_index.item_to_sessions,
+            key=lambda item: len(engine_index.item_to_sessions[item]),
+        )
+        with pytest.raises(MemoryBudgetExceeded):
+            engine.recommend([popular_item])
+
+    def test_budget_error_carries_counts(self):
+        error = MemoryBudgetExceeded("X", rows=100, budget=10)
+        assert error.engine == "X"
+        assert error.rows == 100
+        assert error.budget == 10
+
+
+class TestGarbageCollectorSimulator:
+    def test_collects_at_threshold(self):
+        gc = GarbageCollectorSimulator(young_generation_size=10)
+        for i in range(25):
+            gc.allocate(object())
+        assert gc.collections == 2
+        assert gc.objects_traced == 20
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            GarbageCollectorSimulator(young_generation_size=0)

@@ -1,0 +1,115 @@
+"""Tests for the diagnostic evaluation breakdowns."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.types import Click, ScoredItem
+from repro.eval.analysis import (
+    SliceMetrics,
+    breakdown_evaluation,
+    popularity_buckets,
+)
+
+
+class FixedRecommender:
+    """Always recommends the same list."""
+
+    def __init__(self, items):
+        self._items = items
+
+    def recommend(self, session_items, how_many=21):
+        return [ScoredItem(i, 1.0) for i in self._items[:how_many]]
+
+
+class TestPopularityBuckets:
+    def test_head_torso_tail_assignment(self):
+        clicks = (
+            [Click(0, 1, t) for t in range(60)]
+            + [Click(1, 2, t) for t in range(30)]
+            + [Click(2, 3, t) for t in range(10)]
+        )
+        buckets = popularity_buckets(clicks, head_share=0.5, torso_share=0.9)
+        assert buckets[1] == "head"  # 60% of clicks... first item exceeds 50%
+        assert buckets[3] == "tail"
+
+    def test_shares_validated(self):
+        with pytest.raises(ValueError):
+            popularity_buckets([], head_share=0.9, torso_share=0.5)
+
+    def test_every_item_assigned(self, small_log):
+        buckets = popularity_buckets(list(small_log))
+        assert set(buckets) == {c.item_id for c in small_log}
+        assert set(buckets.values()) <= {"head", "torso", "tail"}
+
+
+class TestSliceMetrics:
+    def test_accumulates(self):
+        slice_metrics = SliceMetrics()
+        slice_metrics.record([5, 6], 5)
+        slice_metrics.record([5, 6], 6)
+        slice_metrics.record([5, 6], 7)
+        assert slice_metrics.predictions == 3
+        assert slice_metrics.mrr == pytest.approx((1.0 + 0.5 + 0.0) / 3)
+        assert slice_metrics.hit_rate == pytest.approx(2 / 3)
+
+    def test_empty_is_zero(self):
+        assert SliceMetrics().mrr == 0.0
+        assert SliceMetrics().hit_rate == 0.0
+
+
+class TestBreakdownEvaluation:
+    @pytest.fixture()
+    def train_clicks(self):
+        return [Click(0, i % 5, t) for t, i in enumerate(range(50))]
+
+    def test_prefix_length_slicing(self, train_clicks):
+        sequences = {0: [1, 2, 3, 4]}
+        report = breakdown_evaluation(
+            FixedRecommender([2]), sequences, train_clicks
+        )
+        # Steps: prefix length 1 (target 2), 2 (target 3), 3 (target 4).
+        assert set(report.by_prefix_length) == {1, 2, 3}
+        assert report.by_prefix_length[1].hit_rate == 1.0
+        assert report.by_prefix_length[2].hit_rate == 0.0
+
+    def test_long_prefixes_folded(self, train_clicks):
+        sequences = {0: list(range(15))}
+        report = breakdown_evaluation(
+            FixedRecommender([99]),
+            sequences,
+            train_clicks,
+            max_prefix_length=5,
+        )
+        assert max(report.by_prefix_length) == 5
+        assert report.by_prefix_length[5].predictions == 10
+
+    def test_popularity_slicing_uses_train_buckets(self, train_clicks):
+        # Target 999 never seen in training -> tail by definition.
+        sequences = {0: [1, 999]}
+        report = breakdown_evaluation(
+            FixedRecommender([999]), sequences, train_clicks
+        )
+        assert report.by_popularity["tail"].predictions == 1
+        assert report.by_popularity["tail"].hit_rate == 1.0
+
+    def test_max_predictions_cap(self, train_clicks):
+        sequences = {0: [1, 2, 3, 4, 0]}
+        report = breakdown_evaluation(
+            FixedRecommender([1]),
+            sequences,
+            train_clicks,
+            max_predictions=2,
+        )
+        total = sum(s.predictions for s in report.by_prefix_length.values())
+        assert total == 2
+
+    def test_render_contains_both_sections(self, train_clicks):
+        sequences = {0: [1, 2, 3]}
+        report = breakdown_evaluation(
+            FixedRecommender([2]), sequences, train_clicks
+        )
+        text = report.render()
+        assert "prefix length" in text
+        assert "popularity" in text
+        assert "head" in text and "tail" in text

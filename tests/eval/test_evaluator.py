@@ -1,0 +1,89 @@
+"""Tests for the incremental next-item evaluator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.types import ScoredItem
+from repro.eval.evaluator import evaluate_next_item
+
+
+class PerfectOracle:
+    """Knows every sequence; always puts the true next item first."""
+
+    def __init__(self, sequences):
+        self._answers = {}
+        for sequence in sequences:
+            for cut in range(1, len(sequence)):
+                self._answers[tuple(sequence[:cut])] = sequence[cut]
+
+    def recommend(self, session_items, how_many=21):
+        answer = self._answers.get(tuple(session_items))
+        if answer is None:
+            return []
+        return [ScoredItem(answer, 1.0)] + [
+            ScoredItem(10_000 + i, 0.5 - i * 0.01) for i in range(how_many - 1)
+        ]
+
+
+class UselessModel:
+    def recommend(self, session_items, how_many=21):
+        return [ScoredItem(999_000 + i, 1.0) for i in range(how_many)]
+
+
+@pytest.fixture()
+def sequences():
+    return [[1, 2, 3, 4], [5, 6, 7], [8, 9]]
+
+
+class TestEvaluator:
+    def test_perfect_oracle_scores_one_on_mrr_and_hr(self, sequences):
+        result = evaluate_next_item(PerfectOracle(sequences), sequences)
+        assert result.mrr == 1.0
+        assert result.hit_rate == 1.0
+        assert result.predictions == sum(len(s) - 1 for s in sequences)
+
+    def test_useless_model_scores_zero(self, sequences):
+        result = evaluate_next_item(UselessModel(), sequences)
+        assert result.mrr == 0.0
+        assert result.precision == 0.0
+        assert result.recall == 0.0
+
+    def test_accepts_mapping_input(self, sequences):
+        as_mapping = {i: s for i, s in enumerate(sequences)}
+        result = evaluate_next_item(PerfectOracle(sequences), as_mapping)
+        assert result.mrr == 1.0
+
+    def test_max_predictions_caps_work(self, sequences):
+        result = evaluate_next_item(
+            PerfectOracle(sequences), sequences, max_predictions=2
+        )
+        assert result.predictions == 2
+
+    def test_latency_measurement(self, sequences):
+        result = evaluate_next_item(
+            PerfectOracle(sequences), sequences, measure_latency=True
+        )
+        assert len(result.latencies_seconds) == result.predictions
+        assert result.latency_percentile(50) >= 0.0
+        assert result.latency_percentile(90) >= result.latency_percentile(10)
+
+    def test_latency_percentile_without_measurement_raises(self, sequences):
+        result = evaluate_next_item(PerfectOracle(sequences), sequences)
+        with pytest.raises(ValueError):
+            result.latency_percentile(90)
+
+    def test_summary_keys_follow_cutoff(self, sequences):
+        result = evaluate_next_item(PerfectOracle(sequences), sequences, cutoff=10)
+        assert set(result.summary()) == {
+            "MRR@10",
+            "HR@10",
+            "Prec@10",
+            "R@10",
+            "MAP@10",
+        }
+
+    def test_empty_input(self):
+        result = evaluate_next_item(UselessModel(), [])
+        assert result.predictions == 0
+        assert result.mrr == 0.0

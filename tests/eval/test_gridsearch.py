@@ -1,0 +1,71 @@
+"""Tests for the (k, m) grid search behind Figure 2."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.split import temporal_split
+from repro.eval.gridsearch import grid_search, _unimodal
+
+
+@pytest.fixture(scope="module")
+def split(small_log):
+    return temporal_split(small_log)
+
+
+@pytest.fixture(scope="module")
+def result(split):
+    return grid_search(
+        list(split.train),
+        split.test_sequences(),
+        ks=[5, 20, 50],
+        ms=[10, 50, 100],
+        max_predictions=150,
+    )
+
+
+class TestGridSearch:
+    def test_evaluates_full_grid(self, result):
+        assert len(result.points) == 9
+        assert {(p.k, p.m) for p in result.points} == {
+            (k, m) for k in (5, 20, 50) for m in (10, 50, 100)
+        }
+
+    def test_best_is_maximum(self, result):
+        best = result.best("mrr")
+        assert all(best.metric("mrr") >= p.metric("mrr") for p in result.points)
+
+    def test_matrix_layout(self, result):
+        matrix = result.matrix("mrr")
+        assert len(matrix) == 3 and len(matrix[0]) == 3
+        assert matrix[0][0] == result.points[0].metric("mrr")
+
+    def test_heatmap_renders(self, result):
+        heatmap = result.heatmap("mrr")
+        assert "k=5" in heatmap and "m:" in heatmap
+
+    def test_metric_variants(self, result):
+        assert result.best("precision").metric("precision") >= 0.0
+
+    def test_unknown_metric_raises(self, result):
+        with pytest.raises(ValueError):
+            result.best("nope")
+
+    def test_empty_grid_rejected(self, split):
+        with pytest.raises(ValueError):
+            grid_search(list(split.train), split.test_sequences(), ks=[], ms=[5])
+
+
+class TestUnimodal:
+    def test_monotone_is_unimodal(self):
+        assert _unimodal([1, 2, 3], 0.0)
+        assert _unimodal([3, 2, 1], 0.0)
+
+    def test_peak_in_middle(self):
+        assert _unimodal([1, 3, 2], 0.0)
+
+    def test_valley_is_not_unimodal(self):
+        assert not _unimodal([3, 1, 4], 0.0)
+
+    def test_tolerance_allows_noise(self):
+        assert _unimodal([1.0, 0.99, 2.0, 1.0], 0.05)

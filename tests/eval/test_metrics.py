@@ -1,0 +1,107 @@
+"""Tests for the ranking metrics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.eval.metrics import (
+    average_precision,
+    coverage,
+    hit,
+    precision,
+    recall,
+    reciprocal_rank,
+)
+
+
+class TestReciprocalRank:
+    def test_first_rank(self):
+        assert reciprocal_rank([5, 6, 7], 5) == 1.0
+
+    def test_third_rank(self):
+        assert reciprocal_rank([5, 6, 7], 7) == pytest.approx(1 / 3)
+
+    def test_absent(self):
+        assert reciprocal_rank([5, 6, 7], 9) == 0.0
+
+
+class TestHit:
+    def test_present_and_absent(self):
+        assert hit([1, 2], 2) == 1.0
+        assert hit([1, 2], 3) == 0.0
+
+
+class TestPrecisionRecall:
+    def test_precision(self):
+        assert precision([1, 2, 3, 4], [2, 4, 9]) == pytest.approx(0.5)
+
+    def test_precision_empty_recommendations(self):
+        assert precision([], [1]) == 0.0
+
+    def test_recall(self):
+        assert recall([1, 2, 3], [2, 3, 7, 8]) == pytest.approx(0.5)
+
+    def test_recall_no_relevant(self):
+        assert recall([1, 2], []) == 0.0
+
+    def test_duplicate_recommendations_counted_once_for_recall(self):
+        assert recall([2, 2, 2], [2, 3]) == pytest.approx(0.5)
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        assert average_precision([1, 2], [1, 2]) == 1.0
+
+    def test_paper_style_example(self):
+        # Relevant at ranks 1 and 3 of 3: (1/1 + 2/3)/2 = 5/6.
+        assert average_precision([1, 9, 2], [1, 2]) == pytest.approx(5 / 6)
+
+    def test_no_hits(self):
+        assert average_precision([1, 2], [3]) == 0.0
+
+    def test_empty_relevant(self):
+        assert average_precision([1, 2], []) == 0.0
+
+
+class TestCoverage:
+    def test_counts_distinct_items(self):
+        assert coverage([[1, 2], [2, 3]], catalog_size=10) == pytest.approx(0.3)
+
+    def test_invalid_catalog(self):
+        with pytest.raises(ValueError):
+            coverage([[1]], catalog_size=0)
+
+
+class TestMetricBounds:
+    @given(
+        recommended=st.lists(st.integers(0, 20), max_size=20),
+        relevant=st.lists(st.integers(0, 20), min_size=1, max_size=10),
+    )
+    def test_all_metrics_in_unit_interval(self, recommended, relevant):
+        next_item = relevant[0]
+        values = [
+            reciprocal_rank(recommended, next_item),
+            hit(recommended, next_item),
+            precision(recommended, relevant),
+            recall(recommended, relevant),
+            average_precision(recommended, relevant),
+        ]
+        for value in values:
+            assert 0.0 <= value <= 1.0
+
+    @given(recommended=st.lists(st.integers(0, 20), min_size=1, max_size=20))
+    def test_mrr_is_one_iff_target_first(self, recommended):
+        target = recommended[0]
+        assert reciprocal_rank(recommended, target) == 1.0
+
+    @given(
+        recommended=st.lists(st.integers(0, 20), min_size=1, max_size=20, unique=True),
+        relevant=st.lists(st.integers(0, 20), min_size=1, max_size=10, unique=True),
+    )
+    def test_precision_times_n_is_hit_count(self, recommended, relevant):
+        hits = len(set(recommended) & set(relevant))
+        assert precision(recommended, relevant) * len(recommended) == pytest.approx(
+            hits
+        )

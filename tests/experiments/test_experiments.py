@@ -1,0 +1,162 @@
+"""Tests for the declarative experiment framework."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.types import ScoredItem
+from repro.experiments import (
+    DatasetSpec,
+    ExperimentConfig,
+    ModelSpec,
+    ProtocolSpec,
+    build_model,
+    register_model,
+    registered_models,
+    run_experiment,
+)
+
+
+def tiny_config(**overrides):
+    defaults = dict(
+        name="t",
+        dataset=DatasetSpec(sessions=400, items=120, days=6, seed=1),
+        models=(ModelSpec("vmis", {"m": 50, "k": 20}),),
+        protocol=ProtocolSpec(max_predictions=50),
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+class TestDatasetSpec:
+    def test_exactly_one_source(self):
+        with pytest.raises(ValueError):
+            DatasetSpec().validate()
+        with pytest.raises(ValueError):
+            DatasetSpec(profile="rsc15-sim", sessions=10).validate()
+
+    def test_unknown_profile(self):
+        with pytest.raises(ValueError, match="rsc15-sim"):
+            DatasetSpec(profile="cifar").validate()
+
+    def test_generator_source_loads(self):
+        log = DatasetSpec(sessions=200, items=50, days=5, seed=2).load()
+        assert log.num_sessions() == 200
+
+    def test_profile_source_loads(self):
+        log = DatasetSpec(profile="retailrocket-sim", scale=0.01, seed=2).load()
+        assert log.num_sessions() > 0
+
+    def test_path_source_loads(self, small_log, tmp_path):
+        path = tmp_path / "c.tsv"
+        small_log.to_tsv(path)
+        log = DatasetSpec(path=str(path)).load()
+        assert len(log) == len(small_log)
+
+
+class TestConfigValidation:
+    def test_needs_models(self):
+        with pytest.raises(ValueError):
+            tiny_config(models=()).validate()
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            tiny_config(
+                models=(ModelSpec("vmis"), ModelSpec("vmis"))
+            ).validate()
+
+    def test_labels_disambiguate(self):
+        config = tiny_config(
+            models=(
+                ModelSpec("vmis", {"m": 10}, label="vmis-small"),
+                ModelSpec("vmis", {"m": 100}, label="vmis-big"),
+            )
+        )
+        config.validate()
+
+    def test_protocol_validation(self):
+        with pytest.raises(ValueError):
+            ProtocolSpec(test_days=0).validate()
+        with pytest.raises(ValueError):
+            ProtocolSpec(cutoff=0).validate()
+
+    def test_json_roundtrip(self, tmp_path):
+        config = tiny_config()
+        path = tmp_path / "config.json"
+        config.save(path)
+        assert ExperimentConfig.load(path) == config
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            ExperimentConfig.from_dict({"name": "x"})
+
+
+class TestRegistry:
+    def test_builtins_present(self):
+        names = registered_models()
+        for expected in ("vmis", "vsknn", "stan", "itemknn", "gru4rec"):
+            assert expected in names
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError, match="unknown model"):
+            build_model("alexnet", [], {})
+
+    def test_custom_registration(self):
+        class Constant:
+            def recommend(self, session_items, how_many=21):
+                return [ScoredItem(1, 1.0)]
+
+        register_model("constant-test", lambda clicks, params: Constant())
+        try:
+            model = build_model("constant-test", [], {})
+            assert model.recommend([5])[0].item_id == 1
+        finally:
+            from repro.experiments import registry
+
+            del registry._REGISTRY["constant-test"]
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            register_model("", lambda clicks, params: None)
+
+
+class TestRunner:
+    def test_runs_and_reports(self):
+        config = tiny_config(
+            models=(
+                ModelSpec("vmis", {"m": 50, "k": 20}),
+                ModelSpec("popularity"),
+            )
+        )
+        report = run_experiment(config)
+        assert len(report.outcomes) == 2
+        assert report.train_clicks > 0
+        assert report.test_sessions > 0
+        rendered = report.render()
+        assert "vmis" in rendered and "popularity" in rendered
+
+    def test_best_by_metric(self):
+        config = tiny_config(
+            models=(
+                ModelSpec("vmis", {"m": 50, "k": 20}),
+                ModelSpec("popularity"),
+            )
+        )
+        report = run_experiment(config)
+        top_mrr = max(outcome.result.mrr for outcome in report.outcomes)
+        assert report.best("mrr").result.mrr == top_mrr
+
+    def test_results_json(self, tmp_path):
+        report = run_experiment(tiny_config())
+        out = tmp_path / "results.json"
+        report.save_json(out)
+        payload = json.loads(out.read_text())
+        assert payload["experiment"] == "t"
+        assert payload["outcomes"][0]["metrics"]["MRR@20"] >= 0
+
+    def test_invalid_config_rejected_before_work(self):
+        config = tiny_config(models=())
+        with pytest.raises(ValueError):
+            run_experiment(config)

@@ -1,0 +1,60 @@
+"""Tests for the offline index build pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.index import SessionIndex
+from repro.core.types import Click
+from repro.index.builder import IndexBuilder, build_index
+
+
+class TestBuilderEquivalence:
+    def test_matches_direct_construction(self, small_log):
+        via_builder = build_index(list(small_log), max_sessions_per_item=20)
+        direct = SessionIndex.from_clicks(small_log, max_sessions_per_item=20)
+        assert via_builder.item_to_sessions == direct.item_to_sessions
+        assert via_builder.session_timestamps == direct.session_timestamps
+        assert via_builder.session_items == direct.session_items
+        assert via_builder.item_session_counts == direct.item_session_counts
+
+
+class TestBuildReport:
+    def test_report_counts(self, toy_clicks):
+        builder = IndexBuilder(max_sessions_per_item=2)
+        index = builder.build(toy_clicks)
+        report = builder.last_report
+        assert report.input_clicks == len(toy_clicks)
+        assert report.sessions == 6
+        assert report.distinct_items == 5
+        assert report.postings_after_truncation == sum(
+            len(v) for v in index.item_to_sessions.values()
+        )
+        assert report.postings_after_truncation <= report.postings_before_truncation
+        assert 0.0 < report.truncation_ratio <= 1.0
+
+    def test_stage_timings_recorded(self, toy_clicks):
+        builder = IndexBuilder()
+        builder.build(toy_clicks)
+        assert set(builder.last_report.stage_seconds) == {
+            "sessionize",
+            "assign_ids",
+            "invert_and_pack",
+        }
+
+
+class TestMinSessionLength:
+    def test_short_sessions_dropped(self):
+        clicks = [Click(0, 1, 10), Click(1, 1, 20), Click(1, 2, 30)]
+        index = IndexBuilder(min_session_length=2).build(clicks)
+        assert index.num_sessions == 1
+
+    def test_default_keeps_everything(self):
+        clicks = [Click(0, 1, 10), Click(1, 2, 20)]
+        assert build_index(clicks).num_sessions == 2
+
+
+class TestValidation:
+    def test_rejects_bad_m(self):
+        with pytest.raises(ValueError):
+            IndexBuilder(max_sessions_per_item=0)

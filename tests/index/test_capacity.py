@@ -1,0 +1,88 @@
+"""Tests for index capacity planning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.index import SessionIndex
+from repro.index.capacity import (
+    CPYTHON,
+    NATIVE,
+    estimate_capacity,
+    extrapolate,
+    measure_index,
+)
+
+
+class TestEstimate:
+    def test_components_sum_to_total(self):
+        estimate = estimate_capacity(
+            sessions=100, items=50, postings=400, stored_session_items=300
+        )
+        assert estimate.total_bytes == pytest.approx(
+            estimate.posting_bytes
+            + estimate.session_item_bytes
+            + estimate.timestamp_bytes
+            + estimate.overhead_bytes
+        )
+
+    def test_schedules_differ(self):
+        native = estimate_capacity(100, 50, 400, 300, schedule=NATIVE)
+        cpython = estimate_capacity(100, 50, 400, 300, schedule=CPYTHON)
+        assert cpython.total_bytes > native.total_bytes
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_capacity(-1, 1, 1, 1)
+
+    def test_render_contains_total(self):
+        estimate = estimate_capacity(100, 50, 400, 300)
+        assert "TOTAL" in estimate.render()
+
+
+class TestMeasure:
+    def test_counts_match_profile(self, toy_index):
+        estimate = measure_index(toy_index)
+        profile = toy_index.memory_profile()
+        assert estimate.sessions == profile["num_sessions"]
+        assert estimate.postings == profile["posting_entries"]
+
+
+class TestExtrapolate:
+    def test_linear_in_sessions(self, small_log):
+        index = SessionIndex.from_clicks(small_log, max_sessions_per_item=10**6)
+        base = extrapolate(index, target_sessions=10_000, target_items=index.num_items)
+        double = extrapolate(
+            index, target_sessions=20_000, target_items=index.num_items
+        )
+        # Timestamps and stored items double; postings grow (unsaturated).
+        assert double.timestamp_bytes == pytest.approx(2 * base.timestamp_bytes)
+        assert double.stored_session_items == pytest.approx(
+            2 * base.stored_session_items, rel=1e-6
+        )
+        assert double.postings > base.postings
+
+    def test_posting_saturation_at_m(self, small_log):
+        index = SessionIndex.from_clicks(small_log, max_sessions_per_item=5)
+        estimate = extrapolate(
+            index,
+            target_sessions=10**7,
+            target_items=index.num_items,
+            max_sessions_per_item=5,
+        )
+        # Every posting list is clipped at m: postings <= items * m.
+        assert estimate.postings <= index.num_items * 5
+
+    def test_validation(self, toy_index):
+        with pytest.raises(ValueError):
+            extrapolate(toy_index, target_sessions=0, target_items=10)
+
+    def test_paper_scale_order_of_magnitude(self, medium_log):
+        """§4.2: ~111M sessions / 6.5M items need "around 13 gigabytes".
+        The extrapolation from a small sample must land in the right
+        order of magnitude (single-digit to low-tens of GiB)."""
+        index = SessionIndex.from_clicks(medium_log, max_sessions_per_item=500)
+        estimate = extrapolate(
+            index, target_sessions=111_000_000, target_items=6_500_000
+        )
+        assert 1.0 < estimate.total_gigabytes < 40.0

@@ -1,0 +1,72 @@
+"""Tests for the compressed query-time index."""
+
+from __future__ import annotations
+
+from repro.core.index import SessionIndex
+from repro.core.vmis import VMISKNN
+from repro.index.compression import (
+    CompressedSessionIndex,
+    compression_ratio,
+    uncompressed_payload_bytes,
+)
+
+
+class TestInterfaceEquivalence:
+    def test_postings_identical(self, toy_index):
+        compressed = CompressedSessionIndex.from_index(toy_index)
+        for item in toy_index.item_to_sessions:
+            assert compressed.sessions_for_item(item) == toy_index.sessions_for_item(
+                item
+            )
+
+    def test_unknown_item_empty(self, toy_index):
+        compressed = CompressedSessionIndex.from_index(toy_index)
+        assert compressed.sessions_for_item(999) == []
+
+    def test_items_preserved_as_sets(self, toy_index):
+        compressed = CompressedSessionIndex.from_index(toy_index)
+        for session_id in range(toy_index.num_sessions):
+            assert set(compressed.items_of(session_id)) == set(
+                toy_index.items_of(session_id)
+            )
+
+    def test_timestamps_and_idf(self, toy_index):
+        compressed = CompressedSessionIndex.from_index(toy_index)
+        assert compressed.num_sessions == toy_index.num_sessions
+        for session_id in range(toy_index.num_sessions):
+            assert compressed.timestamp_of(session_id) == toy_index.timestamp_of(
+                session_id
+            )
+        for item in toy_index.item_to_sessions:
+            assert compressed.idf(item) == toy_index.idf(item)
+
+
+class TestQueriesOnCompressedIndex:
+    def test_vmis_results_identical(self, small_log):
+        index = SessionIndex.from_clicks(small_log, max_sessions_per_item=50)
+        compressed = CompressedSessionIndex.from_index(index)
+        plain = VMISKNN(index, m=50, k=20)
+        packed = VMISKNN(compressed, m=50, k=20)
+        for sequence in list(small_log.session_item_sequences().values())[:25]:
+            prefix = sequence[: max(1, len(sequence) // 2)]
+            assert plain.recommend(prefix) == packed.recommend(prefix)
+
+
+class TestCompressionWins:
+    def test_ratio_above_one(self, small_log):
+        index = SessionIndex.from_clicks(small_log, max_sessions_per_item=100)
+        compressed = CompressedSessionIndex.from_index(index)
+        assert compression_ratio(index, compressed) > 1.5
+        assert compressed.compressed_bytes() < uncompressed_payload_bytes(index)
+
+    def test_cache_eviction(self, toy_index):
+        compressed = CompressedSessionIndex.from_index(toy_index, cache_size=2)
+        for item in list(toy_index.item_to_sessions)[:4]:
+            compressed.sessions_for_item(item)
+        assert len(compressed._cache) <= 2
+
+    def test_cache_hit_returns_same_list(self, toy_index):
+        compressed = CompressedSessionIndex.from_index(toy_index)
+        first = compressed.sessions_for_item(1)
+        second = compressed.sessions_for_item(1)
+        assert first is second  # cached object reused

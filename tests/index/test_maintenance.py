@@ -1,0 +1,81 @@
+"""Tests for incremental index maintenance."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.types import Click
+from repro.index.maintenance import IncrementalIndexer, rebuild_equivalent
+
+
+def batched_clicks_strategy():
+    """Batches whose session timestamps are strictly increasing across
+    batches (each session entirely inside one batch)."""
+
+    @st.composite
+    def build(draw):
+        num_batches = draw(st.integers(1, 4))
+        batches = []
+        next_session = 0
+        clock = 0
+        for _ in range(num_batches):
+            num_sessions = draw(st.integers(0, 6))
+            batch = []
+            for _ in range(num_sessions):
+                length = draw(st.integers(1, 5))
+                for _ in range(length):
+                    clock += draw(st.integers(1, 10))
+                    item = draw(st.integers(0, 9))
+                    batch.append(Click(next_session, item, clock))
+                next_session += 1
+            batches.append(batch)
+        return batches
+
+    return build()
+
+
+class TestIncrementalEquivalence:
+    @given(batches=batched_clicks_strategy(), m=st.integers(1, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_full_rebuild(self, batches, m):
+        indexer = IncrementalIndexer(max_sessions_per_item=m)
+        for batch in batches:
+            indexer.apply_batch(batch)
+        full = rebuild_equivalent(batches, max_sessions_per_item=m)
+        assert indexer.index.item_to_sessions == full.item_to_sessions
+        assert indexer.index.session_timestamps == full.session_timestamps
+        assert indexer.index.session_items == full.session_items
+        assert indexer.index.item_session_counts == full.item_session_counts
+
+
+class TestBatchRules:
+    def test_out_of_order_batch_rejected(self):
+        indexer = IncrementalIndexer()
+        indexer.apply_batch([Click(0, 1, 1000)])
+        with pytest.raises(ValueError, match="time-ordered"):
+            indexer.apply_batch([Click(1, 2, 500)])
+
+    def test_empty_batch_is_noop(self):
+        indexer = IncrementalIndexer()
+        assert indexer.apply_batch([]) == 0
+        assert indexer.index.num_sessions == 0
+
+    def test_returns_session_count(self):
+        indexer = IncrementalIndexer()
+        added = indexer.apply_batch(
+            [Click(0, 1, 10), Click(0, 2, 11), Click(1, 1, 20)]
+        )
+        assert added == 2
+
+    def test_idf_updates_after_batch(self):
+        indexer = IncrementalIndexer()
+        indexer.apply_batch([Click(0, 1, 10)])
+        first_idf = indexer.index.idf(1)
+        indexer.apply_batch([Click(1, 2, 20)])
+        assert indexer.index.idf(1) != first_idf  # |H| grew
+
+    def test_rejects_bad_m(self):
+        with pytest.raises(ValueError):
+            IncrementalIndexer(max_sessions_per_item=0)

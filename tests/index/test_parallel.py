@@ -1,0 +1,45 @@
+"""Tests for the data-parallel index builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.index import SessionIndex
+from repro.index.parallel import ParallelIndexBuilder, build_index_parallel
+
+
+class TestParallelEquivalence:
+    def test_inline_build_matches_sequential(self, small_log):
+        parallel = build_index_parallel(
+            list(small_log), max_sessions_per_item=20, num_workers=1
+        )
+        direct = SessionIndex.from_clicks(small_log, max_sessions_per_item=20)
+        assert parallel.item_to_sessions == direct.item_to_sessions
+        assert parallel.session_timestamps == direct.session_timestamps
+
+    def test_multiprocess_build_matches_sequential(self, small_log):
+        parallel = build_index_parallel(
+            list(small_log), max_sessions_per_item=20, num_workers=2
+        )
+        direct = SessionIndex.from_clicks(small_log, max_sessions_per_item=20)
+        assert parallel.item_to_sessions == direct.item_to_sessions
+        assert parallel.session_items == direct.session_items
+
+    def test_partition_count_does_not_change_result(self, small_log):
+        few = ParallelIndexBuilder(20, num_workers=1, num_partitions=2).build(
+            list(small_log)
+        )
+        many = ParallelIndexBuilder(20, num_workers=1, num_partitions=16).build(
+            list(small_log)
+        )
+        assert few.item_to_sessions == many.item_to_sessions
+
+
+class TestValidation:
+    def test_rejects_bad_m(self):
+        with pytest.raises(ValueError):
+            ParallelIndexBuilder(max_sessions_per_item=0)
+
+    def test_worker_floor(self):
+        builder = ParallelIndexBuilder(10, num_workers=-3)
+        assert builder.num_workers == 1

@@ -1,0 +1,124 @@
+"""Tests for the binary index container format."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.index import SessionIndex
+from repro.core.types import Click
+from repro.index.serialization import (
+    _encode_descending,
+    _decode_descending,
+    _read_varint,
+    _write_varint,
+    deserialize_index,
+    load_index,
+    save_index,
+    serialize_index,
+)
+
+
+class TestVarints:
+    @given(value=st.integers(0, 2**62))
+    def test_varint_roundtrip(self, value):
+        buffer = bytearray()
+        _write_varint(buffer, value)
+        decoded, offset = _read_varint(bytes(buffer), 0)
+        assert decoded == value
+        assert offset == len(buffer)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            _write_varint(bytearray(), -1)
+
+    @given(
+        values=st.lists(st.integers(0, 10**6), min_size=0, max_size=50).map(
+            lambda v: sorted(set(v), reverse=True)
+        )
+    )
+    def test_descending_roundtrip(self, values):
+        encoded = _encode_descending(values)
+        decoded, consumed = _decode_descending(bytes(encoded), 0)
+        assert decoded == values
+        assert consumed == len(encoded)
+
+    def test_non_descending_rejected(self):
+        with pytest.raises(ValueError):
+            _encode_descending([1, 2])
+
+
+def index_roundtrip(index: SessionIndex) -> SessionIndex:
+    return deserialize_index(serialize_index(index))
+
+
+class TestIndexRoundtrip:
+    def test_toy_roundtrip(self, toy_index):
+        restored = index_roundtrip(toy_index)
+        assert restored.item_to_sessions == toy_index.item_to_sessions
+        assert restored.session_timestamps == toy_index.session_timestamps
+        assert restored.session_items == toy_index.session_items
+        assert restored.item_session_counts == toy_index.item_session_counts
+        assert restored.max_sessions_per_item == toy_index.max_sessions_per_item
+
+    @given(
+        rows=st.lists(
+            st.tuples(
+                st.integers(0, 9), st.integers(0, 9), st.integers(0, 100_000)
+            ),
+            min_size=1,
+            max_size=60,
+        ),
+        m=st.integers(1, 12),
+    )
+    @settings(max_examples=40)
+    def test_random_roundtrip(self, rows, m):
+        index = SessionIndex.from_clicks(
+            [Click(s, i, t) for s, i, t in rows], max_sessions_per_item=m
+        )
+        restored = index_roundtrip(index)
+        assert restored.item_to_sessions == index.item_to_sessions
+        assert restored.session_items == index.session_items
+
+    def test_file_roundtrip(self, toy_index, tmp_path):
+        path = tmp_path / "index.vmis"
+        written = save_index(toy_index, path)
+        assert path.stat().st_size == written
+        restored = load_index(path)
+        assert restored.item_to_sessions == toy_index.item_to_sessions
+
+
+class TestCorruptionDetection:
+    def test_bad_magic(self):
+        with pytest.raises(ValueError, match="magic"):
+            deserialize_index(b"NOPE" + b"\x00" * 20)
+
+    def test_flipped_byte_detected(self, toy_index):
+        data = bytearray(serialize_index(toy_index))
+        data[len(data) // 2] ^= 0xFF
+        with pytest.raises(ValueError, match="corrupted"):
+            deserialize_index(bytes(data))
+
+    def test_unsupported_version(self, toy_index):
+        import struct
+        import zlib
+
+        data = bytearray(serialize_index(toy_index))
+        data[4:8] = struct.pack("<I", 99)
+        data[-4:] = struct.pack("<I", zlib.crc32(bytes(data[:-4])) & 0xFFFFFFFF)
+        with pytest.raises(ValueError, match="version"):
+            deserialize_index(bytes(data))
+
+    def test_queries_identical_after_roundtrip(self, small_log):
+        from repro.core.vmis import VMISKNN
+
+        index = SessionIndex.from_clicks(small_log, max_sessions_per_item=50)
+        restored = index_roundtrip(index)
+        original_model = VMISKNN(index, m=50, k=20)
+        restored_model = VMISKNN(restored, m=50, k=20)
+        for sequence in list(small_log.session_item_sequences().values())[:20]:
+            prefix = sequence[: max(1, len(sequence) // 2)]
+            assert original_model.recommend(prefix) == restored_model.recommend(
+                prefix
+            )

@@ -1,0 +1,202 @@
+"""Tests for the embedded KV store, including model-based property tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.kvstore.store import KVStore
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestBasicOperations:
+    def test_read_your_writes(self):
+        store = KVStore()
+        store.put(b"k", b"v")
+        assert store.get(b"k") == b"v"
+
+    def test_missing_key(self):
+        assert KVStore().get(b"missing") is None
+
+    def test_overwrite(self):
+        store = KVStore()
+        store.put(b"k", b"v1")
+        store.put(b"k", b"v2")
+        assert store.get(b"k") == b"v2"
+
+    def test_delete(self):
+        store = KVStore()
+        store.put(b"k", b"v")
+        assert store.delete(b"k") is True
+        assert store.get(b"k") is None
+        assert store.delete(b"k") is False
+
+    def test_keys_lists_live_entries(self):
+        store = KVStore()
+        store.put(b"a", b"1")
+        store.put(b"b", b"2")
+        assert sorted(store.keys()) == [b"a", b"b"]
+
+
+class TestTTL:
+    def test_entry_expires(self):
+        clock = FakeClock()
+        store = KVStore(default_ttl=100, clock=clock)
+        store.put(b"k", b"v")
+        clock.advance(99)
+        assert store.get(b"k") == b"v"
+        clock.advance(2)
+        assert store.get(b"k") is None
+
+    def test_per_put_ttl_overrides_default(self):
+        clock = FakeClock()
+        store = KVStore(default_ttl=100, clock=clock)
+        store.put(b"k", b"v", ttl=10)
+        clock.advance(11)
+        assert store.get(b"k") is None
+
+    def test_touch_refreshes(self):
+        clock = FakeClock()
+        store = KVStore(default_ttl=100, clock=clock)
+        store.put(b"k", b"v")
+        clock.advance(90)
+        assert store.touch(b"k") is True
+        clock.advance(90)
+        assert store.get(b"k") == b"v"
+
+    def test_touch_of_expired_entry_fails(self):
+        clock = FakeClock()
+        store = KVStore(default_ttl=10, clock=clock)
+        store.put(b"k", b"v")
+        clock.advance(20)
+        assert store.touch(b"k") is False
+
+    def test_sweep_removes_expired(self):
+        clock = FakeClock()
+        store = KVStore(default_ttl=10, clock=clock)
+        for i in range(5):
+            store.put(f"k{i}".encode(), b"v")
+        clock.advance(20)
+        store.put(b"fresh", b"v")
+        assert store.sweep() == 5
+        assert len(store) == 1
+
+    def test_delete_of_expired_entry_reports_false(self):
+        clock = FakeClock()
+        store = KVStore(default_ttl=10, clock=clock)
+        store.put(b"k", b"v")
+        clock.advance(20)
+        assert store.delete(b"k") is False
+
+
+class TestDurability:
+    def test_wal_replay_restores_state(self, tmp_path):
+        path = tmp_path / "store.wal"
+        with KVStore(wal_path=path) as store:
+            store.put(b"a", b"1")
+            store.put(b"b", b"2")
+            store.delete(b"a")
+        with KVStore(wal_path=path) as restored:
+            assert restored.get(b"a") is None
+            assert restored.get(b"b") == b"2"
+
+    def test_expired_entries_not_restored(self, tmp_path):
+        path = tmp_path / "store.wal"
+        clock = FakeClock()
+        with KVStore(wal_path=path, default_ttl=10, clock=clock) as store:
+            store.put(b"k", b"v")
+        clock.advance(20)
+        with KVStore(wal_path=path, clock=clock) as restored:
+            assert restored.get(b"k") is None
+
+    def test_compact_shrinks_wal(self, tmp_path):
+        path = tmp_path / "store.wal"
+        with KVStore(wal_path=path) as store:
+            for _ in range(50):
+                store.put(b"hot", b"x" * 100)
+            before = path.stat().st_size
+            store.compact()
+            after = path.stat().st_size
+            assert after < before
+            assert store.get(b"hot") == b"x" * 100
+
+    def test_state_survives_compaction_cycle(self, tmp_path):
+        path = tmp_path / "store.wal"
+        with KVStore(wal_path=path) as store:
+            store.put(b"a", b"1")
+            store.delete(b"a")
+            store.put(b"b", b"2")
+            store.compact()
+        with KVStore(wal_path=path) as restored:
+            assert restored.get(b"a") is None
+            assert restored.get(b"b") == b"2"
+
+
+class TestModelBased:
+    @given(
+        operations=st.lists(
+            st.tuples(
+                st.sampled_from(["put", "delete", "get"]),
+                st.integers(0, 8),
+                st.binary(max_size=12),
+            ),
+            max_size=80,
+        )
+    )
+    @settings(max_examples=60)
+    def test_matches_dict_model(self, operations):
+        store = KVStore()
+        model: dict[bytes, bytes] = {}
+        for operation, key_number, value in operations:
+            key = f"key{key_number}".encode()
+            if operation == "put":
+                store.put(key, value)
+                model[key] = value
+            elif operation == "delete":
+                assert store.delete(key) == (key in model)
+                model.pop(key, None)
+            else:
+                assert store.get(key) == model.get(key)
+
+    @given(
+        operations=st.lists(
+            st.tuples(
+                st.sampled_from(["put", "delete"]),
+                st.integers(0, 5),
+                st.binary(max_size=8),
+            ),
+            max_size=40,
+        )
+    )
+    @settings(max_examples=30)
+    def test_wal_replay_equals_live_state(self, operations):
+        # A fresh file per hypothesis example (tmp_path would be shared
+        # across examples, leaking records between runs).
+        import tempfile
+        from pathlib import Path
+
+        path = Path(tempfile.mkdtemp()) / "model.wal"
+        live: dict[bytes, bytes | None] = {}
+        with KVStore(wal_path=path) as store:
+            for operation, key_number, value in operations:
+                key = f"key{key_number}".encode()
+                if operation == "put":
+                    store.put(key, value)
+                    live[key] = value
+                else:
+                    store.delete(key)
+                    live[key] = None
+        with KVStore(wal_path=path) as restored:
+            for key, value in live.items():
+                assert restored.get(key) == value

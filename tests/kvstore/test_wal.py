@@ -1,0 +1,76 @@
+"""Tests for the write-ahead log."""
+
+from __future__ import annotations
+
+from repro.kvstore.wal import OP_DELETE, OP_PUT, WalRecord, WriteAheadLog
+
+
+class TestRecordEncoding:
+    def test_put_roundtrip(self, tmp_path):
+        path = tmp_path / "wal.bin"
+        with WriteAheadLog(path) as wal:
+            wal.append(WalRecord(OP_PUT, b"key", b"value", 123.5))
+        records = list(WriteAheadLog.replay(path))
+        assert len(records) == 1
+        assert records[0].op == OP_PUT
+        assert records[0].key == b"key"
+        assert records[0].value == b"value"
+        assert records[0].expire_at == 123.5
+
+    def test_delete_roundtrip(self, tmp_path):
+        path = tmp_path / "wal.bin"
+        with WriteAheadLog(path) as wal:
+            wal.append(WalRecord(OP_DELETE, b"gone"))
+        records = list(WriteAheadLog.replay(path))
+        assert records[0].op == OP_DELETE
+        assert records[0].key == b"gone"
+
+    def test_many_records_in_order(self, tmp_path):
+        path = tmp_path / "wal.bin"
+        with WriteAheadLog(path) as wal:
+            for i in range(100):
+                wal.append(WalRecord(OP_PUT, f"k{i}".encode(), f"v{i}".encode()))
+        keys = [r.key for r in WriteAheadLog.replay(path)]
+        assert keys == [f"k{i}".encode() for i in range(100)]
+
+    def test_empty_values_allowed(self, tmp_path):
+        path = tmp_path / "wal.bin"
+        with WriteAheadLog(path) as wal:
+            wal.append(WalRecord(OP_PUT, b"", b""))
+        records = list(WriteAheadLog.replay(path))
+        assert records[0].key == b"" and records[0].value == b""
+
+
+class TestRecovery:
+    def test_replay_of_missing_file_is_empty(self, tmp_path):
+        assert list(WriteAheadLog.replay(tmp_path / "nope.bin")) == []
+
+    def test_torn_tail_truncated(self, tmp_path):
+        path = tmp_path / "wal.bin"
+        with WriteAheadLog(path) as wal:
+            wal.append(WalRecord(OP_PUT, b"good", b"1"))
+            wal.append(WalRecord(OP_PUT, b"torn", b"2"))
+        data = path.read_bytes()
+        path.write_bytes(data[:-3])  # simulate crash mid-append
+        records = list(WriteAheadLog.replay(path))
+        assert [r.key for r in records] == [b"good"]
+
+    def test_corrupted_tail_stops_replay(self, tmp_path):
+        path = tmp_path / "wal.bin"
+        with WriteAheadLog(path) as wal:
+            wal.append(WalRecord(OP_PUT, b"a", b"1"))
+            wal.append(WalRecord(OP_PUT, b"b", b"2"))
+        data = bytearray(path.read_bytes())
+        data[-2] ^= 0xFF  # flip a byte inside the second record
+        path.write_bytes(bytes(data))
+        records = list(WriteAheadLog.replay(path))
+        assert [r.key for r in records] == [b"a"]
+
+    def test_append_after_reopen(self, tmp_path):
+        path = tmp_path / "wal.bin"
+        with WriteAheadLog(path) as wal:
+            wal.append(WalRecord(OP_PUT, b"first", b"1"))
+        with WriteAheadLog(path) as wal:
+            wal.append(WalRecord(OP_PUT, b"second", b"2"))
+        keys = [r.key for r in WriteAheadLog.replay(path)]
+        assert keys == [b"first", b"second"]

@@ -1,0 +1,88 @@
+"""Tests for the serving cluster (router + pods)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.index import SessionIndex
+from repro.core.vmis import VMISKNN
+from repro.serving.app import ServingCluster
+from repro.serving.server import RecommendationRequest
+
+
+@pytest.fixture()
+def cluster(toy_index):
+    return ServingCluster.with_index(toy_index, num_pods=3, m=10, k=10)
+
+
+class TestRouting:
+    def test_session_stickiness(self, cluster):
+        pods = {
+            cluster.handle(RecommendationRequest("sticky-user", item)).served_by
+            for item in (1, 2, 4, 5)
+        }
+        assert len(pods) == 1
+
+    def test_state_lives_on_owning_pod_only(self, cluster):
+        cluster.handle(RecommendationRequest("u-x", 1))
+        owner = cluster.router.route("u-x")
+        for pod_id, server in cluster.pods.items():
+            stored = server.sessions.get_session("u-x")
+            if pod_id == owner:
+                assert stored == [1]
+            else:
+                assert stored is None
+
+    def test_request_counting(self, cluster):
+        for i in range(10):
+            cluster.handle(RecommendationRequest(f"user-{i}", 1))
+        assert cluster.total_requests() == 10
+        assert len(cluster.all_service_times()) == 10
+
+
+class TestScaling:
+    def test_scale_up_adds_pods(self, cluster):
+        cluster.scale_to(5)
+        assert len(cluster.pods) == 5
+        assert len(cluster.router.pods) == 5
+
+    def test_scale_down_removes_pods(self, cluster):
+        cluster.scale_to(1)
+        assert list(cluster.pods) == ["pod-0"]
+
+    def test_scale_down_loses_sessions_of_removed_pods_only(self, toy_index):
+        cluster = ServingCluster.with_index(toy_index, num_pods=3, m=10, k=10)
+        keys = [f"user-{i}" for i in range(30)]
+        for key in keys:
+            cluster.handle(RecommendationRequest(key, 1))
+        survivors = {
+            key
+            for key in keys
+            if cluster.router.route(key) in ("pod-0", "pod-1")
+        }
+        cluster.scale_to(2)
+        for key in survivors:
+            owner = cluster.router.route(key)
+            assert cluster.pods[owner].sessions.get_session(key) == [1]
+
+    def test_rejects_zero_pods(self, cluster):
+        with pytest.raises(ValueError):
+            cluster.scale_to(0)
+        with pytest.raises(ValueError):
+            ServingCluster(lambda: None, num_pods=0)
+
+
+class TestIndexRollout:
+    def test_rollout_replaces_all_pods(self, toy_index, toy_clicks):
+        cluster = ServingCluster.with_index(toy_index, num_pods=2, m=10, k=10)
+        fresh_index = SessionIndex.from_clicks(toy_clicks, max_sessions_per_item=3)
+        cluster.rollout_index(lambda: VMISKNN(fresh_index, m=3, k=5))
+        for server in cluster.pods.values():
+            assert server.recommender.index is fresh_index
+
+    def test_new_pods_after_rollout_use_new_factory(self, toy_index, toy_clicks):
+        cluster = ServingCluster.with_index(toy_index, num_pods=1, m=10, k=10)
+        fresh_index = SessionIndex.from_clicks(toy_clicks, max_sessions_per_item=3)
+        cluster.rollout_index(lambda: VMISKNN(fresh_index, m=3, k=5))
+        cluster.scale_to(2)
+        assert cluster.pods["pod-1"].recommender.index is fresh_index

@@ -1,0 +1,160 @@
+"""Tests for the REST serving application."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serving.app import ServingCluster
+from repro.serving.http import (
+    BadRequest,
+    SerenadeHTTPServer,
+    SerenadeService,
+    parse_recommend_payload,
+)
+from repro.serving.variants import ServingVariant
+
+
+@pytest.fixture(scope="module")
+def cluster(toy_index):
+    return ServingCluster.with_index(toy_index, num_pods=2, m=10, k=10)
+
+
+@pytest.fixture(scope="module")
+def server(cluster):
+    with SerenadeHTTPServer(cluster, port=0) as running:
+        yield running
+
+
+def post_json(server, path, payload):
+    body = json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{server.port}{path}",
+        data=body,
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=5) as response:
+        return response.status, json.load(response)
+
+
+def get(server, path):
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{server.port}{path}", timeout=5
+    ) as response:
+        return response.status, response.read().decode("utf-8")
+
+
+class TestPayloadParsing:
+    def test_valid_payload(self):
+        request = parse_recommend_payload(
+            {"session_id": "u", "item_id": 3, "variant": "serenade-recent"}
+        )
+        assert request.session_key == "u"
+        assert request.item_id == 3
+        assert request.variant is ServingVariant.RECENT
+        assert request.how_many == 21
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {},
+            {"session_id": "", "item_id": 1},
+            {"session_id": "u"},
+            {"session_id": "u", "item_id": "one"},
+            {"session_id": "u", "item_id": True},
+            {"session_id": "u", "item_id": 1, "consent": "yes"},
+            {"session_id": "u", "item_id": 1, "variant": "bogus"},
+            {"session_id": "u", "item_id": 1, "count": 0},
+            {"session_id": "u", "item_id": 1, "count": 1000},
+            [1, 2, 3],
+        ],
+    )
+    def test_invalid_payloads_rejected(self, payload):
+        with pytest.raises(BadRequest):
+            parse_recommend_payload(payload)
+
+
+class TestEndpoints:
+    def test_healthz(self, server):
+        status, body = get(server, "/healthz")
+        assert status == 200
+        health = json.loads(body)
+        assert health["status"] == "ok"
+        assert health["pods"] == ["pod-0", "pod-1"]
+
+    def test_recommend_roundtrip(self, server):
+        status, body = post_json(
+            server, "/v1/recommend", {"session_id": "http-u1", "item_id": 1}
+        )
+        assert status == 200
+        assert body["pod"] in {"pod-0", "pod-1"}
+        assert body["latency_ms"] > 0
+        for item in body["items"]:
+            assert set(item) == {"item_id", "score"}
+
+    def test_session_state_accumulates_over_http(self, server, cluster):
+        for item in (1, 2):
+            post_json(
+                server, "/v1/recommend", {"session_id": "http-u2", "item_id": item}
+            )
+        owner = cluster.router.route("http-u2")
+        assert cluster.pods[owner].sessions.get_session("http-u2") == [1, 2]
+
+    def test_bad_json_is_400(self, server):
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{server.port}/v1/recommend",
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=5)
+        assert excinfo.value.code == 400
+
+    def test_validation_error_is_400_with_message(self, server):
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{server.port}/v1/recommend",
+            data=json.dumps({"session_id": "u", "item_id": "x"}).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=5)
+        assert excinfo.value.code == 400
+        assert "item_id" in json.load(excinfo.value)["error"]
+
+    def test_unknown_route_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(
+                f"http://127.0.0.1:{server.port}/nope", timeout=5
+            )
+        assert excinfo.value.code == 404
+
+    def test_metrics_exposition(self, server):
+        post_json(server, "/v1/recommend", {"session_id": "m-u", "item_id": 2})
+        status, text = get(server, "/metrics")
+        assert status == 200
+        assert "serenade_requests_total" in text
+        assert "serenade_request_latency_seconds_bucket" in text
+
+
+class TestServiceDirect:
+    def test_recommend_counts_metrics(self, toy_index):
+        service = SerenadeService(
+            ServingCluster.with_index(toy_index, num_pods=1, m=10, k=10)
+        )
+        service.recommend({"session_id": "d", "item_id": 1})
+        assert service.metrics.counter("serenade_requests_total").value(
+            status="ok"
+        ) == 1.0
+
+    def test_double_start_rejected(self, toy_index):
+        cluster = ServingCluster.with_index(toy_index, num_pods=1, m=10, k=10)
+        server = SerenadeHTTPServer(cluster, port=0)
+        server.start()
+        try:
+            with pytest.raises(RuntimeError):
+                server.start()
+        finally:
+            server.stop()

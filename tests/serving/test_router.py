@@ -1,0 +1,86 @@
+"""Tests for sticky-session routing, including the rendezvous invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serving.router import StickySessionRouter
+
+
+class TestBasics:
+    def test_routes_to_registered_pod(self):
+        router = StickySessionRouter(["pod-0", "pod-1"])
+        assert router.route("session-x") in {"pod-0", "pod-1"}
+
+    def test_stability(self):
+        router = StickySessionRouter(["a", "b", "c"])
+        assert all(
+            router.route("key-42") == router.route("key-42") for _ in range(10)
+        )
+
+    def test_no_pods_raises(self):
+        with pytest.raises(RuntimeError):
+            StickySessionRouter().route("x")
+
+    def test_duplicate_pod_rejected(self):
+        router = StickySessionRouter(["a"])
+        with pytest.raises(ValueError):
+            router.add_pod("a")
+
+    def test_remove_unknown_pod_rejected(self):
+        with pytest.raises(ValueError):
+            StickySessionRouter(["a"]).remove_pod("b")
+
+    def test_assignment_counts_cover_all_sessions(self):
+        router = StickySessionRouter(["a", "b"])
+        keys = [f"s{i}" for i in range(50)]
+        counts = router.assignment_counts(keys)
+        assert sum(counts.values()) == 50
+
+
+class TestBalance:
+    def test_roughly_uniform_distribution(self):
+        router = StickySessionRouter([f"pod-{i}" for i in range(4)])
+        keys = [f"session-{i}" for i in range(4000)]
+        counts = router.assignment_counts(keys)
+        for pod_count in counts.values():
+            assert 700 <= pod_count <= 1300  # within ~30% of perfect
+
+
+class TestMinimalDisruption:
+    @given(
+        num_pods=st.integers(2, 6),
+        removed=st.integers(0, 5),
+        keys=st.lists(st.text(min_size=1, max_size=10), min_size=1, max_size=60),
+    )
+    @settings(max_examples=40)
+    def test_removal_only_remaps_removed_pods_sessions(
+        self, num_pods, removed, keys
+    ):
+        pods = [f"pod-{i}" for i in range(num_pods)]
+        removed_pod = pods[removed % num_pods]
+        router = StickySessionRouter(pods)
+        before = {key: router.route(key) for key in keys}
+        router.remove_pod(removed_pod)
+        for key in keys:
+            after = router.route(key)
+            if before[key] != removed_pod:
+                assert after == before[key]
+            else:
+                assert after != removed_pod
+
+    @given(
+        num_pods=st.integers(1, 5),
+        keys=st.lists(st.text(min_size=1, max_size=10), min_size=1, max_size=60),
+    )
+    @settings(max_examples=40)
+    def test_addition_only_steals_sessions_for_new_pod(self, num_pods, keys):
+        pods = [f"pod-{i}" for i in range(num_pods)]
+        router = StickySessionRouter(pods)
+        before = {key: router.route(key) for key in keys}
+        router.add_pod("pod-new")
+        for key in keys:
+            after = router.route(key)
+            assert after == before[key] or after == "pod-new"

@@ -1,0 +1,87 @@
+"""Tests for the colocated evolving-session store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving.session_store import SessionStore, decode_items, encode_items
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        items = [1, 2**40, 0, 7]
+        assert decode_items(encode_items(items)) == items
+
+    def test_empty(self):
+        assert decode_items(encode_items([])) == []
+
+    def test_corrupt_length_rejected(self):
+        with pytest.raises(ValueError):
+            decode_items(b"\x01\x02\x03")
+
+
+class TestSessionLifecycle:
+    def test_append_accumulates_history(self):
+        store = SessionStore()
+        assert store.append_click("u1", 10) == [10]
+        assert store.append_click("u1", 20) == [10, 20]
+        assert store.get_session("u1") == [10, 20]
+
+    def test_sessions_are_isolated(self):
+        store = SessionStore()
+        store.append_click("u1", 1)
+        store.append_click("u2", 2)
+        assert store.get_session("u1") == [1]
+        assert store.get_session("u2") == [2]
+
+    def test_history_capped(self):
+        store = SessionStore(max_items=3)
+        for item in range(6):
+            store.append_click("u", item)
+        assert store.get_session("u") == [3, 4, 5]
+
+    def test_unknown_session(self):
+        assert SessionStore().get_session("ghost") is None
+
+    def test_drop_session(self):
+        store = SessionStore()
+        store.append_click("u", 1)
+        assert store.drop_session("u") is True
+        assert store.get_session("u") is None
+
+
+class TestInactivityExpiry:
+    def test_idle_session_expires_after_30_minutes(self):
+        clock = FakeClock()
+        store = SessionStore(clock=clock)
+        store.append_click("u", 1)
+        clock.now = 29 * 60
+        assert store.get_session("u") == [1]
+        clock.now = 31 * 60
+        assert store.get_session("u") is None
+
+    def test_activity_refreshes_ttl(self):
+        clock = FakeClock()
+        store = SessionStore(clock=clock)
+        store.append_click("u", 1)
+        clock.now = 25 * 60
+        store.append_click("u", 2)  # fresh activity
+        clock.now = 50 * 60  # 25 min after the last click
+        assert store.get_session("u") == [1, 2]
+
+    def test_sweep_reports_evictions(self):
+        clock = FakeClock()
+        store = SessionStore(clock=clock)
+        store.append_click("a", 1)
+        store.append_click("b", 2)
+        clock.now = 31 * 60
+        assert store.sweep_expired() == 2
+        assert len(store) == 0

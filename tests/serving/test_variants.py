@@ -1,0 +1,35 @@
+"""Tests for the serving variants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serving.variants import ServingVariant, session_view
+
+
+class TestSessionView:
+    def test_full_returns_everything(self):
+        assert session_view([1, 2, 3], ServingVariant.FULL) == [1, 2, 3]
+
+    def test_hist_returns_last_two(self):
+        assert session_view([1, 2, 3], ServingVariant.HIST) == [2, 3]
+
+    def test_hist_with_single_item(self):
+        assert session_view([9], ServingVariant.HIST) == [9]
+
+    def test_recent_returns_last_one(self):
+        assert session_view([1, 2, 3], ServingVariant.RECENT) == [3]
+
+    def test_depersonalised_sees_only_current_item(self):
+        view = session_view([1, 2, 3], ServingVariant.DEPERSONALISED, current_item=42)
+        assert view == [42]
+
+    def test_depersonalised_requires_current_item(self):
+        with pytest.raises(ValueError):
+            session_view([1, 2], ServingVariant.DEPERSONALISED)
+
+    def test_views_are_copies(self):
+        items = [1, 2, 3]
+        view = session_view(items, ServingVariant.FULL)
+        view.append(99)
+        assert items == [1, 2, 3]

@@ -1,0 +1,21 @@
+"""Execute the doctest examples embedded in public docstrings."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.core.types
+import repro.core.weights
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro.core.types, repro.core.weights],
+    ids=lambda module: module.__name__,
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0  # the docstrings actually carry examples

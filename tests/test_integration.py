@@ -1,0 +1,90 @@
+"""End-to-end integration tests across the whole system.
+
+These mirror the production pipeline of Figure 1: generate click data,
+build the index offline (including serialization to disk), stand up a
+routed serving cluster, drive traffic through it, and check quality and
+latency properties — plus the daily index rollout.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.loadgen import TrafficGenerator, constant_rate
+from repro.cluster.simulation import ClusterSimulator
+from repro.core.vmis import VMISKNN
+from repro.data.split import temporal_split
+from repro.eval.evaluator import evaluate_next_item
+from repro.index.builder import build_index
+from repro.index.serialization import load_index, save_index
+from repro.serving.app import ServingCluster
+from repro.serving.rules import BusinessRules, exclude_seen_in_session
+from repro.serving.server import RecommendationRequest
+
+
+@pytest.fixture(scope="module")
+def pipeline(medium_log, tmp_path_factory):
+    """Offline half of Figure 1: build, persist, reload the index."""
+    split = temporal_split(medium_log)
+    index = build_index(list(split.train), max_sessions_per_item=200)
+    path = tmp_path_factory.mktemp("artifacts") / "daily.vmis"
+    save_index(index, path)
+    return split, load_index(path)
+
+
+class TestOfflineToOnline:
+    def test_full_pipeline_produces_quality_recommendations(self, pipeline):
+        split, index = pipeline
+        model = VMISKNN(index, m=200, k=100)
+        result = evaluate_next_item(
+            model, split.test_sequences(), cutoff=20, max_predictions=300
+        )
+        # On coherent synthetic data, session-kNN must clearly beat noise.
+        assert result.mrr > 0.05
+        assert result.hit_rate > 0.2
+
+    def test_cluster_serves_consistent_recommendations(self, pipeline):
+        _, index = pipeline
+        cluster = ServingCluster.with_index(index, num_pods=2, m=200, k=100)
+        solo = VMISKNN(index, m=200, k=100, exclude_current_items=True)
+        response = cluster.handle(RecommendationRequest("itest-user", 3))
+        expected = solo.recommend([3], how_many=42)
+        expected_ids = [s.item_id for s in expected][: len(response.items)]
+        assert [s.item_id for s in response.items] == expected_ids
+
+    def test_served_items_respect_business_rules(self, pipeline):
+        _, index = pipeline
+        rules = BusinessRules([exclude_seen_in_session])
+        cluster = ServingCluster(
+            lambda: VMISKNN(index, m=200, k=100),
+            num_pods=2,
+            rules=rules,
+        )
+        cluster.handle(RecommendationRequest("u", 1))
+        response = cluster.handle(RecommendationRequest("u", 2))
+        assert {s.item_id for s in response.items}.isdisjoint({1, 2})
+
+    def test_load_test_meets_sla_shape(self, pipeline, medium_log):
+        _, index = pipeline
+        cluster = ServingCluster.with_index(index, num_pods=2, m=200, k=100)
+        generator = TrafficGenerator(medium_log, seed=42)
+        simulator = ClusterSimulator(cluster, cores_per_pod=3, sla_millis=50)
+        result = simulator.run(
+            generator.generate(constant_rate(60), duration=10),
+            bucket_seconds=5.0,
+        )
+        assert result.total_requests > 200
+        assert result.sla_attainment > 0.95
+        assert result.latency.percentile(90) < 0.050
+
+    def test_daily_rollout_changes_behaviour(self, pipeline, medium_log):
+        split, index = pipeline
+        cluster = ServingCluster.with_index(index, num_pods=1, m=200, k=100)
+        # Rebuild with the full log ("next day's" data) and roll out.
+        fresh = build_index(list(medium_log), max_sessions_per_item=200)
+        cluster.rollout_index(
+            lambda: VMISKNN(fresh, m=200, k=100, exclude_current_items=True)
+        )
+        assert cluster.pods["pod-0"].recommender.index is fresh
+        response = cluster.handle(RecommendationRequest("rollout-user", 3))
+        assert isinstance(response.items, tuple)
