@@ -22,7 +22,7 @@ import pytest
 
 from repro.core.types import Click
 from repro.core.vmis import VMISKNN
-from repro.data.clicklog import SECONDS_PER_DAY, ClickLog
+from repro.data.clicklog import ClickLog
 from repro.data.synthetic import generate_clickstream
 from repro.index.builder import build_index
 from repro.index.maintenance import IncrementalIndexer

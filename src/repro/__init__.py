@@ -19,6 +19,7 @@ paper-versus-measured record of every table and figure.
 """
 
 from repro.core import (
+    BatchPredictionEngine,
     Click,
     EvolvingSession,
     ScoredItem,
@@ -28,9 +29,10 @@ from repro.core import (
     VSKNN,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "BatchPredictionEngine",
     "Click",
     "EvolvingSession",
     "ScoredItem",

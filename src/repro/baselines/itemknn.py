@@ -15,10 +15,11 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
+from repro.core.predictor import TrainableMixin
 from repro.core.types import Click, ItemId, ScoredItem, clicks_to_sessions
 
 
-class ItemKNNRecommender:
+class ItemKNNRecommender(TrainableMixin):
     """Cosine item-to-item CF over session co-occurrences."""
 
     name = "item-knn (legacy)"

@@ -10,10 +10,11 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.core.predictor import TrainableMixin
 from repro.core.types import Click, ItemId, ScoredItem, clicks_to_sessions
 
 
-class MarkovRecommender:
+class MarkovRecommender(TrainableMixin):
     """Weighted item-to-next-item transition counts."""
 
     name = "markov"

@@ -13,6 +13,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core.predictor import TrainableMixin
 from repro.core.types import Click, ItemId, ScoredItem
 from repro.baselines.neural.layers import (
     Adagrad,
@@ -28,7 +29,7 @@ from repro.baselines.neural.training import (
 )
 
 
-class GRU4Rec:
+class GRU4Rec(TrainableMixin):
     """Session-based RNN recommender."""
 
     name = "GRU4Rec"

@@ -22,6 +22,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.core.predictor import TrainableMixin
 from repro.core.types import Click, ItemId, ScoredItem
 from repro.baselines.neural.layers import (
     Adagrad,
@@ -38,7 +39,7 @@ from repro.baselines.neural.training import (
 )
 
 
-class STAMP:
+class STAMP(TrainableMixin):
     """Attention-MLP session recommender with short-term priority."""
 
     name = "STAMP"

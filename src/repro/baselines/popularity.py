@@ -9,10 +9,11 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.core.predictor import TrainableMixin
 from repro.core.types import Click, ItemId, ScoredItem
 
 
-class PopularityRecommender:
+class PopularityRecommender(TrainableMixin):
     """Ranks items by click count, optionally excluding session items."""
 
     name = "popularity"

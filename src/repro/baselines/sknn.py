@@ -13,18 +13,19 @@ import math
 from typing import Iterable, Sequence
 
 from repro.core.index import SessionIndex
+from repro.core.predictor import BatchMixin
 from repro.core.scoring import top_n
 from repro.core.types import Click, ItemId, ScoredItem
 
 
-class SKNNRecommender:
+class SKNNRecommender(BatchMixin):
     """Cosine session-kNN over the most recent matching sessions."""
 
     name = "s-knn"
 
     def __init__(
         self,
-        index: SessionIndex,
+        index: SessionIndex | None = None,
         m: int = 500,
         k: int = 100,
         exclude_current_items: bool = False,
@@ -34,16 +35,24 @@ class SKNNRecommender:
         self.k = k
         self.exclude_current_items = exclude_current_items
 
+    def fit(self, clicks: Iterable[Click]) -> "SKNNRecommender":
+        """Build the session index from raw clicks; returns self."""
+        self.index = SessionIndex.from_clicks(
+            clicks, max_sessions_per_item=self.m
+        )
+        return self
+
     @classmethod
     def from_clicks(cls, clicks: Iterable[Click], m: int = 500, **kwargs) -> "SKNNRecommender":
-        index = SessionIndex.from_clicks(clicks, max_sessions_per_item=m)
-        return cls(index, m=m, **kwargs)
+        return cls(m=m, **kwargs).fit(clicks)
 
     def recommend(
         self, session_items: Sequence[ItemId], how_many: int = 21
     ) -> list[ScoredItem]:
         if not session_items:
             return []
+        if self.index is None:
+            raise RuntimeError("fit() must be called before recommending")
         index = self.index
         evolving = set(session_items)
 

@@ -22,11 +22,12 @@ import math
 from typing import Iterable, Sequence
 
 from repro.core.index import SessionIndex
+from repro.core.predictor import BatchMixin
 from repro.core.scoring import top_n
 from repro.core.types import Click, ItemId, ScoredItem, Timestamp
 
 
-class STANRecommender:
+class STANRecommender(BatchMixin):
     """Sequence- and time-aware neighbourhood recommender.
 
     Args:
@@ -45,7 +46,7 @@ class STANRecommender:
 
     def __init__(
         self,
-        index: SessionIndex,
+        index: SessionIndex | None = None,
         m: int = 500,
         k: int = 100,
         lambda1: float | None = 2.0,
@@ -66,10 +67,16 @@ class STANRecommender:
         self.lambda3 = lambda3
         self.exclude_current_items = exclude_current_items
 
+    def fit(self, clicks: Iterable[Click]) -> "STANRecommender":
+        """Build the session index from raw clicks; returns self."""
+        self.index = SessionIndex.from_clicks(
+            clicks, max_sessions_per_item=self.m
+        )
+        return self
+
     @classmethod
     def from_clicks(cls, clicks: Iterable[Click], m: int = 500, **kwargs) -> "STANRecommender":
-        index = SessionIndex.from_clicks(clicks, max_sessions_per_item=m)
-        return cls(index, m=m, **kwargs)
+        return cls(m=m, **kwargs).fit(clicks)
 
     def _item_weights(self, session_items: Sequence[ItemId]) -> dict[ItemId, float]:
         """Factor 1: recency-decayed weights of the current session."""
@@ -89,6 +96,8 @@ class STANRecommender:
         """Top-k candidate sessions under factors 1 and 2."""
         if not session_items:
             return []
+        if self.index is None:
+            raise RuntimeError("fit() must be called before recommending")
         index = self.index
         weights = self._item_weights(session_items)
 

@@ -19,18 +19,26 @@ HTTP serving component:
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 from typing import Sequence
 
+from repro.core.batch import BatchPredictionEngine
 from repro.core.vmis import VMISKNN
 from repro.data.clicklog import ClickLog
 from repro.data.datasets import dataset_names, load_dataset
 from repro.data.split import temporal_split
 from repro.data.stats import dataset_statistics, format_table
 from repro.data.synthetic import generate_clickstream
-from repro.eval.evaluator import evaluate_next_item
+from repro.eval.evaluator import evaluate_next_item, evaluate_next_item_batched
 from repro.eval.gridsearch import grid_search
+from repro.experiments.registry import (
+    RecommenderConfig,
+    build_recommender,
+    recommender_class,
+    registered_models,
+)
 from repro.index.builder import IndexBuilder
 from repro.index.parallel import build_index_parallel
 from repro.index.serialization import load_index, save_index
@@ -107,11 +115,34 @@ def build_parser() -> argparse.ArgumentParser:
         "evaluate", help="next-item evaluation with a held-out last day"
     )
     evaluate.add_argument("clicks", help="click log TSV")
+    evaluate.add_argument(
+        "--model",
+        default="vmis",
+        help=f"registered recommender ({', '.join(registered_models())})",
+    )
     evaluate.add_argument("--m", type=int, default=500)
     evaluate.add_argument("--k", type=int, default=100)
     evaluate.add_argument("--cutoff", type=int, default=20)
     evaluate.add_argument("--test-days", type=float, default=1.0)
     evaluate.add_argument("--max-predictions", type=int, default=None)
+    evaluate.add_argument(
+        "--batch-size",
+        type=int,
+        default=0,
+        help="replay through recommend_batch in chunks (0 = serial)",
+    )
+    evaluate.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="batch engine worker threads (0 = inline)",
+    )
+    evaluate.add_argument(
+        "--cache-size",
+        type=int,
+        default=4096,
+        help="batch engine LRU result cache entries (0 = off)",
+    )
 
     grid = commands.add_parser(
         "grid-search", help="(k, m) hyperparameter sweep (Figure 2)"
@@ -138,6 +169,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--pods", type=int, default=2)
     serve.add_argument("--m", type=int, default=500)
     serve.add_argument("--k", type=int, default=100)
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=1024,
+        help="per-pod LRU result cache entries (0 = off)",
+    )
 
     return parser
 
@@ -228,18 +265,49 @@ def cmd_recommend(args) -> int:
 def cmd_evaluate(args) -> int:
     log = ClickLog.from_tsv(args.clicks)
     split = temporal_split(log, test_days=args.test_days)
-    model = VMISKNN.from_clicks(list(split.train), m=args.m, k=args.k)
-    result = evaluate_next_item(
-        model,
-        split.test_sequences(),
-        cutoff=args.cutoff,
-        measure_latency=True,
-        max_predictions=args.max_predictions,
+    params = {"m": args.m, "k": args.k}
+    model_class = recommender_class(args.model)
+    if model_class is not None:
+        # drop knobs the chosen algorithm does not take (e.g. popularity)
+        accepted = inspect.signature(model_class.__init__).parameters
+        params = {key: value for key, value in params.items() if key in accepted}
+    model = build_recommender(
+        args.model,
+        RecommenderConfig.from_params(params),
+        clicks=list(split.train),
     )
+    if args.batch_size > 0:
+        engine = BatchPredictionEngine(
+            model, num_workers=args.workers, cache_size=args.cache_size
+        )
+        with engine:
+            result = evaluate_next_item_batched(
+                engine,
+                split.test_sequences(),
+                cutoff=args.cutoff,
+                batch_size=args.batch_size,
+                measure_latency=True,
+                max_predictions=args.max_predictions,
+            )
+            cache = engine.cache_info()
+    else:
+        result = evaluate_next_item(
+            model,
+            split.test_sequences(),
+            cutoff=args.cutoff,
+            measure_latency=True,
+            max_predictions=args.max_predictions,
+        )
+        cache = None
     print(f"predictions: {result.predictions}")
     for metric, value in result.summary().items():
         print(f"{metric:<10} {value:.4f}")
     print(f"p90 latency: {result.latency_percentile(90) * 1e3:.2f} ms")
+    if cache is not None:
+        print(
+            f"cache: {cache['hits']}/{cache['hits'] + cache['misses']} hits "
+            f"({cache['hit_rate']:.1%})"
+        )
     return 0
 
 
@@ -278,14 +346,20 @@ def cmd_serve(args) -> int:
 
     index = load_index(args.index)
     cluster = ServingCluster.with_index(
-        index, num_pods=args.pods, m=args.m, k=args.k
+        index,
+        num_pods=args.pods,
+        m=args.m,
+        k=args.k,
+        cache_size=args.cache_size,
     )
     server = SerenadeHTTPServer(cluster, host=args.host, port=args.port)
     server.start()
     print(
         f"serving {index.num_items:,} items on "
         f"http://{args.host}:{server.port} "
-        f"({args.pods} pods; POST /v1/recommend, GET /healthz, GET /metrics)"
+        f"({args.pods} pods, cache {args.cache_size}; "
+        f"POST /v1/recommend, POST /v1/recommend_batch, "
+        f"GET /healthz, GET /metrics)"
     )
     try:
         while True:

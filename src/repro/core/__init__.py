@@ -1,8 +1,19 @@
 """Core algorithms: the session index, VS-kNN and VMIS-kNN."""
 
+from repro.core.batch import (
+    BatchPredictionEngine,
+    LRUResultCache,
+    shard_index,
+)
 from repro.core.heaps import BoundedTopK, DAryMinHeap, MostRecentTracker
 from repro.core.index import SessionIndex
-from repro.core.predictor import SessionRecommender, TrainableRecommender
+from repro.core.predictor import (
+    BatchMixin,
+    SessionRecommender,
+    TrainableMixin,
+    TrainableRecommender,
+    batch_via_loop,
+)
 from repro.core.scoring import score_items, top_n
 from repro.core.types import (
     Click,
@@ -23,12 +34,15 @@ from repro.core.weights import (
 )
 
 __all__ = [
+    "BatchMixin",
+    "BatchPredictionEngine",
     "BoundedTopK",
     "Click",
     "DAryMinHeap",
     "DECAY_FUNCTIONS",
     "EvolvingSession",
     "ItemId",
+    "LRUResultCache",
     "MATCH_WEIGHT_FUNCTIONS",
     "MostRecentTracker",
     "ScoredItem",
@@ -36,10 +50,13 @@ __all__ = [
     "SessionIndex",
     "SessionRecommender",
     "Timestamp",
+    "TrainableMixin",
     "TrainableRecommender",
     "VMISKNN",
     "VSKNN",
+    "batch_via_loop",
     "decay_weights",
+    "shard_index",
     "resolve_decay",
     "resolve_match_weight",
     "score_items",

@@ -27,6 +27,7 @@ from typing import Iterable, Sequence
 
 from repro.core.heaps import BoundedTopK, MostRecentTracker
 from repro.core.index import SessionIndex
+from repro.core.predictor import BatchMixin
 from repro.core.scoring import score_items, top_n
 from repro.core.types import (
     Click,
@@ -42,13 +43,14 @@ from repro.core.weights import (
 )
 
 
-class VMISKNN:
+class VMISKNN(BatchMixin):
     """The indexed session-kNN recommender (Algorithm 2).
 
     Args:
         index: prebuilt :class:`SessionIndex`; its build-time ``m`` should
             be at least the query-time ``m`` or posting lists will bound the
-            effective sample.
+            effective sample. May be ``None``, in which case ``fit(clicks)``
+            must be called before predicting.
         m: sample size — how many recent matching sessions to consider.
         k: number of nearest neighbour sessions.
         decay: the ``pi`` decay function (name or callable).
@@ -67,7 +69,7 @@ class VMISKNN:
 
     def __init__(
         self,
-        index: SessionIndex,
+        index: SessionIndex | None = None,
         m: int = 500,
         k: int = 100,
         decay: str | DecayFn = "linear",
@@ -103,13 +105,24 @@ class VMISKNN:
             return session_items[-self.max_session_items :]
         return session_items
 
+    def fit(self, clicks: Iterable[Click]) -> "VMISKNN":
+        """Build the (M, t) index from raw clicks; returns self.
+
+        Equivalent to ``VMISKNN.from_clicks(clicks, ...)`` — the index is
+        built with ``max_sessions_per_item=self.m`` so posting lists hold
+        exactly the sample the query needs.
+        """
+        self.index = SessionIndex.from_clicks(
+            clicks, max_sessions_per_item=self.m
+        )
+        return self
+
     @classmethod
     def from_clicks(
         cls, clicks: Iterable[Click], m: int = 500, **kwargs
     ) -> "VMISKNN":
         """Build the index from raw clicks and construct the recommender."""
-        index = SessionIndex.from_clicks(clicks, max_sessions_per_item=m)
-        return cls(index, m=m, **kwargs)
+        return cls(m=m, **kwargs).fit(clicks)
 
     @classmethod
     def no_opt(cls, index: SessionIndex, **kwargs) -> "VMISKNN":
@@ -121,7 +134,20 @@ class VMISKNN:
     def find_neighbors(
         self, session_items: Sequence[ItemId]
     ) -> list[tuple[SessionId, float]]:
-        """``neighbor_sessions_from_index`` (Lines 8-39 of Algorithm 2).
+        """``neighbor_sessions_from_index`` (Lines 8-39 of Algorithm 2)."""
+        similarities = self._matching_similarities(self._capped(session_items))
+        return self._top_neighbors(similarities)
+
+    def _matching_similarities(
+        self, session_items: Sequence[ItemId]
+    ) -> dict[SessionId, float]:
+        """The bounded similarity hashmap ``r`` (Lines 8-32 of Algorithm 2).
+
+        ``session_items`` must already be capped by the caller — this is
+        the one place the session-length cap must NOT be reapplied, so that
+        ``recommend`` caps exactly once. Exposed (privately) because the
+        sharded batch engine runs this per index shard and merges the
+        resulting candidate maps.
 
         The body binds index arrays, the similarity hashmap and the heap
         primitives to locals: this loop runs once per posting and is the
@@ -130,9 +156,10 @@ class VMISKNN:
         avoiding attribute lookups inside it.
         """
         if not session_items:
-            return []
-        session_items = self._capped(session_items)
+            return {}
         index = self.index
+        if index is None:
+            raise RuntimeError("fit() must be called before recommending")
         decay_fn = resolve_decay(self.decay)
         session_length = len(session_items)
         # Position of the most recent occurrence of each distinct item;
@@ -181,8 +208,15 @@ class VMISKNN:
                     # Postings are sorted newest-first: every remaining
                     # session in this list is at least as old (Line 32).
                     break
+        return similarities
 
-        # Top-k similarity loop (Lines 33-38), ties favour recency.
+    def _top_neighbors(
+        self, similarities: dict[SessionId, float]
+    ) -> list[tuple[SessionId, float]]:
+        """Top-k similarity loop (Lines 33-38), ties favour recency."""
+        if not similarities:
+            return []
+        timestamps = self.index.session_timestamps
         top = BoundedTopK[SessionId](self.k, self.heap_arity)
         offer = top.offer
         for session_id, similarity in similarities.items():
@@ -192,9 +226,15 @@ class VMISKNN:
     def recommend(
         self, session_items: Sequence[ItemId], how_many: int = 21
     ) -> list[ScoredItem]:
-        """Full VMIS-kNN prediction: neighbours, then item scoring."""
+        """Full VMIS-kNN prediction: neighbours, then item scoring.
+
+        The evolving-session cap is applied exactly once, here; the
+        internal neighbour computation never reapplies it.
+        """
         session_items = self._capped(session_items)
-        neighbors = self.find_neighbors(session_items)
+        neighbors = self._top_neighbors(
+            self._matching_similarities(session_items)
+        )
         scores = score_items(
             self.index,
             session_items,

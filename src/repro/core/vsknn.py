@@ -14,12 +14,13 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from repro.core.index import SessionIndex
+from repro.core.predictor import BatchMixin
 from repro.core.scoring import score_items, top_n
 from repro.core.types import Click, ItemId, ScoredItem, SessionId
 from repro.core.weights import DecayFn, decay_weights, MatchWeightFn
 
 
-class VSKNN:
+class VSKNN(BatchMixin):
     """The Vector-Session-kNN baseline recommender.
 
     Args:
@@ -40,7 +41,7 @@ class VSKNN:
 
     def __init__(
         self,
-        index: SessionIndex,
+        index: SessionIndex | None = None,
         m: int = 500,
         k: int = 100,
         decay: str | DecayFn = "linear",
@@ -58,11 +59,21 @@ class VSKNN:
         self.scoring_style = scoring_style
         self.exclude_current_items = exclude_current_items
 
+    def fit(self, clicks: Iterable[Click]) -> "VSKNN":
+        """Build storage from raw clicks; returns self.
+
+        Posting lists are kept untruncated (faithful VS-kNN semantics
+        require the full candidate set).
+        """
+        self.index = SessionIndex.from_clicks(
+            clicks, max_sessions_per_item=2**62
+        )
+        return self
+
     @classmethod
     def from_clicks(cls, clicks: Iterable[Click], **kwargs) -> "VSKNN":
         """Build storage from raw clicks and construct the recommender."""
-        index = SessionIndex.from_clicks(clicks, max_sessions_per_item=2**62)
-        return cls(index, **kwargs)
+        return cls(**kwargs).fit(clicks)
 
     def find_neighbors(
         self, session_items: Sequence[ItemId]
@@ -70,6 +81,8 @@ class VSKNN:
         """Return the k nearest sessions with similarities (Lines 5-7)."""
         if not session_items:
             return []
+        if self.index is None:
+            raise RuntimeError("fit() must be called before recommending")
         # Line 5: all historical sessions sharing at least one item. This is
         # the expensive materialisation step that VMIS-kNN eliminates.
         candidates: set[SessionId] = set()

@@ -15,7 +15,7 @@ consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from repro.core.types import Click, ItemId, Timestamp
 from repro.data.clicklog import ClickLog

@@ -28,7 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.types import Click
-from repro.data.clicklog import SECONDS_PER_DAY, ClickLog
+from repro.data.clicklog import ClickLog
 
 
 @dataclass(frozen=True)

@@ -31,6 +31,7 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from repro.core.index import SessionIndex
+from repro.core.predictor import BatchMixin
 from repro.core.scoring import score_items, top_n
 from repro.core.types import Click, ItemId, ScoredItem, SessionId
 from repro.core.weights import DecayFn, resolve_decay
@@ -148,7 +149,7 @@ class SessionSimilarityDataflow:
         return ranked[:k]
 
 
-class DataflowVMIS:
+class DataflowVMIS(BatchMixin):
     """The "VMIS-Diff" engine: incremental, always-completing, indexed."""
 
     name = "VMIS-Diff"

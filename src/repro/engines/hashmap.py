@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from repro.core.index import SessionIndex
+from repro.core.predictor import BatchMixin
 from repro.core.scoring import score_items, top_n
 from repro.core.types import Click, ItemId, ScoredItem, SessionId
 from repro.core.weights import decay_weights
@@ -65,7 +66,7 @@ class GarbageCollectorSimulator:
         self._young.clear()
 
 
-class HashmapVMIS:
+class HashmapVMIS(BatchMixin):
     """The allocation-heavy "VMIS-Java" engine."""
 
     name = "VMIS-Java"

@@ -21,13 +21,14 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from repro.core.index import SessionIndex
+from repro.core.predictor import BatchMixin
 from repro.core.scoring import top_n
 from repro.core.types import Click, ItemId, ScoredItem, SessionId
 from repro.core.weights import decay_weights, paper_match_weight
 from repro.engines.errors import MemoryBudgetExceeded
 
 
-class ReferenceVSKNN:
+class ReferenceVSKNN(BatchMixin):
     """The deliberately-naive reference engine ("VS-Py")."""
 
     name = "VS-Py"

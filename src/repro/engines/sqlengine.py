@@ -35,6 +35,7 @@ from __future__ import annotations
 from typing import Callable, Iterable, Sequence
 
 from repro.core.index import SessionIndex
+from repro.core.predictor import BatchMixin
 from repro.core.scoring import top_n
 from repro.core.types import Click, ItemId, ScoredItem
 from repro.core.weights import decay_weights, paper_match_weight
@@ -159,7 +160,7 @@ class RelationalExecutor:
         return self.table(table.columns, table.rows[:n])
 
 
-class SQLVMIS:
+class SQLVMIS(BatchMixin):
     """The "VMIS-SQL" engine: VMIS similarity as a relational plan."""
 
     name = "VMIS-SQL"

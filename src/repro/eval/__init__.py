@@ -6,7 +6,11 @@ from repro.eval.analysis import (
     breakdown_evaluation,
     popularity_buckets,
 )
-from repro.eval.evaluator import EvaluationResult, evaluate_next_item
+from repro.eval.evaluator import (
+    EvaluationResult,
+    evaluate_next_item,
+    evaluate_next_item_batched,
+)
 from repro.eval.gridsearch import GridPoint, GridSearchResult, grid_search
 from repro.eval.metrics import (
     average_precision,
@@ -28,6 +32,7 @@ __all__ = [
     "average_precision",
     "coverage",
     "evaluate_next_item",
+    "evaluate_next_item_batched",
     "grid_search",
     "hit",
     "precision",

@@ -7,8 +7,11 @@ from repro.experiments.config import (
     ProtocolSpec,
 )
 from repro.experiments.registry import (
+    RecommenderConfig,
     build_model,
+    build_recommender,
     register_model,
+    register_recommender,
     registered_models,
 )
 from repro.experiments.runner import (
@@ -24,8 +27,11 @@ __all__ = [
     "ModelOutcome",
     "ModelSpec",
     "ProtocolSpec",
+    "RecommenderConfig",
     "build_model",
+    "build_recommender",
     "register_model",
+    "register_recommender",
     "registered_models",
     "run_experiment",
 ]

@@ -1,14 +1,31 @@
-"""Model registry: experiment-config names to recommender builders.
+"""Model registry: one construction surface for every recommender.
 
-Every builder takes the training clicks and the spec's hyperparameters
-and returns a fitted object satisfying
-:class:`~repro.core.predictor.SessionRecommender`. Third-party models can
-be registered at runtime with :func:`register_model`.
+Every recommender in the library is registered here under its config
+name, and :func:`build_recommender` is the single factory the evaluator,
+the serving layer and the CLI go through instead of hand-rolling
+constructor kwargs:
+
+    model = build_recommender("vmis", RecommenderConfig(m=500, k=100),
+                              clicks=train)
+
+Construction is uniform because every trainable recommender supports both
+spellings with identical semantics::
+
+    model = VMISKNN(m=500, k=100).fit(clicks)
+    model = VMISKNN.from_clicks(clicks, m=500, k=100)
+
+Third-party models can be registered at runtime: classes (anything whose
+``cls(**params)`` is fittable) via :func:`register_recommender`, or
+legacy callable builders via :func:`register_model`. The old
+``build_model(name, clicks, params)`` entry point survives as a thin
+deprecation shim over the factory.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+import warnings
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
 
 from repro.baselines.itemknn import ItemKNNRecommender
 from repro.baselines.markov import MarkovRecommender
@@ -24,81 +41,137 @@ from repro.core.vsknn import VSKNN
 ModelBuilder = Callable[[Sequence[Click], dict], SessionRecommender]
 
 _REGISTRY: dict[str, ModelBuilder] = {}
+_CLASSES: dict[str, type] = {}
+
+
+@dataclass(frozen=True)
+class RecommenderConfig:
+    """Constructor hyperparameters, uniform across algorithms.
+
+    The common knobs of the kNN family are first-class fields; anything
+    model-specific rides in ``extra`` (e.g. ``{"epochs": 5}`` for the
+    neural baselines, ``{"window": 3}`` for markov). ``None`` fields are
+    omitted, so one config type covers models that do not take ``m``/``k``.
+    """
+
+    m: int | None = None
+    k: int | None = None
+    exclude_current_items: bool | None = None
+    extra: Mapping[str, object] = field(default_factory=dict)
+
+    @classmethod
+    def from_params(cls, params: Mapping[str, object]) -> "RecommenderConfig":
+        """Lift a flat kwargs dict (the experiment-spec style) to a config."""
+        params = dict(params)
+        return cls(
+            m=params.pop("m", None),
+            k=params.pop("k", None),
+            exclude_current_items=params.pop("exclude_current_items", None),
+            extra=params,
+        )
+
+    def kwargs(self) -> dict[str, object]:
+        """The constructor kwargs this config denotes."""
+        out: dict[str, object] = {}
+        if self.m is not None:
+            out["m"] = self.m
+        if self.k is not None:
+            out["k"] = self.k
+        if self.exclude_current_items is not None:
+            out["exclude_current_items"] = self.exclude_current_items
+        out.update(self.extra)
+        return out
+
+
+def register_recommender(name: str, recommender_class: type) -> None:
+    """Register (or replace) a recommender class under a config name."""
+    if not name:
+        raise ValueError("model name must be non-empty")
+    _CLASSES[name] = recommender_class
 
 
 def register_model(name: str, builder: ModelBuilder) -> None:
-    """Register (or replace) a model builder under a config name."""
+    """Register (or replace) a legacy callable builder under a name.
+
+    Prefer :func:`register_recommender` with a class; callable builders
+    remain supported for models whose construction cannot be expressed as
+    ``cls(**kwargs).fit(clicks)``.
+    """
     if not name:
         raise ValueError("model name must be non-empty")
     _REGISTRY[name] = builder
 
 
-def build_model(name: str, train_clicks: Sequence[Click], params: dict) -> SessionRecommender:
-    """Instantiate and fit a registered model."""
+def build_recommender(
+    name: str,
+    config: RecommenderConfig | None = None,
+    clicks: Sequence[Click] | None = None,
+) -> SessionRecommender:
+    """Instantiate a registered recommender, optionally fitting it.
+
+    Args:
+        name: registry name (``registered_models()`` lists them).
+        config: hyperparameters; defaults apply when omitted.
+        clicks: training click log. When given, the model is fitted
+            before being returned; class-registered models may also be
+            returned unfitted (``clicks=None``) and fitted later.
+    """
+    config = config or RecommenderConfig()
+    recommender_class = _CLASSES.get(name)
+    if recommender_class is not None:
+        model = recommender_class(**config.kwargs())
+        if clicks is not None:
+            model = model.fit(list(clicks))
+        return model
     builder = _REGISTRY.get(name)
     if builder is None:
-        known = ", ".join(sorted(_REGISTRY))
+        known = ", ".join(sorted(set(_CLASSES) | set(_REGISTRY)))
         raise ValueError(f"unknown model {name!r}; known: {known}")
-    return builder(train_clicks, dict(params))
+    if clicks is None:
+        raise ValueError(
+            f"model {name!r} is registered as a legacy builder and needs "
+            "training clicks"
+        )
+    return builder(list(clicks), config.kwargs())
+
+
+def build_model(
+    name: str, train_clicks: Sequence[Click], params: dict
+) -> SessionRecommender:
+    """Deprecated spelling of :func:`build_recommender`."""
+    warnings.warn(
+        "build_model(name, clicks, params) is deprecated; use "
+        "build_recommender(name, RecommenderConfig.from_params(params), "
+        "clicks=clicks)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return build_recommender(
+        name, RecommenderConfig.from_params(params), clicks=train_clicks
+    )
 
 
 def registered_models() -> list[str]:
-    return sorted(_REGISTRY)
+    return sorted(set(_CLASSES) | set(_REGISTRY))
 
 
-# -- built-in builders -------------------------------------------------------
+def recommender_class(name: str) -> type | None:
+    """The class registered under ``name``, or None for legacy builders."""
+    return _CLASSES.get(name)
 
 
-def _build_vmis(train_clicks, params):
-    return VMISKNN.from_clicks(train_clicks, **params)
+# -- built-in recommenders ---------------------------------------------------
 
-
-def _build_vsknn(train_clicks, params):
-    return VSKNN.from_clicks(train_clicks, **params)
-
-
-def _build_sknn(train_clicks, params):
-    return SKNNRecommender.from_clicks(train_clicks, **params)
-
-
-def _build_stan(train_clicks, params):
-    return STANRecommender.from_clicks(train_clicks, **params)
-
-
-def _build_itemknn(train_clicks, params):
-    return ItemKNNRecommender(**params).fit(train_clicks)
-
-
-def _build_markov(train_clicks, params):
-    return MarkovRecommender(**params).fit(train_clicks)
-
-
-def _build_popularity(train_clicks, params):
-    return PopularityRecommender(**params).fit(train_clicks)
-
-
-def _build_gru4rec(train_clicks, params):
-    return GRU4Rec(**params).fit(train_clicks)
-
-
-def _build_narm(train_clicks, params):
-    return NARM(**params).fit(train_clicks)
-
-
-def _build_stamp(train_clicks, params):
-    return STAMP(**params).fit(train_clicks)
-
-
-for _name, _builder in {
-    "vmis": _build_vmis,
-    "vsknn": _build_vsknn,
-    "sknn": _build_sknn,
-    "stan": _build_stan,
-    "itemknn": _build_itemknn,
-    "markov": _build_markov,
-    "popularity": _build_popularity,
-    "gru4rec": _build_gru4rec,
-    "narm": _build_narm,
-    "stamp": _build_stamp,
+for _name, _class in {
+    "vmis": VMISKNN,
+    "vsknn": VSKNN,
+    "sknn": SKNNRecommender,
+    "stan": STANRecommender,
+    "itemknn": ItemKNNRecommender,
+    "markov": MarkovRecommender,
+    "popularity": PopularityRecommender,
+    "gru4rec": GRU4Rec,
+    "narm": NARM,
+    "stamp": STAMP,
 }.items():
-    register_model(_name, _builder)
+    register_recommender(_name, _class)

@@ -17,7 +17,7 @@ from pathlib import Path
 from repro.data.split import temporal_split
 from repro.eval.evaluator import EvaluationResult, evaluate_next_item
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.registry import build_model
+from repro.experiments.registry import RecommenderConfig, build_recommender
 
 
 @dataclass
@@ -111,7 +111,11 @@ def run_experiment(config: ExperimentConfig) -> ExperimentReport:
     )
     for spec in config.models:
         started = time.perf_counter()
-        model = build_model(spec.name, train, spec.params)
+        model = build_recommender(
+            spec.name,
+            RecommenderConfig.from_params(spec.params),
+            clicks=train,
+        )
         fit_seconds = time.perf_counter() - started
         result = evaluate_next_item(
             model,

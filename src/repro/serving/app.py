@@ -5,14 +5,26 @@
 similarity index. It is the in-process equivalent of the Kubernetes
 deployment: the shop frontend calls :meth:`handle`, the router picks the
 pod owning the session, and the pod answers from machine-local state.
+
+Two batch-engine integrations sit on top of the Figure 1 path:
+
+* ``cache_size > 0`` wraps every pod's recommender in a
+  :class:`~repro.core.batch.BatchPredictionEngine` so the single-query
+  path answers hot sessions from the LRU result cache;
+* :meth:`handle_batch` serves whole batches of raw sessions (offline
+  consumers: email campaigns, cache warmers, evaluation replays) through
+  a cluster-level engine, bypassing the sticky router and the per-user
+  session stores.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Sequence
 
+from repro.core.batch import BatchPredictionEngine
 from repro.core.index import SessionIndex
 from repro.core.predictor import SessionRecommender
+from repro.core.types import ItemId, ScoredItem
 from repro.core.vmis import VMISKNN
 from repro.kvstore.store import Clock
 from repro.serving.router import StickySessionRouter
@@ -36,6 +48,8 @@ class ServingCluster:
         rules: BusinessRules | None = None,
         clock: Clock | None = None,
         record_service_times: bool = True,
+        cache_size: int = 0,
+        batch_workers: int = 4,
     ) -> None:
         """Build the cluster.
 
@@ -45,17 +59,32 @@ class ServingCluster:
             num_pods: pod count (the production deployment uses two).
             rules: business rules shared by all pods.
             clock: injectable time source for the session TTLs.
+            cache_size: per-pod LRU result cache capacity on the
+                single-query path; 0 disables caching (seed behaviour).
+            batch_workers: thread-pool size of the ``handle_batch`` engine.
         """
         if num_pods < 1:
             raise ValueError("num_pods must be >= 1")
         self._factory = recommender_factory
         self.router = StickySessionRouter()
         self.pods: dict[str, RecommendationServer] = {}
+        self._cache_size = cache_size
+        self._batch_workers = batch_workers
+        self._batch_engine: BatchPredictionEngine | None = None
         for pod_number in range(num_pods):
             self._spawn_pod(f"pod-{pod_number}", rules, clock, record_service_times)
         self._rules = rules
         self._clock = clock
         self._record_service_times = record_service_times
+
+    def _pod_recommender(self) -> SessionRecommender:
+        """One pod's recommender, cache-wrapped when caching is on."""
+        recommender = self._factory()
+        if self._cache_size > 0:
+            recommender = BatchPredictionEngine(
+                recommender, num_workers=0, cache_size=self._cache_size
+            )
+        return recommender
 
     def _spawn_pod(
         self,
@@ -66,7 +95,7 @@ class ServingCluster:
     ) -> None:
         server = RecommendationServer(
             pod_id,
-            self._factory(),
+            self._pod_recommender(),
             rules=rules,
             clock=clock,
             record_service_times=record_service_times,
@@ -99,6 +128,47 @@ class ServingCluster:
         pod_id = self.router.route(request.session_key)
         return self.pods[pod_id].handle(request)
 
+    def handle_batch(
+        self, sessions: Sequence[Sequence[ItemId]], how_many: int = 21
+    ) -> list[list[ScoredItem]]:
+        """Serve a batch of raw evolving sessions through the batch engine.
+
+        Unlike :meth:`handle`, this does not touch per-user session state
+        or business rules — it is the bulk prediction surface, returning
+        one ranked list per input session in order.
+        """
+        return self.batch_engine().recommend_batch(sessions, how_many=how_many)
+
+    def batch_engine(self) -> BatchPredictionEngine:
+        """The lazily built cluster-level batch engine."""
+        if self._batch_engine is None:
+            self._batch_engine = BatchPredictionEngine(
+                self._factory(),
+                num_workers=self._batch_workers,
+                cache_size=self._cache_size or 4096,
+            )
+        return self._batch_engine
+
+    def cache_info(self) -> dict[str, float]:
+        """Aggregated result-cache counters across pods and batch engine."""
+        totals = {"hits": 0, "misses": 0, "size": 0, "maxsize": 0}
+        engines = [
+            server.recommender
+            for server in self.pods.values()
+            if isinstance(server.recommender, BatchPredictionEngine)
+        ]
+        if self._batch_engine is not None:
+            engines.append(self._batch_engine)
+        for engine in engines:
+            info = engine.cache_info()
+            for field in totals:
+                totals[field] += info[field]
+        lookups = totals["hits"] + totals["misses"]
+        return {
+            **totals,
+            "hit_rate": totals["hits"] / lookups if lookups else 0.0,
+        }
+
     def scale_to(self, num_pods: int) -> None:
         """Elastically add/remove pods (sessions on removed pods are lost,
         the trade-off the paper accepts and discusses in §4.2)."""
@@ -118,10 +188,17 @@ class ServingCluster:
             del self.pods[pod_id]
 
     def rollout_index(self, recommender_factory: RecommenderFactory) -> None:
-        """Replicate a freshly built index to every pod (daily refresh)."""
+        """Replicate a freshly built index to every pod (daily refresh).
+
+        Cached results and the batch engine belong to the old index, so
+        both are dropped — stale recommendations must not outlive it.
+        """
         self._factory = recommender_factory
         for server in self.pods.values():
-            server.replace_recommender(recommender_factory())
+            server.replace_recommender(self._pod_recommender())
+        if self._batch_engine is not None:
+            self._batch_engine.close()
+            self._batch_engine = None
 
     def total_requests(self) -> int:
         return sum(server.stats.requests for server in self.pods.values())

@@ -9,6 +9,11 @@ a session update and receives 21 recommended items. This module exposes a
   "variant": "serenade-hist", "count": 21}``;
   responds ``{"items": [{"item_id": ..., "score": ...}, ...],
   "pod": "pod-0", "latency_ms": ...}``.
+* ``POST /v1/recommend_batch`` — body
+  ``{"sessions": [[42, 7], [13]], "count": 21}``; responds
+  ``{"results": [[{"item_id": ..., "score": ...}, ...], ...],
+  "latency_ms": ..., "cache": {"hits": ..., "hit_rate": ...}}``.
+  Served by the cluster's batch engine, not the sticky router.
 * ``GET /healthz`` — liveness probe (Kubernetes-style).
 * ``GET /metrics`` — Prometheus text exposition of request counts and
   latency histograms.
@@ -68,6 +73,27 @@ def parse_recommend_payload(payload: dict) -> RecommendationRequest:
     )
 
 
+def parse_batch_payload(payload: dict) -> tuple[list[list[int]], int]:
+    """Validate a /v1/recommend_batch body into (sessions, count)."""
+    if not isinstance(payload, dict):
+        raise BadRequest("body must be a JSON object")
+    sessions = payload.get("sessions")
+    if not isinstance(sessions, list):
+        raise BadRequest("sessions must be a list of item-id lists")
+    if len(sessions) > 10_000:
+        raise BadRequest("at most 10000 sessions per batch")
+    for session in sessions:
+        if not isinstance(session, list):
+            raise BadRequest("each session must be a list of item ids")
+        for item_id in session:
+            if not isinstance(item_id, int) or isinstance(item_id, bool):
+                raise BadRequest("item ids must be integers")
+    count = payload.get("count", 21)
+    if not isinstance(count, int) or isinstance(count, bool) or not 1 <= count <= 100:
+        raise BadRequest("count must be an integer in [1, 100]")
+    return sessions, count
+
+
 class SerenadeService:
     """The application object behind the HTTP handler (testable directly)."""
 
@@ -79,6 +105,12 @@ class SerenadeService:
         )
         self._latency = self.metrics.histogram(
             "serenade_request_latency_seconds", "End-to-end request latency"
+        )
+        self._batch_requests = self.metrics.counter(
+            "serenade_batch_requests_total", "Batch recommendation requests"
+        )
+        self._batch_sessions = self.metrics.counter(
+            "serenade_batch_sessions_total", "Sessions served through batches"
         )
 
     def recommend(self, payload: dict) -> dict:
@@ -98,6 +130,27 @@ class SerenadeService:
             "latency_ms": elapsed * 1e3,
         }
 
+    def recommend_batch(self, payload: dict) -> dict:
+        """Handle one /v1/recommend_batch call via the cluster batch engine."""
+        sessions, count = parse_batch_payload(payload)
+        started = time.perf_counter()
+        results = self.cluster.handle_batch(sessions, how_many=count)
+        elapsed = time.perf_counter() - started
+        self._batch_requests.increment(status="ok")
+        self._batch_sessions.increment(amount=len(sessions))
+        cache = self.cluster.batch_engine().cache_info()
+        return {
+            "results": [
+                [
+                    {"item_id": scored.item_id, "score": scored.score}
+                    for scored in ranked
+                ]
+                for ranked in results
+            ],
+            "latency_ms": elapsed * 1e3,
+            "cache": {"hits": cache["hits"], "hit_rate": cache["hit_rate"]},
+        }
+
     def record_bad_request(self) -> None:
         self._requests.increment(status="bad_request")
 
@@ -106,6 +159,7 @@ class SerenadeService:
             "status": "ok",
             "pods": self.cluster.router.pods,
             "requests_served": self.cluster.total_requests(),
+            "result_cache": self.cluster.cache_info(),
         }
 
 
@@ -143,7 +197,12 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(404, {"error": f"no route {self.path}"})
 
     def do_POST(self) -> None:  # noqa: N802 (stdlib API)
-        if self.path != "/v1/recommend":
+        routes = {
+            "/v1/recommend": self.service.recommend,
+            "/v1/recommend_batch": self.service.recommend_batch,
+        }
+        route = routes.get(self.path)
+        if route is None:
             self._send_json(404, {"error": f"no route {self.path}"})
             return
         length = int(self.headers.get("Content-Length", "0"))
@@ -155,7 +214,7 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(400, {"error": "body is not valid JSON"})
             return
         try:
-            self._send_json(200, self.service.recommend(payload))
+            self._send_json(200, route(payload))
         except BadRequest as error:
             self.service.record_bad_request()
             self._send_json(400, {"error": str(error)})

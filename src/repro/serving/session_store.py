@@ -12,9 +12,9 @@ Values are struct-packed item-id arrays, keyed by the external session key.
 from __future__ import annotations
 
 import struct
-from typing import Callable, Sequence
+from typing import Sequence
 
-from repro.core.types import ItemId, Timestamp
+from repro.core.types import ItemId
 from repro.kvstore.store import Clock, KVStore
 
 SESSION_TTL_SECONDS = 30 * 60  # the paper's 30-minute inactivity window

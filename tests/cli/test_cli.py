@@ -109,7 +109,7 @@ class TestCommands:
             ["recommend", str(index_artifact), "--session", "10,11", "--count", "3"]
         )
         assert code == 0
-        lines = [l for l in capsys.readouterr().out.splitlines() if l.strip()]
+        lines = [ln for ln in capsys.readouterr().out.splitlines() if ln.strip()]
         assert 1 <= len(lines) <= 3
         assert "score" in lines[0]
 
@@ -127,6 +127,50 @@ class TestCommands:
         assert code == 0
         output = capsys.readouterr().out
         assert "MRR@20" in output and "p90 latency" in output
+
+    def test_evaluate_batched_matches_serial(self, clicks_tsv, capsys):
+        serial_args = [
+            "evaluate",
+            str(clicks_tsv),
+            "--m",
+            "200",
+            "--max-predictions",
+            "100",
+        ]
+        assert main(serial_args) == 0
+        serial_out = capsys.readouterr().out
+        assert (
+            main(serial_args + ["--batch-size", "32", "--workers", "2"]) == 0
+        )
+        batched_out = capsys.readouterr().out
+        assert "cache:" in batched_out
+
+        def metrics(text):
+            return [
+                line
+                for line in text.splitlines()
+                if line.startswith(("MRR", "HR", "Prec", "R@", "MAP"))
+            ]
+
+        assert metrics(batched_out) == metrics(serial_out)
+
+    def test_evaluate_other_model(self, clicks_tsv, capsys):
+        code = main(
+            [
+                "evaluate",
+                str(clicks_tsv),
+                "--model",
+                "popularity",
+                "--max-predictions",
+                "50",
+            ]
+        )
+        assert code == 0
+        assert "MRR@20" in capsys.readouterr().out
+
+    def test_evaluate_unknown_model(self, clicks_tsv):
+        with pytest.raises(ValueError, match="unknown model"):
+            main(["evaluate", str(clicks_tsv), "--model", "alexnet"])
 
     def test_grid_search(self, clicks_tsv, capsys):
         code = main(

@@ -9,7 +9,6 @@ from repro.cluster.autoscaler import (
     AutoscalingSimulator,
 )
 from repro.cluster.loadgen import TimedRequest
-from repro.core.index import SessionIndex
 from repro.serving.app import ServingCluster
 from repro.serving.server import RecommendationRequest
 

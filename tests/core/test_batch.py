@@ -1,0 +1,230 @@
+"""Tests for the batched, sharded prediction engine and its LRU cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.batch import BatchPredictionEngine, LRUResultCache, shard_index
+from repro.core.predictor import SessionRecommender, batch_via_loop
+from repro.core.types import ScoredItem
+from repro.core.vmis import VMISKNN
+from repro.data.synthetic import generate_clickstream
+
+
+@pytest.fixture(scope="module")
+def batch_clicks():
+    return list(generate_clickstream(num_sessions=400, num_items=120, days=6, seed=9))
+
+
+@pytest.fixture(scope="module")
+def batch_model(batch_clicks):
+    return VMISKNN.from_clicks(batch_clicks, m=60, k=30, exclude_current_items=True)
+
+
+@pytest.fixture(scope="module")
+def query_sessions(batch_clicks):
+    """Growing prefixes replayed from the training data, plus edge cases."""
+    by_session: dict[int, list[int]] = {}
+    for click in batch_clicks:
+        by_session.setdefault(click.session_id, []).append(click.item_id)
+    sequences = list(by_session.values())[:60]
+    queries: list[list[int]] = [[], [10**9]]  # empty + unknown item
+    for sequence in sequences:
+        for cut in range(1, len(sequence)):
+            queries.append(sequence[:cut])
+    queries.append(list(queries[5]))  # intra-batch duplicate
+    return queries
+
+
+def scored_pairs(ranked):
+    return [(scored.item_id, scored.score) for scored in ranked]
+
+
+class TestLRUResultCache:
+    def test_put_get_roundtrip(self):
+        cache = LRUResultCache(maxsize=4)
+        key = cache.key([1, 2], 5)
+        assert cache.get(key) is None
+        cache.put(key, [ScoredItem(7, 1.5)])
+        assert cache.get(key) == [ScoredItem(7, 1.5)]
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_returned_list_is_a_copy(self):
+        cache = LRUResultCache(maxsize=4)
+        key = cache.key([1], 5)
+        cache.put(key, [ScoredItem(7, 1.5)])
+        cache.get(key).append(ScoredItem(8, 0.1))
+        assert cache.get(key) == [ScoredItem(7, 1.5)]
+
+    def test_lru_eviction_order(self):
+        cache = LRUResultCache(maxsize=2)
+        keys = [cache.key([n], 5) for n in range(3)]
+        cache.put(keys[0], [])
+        cache.put(keys[1], [])
+        cache.get(keys[0])  # refresh 0, making 1 the eviction victim
+        cache.put(keys[2], [])
+        assert cache.get(keys[1]) is None
+        assert cache.get(keys[0]) is not None
+        assert len(cache) == 2
+
+    def test_suffix_keying(self):
+        cache = LRUResultCache(maxsize=4, suffix_length=2)
+        assert cache.key([1, 2, 3, 4], 5) == cache.key([9, 3, 4], 5)
+        assert cache.key([3, 4], 5) == ((3, 4), 5)
+        assert cache.key([1, 2], 5) != cache.key([1, 2], 6)
+
+    def test_info_counters(self):
+        cache = LRUResultCache(maxsize=8)
+        key = cache.key([1], 5)
+        cache.get(key)
+        cache.put(key, [])
+        cache.get(key)
+        info = cache.info()
+        assert info["hits"] == 1 and info["misses"] == 1
+        assert info["hit_rate"] == 0.5
+        assert info["size"] == 1 and info["maxsize"] == 8
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            LRUResultCache(maxsize=0)
+        with pytest.raises(ValueError):
+            LRUResultCache(maxsize=4, suffix_length=0)
+
+
+class TestShardIndex:
+    def test_single_shard_is_the_original(self, batch_model):
+        assert shard_index(batch_model.index, 1) == [batch_model.index]
+
+    def test_shards_partition_postings(self, batch_model):
+        index = batch_model.index
+        shards = shard_index(index, 3)
+        assert len(shards) == 3
+        for item, postings in index.item_to_sessions.items():
+            recombined = []
+            for shard in shards:
+                recombined.extend(shard.item_to_sessions.get(item, []))
+            assert sorted(recombined) == sorted(postings)
+        for number, shard in enumerate(shards):
+            for postings in shard.item_to_sessions.values():
+                assert all(sid % 3 == number for sid in postings)
+                # newest-first order survives the split
+                stamps = [index.session_timestamps[sid] for sid in postings]
+                assert stamps == sorted(stamps, reverse=True)
+
+    def test_shards_share_metadata(self, batch_model):
+        shards = shard_index(batch_model.index, 2)
+        for shard in shards:
+            assert shard.session_timestamps is batch_model.index.session_timestamps
+            assert shard.session_items is batch_model.index.session_items
+
+    def test_rejects_bad_count(self, batch_model):
+        with pytest.raises(ValueError):
+            shard_index(batch_model.index, 0)
+
+
+ENGINE_CONFIGS = [
+    pytest.param(dict(num_workers=0), id="inline"),
+    pytest.param(dict(num_workers=3), id="threads"),
+    pytest.param(dict(num_workers=2, use_processes=True), id="processes"),
+    pytest.param(dict(num_workers=3, shard_strategy="index"), id="index-sharded"),
+    pytest.param(dict(num_workers=0, cache_size=0), id="no-cache"),
+]
+
+
+class TestBatchPredictionEngine:
+    @pytest.mark.parametrize("config", ENGINE_CONFIGS)
+    def test_batch_matches_serial_recommend(
+        self, batch_model, query_sessions, config
+    ):
+        serial = [
+            scored_pairs(batch_model.recommend(items, how_many=10))
+            for items in query_sessions
+        ]
+        with BatchPredictionEngine(batch_model, **config) as engine:
+            batched = engine.recommend_batch(query_sessions, how_many=10)
+            assert [scored_pairs(ranked) for ranked in batched] == serial
+            # a second pass (all-hot when cached) must be identical too
+            again = engine.recommend_batch(query_sessions, how_many=10)
+            assert [scored_pairs(ranked) for ranked in again] == serial
+
+    def test_satisfies_protocol(self, batch_model):
+        engine = BatchPredictionEngine(batch_model)
+        assert isinstance(engine, SessionRecommender)
+
+    def test_single_query_cache_hit_is_identical(self, batch_model, query_sessions):
+        with BatchPredictionEngine(batch_model, cache_size=64) as engine:
+            query = query_sessions[10]
+            cold = engine.recommend(query, how_many=10)
+            hot = engine.recommend(query, how_many=10)
+            assert scored_pairs(hot) == scored_pairs(cold)
+            assert engine.cache_info()["hits"] == 1
+
+    def test_intra_batch_duplicates_computed_once(self, batch_model):
+        with BatchPredictionEngine(batch_model, cache_size=64) as engine:
+            query = [batch_model.index.session_items[0][0]]
+            results = engine.recommend_batch([query, list(query), query])
+            assert scored_pairs(results[0]) == scored_pairs(results[1])
+            assert scored_pairs(results[1]) == scored_pairs(results[2])
+            info = engine.cache_info()
+            assert info["misses"] == 1 and info["size"] == 1
+
+    def test_results_are_independent_copies(self, batch_model):
+        with BatchPredictionEngine(batch_model, cache_size=64) as engine:
+            query = [batch_model.index.session_items[0][0]]
+            first, second = engine.recommend_batch([query, list(query)])
+            first.clear()
+            assert second  # sibling slot unaffected
+            assert engine.recommend(query)  # cache unaffected
+
+    def test_cache_disabled_reports_zeros(self, batch_model):
+        engine = BatchPredictionEngine(batch_model, cache_size=0)
+        engine.recommend([1, 2])
+        info = engine.cache_info()
+        assert info == {
+            "hits": 0, "misses": 0, "hit_rate": 0.0, "size": 0, "maxsize": 0,
+        }
+
+    def test_cache_suffix_collapses_long_histories(self, batch_model):
+        with BatchPredictionEngine(
+            batch_model, cache_size=64, cache_suffix=2
+        ) as engine:
+            long_query = [5, 6] + list(batch_model.index.session_items[3])
+            engine.recommend(long_query, how_many=10)
+            # different history, same last-2 suffix -> served from cache
+            engine.recommend(long_query[2:], how_many=10)
+            info = engine.cache_info()
+            assert info["hits"] == 1 and info["misses"] == 1
+
+    def test_close_is_idempotent(self, batch_model):
+        engine = BatchPredictionEngine(batch_model, num_workers=2)
+        engine.recommend_batch([[1], [2], [3]])
+        engine.close()
+        engine.close()
+
+    def test_index_sharding_requires_fitted_vmis(self, batch_model):
+        with pytest.raises(TypeError):
+            BatchPredictionEngine(object(), shard_strategy="index")
+        with pytest.raises(ValueError):
+            BatchPredictionEngine(VMISKNN(m=10, k=5), shard_strategy="index")
+        with pytest.raises(ValueError):
+            BatchPredictionEngine(
+                batch_model, shard_strategy="index", use_processes=True
+            )
+
+    def test_rejects_bad_arguments(self, batch_model):
+        with pytest.raises(ValueError):
+            BatchPredictionEngine(batch_model, num_workers=-1)
+        with pytest.raises(ValueError):
+            BatchPredictionEngine(batch_model, shard_strategy="rows")
+
+    def test_empty_batch(self, batch_model):
+        with BatchPredictionEngine(batch_model, num_workers=2) as engine:
+            assert engine.recommend_batch([]) == []
+
+
+def test_batch_via_loop_matches_manual_loop(batch_model, query_sessions):
+    queries = query_sessions[:5]
+    looped = batch_via_loop(batch_model, queries, how_many=7)
+    assert [scored_pairs(r) for r in looped] == [
+        scored_pairs(batch_model.recommend(q, how_many=7)) for q in queries
+    ]

@@ -149,3 +149,21 @@ class TestVMISRecommend:
             len(postings) <= 2
             for postings in model.index.item_to_sessions.values()
         )
+
+    def test_session_cap_applied_exactly_once(self, toy_index):
+        """A long evolving session behaves as its last-N suffix, verbatim."""
+        model = VMISKNN(toy_index, m=10, k=10, max_session_items=2)
+        long_session = [5, 3, 1, 2]
+        assert model.find_neighbors(long_session) == model.find_neighbors([1, 2])
+        assert model.recommend(long_session) == model.recommend([1, 2])
+        # the similarity pass itself must not reapply the cap: handing it
+        # the uncapped session weights all four positions (capped: two)
+        uncapped = model._matching_similarities(long_session)
+        capped = model._matching_similarities([1, 2])
+        assert uncapped != capped
+
+    def test_unfitted_recommend_raises(self):
+        model = VMISKNN(m=10, k=10)
+        with pytest.raises(RuntimeError, match="fit"):
+            model.recommend([1, 2])
+        assert model.recommend([]) == []  # empty session needs no index

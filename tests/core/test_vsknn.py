@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.core.index import SessionIndex
-from repro.core.types import Click
 from repro.core.vsknn import VSKNN
 
 

@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.data.datasets import (
-    DATASET_PROFILES,
     dataset_names,
     get_profile,
     load_dataset,

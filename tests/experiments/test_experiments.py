@@ -12,11 +12,15 @@ from repro.experiments import (
     ExperimentConfig,
     ModelSpec,
     ProtocolSpec,
+    RecommenderConfig,
     build_model,
+    build_recommender,
     register_model,
+    register_recommender,
     registered_models,
     run_experiment,
 )
+from repro.experiments.registry import recommender_class
 
 
 def tiny_config(**overrides):
@@ -120,6 +124,83 @@ class TestRegistry:
     def test_empty_name_rejected(self):
         with pytest.raises(ValueError):
             register_model("", lambda clicks, params: None)
+
+
+class TestFactory:
+    def test_config_round_trip(self):
+        config = RecommenderConfig.from_params(
+            {"m": 50, "k": 20, "exclude_current_items": True, "window": 3}
+        )
+        assert config.m == 50 and config.k == 20
+        assert config.extra == {"window": 3}
+        assert config.kwargs() == {
+            "m": 50, "k": 20, "exclude_current_items": True, "window": 3,
+        }
+
+    def test_none_fields_omitted(self):
+        assert RecommenderConfig().kwargs() == {}
+        assert RecommenderConfig(k=20).kwargs() == {"k": 20}
+
+    def test_build_fitted(self):
+        from repro.data.synthetic import generate_clickstream
+
+        clicks = list(generate_clickstream(num_sessions=80, num_items=30, seed=4))
+        model = build_recommender(
+            "vmis", RecommenderConfig(m=20, k=10), clicks=clicks
+        )
+        assert model.recommend([clicks[0].item_id], how_many=5)
+
+    def test_build_unfitted_then_fit(self):
+        from repro.data.synthetic import generate_clickstream
+
+        clicks = list(generate_clickstream(num_sessions=80, num_items=30, seed=4))
+        model = build_recommender("vmis", RecommenderConfig(m=20, k=10))
+        assert model.index is None
+        model.fit(clicks)
+        assert model.index is not None
+
+    def test_legacy_builder_requires_clicks(self):
+        register_model("legacy-test", lambda clicks, params: object())
+        try:
+            with pytest.raises(ValueError, match="legacy builder"):
+                build_recommender("legacy-test")
+        finally:
+            from repro.experiments import registry
+
+            del registry._REGISTRY["legacy-test"]
+
+    def test_register_recommender_class(self):
+        class Constant:
+            def __init__(self, value=1):
+                self.value = value
+
+            def fit(self, clicks):
+                return self
+
+            def recommend(self, session_items, how_many=21):
+                return [ScoredItem(self.value, 1.0)]
+
+        register_recommender("constant-class-test", Constant)
+        try:
+            assert recommender_class("constant-class-test") is Constant
+            model = build_recommender(
+                "constant-class-test",
+                RecommenderConfig.from_params({"value": 9}),
+                clicks=[],
+            )
+            assert model.recommend([5])[0].item_id == 9
+        finally:
+            from repro.experiments import registry
+
+            del registry._CLASSES["constant-class-test"]
+
+    def test_build_model_warns_deprecated(self):
+        from repro.data.synthetic import generate_clickstream
+
+        clicks = list(generate_clickstream(num_sessions=60, num_items=20, seed=4))
+        with pytest.warns(DeprecationWarning, match="build_recommender"):
+            model = build_model("vmis", clicks, {"m": 20, "k": 10})
+        assert model.index is not None
 
 
 class TestRunner:

@@ -1,0 +1,109 @@
+"""Protocol conformance across the whole registry.
+
+Every registered recommender must satisfy the unified API: it is a
+``SessionRecommender`` (recommend + recommend_batch), it is constructible
+both as ``cls(**kwargs).fit(clicks)`` and ``cls.from_clicks(clicks,
+**kwargs)`` with identical results, and its ``recommend_batch`` agrees
+item-for-item with a loop of ``recommend`` calls.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.predictor import SessionRecommender, TrainableRecommender
+from repro.data.synthetic import generate_clickstream
+from repro.experiments.registry import (
+    RecommenderConfig,
+    build_recommender,
+    recommender_class,
+    registered_models,
+)
+
+# keep the neural baselines cheap; ignored by models without these knobs
+FAST_PARAMS: dict[str, dict] = {
+    "gru4rec": {"epochs": 1, "embedding_dim": 8, "hidden_dim": 8},
+    "narm": {"epochs": 1, "embedding_dim": 8, "hidden_dim": 8},
+    "stamp": {"epochs": 1, "embedding_dim": 8},
+    "vmis": {"m": 50, "k": 20},
+    "vsknn": {"m": 50, "k": 20},
+    "sknn": {"m": 50, "k": 20},
+    "stan": {"m": 50, "k": 20},
+    "itemknn": {"neighbors_per_item": 20},
+}
+
+
+@pytest.fixture(scope="module")
+def train_clicks():
+    return list(
+        generate_clickstream(num_sessions=150, num_items=40, days=4, seed=31)
+    )
+
+
+@pytest.fixture(scope="module")
+def probe_sessions(train_clicks):
+    by_session: dict[int, list[int]] = {}
+    for click in train_clicks:
+        by_session.setdefault(click.session_id, []).append(click.item_id)
+    sequences = list(by_session.values())
+    probes = [[], [999_999]]
+    for sequence in sequences[:10]:
+        for cut in range(1, len(sequence)):
+            probes.append(sequence[:cut])
+    return probes
+
+
+@pytest.fixture(scope="module")
+def fitted_models(train_clicks):
+    return {
+        name: build_recommender(
+            name,
+            RecommenderConfig.from_params(FAST_PARAMS.get(name, {})),
+            clicks=train_clicks,
+        )
+        for name in registered_models()
+    }
+
+
+@pytest.mark.parametrize("name", registered_models())
+class TestRegistryConformance:
+    def test_satisfies_session_recommender(self, fitted_models, name):
+        model = fitted_models[name]
+        assert isinstance(model, SessionRecommender)
+        assert isinstance(model, TrainableRecommender)
+
+    def test_recommend_batch_equals_loop(self, fitted_models, probe_sessions, name):
+        model = fitted_models[name]
+        batched = model.recommend_batch(probe_sessions, how_many=10)
+        assert len(batched) == len(probe_sessions)
+        for probe, ranked in zip(probe_sessions, batched):
+            serial = model.recommend(probe, how_many=10)
+            assert [(s.item_id, s.score) for s in ranked] == [
+                (s.item_id, s.score) for s in serial
+            ]
+
+    def test_fit_and_from_clicks_agree(
+        self, train_clicks, probe_sessions, name
+    ):
+        params = FAST_PARAMS.get(name, {})
+        cls = recommender_class(name)
+        assert cls is not None
+        via_fit = cls(**params).fit(list(train_clicks))
+        via_classmethod = cls.from_clicks(list(train_clicks), **params)
+        for probe in probe_sessions[:8]:
+            assert [
+                (s.item_id, s.score) for s in via_fit.recommend(probe, how_many=8)
+            ] == [
+                (s.item_id, s.score)
+                for s in via_classmethod.recommend(probe, how_many=8)
+            ]
+
+    def test_unfitted_model_never_fabricates(self, name):
+        """Before fit(): either a clear error or an empty list, never junk."""
+        cls = recommender_class(name)
+        model = cls(**FAST_PARAMS.get(name, {}))
+        try:
+            result = model.recommend([1, 2])
+        except (RuntimeError, ValueError, TypeError):
+            return
+        assert result == []

@@ -2,8 +2,7 @@
 
 from __future__ import annotations
 
-import pytest
-from hypothesis import HealthCheck, given, settings
+from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.kvstore.store import KVStore

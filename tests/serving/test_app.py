@@ -86,3 +86,63 @@ class TestIndexRollout:
         cluster.rollout_index(lambda: VMISKNN(fresh_index, m=3, k=5))
         cluster.scale_to(2)
         assert cluster.pods["pod-1"].recommender.index is fresh_index
+
+
+class TestBatchServing:
+    def test_handle_batch_matches_serial(self, toy_index):
+        cluster = ServingCluster.with_index(toy_index, num_pods=2, m=10, k=10)
+        model = VMISKNN(toy_index, m=10, k=10, exclude_current_items=True)
+        sessions = [[1, 2], [2], [], [1, 2]]
+        results = cluster.handle_batch(sessions, how_many=5)
+        assert len(results) == 4
+        for session, ranked in zip(sessions, results):
+            expected = model.recommend(session, how_many=5)
+            assert [(s.item_id, s.score) for s in ranked] == [
+                (s.item_id, s.score) for s in expected
+            ]
+
+    def test_cache_size_wraps_pod_recommenders(self, toy_index):
+        from repro.core.batch import BatchPredictionEngine
+
+        cached = ServingCluster.with_index(
+            toy_index, num_pods=2, m=10, k=10, cache_size=32
+        )
+        plain = ServingCluster.with_index(toy_index, num_pods=1, m=10, k=10)
+        for server in cached.pods.values():
+            assert isinstance(server.recommender, BatchPredictionEngine)
+        for server in plain.pods.values():
+            assert isinstance(server.recommender, VMISKNN)
+
+    def test_single_query_path_uses_cache(self, toy_index):
+        cluster = ServingCluster.with_index(
+            toy_index, num_pods=1, m=10, k=10, cache_size=32
+        )
+        first = cluster.handle(RecommendationRequest("hot-user", 1))
+        second = cluster.handle(RecommendationRequest("cold-user", 1))
+        assert [
+            (s.item_id, s.score) for s in first.items
+        ] == [(s.item_id, s.score) for s in second.items]
+        assert cluster.cache_info()["hits"] >= 1
+
+    def test_cache_info_aggregates_batch_engine(self, toy_index):
+        cluster = ServingCluster.with_index(toy_index, num_pods=1, m=10, k=10)
+        cluster.handle_batch([[1, 2]], how_many=5)
+        cluster.handle_batch([[1, 2]], how_many=5)
+        info = cluster.cache_info()
+        assert info["hits"] == 1 and info["misses"] == 1
+        assert info["hit_rate"] == 0.5
+
+    def test_rollout_drops_batch_engine_and_caches(self, toy_index, toy_clicks):
+        cluster = ServingCluster.with_index(
+            toy_index, num_pods=1, m=10, k=10, cache_size=32
+        )
+        cluster.handle_batch([[1, 2]], how_many=5)
+        stale = cluster.batch_engine()
+        fresh_index = SessionIndex.from_clicks(toy_clicks, max_sessions_per_item=3)
+        cluster.rollout_index(lambda: VMISKNN(fresh_index, m=3, k=5))
+        assert cluster.batch_engine() is not stale
+        assert cluster.batch_engine()._recommender.index is fresh_index
+        # pods got fresh cache-wrapped recommenders for the new index
+        for server in cluster.pods.values():
+            assert server.recommender._recommender.index is fresh_index
+            assert server.recommender.cache_info()["size"] == 0

@@ -13,6 +13,7 @@ from repro.serving.http import (
     BadRequest,
     SerenadeHTTPServer,
     SerenadeService,
+    parse_batch_payload,
     parse_recommend_payload,
 )
 from repro.serving.variants import ServingVariant
@@ -77,6 +78,40 @@ class TestPayloadParsing:
             parse_recommend_payload(payload)
 
 
+class TestBatchPayloadParsing:
+    def test_valid_payload(self):
+        sessions, count = parse_batch_payload(
+            {"sessions": [[1, 2], [], [3]], "count": 5}
+        )
+        assert sessions == [[1, 2], [], [3]]
+        assert count == 5
+
+    def test_count_defaults_to_21(self):
+        _, count = parse_batch_payload({"sessions": []})
+        assert count == 21
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {},
+            {"sessions": "nope"},
+            {"sessions": [1, 2]},
+            {"sessions": [["a"]]},
+            {"sessions": [[True]]},
+            {"sessions": [[1]], "count": 0},
+            {"sessions": [[1]], "count": 1000},
+            [1, 2],
+        ],
+    )
+    def test_invalid_payloads_rejected(self, payload):
+        with pytest.raises(BadRequest):
+            parse_batch_payload(payload)
+
+    def test_oversized_batch_rejected(self):
+        with pytest.raises(BadRequest, match="10000"):
+            parse_batch_payload({"sessions": [[1]] * 10_001})
+
+
 class TestEndpoints:
     def test_healthz(self, server):
         status, body = get(server, "/healthz")
@@ -137,6 +172,55 @@ class TestEndpoints:
         assert status == 200
         assert "serenade_requests_total" in text
         assert "serenade_request_latency_seconds_bucket" in text
+
+    def test_recommend_batch_roundtrip(self, server, cluster):
+        sessions = [[1, 2], [2], [1, 2]]
+        status, body = post_json(
+            server, "/v1/recommend_batch", {"sessions": sessions, "count": 5}
+        )
+        assert status == 200
+        assert len(body["results"]) == 3
+        assert body["results"][0] == body["results"][2]  # duplicate query
+        assert body["latency_ms"] > 0
+        assert set(body["cache"]) == {"hits", "hit_rate"}
+        for ranked in body["results"]:
+            for item in ranked:
+                assert set(item) == {"item_id", "score"}
+
+    def test_recommend_batch_matches_single_path(self, server, cluster):
+        _, body = post_json(
+            server, "/v1/recommend_batch", {"sessions": [[1, 2]], "count": 5}
+        )
+        engine = cluster.batch_engine()
+        expected = engine.recommend([1, 2], how_many=5)
+        assert body["results"][0] == [
+            {"item_id": scored.item_id, "score": scored.score}
+            for scored in expected
+        ]
+
+    def test_recommend_batch_repeat_hits_cache(self, server):
+        sessions = [[2, 4], [4, 5]]
+        post_json(server, "/v1/recommend_batch", {"sessions": sessions})
+        _, body = post_json(
+            server, "/v1/recommend_batch", {"sessions": sessions}
+        )
+        assert body["cache"]["hits"] >= 2
+
+    def test_recommend_batch_bad_payload_is_400(self, server):
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{server.port}/v1/recommend_batch",
+            data=json.dumps({"sessions": "nope"}).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=5)
+        assert excinfo.value.code == 400
+
+    def test_healthz_reports_cache(self, server):
+        status, body = get(server, "/healthz")
+        health = json.loads(body)
+        assert status == 200
+        assert "hit_rate" in health["result_cache"]
 
 
 class TestServiceDirect:
