@@ -175,6 +175,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=1024,
         help="per-pod LRU result cache entries (0 = off)",
     )
+    serve.add_argument(
+        "--sla-ms",
+        type=float,
+        default=50.0,
+        help="per-request deadline budget in milliseconds",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=256,
+        help="admission-control capacity before oldest-first shedding (429)",
+    )
+    serve.add_argument(
+        "--wal-dir",
+        default=None,
+        help="directory for per-pod session WALs (enables crash recovery)",
+    )
+    serve.add_argument(
+        "--no-guardrails",
+        action="store_true",
+        help="serve the raw path: no deadlines, fallbacks, breakers or shedding",
+    )
 
     return parser
 
@@ -343,21 +365,37 @@ def cmd_experiment(args) -> int:
 def cmd_serve(args) -> int:
     from repro.serving.app import ServingCluster
     from repro.serving.http import SerenadeHTTPServer
+    from repro.serving.resilience import ResiliencePolicy
 
     index = load_index(args.index)
+    resilience = (
+        None
+        if args.no_guardrails
+        else ResiliencePolicy(
+            budget_ms=args.sla_ms, queue_capacity=args.max_inflight
+        )
+    )
     cluster = ServingCluster.with_index(
         index,
         num_pods=args.pods,
         m=args.m,
         k=args.k,
         cache_size=args.cache_size,
+        resilience=resilience,
+        wal_dir=args.wal_dir,
     )
     server = SerenadeHTTPServer(cluster, host=args.host, port=args.port)
     server.start()
+    guardrails = (
+        "guardrails off"
+        if resilience is None
+        else f"SLA {args.sla_ms:g} ms, max inflight {args.max_inflight}"
+    )
+    wal = f", WAL {args.wal_dir}" if args.wal_dir else ""
     print(
         f"serving {index.num_items:,} items on "
         f"http://{args.host}:{server.port} "
-        f"({args.pods} pods, cache {args.cache_size}; "
+        f"({args.pods} pods, cache {args.cache_size}, {guardrails}{wal}; "
         f"POST /v1/recommend, POST /v1/recommend_batch, "
         f"GET /healthz, GET /metrics)"
     )

@@ -17,6 +17,7 @@ from repro.cluster.chaos import (
     ChaosEventOutcome,
     ChaosInjector,
     ChaosReport,
+    ChaosSchedule,
     PodKill,
 )
 from repro.cluster.abtest import (
@@ -31,6 +32,7 @@ from repro.cluster.loadgen import (
     constant_rate,
     diurnal_rate,
     ramp_rate,
+    spike_rate,
 )
 from repro.cluster.metrics import (
     BucketStats,
@@ -59,6 +61,7 @@ __all__ = [
     "serenade_cost",
     "ChaosInjector",
     "ChaosReport",
+    "ChaosSchedule",
     "PodKill",
     "ABTestReport",
     "ArmOutcome",
@@ -76,6 +79,7 @@ __all__ = [
     "format_timeline",
     "percentile",
     "ramp_rate",
+    "spike_rate",
     "two_proportion_ztest",
     "wilson_interval",
 ]

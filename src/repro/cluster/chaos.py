@@ -5,24 +5,31 @@ latency: "the session data could be temporarily lost in cases of machine
 failures or elastic scaling", which is acceptable because sessions are
 short-lived and the recommender "would quickly collect new interactions".
 
-This module makes that claim testable. A :class:`ChaosSchedule` injects
+This module makes that claim testable — and, with the WAL-backed session
+stores, measurable in both directions. A :class:`ChaosSchedule` injects
 pod kills and restarts at chosen points of a simulated load test, and the
 :class:`ChaosReport` quantifies exactly what the paper argues is tolerable:
 
 * how many live sessions were on the killed pod (lost state);
-* how routing redistributes those sessions to surviving pods;
+* how routing redistributes those sessions to surviving pods (kills go
+  through :meth:`ServingCluster.kill_pod`, so the dead pod's ring entry
+  is healed lazily by the re-routing request path, like production);
 * how quickly re-routed sessions rebuild enough history to receive
-  session-aware recommendations again (the "recovery horizon").
+  session-aware recommendations again (the "recovery horizon");
+* with a cluster ``wal_dir``, how many sessions a restarted pod recovers
+  by WAL replay (``recovered_sessions``) — run the same schedule with and
+  without the WAL to price the durability knob.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Iterator
 
 from repro.cluster.loadgen import TimedRequest
 from repro.cluster.metrics import LatencyRecorder
 from repro.serving.app import ServingCluster
+from repro.serving.resilience import Overloaded
 
 
 @dataclass(frozen=True)
@@ -38,6 +45,25 @@ class PodKill:
             raise ValueError("restart_at must be after at_time")
 
 
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """A validated plan of pod kills/restarts for one chaos run."""
+
+    kills: tuple[PodKill, ...]
+
+    def __init__(self, kills: Iterable[PodKill]) -> None:
+        ordered = tuple(sorted(kills, key=lambda kill: kill.at_time))
+        for kill in ordered:
+            kill.validate()
+        object.__setattr__(self, "kills", ordered)
+
+    def __iter__(self) -> Iterator[PodKill]:
+        return iter(self.kills)
+
+    def __len__(self) -> int:
+        return len(self.kills)
+
+
 @dataclass
 class ChaosEventOutcome:
     """What one injected failure actually did."""
@@ -46,6 +72,15 @@ class ChaosEventOutcome:
     pod_id: str
     sessions_lost: int
     restarted_at: float | None = None
+    #: sessions the restarted pod recovered by WAL replay (0 without WAL).
+    sessions_recovered: int = 0
+
+    @property
+    def recovery_rate(self) -> float:
+        """Fraction of the killed pod's live sessions that came back."""
+        if self.sessions_lost == 0:
+            return 1.0
+        return self.sessions_recovered / self.sessions_lost
 
 
 @dataclass
@@ -62,7 +97,15 @@ class ChaosReport:
     # Of those, how many had already re-accumulated >= 2 items of history
     # (i.e. full serenade-hist context) by the time they were served.
     recovered_requests: int = 0
+    # Requests shed by admission control (not failures: the 429 is the
+    # guardrail doing its job).
+    shed_requests: int = 0
+    # Sessions restored from the WAL across all restarts.
+    recovered_sessions: int = 0
     session_moves: dict[str, str] = field(default_factory=dict)
+    # Per displaced session: seconds from the kill until a request saw
+    # >= 2 items of stored history again (the paper's recovery claim).
+    recovery_horizon: dict[str, float] = field(default_factory=dict)
 
     @property
     def availability(self) -> float:
@@ -70,25 +113,38 @@ class ChaosReport:
             return 1.0
         return 1.0 - self.failed_requests / self.total_requests
 
+    @property
+    def mean_recovery_horizon(self) -> float | None:
+        """Mean seconds for a displaced session to regain full context."""
+        if not self.recovery_horizon:
+            return None
+        return sum(self.recovery_horizon.values()) / len(self.recovery_horizon)
+
 
 class ChaosInjector:
     """Drives a cluster through arrivals while killing/restarting pods.
 
     Unlike :class:`~repro.cluster.simulation.ClusterSimulator`, which
     models queueing, the injector focuses on state: every request is
-    served for real, and the injector tracks per-session history length
-    to detect degradation after a kill.
+    served for real through :meth:`ServingCluster.handle` (admission
+    control, re-routing and fallbacks included when the cluster has
+    guardrails), and the injector tracks per-session history length to
+    detect degradation and recovery after a kill.
     """
 
-    def __init__(self, cluster: ServingCluster, kills: Iterable[PodKill]) -> None:
+    def __init__(
+        self,
+        cluster: ServingCluster,
+        kills: ChaosSchedule | Iterable[PodKill],
+    ) -> None:
         self.cluster = cluster
-        self.kills = sorted(kills, key=lambda kill: kill.at_time)
-        for kill in self.kills:
-            kill.validate()
+        self.schedule = (
+            kills if isinstance(kills, ChaosSchedule) else ChaosSchedule(kills)
+        )
 
     def run(self, arrivals: Iterable[TimedRequest]) -> ChaosReport:
-        pending = list(self.kills)
-        restarts: list[tuple[float, str]] = []
+        pending = list(self.schedule)
+        restarts: list[tuple[float, str, ChaosEventOutcome]] = []
         latency = LatencyRecorder()
         report = ChaosReport(
             total_requests=0, failed_requests=0, events=[], latency=latency
@@ -96,11 +152,14 @@ class ChaosInjector:
         # Ground truth: how many clicks each session has actually issued.
         true_history: dict[str, int] = {}
         owner_before_kill: dict[str, str] = {}
+        kill_time: dict[str, float] = {}
 
         for timed in arrivals:
             now = timed.arrival_time
             self._apply_due_restarts(restarts, now, report)
-            self._apply_due_kills(pending, restarts, now, report, owner_before_kill)
+            self._apply_due_kills(
+                pending, restarts, now, report, owner_before_kill, kill_time
+            )
 
             request = timed.request
             true_history[request.session_key] = (
@@ -108,11 +167,14 @@ class ChaosInjector:
             )
             report.total_requests += 1
             try:
-                pod_id = self.cluster.router.route(request.session_key)
-                response = self.cluster.pods[pod_id].handle(request)
+                response = self.cluster.handle(request)
+            except Overloaded:
+                report.shed_requests += 1
+                continue
             except Exception:
                 report.failed_requests += 1
                 continue
+            pod_id = response.served_by
             latency.record(response.service_seconds)
 
             # Detect lost state: the pod's stored history is shorter than
@@ -130,45 +192,40 @@ class ChaosInjector:
                     report.recovered_requests += 1
             if request.session_key in owner_before_kill:
                 report.session_moves[request.session_key] = pod_id
+                if (
+                    stored_length >= 2
+                    and request.session_key not in report.recovery_horizon
+                ):
+                    report.recovery_horizon[request.session_key] = (
+                        now - kill_time[request.session_key]
+                    )
         return report
 
     def _apply_due_kills(
-        self, pending, restarts, now, report, owner_before_kill
+        self, pending, restarts, now, report, owner_before_kill, kill_time
     ) -> None:
         while pending and pending[0].at_time <= now:
             kill = pending.pop(0)
-            if kill.pod_id not in self.cluster.pods:
-                raise ValueError(f"cannot kill unknown pod {kill.pod_id!r}")
-            victim = self.cluster.pods[kill.pod_id]
-            sessions_lost = len(victim.sessions)
-            for session_key in list(self._sessions_of(victim)):
+            victim = self.cluster.kill_pod(kill.pod_id)
+            for session_key in victim.sessions.session_keys():
                 owner_before_kill[session_key] = kill.pod_id
-            self.cluster.router.remove_pod(kill.pod_id)
-            del self.cluster.pods[kill.pod_id]
-            report.events.append(
-                ChaosEventOutcome(
-                    at_time=kill.at_time,
-                    pod_id=kill.pod_id,
-                    sessions_lost=sessions_lost,
-                    restarted_at=kill.restart_at,
-                )
+                kill_time[session_key] = kill.at_time
+            outcome = ChaosEventOutcome(
+                at_time=kill.at_time,
+                pod_id=kill.pod_id,
+                sessions_lost=len(victim.sessions),
+                restarted_at=kill.restart_at,
             )
+            report.events.append(outcome)
             if kill.restart_at is not None:
-                restarts.append((kill.restart_at, kill.pod_id))
-                restarts.sort()
+                restarts.append((kill.restart_at, kill.pod_id, outcome))
+                restarts.sort(key=lambda entry: entry[0])
 
     def _apply_due_restarts(self, restarts, now, report) -> None:
-        del report
         while restarts and restarts[0][0] <= now:
-            _, pod_id = restarts.pop(0)
-            # A restarted pod comes back empty (state was machine-local).
-            self.cluster._spawn_pod(  # noqa: SLF001 - deliberate: chaos is
-                pod_id,  # part of the cluster's own test surface
-                self.cluster._rules,
-                self.cluster._clock,
-                self.cluster._record_service_times,
-            )
-
-    @staticmethod
-    def _sessions_of(server) -> list[str]:
-        return [key.decode("utf-8") for key in server.sessions._store.keys()]
+            _, pod_id, outcome = restarts.pop(0)
+            # A restarted pod replays its WAL when the cluster has one;
+            # otherwise it comes back empty (state was machine-local).
+            server = self.cluster.restart_pod(pod_id)
+            outcome.sessions_recovered = len(server.sessions)
+            report.recovered_sessions += outcome.sessions_recovered

@@ -36,6 +36,18 @@ class LatencyRecorder:
     def percentile(self, q: float) -> float:
         return percentile(sorted(self.samples), q)
 
+    def fraction_within(self, seconds: float) -> float:
+        """Share of requests answered within ``seconds`` (SLA attainment).
+
+        The guardrail layer's success criterion: with a 50 ms budget,
+        ``fraction_within(0.050)`` should stay at 1.0 even when the
+        primary model misbehaves.
+        """
+        if not self.samples:
+            raise ValueError("no samples")
+        within = sum(1 for sample in self.samples if sample <= seconds)
+        return within / len(self.samples)
+
     def summary_ms(self) -> dict[str, float]:
         """The paper's three headline percentiles, in milliseconds."""
         ordered = sorted(self.samples)

@@ -45,8 +45,10 @@ import multiprocessing
 import threading
 from collections import OrderedDict
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
 from typing import Sequence
 
+from repro.core.deadline import Deadline
 from repro.core.heaps import BoundedTopK
 from repro.core.index import SessionIndex
 from repro.core.predictor import SessionRecommender, batch_via_loop
@@ -265,6 +267,8 @@ class BatchPredictionEngine:
         self._executor: Executor | None = None
         self._seed_id: int | None = None
         self._shards: list[VMISKNN] | None = None
+        #: result slots shed because a batch deadline expired first.
+        self.deadline_shed = 0
 
         if shard_strategy == "index":
             if not isinstance(recommender, VMISKNN):
@@ -357,9 +361,19 @@ class BatchPredictionEngine:
         return result
 
     def recommend_batch(
-        self, sessions: Sequence[Sequence[ItemId]], how_many: int = 21
+        self,
+        sessions: Sequence[Sequence[ItemId]],
+        how_many: int = 21,
+        deadline: Deadline | None = None,
     ) -> list[list[ScoredItem]]:
-        """Batch path: cache, deduplicate, then fan out the distinct work."""
+        """Batch path: cache, deduplicate, then fan out the distinct work.
+
+        With a :class:`~repro.core.deadline.Deadline`, work that has not
+        started by expiry is shed: the affected result slots come back as
+        empty lists (never cached), and :attr:`deadline_shed` counts them.
+        Cache hits and already-computed results are always returned — the
+        deadline bounds *new* compute, it never discards finished work.
+        """
         sessions = [list(items) for items in sessions]
         results: list[list[ScoredItem] | None] = [None] * len(sessions)
 
@@ -385,9 +399,13 @@ class BatchPredictionEngine:
 
         if pending:
             distinct = [pending_sessions[key] for key in pending]
-            computed = self._compute_batch(distinct, how_many)
+            computed = self._compute_batch(distinct, how_many, deadline)
             for key, result in zip(pending, computed):
-                if self.cache is not None:
+                shed = result is None
+                if shed:
+                    self.deadline_shed += len(pending[key])
+                    result = []
+                elif self.cache is not None:
                     self.cache.put(key, result)
                 first, *rest = pending[key]
                 results[first] = result
@@ -396,48 +414,78 @@ class BatchPredictionEngine:
         return results  # type: ignore[return-value]
 
     def cache_info(self) -> dict[str, float]:
-        """Cache counters; zeros when caching is disabled."""
+        """Cache + shed counters; cache fields zero when caching is off."""
         if self.cache is None:
-            return {
+            info = {
                 "hits": 0,
                 "misses": 0,
                 "hit_rate": 0.0,
                 "size": 0,
                 "maxsize": 0,
             }
-        return self.cache.info()
+        else:
+            info = self.cache.info()
+        info["deadline_shed"] = self.deadline_shed
+        return info
 
     # -- execution strategies -------------------------------------------------
 
     def _compute_batch(
-        self, sessions: list[list[ItemId]], how_many: int
-    ) -> list[list[ScoredItem]]:
+        self,
+        sessions: list[list[ItemId]],
+        how_many: int,
+        deadline: Deadline | None = None,
+    ) -> list[list[ScoredItem] | None]:
+        """Compute distinct queries; ``None`` marks a deadline-shed slot."""
         if self.shard_strategy == "index":
-            return self._compute_index_sharded(sessions, how_many)
+            return self._compute_index_sharded(sessions, how_many, deadline)
         if self.num_workers <= 1 or len(sessions) <= 1:
-            return batch_via_loop(self._recommender, sessions, how_many=how_many)
+            out: list[list[ScoredItem] | None] = []
+            for session in sessions:
+                if deadline is not None and deadline.expired:
+                    out.append(None)
+                    continue
+                out.append(
+                    self._recommender.recommend(session, how_many=how_many)
+                )
+            return out
         pool = self._pool()
+        chunks = _chunks(sessions, self.num_workers)
         if self.use_processes:
             futures = [
-                pool.submit(_predict_chunk, chunk, how_many)
-                for chunk in _chunks(sessions, self.num_workers)
+                pool.submit(_predict_chunk, chunk, how_many) for chunk in chunks
             ]
         else:
             futures = [
                 pool.submit(
                     batch_via_loop, self._recommender, chunk, how_many=how_many
                 )
-                for chunk in _chunks(sessions, self.num_workers)
+                for chunk in chunks
             ]
-        out: list[list[ScoredItem]] = []
-        for future in futures:
-            out.extend(future.result())
+        out = []
+        for chunk, future in zip(chunks, futures):
+            if deadline is None:
+                out.extend(future.result())
+                continue
+            try:
+                out.extend(future.result(timeout=deadline.remaining()))
+            except FutureTimeout:
+                future.cancel()
+                out.extend([None] * len(chunk))
         return out
 
     def _compute_index_sharded(
-        self, sessions: list[list[ItemId]], how_many: int
-    ) -> list[list[ScoredItem]]:
-        """Fan each session over every index shard, then merge candidates."""
+        self,
+        sessions: list[list[ItemId]],
+        how_many: int,
+        deadline: Deadline | None = None,
+    ) -> list[list[ScoredItem] | None]:
+        """Fan each session over every index shard, then merge candidates.
+
+        The shard fan-out is all-or-nothing per batch, so the deadline is
+        checked between per-session merges: sessions whose merge has not
+        started by expiry are shed.
+        """
         model = self._recommender
         assert isinstance(model, VMISKNN) and self._shards is not None
         capped = [model._capped(items) for items in sessions]
@@ -452,15 +500,20 @@ class BatchPredictionEngine:
                 for shard in self._shards
             ]
             per_shard = [future.result() for future in futures]
-        return [
-            self._merge_candidates(
-                model,
-                items,
-                [candidates[position] for candidates in per_shard],
-                how_many,
+        out: list[list[ScoredItem] | None] = []
+        for position, items in enumerate(capped):
+            if deadline is not None and deadline.expired:
+                out.append(None)
+                continue
+            out.append(
+                self._merge_candidates(
+                    model,
+                    items,
+                    [candidates[position] for candidates in per_shard],
+                    how_many,
+                )
             )
-            for position, items in enumerate(capped)
-        ]
+        return out
 
     @staticmethod
     def _merge_candidates(

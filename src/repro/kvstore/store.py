@@ -161,6 +161,21 @@ class KVStore:
         with self._lock:
             return len(self._memtable)
 
+    def items(self) -> dict[bytes, bytes]:
+        """Snapshot of live entries as a plain dict.
+
+        The canonical way to compare store state across a crash+replay
+        cycle: ``store_after.items() == store_before.items()`` holds
+        whenever every acknowledged write made it into the WAL.
+        """
+        now = self._clock()
+        with self._lock:
+            return {
+                key: value
+                for key, (value, expire_at) in self._memtable.items()
+                if expire_at == 0.0 or expire_at > now
+            }
+
     def keys(self) -> Iterator[bytes]:
         """Snapshot of live keys."""
         now = self._clock()

@@ -69,11 +69,18 @@ class WriteAheadLog:
         self._handle: BinaryIO = open(self.path, "ab")
 
     def append(self, record: WalRecord) -> None:
-        """Append one record, honouring the fsync policy."""
+        """Append one record, honouring the fsync policy.
+
+        The record is always flushed to the OS before the append returns —
+        that is the WAL contract that makes crash recovery work: a process
+        crash (the failure mode chaos testing injects) never loses an
+        acknowledged write. ``sync_every`` additionally fsyncs, extending
+        the guarantee to power loss at a latency cost.
+        """
         self._handle.write(record.encode())
+        self._handle.flush()
         self._appends_since_sync += 1
         if self.sync_every and self._appends_since_sync >= self.sync_every:
-            self._handle.flush()
             import os
 
             os.fsync(self._handle.fileno())

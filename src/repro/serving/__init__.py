@@ -1,8 +1,21 @@
-"""Online serving: stateful pods, sticky routing, rules and variants."""
+"""Online serving: stateful pods, sticky routing, rules, variants, guardrails."""
 
 from repro.serving.app import ServingCluster
 from repro.serving.http import SerenadeHTTPServer, SerenadeService
-from repro.serving.monitoring import Counter, Histogram, MetricsRegistry
+from repro.serving.monitoring import Counter, Gauge, Histogram, MetricsRegistry
+from repro.serving.resilience import (
+    AdmissionController,
+    BreakerState,
+    CircuitBreaker,
+    FallbackChain,
+    FallbackStage,
+    Overloaded,
+    ResiliencePolicy,
+    ResilientRecommender,
+    StageOutcome,
+    StaticRecommender,
+    popularity_from_index,
+)
 from repro.serving.router import StickySessionRouter
 from repro.serving.rules import (
     BusinessRules,
@@ -20,10 +33,19 @@ from repro.serving.session_store import SessionStore, decode_items, encode_items
 from repro.serving.variants import ServingVariant, session_view
 
 __all__ = [
+    "AdmissionController",
+    "BreakerState",
     "BusinessRules",
+    "CircuitBreaker",
     "Counter",
+    "FallbackChain",
+    "FallbackStage",
+    "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "Overloaded",
+    "ResiliencePolicy",
+    "ResilientRecommender",
     "SerenadeHTTPServer",
     "SerenadeService",
     "FRONTEND_SLOT_SIZE",
@@ -33,11 +55,14 @@ __all__ = [
     "ServingCluster",
     "ServingVariant",
     "SessionStore",
+    "StageOutcome",
+    "StaticRecommender",
     "StickySessionRouter",
     "decode_items",
     "encode_items",
     "exclude_adult",
     "exclude_seen_in_session",
     "exclude_unavailable",
+    "popularity_from_index",
     "session_view",
 ]

@@ -15,10 +15,27 @@ Two batch-engine integrations sit on top of the Figure 1 path:
   consumers: email campaigns, cache warmers, evaluation replays) through
   a cluster-level engine, bypassing the sticky router and the per-user
   session stores.
+
+SLA guardrails (:mod:`repro.serving.resilience`) are opt-in via a
+:class:`~repro.serving.resilience.ResiliencePolicy`:
+
+* every pod's recommender is wrapped in a deadline-budgeted
+  :class:`~repro.serving.resilience.ResilientRecommender` with a fallback
+  chain and per-stage circuit breakers;
+* :meth:`handle` runs behind an
+  :class:`~repro.serving.resilience.AdmissionController` that sheds
+  oldest-first with :class:`~repro.serving.resilience.Overloaded` (a 429)
+  when the cluster is saturated;
+* requests routed to a pod that died without deregistering are re-routed
+  over the surviving pods (the hash ring is healed lazily, the way a
+  health check would);
+* with a ``wal_dir``, each pod's session store writes a WAL and a
+  restarted pod (:meth:`restart_pod`) recovers its evolving sessions.
 """
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Callable, Sequence
 
 from repro.core.batch import BatchPredictionEngine
@@ -27,6 +44,17 @@ from repro.core.predictor import SessionRecommender
 from repro.core.types import ItemId, ScoredItem
 from repro.core.vmis import VMISKNN
 from repro.kvstore.store import Clock
+from repro.serving.resilience import (
+    AdmissionController,
+    CircuitBreaker,
+    FallbackChain,
+    FallbackStage,
+    Overloaded,
+    ResiliencePolicy,
+    ResilientRecommender,
+    StaticRecommender,
+    popularity_from_index,
+)
 from repro.serving.router import StickySessionRouter
 from repro.serving.rules import BusinessRules
 from repro.serving.server import (
@@ -50,6 +78,10 @@ class ServingCluster:
         record_service_times: bool = True,
         cache_size: int = 0,
         batch_workers: int = 4,
+        resilience: ResiliencePolicy | None = None,
+        fallback_factory: RecommenderFactory | None = None,
+        static_items: Sequence[ScoredItem] = (),
+        wal_dir: str | Path | None = None,
     ) -> None:
         """Build the cluster.
 
@@ -62,6 +94,14 @@ class ServingCluster:
             cache_size: per-pod LRU result cache capacity on the
                 single-query path; 0 disables caching (seed behaviour).
             batch_workers: thread-pool size of the ``handle_batch`` engine.
+            resilience: enable the SLA guardrail layer with this policy;
+                ``None`` keeps the raw path (seed behaviour).
+            fallback_factory: builds the mid-chain degraded-mode model per
+                pod (e.g. popularity); only used when ``resilience`` is on.
+            static_items: the terminal static ranked list; only used when
+                ``resilience`` is on.
+            wal_dir: directory for per-pod session WALs; ``None`` keeps
+                sessions memory-only (state dies with the pod, §4.2).
         """
         if num_pods < 1:
             raise ValueError("num_pods must be >= 1")
@@ -71,20 +111,63 @@ class ServingCluster:
         self._cache_size = cache_size
         self._batch_workers = batch_workers
         self._batch_engine: BatchPredictionEngine | None = None
-        for pod_number in range(num_pods):
-            self._spawn_pod(f"pod-{pod_number}", rules, clock, record_service_times)
+        self.resilience = resilience
+        self._fallback_factory = fallback_factory
+        self._static_items = tuple(static_items)
+        self.wal_dir = Path(wal_dir) if wal_dir is not None else None
+        if self.wal_dir is not None:
+            self.wal_dir.mkdir(parents=True, exist_ok=True)
+        self.admission: AdmissionController | None = (
+            AdmissionController(resilience.queue_capacity)
+            if resilience is not None
+            else None
+        )
+        self.recovered_sessions = 0
+        self.rerouted_requests = 0
         self._rules = rules
         self._clock = clock
         self._record_service_times = record_service_times
+        for pod_number in range(num_pods):
+            self._spawn_pod(f"pod-{pod_number}", rules, clock, record_service_times)
 
     def _pod_recommender(self) -> SessionRecommender:
-        """One pod's recommender, cache-wrapped when caching is on."""
+        """One pod's recommender: cache-wrapped, then guardrail-wrapped."""
         recommender = self._factory()
         if self._cache_size > 0:
             recommender = BatchPredictionEngine(
                 recommender, num_workers=0, cache_size=self._cache_size
             )
+        if self.resilience is not None:
+            recommender = ResilientRecommender(
+                self._build_chain(recommender), self.resilience
+            )
         return recommender
+
+    def _build_chain(self, primary: SessionRecommender) -> FallbackChain:
+        policy = self.resilience
+        assert policy is not None
+        stages = [
+            FallbackStage("primary", primary, CircuitBreaker.from_policy(policy))
+        ]
+        if self._fallback_factory is not None:
+            stages.append(
+                FallbackStage(
+                    "fallback",
+                    self._fallback_factory(),
+                    CircuitBreaker.from_policy(policy),
+                )
+            )
+        return FallbackChain(
+            stages,
+            terminal=StaticRecommender(self._static_items),
+            reserve_seconds=policy.fallback_reserve_ms / 1000.0,
+            stage_workers=policy.stage_workers,
+        )
+
+    def _pod_wal_path(self, pod_id: str) -> str | None:
+        if self.wal_dir is None:
+            return None
+        return str(self.wal_dir / f"{pod_id}.wal")
 
     def _spawn_pod(
         self,
@@ -99,9 +182,13 @@ class ServingCluster:
             rules=rules,
             clock=clock,
             record_service_times=record_service_times,
+            wal_path=self._pod_wal_path(pod_id),
         )
         self.pods[pod_id] = server
-        self.router.add_pod(pod_id)
+        # A crashed pod may have died without deregistering; its ring entry
+        # is still there and must not be duplicated on restart.
+        if pod_id not in self.router.pods:
+            self.router.add_pod(pod_id)
 
     @classmethod
     def with_index(
@@ -115,18 +202,58 @@ class ServingCluster:
         """Cluster of VMIS-kNN pods sharing one prebuilt index object.
 
         In production every pod loads its own copy; in-process we can share
-        the immutable index structure safely.
+        the immutable index structure safely. When a
+        :class:`ResiliencePolicy` is passed, the fallback chain is derived
+        from the same index: VMIS-kNN → index popularity → static top list.
         """
+        if kwargs.get("resilience") is not None:
+            popularity = popularity_from_index(index)
+            kwargs.setdefault("fallback_factory", lambda: popularity)
+            kwargs.setdefault(
+                "static_items", popularity.recommend([], how_many=50)
+            )
         return cls(
             lambda: VMISKNN(index, m=m, k=k, exclude_current_items=True),
             num_pods=num_pods,
             **kwargs,
         )
 
+    # -- request path --------------------------------------------------------
+
+    def route_live(self, session_key: str) -> str:
+        """The live pod owning this session, healing the ring as needed.
+
+        A pod that died abruptly (machine failure) never deregistered; the
+        first request routed to it discovers the death, removes the stale
+        ring entry and re-routes — rendezvous hashing guarantees only the
+        dead pod's sessions move.
+        """
+        pod_id = self.router.route(session_key)
+        while pod_id not in self.pods:
+            self.router.remove_pod(pod_id)
+            self.rerouted_requests += 1
+            pod_id = self.router.route(session_key)
+        return pod_id
+
     def handle(self, request: RecommendationRequest) -> RecommendationResponse:
-        """Route a frontend request to the owning pod and serve it."""
-        pod_id = self.router.route(request.session_key)
-        return self.pods[pod_id].handle(request)
+        """Route a frontend request to the owning pod and serve it.
+
+        With guardrails on, the request first takes a slot in the bounded
+        admission queue; if the cluster is saturated the oldest queued
+        request (possibly this one) is shed with :class:`Overloaded`.
+        """
+        if self.admission is None:
+            return self.pods[self.route_live(request.session_key)].handle(request)
+        token = self.admission.submit(request.session_key)
+        try:
+            if token.shed:
+                raise Overloaded()
+            pod_id = self.route_live(request.session_key)
+            if token.shed:  # shed while routing: abort before predicting
+                raise Overloaded()
+            return self.pods[pod_id].handle(request)
+        finally:
+            self.admission.release(token)
 
     def handle_batch(
         self, sessions: Sequence[Sequence[ItemId]], how_many: int = 21
@@ -149,29 +276,40 @@ class ServingCluster:
             )
         return self._batch_engine
 
-    def cache_info(self) -> dict[str, float]:
-        """Aggregated result-cache counters across pods and batch engine."""
-        totals = {"hits": 0, "misses": 0, "size": 0, "maxsize": 0}
-        engines = [
-            server.recommender
-            for server in self.pods.values()
-            if isinstance(server.recommender, BatchPredictionEngine)
-        ]
-        if self._batch_engine is not None:
-            engines.append(self._batch_engine)
-        for engine in engines:
-            info = engine.cache_info()
-            for field in totals:
-                totals[field] += info[field]
-        lookups = totals["hits"] + totals["misses"]
-        return {
-            **totals,
-            "hit_rate": totals["hits"] / lookups if lookups else 0.0,
-        }
+    # -- failure injection / recovery ----------------------------------------
+
+    def kill_pod(self, pod_id: str) -> RecommendationServer:
+        """Abruptly kill a pod (machine failure).
+
+        The pod is dropped without deregistering from the router — a dead
+        machine does not announce its death — and without closing its
+        session store, so buffered-but-unflushed state behaves exactly as
+        a crash would leave it. Returns the dead server for inspection.
+        """
+        if pod_id not in self.pods:
+            raise ValueError(f"cannot kill unknown pod {pod_id!r}")
+        return self.pods.pop(pod_id)
+
+    def restart_pod(self, pod_id: str) -> RecommendationServer:
+        """Restart a killed pod on the same volume.
+
+        With a ``wal_dir``, the fresh session store replays the pod's WAL
+        and recovers every evolving session the crash did not lose;
+        without one, the pod comes back empty (the paper's trade-off).
+        Returns the new server; recovered sessions are counted on the
+        cluster.
+        """
+        if pod_id in self.pods:
+            raise ValueError(f"pod {pod_id!r} is already running")
+        self._spawn_pod(pod_id, self._rules, self._clock, self._record_service_times)
+        server = self.pods[pod_id]
+        self.recovered_sessions += len(server.sessions)
+        return server
 
     def scale_to(self, num_pods: int) -> None:
         """Elastically add/remove pods (sessions on removed pods are lost,
-        the trade-off the paper accepts and discusses in §4.2)."""
+        the trade-off the paper accepts and discusses in §4.2). Planned
+        scale-down is graceful: the pod deregisters and deletes its WAL."""
         if num_pods < 1:
             raise ValueError("num_pods must be >= 1")
         current = len(self.pods)
@@ -185,7 +323,9 @@ class ServingCluster:
         for pod_number in range(num_pods, current):
             pod_id = f"pod-{pod_number}"
             self.router.remove_pod(pod_id)
-            del self.pods[pod_id]
+            server = self.pods.pop(pod_id)
+            server.sessions.close(delete_wal=True)
+            self._close_recommender(server.recommender)
 
     def rollout_index(self, recommender_factory: RecommenderFactory) -> None:
         """Replicate a freshly built index to every pod (daily refresh).
@@ -195,10 +335,87 @@ class ServingCluster:
         """
         self._factory = recommender_factory
         for server in self.pods.values():
+            self._close_recommender(server.recommender)
             server.replace_recommender(self._pod_recommender())
         if self._batch_engine is not None:
             self._batch_engine.close()
             self._batch_engine = None
+
+    @staticmethod
+    def _close_recommender(recommender: SessionRecommender) -> None:
+        close = getattr(recommender, "close", None)
+        if callable(close):
+            close()
+
+    # -- introspection -------------------------------------------------------
+
+    def cache_info(self) -> dict[str, float]:
+        """Aggregated result-cache counters across pods and batch engine."""
+        totals = {"hits": 0, "misses": 0, "size": 0, "maxsize": 0}
+        engines = []
+        for server in self.pods.values():
+            recommender = server.recommender
+            if isinstance(recommender, ResilientRecommender):
+                recommender = recommender.primary
+            if isinstance(recommender, BatchPredictionEngine):
+                engines.append(recommender)
+        if self._batch_engine is not None:
+            engines.append(self._batch_engine)
+        for engine in engines:
+            info = engine.cache_info()
+            for field in totals:
+                totals[field] += info[field]
+        lookups = totals["hits"] + totals["misses"]
+        return {
+            **totals,
+            "hit_rate": totals["hits"] / lookups if lookups else 0.0,
+        }
+
+    def resilience_info(self) -> dict:
+        """Aggregated guardrail counters across pods.
+
+        Keys mirror the ``/metrics`` series: degraded/shed request counts,
+        deadline timeouts, breaker states per pod and stage, WAL-recovered
+        sessions and corrupt-session reads.
+        """
+        info = {
+            "enabled": self.resilience is not None,
+            "requests": 0,
+            "degraded_requests": 0,
+            "deadline_timeouts": 0,
+            "stage_errors": 0,
+            "breaker_short_circuits": 0,
+            "shed_requests": (
+                self.admission.shed_count if self.admission is not None else 0
+            ),
+            "rerouted_requests": self.rerouted_requests,
+            "recovered_sessions": self.recovered_sessions,
+            "corrupt_sessions": sum(
+                server.sessions.corrupt_sessions for server in self.pods.values()
+            ),
+            "served_by_stage": {},
+            "breaker_states": {},
+        }
+        for pod_id, server in sorted(self.pods.items()):
+            recommender = server.recommender
+            if not isinstance(recommender, ResilientRecommender):
+                continue
+            pod_info = recommender.info()
+            for key in (
+                "requests",
+                "degraded_requests",
+                "deadline_timeouts",
+                "stage_errors",
+                "breaker_short_circuits",
+            ):
+                info[key] += pod_info[key]
+            for stage, count in pod_info["served_by_stage"].items():
+                info["served_by_stage"][stage] = (
+                    info["served_by_stage"].get(stage, 0) + count
+                )
+            for stage, state in recommender.breaker_states().items():
+                info["breaker_states"][f"{pod_id}/{stage}"] = state.value
+        return info
 
     def total_requests(self) -> int:
         return sum(server.stats.requests for server in self.pods.values())

@@ -16,7 +16,14 @@ a session update and receives 21 recommended items. This module exposes a
   Served by the cluster's batch engine, not the sticky router.
 * ``GET /healthz`` — liveness probe (Kubernetes-style).
 * ``GET /metrics`` — Prometheus text exposition of request counts and
-  latency histograms.
+  latency histograms, plus the SLA-guardrail series
+  (``serenade_degraded_requests_total``, ``serenade_shed_requests_total``,
+  ``serenade_breaker_state``, ``serenade_recovered_sessions_total``,
+  ``serenade_corrupt_sessions_total``).
+
+When the cluster runs with guardrails, a saturated admission queue turns
+into HTTP 429 with a ``Retry-After`` header, and successful responses
+carry ``"degraded"``/``"stage"`` reporting which fallback stage answered.
 
 The server is threaded; the underlying KV store and metrics registry are
 thread-safe, so concurrent frontend requests behave like the paper's
@@ -32,8 +39,15 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.serving.app import ServingCluster
 from repro.serving.monitoring import MetricsRegistry
+from repro.serving.resilience import BreakerState, Overloaded
 from repro.serving.server import RecommendationRequest
 from repro.serving.variants import ServingVariant
+
+_BREAKER_STATE_VALUES = {
+    BreakerState.CLOSED: 0.0,
+    BreakerState.HALF_OPEN: 1.0,
+    BreakerState.OPEN: 2.0,
+}
 
 _VARIANTS = {variant.value: variant for variant in ServingVariant}
 
@@ -112,12 +126,39 @@ class SerenadeService:
         self._batch_sessions = self.metrics.counter(
             "serenade_batch_sessions_total", "Sessions served through batches"
         )
+        # SLA guardrail series; monotonic counters mirror the cluster's
+        # running totals (synced on scrape), the gauge is point-in-time.
+        self._degraded = self.metrics.counter(
+            "serenade_degraded_requests_total",
+            "Requests served by a fallback stage instead of the primary",
+        )
+        self._shed = self.metrics.counter(
+            "serenade_shed_requests_total",
+            "Requests shed by admission control (HTTP 429)",
+        )
+        self._recovered = self.metrics.counter(
+            "serenade_recovered_sessions_total",
+            "Sessions restored by WAL replay after pod restarts",
+        )
+        self._corrupt = self.metrics.counter(
+            "serenade_corrupt_sessions_total",
+            "Corrupt session values read as empty",
+        )
+        self._breaker_state = self.metrics.gauge(
+            "serenade_breaker_state",
+            "Circuit breaker state per pod/stage (0 closed, 1 half-open, 2 open)",
+        )
 
     def recommend(self, payload: dict) -> dict:
-        """Handle one /v1/recommend call; raises BadRequest on bad input."""
+        """Handle one /v1/recommend call; raises BadRequest on bad input
+        and Overloaded (HTTP 429) when admission control sheds the call."""
         request = parse_recommend_payload(payload)
         started = time.perf_counter()
-        response = self.cluster.handle(request)
+        try:
+            response = self.cluster.handle(request)
+        except Overloaded:
+            self._requests.increment(status="shed")
+            raise
         elapsed = time.perf_counter() - started
         self._requests.increment(status="ok")
         self._latency.observe(elapsed)
@@ -128,6 +169,8 @@ class SerenadeService:
             ],
             "pod": response.served_by,
             "latency_ms": elapsed * 1e3,
+            "degraded": response.degraded,
+            "stage": response.served_stage,
         }
 
     def recommend_batch(self, payload: dict) -> dict:
@@ -154,12 +197,45 @@ class SerenadeService:
     def record_bad_request(self) -> None:
         self._requests.increment(status="bad_request")
 
+    def render_metrics(self) -> str:
+        """Sync guardrail counters from the cluster, then render."""
+        info = self.cluster.resilience_info()
+        for counter, key in (
+            (self._degraded, "degraded_requests"),
+            (self._shed, "shed_requests"),
+            (self._recovered, "recovered_sessions"),
+            (self._corrupt, "corrupt_sessions"),
+        ):
+            delta = info[key] - counter.value()
+            if delta > 0:
+                counter.increment(delta)
+        for target, state_name in info["breaker_states"].items():
+            pod_id, _, stage = target.partition("/")
+            self._breaker_state.set(
+                _BREAKER_STATE_VALUES[BreakerState(state_name)],
+                pod=pod_id,
+                stage=stage,
+            )
+        return self.metrics.render_prometheus()
+
     def health(self) -> dict:
         return {
             "status": "ok",
             "pods": self.cluster.router.pods,
             "requests_served": self.cluster.total_requests(),
             "result_cache": self.cluster.cache_info(),
+            "resilience": {
+                key: value
+                for key, value in self.cluster.resilience_info().items()
+                if key
+                in (
+                    "enabled",
+                    "degraded_requests",
+                    "shed_requests",
+                    "recovered_sessions",
+                    "corrupt_sessions",
+                )
+            },
         }
 
 
@@ -187,7 +263,7 @@ class _Handler(BaseHTTPRequestHandler):
         if self.path == "/healthz":
             self._send_json(200, self.service.health())
         elif self.path == "/metrics":
-            text = self.service.metrics.render_prometheus().encode("utf-8")
+            text = self.service.render_metrics().encode("utf-8")
             self.send_response(200)
             self.send_header("Content-Type", "text/plain; version=0.0.4")
             self.send_header("Content-Length", str(len(text)))
@@ -218,6 +294,18 @@ class _Handler(BaseHTTPRequestHandler):
         except BadRequest as error:
             self.service.record_bad_request()
             self._send_json(400, {"error": str(error)})
+        except Overloaded as error:
+            self.send_response(429)
+            body = json.dumps(
+                {"error": "overloaded", "retry_after_ms": error.retry_after_ms}
+            ).encode("utf-8")
+            self.send_header("Content-Type", "application/json")
+            self.send_header(
+                "Retry-After", str(max(1, round(error.retry_after_ms / 1000)))
+            )
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
 
 
 class _Server(ThreadingHTTPServer):

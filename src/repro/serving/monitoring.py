@@ -70,6 +70,37 @@ class Counter:
         return lines
 
 
+class Gauge:
+    """A value that can go up and down (breaker states, queue depths)."""
+
+    def __init__(self, name: str, help_text: str = "") -> None:
+        self.name = name
+        self.help_text = help_text
+        self._values: dict[tuple[tuple[str, str], ...], float] = {}
+        self._lock = threading.Lock()
+
+    def set(self, value: float, **labels: str) -> None:
+        key = tuple(sorted(labels.items()))
+        with self._lock:
+            self._values[key] = value
+
+    def value(self, **labels: str) -> float:
+        key = tuple(sorted(labels.items()))
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def render(self) -> list[str]:
+        lines = [f"# HELP {self.name} {self.help_text}", f"# TYPE {self.name} gauge"]
+        with self._lock:
+            if not self._values:
+                lines.append(f"{self.name} 0")
+            for key, value in sorted(self._values.items()):
+                label_text = ",".join(f'{k}="{v}"' for k, v in key)
+                suffix = f"{{{label_text}}}" if label_text else ""
+                lines.append(f"{self.name}{suffix} {value:g}")
+        return lines
+
+
 class Histogram:
     """A fixed-bucket histogram of observations (typically seconds)."""
 
@@ -146,11 +177,14 @@ class MetricsRegistry:
     """Holds the service's metrics and renders the exposition text."""
 
     def __init__(self) -> None:
-        self._metrics: dict[str, Counter | Histogram] = {}
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
         self._lock = threading.Lock()
 
     def counter(self, name: str, help_text: str = "") -> Counter:
         return self._get_or_create(name, lambda: Counter(name, help_text), Counter)
+
+    def gauge(self, name: str, help_text: str = "") -> Gauge:
+        return self._get_or_create(name, lambda: Gauge(name, help_text), Gauge)
 
     def histogram(
         self,

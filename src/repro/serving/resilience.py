@@ -1,0 +1,573 @@
+"""SLA guardrails for the serving path: deadlines, fallbacks, breakers, shedding.
+
+The paper's operational promise is an answer within 50 ms for *every*
+request (§4.2). The raw serving path cannot keep that promise by itself: a
+slow or crashing recommender takes the request down with it. This module
+wraps the recommender call in the machinery a production deployment needs
+to degrade instead of failing:
+
+* :class:`Deadline` budgets (re-exported from :mod:`repro.core.deadline`)
+  bound every stage on a monotonic clock;
+* a :class:`FallbackChain` tries progressively cheaper models —
+  VMIS-kNN → popularity → a static ranked list — and each stage runs under
+  the request's *remaining* budget via a worker pool, so a 200 ms stall in
+  the primary burns at most the budget, never the request;
+* a per-stage :class:`CircuitBreaker` (closed → open → half-open) stops a
+  sick model from consuming budget at all once its failure rate crosses a
+  threshold, probing it again after a cool-down;
+* an :class:`AdmissionController` bounds the number of requests inside the
+  cluster and sheds **oldest-first** when saturated — the queued request
+  that has waited longest has the least chance of meeting its SLA, so it
+  is the one turned into a fast 429 (:class:`Overloaded`).
+
+The terminal stage of every chain is assumed to be O(µs) (a precomputed
+static list) and is executed directly, outside the pool, so even a fully
+exhausted budget produces *some* answer — degraded, never over-deadline.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.deadline import DEFAULT_BUDGET_SECONDS, Clock, Deadline
+from repro.core.index import SessionIndex
+from repro.core.predictor import SessionRecommender, batch_via_loop
+from repro.core.types import ItemId, ScoredItem
+
+
+class Overloaded(RuntimeError):
+    """The cluster shed this request (HTTP 429 semantics)."""
+
+    def __init__(self, message: str = "overloaded", retry_after_ms: float = 100.0):
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Tunable knobs of the guardrail layer (defaults match the paper's SLA)."""
+
+    budget_ms: float = 50.0
+    #: budget kept in reserve for the terminal static stage + bookkeeping,
+    #: so the *total* request time stays under ``budget_ms``.
+    fallback_reserve_ms: float = 8.0
+    breaker_failure_threshold: float = 0.5
+    breaker_window: int = 20
+    breaker_min_calls: int = 5
+    breaker_probe_seconds: float = 5.0
+    #: admission-control capacity: requests inside the cluster at once.
+    queue_capacity: int = 256
+    #: worker threads per pod that execute deadline-bounded stage calls.
+    stage_workers: int = 8
+
+    def budget(self, clock: Clock = time.monotonic) -> Deadline:
+        return Deadline(self.budget_ms / 1000.0, clock=clock)
+
+
+# -- circuit breaker ---------------------------------------------------------
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Failure-rate circuit breaker with a half-open probe.
+
+    CLOSED: calls flow; outcomes feed a sliding window. When the window
+    holds at least ``min_calls`` outcomes and the failure rate reaches
+    ``failure_threshold``, the breaker OPENs.
+
+    OPEN: every call is short-circuited (no budget spent) until
+    ``probe_seconds`` have passed, then the breaker turns HALF_OPEN.
+
+    HALF_OPEN: exactly one probe call is let through; success closes the
+    breaker (window reset), failure re-opens it for another cool-down.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: float = 0.5,
+        window: int = 20,
+        min_calls: int = 5,
+        probe_seconds: float = 5.0,
+        clock: Clock = time.monotonic,
+    ) -> None:
+        if not 0.0 < failure_threshold <= 1.0:
+            raise ValueError("failure_threshold must be in (0, 1]")
+        if window < 1 or min_calls < 1:
+            raise ValueError("window and min_calls must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.min_calls = min_calls
+        self.probe_seconds = probe_seconds
+        self._clock = clock
+        self._window: deque[bool] = deque(maxlen=window)
+        self._state = BreakerState.CLOSED
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        self._lock = threading.Lock()
+        self.short_circuits = 0
+
+    @classmethod
+    def from_policy(
+        cls, policy: ResiliencePolicy, clock: Clock = time.monotonic
+    ) -> "CircuitBreaker":
+        return cls(
+            failure_threshold=policy.breaker_failure_threshold,
+            window=policy.breaker_window,
+            min_calls=policy.breaker_min_calls,
+            probe_seconds=policy.breaker_probe_seconds,
+            clock=clock,
+        )
+
+    @property
+    def state(self) -> BreakerState:
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def allow(self) -> bool:
+        """May a call proceed right now? (Counts short-circuits.)"""
+        with self._lock:
+            self._maybe_half_open()
+            if self._state is BreakerState.CLOSED:
+                return True
+            if self._state is BreakerState.HALF_OPEN and not self._probe_in_flight:
+                self._probe_in_flight = True
+                return True
+            self.short_circuits += 1
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            if self._state is BreakerState.HALF_OPEN:
+                self._state = BreakerState.CLOSED
+                self._window.clear()
+                self._probe_in_flight = False
+                return
+            self._window.append(True)
+
+    def cancel(self) -> None:
+        """The allowed call never ran (e.g. no budget): release the probe
+        slot without recording an outcome — the model's health is unknown."""
+        with self._lock:
+            if self._state is BreakerState.HALF_OPEN:
+                self._probe_in_flight = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self._state is BreakerState.HALF_OPEN:
+                self._trip()
+                return
+            self._window.append(False)
+            if len(self._window) >= self.min_calls:
+                failures = sum(1 for ok in self._window if not ok)
+                if failures / len(self._window) >= self.failure_threshold:
+                    self._trip()
+
+    def _trip(self) -> None:
+        self._state = BreakerState.OPEN
+        self._opened_at = self._clock()
+        self._probe_in_flight = False
+        self._window.clear()
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state is BreakerState.OPEN
+            and self._clock() >= self._opened_at + self.probe_seconds
+        ):
+            self._state = BreakerState.HALF_OPEN
+            self._probe_in_flight = False
+
+
+# -- fallback recommenders ---------------------------------------------------
+
+
+class StaticRecommender:
+    """A precomputed ranked list; the chain's always-available terminal.
+
+    This is the in-process equivalent of the paper routing hard failures
+    to static business rules: zero computation, just a slice of a list
+    (minus items already in the session).
+    """
+
+    name = "static-rules"
+
+    def __init__(self, ranked: Sequence[ScoredItem] = ()) -> None:
+        self._ranked: tuple[ScoredItem, ...] = tuple(ranked)
+
+    def recommend(
+        self, session_items: Sequence[ItemId], how_many: int = 21
+    ) -> list[ScoredItem]:
+        if not session_items:
+            return list(self._ranked[:how_many])
+        current = set(session_items)
+        return [s for s in self._ranked if s.item_id not in current][:how_many]
+
+    def recommend_batch(
+        self, sessions: Sequence[Sequence[ItemId]], how_many: int = 21
+    ) -> list[list[ScoredItem]]:
+        return batch_via_loop(self, sessions, how_many=how_many)
+
+
+def popularity_from_index(
+    index: SessionIndex, how_many: int = 100
+) -> StaticRecommender:
+    """A popularity fallback derived from the index's session frequencies.
+
+    ``item_session_counts`` is exactly the data a popularity baseline
+    trains on (Ludewig & Jannach show popularity/co-occurrence are strong
+    cheap predictors), and it ships with every built index — no separate
+    training pass, no click log needed at serving time.
+    """
+    total = sum(index.item_session_counts.values()) or 1
+    ranked = [
+        ScoredItem(item, count / total)
+        for item, count in sorted(
+            index.item_session_counts.items(), key=lambda kv: (-kv[1], kv[0])
+        )[:how_many]
+    ]
+    return StaticRecommender(ranked)
+
+
+# -- the fallback chain ------------------------------------------------------
+
+
+@dataclass
+class FallbackStage:
+    """One model in the chain, guarded by its own breaker."""
+
+    name: str
+    recommender: SessionRecommender
+    breaker: CircuitBreaker
+
+    #: running counters (reads are monitoring-only; single writer per call)
+    calls: int = 0
+    successes: int = 0
+    failures: int = 0
+    timeouts: int = 0
+
+
+@dataclass
+class StageOutcome:
+    """How one request made it through the chain."""
+
+    items: list[ScoredItem]
+    stage: str
+    degraded: bool
+    deadline_exceeded: bool = False
+    errors: int = 0
+
+
+@dataclass
+class ResilienceCounters:
+    """Aggregated guardrail counters for one chain."""
+
+    requests: int = 0
+    degraded_requests: int = 0
+    deadline_timeouts: int = 0
+    stage_errors: int = 0
+    breaker_short_circuits: int = 0
+    served_by_stage: dict[str, int] = field(default_factory=dict)
+
+
+class FallbackChain:
+    """Ordered degradation: try each stage under the remaining budget.
+
+    Stages run on a worker pool so the caller can abandon a stalled call
+    at its timeout (the worker thread finishes in the background and its
+    result is discarded — Python cannot preempt it, but the *request*
+    never waits past the budget). The terminal stage runs inline and must
+    be effectively free; it is the floor that makes the chain total.
+    """
+
+    def __init__(
+        self,
+        stages: Sequence[FallbackStage],
+        terminal: SessionRecommender,
+        reserve_seconds: float = 0.008,
+        stage_workers: int = 8,
+        clock: Clock = time.monotonic,
+    ) -> None:
+        if not stages:
+            raise ValueError("a fallback chain needs at least one stage")
+        self.stages: list[FallbackStage] = list(stages)
+        self.terminal = terminal
+        self.terminal_name = getattr(terminal, "name", "static-rules")
+        self.reserve_seconds = reserve_seconds
+        self._clock = clock
+        self._pool = ThreadPoolExecutor(
+            max_workers=stage_workers, thread_name_prefix="repro-resilience"
+        )
+
+    @classmethod
+    def from_index(
+        cls,
+        primary: SessionRecommender,
+        index: SessionIndex,
+        policy: ResiliencePolicy | None = None,
+        clock: Clock = time.monotonic,
+    ) -> "FallbackChain":
+        """The canonical chain: primary → index popularity → static top list.
+
+        The static terminal is the head of the popularity ranking — the
+        cheapest defensible answer when everything else failed or the
+        budget is gone.
+        """
+        policy = policy or ResiliencePolicy()
+        popularity = popularity_from_index(index)
+        terminal = StaticRecommender(popularity.recommend([], how_many=50))
+        return cls(
+            stages=[
+                FallbackStage(
+                    "primary", primary, CircuitBreaker.from_policy(policy, clock)
+                ),
+                FallbackStage(
+                    "popularity",
+                    popularity,
+                    CircuitBreaker.from_policy(policy, clock),
+                ),
+            ],
+            terminal=terminal,
+            reserve_seconds=policy.fallback_reserve_ms / 1000.0,
+            stage_workers=policy.stage_workers,
+            clock=clock,
+        )
+
+    def run(
+        self,
+        session_items: Sequence[ItemId],
+        how_many: int,
+        deadline: Deadline,
+    ) -> StageOutcome:
+        """Serve one request, degrading through the chain as needed."""
+        items = list(session_items)
+        errors = 0
+        deadline_exceeded = False
+        for position, stage in enumerate(self.stages):
+            if not stage.breaker.allow():
+                continue
+            budget = deadline.remaining() - self.reserve_seconds
+            if budget <= 0:
+                # Budget gone before this stage could start; not the
+                # model's fault, so no breaker outcome is recorded.
+                stage.breaker.cancel()
+                deadline_exceeded = True
+                break
+            stage.calls += 1
+            future = self._pool.submit(
+                stage.recommender.recommend, items, how_many
+            )
+            try:
+                result = future.result(timeout=budget)
+            except FutureTimeout:
+                future.cancel()
+                stage.timeouts += 1
+                stage.breaker.record_failure()
+                deadline_exceeded = True
+                continue
+            except Exception:
+                stage.failures += 1
+                errors += 1
+                stage.breaker.record_failure()
+                continue
+            stage.successes += 1
+            stage.breaker.record_success()
+            return StageOutcome(
+                items=result,
+                stage=stage.name,
+                degraded=position > 0,
+                deadline_exceeded=deadline_exceeded,
+                errors=errors,
+            )
+        # Terminal: inline, effectively free, always answers.
+        try:
+            result = self.terminal.recommend(items, how_many=how_many)
+        except Exception:
+            errors += 1
+            result = []
+        return StageOutcome(
+            items=result,
+            stage=self.terminal_name,
+            degraded=True,
+            deadline_exceeded=deadline_exceeded,
+            errors=errors,
+        )
+
+    def breaker_states(self) -> dict[str, BreakerState]:
+        return {stage.name: stage.breaker.state for stage in self.stages}
+
+    def close(self) -> None:
+        # wait=False: abandoned stage calls may still be sleeping; the
+        # request path must never block on them, and neither should close.
+        self._pool.shutdown(wait=False)
+
+
+class ResilientRecommender:
+    """The deadline-budget wrapper installed as a pod's recommender.
+
+    Satisfies :class:`~repro.core.predictor.SessionRecommender`, so the
+    :class:`~repro.serving.server.RecommendationServer` needs no changes
+    to its call site; the outcome of the most recent call on *this thread*
+    is available via :meth:`last_outcome` for response annotation.
+    """
+
+    def __init__(
+        self,
+        chain: FallbackChain,
+        policy: ResiliencePolicy | None = None,
+        clock: Clock = time.monotonic,
+    ) -> None:
+        self.chain = chain
+        self.policy = policy or ResiliencePolicy()
+        self._clock = clock
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self.counters = ResilienceCounters()
+
+    @property
+    def primary(self) -> SessionRecommender:
+        """The first stage's recommender (for cache introspection)."""
+        return self.chain.stages[0].recommender
+
+    def recommend(
+        self,
+        session_items: Sequence[ItemId],
+        how_many: int = 21,
+        deadline: Deadline | None = None,
+    ) -> list[ScoredItem]:
+        if deadline is None:
+            deadline = Deadline(
+                self.policy.budget_ms / 1000.0
+                if self.policy
+                else DEFAULT_BUDGET_SECONDS,
+                clock=self._clock,
+            )
+        outcome = self.chain.run(session_items, how_many, deadline)
+        self._local.outcome = outcome
+        with self._lock:
+            counters = self.counters
+            counters.requests += 1
+            if outcome.degraded:
+                counters.degraded_requests += 1
+            if outcome.deadline_exceeded:
+                counters.deadline_timeouts += 1
+            counters.stage_errors += outcome.errors
+            counters.served_by_stage[outcome.stage] = (
+                counters.served_by_stage.get(outcome.stage, 0) + 1
+            )
+        return outcome.items
+
+    def recommend_batch(
+        self, sessions: Sequence[Sequence[ItemId]], how_many: int = 21
+    ) -> list[list[ScoredItem]]:
+        return batch_via_loop(self, sessions, how_many=how_many)
+
+    def last_outcome(self) -> StageOutcome | None:
+        """The outcome of this thread's most recent call (or None)."""
+        return getattr(self._local, "outcome", None)
+
+    def breaker_states(self) -> dict[str, BreakerState]:
+        return self.chain.breaker_states()
+
+    def info(self) -> dict[str, float]:
+        """Counter snapshot including breaker short-circuits."""
+        with self._lock:
+            counters = self.counters
+            info = {
+                "requests": counters.requests,
+                "degraded_requests": counters.degraded_requests,
+                "deadline_timeouts": counters.deadline_timeouts,
+                "stage_errors": counters.stage_errors,
+                "served_by_stage": dict(counters.served_by_stage),
+            }
+        info["breaker_short_circuits"] = sum(
+            stage.breaker.short_circuits for stage in self.chain.stages
+        )
+        return info
+
+    def close(self) -> None:
+        self.chain.close()
+
+
+# -- admission control / load shedding ---------------------------------------
+
+
+class AdmissionToken:
+    """One admitted request's place in the bounded queue."""
+
+    __slots__ = ("session_key", "entered_at", "_shed")
+
+    def __init__(self, session_key: str, entered_at: float) -> None:
+        self.session_key = session_key
+        self.entered_at = entered_at
+        self._shed = False
+
+    @property
+    def shed(self) -> bool:
+        return self._shed
+
+
+class AdmissionController:
+    """A bounded queue in front of the cluster, shedding oldest-first.
+
+    Every request obtains a token before any work happens and releases it
+    when done. When the queue exceeds ``capacity``, the *oldest* waiting
+    token is marked shed: it has been inside the system longest, so it is
+    the least likely to still meet its SLA — turning it into an immediate
+    429 frees budget for requests that can. A shed token's owner observes
+    ``token.shed`` at its next checkpoint and aborts with
+    :class:`Overloaded`.
+    """
+
+    def __init__(self, capacity: int, clock: Clock = time.monotonic) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._clock = clock
+        self._queue: deque[AdmissionToken] = deque()
+        self._lock = threading.Lock()
+        self.shed_count = 0
+        self.admitted_count = 0
+
+    def submit(self, session_key: str) -> AdmissionToken:
+        """Enter the queue; may shed older requests (or this one) to fit."""
+        token = AdmissionToken(session_key, self._clock())
+        with self._lock:
+            self._queue.append(token)
+            self.admitted_count += 1
+            while len(self._queue) > self.capacity:
+                oldest = self._queue.popleft()
+                oldest._shed = True
+                self.shed_count += 1
+        return token
+
+    def release(self, token: AdmissionToken) -> None:
+        with self._lock:
+            try:
+                self._queue.remove(token)
+            except ValueError:
+                pass  # already shed out of the queue
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    def info(self) -> dict[str, float]:
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "inflight": len(self._queue),
+                "shed": self.shed_count,
+                "admitted": self.admitted_count,
+            }

@@ -37,12 +37,19 @@ class RecommendationRequest:
 
 @dataclass(frozen=True)
 class RecommendationResponse:
-    """The server's answer, including the measured compute time."""
+    """The server's answer, including the measured compute time.
+
+    ``degraded``/``served_stage`` report how the guardrail layer answered:
+    ``primary`` means the full model ran inside its budget; any other
+    stage name means a fallback served the request.
+    """
 
     session_key: str
     items: tuple[ScoredItem, ...]
     served_by: str
     service_seconds: float
+    degraded: bool = False
+    served_stage: str = "primary"
 
 
 @dataclass
@@ -75,11 +82,14 @@ class RecommendationServer:
         session_ttl: float = 30 * 60,
         clock: Clock | None = None,
         record_service_times: bool = True,
+        wal_path: str | None = None,
     ) -> None:
         self.pod_id = pod_id
         self.recommender = recommender
         self.rules = rules or BusinessRules()
-        self.sessions = SessionStore(ttl_seconds=session_ttl, clock=clock)
+        self.sessions = SessionStore(
+            ttl_seconds=session_ttl, clock=clock, wal_path=wal_path
+        )
         self.stats = ServerStats()
         self._record_service_times = record_service_times
 
@@ -114,11 +124,21 @@ class RecommendationServer:
         self.stats.busy_seconds += elapsed
         if self._record_service_times:
             self.stats.service_times.append(elapsed)
+        # When the resilience layer wraps the recommender, annotate the
+        # response with how the request was actually served.
+        degraded, stage = False, "primary"
+        outcome_probe = getattr(self.recommender, "last_outcome", None)
+        if callable(outcome_probe):
+            outcome = outcome_probe()
+            if outcome is not None:
+                degraded, stage = outcome.degraded, outcome.stage
         return RecommendationResponse(
             session_key=request.session_key,
             items=tuple(final),
             served_by=self.pod_id,
             service_seconds=elapsed,
+            degraded=degraded,
+            served_stage=stage,
         )
 
     def revoke_consent(self, session_key: str) -> None:

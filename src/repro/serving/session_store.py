@@ -7,15 +7,31 @@ Serenade's latency budget. Sessions expire after 30 minutes of inactivity,
 exactly the paper's RocksDB configuration; every update refreshes the TTL.
 
 Values are struct-packed item-id arrays, keyed by the external session key.
+
+Two robustness properties layered on the seed behaviour:
+
+* **WAL-backed crash recovery** — give the store a ``wal_path`` and every
+  update is logged before it is acknowledged; a pod that crashes and
+  restarts on the same volume replays the log and recovers its evolving
+  sessions (entries past their TTL are dropped during replay). The paper
+  accepts losing this state; the WAL makes the trade-off a knob instead
+  of a constant. :meth:`snapshot` compacts the log to the live set.
+* **Corruption tolerance** — a corrupt stored value must never take the
+  request path down. It is treated as an empty session, counted in
+  :attr:`corrupt_sessions`, and logged once per store.
 """
 
 from __future__ import annotations
 
+import logging
 import struct
+from pathlib import Path
 from typing import Sequence
 
 from repro.core.types import ItemId
 from repro.kvstore.store import Clock, KVStore
+
+logger = logging.getLogger(__name__)
 
 SESSION_TTL_SECONDS = 30 * 60  # the paper's 30-minute inactivity window
 
@@ -45,6 +61,8 @@ class SessionStore:
         ttl_seconds: float = SESSION_TTL_SECONDS,
         max_items: int = 100,
         clock: Clock | None = None,
+        wal_path: str | Path | None = None,
+        sync_every: int = 0,
     ) -> None:
         """Create a store for one serving pod.
 
@@ -53,12 +71,38 @@ class SessionStore:
             max_items: cap on stored history per session (the paper caps
                 the evolving session length to bound prediction cost).
             clock: injectable time source for simulations.
+            wal_path: write-ahead log for crash recovery; an existing log
+                at this path is replayed on open. ``None`` = memory-only
+                (the seed behaviour, and the paper's durability stance).
+            sync_every: fsync the WAL every N appends (0 = flush only).
         """
         kwargs = {"default_ttl": ttl_seconds}
         if clock is not None:
             kwargs["clock"] = clock
+        if wal_path is not None:
+            kwargs["wal_path"] = wal_path
+            kwargs["sync_every"] = sync_every
         self._store = KVStore(**kwargs)
         self.max_items = max_items
+        self.wal_path = Path(wal_path) if wal_path is not None else None
+        self.corrupt_sessions = 0
+        self._corruption_logged = False
+
+    def _decode_tolerant(self, session_key: str, value: bytes) -> list[ItemId]:
+        """Decode a stored value; a corrupt one reads as an empty session."""
+        try:
+            return decode_items(value)
+        except ValueError:
+            self.corrupt_sessions += 1
+            if not self._corruption_logged:
+                self._corruption_logged = True
+                logger.warning(
+                    "corrupt session value for %r (%d bytes); treating as "
+                    "empty (further corruptions counted, not logged)",
+                    session_key,
+                    len(value),
+                )
+            return []
 
     def append_click(self, session_key: str, item_id: ItemId) -> list[ItemId]:
         """Record one interaction and return the updated item history.
@@ -68,7 +112,9 @@ class SessionStore:
         """
         key = session_key.encode("utf-8")
         value = self._store.get(key)
-        items = decode_items(value) if value is not None else []
+        items = (
+            self._decode_tolerant(session_key, value) if value is not None else []
+        )
         items.append(item_id)
         if len(items) > self.max_items:
             del items[: len(items) - self.max_items]
@@ -76,9 +122,15 @@ class SessionStore:
         return items
 
     def get_session(self, session_key: str) -> list[ItemId] | None:
-        """Current item history, or None if unknown/expired."""
+        """Current item history, or None if unknown/expired.
+
+        A corrupt stored value is returned as an empty history rather than
+        raising — the request path must survive bad bytes on disk.
+        """
         value = self._store.get(session_key.encode("utf-8"))
-        return decode_items(value) if value is not None else None
+        if value is None:
+            return None
+        return self._decode_tolerant(session_key, value)
 
     def drop_session(self, session_key: str) -> bool:
         """Forget a session immediately (e.g., consent revocation)."""
@@ -87,6 +139,39 @@ class SessionStore:
     def sweep_expired(self) -> int:
         """Evict idle sessions; returns how many were dropped."""
         return self._store.sweep()
+
+    def session_keys(self) -> list[str]:
+        """Live session keys (decoded)."""
+        return [key.decode("utf-8") for key in self._store.keys()]
+
+    def as_dict(self) -> dict[str, list[ItemId]]:
+        """Snapshot of all live sessions (for recovery verification)."""
+        out: dict[str, list[ItemId]] = {}
+        for key in self.session_keys():
+            items = self.get_session(key)
+            if items is not None:
+                out[key] = items
+        return out
+
+    def snapshot(self) -> int:
+        """Compact the WAL down to the live session set.
+
+        Returns the number of live sessions in the snapshot. A no-op for
+        memory-only stores.
+        """
+        self._store.compact()
+        return len(self.session_keys())
+
+    def close(self, delete_wal: bool = False) -> None:
+        """Release the WAL handle; optionally delete the log.
+
+        ``delete_wal=True`` is the graceful-decommission path (planned
+        scale-down): the pod's sessions are gone for good, so a later pod
+        with the same id must not resurrect them.
+        """
+        self._store.close()
+        if delete_wal and self.wal_path is not None:
+            self.wal_path.unlink(missing_ok=True)
 
     def __len__(self) -> int:
         return len(self._store)

@@ -10,6 +10,8 @@ from repro.core.index import SessionIndex
 from repro.serving.app import ServingCluster
 from repro.serving.server import RecommendationRequest
 
+pytestmark = pytest.mark.chaos
+
 
 def make_cluster(log, num_pods=3):
     index = SessionIndex.from_clicks(log, max_sessions_per_item=100)

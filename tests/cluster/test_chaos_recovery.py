@@ -1,0 +1,155 @@
+"""Crash recovery under fault injection: re-routing and WAL replay.
+
+These tests drive a killed-and-restarted pod through the chaos harness
+and verify the two recovery paths: requests for a dead pod re-route over
+the surviving ring (never error), and a pod restarted on a WAL volume
+recovers its pre-kill sessions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.chaos import ChaosInjector, ChaosSchedule, PodKill
+from repro.cluster.loadgen import TrafficGenerator, constant_rate
+from repro.core.index import SessionIndex
+from repro.serving.app import ServingCluster
+from repro.serving.resilience import ResiliencePolicy
+from repro.serving.server import RecommendationRequest
+
+pytestmark = pytest.mark.chaos
+
+
+def make_cluster(log, num_pods=2, **kwargs):
+    index = SessionIndex.from_clicks(log, max_sessions_per_item=100)
+    return ServingCluster.with_index(index, num_pods=num_pods, m=100, k=50, **kwargs)
+
+
+class TestSchedule:
+    def test_kills_sorted_by_time(self):
+        schedule = ChaosSchedule(
+            [PodKill(9.0, "pod-1"), PodKill(2.0, "pod-0")]
+        )
+        assert [kill.at_time for kill in schedule] == [2.0, 9.0]
+        assert len(schedule) == 2
+
+    def test_invalid_restart_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            ChaosSchedule([PodKill(5.0, "pod-0", restart_at=1.0)])
+
+
+class TestDeadPodRerouting:
+    def test_requests_for_killed_pod_reroute_instead_of_erroring(self, small_log):
+        """Regression: a stale ring entry must heal, not raise KeyError."""
+        cluster = make_cluster(small_log, num_pods=3)
+        # Find sessions owned by pod-1 and seed state there.
+        victims = [f"v{i}" for i in range(200) if cluster.router.route(f"v{i}") == "pod-1"]
+        assert victims
+        for key in victims:
+            cluster.handle(RecommendationRequest(key, 1))
+        cluster.kill_pod("pod-1")
+        assert "pod-1" in cluster.router.pods  # died without deregistering
+        for key in victims:
+            response = cluster.handle(RecommendationRequest(key, 2))
+            assert response.served_by in ("pod-0", "pod-2")
+            assert response.items
+        assert "pod-1" not in cluster.router.pods  # healed lazily
+        assert cluster.rerouted_requests >= 1
+
+    def test_rerouting_through_chaos_schedule(self, small_log):
+        cluster = make_cluster(small_log, num_pods=3)
+        generator = TrafficGenerator(small_log, seed=11)
+        injector = ChaosInjector(
+            cluster, ChaosSchedule([PodKill(at_time=4.0, pod_id="pod-0")])
+        )
+        report = injector.run(generator.generate(constant_rate(60), duration=12))
+        assert report.availability == 1.0
+        assert report.failed_requests == 0
+        survivors = set(cluster.pods)
+        assert set(report.session_moves.values()) <= survivors
+
+    def test_recovery_horizon_measured_for_displaced_sessions(self, small_log):
+        cluster = make_cluster(small_log, num_pods=2)
+        generator = TrafficGenerator(small_log, seed=12)
+        injector = ChaosInjector(cluster, [PodKill(at_time=5.0, pod_id="pod-0")])
+        report = injector.run(generator.generate(constant_rate(80), duration=20))
+        assert report.recovery_horizon  # some sessions regained context
+        assert all(horizon >= 0.0 for horizon in report.recovery_horizon.values())
+        assert report.mean_recovery_horizon is not None
+        assert report.mean_recovery_horizon >= 0.0
+
+
+class TestWALRecovery:
+    def test_restarted_pod_recovers_sessions_from_wal(self, small_log, tmp_path):
+        """ISSUE acceptance: >= 95% of pre-kill live sessions restored."""
+        cluster = make_cluster(small_log, num_pods=2, wal_dir=tmp_path)
+        generator = TrafficGenerator(small_log, seed=13)
+        injector = ChaosInjector(
+            cluster,
+            ChaosSchedule([PodKill(at_time=6.0, pod_id="pod-0", restart_at=9.0)]),
+        )
+        report = injector.run(generator.generate(constant_rate(60), duration=14))
+        event = report.events[0]
+        assert event.sessions_lost > 0
+        assert event.recovery_rate >= 0.95
+        assert report.recovered_sessions == event.sessions_recovered
+        assert cluster.recovered_sessions == report.recovered_sessions
+
+    def test_without_wal_restarted_pod_is_empty(self, small_log):
+        cluster = make_cluster(small_log, num_pods=2)  # no wal_dir
+        generator = TrafficGenerator(small_log, seed=13)
+        injector = ChaosInjector(
+            cluster,
+            ChaosSchedule([PodKill(at_time=6.0, pod_id="pod-0", restart_at=9.0)]),
+        )
+        report = injector.run(generator.generate(constant_rate(60), duration=14))
+        event = report.events[0]
+        assert event.sessions_lost > 0
+        assert event.sessions_recovered == 0
+        assert report.recovered_sessions == 0
+
+    def test_wal_replay_restores_exact_histories(self, small_log, tmp_path):
+        """Replay equality: the restarted store holds the same sessions."""
+        cluster = make_cluster(small_log, num_pods=2, wal_dir=tmp_path)
+        for i in range(60):
+            for item in (1, 2, 3):
+                cluster.handle(RecommendationRequest(f"w{i}", item))
+        victim = cluster.kill_pod("pod-0")  # crash: store never closed
+        before = victim.sessions.as_dict()
+        assert before
+        restarted = cluster.restart_pod("pod-0")
+        assert restarted.sessions.as_dict() == before
+
+    def test_graceful_scale_down_deletes_wal(self, small_log, tmp_path):
+        cluster = make_cluster(small_log, num_pods=2, wal_dir=tmp_path)
+        for i in range(30):
+            cluster.handle(RecommendationRequest(f"g{i}", 1))
+        cluster.scale_to(1)
+        assert not (tmp_path / "pod-1.wal").exists()
+        # Scaling back up must not resurrect the decommissioned sessions.
+        cluster.scale_to(2)
+        assert len(cluster.pods["pod-1"].sessions) == 0
+
+
+class TestChaosWithGuardrails:
+    def test_guardrailed_cluster_survives_kill_and_restart(self, small_log, tmp_path):
+        cluster = make_cluster(
+            small_log,
+            num_pods=2,
+            wal_dir=tmp_path,
+            resilience=ResiliencePolicy(queue_capacity=512),
+        )
+        generator = TrafficGenerator(small_log, seed=14)
+        injector = ChaosInjector(
+            cluster,
+            ChaosSchedule([PodKill(at_time=5.0, pod_id="pod-1", restart_at=8.0)]),
+        )
+        report = injector.run(generator.generate(constant_rate(50), duration=12))
+        assert report.availability == 1.0
+        assert report.events[0].recovery_rate >= 0.95
+        info = cluster.resilience_info()
+        assert info["enabled"]
+        assert info["requests"] > 0
+        assert info["recovered_sessions"] == report.recovered_sessions
+        # Breaker states exposed per pod and stage.
+        assert any(key.endswith("/primary") for key in info["breaker_states"])

@@ -182,6 +182,7 @@ class TestBatchPredictionEngine:
         info = engine.cache_info()
         assert info == {
             "hits": 0, "misses": 0, "hit_rate": 0.0, "size": 0, "maxsize": 0,
+            "deadline_shed": 0,
         }
 
     def test_cache_suffix_collapses_long_histories(self, batch_model):
@@ -228,3 +229,75 @@ def test_batch_via_loop_matches_manual_loop(batch_model, query_sessions):
     assert [scored_pairs(r) for r in looped] == [
         scored_pairs(batch_model.recommend(q, how_many=7)) for q in queries
     ]
+
+
+class TestBatchDeadlines:
+    def make_clock(self):
+        class FakeClock:
+            now = 0.0
+
+            def __call__(self):
+                return self.now
+
+        return FakeClock()
+
+    def test_expired_deadline_sheds_all_compute(self, batch_model):
+        from repro.core.deadline import Deadline
+
+        clock = self.make_clock()
+        with BatchPredictionEngine(batch_model, cache_size=64) as engine:
+            results = engine.recommend_batch(
+                [[1], [2], [3]], deadline=Deadline(0.0, clock=clock)
+            )
+            assert results == [[], [], []]
+            assert engine.deadline_shed == 3
+            assert engine.cache_info()["size"] == 0  # shed slots never cached
+
+    def test_generous_deadline_matches_undeadlined_results(self, batch_model):
+        from repro.core.deadline import Deadline
+
+        with BatchPredictionEngine(batch_model, cache_size=0) as engine:
+            plain = engine.recommend_batch([[1], [2]], how_many=5)
+            timed = engine.recommend_batch(
+                [[1], [2]], how_many=5, deadline=Deadline(60.0)
+            )
+            assert [scored_pairs(r) for r in timed] == [
+                scored_pairs(r) for r in plain
+            ]
+            assert engine.deadline_shed == 0
+
+    def test_cached_results_served_despite_expired_deadline(self, batch_model):
+        from repro.core.deadline import Deadline
+
+        clock = self.make_clock()
+        with BatchPredictionEngine(batch_model, cache_size=64) as engine:
+            warm = engine.recommend_batch([[1]], how_many=5)
+            results = engine.recommend_batch(
+                [[1]], how_many=5, deadline=Deadline(0.0, clock=clock)
+            )
+            # Finished work is never discarded; only new compute is shed.
+            assert scored_pairs(results[0]) == scored_pairs(warm[0])
+            assert engine.deadline_shed == 0
+
+    def test_pooled_path_sheds_slow_chunks(self):
+        from repro.core.deadline import Deadline
+
+        class SlowRecommender:
+            def recommend(self, session_items, how_many=21):
+                import time
+
+                time.sleep(0.2)
+                return [ScoredItem(1, 1.0)]
+
+            def recommend_batch(self, sessions, how_many=21):
+                return [self.recommend(s, how_many) for s in sessions]
+
+        with BatchPredictionEngine(
+            SlowRecommender(), num_workers=2, cache_size=0
+        ) as engine:
+            results = engine.recommend_batch(
+                [[1], [2], [3], [4]], deadline=Deadline(0.010)
+            )
+            # 200 ms of work per chunk against a 10 ms budget: all shed.
+            assert results == [[], [], [], []]
+            assert engine.deadline_shed == 4

@@ -242,3 +242,70 @@ class TestServiceDirect:
                 server.start()
         finally:
             server.stop()
+
+
+class TestGuardrailedEndpoints:
+    @pytest.fixture()
+    def guarded_server(self, toy_index):
+        from repro.serving.resilience import ResiliencePolicy
+
+        cluster = ServingCluster.with_index(
+            toy_index, num_pods=2, m=10, k=10,
+            resilience=ResiliencePolicy(queue_capacity=64),
+        )
+        with SerenadeHTTPServer(cluster, port=0) as running:
+            yield running
+
+    def test_response_reports_stage(self, guarded_server):
+        status, body = post_json(
+            guarded_server, "/v1/recommend", {"session_id": "g1", "item_id": 1}
+        )
+        assert status == 200
+        assert body["degraded"] is False
+        assert body["stage"] == "primary"
+
+    def test_metrics_expose_guardrail_series(self, guarded_server):
+        post_json(
+            guarded_server, "/v1/recommend", {"session_id": "g2", "item_id": 2}
+        )
+        status, text = get(guarded_server, "/metrics")
+        assert status == 200
+        assert "serenade_degraded_requests_total" in text
+        assert "serenade_shed_requests_total" in text
+        assert "serenade_recovered_sessions_total" in text
+        assert "serenade_corrupt_sessions_total" in text
+        # Healthy breakers scrape as 0 (closed) per pod and stage.
+        assert 'serenade_breaker_state{pod="pod-0",stage="primary"} 0' in text
+
+    def test_healthz_reports_resilience(self, guarded_server):
+        status, text = get(guarded_server, "/healthz")
+        assert status == 200
+        body = json.loads(text)
+        assert body["resilience"]["enabled"] is True
+        assert body["resilience"]["shed_requests"] == 0
+
+    def test_shed_request_is_429_with_retry_after(self, guarded_server):
+        from repro.serving.resilience import Overloaded
+
+        service = guarded_server.service
+
+        def always_overloaded(request):
+            raise Overloaded()
+
+        original = service.cluster.handle
+        service.cluster.handle = always_overloaded
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                post_json(
+                    guarded_server,
+                    "/v1/recommend",
+                    {"session_id": "g3", "item_id": 1},
+                )
+            error = excinfo.value
+            assert error.code == 429
+            assert error.headers["Retry-After"] is not None
+            assert json.load(error)["error"] == "overloaded"
+        finally:
+            service.cluster.handle = original
+        status, text = get(guarded_server, "/metrics")
+        assert 'serenade_requests_total{status="shed"} 1' in text

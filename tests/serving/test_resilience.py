@@ -1,0 +1,362 @@
+"""Tests for the SLA guardrail layer: deadlines, breakers, fallbacks, shedding."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.deadline import Deadline
+from repro.core.types import ScoredItem
+from repro.serving.resilience import (
+    AdmissionController,
+    BreakerState,
+    CircuitBreaker,
+    FallbackChain,
+    FallbackStage,
+    Overloaded,
+    ResiliencePolicy,
+    ResilientRecommender,
+    StaticRecommender,
+    popularity_from_index,
+)
+
+
+class FakeClock:
+    """A manually advanced monotonic clock."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class FlakyRecommender:
+    """Scriptable stage: raises, sleeps, or answers per configured schedule."""
+
+    def __init__(self, fail_every: int = 0, sleep_every: int = 0,
+                 sleep_seconds: float = 0.2):
+        self.fail_every = fail_every
+        self.sleep_every = sleep_every
+        self.sleep_seconds = sleep_seconds
+        self.calls = 0
+
+    def recommend(self, session_items, how_many=21):
+        self.calls += 1
+        if self.fail_every and self.calls % self.fail_every == 0:
+            raise RuntimeError("injected model failure")
+        if self.sleep_every and self.calls % self.sleep_every == 0:
+            time.sleep(self.sleep_seconds)
+        return [ScoredItem(1000 + i, 1.0 / (i + 1)) for i in range(how_many)]
+
+    def recommend_batch(self, sessions, how_many=21):
+        return [self.recommend(s, how_many) for s in sessions]
+
+
+class AlwaysFailing:
+    def recommend(self, session_items, how_many=21):
+        raise RuntimeError("dead model")
+
+    def recommend_batch(self, sessions, how_many=21):
+        raise RuntimeError("dead model")
+
+
+def make_chain(primary, clock=None, reserve_ms=8.0, policy=None):
+    policy = policy or ResiliencePolicy(fallback_reserve_ms=reserve_ms)
+    clock = clock or time.monotonic
+    fallback = StaticRecommender([ScoredItem(i, 1.0 - i / 100) for i in range(50)])
+    terminal = StaticRecommender([ScoredItem(200 + i, 0.5) for i in range(50)])
+    return FallbackChain(
+        stages=[
+            FallbackStage("primary", primary, CircuitBreaker.from_policy(policy, clock)),
+            FallbackStage("popularity", fallback, CircuitBreaker.from_policy(policy, clock)),
+        ],
+        terminal=terminal,
+        reserve_seconds=policy.fallback_reserve_ms / 1000.0,
+        stage_workers=policy.stage_workers,
+        clock=clock,
+    )
+
+
+class TestDeadline:
+    def test_counts_down_on_injected_clock(self):
+        clock = FakeClock()
+        deadline = Deadline(0.050, clock=clock)
+        assert deadline.remaining() == pytest.approx(0.050)
+        assert not deadline.expired
+        clock.advance(0.030)
+        assert deadline.remaining() == pytest.approx(0.020)
+        clock.advance(0.030)
+        assert deadline.expired
+        assert deadline.remaining() == 0.0  # never negative
+        assert deadline.elapsed() == pytest.approx(0.060)
+
+    def test_after_ms_and_budget(self):
+        clock = FakeClock()
+        deadline = Deadline.after_ms(50, clock=clock)
+        assert deadline.budget_seconds == pytest.approx(0.050)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline(-0.001)
+
+    def test_zero_budget_starts_expired(self):
+        assert Deadline(0.0, clock=FakeClock()).expired
+
+
+class TestCircuitBreaker:
+    def make(self, clock, threshold=0.5, window=10, min_calls=4, probe=5.0):
+        return CircuitBreaker(
+            failure_threshold=threshold, window=window,
+            min_calls=min_calls, probe_seconds=probe, clock=clock,
+        )
+
+    def test_full_lifecycle_closed_open_half_open_closed(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        assert breaker.state is BreakerState.CLOSED
+        # Failures below min_calls do not trip.
+        for _ in range(3):
+            assert breaker.allow()
+            breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+        # The 4th failure reaches min_calls at 100% failure rate: OPEN.
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        # While open, calls are short-circuited.
+        assert not breaker.allow()
+        assert breaker.short_circuits == 1
+        # After the cool-down: HALF_OPEN, exactly one probe allowed.
+        clock.advance(5.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.allow()
+        assert not breaker.allow()  # second concurrent probe rejected
+        # Probe succeeds: CLOSED again with a clean window.
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_half_open_probe_failure_reopens(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        for _ in range(4):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()  # the probe
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert not breaker.allow()
+        # Another full cool-down is required before the next probe.
+        clock.advance(5.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_cancel_releases_probe_slot_without_outcome(self):
+        clock = FakeClock()
+        breaker = self.make(clock)
+        for _ in range(4):
+            breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.allow()
+        breaker.cancel()  # probe never ran (budget died first)
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.allow()  # slot is free again
+
+    def test_failure_rate_threshold_mixes_successes(self):
+        clock = FakeClock()
+        breaker = self.make(clock, threshold=0.5, window=4, min_calls=4)
+        breaker.record_success()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED  # 1/3 < 0.5
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN  # 2/4 >= 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0.0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(window=0)
+
+
+class TestStaticRecommender:
+    def test_excludes_session_items(self):
+        ranked = [ScoredItem(i, 1.0 - i / 10) for i in range(5)]
+        static = StaticRecommender(ranked)
+        assert [s.item_id for s in static.recommend([], how_many=3)] == [0, 1, 2]
+        assert [s.item_id for s in static.recommend([0, 2], how_many=3)] == [1, 3, 4]
+
+    def test_popularity_from_index_ranks_by_frequency(self, toy_index):
+        popularity = popularity_from_index(toy_index)
+        items = [s.item_id for s in popularity.recommend([], how_many=3)]
+        # Item 2 appears in 4 toy sessions — the most popular.
+        assert items[0] == 2
+        scores = [s.score for s in popularity.recommend([], how_many=10)]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestFallbackChain:
+    def test_healthy_primary_serves_undegraded(self):
+        chain = make_chain(FlakyRecommender())
+        outcome = chain.run([1, 2], 10, Deadline(0.5))
+        assert outcome.stage == "primary"
+        assert not outcome.degraded
+        assert len(outcome.items) == 10
+        chain.close()
+
+    def test_raising_primary_falls_back(self):
+        chain = make_chain(FlakyRecommender(fail_every=1))
+        outcome = chain.run([1, 2], 10, Deadline(0.5))
+        assert outcome.stage == "popularity"
+        assert outcome.degraded
+        assert outcome.errors == 1
+        assert outcome.items
+        chain.close()
+
+    def test_exhausted_budget_serves_terminal_inline(self):
+        clock = FakeClock()
+        chain = make_chain(FlakyRecommender(), clock=clock)
+        # Deadline on the same fake clock, already expired.
+        outcome = chain.run([1, 2], 10, Deadline(0.0, clock=clock))
+        assert outcome.stage == "static-rules"
+        assert outcome.degraded
+        assert outcome.deadline_exceeded
+        assert outcome.items  # the terminal always answers
+        chain.close()
+
+    def test_all_stages_failing_still_answers(self):
+        chain = make_chain(AlwaysFailing())
+        chain.stages[1] = FallbackStage(
+            "popularity", AlwaysFailing(),
+            CircuitBreaker(min_calls=100),
+        )
+        outcome = chain.run([1], 5, Deadline(0.5))
+        assert outcome.stage == "static-rules"
+        assert outcome.errors == 2
+        assert outcome.items
+        chain.close()
+
+    def test_tripped_breaker_skips_primary_without_calling_it(self):
+        primary = AlwaysFailing()
+        policy = ResiliencePolicy(breaker_window=10, breaker_min_calls=3)
+        chain = make_chain(primary, policy=policy)
+        for _ in range(3):
+            chain.run([1], 5, Deadline(0.5))
+        assert chain.breaker_states()["primary"] is BreakerState.OPEN
+        calls_before = chain.stages[0].calls
+        outcome = chain.run([1], 5, Deadline(0.5))
+        assert outcome.stage == "popularity"
+        assert chain.stages[0].calls == calls_before  # short-circuited
+        assert chain.stages[0].breaker.short_circuits >= 1
+        chain.close()
+
+    def test_requires_at_least_one_stage(self):
+        with pytest.raises(ValueError):
+            FallbackChain([], terminal=StaticRecommender())
+
+
+@pytest.mark.chaos
+class TestDeadlineEnforcement:
+    """ISSUE acceptance: a primary stalling 200 ms on 20% of calls must
+    never push a request past the 50 ms budget — the stage is abandoned at
+    its timeout and a fallback answers inside the budget."""
+
+    def test_slow_primary_never_breaks_the_sla(self):
+        primary = FlakyRecommender(sleep_every=5, sleep_seconds=0.2)
+        policy = ResiliencePolicy(
+            budget_ms=50.0, fallback_reserve_ms=10.0,
+            # Keep the breaker out of the way: this test isolates deadlines.
+            breaker_failure_threshold=1.0, breaker_min_calls=1000,
+        )
+        chain = make_chain(primary, policy=policy)
+        recommender = ResilientRecommender(chain, policy)
+        recommender.recommend([1, 2])  # warm the worker pool
+        elapsed: list[float] = []
+        degraded = 0
+        for _ in range(25):
+            started = time.monotonic()
+            items = recommender.recommend([1, 2, 3], how_many=10)
+            elapsed.append(time.monotonic() - started)
+            assert items  # always an answer
+            outcome = recommender.last_outcome()
+            if outcome.degraded:
+                degraded += 1
+        assert max(elapsed) < 0.050, f"SLA breach: max {max(elapsed) * 1e3:.1f}ms"
+        assert degraded >= 5  # every 5th call stalled and was degraded
+        info = recommender.info()
+        assert info["deadline_timeouts"] >= 5
+        assert info["served_by_stage"]["primary"] >= 15
+        recommender.close()
+
+
+class TestResilientRecommender:
+    def test_satisfies_recommender_protocol(self):
+        from repro.core.predictor import SessionRecommender
+
+        chain = make_chain(FlakyRecommender())
+        recommender = ResilientRecommender(chain)
+        assert isinstance(recommender, SessionRecommender)
+        batches = recommender.recommend_batch([[1], [2]], how_many=5)
+        assert len(batches) == 2
+        recommender.close()
+
+    def test_counters_and_last_outcome(self):
+        chain = make_chain(FlakyRecommender(fail_every=2))
+        recommender = ResilientRecommender(chain)
+        recommender.recommend([1])   # primary ok
+        recommender.recommend([1])   # primary raises -> popularity
+        outcome = recommender.last_outcome()
+        assert outcome.stage == "popularity" and outcome.degraded
+        info = recommender.info()
+        assert info["requests"] == 2
+        assert info["degraded_requests"] == 1
+        assert info["stage_errors"] == 1
+        assert info["served_by_stage"] == {"primary": 1, "popularity": 1}
+        recommender.close()
+
+    def test_from_index_chain(self, toy_index):
+        chain = FallbackChain.from_index(AlwaysFailing(), toy_index)
+        recommender = ResilientRecommender(chain)
+        items = recommender.recommend([1], how_many=3)
+        assert items  # popularity fallback answered
+        assert recommender.last_outcome().stage == "popularity"
+        recommender.close()
+
+
+class TestAdmissionController:
+    def test_sheds_oldest_first(self):
+        clock = FakeClock()
+        admission = AdmissionController(capacity=2, clock=clock)
+        first = admission.submit("s1")
+        clock.advance(0.01)
+        second = admission.submit("s2")
+        clock.advance(0.01)
+        third = admission.submit("s3")  # over capacity: s1 is shed
+        assert first.shed
+        assert not second.shed and not third.shed
+        assert admission.shed_count == 1
+        assert admission.inflight == 2
+
+    def test_release_frees_capacity(self):
+        admission = AdmissionController(capacity=1)
+        token = admission.submit("a")
+        admission.release(token)
+        assert admission.inflight == 0
+        fresh = admission.submit("b")
+        assert not fresh.shed
+        admission.release(token)  # double release is harmless
+
+    def test_info_and_validation(self):
+        admission = AdmissionController(capacity=3)
+        admission.submit("a")
+        info = admission.info()
+        assert info["capacity"] == 3 and info["inflight"] == 1
+        with pytest.raises(ValueError):
+            AdmissionController(capacity=0)
+
+    def test_overloaded_carries_retry_after(self):
+        error = Overloaded()
+        assert error.retry_after_ms == 100.0

@@ -85,3 +85,84 @@ class TestInactivityExpiry:
         clock.now = 31 * 60
         assert store.sweep_expired() == 2
         assert len(store) == 0
+
+
+class TestCorruptionTolerance:
+    def _corrupt(self, store: SessionStore, session_key: str) -> None:
+        # Plant a value whose length is not a multiple of the item width.
+        store._store.put(session_key.encode("utf-8"), b"\x01\x02\x03")
+
+    def test_decode_items_still_rejects_corrupt_values(self):
+        with pytest.raises(ValueError, match="corrupt"):
+            decode_items(b"\x01\x02\x03")
+
+    def test_corrupt_value_reads_as_empty_session(self):
+        store = SessionStore()
+        self._corrupt(store, "u")
+        assert store.get_session("u") == []
+        assert store.corrupt_sessions == 1
+
+    def test_append_click_recovers_over_corrupt_value(self):
+        store = SessionStore()
+        self._corrupt(store, "u")
+        assert store.append_click("u", 7) == [7]
+        assert store.corrupt_sessions == 1
+        # The rewrite healed the entry: reads are clean again.
+        assert store.get_session("u") == [7]
+        assert store.corrupt_sessions == 1
+
+    def test_corruption_logged_once_but_counted_always(self, caplog):
+        store = SessionStore()
+        self._corrupt(store, "a")
+        self._corrupt(store, "b")
+        with caplog.at_level("WARNING", logger="repro.serving.session_store"):
+            store.get_session("a")
+            store.get_session("b")
+        assert store.corrupt_sessions == 2
+        warnings = [r for r in caplog.records if "corrupt session" in r.message]
+        assert len(warnings) == 1
+
+
+class TestWALPersistence:
+    def test_crash_and_replay_restores_sessions(self, tmp_path):
+        wal = tmp_path / "pod.wal"
+        store = SessionStore(wal_path=wal)
+        store.append_click("u", 1)
+        store.append_click("u", 2)
+        store.append_click("v", 9)
+        before = store.as_dict()
+        # Crash: no close(). A fresh store on the same volume replays.
+        replayed = SessionStore(wal_path=wal)
+        assert replayed.as_dict() == before
+
+    def test_expired_sessions_dropped_during_replay(self, tmp_path):
+        wal = tmp_path / "pod.wal"
+        clock = FakeClock()
+        store = SessionStore(clock=clock, wal_path=wal)
+        store.append_click("old", 1)
+        clock.now = 10 * 60
+        store.append_click("fresh", 2)
+        clock.now = 35 * 60  # "old" is past its 30-minute TTL
+        replayed = SessionStore(clock=clock, wal_path=wal)
+        assert replayed.get_session("old") is None
+        assert replayed.get_session("fresh") == [2]
+
+    def test_snapshot_compacts_and_counts(self, tmp_path):
+        wal = tmp_path / "pod.wal"
+        store = SessionStore(wal_path=wal)
+        for i in range(10):
+            store.append_click("u", i)
+        store.drop_session("u")
+        store.append_click("v", 1)
+        size_before = wal.stat().st_size
+        assert store.snapshot() == 1
+        assert wal.stat().st_size < size_before
+        replayed = SessionStore(wal_path=wal)
+        assert replayed.as_dict() == {"v": [1]}
+
+    def test_close_delete_wal_removes_log(self, tmp_path):
+        wal = tmp_path / "pod.wal"
+        store = SessionStore(wal_path=wal)
+        store.append_click("u", 1)
+        store.close(delete_wal=True)
+        assert not wal.exists()
