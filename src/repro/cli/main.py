@@ -13,6 +13,9 @@ HTTP serving component:
     python -m repro recommend daily.vmis --session 17,42 --count 5
     python -m repro evaluate clicks.tsv --m 500 --k 100
     python -m repro grid-search clicks.tsv --ks 50,100 --ms 100,500
+    python -m repro index build clicks.tsv --registry registry/
+    python -m repro index promote --registry registry/ --clicks clicks.tsv
+    python -m repro index list --registry registry/
     python -m repro serve daily.vmis --port 8080
 """
 
@@ -160,6 +163,83 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("config", help="experiment config JSON path")
     experiment.add_argument(
         "--out", default=None, help="optional JSON results output path"
+    )
+
+    index_cmd = commands.add_parser(
+        "index",
+        help="hardened daily index lifecycle against a versioned registry",
+    )
+    index_sub = index_cmd.add_subparsers(dest="index_command", required=True)
+
+    index_build = index_sub.add_parser(
+        "build", help="validate a click log, build and register a candidate"
+    )
+    index_build.add_argument("clicks", help="click log TSV")
+    index_build.add_argument(
+        "--registry", required=True, help="index registry directory"
+    )
+    index_build.add_argument("--m", type=int, default=500)
+    index_build.add_argument(
+        "--timestamp-policy",
+        choices=["repair", "reject"],
+        default="repair",
+        help="non-monotonic session timestamps: clamp forward or quarantine",
+    )
+    index_build.add_argument(
+        "--bot-policy",
+        choices=["reject", "repair"],
+        default="reject",
+        help="bot-like sessions: quarantine or truncate to the click cap",
+    )
+    index_build.add_argument(
+        "--max-session-clicks",
+        type=int,
+        default=200,
+        help="sessions longer than this are treated as bots",
+    )
+    index_build.add_argument(
+        "--max-quarantine-rate",
+        type=float,
+        default=0.25,
+        help="refuse the build when more than this fraction is quarantined",
+    )
+
+    index_promote = index_sub.add_parser(
+        "promote",
+        help="canary-gate a registered candidate and move CURRENT on pass",
+    )
+    index_promote.add_argument(
+        "--registry", required=True, help="index registry directory"
+    )
+    index_promote.add_argument(
+        "--version",
+        default=None,
+        help="candidate version (default: newest registered)",
+    )
+    index_promote.add_argument(
+        "--clicks",
+        required=True,
+        help="click log TSV providing the holdout slice",
+    )
+    index_promote.add_argument("--test-days", type=float, default=1.0)
+    index_promote.add_argument("--max-recall-drop", type=float, default=0.10)
+    index_promote.add_argument("--max-mrr-drop", type=float, default=0.10)
+    index_promote.add_argument("--max-predictions", type=int, default=2000)
+    index_promote.add_argument("--gate-m", type=int, default=500)
+    index_promote.add_argument("--gate-k", type=int, default=100)
+
+    index_rollback = index_sub.add_parser(
+        "rollback", help="move CURRENT back to the previous good version"
+    )
+    index_rollback.add_argument(
+        "--registry", required=True, help="index registry directory"
+    )
+
+    index_list = index_sub.add_parser(
+        "list", help="show registered versions and the CURRENT pointer"
+    )
+    index_list.add_argument(
+        "--registry", required=True, help="index registry directory"
     )
 
     serve = commands.add_parser("serve", help="start the HTTP serving component")
@@ -362,6 +442,126 @@ def cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_index_build(args) -> int:
+    from repro.index.lifecycle import DailyIndexLifecycle, IndexRegistry
+    from repro.index.lifecycle.validation import IngestionPolicy
+
+    log, parse_report = ClickLog.from_tsv_with_report(args.clicks)
+    if parse_report.skipped:
+        print(f"parse: {parse_report.summary()}")
+    policy = IngestionPolicy(
+        timestamp_policy=args.timestamp_policy,
+        bot_policy=args.bot_policy,
+        max_session_clicks=args.max_session_clicks,
+        max_quarantine_rate=args.max_quarantine_rate,
+    )
+    lifecycle = DailyIndexLifecycle(
+        IndexRegistry(args.registry),
+        ingestion_policy=policy,
+        max_sessions_per_item=args.m,
+    )
+    manifest, validation = lifecycle.build_and_register(
+        list(log), provenance={"click_log": args.clicks}
+    )
+    print(f"validation: {validation.summary()}")
+    if manifest is None:
+        print(
+            f"build refused: quarantine rate {validation.quarantine_rate:.1%} "
+            f"exceeds {policy.max_quarantine_rate:.1%}"
+        )
+        return 1
+    print(
+        f"registered {manifest.version}: {manifest.num_sessions:,} sessions / "
+        f"{manifest.num_items:,} items, "
+        f"{manifest.artifact_bytes / 1024:.0f} KiB, "
+        f"sha256 {manifest.checksum_sha256[:12]}..."
+    )
+    return 0
+
+
+def _cmd_index_promote(args) -> int:
+    from repro.index.lifecycle import DailyIndexLifecycle, IndexRegistry
+    from repro.index.lifecycle.gate import GatePolicy
+
+    registry = IndexRegistry(args.registry)
+    versions = registry.versions()
+    if not versions:
+        print(f"no versions registered under {args.registry}")
+        return 1
+    version = args.version or versions[-1]
+    log = ClickLog.from_tsv(args.clicks)
+    split = temporal_split(log, test_days=args.test_days)
+    holdout = split.test_sequences()
+    lifecycle = DailyIndexLifecycle(
+        registry,
+        gate_policy=GatePolicy(
+            max_recall_drop=args.max_recall_drop,
+            max_mrr_drop=args.max_mrr_drop,
+            max_predictions=args.max_predictions,
+            m=args.gate_m,
+            k=args.gate_k,
+        ),
+    )
+    outcome = lifecycle.promote(version, holdout)
+    assert outcome.gate is not None
+    print(outcome.gate.summary())
+    if not outcome.succeeded:
+        print(f"promotion refused at {outcome.refused_at}:")
+        for reason in outcome.refusal_reasons:
+            print(f"  - {reason}")
+        return 1
+    print(f"promoted {version} (CURRENT -> {registry.current_version()})")
+    return 0
+
+
+def _cmd_index_rollback(args) -> int:
+    from repro.index.lifecycle import IndexRegistry
+    from repro.index.lifecycle.registry import RegistryError
+
+    registry = IndexRegistry(args.registry)
+    before = registry.current_version()
+    try:
+        after = registry.rollback()
+    except RegistryError as error:
+        print(f"rollback refused: {error}")
+        return 1
+    print(f"rolled back {before} -> {after}")
+    return 0
+
+
+def _cmd_index_list(args) -> int:
+    from repro.index.lifecycle import IndexRegistry
+
+    registry = IndexRegistry(args.registry)
+    versions = registry.versions()
+    if not versions:
+        print(f"no versions registered under {args.registry}")
+        return 0
+    current = registry.current_version()
+    for version in versions:
+        manifest = registry.manifest(version)
+        marker = " *CURRENT*" if version == current else ""
+        print(
+            f"{version}{marker}  {manifest.num_sessions:>8,} sessions  "
+            f"{manifest.num_items:>7,} items  "
+            f"{manifest.artifact_bytes / 1024:>8.0f} KiB  "
+            f"sha256 {manifest.checksum_sha256[:12]}"
+        )
+    return 0
+
+
+_INDEX_COMMANDS = {
+    "build": _cmd_index_build,
+    "promote": _cmd_index_promote,
+    "rollback": _cmd_index_rollback,
+    "list": _cmd_index_list,
+}
+
+
+def cmd_index(args) -> int:
+    return _INDEX_COMMANDS[args.index_command](args)
+
+
 def cmd_serve(args) -> int:
     from repro.serving.app import ServingCluster
     from repro.serving.http import SerenadeHTTPServer
@@ -417,6 +617,7 @@ _COMMANDS = {
     "evaluate": cmd_evaluate,
     "grid-search": cmd_grid_search,
     "experiment": cmd_experiment,
+    "index": cmd_index,
     "serve": cmd_serve,
 }
 

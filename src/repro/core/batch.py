@@ -330,13 +330,20 @@ class BatchPredictionEngine:
         return self._executor
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the worker pool down and drop cached results (idempotent).
+
+        The cache is invalidated here because a closed engine's results
+        belong to the recommender it wrapped; a rollout swapping that
+        recommender must not leave stale recommendations reachable.
+        """
         if self._executor is not None:
             self._executor.shutdown(wait=True)
             self._executor = None
         if self._seed_id is not None:
             _FORK_SEEDS.pop(self._seed_id, None)
             self._seed_id = None
+        if self.cache is not None:
+            self.cache.clear()
 
     def __enter__(self) -> "BatchPredictionEngine":
         return self

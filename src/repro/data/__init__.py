@@ -1,6 +1,6 @@
 """Data layer: click logs, synthetic generation, splits and statistics."""
 
-from repro.data.clicklog import SECONDS_PER_DAY, ClickLog
+from repro.data.clicklog import SECONDS_PER_DAY, ClickLog, TSVParseReport
 from repro.data.datasets import (
     DATASET_PROFILES,
     DatasetProfile,
@@ -30,6 +30,7 @@ from repro.data.synthetic import (
 
 __all__ = [
     "ClickLog",
+    "TSVParseReport",
     "ClickstreamConfig",
     "ClickstreamGenerator",
     "DATASET_PROFILES",

@@ -10,12 +10,60 @@ simple TSV persistence.
 from __future__ import annotations
 
 import io
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.core.types import Click, ItemId, SessionId, Timestamp
 
 SECONDS_PER_DAY = 86_400
+
+#: How many per-line error samples a parse report retains.
+MAX_PARSE_ERROR_SAMPLES = 20
+
+
+@dataclass
+class TSVParseReport:
+    """Outcome of reading one TSV click log.
+
+    A daily export at production scale always contains a few mangled rows
+    (truncated uploads, concatenated lines, stray carriage returns); the
+    reader skips and counts them instead of failing the whole ingest. A
+    wrong *header* still raises — that is a different file, not a dirty
+    one.
+    """
+
+    lines: int = 0
+    parsed: int = 0
+    skipped: int = 0
+    #: up to MAX_PARSE_ERROR_SAMPLES of (line_number, reason) samples.
+    errors: list[tuple[int, str]] = field(default_factory=list)
+
+    def record_error(self, line_number: int, reason: str) -> None:
+        self.skipped += 1
+        if len(self.errors) < MAX_PARSE_ERROR_SAMPLES:
+            self.errors.append((line_number, reason))
+
+    @property
+    def ok(self) -> bool:
+        """True when every non-empty data line parsed."""
+        return self.skipped == 0
+
+    @property
+    def skip_rate(self) -> float:
+        if self.lines == 0:
+            return 0.0
+        return self.skipped / self.lines
+
+    def summary(self) -> dict:
+        """JSON-friendly digest (stored in index-artifact provenance)."""
+        return {
+            "lines": self.lines,
+            "parsed": self.parsed,
+            "skipped": self.skipped,
+            "skip_rate": self.skip_rate,
+            "error_samples": [list(sample) for sample in self.errors],
+        }
 
 
 class ClickLog:
@@ -25,6 +73,8 @@ class ClickLog:
         self._clicks: list[Click] = sorted(
             clicks, key=lambda c: (c.timestamp, c.session_id, c.item_id)
         )
+        #: set by the TSV readers; None for logs built in memory.
+        self.parse_report: TSVParseReport | None = None
 
     def __len__(self) -> int:
         return len(self._clicks)
@@ -141,20 +191,43 @@ class ClickLog:
 
     @classmethod
     def from_tsv(cls, path: str | Path) -> "ClickLog":
-        """Read a log from a tab-separated file written by :meth:`to_tsv`."""
+        """Read a log from a tab-separated file written by :meth:`to_tsv`.
+
+        Malformed data lines are skipped and counted (see
+        :attr:`parse_report`), never raised — a single bad row must not
+        fail a daily ingest. A wrong header still raises ``ValueError``.
+        """
+        log, _ = cls.from_tsv_with_report(path)
+        return log
+
+    @classmethod
+    def from_tsv_with_report(
+        cls, path: str | Path
+    ) -> tuple["ClickLog", TSVParseReport]:
+        """Like :meth:`from_tsv`, returning the parse report explicitly."""
         with open(path, "r", encoding="utf-8") as handle:
             return cls._read_tsv(handle)
 
     @classmethod
     def from_tsv_string(cls, text: str) -> "ClickLog":
+        log, _ = cls._read_tsv(io.StringIO(text))
+        return log
+
+    @classmethod
+    def from_tsv_string_with_report(
+        cls, text: str
+    ) -> tuple["ClickLog", TSVParseReport]:
         return cls._read_tsv(io.StringIO(text))
 
     @classmethod
-    def _read_tsv(cls, handle: Iterable[str]) -> "ClickLog":
+    def _read_tsv(cls, handle: Iterable[str]) -> tuple["ClickLog", TSVParseReport]:
         lines = iter(handle)
+        report = TSVParseReport()
         header = next(lines, None)
         if header is None:
-            return cls([])
+            log = cls([])
+            log.parse_report = report
+            return log, report
         expected = ["session_id", "item_id", "timestamp"]
         if header.strip().split("\t") != expected:
             raise ValueError(f"bad header {header.strip()!r}, expected {expected}")
@@ -163,8 +236,20 @@ class ClickLog:
             line = line.strip()
             if not line:
                 continue
+            report.lines += 1
             fields = line.split("\t")
             if len(fields) != 3:
-                raise ValueError(f"line {line_number}: expected 3 fields, got {fields}")
-            clicks.append(Click(int(fields[0]), int(fields[1]), int(fields[2])))
-        return cls(clicks)
+                report.record_error(
+                    line_number, f"expected 3 fields, got {len(fields)}"
+                )
+                continue
+            try:
+                click = Click(int(fields[0]), int(fields[1]), int(fields[2]))
+            except ValueError:
+                report.record_error(line_number, f"non-integer field in {fields}")
+                continue
+            report.parsed += 1
+            clicks.append(click)
+        log = cls(clicks)
+        log.parse_report = report
+        return log, report

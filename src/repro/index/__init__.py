@@ -15,6 +15,17 @@ from repro.index.compression import (
     compression_ratio,
     uncompressed_payload_bytes,
 )
+from repro.index.lifecycle import (
+    CanaryQualityGate,
+    ClickLogValidator,
+    DailyIndexLifecycle,
+    GatePolicy,
+    IndexRegistry,
+    IngestionPolicy,
+    RolloutController,
+    RolloutPolicy,
+    ValidationReport,
+)
 from repro.index.maintenance import IncrementalIndexer, rebuild_equivalent
 from repro.index.parallel import ParallelIndexBuilder, build_index_parallel
 from repro.index.serialization import (
@@ -33,9 +44,18 @@ __all__ = [
     "estimate_capacity",
     "extrapolate",
     "measure_index",
+    "CanaryQualityGate",
+    "ClickLogValidator",
     "CompressedSessionIndex",
+    "DailyIndexLifecycle",
+    "GatePolicy",
     "IncrementalIndexer",
     "IndexBuilder",
+    "IndexRegistry",
+    "IngestionPolicy",
+    "RolloutController",
+    "RolloutPolicy",
+    "ValidationReport",
     "ParallelIndexBuilder",
     "build_index",
     "build_index_parallel",

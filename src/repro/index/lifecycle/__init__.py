@@ -1,0 +1,72 @@
+"""The hardened daily index lifecycle (build → validate → register →
+canary → rollout → rollback).
+
+Serenade's serving tier depends on a once-per-day offline index build
+being handed to live pods (§4, Figure 1). This package turns that
+hand-off from a blind swap into a guarded pipeline:
+
+* :mod:`~repro.index.lifecycle.validation` — click-log ingestion
+  validation: malformed rows, non-monotonic timestamps, duplicate
+  clicks and bot-like sessions are quarantined or repaired into a
+  :class:`ValidationReport` instead of poisoning the build;
+* :mod:`~repro.index.lifecycle.registry` — versioned, checksummed index
+  artifacts written atomically, with corrupt-on-load detection falling
+  back to the last good version;
+* :mod:`~repro.index.lifecycle.gate` — the canary quality gate: a
+  candidate index must hold its Recall@20/MRR on a holdout slice and
+  pass structural sanity bounds before it may be promoted;
+* :mod:`~repro.index.lifecycle.rollout` — staged rolling rollout across
+  the serving cluster (canary fraction → full) with per-pod health
+  checks, jittered-backoff retries and automatic rollback;
+* :mod:`~repro.index.lifecycle.pipeline` — the one-call daily pipeline
+  the CLI drives.
+"""
+
+from repro.index.lifecycle.gate import (
+    CanaryQualityGate,
+    GateCheck,
+    GatePolicy,
+    GateReport,
+)
+from repro.index.lifecycle.pipeline import DailyIndexLifecycle, LifecycleOutcome
+from repro.index.lifecycle.registry import (
+    CURRENT_POINTER,
+    IndexManifest,
+    IndexRegistry,
+    RegistryError,
+)
+from repro.index.lifecycle.rollout import (
+    RolloutController,
+    RolloutError,
+    RolloutPolicy,
+    RolloutReport,
+    RolloutState,
+)
+from repro.index.lifecycle.validation import (
+    ClickLogValidator,
+    IngestionPolicy,
+    ValidationReport,
+    validate_clicks,
+)
+
+__all__ = [
+    "CURRENT_POINTER",
+    "CanaryQualityGate",
+    "ClickLogValidator",
+    "DailyIndexLifecycle",
+    "GateCheck",
+    "GatePolicy",
+    "GateReport",
+    "IndexManifest",
+    "IndexRegistry",
+    "IngestionPolicy",
+    "LifecycleOutcome",
+    "RegistryError",
+    "RolloutController",
+    "RolloutError",
+    "RolloutPolicy",
+    "RolloutReport",
+    "RolloutState",
+    "ValidationReport",
+    "validate_clicks",
+]

@@ -1,0 +1,264 @@
+"""Click-log ingestion validation for the daily index build.
+
+The paper's pipeline ingests billions of click events exported from the
+frontend; at that volume every pathology shows up daily: rows with
+negative ids, clocks running backwards inside a session, double-fired
+click trackers, and crawlers producing thousand-item "sessions" at
+inhuman speed. A corrupt click log must never crash the build or poison
+the index — it is validated row by row, and everything suspicious is
+either *repaired* or *quarantined* into a :class:`ValidationReport`
+according to a configurable :class:`IngestionPolicy`.
+
+Checks, in the order applied:
+
+1. **malformed clicks** — negative session/item ids or timestamps are
+   always quarantined (there is no sensible repair);
+2. **duplicate clicks** — identical ``(session, item, timestamp)``
+   triples beyond the first are dropped (tracker double-fires);
+3. **non-monotonic timestamps** — clicks inside one session whose
+   timestamp precedes an earlier click are clamped forward (``repair``)
+   or the whole session is quarantined (``reject``);
+4. **bot-like sessions** — sessions longer than ``max_session_clicks``
+   or sustaining a mean inter-click gap below
+   ``min_mean_click_gap_seconds`` are quarantined (``reject``) or
+   truncated to the cap (``repair``, rate offenders still rejected).
+
+The validator never mutates its input and never raises on bad data; the
+report carries enough to decide whether the day's export is usable at
+all (``max_quarantine_rate``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.core.types import Click, SessionId
+
+#: policy knob values for the repairable checks.
+REJECT = "reject"
+REPAIR = "repair"
+
+#: How many quarantined-row samples the report retains.
+MAX_QUARANTINE_SAMPLES = 25
+
+
+@dataclass(frozen=True)
+class IngestionPolicy:
+    """Knobs for the ingestion validator.
+
+    ``reject`` quarantines the offending session outright; ``repair``
+    fixes what is fixable and keeps the session. Malformed rows are
+    always quarantined regardless of policy.
+    """
+
+    timestamp_policy: str = REPAIR
+    bot_policy: str = REJECT
+    #: sessions longer than this are bot-like (the paper caps evolving
+    #: sessions for the same reason: humans do not click 500 items).
+    max_session_clicks: int = 200
+    #: a session of >= ``bot_min_clicks`` clicks whose mean inter-click
+    #: gap is below this is bot-like (sub-second sustained clicking).
+    min_mean_click_gap_seconds: float = 1.0
+    bot_min_clicks: int = 10
+    #: builds quarantining more than this fraction of input clicks are
+    #: not trustworthy; the pipeline refuses them.
+    max_quarantine_rate: float = 0.25
+
+    def __post_init__(self) -> None:
+        for name in ("timestamp_policy", "bot_policy"):
+            value = getattr(self, name)
+            if value not in (REJECT, REPAIR):
+                raise ValueError(
+                    f"{name} must be {REJECT!r} or {REPAIR!r}, got {value!r}"
+                )
+        if self.max_session_clicks < 1:
+            raise ValueError("max_session_clicks must be >= 1")
+        if not 0.0 <= self.max_quarantine_rate <= 1.0:
+            raise ValueError("max_quarantine_rate must be in [0, 1]")
+
+
+@dataclass
+class ValidationReport:
+    """What the validator accepted, repaired and quarantined."""
+
+    input_clicks: int = 0
+    accepted_clicks: int = 0
+    repaired_clicks: int = 0
+    quarantined_clicks: int = 0
+    quarantined_sessions: int = 0
+    #: per-check counters, e.g. {"malformed": 3, "duplicate": 10, ...}.
+    issues: dict[str, int] = field(default_factory=dict)
+    #: up to MAX_QUARANTINE_SAMPLES of (check, session_id, detail).
+    samples: list[tuple[str, SessionId, str]] = field(default_factory=list)
+
+    def count(self, check: str, amount: int = 1) -> None:
+        self.issues[check] = self.issues.get(check, 0) + amount
+
+    def sample(self, check: str, session_id: SessionId, detail: str) -> None:
+        if len(self.samples) < MAX_QUARANTINE_SAMPLES:
+            self.samples.append((check, session_id, detail))
+
+    @property
+    def quarantine_rate(self) -> float:
+        if self.input_clicks == 0:
+            return 0.0
+        return self.quarantined_clicks / self.input_clicks
+
+    def acceptable(self, policy: IngestionPolicy) -> bool:
+        """Is the day's export trustworthy enough to build from?"""
+        return self.quarantine_rate <= policy.max_quarantine_rate
+
+    def summary(self) -> dict:
+        """JSON-friendly digest, stored in index-artifact provenance."""
+        return {
+            "input_clicks": self.input_clicks,
+            "accepted_clicks": self.accepted_clicks,
+            "repaired_clicks": self.repaired_clicks,
+            "quarantined_clicks": self.quarantined_clicks,
+            "quarantined_sessions": self.quarantined_sessions,
+            "quarantine_rate": self.quarantine_rate,
+            "issues": dict(sorted(self.issues.items())),
+        }
+
+
+class ClickLogValidator:
+    """Validates raw clicks into a build-safe click list plus a report."""
+
+    def __init__(self, policy: IngestionPolicy | None = None) -> None:
+        self.policy = policy or IngestionPolicy()
+
+    def validate(
+        self, clicks: Iterable[Click]
+    ) -> tuple[list[Click], ValidationReport]:
+        """Run every check; returns (clean clicks, report)."""
+        report = ValidationReport()
+        sessions: dict[SessionId, list[Click]] = {}
+        for click in clicks:
+            report.input_clicks += 1
+            if not self._well_formed(click):
+                report.count("malformed")
+                report.sample("malformed", click.session_id, repr(click))
+                continue
+            sessions.setdefault(click.session_id, []).append(click)
+
+        accepted: list[Click] = []
+        for session_id, session_clicks in sessions.items():
+            kept = self._validate_session(session_id, session_clicks, report)
+            if kept is None:
+                report.quarantined_sessions += 1
+            else:
+                accepted.extend(kept)
+        report.accepted_clicks = len(accepted)
+        # Every input click is either accepted or quarantined, exactly once.
+        report.quarantined_clicks = report.input_clicks - report.accepted_clicks
+        return accepted, report
+
+    @staticmethod
+    def _well_formed(click: Click) -> bool:
+        return (
+            isinstance(click.session_id, int)
+            and isinstance(click.item_id, int)
+            and isinstance(click.timestamp, int)
+            and click.session_id >= 0
+            and click.item_id >= 0
+            and click.timestamp >= 0
+        )
+
+    def _validate_session(
+        self,
+        session_id: SessionId,
+        session_clicks: list[Click],
+        report: ValidationReport,
+    ) -> list[Click] | None:
+        """All checks for one session; None quarantines it entirely.
+
+        Clicks are inspected in *arrival order* — that is where backwards
+        clocks are visible; sorting first would silently hide them.
+        """
+        policy = self.policy
+        monotonic, repairs = self._monotonic(session_clicks)
+        if repairs:
+            if policy.timestamp_policy == REJECT:
+                report.count("non_monotonic_session", 1)
+                report.sample(
+                    "non_monotonic_session",
+                    session_id,
+                    f"{repairs} backwards timestamps",
+                )
+                return None
+            report.count("non_monotonic_repaired", repairs)
+            report.repaired_clicks += repairs
+        ordered = self._dedupe(session_id, monotonic, report)
+
+        verdict = self._bot_verdict(ordered)
+        if verdict is not None:
+            if policy.bot_policy == REJECT or verdict == "bot_click_rate":
+                # A sustained inhuman click rate cannot be repaired by
+                # truncation; it is a crawler either way.
+                report.count(verdict)
+                report.sample(verdict, session_id, f"{len(ordered)} clicks")
+                return None
+            report.count("bot_truncated")
+            ordered = ordered[: policy.max_session_clicks]
+        return ordered
+
+    def _dedupe(
+        self,
+        session_id: SessionId,
+        session_clicks: list[Click],
+        report: ValidationReport,
+    ) -> list[Click]:
+        seen: set[tuple[int, int]] = set()
+        kept: list[Click] = []
+        duplicates = 0
+        for click in session_clicks:
+            key = (click.item_id, click.timestamp)
+            if key in seen:
+                duplicates += 1
+                continue
+            seen.add(key)
+            kept.append(click)
+        if duplicates:
+            report.count("duplicate", duplicates)
+            report.sample("duplicate", session_id, f"{duplicates} duplicates")
+        return kept
+
+    @staticmethod
+    def _monotonic(arrival_order: list[Click]) -> tuple[list[Click], int]:
+        """Clamp backwards timestamps to the running maximum.
+
+        Returns (clicks in arrival order, repair count). A backwards
+        timestamp inside one session means the exporter interleaved two
+        clock domains; clamping preserves the arrival order the user
+        actually clicked in.
+        """
+        repairs = 0
+        result: list[Click] = []
+        high_water = None
+        for click in arrival_order:
+            if high_water is not None and click.timestamp < high_water:
+                click = Click(click.session_id, click.item_id, high_water)
+                repairs += 1
+            high_water = click.timestamp
+            result.append(click)
+        return result, repairs
+
+    def _bot_verdict(self, ordered: list[Click]) -> str | None:
+        policy = self.policy
+        if len(ordered) > policy.max_session_clicks:
+            return "bot_session_length"
+        if len(ordered) >= policy.bot_min_clicks:
+            span = ordered[-1].timestamp - ordered[0].timestamp
+            mean_gap = span / (len(ordered) - 1)
+            if mean_gap < policy.min_mean_click_gap_seconds:
+                return "bot_click_rate"
+        return None
+
+
+def validate_clicks(
+    clicks: Iterable[Click] | Sequence[Click],
+    policy: IngestionPolicy | None = None,
+) -> tuple[list[Click], ValidationReport]:
+    """One-call façade over :class:`ClickLogValidator`."""
+    return ClickLogValidator(policy).validate(clicks)

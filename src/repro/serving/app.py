@@ -82,6 +82,7 @@ class ServingCluster:
         fallback_factory: RecommenderFactory | None = None,
         static_items: Sequence[ScoredItem] = (),
         wal_dir: str | Path | None = None,
+        index_version: str | None = None,
     ) -> None:
         """Build the cluster.
 
@@ -102,6 +103,9 @@ class ServingCluster:
                 ``resilience`` is on.
             wal_dir: directory for per-pod session WALs; ``None`` keeps
                 sessions memory-only (state dies with the pod, §4.2).
+            index_version: label of the index version the factory builds
+                (e.g. a registry version id); surfaced per pod in
+                ``rollout_info()`` and ``/metrics``.
         """
         if num_pods < 1:
             raise ValueError("num_pods must be >= 1")
@@ -124,15 +128,31 @@ class ServingCluster:
         )
         self.recovered_sessions = 0
         self.rerouted_requests = 0
+        # -- index lifecycle state (see repro.index.lifecycle.rollout) --
+        #: the committed version label: what new/restarted pods load.
+        self.index_version = index_version
+        #: which version each live pod is actually serving.
+        self.pod_versions: dict[str, str | None] = {}
+        #: completed automatic rollbacks (exported at /metrics).
+        self.rollback_count = 0
+        #: "idle" | "canary" | "rolling" | "completed" | "rolled_back".
+        self.rollout_state = "idle"
         self._rules = rules
         self._clock = clock
         self._record_service_times = record_service_times
         for pod_number in range(num_pods):
             self._spawn_pod(f"pod-{pod_number}", rules, clock, record_service_times)
 
-    def _pod_recommender(self) -> SessionRecommender:
+    @property
+    def committed_factory(self) -> RecommenderFactory:
+        """The factory new and restarted pods currently build from."""
+        return self._factory
+
+    def _pod_recommender(
+        self, base_factory: RecommenderFactory | None = None
+    ) -> SessionRecommender:
         """One pod's recommender: cache-wrapped, then guardrail-wrapped."""
-        recommender = self._factory()
+        recommender = (base_factory or self._factory)()
         if self._cache_size > 0:
             recommender = BatchPredictionEngine(
                 recommender, num_workers=0, cache_size=self._cache_size
@@ -185,6 +205,7 @@ class ServingCluster:
             wal_path=self._pod_wal_path(pod_id),
         )
         self.pods[pod_id] = server
+        self.pod_versions[pod_id] = self.index_version
         # A crashed pod may have died without deregistering; its ring entry
         # is still there and must not be duplicated on restart.
         if pod_id not in self.router.pods:
@@ -288,6 +309,7 @@ class ServingCluster:
         """
         if pod_id not in self.pods:
             raise ValueError(f"cannot kill unknown pod {pod_id!r}")
+        self.pod_versions.pop(pod_id, None)
         return self.pods.pop(pod_id)
 
     def restart_pod(self, pod_id: str) -> RecommendationServer:
@@ -324,22 +346,61 @@ class ServingCluster:
             pod_id = f"pod-{pod_number}"
             self.router.remove_pod(pod_id)
             server = self.pods.pop(pod_id)
+            self.pod_versions.pop(pod_id, None)
             server.sessions.close(delete_wal=True)
             self._close_recommender(server.recommender)
 
-    def rollout_index(self, recommender_factory: RecommenderFactory) -> None:
-        """Replicate a freshly built index to every pod (daily refresh).
+    def commit_index(
+        self, recommender_factory: RecommenderFactory, version: str | None = None
+    ) -> None:
+        """Make ``recommender_factory`` the cluster's committed index.
 
-        Cached results and the batch engine belong to the old index, so
-        both are dropped — stale recommendations must not outlive it.
+        New pods (scale-up) and restarted pods build from the committed
+        factory, so after a commit the fleet *converges* to this version
+        regardless of kills and restarts mid-rollout. The cluster batch
+        engine belongs to the previous index and is dropped.
         """
         self._factory = recommender_factory
-        for server in self.pods.values():
-            self._close_recommender(server.recommender)
-            server.replace_recommender(self._pod_recommender())
+        self.index_version = version
         if self._batch_engine is not None:
             self._batch_engine.close()
             self._batch_engine = None
+
+    def swap_pod_recommender(
+        self,
+        pod_id: str,
+        recommender_factory: RecommenderFactory | None = None,
+        version: str | None = None,
+    ) -> None:
+        """Swap one pod onto a new index replica (one rollout step).
+
+        The pod's result caches are invalidated with the swap (the old
+        recommender is closed by ``replace_recommender``) — cached
+        recommendations must not outlive the index they came from. With
+        no explicit factory the committed one is used.
+        """
+        if pod_id not in self.pods:
+            raise ValueError(f"cannot swap unknown pod {pod_id!r}")
+        factory = recommender_factory or self._factory
+        self.pods[pod_id].replace_recommender(self._pod_recommender(factory))
+        self.pod_versions[pod_id] = (
+            version if recommender_factory is not None else self.index_version
+        )
+
+    def rollout_index(
+        self, recommender_factory: RecommenderFactory, version: str | None = None
+    ) -> None:
+        """Replicate a freshly built index to every pod (daily refresh).
+
+        The all-at-once path: commit the factory and swap every pod.
+        Cached results and the batch engine belong to the old index, so
+        both are dropped — stale recommendations must not outlive it.
+        For the canary-gated staged path, see
+        :class:`repro.index.lifecycle.rollout.RolloutController`.
+        """
+        self.commit_index(recommender_factory, version)
+        for pod_id in list(self.pods):
+            self.swap_pod_recommender(pod_id)
 
     @staticmethod
     def _close_recommender(recommender: SessionRecommender) -> None:
@@ -348,6 +409,27 @@ class ServingCluster:
             close()
 
     # -- introspection -------------------------------------------------------
+
+    def rollout_info(self) -> dict:
+        """Index lifecycle state for ``/metrics`` and operators.
+
+        ``consistent`` is True when every live pod serves the committed
+        version — the convergence condition the chaos tests assert after
+        a rollout survives kills and rollbacks.
+        """
+        versions = {
+            pod_id: self.pod_versions.get(pod_id)
+            for pod_id in sorted(self.pods)
+        }
+        distinct = {version for version in versions.values()}
+        return {
+            "committed_version": self.index_version,
+            "pod_versions": versions,
+            "rollout_state": self.rollout_state,
+            "rollback_count": self.rollback_count,
+            "consistent": len(distinct) <= 1
+            and (not distinct or distinct == {self.index_version}),
+        }
 
     def cache_info(self) -> dict[str, float]:
         """Aggregated result-cache counters across pods and batch engine."""

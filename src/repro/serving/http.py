@@ -51,6 +51,22 @@ _BREAKER_STATE_VALUES = {
 
 _VARIANTS = {variant.value: variant for variant in ServingVariant}
 
+# Rollout states as exported at /metrics (serenade_rollout_state).
+_ROLLOUT_STATE_VALUES = {
+    "idle": 0.0,
+    "canary": 1.0,
+    "rolling": 2.0,
+    "completed": 3.0,
+    "rolled_back": 4.0,
+}
+
+
+def _version_number(version: str | None) -> float:
+    """Numeric form of a registry version id (v000042 -> 42; unknown -> 0)."""
+    if version and version.startswith("v") and version[1:].isdigit():
+        return float(version[1:])
+    return 0.0
+
 
 class BadRequest(ValueError):
     """The request body was malformed; reported back as HTTP 400."""
@@ -148,6 +164,20 @@ class SerenadeService:
             "serenade_breaker_state",
             "Circuit breaker state per pod/stage (0 closed, 1 half-open, 2 open)",
         )
+        # Index lifecycle series (daily rollout / rollback observability).
+        self._index_version = self.metrics.gauge(
+            "serenade_index_version",
+            "Active index version per pod (numeric registry version; 0 unknown)",
+        )
+        self._rollout_state = self.metrics.gauge(
+            "serenade_rollout_state",
+            "Rollout state (0 idle, 1 canary, 2 rolling, 3 completed, "
+            "4 rolled back)",
+        )
+        self._rollbacks = self.metrics.counter(
+            "serenade_index_rollbacks_total",
+            "Automatic index rollbacks (canary or rolling stage failures)",
+        )
 
     def recommend(self, payload: dict) -> dict:
         """Handle one /v1/recommend call; raises BadRequest on bad input
@@ -216,12 +246,22 @@ class SerenadeService:
                 pod=pod_id,
                 stage=stage,
             )
+        rollout = self.cluster.rollout_info()
+        for pod_id, version in rollout["pod_versions"].items():
+            self._index_version.set(_version_number(version), pod=pod_id)
+        self._rollout_state.set(
+            _ROLLOUT_STATE_VALUES.get(rollout["rollout_state"], 0.0)
+        )
+        rollback_delta = rollout["rollback_count"] - self._rollbacks.value()
+        if rollback_delta > 0:
+            self._rollbacks.increment(rollback_delta)
         return self.metrics.render_prometheus()
 
     def health(self) -> dict:
         return {
             "status": "ok",
             "pods": self.cluster.router.pods,
+            "index": self.cluster.rollout_info(),
             "requests_served": self.cluster.total_requests(),
             "result_cache": self.cluster.cache_info(),
             "resilience": {

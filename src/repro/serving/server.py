@@ -94,8 +94,20 @@ class RecommendationServer:
         self._record_service_times = record_service_times
 
     def replace_recommender(self, recommender: SessionRecommender) -> None:
-        """Swap in a freshly built index replica (the daily rollout)."""
+        """Swap in a freshly built index replica (the daily rollout).
+
+        The outgoing recommender is closed: its result caches and worker
+        pools belong to the old index, and a cached recommendation must
+        not outlive the index it was computed from. Making this the
+        server's job (not the caller's) keeps the invariant under every
+        swap path — full rollout, staged rollout, rollback.
+        """
+        old = self.recommender
         self.recommender = recommender
+        if old is not recommender:
+            close = getattr(old, "close", None)
+            if callable(close):
+                close()
 
     def handle(self, request: RecommendationRequest) -> RecommendationResponse:
         """Process one request: update state, predict, filter."""

@@ -190,6 +190,123 @@ class TestCommands:
         assert "best mrr" in output
 
 
+class TestIndexLifecycleCommands:
+    @pytest.fixture()
+    def registry_dir(self, tmp_path):
+        return tmp_path / "registry"
+
+    def _build(self, clicks_tsv, registry_dir, m="150"):
+        return main(
+            [
+                "index",
+                "build",
+                str(clicks_tsv),
+                "--registry",
+                str(registry_dir),
+                "--m",
+                m,
+            ]
+        )
+
+    def test_build_registers_first_version(
+        self, clicks_tsv, registry_dir, capsys
+    ):
+        assert self._build(clicks_tsv, registry_dir) == 0
+        out = capsys.readouterr().out
+        assert "registered v000001" in out and "sha256" in out
+        assert (registry_dir / "v000001" / "index.vmis").exists()
+        assert (registry_dir / "v000001" / "manifest.json").exists()
+
+    def test_build_refuses_garbage_log(self, tmp_path, capsys):
+        clicks = tmp_path / "bots.tsv"
+        rows = ["session_id\titem_id\ttimestamp"]
+        # one giant machine-speed session: everything gets quarantined
+        rows += [f"1\t{i}\t{i // 10}" for i in range(500)]
+        clicks.write_text("\n".join(rows) + "\n")
+        code = main(
+            ["index", "build", str(clicks), "--registry", str(tmp_path / "r")]
+        )
+        assert code == 1
+        assert "build refused" in capsys.readouterr().out
+
+    def test_promote_first_build_then_list(
+        self, clicks_tsv, registry_dir, capsys
+    ):
+        assert self._build(clicks_tsv, registry_dir) == 0
+        code = main(
+            [
+                "index",
+                "promote",
+                "--registry",
+                str(registry_dir),
+                "--clicks",
+                str(clicks_tsv),
+                "--max-predictions",
+                "100",
+            ]
+        )
+        assert code == 0
+        assert "promoted v000001" in capsys.readouterr().out
+        assert main(["index", "list", "--registry", str(registry_dir)]) == 0
+        assert "*CURRENT*" in capsys.readouterr().out
+
+    def test_promote_refuses_degenerate_candidate(
+        self, clicks_tsv, registry_dir, tmp_path, capsys
+    ):
+        # v1: healthy; v2: built from a tiny unrelated log -> gate refusal.
+        assert self._build(clicks_tsv, registry_dir) == 0
+        tiny = tmp_path / "tiny.tsv"
+        tiny.write_text(
+            "session_id\titem_id\ttimestamp\n"
+            + "".join(f"{s}\t{9000 + s}\t{s * 100}\n" for s in range(20))
+        )
+        promote = [
+            "index",
+            "promote",
+            "--registry",
+            str(registry_dir),
+            "--clicks",
+            str(clicks_tsv),
+            "--max-predictions",
+            "100",
+        ]
+        assert main(promote) == 0
+        assert main(["index", "build", str(tiny), "--registry", str(registry_dir)]) == 0
+        capsys.readouterr()
+        assert main(promote) == 1
+        out = capsys.readouterr().out
+        assert "promotion refused at gate" in out
+
+    def test_rollback_moves_current_back(
+        self, clicks_tsv, registry_dir, capsys
+    ):
+        promote = [
+            "index",
+            "promote",
+            "--registry",
+            str(registry_dir),
+            "--clicks",
+            str(clicks_tsv),
+            "--max-predictions",
+            "100",
+        ]
+        assert self._build(clicks_tsv, registry_dir) == 0
+        assert main(promote) == 0
+        assert self._build(clicks_tsv, registry_dir) == 0
+        assert main(promote) == 0
+        capsys.readouterr()
+        assert main(["index", "rollback", "--registry", str(registry_dir)]) == 0
+        assert "rolled back v000002 -> v000001" in capsys.readouterr().out
+        # nothing older than v000001 -> refused
+        assert main(["index", "rollback", "--registry", str(registry_dir)]) == 1
+        assert "rollback refused" in capsys.readouterr().out
+
+    def test_list_empty_registry(self, tmp_path, capsys):
+        code = main(["index", "list", "--registry", str(tmp_path / "empty")])
+        assert code == 0
+        assert "no versions registered" in capsys.readouterr().out
+
+
 class TestServeCommand:
     def test_serve_starts_and_answers(self, index_artifact, monkeypatch, capsys):
         """Start `repro serve` with a patched sleep that exits immediately

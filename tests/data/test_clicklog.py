@@ -97,9 +97,51 @@ class TestTsvRoundtrip:
         with pytest.raises(ValueError, match="bad header"):
             ClickLog.from_tsv_string("a\tb\tc\n1\t2\t3\n")
 
-    def test_bad_row_rejected(self):
-        with pytest.raises(ValueError, match="line 2"):
-            ClickLog.from_tsv_string("session_id\titem_id\ttimestamp\n1\t2\n")
-
     def test_empty_string_gives_empty_log(self):
         assert len(ClickLog.from_tsv_string("")) == 0
+
+
+class TestMalformedRows:
+    HEADER = "session_id\titem_id\ttimestamp\n"
+
+    def test_short_row_skipped_and_counted(self):
+        log, report = ClickLog.from_tsv_string_with_report(
+            self.HEADER + "1\t2\t3\n1\t2\n4\t5\t6\n"
+        )
+        assert [c.as_tuple() for c in log] == [(1, 2, 3), (4, 5, 6)]
+        assert report.parsed == 2
+        assert report.skipped == 1
+        assert report.errors == [(3, "expected 3 fields, got 2")]
+        assert not report.ok
+
+    def test_non_integer_row_skipped_and_counted(self):
+        log, report = ClickLog.from_tsv_string_with_report(
+            self.HEADER + "1\t2\t3\nx\t2\t3\n"
+        )
+        assert len(log) == 1
+        assert report.skipped == 1
+        assert "non-integer" in report.errors[0][1]
+
+    def test_from_tsv_never_raises_on_bad_rows(self, tmp_path):
+        path = tmp_path / "dirty.tsv"
+        path.write_text(self.HEADER + "1\t2\t3\ngarbage line\n7\t8\t9\n")
+        log = ClickLog.from_tsv(path)
+        assert len(log) == 2
+        assert log.parse_report is not None
+        assert log.parse_report.skipped == 1
+        assert log.parse_report.skip_rate == pytest.approx(1 / 3)
+
+    def test_clean_file_reports_ok(self):
+        log, report = ClickLog.from_tsv_string_with_report(
+            self.HEADER + "1\t2\t3\n"
+        )
+        assert report.ok
+        assert report.summary()["skipped"] == 0
+
+    def test_error_samples_are_capped(self):
+        from repro.data.clicklog import MAX_PARSE_ERROR_SAMPLES
+
+        bad = "bad\n" * (MAX_PARSE_ERROR_SAMPLES + 10)
+        _, report = ClickLog.from_tsv_string_with_report(self.HEADER + bad)
+        assert report.skipped == MAX_PARSE_ERROR_SAMPLES + 10
+        assert len(report.errors) == MAX_PARSE_ERROR_SAMPLES

@@ -1,0 +1,136 @@
+"""Tests for the canary quality gate (repro.index.lifecycle.gate)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.index import SessionIndex
+from repro.core.types import Click
+from repro.data.split import temporal_split
+from repro.index.builder import IndexBuilder
+from repro.index.lifecycle.gate import CanaryQualityGate, GatePolicy
+
+
+@pytest.fixture(scope="module")
+def split(small_log):
+    return temporal_split(small_log, test_days=1)
+
+
+@pytest.fixture(scope="module")
+def holdout(split):
+    return split.test_sequences()
+
+
+@pytest.fixture(scope="module")
+def healthy_index(split):
+    return IndexBuilder(max_sessions_per_item=100).build(list(split.train))
+
+
+def tiny_index(num_sessions=3, num_items=2):
+    clicks = [
+        Click(s, i % num_items, s * 100 + i)
+        for s in range(num_sessions)
+        for i in range(2)
+    ]
+    return SessionIndex.from_clicks(clicks, max_sessions_per_item=10)
+
+
+class TestPolicy:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_recall_drop": -0.1},
+            {"max_mrr_drop": 2.0},
+            {"min_coverage_ratio": 1.5},
+        ],
+    )
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            GatePolicy(**kwargs)
+
+
+class TestStructuralChecks:
+    def test_first_build_passes_on_structure_only(self, healthy_index, holdout):
+        gate = CanaryQualityGate(GatePolicy(max_predictions=50))
+        report = gate.evaluate(healthy_index, holdout, current=None)
+        assert report.passed
+        names = [c.name for c in report.checks]
+        assert "first_build" in names
+        assert report.baseline_metrics == {}
+        assert report.candidate_metrics["predictions"] > 0
+
+    def test_truncated_export_refused(self, holdout):
+        gate = CanaryQualityGate(GatePolicy(min_sessions=10, min_items=5))
+        report = gate.evaluate(tiny_index(), holdout, current=None)
+        assert not report.passed
+        failed = {c.name for c in report.checks if not c.passed}
+        assert "min_sessions" in failed
+        # quality evaluation short-circuits on structural failure
+        assert report.candidate_metrics == {}
+        assert any("min_sessions" in reason for reason in report.reasons())
+
+    def test_catalogue_loss_refused(self, healthy_index, holdout):
+        # candidate covering ~none of the current catalogue
+        offset_clicks = [
+            Click(s, 100_000 + i, s * 50 + i) for s in range(40) for i in range(3)
+        ]
+        candidate = SessionIndex.from_clicks(
+            offset_clicks, max_sessions_per_item=50
+        )
+        gate = CanaryQualityGate(GatePolicy(min_coverage_ratio=0.5))
+        report = gate.evaluate(candidate, holdout, current=healthy_index)
+        failed = {c.name for c in report.checks if not c.passed}
+        assert "item_coverage" in failed
+
+    def test_posting_bound_violation_refused(self, holdout):
+        index = tiny_index(num_sessions=30)
+        # simulate a buggy build: posting lists longer than the declared m
+        index.max_sessions_per_item = 1
+        gate = CanaryQualityGate(GatePolicy(min_sessions=1, min_items=1))
+        report = gate.evaluate(index, holdout, current=None)
+        failed = {c.name for c in report.checks if not c.passed}
+        assert "posting_bounds" in failed
+
+
+class TestQualityChecks:
+    def test_equivalent_candidate_passes(self, healthy_index, holdout):
+        gate = CanaryQualityGate(GatePolicy(max_predictions=50))
+        report = gate.evaluate(healthy_index, holdout, current=healthy_index)
+        assert report.passed
+        assert report.candidate_metrics["recall"] == pytest.approx(
+            report.baseline_metrics["recall"]
+        )
+
+    def test_degraded_candidate_refused(self, healthy_index, split, holdout):
+        # candidate built from 5% of the training data: measurably worse
+        train = list(split.train)
+        starved = IndexBuilder(max_sessions_per_item=100).build(
+            train[: len(train) // 20]
+        )
+        gate = CanaryQualityGate(
+            GatePolicy(
+                max_recall_drop=0.05,
+                max_mrr_drop=0.05,
+                min_coverage_ratio=0.0,
+                min_sessions=1,
+                min_items=1,
+                max_predictions=100,
+            )
+        )
+        report = gate.evaluate(starved, holdout, current=healthy_index)
+        assert not report.passed
+        failed = {c.name for c in report.checks if not c.passed}
+        assert failed & {"recall_delta", "mrr_delta"}
+
+    def test_summary_shape(self, healthy_index, holdout):
+        import json
+
+        gate = CanaryQualityGate(GatePolicy(max_predictions=20))
+        report = gate.evaluate(healthy_index, holdout, current=healthy_index)
+        payload = json.loads(json.dumps(report.summary()))
+        assert payload["passed"] is True
+        assert {c["name"] for c in payload["checks"]} >= {
+            "min_sessions",
+            "recall_delta",
+            "mrr_delta",
+        }

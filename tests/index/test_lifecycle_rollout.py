@@ -1,0 +1,272 @@
+"""Tests for the staged rolling rollout (repro.index.lifecycle.rollout)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.index import SessionIndex
+from repro.core.vmis import VMISKNN
+from repro.index.lifecycle.rollout import (
+    CanaryStats,
+    RolloutController,
+    RolloutError,
+    RolloutPolicy,
+    RolloutState,
+)
+from repro.serving.app import ServingCluster
+from repro.serving.server import RecommendationRequest
+
+
+@pytest.fixture()
+def cluster(toy_index):
+    return ServingCluster.with_index(
+        toy_index, num_pods=4, m=10, k=10, index_version="v000001"
+    )
+
+
+def fresh_factory(toy_clicks):
+    index = SessionIndex.from_clicks(toy_clicks, max_sessions_per_item=3)
+    return lambda: VMISKNN(index, m=3, k=5)
+
+
+def controller(cluster, **policy_kwargs):
+    policy_kwargs.setdefault("canary_probe_requests", 10)
+    policy_kwargs.setdefault("min_latency_samples", 1_000_000)  # disable p90
+    return RolloutController(
+        cluster,
+        RolloutPolicy(**policy_kwargs),
+        rng=random.Random(0),
+        sleep=lambda _s: None,
+    )
+
+
+class TestPolicy:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"canary_fraction": 0.0},
+            {"canary_fraction": 1.5},
+            {"max_load_attempts": 0},
+            {"max_p90_regression": 0.5},
+        ],
+    )
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RolloutPolicy(**kwargs)
+
+
+class TestHappyPath:
+    def test_full_rollout_converges(self, cluster, toy_clicks):
+        report = controller(cluster).run(
+            fresh_factory(toy_clicks), version="v000002"
+        )
+        assert report.succeeded
+        assert report.state is RolloutState.COMPLETED
+        info = cluster.rollout_info()
+        assert info["committed_version"] == "v000002"
+        assert info["consistent"]
+        assert set(info["pod_versions"].values()) == {"v000002"}
+        assert cluster.rollback_count == 0
+        assert report.from_version == "v000001"
+        assert report.to_version == "v000002"
+
+    def test_canary_is_a_strict_subset(self, cluster, toy_clicks):
+        report = controller(cluster, canary_fraction=0.25).run(
+            fresh_factory(toy_clicks), version="v000002"
+        )
+        assert len(report.canary_pods) == 1
+        assert set(report.canary_pods) < set(cluster.pods)
+        assert len(report.swapped_pods) == len(cluster.pods)
+
+    def test_canary_probe_ran(self, cluster, toy_clicks):
+        report = controller(cluster).run(
+            fresh_factory(toy_clicks), version="v000002"
+        )
+        assert report.canary is not None
+        assert report.canary.canary_requests > 0
+        assert report.canary.canary_failures == 0
+
+    def test_probe_traffic_never_pollutes_sessions(self, cluster, toy_clicks):
+        controller(cluster).run(fresh_factory(toy_clicks), version="v000002")
+        for server in cluster.pods.values():
+            for key in getattr(server.sessions, "keys", lambda: [])():
+                assert not str(key).startswith("canary-probe-")
+
+    def test_empty_cluster_raises(self, toy_index, toy_clicks):
+        cluster = ServingCluster.with_index(toy_index, num_pods=1, m=10, k=10)
+        cluster.pods.clear()
+        with pytest.raises(RolloutError):
+            controller(cluster).run(fresh_factory(toy_clicks))
+
+
+class TestLoadFailures:
+    def test_transient_load_failure_retried(self, cluster, toy_clicks):
+        good = fresh_factory(toy_clicks)
+        attempts = {"n": 0}
+
+        def flaky():
+            attempts["n"] += 1
+            if attempts["n"] % 2 == 1:
+                raise OSError("shared storage hiccup")
+            return good()
+
+        report = controller(cluster, max_load_attempts=3).run(
+            flaky, version="v000002"
+        )
+        assert report.succeeded
+        assert report.load_retries > 0
+
+    def test_persistent_load_failure_rolls_back(self, cluster):
+        def broken():
+            raise OSError("artifact store down")
+
+        report = controller(cluster, max_load_attempts=2).run(
+            broken, version="v000002"
+        )
+        assert not report.succeeded
+        assert report.state is RolloutState.ROLLED_BACK
+        assert "failed to load" in report.rollback_reason
+        info = cluster.rollout_info()
+        assert info["committed_version"] == "v000001"
+        assert info["consistent"]
+        assert cluster.rollback_count == 1
+
+    def test_backoff_delays_are_jittered_exponential(self, cluster):
+        delays = []
+
+        def broken():
+            raise OSError("down")
+
+        RolloutController(
+            cluster,
+            RolloutPolicy(
+                max_load_attempts=4,
+                backoff_base_seconds=0.1,
+                backoff_multiplier=2.0,
+                backoff_jitter=0.5,
+            ),
+            rng=random.Random(42),
+            sleep=delays.append,
+        ).run(broken, version="v000002")
+        assert len(delays) == 3  # attempts - 1 sleeps before giving up
+        # each delay within +/- 50% of base * 2^i
+        for i, delay in enumerate(delays):
+            nominal = 0.1 * (2.0**i)
+            assert 0.5 * nominal <= delay <= 1.5 * nominal
+        assert len(set(delays)) == len(delays)  # jitter actually applied
+
+
+class TestUnhealthyReplicas:
+    def test_health_check_failure_rolls_back(self, cluster):
+        class Broken:
+            def recommend(self, session, how_many=21):
+                raise RuntimeError("replica cannot answer")
+
+        report = controller(cluster).run(Broken, version="v000002")
+        assert not report.succeeded
+        assert "health check" in report.rollback_reason
+        assert cluster.rollout_info()["committed_version"] == "v000001"
+
+
+class TestCanaryJudgement:
+    def test_error_rate_regression_rolls_back(self, cluster, toy_clicks):
+        bad_stats = CanaryStats(canary_requests=40, canary_failures=10)
+
+        report = controller(cluster).run(
+            fresh_factory(toy_clicks),
+            version="v000002",
+            canary_probe=lambda _c, _pods: bad_stats,
+        )
+        assert not report.succeeded
+        assert "error rate" in report.rollback_reason
+        info = cluster.rollout_info()
+        assert info["committed_version"] == "v000001"
+        assert info["consistent"]
+        assert cluster.rollback_count == 1
+
+    def test_p90_regression_rolls_back(self, cluster, toy_clicks):
+        slow = CanaryStats(
+            canary_requests=40,
+            baseline_requests=40,
+            canary_p90=0.100,
+            baseline_p90=0.010,
+        )
+        report = controller(cluster, max_p90_regression=3.0).run(
+            fresh_factory(toy_clicks),
+            version="v000002",
+            canary_probe=lambda _c, _pods: slow,
+        )
+        assert not report.succeeded
+        assert "p90" in report.rollback_reason
+
+    def test_no_probe_traffic_rolls_back(self, cluster, toy_clicks):
+        report = controller(cluster).run(
+            fresh_factory(toy_clicks),
+            version="v000002",
+            canary_probe=lambda _c, _pods: CanaryStats(),
+        )
+        assert not report.succeeded
+        assert "no probe traffic" in report.rollback_reason
+
+    def test_rollback_restores_serving_behaviour(self, cluster, toy_clicks):
+        before = cluster.handle(
+            RecommendationRequest("rollback-user", 1, consent=False)
+        )
+        controller(cluster).run(
+            fresh_factory(toy_clicks),
+            version="v000002",
+            canary_probe=lambda _c, _p: CanaryStats(
+                canary_requests=10, canary_failures=10
+            ),
+        )
+        after = cluster.handle(
+            RecommendationRequest("rollback-user", 1, consent=False)
+        )
+        assert [s.item_id for s in after.items] == [
+            s.item_id for s in before.items
+        ]
+
+
+class TestMidRolloutPodDeath:
+    def test_dead_pod_is_skipped_and_converges_on_restart(
+        self, cluster, toy_clicks
+    ):
+        factory = fresh_factory(toy_clicks)
+        victim = sorted(cluster.pods)[-1]  # not a canary pod
+
+        def killing_probe(c, pods):
+            c.kill_pod(victim)
+            return CanaryStats(canary_requests=10, canary_failures=0)
+
+        report = controller(cluster).run(
+            factory, version="v000002", canary_probe=killing_probe
+        )
+        assert report.succeeded
+        assert victim in report.skipped_pods
+        # the dead pod converges to the committed version when restarted
+        cluster.restart_pod(victim)
+        info = cluster.rollout_info()
+        assert info["pod_versions"][victim] == "v000002"
+        assert info["consistent"]
+
+
+class TestVersionSkewTolerance:
+    def test_sessions_served_consistently_mid_rollout(self, cluster, toy_clicks):
+        factory = fresh_factory(toy_clicks)
+
+        def probing_probe(c, canary_pods):
+            # mid-rollout: canaries on v2, the rest still on v1 — every
+            # request must still be answered by the pod owning its key.
+            for i in range(20):
+                response = c.handle(
+                    RecommendationRequest(f"skew-{i}", 1, consent=False)
+                )
+                assert response.served_by == c.route_live(f"skew-{i}")
+            return CanaryStats(canary_requests=10, canary_failures=0)
+
+        report = controller(cluster).run(
+            factory, version="v000002", canary_probe=probing_probe
+        )
+        assert report.succeeded

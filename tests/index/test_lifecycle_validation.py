@@ -1,0 +1,212 @@
+"""Tests for click-log ingestion validation (repro.index.lifecycle.validation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.types import Click
+from repro.index.lifecycle.validation import (
+    ClickLogValidator,
+    IngestionPolicy,
+    MAX_QUARANTINE_SAMPLES,
+    ValidationReport,
+    validate_clicks,
+)
+
+
+def session(session_id, items, start=0, gap=30):
+    return [
+        Click(session_id, item, start + i * gap) for i, item in enumerate(items)
+    ]
+
+
+class TestPolicy:
+    def test_defaults_are_valid(self):
+        policy = IngestionPolicy()
+        assert policy.timestamp_policy == "repair"
+        assert policy.bot_policy == "reject"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"timestamp_policy": "ignore"},
+            {"bot_policy": "maybe"},
+            {"max_session_clicks": 0},
+            {"max_quarantine_rate": 1.5},
+        ],
+    )
+    def test_bad_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            IngestionPolicy(**kwargs)
+
+
+class TestCleanInput:
+    def test_clean_log_passes_through(self):
+        clicks = session(1, [10, 11, 12]) + session(2, [20, 21], start=500)
+        clean, report = validate_clicks(clicks)
+        assert clean == clicks
+        assert report.input_clicks == 5
+        assert report.accepted_clicks == 5
+        assert report.quarantined_clicks == 0
+        assert report.quarantine_rate == 0.0
+        assert report.issues == {}
+        assert report.acceptable(IngestionPolicy())
+
+    def test_empty_input(self):
+        clean, report = validate_clicks([])
+        assert clean == []
+        assert report.quarantine_rate == 0.0
+        assert report.acceptable(IngestionPolicy())
+
+    def test_input_is_never_mutated(self):
+        clicks = [Click(1, 10, 100), Click(1, 11, 50)]  # backwards clock
+        original = list(clicks)
+        validate_clicks(clicks)
+        assert clicks == original
+
+
+class TestMalformedClicks:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            Click(-1, 10, 0),
+            Click(1, -10, 0),
+            Click(1, 10, -5),
+        ],
+    )
+    def test_negative_fields_quarantined(self, bad):
+        clicks = session(2, [20, 21]) + [bad]
+        clean, report = validate_clicks(clicks)
+        assert bad not in clean
+        assert report.issues["malformed"] == 1
+        assert report.quarantined_clicks == 1
+
+    def test_sample_retained(self):
+        _, report = validate_clicks([Click(-1, 5, 0)])
+        assert report.samples[0][0] == "malformed"
+
+    def test_samples_capped(self):
+        clicks = [Click(-1, i, 0) for i in range(MAX_QUARANTINE_SAMPLES + 10)]
+        _, report = validate_clicks(clicks)
+        assert len(report.samples) == MAX_QUARANTINE_SAMPLES
+        assert report.issues["malformed"] == MAX_QUARANTINE_SAMPLES + 10
+
+
+class TestDuplicates:
+    def test_tracker_double_fire_dropped(self):
+        clicks = [Click(1, 10, 100), Click(1, 10, 100), Click(1, 11, 200)]
+        clean, report = validate_clicks(clicks)
+        assert len(clean) == 2
+        assert report.issues["duplicate"] == 1
+        assert report.quarantined_clicks == 1
+
+    def test_same_item_different_time_kept(self):
+        clicks = [Click(1, 10, 100), Click(1, 10, 200)]
+        clean, report = validate_clicks(clicks)
+        assert len(clean) == 2
+        assert "duplicate" not in report.issues
+
+
+class TestNonMonotonicTimestamps:
+    def test_repair_clamps_to_running_max(self):
+        clicks = [Click(1, 10, 100), Click(1, 11, 40), Click(1, 12, 150)]
+        clean, report = validate_clicks(
+            clicks, IngestionPolicy(timestamp_policy="repair")
+        )
+        assert [c.timestamp for c in clean] == [100, 100, 150]
+        assert [c.item_id for c in clean] == [10, 11, 12]  # arrival order kept
+        assert report.repaired_clicks == 1
+        assert report.issues["non_monotonic_repaired"] == 1
+        assert report.quarantined_clicks == 0
+
+    def test_reject_quarantines_whole_session(self):
+        clicks = [Click(1, 10, 100), Click(1, 11, 40)] + session(2, [20, 21])
+        clean, report = validate_clicks(
+            clicks, IngestionPolicy(timestamp_policy="reject")
+        )
+        assert all(c.session_id == 2 for c in clean)
+        assert report.quarantined_sessions == 1
+        assert report.quarantined_clicks == 2
+        assert report.issues["non_monotonic_session"] == 1
+
+    def test_repair_can_create_duplicates_which_dedupe_catches(self):
+        # clamping 40 -> 100 collides with the first (item, ts) pair
+        clicks = [Click(1, 10, 100), Click(1, 10, 40)]
+        clean, report = validate_clicks(clicks)
+        assert len(clean) == 1
+        assert report.repaired_clicks == 1
+        assert report.issues["duplicate"] == 1
+
+
+class TestBotSessions:
+    def test_long_session_rejected(self):
+        policy = IngestionPolicy(max_session_clicks=5)
+        clicks = session(1, range(10), gap=60) + session(2, [99, 98], start=9_999)
+        clean, report = validate_clicks(clicks, policy)
+        assert all(c.session_id == 2 for c in clean)
+        assert report.issues["bot_session_length"] == 1
+        assert report.quarantined_sessions == 1
+        assert report.quarantined_clicks == 10
+
+    def test_long_session_truncated_under_repair(self):
+        policy = IngestionPolicy(max_session_clicks=5, bot_policy="repair")
+        clicks = session(1, range(10), gap=60)
+        clean, report = validate_clicks(clicks, policy)
+        assert len(clean) == 5
+        assert report.issues["bot_truncated"] == 1
+        assert report.quarantined_clicks == 5
+
+    def test_machine_speed_session_always_rejected(self):
+        # 20 clicks in 2 seconds: inhuman even under the repair policy.
+        clicks = [Click(1, i, i // 10) for i in range(20)]
+        policy = IngestionPolicy(bot_policy="repair")
+        clean, report = validate_clicks(clicks, policy)
+        assert clean == []
+        assert report.issues["bot_click_rate"] == 1
+
+    def test_short_fast_session_is_not_a_bot(self):
+        # below bot_min_clicks the rate check never applies
+        clicks = [Click(1, i, i) for i in range(5)]
+        clean, report = validate_clicks(clicks)
+        assert len(clean) == 5
+        assert "bot_click_rate" not in report.issues
+
+
+class TestReportAccounting:
+    def test_every_click_accepted_or_quarantined_exactly_once(self):
+        policy = IngestionPolicy(max_session_clicks=5)
+        clicks = (
+            [Click(-1, 0, 0)]  # malformed
+            + [Click(1, 10, 100), Click(1, 10, 100)]  # duplicate
+            + [Click(2, 20, 100), Click(2, 21, 40)]  # backwards, repaired
+            + session(3, range(10), gap=60)  # bot length, rejected
+            + session(4, [7, 8, 9], start=5_000)  # clean
+        )
+        clean, report = validate_clicks(clicks, policy)
+        assert report.input_clicks == len(clicks)
+        assert report.accepted_clicks == len(clean)
+        assert (
+            report.accepted_clicks + report.quarantined_clicks
+            == report.input_clicks
+        )
+        assert report.quarantined_clicks == 1 + 1 + 10
+
+    def test_acceptable_threshold(self):
+        report = ValidationReport(input_clicks=100, quarantined_clicks=30)
+        assert not report.acceptable(IngestionPolicy(max_quarantine_rate=0.25))
+        assert report.acceptable(IngestionPolicy(max_quarantine_rate=0.30))
+
+    def test_summary_is_json_friendly(self):
+        import json
+
+        _, report = validate_clicks([Click(-1, 0, 0), Click(1, 1, 1)])
+        payload = json.loads(json.dumps(report.summary()))
+        assert payload["input_clicks"] == 2
+        assert payload["issues"] == {"malformed": 1}
+
+    def test_validator_class_reusable(self):
+        validator = ClickLogValidator()
+        for _ in range(2):
+            clean, report = validator.validate(session(1, [1, 2, 3]))
+            assert report.input_clicks == 3
+            assert len(clean) == 3

@@ -79,3 +79,59 @@ class TestBatchRules:
     def test_rejects_bad_m(self):
         with pytest.raises(ValueError):
             IncrementalIndexer(max_sessions_per_item=0)
+
+    def test_empty_batch_between_real_batches(self):
+        indexer = IncrementalIndexer()
+        indexer.apply_batch([Click(0, 1, 10)])
+        assert indexer.apply_batch([]) == 0
+        indexer.apply_batch([Click(1, 1, 20)])
+        assert indexer.index.num_sessions == 2
+
+    def test_rebuild_equivalent_of_nothing_is_empty(self):
+        index = rebuild_equivalent([], max_sessions_per_item=5)
+        assert index.num_sessions == 0
+        assert index.num_items == 0
+
+    def test_rebuild_equivalent_skips_empty_batches(self):
+        index = rebuild_equivalent(
+            [[], [Click(0, 1, 10)], []], max_sessions_per_item=5
+        )
+        assert index.num_sessions == 1
+
+
+class TestCapEviction:
+    def test_postings_capped_and_newest_kept(self):
+        """When a posting list exceeds m, the oldest sessions fall out —
+        the paper keeps the m most recent historic sessions per item."""
+        m = 3
+        indexer = IncrementalIndexer(max_sessions_per_item=m)
+        for session in range(6):
+            indexer.apply_batch([Click(session, 7, 100 * (session + 1))])
+        postings = indexer.index.item_to_sessions[7]
+        assert len(postings) == m
+        assert set(postings) == {3, 4, 5}  # the three newest sessions
+        timestamps = [indexer.index.session_timestamps[s] for s in postings]
+        assert timestamps == sorted(timestamps, reverse=True)  # newest first
+
+    def test_eviction_matches_full_rebuild(self):
+        m = 2
+        batches = [
+            [Click(s, item, s * 50 + i) for i, item in enumerate((1, 2))]
+            for s in range(5)
+        ]
+        indexer = IncrementalIndexer(max_sessions_per_item=m)
+        for batch in batches:
+            indexer.apply_batch(batch)
+        full = rebuild_equivalent(batches, max_sessions_per_item=m)
+        assert indexer.index.item_to_sessions == full.item_to_sessions
+
+    def test_eviction_does_not_drop_session_metadata(self):
+        """Evicted-from-postings sessions stay resolvable: an old session
+        can still appear in another item's (uncapped) posting list."""
+        indexer = IncrementalIndexer(max_sessions_per_item=1)
+        indexer.apply_batch([Click(0, 1, 10), Click(0, 2, 11)])
+        indexer.apply_batch([Click(1, 1, 20)])
+        assert indexer.index.item_to_sessions[1] == [1]  # capped, newest only
+        assert indexer.index.item_to_sessions[2] == [0]  # still points at 0
+        assert indexer.index.session_items[0] == (1, 2)
+        assert indexer.index.session_timestamps[0] == 11

@@ -110,6 +110,38 @@ class TestCorruptionDetection:
         with pytest.raises(ValueError, match="version"):
             deserialize_index(bytes(data))
 
+    def test_empty_payload_rejected(self):
+        with pytest.raises(ValueError):
+            deserialize_index(b"")
+
+    def test_truncation_at_every_length_raises_cleanly(self, toy_index):
+        """A partial download must always raise ValueError — never
+        deserialize into a silently incomplete index."""
+        data = serialize_index(toy_index)
+        for length in range(len(data)):
+            with pytest.raises(ValueError):
+                deserialize_index(data[:length])
+
+    @given(position=st.integers(0, 10**9), bit=st.integers(0, 7))
+    @settings(max_examples=60)
+    def test_any_bit_flip_detected(self, toy_index, position, bit):
+        data = bytearray(serialize_index(toy_index))
+        data[position % len(data)] ^= 1 << bit
+        with pytest.raises(ValueError):
+            deserialize_index(bytes(data))
+
+    def test_trailing_garbage_detected(self, toy_index):
+        data = serialize_index(toy_index)
+        with pytest.raises(ValueError):
+            deserialize_index(data + b"\x00\x01\x02")
+
+    def test_truncated_file_load_raises(self, toy_index, tmp_path):
+        path = tmp_path / "partial.vmis"
+        data = serialize_index(toy_index)
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(ValueError):
+            load_index(path)
+
     def test_queries_identical_after_roundtrip(self, small_log):
         from repro.core.vmis import VMISKNN
 

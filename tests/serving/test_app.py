@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.index import SessionIndex
+from repro.core.types import Click
 from repro.core.vmis import VMISKNN
 from repro.serving.app import ServingCluster
 from repro.serving.server import RecommendationRequest
@@ -86,6 +87,103 @@ class TestIndexRollout:
         cluster.rollout_index(lambda: VMISKNN(fresh_index, m=3, k=5))
         cluster.scale_to(2)
         assert cluster.pods["pod-1"].recommender.index is fresh_index
+
+
+class TestStagedSwap:
+    """Per-pod swap APIs used by the lifecycle RolloutController."""
+
+    def test_swap_single_pod_leaves_others_untouched(
+        self, toy_index, toy_clicks
+    ):
+        cluster = ServingCluster.with_index(
+            toy_index, num_pods=3, m=10, k=10, index_version="v1"
+        )
+        fresh = SessionIndex.from_clicks(toy_clicks, max_sessions_per_item=3)
+        cluster.swap_pod_recommender(
+            "pod-1", lambda: VMISKNN(fresh, m=3, k=5), version="v2"
+        )
+        assert cluster.pods["pod-1"].recommender.index is fresh
+        assert cluster.pods["pod-0"].recommender.index is toy_index
+        info = cluster.rollout_info()
+        assert info["pod_versions"] == {
+            "pod-0": "v1",
+            "pod-1": "v2",
+            "pod-2": "v1",
+        }
+        assert not info["consistent"]
+        assert info["committed_version"] == "v1"
+
+    def test_swap_invalidates_pod_result_cache(self, toy_index, toy_clicks):
+        """Regression: a swapped pod must never serve recommendations
+        cached under the previous index."""
+        cluster = ServingCluster.with_index(
+            toy_index, num_pods=1, m=10, k=10, cache_size=32
+        )
+        stale = cluster.handle(RecommendationRequest("swap-user", 1))
+        assert stale.items
+        # a one-session index: item 1 only co-occurs with item 9
+        replacement = SessionIndex.from_clicks(
+            [Click(90, 1, 900), Click(90, 9, 901)], max_sessions_per_item=3
+        )
+        cluster.swap_pod_recommender(
+            "pod-0",
+            lambda: VMISKNN(replacement, m=3, k=5, exclude_current_items=True),
+            version="v2",
+        )
+        fresh = cluster.handle(
+            RecommendationRequest("other-user", 1, consent=False)
+        )
+        assert [s.item_id for s in fresh.items] == [9]
+
+    def test_swap_closes_previous_recommender(self, toy_index, toy_clicks):
+        cluster = ServingCluster.with_index(
+            toy_index, num_pods=1, m=10, k=10, cache_size=32
+        )
+        old = cluster.pods["pod-0"].recommender
+        cluster.handle(RecommendationRequest("x", 1))
+        fresh = SessionIndex.from_clicks(toy_clicks, max_sessions_per_item=3)
+        cluster.swap_pod_recommender(
+            "pod-0", lambda: VMISKNN(fresh, m=3, k=5), version="v2"
+        )
+        assert cluster.pods["pod-0"].recommender is not old
+        assert old.cache_info()["size"] == 0  # closed: cache dropped
+
+    def test_commit_then_swap_converges_without_explicit_factory(
+        self, toy_index, toy_clicks
+    ):
+        cluster = ServingCluster.with_index(
+            toy_index, num_pods=2, m=10, k=10, index_version="v1"
+        )
+        fresh = SessionIndex.from_clicks(toy_clicks, max_sessions_per_item=3)
+        cluster.commit_index(lambda: VMISKNN(fresh, m=3, k=5), version="v2")
+        for pod_id in list(cluster.pods):
+            cluster.swap_pod_recommender(pod_id)
+        info = cluster.rollout_info()
+        assert info["consistent"]
+        assert set(info["pod_versions"].values()) == {"v2"}
+        for server in cluster.pods.values():
+            assert server.recommender.index is fresh
+
+    def test_restarted_pod_builds_committed_version(self, toy_index, toy_clicks):
+        cluster = ServingCluster.with_index(
+            toy_index, num_pods=2, m=10, k=10, index_version="v1"
+        )
+        fresh = SessionIndex.from_clicks(toy_clicks, max_sessions_per_item=3)
+        cluster.commit_index(lambda: VMISKNN(fresh, m=3, k=5), version="v2")
+        cluster.kill_pod("pod-1")
+        cluster.restart_pod("pod-1")
+        assert cluster.pods["pod-1"].recommender.index is fresh
+        assert cluster.rollout_info()["pod_versions"]["pod-1"] == "v2"
+
+    def test_rollout_info_tracks_kill_and_scale(self, toy_index):
+        cluster = ServingCluster.with_index(
+            toy_index, num_pods=3, m=10, k=10, index_version="v1"
+        )
+        cluster.kill_pod("pod-2")
+        info = cluster.rollout_info()
+        assert set(info["pod_versions"]) == {"pod-0", "pod-1"}
+        cluster.scale_to(1)
+        assert set(cluster.rollout_info()["pod_versions"]) == {"pod-0"}
 
 
 class TestBatchServing:

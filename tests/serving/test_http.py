@@ -223,6 +223,56 @@ class TestEndpoints:
         assert "hit_rate" in health["result_cache"]
 
 
+class TestLifecycleMetrics:
+    """Index-lifecycle observability on /metrics and /healthz (ISSUE PR 3)."""
+
+    @pytest.fixture()
+    def versioned_cluster(self, toy_index):
+        return ServingCluster.with_index(
+            toy_index, num_pods=2, m=10, k=10, index_version="v000007"
+        )
+
+    def test_metrics_export_index_version_per_pod(self, versioned_cluster):
+        service = SerenadeService(versioned_cluster)
+        lines = service.render_metrics().splitlines()
+        assert 'serenade_index_version{pod="pod-0"} 7' in lines
+        assert 'serenade_index_version{pod="pod-1"} 7' in lines
+        assert "serenade_rollout_state 0" in lines
+        assert "serenade_index_rollbacks_total 0" in lines
+
+    def test_metrics_track_rollout_state_and_rollbacks(self, versioned_cluster):
+        service = SerenadeService(versioned_cluster)
+        versioned_cluster.rollout_state = "rolled_back"
+        versioned_cluster.rollback_count = 2
+        lines = service.render_metrics().splitlines()
+        assert "serenade_rollout_state 4" in lines
+        assert "serenade_index_rollbacks_total 2" in lines
+        # counter sync is delta-based: a re-scrape must not double count
+        lines = service.render_metrics().splitlines()
+        assert "serenade_index_rollbacks_total 2" in lines
+
+    def test_metrics_follow_pod_version_skew(self, versioned_cluster, toy_clicks):
+        from repro.core.index import SessionIndex
+        from repro.core.vmis import VMISKNN
+
+        service = SerenadeService(versioned_cluster)
+        fresh = SessionIndex.from_clicks(toy_clicks, max_sessions_per_item=3)
+        versioned_cluster.swap_pod_recommender(
+            "pod-1", lambda: VMISKNN(fresh, m=3, k=5), version="v000008"
+        )
+        lines = service.render_metrics().splitlines()
+        assert 'serenade_index_version{pod="pod-0"} 7' in lines
+        assert 'serenade_index_version{pod="pod-1"} 8' in lines
+
+    def test_healthz_reports_rollout_info(self, versioned_cluster):
+        service = SerenadeService(versioned_cluster)
+        health = service.health()
+        assert health["index"]["committed_version"] == "v000007"
+        assert health["index"]["consistent"] is True
+        assert health["index"]["rollout_state"] == "idle"
+        assert health["index"]["rollback_count"] == 0
+
+
 class TestServiceDirect:
     def test_recommend_counts_metrics(self, toy_index):
         service = SerenadeService(
