@@ -134,3 +134,20 @@ def test_fig3a_microbenchmark_summary(benchmark, micro_results):
 
     assert all(r["VMIS-kNN"] < r["VS-kNN"] for r in micro_results.values())
     assert total_vmis <= total_noopt * 1.05  # allow 5% timing noise
+
+
+@pytest.mark.parametrize("m", [100, 500])
+def test_fig3a_micro_vmis_skewed_traffic(benchmark, skewed_workload, m):
+    """VMIS-kNN under the adversarial generator the oracle sweeps.
+
+    Power-law popularity concentrates postings on a few head items and
+    bot sessions inflate their lists further — the regime where the
+    m-recency truncation does the most work. Uses the same seeded
+    generator as the correctness suites (repro.testing.generators).
+    """
+    index = SessionIndex.from_clicks(
+        skewed_workload.clicks(), max_sessions_per_item=2**62
+    )
+    queries = skewed_workload.query_sessions(60)
+    model = VMISKNN(index, m=m, k=K)
+    benchmark(lambda: [model.find_neighbors(q) for q in queries])

@@ -16,6 +16,7 @@ from repro.core.index import SessionIndex
 from repro.data.clicklog import ClickLog
 from repro.data.split import TrainTestSplit, temporal_split
 from repro.data.synthetic import generate_clickstream
+from repro.testing.generators import WorkloadConfig, WorkloadGenerator
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -49,6 +50,28 @@ def bench_index(bench_split) -> SessionIndex:
 @pytest.fixture(scope="session")
 def bench_index_m500(bench_split) -> SessionIndex:
     return SessionIndex.from_clicks(bench_split.train, max_sessions_per_item=500)
+
+
+@pytest.fixture(scope="session")
+def skewed_workload() -> WorkloadGenerator:
+    """A seeded adversarial workload shared with the correctness suites.
+
+    Power-law popularity plus bot bursts — the same generator the
+    differential oracle sweeps (:mod:`repro.testing.generators`), sized
+    up for timing runs, so benchmarks and tests exercise one traffic
+    model instead of two drifting ones.
+    """
+    return WorkloadGenerator(
+        WorkloadConfig(
+            seed=2022,
+            num_sessions=10_000,
+            num_items=2_000,
+            max_session_length=8,
+            popularity_exponent=1.2,
+            bot_fraction=0.01,
+            bot_session_length=40,
+        )
+    )
 
 
 @pytest.fixture(scope="session")

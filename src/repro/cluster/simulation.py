@@ -22,7 +22,7 @@ from __future__ import annotations
 import heapq
 import time
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Callable, Iterable
 
 from repro.cluster.loadgen import TimedRequest
 from repro.cluster.metrics import BucketStats, LatencyRecorder, TimelineAggregator
@@ -55,17 +55,23 @@ class ClusterSimulator:
         cluster: ServingCluster,
         cores_per_pod: int = 3,
         sla_millis: float = 50.0,
+        perf_clock: Callable[[], float] | None = None,
     ) -> None:
         """Args:
         cluster: the serving cluster under test (real code).
         cores_per_pod: cores provisioned per pod (the paper uses three).
         sla_millis: the business SLA — 50 ms at bol.com.
+        perf_clock: injectable service-time clock. ``None`` measures real
+            compute with ``time.perf_counter``; deterministic tests inject
+            a :class:`~repro.testing.clock.VirtualClock` and model service
+            time by advancing it inside the recommender.
         """
         if cores_per_pod < 1:
             raise ValueError("cores_per_pod must be >= 1")
         self.cluster = cluster
         self.cores_per_pod = cores_per_pod
         self.sla_millis = sla_millis
+        self._perf = perf_clock if perf_clock is not None else time.perf_counter
 
     def run(
         self,
@@ -87,11 +93,12 @@ class ClusterSimulator:
         violations = 0
         total = 0
 
+        perf = self._perf
         for timed in arrivals:
             pod_id = self.cluster.router.route(timed.request.session_key)
-            started = time.perf_counter()
+            started = perf()
             response = self.cluster.pods[pod_id].handle(timed.request)
-            service = time.perf_counter() - started
+            service = perf() - started
             del response
 
             cores = free_at[pod_id]

@@ -21,8 +21,10 @@ this module implements all of them behind the ordinary
   historical sessions are partitioned (never split) across shards, each
   shard's candidate map holds exact global similarities for its sessions,
   and the merge — keep the ``m`` most recent candidates, then the top-k by
-  similarity — reproduces the serial result exactly whenever session
-  timestamps are distinct.
+  similarity — reproduces the serial result exactly, including on tied
+  timestamps and tied similarity scores (both paths break ties on the
+  internal session id; the differential oracle in
+  :mod:`repro.testing.oracle` holds them to bit-equality).
 * **Caching** — an LRU result cache keyed on
   ``(session_items_suffix, how_many)`` with hit/miss counters. The
   default key is the *full* session tuple, so hits are always
@@ -233,7 +235,7 @@ class BatchPredictionEngine:
             to ``recommend`` by construction. ``"index"`` splits the
             *index* across workers and merges per-shard neighbour
             candidates with the serial path's bounded heaps — identical
-            whenever session timestamps are distinct.
+            to the serial result, ties included.
         cache_size: LRU capacity; ``0`` disables caching.
         cache_suffix: cache on the last N items only (``None`` = the full
             session, always exact).
@@ -545,9 +547,12 @@ class BatchPredictionEngine:
                 model.m, merged, key=lambda sid: (timestamps[sid], sid)
             )
             merged = {sid: merged[sid] for sid in kept}
+        # Internal session ids ascend with (timestamp, external id), so the
+        # id tiebreak reproduces the serial path's deterministic
+        # (similarity, timestamp, id) neighbour order even on exact ties.
         top = BoundedTopK[SessionId](model.k, model.heap_arity)
         for session_id, similarity in merged.items():
-            top.offer(similarity, timestamps[session_id], session_id)
+            top.offer(similarity, session_id, session_id)
         neighbors = [(sid, sim) for sim, _, sid in top.descending()]
         scores = score_items(
             model.index,

@@ -200,15 +200,23 @@ class MostRecentTracker(Generic[Payload]):
         """Timestamp of the oldest retained entry (the heap root)."""
         return self._heap.peek()[0]
 
-    def add(self, timestamp: float, payload: Payload) -> None:
-        """Add an entry; caller must have ensured capacity is available."""
+    def add(
+        self, timestamp: float, payload: Payload, tiebreak: float = 0.0
+    ) -> None:
+        """Add an entry; caller must have ensured capacity is available.
+
+        ``tiebreak`` orders entries sharing a timestamp (VMIS-kNN passes
+        the internal session id so retention is deterministic on ties).
+        """
         if self.is_full:
             raise OverflowError("tracker is full; use displace_oldest")
-        self._heap.push(timestamp, 0.0, payload)
+        self._heap.push(timestamp, tiebreak, payload)
 
-    def displace_oldest(self, timestamp: float, payload: Payload) -> Payload:
+    def displace_oldest(
+        self, timestamp: float, payload: Payload, tiebreak: float = 0.0
+    ) -> Payload:
         """Replace the oldest entry with a more recent one; return evictee."""
-        _, _, evicted = self._heap.replace_root(timestamp, 0.0, payload)
+        _, _, evicted = self._heap.replace_root(timestamp, tiebreak, payload)
         return evicted
 
     def payloads(self) -> list[Payload]:

@@ -16,6 +16,14 @@ intermediate state stays proportional to the output:
 * a bounded top-k heap selects the final neighbours, breaking score ties
   towards more recent sessions.
 
+Both heaps break exact ties deterministically on the internal session id.
+Internal ids are assigned in ascending ``(timestamp, external id)`` order
+at index build time, so the id ordering *refines* the timestamp ordering —
+which makes the retained sample and the selected top-k bit-identical to
+VS-kNN's ``sorted(candidates, key=(timestamp, session_id))`` reference
+semantics even when many sessions share a timestamp (the divergence the
+differential oracle in :mod:`repro.testing.oracle` originally caught).
+
 ``heap_arity=8`` (octonary heaps) and ``early_stopping=True`` are the
 micro-optimisations evaluated in Figure 3(a) bottom; disable both to get
 the paper's "VMIS-kNN-no-opt" variant.
@@ -180,7 +188,11 @@ class VMISKNN(BatchMixin):
         heap_replace = recent_heap.replace_root
         heap_entries = recent_heap._entries
         retained = 0  # |r|; cheaper than len() calls in the hot loop
-        oldest_retained = 0.0  # timestamp at the heap root while full
+        # (timestamp, session id) at the heap root while full; ties on the
+        # timestamp are broken on the id so retention matches VS-kNN's
+        # sorted-by-(timestamp, id) recency sample exactly.
+        oldest_ts = 0.0
+        oldest_sid = 0
 
         # Item intersection loop (Line 12): distinct items, newest first.
         for item in unique_items_reversed(session_items):
@@ -195,32 +207,46 @@ class VMISKNN(BatchMixin):
                 timestamp = timestamps[session_id]
                 if retained < m:
                     similarities[session_id] = decay_weight
-                    heap_push(timestamp, 0.0, session_id)
+                    heap_push(timestamp, session_id, session_id)
                     retained += 1
                     if retained == m:
-                        oldest_retained = heap_entries[0][0]
-                elif timestamp > oldest_retained:
-                    _, _, evicted = heap_replace(timestamp, 0.0, session_id)
+                        root = heap_entries[0]
+                        oldest_ts, oldest_sid = root[0], root[1]
+                elif timestamp > oldest_ts or (
+                    timestamp == oldest_ts and session_id > oldest_sid
+                ):
+                    _, _, evicted = heap_replace(
+                        timestamp, session_id, session_id
+                    )
                     del similarities[evicted]
                     similarities[session_id] = decay_weight
-                    oldest_retained = heap_entries[0][0]
-                elif early_stopping:
+                    root = heap_entries[0]
+                    oldest_ts, oldest_sid = root[0], root[1]
+                elif early_stopping and timestamp < oldest_ts:
                     # Postings are sorted newest-first: every remaining
                     # session in this list is at least as old (Line 32).
+                    # A tie with the root must keep scanning — a later
+                    # entry may share the timestamp yet win on the id.
                     break
         return similarities
 
     def _top_neighbors(
         self, similarities: dict[SessionId, float]
     ) -> list[tuple[SessionId, float]]:
-        """Top-k similarity loop (Lines 33-38), ties favour recency."""
+        """Top-k similarity loop (Lines 33-38), ties favour recency.
+
+        The internal session id is the tiebreak: ids ascend with
+        ``(timestamp, external id)`` at build time, so ordering by
+        ``(similarity, id)`` equals ordering by
+        ``(similarity, timestamp, id)`` — a total, deterministic order
+        that matches VS-kNN's reference sort even on exact score ties.
+        """
         if not similarities:
             return []
-        timestamps = self.index.session_timestamps
         top = BoundedTopK[SessionId](self.k, self.heap_arity)
         offer = top.offer
         for session_id, similarity in similarities.items():
-            offer(similarity, timestamps[session_id], session_id)
+            offer(similarity, session_id, session_id)
         return [(sid, sim) for sim, _, sid in top.descending()]
 
     def recommend(

@@ -16,7 +16,13 @@ from typing import Iterable, Sequence
 from repro.core.index import SessionIndex
 from repro.core.predictor import BatchMixin
 from repro.core.scoring import score_items, top_n
-from repro.core.types import Click, ItemId, ScoredItem, SessionId
+from repro.core.types import (
+    Click,
+    ItemId,
+    ScoredItem,
+    SessionId,
+    unique_items_reversed,
+)
 from repro.core.weights import DecayFn, decay_weights, MatchWeightFn
 
 
@@ -96,14 +102,20 @@ class VSKNN(BatchMixin):
         sample = sorted(candidates, key=lambda sid: (timestamps[sid], sid))
         sample = sample[-self.m :]
 
-        # Line 7: decayed dot-product similarity against each sampled session.
+        # Line 7: decayed dot-product similarity against each sampled
+        # session. The shared items are summed in the intersection-loop
+        # order of Algorithm 2 (distinct evolving-session items, newest
+        # first) so the floating-point sums are bit-identical to
+        # VMIS-kNN's — summation order matters for exact equivalence.
         weights = decay_weights(session_items, self.decay)
+        query_items = [
+            item for item in unique_items_reversed(session_items)
+        ]
         scored: list[tuple[float, int, SessionId]] = []
         for session_id in sample:
+            neighbor_items = set(self.index.items_of(session_id))
             similarity = sum(
-                weights[item]
-                for item in self.index.items_of(session_id)
-                if item in weights
+                weights[item] for item in query_items if item in neighbor_items
             )
             if similarity > 0.0:
                 scored.append((similarity, timestamps[session_id], session_id))

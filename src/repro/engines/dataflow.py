@@ -141,9 +141,12 @@ class SessionSimilarityDataflow:
     def top_k(self, k: int) -> list[tuple[SessionId, float]]:
         """Read the maintained similarities and rank the top-k."""
         timestamps = self._index.session_timestamps
+        # (similarity, timestamp, id) — the id tie-break matches the core
+        # implementations, so exact similarity/timestamp ties rank the
+        # same neighbours here as in VMIS-kNN.
         ranked = sorted(
             self._similarities.sums.items(),
-            key=lambda kv: (kv[1], timestamps[kv[0]]),
+            key=lambda kv: (kv[1], timestamps[kv[0]], kv[0]),
             reverse=True,
         )
         return ranked[:k]

@@ -118,9 +118,15 @@ class HashmapVMIS(BatchMixin):
                 cell[1] += decay_weight
 
         # Keep the m most recent candidates via a full sort (no heap).
+        # Ties on timestamp fall back to the session id, matching the
+        # core implementations' (timestamp, id) retention order.
         timestamps = index.session_timestamps
         candidates = gc.allocate(
-            sorted(similarities, key=lambda sid: timestamps[sid], reverse=True)
+            sorted(
+                similarities,
+                key=lambda sid: (timestamps[sid], sid),
+                reverse=True,
+            )
         )
         recent = candidates[: self.m]
 

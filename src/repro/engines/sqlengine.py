@@ -227,13 +227,22 @@ class SQLVMIS(BatchMixin):
         )
 
         # Recency window: keep the m most recent matching sessions.
+        # session_id is the final ORDER BY key both times: internal ids
+        # ascend with (timestamp, external id), so this reproduces the
+        # core implementations' deterministic tie-breaks exactly.
         recent = executor.limit(
-            executor.order_by(similarities, ["ts"], descending=True), self.m
+            executor.order_by(
+                similarities, ["ts", "session_id"], descending=True
+            ),
+            self.m,
         )
 
-        # neighbors := top-k by similarity (ties by recency).
+        # neighbors := top-k by similarity (ties by recency, then id).
         neighbors = executor.limit(
-            executor.order_by(recent, ["sim", "ts"], descending=True), self.k
+            executor.order_by(
+                recent, ["sim", "ts", "session_id"], descending=True
+            ),
+            self.k,
         )
 
         # Item scores: neighbors JOIN session_items, weighted aggregate.

@@ -35,6 +35,7 @@ SLA guardrails (:mod:`repro.serving.resilience`) are opt-in via a
 
 from __future__ import annotations
 
+import time
 from pathlib import Path
 from typing import Callable, Sequence
 
@@ -83,6 +84,7 @@ class ServingCluster:
         static_items: Sequence[ScoredItem] = (),
         wal_dir: str | Path | None = None,
         index_version: str | None = None,
+        perf_clock: Clock | None = None,
     ) -> None:
         """Build the cluster.
 
@@ -106,6 +108,12 @@ class ServingCluster:
             index_version: label of the index version the factory builds
                 (e.g. a registry version id); surfaced per pod in
                 ``rollout_info()`` and ``/metrics``.
+            perf_clock: injectable time source for service-time
+                measurement and the guardrail machinery (deadlines,
+                breakers, admission control). ``None`` keeps real
+                monotonic clocks; the deterministic simulation layer
+                (:mod:`repro.testing.simulation`) injects a
+                :class:`~repro.testing.clock.VirtualClock` here.
         """
         if num_pods < 1:
             raise ValueError("num_pods must be >= 1")
@@ -118,11 +126,15 @@ class ServingCluster:
         self.resilience = resilience
         self._fallback_factory = fallback_factory
         self._static_items = tuple(static_items)
+        self._perf_clock = perf_clock
+        self._guard_clock: Clock = (
+            perf_clock if perf_clock is not None else time.monotonic
+        )
         self.wal_dir = Path(wal_dir) if wal_dir is not None else None
         if self.wal_dir is not None:
             self.wal_dir.mkdir(parents=True, exist_ok=True)
         self.admission: AdmissionController | None = (
-            AdmissionController(resilience.queue_capacity)
+            AdmissionController(resilience.queue_capacity, clock=self._guard_clock)
             if resilience is not None
             else None
         )
@@ -159,22 +171,27 @@ class ServingCluster:
             )
         if self.resilience is not None:
             recommender = ResilientRecommender(
-                self._build_chain(recommender), self.resilience
+                self._build_chain(recommender),
+                self.resilience,
+                clock=self._guard_clock,
             )
         return recommender
 
     def _build_chain(self, primary: SessionRecommender) -> FallbackChain:
         policy = self.resilience
         assert policy is not None
+        clock = self._guard_clock
         stages = [
-            FallbackStage("primary", primary, CircuitBreaker.from_policy(policy))
+            FallbackStage(
+                "primary", primary, CircuitBreaker.from_policy(policy, clock)
+            )
         ]
         if self._fallback_factory is not None:
             stages.append(
                 FallbackStage(
                     "fallback",
                     self._fallback_factory(),
-                    CircuitBreaker.from_policy(policy),
+                    CircuitBreaker.from_policy(policy, clock),
                 )
             )
         return FallbackChain(
@@ -182,6 +199,8 @@ class ServingCluster:
             terminal=StaticRecommender(self._static_items),
             reserve_seconds=policy.fallback_reserve_ms / 1000.0,
             stage_workers=policy.stage_workers,
+            clock=clock,
+            inline_stages=policy.inline_stages,
         )
 
     def _pod_wal_path(self, pod_id: str) -> str | None:
@@ -203,6 +222,7 @@ class ServingCluster:
             clock=clock,
             record_service_times=record_service_times,
             wal_path=self._pod_wal_path(pod_id),
+            perf_clock=self._perf_clock,
         )
         self.pods[pod_id] = server
         self.pod_versions[pod_id] = self.index_version

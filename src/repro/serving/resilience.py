@@ -66,6 +66,14 @@ class ResiliencePolicy:
     queue_capacity: int = 256
     #: worker threads per pod that execute deadline-bounded stage calls.
     stage_workers: int = 8
+    #: run stages synchronously on the caller thread instead of the worker
+    #: pool. A stage that stalls then *burns* budget rather than being
+    #: abandoned at its timeout — only safe with recommenders that cannot
+    #: block on real time, which is exactly the deterministic-simulation
+    #: configuration (:mod:`repro.testing.simulation`): stages "stall" by
+    #: advancing a virtual clock, and the chain observes the burned budget
+    #: after the call returns.
+    inline_stages: bool = False
 
     def budget(self, clock: Clock = time.monotonic) -> Deadline:
         return Deadline(self.budget_ms / 1000.0, clock=clock)
@@ -297,6 +305,7 @@ class FallbackChain:
         reserve_seconds: float = 0.008,
         stage_workers: int = 8,
         clock: Clock = time.monotonic,
+        inline_stages: bool = False,
     ) -> None:
         if not stages:
             raise ValueError("a fallback chain needs at least one stage")
@@ -305,9 +314,19 @@ class FallbackChain:
         self.terminal_name = getattr(terminal, "name", "static-rules")
         self.reserve_seconds = reserve_seconds
         self._clock = clock
-        self._pool = ThreadPoolExecutor(
-            max_workers=stage_workers, thread_name_prefix="repro-resilience"
-        )
+        self.inline_stages = inline_stages
+        self._stage_workers = stage_workers
+        # Lazily built: an inline chain (deterministic simulation) never
+        # spins up threads at all.
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _get_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._stage_workers,
+                thread_name_prefix="repro-resilience",
+            )
+        return self._pool
 
     @classmethod
     def from_index(
@@ -341,6 +360,7 @@ class FallbackChain:
             reserve_seconds=policy.fallback_reserve_ms / 1000.0,
             stage_workers=policy.stage_workers,
             clock=clock,
+            inline_stages=policy.inline_stages,
         )
 
     def run(
@@ -364,7 +384,34 @@ class FallbackChain:
                 deadline_exceeded = True
                 break
             stage.calls += 1
-            future = self._pool.submit(
+            if self.inline_stages:
+                # Synchronous execution: the stage cannot be abandoned
+                # mid-call, so a timeout is detected *after* the call — the
+                # stage "took too long" iff it burned the budget down past
+                # the reserve, the same condition the pooled path enforces
+                # with ``future.result(timeout=remaining - reserve)``.
+                try:
+                    result = stage.recommender.recommend(items, how_many)
+                except Exception:
+                    stage.failures += 1
+                    errors += 1
+                    stage.breaker.record_failure()
+                    continue
+                if deadline.remaining() < self.reserve_seconds:
+                    stage.timeouts += 1
+                    stage.breaker.record_failure()
+                    deadline_exceeded = True
+                    continue
+                stage.successes += 1
+                stage.breaker.record_success()
+                return StageOutcome(
+                    items=result,
+                    stage=stage.name,
+                    degraded=position > 0,
+                    deadline_exceeded=deadline_exceeded,
+                    errors=errors,
+                )
+            future = self._get_pool().submit(
                 stage.recommender.recommend, items, how_many
             )
             try:
@@ -409,7 +456,8 @@ class FallbackChain:
     def close(self) -> None:
         # wait=False: abandoned stage calls may still be sleeping; the
         # request path must never block on them, and neither should close.
-        self._pool.shutdown(wait=False)
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
 
 
 class ResilientRecommender:

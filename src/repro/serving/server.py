@@ -83,6 +83,7 @@ class RecommendationServer:
         clock: Clock | None = None,
         record_service_times: bool = True,
         wal_path: str | None = None,
+        perf_clock: Clock | None = None,
     ) -> None:
         self.pod_id = pod_id
         self.recommender = recommender
@@ -92,6 +93,10 @@ class RecommendationServer:
         )
         self.stats = ServerStats()
         self._record_service_times = record_service_times
+        # Service-time measurement clock. Injectable so the deterministic
+        # simulation layer can measure *virtual* elapsed time instead of
+        # real CPU time, making latency assertions exact.
+        self._perf = perf_clock if perf_clock is not None else time.perf_counter
 
     def replace_recommender(self, recommender: SessionRecommender) -> None:
         """Swap in a freshly built index replica (the daily rollout).
@@ -111,7 +116,8 @@ class RecommendationServer:
 
     def handle(self, request: RecommendationRequest) -> RecommendationResponse:
         """Process one request: update state, predict, filter."""
-        started = time.perf_counter()
+        perf = self._perf
+        started = perf()
         if request.consent:
             items = self.sessions.append_click(request.session_key, request.item_id)
             visible = session_view(items, request.variant, request.item_id)
@@ -122,13 +128,13 @@ class RecommendationServer:
             visible = session_view(
                 [], ServingVariant.DEPERSONALISED, request.item_id
             )
-        store_done = time.perf_counter()
+        store_done = perf()
         raw = self.recommender.recommend(
             visible, how_many=request.how_many * OVERFETCH_FACTOR
         )
-        predict_done = time.perf_counter()
+        predict_done = perf()
         final = self.rules.apply(raw, visible, request.how_many)
-        elapsed = time.perf_counter() - started
+        elapsed = perf() - started
         self.stats.store_seconds += store_done - started
         self.stats.predict_seconds += predict_done - store_done
 

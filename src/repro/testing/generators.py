@@ -1,0 +1,201 @@
+"""Seeded workload generators shared by tests and benchmarks.
+
+Everything here is a pure function of a :class:`WorkloadConfig` — same
+config, same workload, on every machine and every run. The generators
+deliberately produce the *adversarial* shapes real e-commerce traffic
+has and uniform random data does not:
+
+* **power-law item popularity** (``popularity_exponent``) — a few head
+  items appear in most sessions, so posting lists are long and the
+  early-stopping path of Algorithm 2 actually triggers;
+* **coarse timestamps** (``timestamp_granularity``) — many sessions
+  share a timestamp, exercising every tie-breaking branch of the
+  ``m``-most-recent sample and the top-k heap (the divergence class the
+  differential oracle originally caught);
+* **bursty sessions** (``bursty_fraction``) — a cluster of sessions
+  lands inside one narrow time window, the flash-crowd shape;
+* **bot bursts** (``bot_fraction``) — long sessions hammering a tiny
+  item pool, inflating head-item posting lists further.
+
+Only the stdlib :mod:`random` is used (no numpy), and every public
+method derives its own :class:`random.Random` from the config seed, so
+calling methods in any order — or skipping some — never changes what the
+others produce.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Iterator, Sequence
+
+from repro.core.types import Click, ItemId
+
+__all__ = ["WorkloadConfig", "WorkloadGenerator", "workload_corpus"]
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Knobs of one generated workload (hashable, replayable by value)."""
+
+    seed: int = 0
+    num_sessions: int = 30
+    num_items: int = 25
+    min_session_length: int = 1
+    max_session_length: int = 5
+    #: Zipf-like skew of item popularity; 0.0 = uniform.
+    popularity_exponent: float = 1.1
+    #: timestamps are quantised down to multiples of this (0 = distinct),
+    #: directly controlling how many sessions tie on a timestamp.
+    timestamp_granularity: float = 100.0
+    start_time: float = 1_000.0
+    time_span: float = 5_000.0
+    #: fraction of sessions compressed into one narrow burst window.
+    bursty_fraction: float = 0.0
+    #: fraction of sessions that are bots (long, tiny item pool).
+    bot_fraction: float = 0.0
+    bot_session_length: int = 20
+    bot_item_pool: int = 3
+
+    def __post_init__(self) -> None:
+        if self.num_sessions < 1 or self.num_items < 1:
+            raise ValueError("need at least one session and one item")
+        if not 1 <= self.min_session_length <= self.max_session_length:
+            raise ValueError("session length bounds are inconsistent")
+        for name in ("popularity_exponent", "timestamp_granularity"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+        for name in ("bursty_fraction", "bot_fraction"):
+            if not 0.0 <= getattr(self, name) <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+
+
+class WorkloadGenerator:
+    """Deterministic click-log / query / schedule generator."""
+
+    def __init__(self, config: WorkloadConfig | None = None, **overrides) -> None:
+        self.config = replace(config or WorkloadConfig(), **overrides)
+        cfg = self.config
+        # Unnormalised power-law popularity weights over item ids; used
+        # with random.choices (which normalises internally).
+        self._item_weights = [
+            1.0 / (rank + 1) ** cfg.popularity_exponent
+            for rank in range(cfg.num_items)
+        ]
+
+    def _rng(self, stream: int) -> random.Random:
+        """An independent RNG per generator method (order-insensitive)."""
+        return random.Random(self.config.seed * 1_000_003 + stream)
+
+    def _draw_items(self, rng: random.Random, length: int, pool: int | None = None) -> list[ItemId]:
+        if pool is None:
+            return rng.choices(
+                range(self.config.num_items),
+                weights=self._item_weights,
+                k=length,
+            )
+        pool = min(pool, self.config.num_items)
+        return [rng.randrange(pool) for _ in range(length)]
+
+    def _session_timestamp(self, rng: random.Random, bursty: bool) -> float:
+        cfg = self.config
+        if bursty:
+            # The burst window is one granule wide at mid-span.
+            width = cfg.timestamp_granularity or cfg.time_span / 100.0
+            raw = cfg.start_time + cfg.time_span / 2.0 + rng.uniform(0.0, width)
+        else:
+            raw = cfg.start_time + rng.uniform(0.0, cfg.time_span)
+        if cfg.timestamp_granularity > 0:
+            raw = (raw // cfg.timestamp_granularity) * cfg.timestamp_granularity
+        return raw
+
+    def clicks(self) -> list[Click]:
+        """The historical click log: one list of :class:`Click` events.
+
+        All clicks of a session share its timestamp (the index keys
+        recency on the session, not on individual clicks), so timestamp
+        ties across sessions survive index construction intact.
+        """
+        cfg = self.config
+        rng = self._rng(1)
+        num_bots = round(cfg.num_sessions * cfg.bot_fraction)
+        num_bursty = round(cfg.num_sessions * cfg.bursty_fraction)
+        out: list[Click] = []
+        for session_id in range(cfg.num_sessions):
+            is_bot = session_id < num_bots
+            bursty = session_id < num_bots + num_bursty and not is_bot
+            timestamp = self._session_timestamp(rng, bursty)
+            if is_bot:
+                items = self._draw_items(
+                    rng, cfg.bot_session_length, pool=cfg.bot_item_pool
+                )
+            else:
+                length = rng.randint(
+                    cfg.min_session_length, cfg.max_session_length
+                )
+                items = self._draw_items(rng, length)
+            out.extend(Click(session_id, item, timestamp) for item in items)
+        return out
+
+    def query_sessions(self, count: int) -> list[list[ItemId]]:
+        """Evolving sessions to predict for (popularity-skewed draws)."""
+        cfg = self.config
+        rng = self._rng(2)
+        return [
+            self._draw_items(
+                rng,
+                rng.randint(cfg.min_session_length, cfg.max_session_length),
+            )
+            for _ in range(count)
+        ]
+
+    def arrival_times(self, duration: float, rate: float) -> Iterator[float]:
+        """Poisson arrival instants over ``[0, duration)`` seconds."""
+        rng = self._rng(3)
+        now = 0.0
+        while True:
+            now += rng.expovariate(rate)
+            if now >= duration:
+                return
+            yield now
+
+    def chaos_kill_times(
+        self, pod_ids: Sequence[str], duration: float, restart_after: float | None = None
+    ) -> list[tuple[float, str, float | None]]:
+        """Seeded ``(at_time, pod_id, restart_at)`` kill plans.
+
+        Returned as plain tuples so callers build a
+        :class:`~repro.cluster.chaos.PodKill` schedule without this
+        module importing the serving stack (generators stay core-only).
+        """
+        rng = self._rng(4)
+        plans = []
+        for pod_id in pod_ids:
+            at = rng.uniform(duration * 0.2, duration * 0.7)
+            restart = at + restart_after if restart_after is not None else None
+            plans.append((at, pod_id, restart))
+        return sorted(plans)
+
+
+def workload_corpus(count: int, base_seed: int = 0) -> list[WorkloadConfig]:
+    """``count`` diverse workload configs for differential sweeps.
+
+    Rotates through the adversarial regimes — uniform, skewed, all-tied
+    timestamps, bursty, bot-heavy, single-item — so a corpus of 200
+    covers each regime dozens of times with different seeds.
+    """
+    regimes = [
+        dict(popularity_exponent=0.0, timestamp_granularity=0.0),
+        dict(popularity_exponent=1.3, timestamp_granularity=100.0),
+        dict(timestamp_granularity=10_000.0),  # every timestamp ties
+        dict(bursty_fraction=0.5, timestamp_granularity=500.0),
+        dict(bot_fraction=0.2, bot_item_pool=2),
+        dict(num_items=3, max_session_length=4),  # dense collisions
+        dict(num_sessions=4, num_items=5),  # tiny: m truncation edge
+        dict(num_sessions=60, max_session_length=8),
+    ]
+    corpus = []
+    for i in range(count):
+        regime = regimes[i % len(regimes)]
+        corpus.append(WorkloadConfig(seed=base_seed + i, **regime))
+    return corpus

@@ -1,0 +1,124 @@
+"""Hypothesis strategies and pinned profiles for the correctness suites.
+
+Strategies mirror the adversarial shapes of
+:mod:`repro.testing.generators` (few items, coarse timestamps, heavy
+collisions) so Hypothesis explores the tie-breaking and truncation edges
+rather than blandly-unique data.
+
+Profiles pin Hypothesis behaviour per environment:
+
+* ``dev`` — the local default: normal randomised exploration.
+* ``ci`` — derandomised (fixed seed), no per-example deadline (shared CI
+  runners have noisy clocks) and a bounded example count, so CI failures
+  replay bit-identically with ``HYPOTHESIS_PROFILE=ci``.
+* ``differential`` — the heavyweight profile for ``pytest -m
+  differential``: derandomised, deadline-free, more examples.
+
+``install_profiles`` registers all three and activates the one named by
+the ``HYPOTHESIS_PROFILE`` environment variable; tests/conftest.py calls
+it at import time.
+"""
+
+from __future__ import annotations
+
+import os
+
+from hypothesis import HealthCheck, settings
+from hypothesis import strategies as st
+
+from repro.core.types import Click
+from repro.testing.oracle import HyperParams
+
+__all__ = [
+    "click_logs",
+    "evolving_sessions",
+    "hyperparams",
+    "install_profiles",
+]
+
+
+def install_profiles(default: str = "dev") -> str:
+    """Register the pinned profiles; activate ``$HYPOTHESIS_PROFILE``.
+
+    Returns the name of the activated profile.
+    """
+    settings.register_profile("dev", max_examples=50, deadline=None)
+    settings.register_profile(
+        "ci",
+        max_examples=50,
+        derandomize=True,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+        print_blob=True,
+    )
+    settings.register_profile(
+        "differential",
+        max_examples=200,
+        derandomize=True,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+        print_blob=True,
+    )
+    profile = os.environ.get("HYPOTHESIS_PROFILE", default)
+    settings.load_profile(profile)
+    return profile
+
+
+@st.composite
+def click_logs(
+    draw,
+    max_sessions: int = 10,
+    max_items: int = 6,
+    max_session_length: int = 4,
+    timestamp_buckets: int = 4,
+) -> list[Click]:
+    """A small historical click log with aggressive collisions.
+
+    Item ids and timestamps are drawn from tiny pools, so shared items
+    and tied timestamps — the inputs that distinguish implementations —
+    occur in almost every example.
+    """
+    num_sessions = draw(st.integers(min_value=1, max_value=max_sessions))
+    clicks: list[Click] = []
+    for session_id in range(num_sessions):
+        timestamp = (
+            draw(st.integers(min_value=0, max_value=timestamp_buckets - 1))
+            * 100.0
+        )
+        length = draw(st.integers(min_value=1, max_value=max_session_length))
+        items = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=max_items - 1),
+                min_size=length,
+                max_size=length,
+            )
+        )
+        clicks.extend(Click(session_id, item, timestamp) for item in items)
+    return clicks
+
+
+@st.composite
+def evolving_sessions(
+    draw, max_items: int = 6, max_length: int = 5
+) -> list[int]:
+    """An evolving session over the same tiny item pool."""
+    return draw(
+        st.lists(
+            st.integers(min_value=0, max_value=max_items - 1),
+            min_size=1,
+            max_size=max_length,
+        )
+    )
+
+
+def hyperparams(max_m: int = 8, max_k: int = 8) -> st.SearchStrategy[HyperParams]:
+    """(m, k, π, λ) combinations, biased to small m/k (sampling pressure)."""
+    return st.builds(
+        HyperParams,
+        m=st.integers(min_value=1, max_value=max_m),
+        k=st.integers(min_value=1, max_value=max_k),
+        decay=st.sampled_from(
+            ["linear", "quadratic", "log", "harmonic", "uniform"]
+        ),
+        match_weight=st.sampled_from(["paper", "uniform", "reciprocal"]),
+    )

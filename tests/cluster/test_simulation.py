@@ -9,6 +9,7 @@ from repro.cluster.simulation import ClusterSimulator, format_timeline
 from repro.core.index import SessionIndex
 from repro.serving.app import ServingCluster
 from repro.serving.server import RecommendationRequest
+from repro.testing.clock import VirtualClock
 
 
 @pytest.fixture(scope="module")
@@ -45,22 +46,23 @@ class TestSimulation:
 
     def test_queueing_grows_under_overload(self, sim_cluster):
         """A single slow core fed faster than it can serve must queue."""
+        clock = VirtualClock()
 
         class SlowRecommender:
             def recommend(self, session_items, how_many=21):
-                import time as time_module
-
-                time_module.sleep(0.004)
+                clock.advance(0.004)  # 4 ms of virtual compute, no sleep
                 return []
 
         slow_cluster = ServingCluster(lambda: SlowRecommender(), num_pods=1)
-        simulator = ClusterSimulator(slow_cluster, cores_per_pod=1)
+        simulator = ClusterSimulator(
+            slow_cluster, cores_per_pod=1, perf_clock=clock
+        )
         arrivals = [
             TimedRequest(i * 0.001, RecommendationRequest(f"u{i}", 1))
             for i in range(100)
         ]
         result = simulator.run(arrivals, bucket_seconds=1.0)
-        # Service takes ~4 ms but arrivals come every 1 ms: the tail of the
+        # Service takes 4 ms but arrivals come every 1 ms: the tail of the
         # queue waits for ~100 * 3 ms of backlog.
         assert result.latency.percentile(99) > result.latency.percentile(10) * 5
 

@@ -8,6 +8,11 @@ from repro.core.index import SessionIndex
 from repro.core.types import Click
 from repro.data.clicklog import ClickLog
 from repro.data.synthetic import generate_clickstream
+from repro.testing.strategies import install_profiles
+
+# Pin Hypothesis behaviour suite-wide; CI selects a derandomised profile
+# via HYPOTHESIS_PROFILE (see repro.testing.strategies).
+install_profiles()
 
 
 @pytest.fixture(scope="session")

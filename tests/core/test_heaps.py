@@ -57,6 +57,40 @@ class TestDAryMinHeap:
 
     @given(
         operations=st.lists(
+            st.tuples(
+                st.sampled_from(["push", "pop", "replace"]),
+                st.integers(0, 9),  # tiny range forces priority ties
+                st.integers(0, 9),
+            ),
+            max_size=120,
+        ),
+        arity=st.sampled_from([2, 3, 8]),
+    )
+    def test_structural_invariant_under_mixed_operations(self, operations, arity):
+        """The d-ary shape property itself: every parent <= its children
+        on (priority, tiebreak), checked after every mutation."""
+        heap = DAryMinHeap(arity=arity)
+
+        def check():
+            entries = list(heap)
+            for index in range(1, len(entries)):
+                parent = entries[(index - 1) // arity]
+                child = entries[index]
+                assert (parent[0], parent[1]) <= (child[0], child[1])
+
+        for operation, priority, tiebreak in operations:
+            if operation == "push":
+                heap.push(float(priority), float(tiebreak), None)
+            elif operation == "pop" and heap:
+                heap.pop()
+            elif operation == "replace" and heap:
+                heap.replace_root(float(priority), float(tiebreak), None)
+            check()
+        drained = [(p, t) for p, t, _ in heap.drain_sorted()]
+        assert drained == sorted(drained)
+
+    @given(
+        operations=st.lists(
             st.tuples(st.sampled_from(["push", "pop", "replace"]), st.integers(0, 99)),
             max_size=100,
         )
@@ -144,6 +178,47 @@ class TestMostRecentTracker:
         for timestamp in (5.0, 3.0, 9.0):
             tracker.add(timestamp, timestamp)
         assert tracker.oldest_timestamp() == 3.0
+
+    def test_tied_timestamps_evict_by_tiebreak(self):
+        """On a full tie, the smallest (timestamp, tiebreak) goes first —
+        VMIS-kNN passes the internal session id here, which is what makes
+        index-time retention deterministic on same-timestamp sessions."""
+        tracker = MostRecentTracker(2)
+        tracker.add(10.0, "sid-3", tiebreak=3.0)
+        tracker.add(10.0, "sid-7", tiebreak=7.0)
+        evicted = tracker.displace_oldest(10.0, "sid-9", tiebreak=9.0)
+        assert evicted == "sid-3"
+        assert sorted(tracker.payloads()) == ["sid-7", "sid-9"]
+
+    @given(
+        entries=st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 10**6)),
+            min_size=1,
+            max_size=200,
+        ),
+        capacity=st.integers(1, 40),
+    )
+    def test_retention_is_deterministic_on_ties(self, entries, capacity):
+        """With (timestamp, tiebreak) pairs, the tracker keeps exactly the
+        lexicographically largest ``capacity`` pairs."""
+        tracker = MostRecentTracker(capacity)
+        for position, (timestamp, tiebreak) in enumerate(entries):
+            if not tracker.is_full:
+                tracker.add(float(timestamp), position, tiebreak=float(tiebreak))
+            else:
+                root_timestamp, root_tiebreak, _ = tracker._heap.peek()
+                if (float(timestamp), float(tiebreak)) > (
+                    root_timestamp,
+                    root_tiebreak,
+                ):
+                    tracker.displace_oldest(
+                        float(timestamp), position, tiebreak=float(tiebreak)
+                    )
+        kept = sorted(
+            (entries[p][0], entries[p][1]) for p in tracker.payloads()
+        )
+        expected = sorted(entries)[-len(kept) :]
+        assert kept == [tuple(e) for e in expected]
 
     @given(
         timestamps=st.lists(st.integers(0, 10**6), min_size=1, max_size=200),

@@ -72,6 +72,23 @@ class TestMatchWeights:
     def test_registry_contains_paper_default(self):
         assert MATCH_WEIGHT_FUNCTIONS["paper"] is paper_match_weight
 
+    @given(insertion_time=st.integers(1, 100))
+    def test_all_match_weights_non_negative_and_at_most_one(self, insertion_time):
+        for name, weight_fn in MATCH_WEIGHT_FUNCTIONS.items():
+            value = weight_fn(insertion_time)
+            assert 0.0 <= value <= 1.0, name
+
+    @given(later=st.integers(2, 100))
+    def test_match_weights_monotone_non_increasing(self, later):
+        """lambda never rewards a *less* recent shared item: every named
+        match weight is non-increasing in the insertion time."""
+        for name, weight_fn in MATCH_WEIGHT_FUNCTIONS.items():
+            assert weight_fn(later - 1) >= weight_fn(later), name
+
+    def test_uniform_is_constant(self):
+        values = {MATCH_WEIGHT_FUNCTIONS["uniform"](x) for x in range(1, 50)}
+        assert values == {1.0}
+
 
 class TestResolvers:
     def test_resolve_by_name(self):

@@ -1,0 +1,73 @@
+"""Tests for the virtual monotonic clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.testing.clock import VirtualClock
+
+
+class TestVirtualClock:
+    def test_reads_like_a_monotonic_clock(self):
+        clock = VirtualClock(start=100.0)
+        assert clock() == 100.0
+        assert clock.now == 100.0
+
+    def test_advance_and_advance_to(self):
+        clock = VirtualClock()
+        assert clock.advance(1.5) == 1.5
+        assert clock.advance_to(4.0) == 4.0
+        # Advancing to the past is a no-op, never a rewind.
+        assert clock.advance_to(2.0) == 4.0
+        assert clock.now == 4.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-0.1)
+
+    def test_sleep_advances_without_blocking(self):
+        clock = VirtualClock()
+        clock.sleep(3600.0)  # an hour passes instantly
+        assert clock.now == 3600.0
+
+    def test_scheduled_callbacks_fire_in_time_order(self):
+        clock = VirtualClock()
+        fired: list[tuple[str, float]] = []
+        clock.schedule(5.0, lambda: fired.append(("b", clock.now)))
+        clock.schedule(2.0, lambda: fired.append(("a", clock.now)))
+        clock.schedule(9.0, lambda: fired.append(("late", clock.now)))
+        clock.advance(6.0)
+        # Only the due callbacks fired, each observing its own instant.
+        assert fired == [("a", 2.0), ("b", 5.0)]
+        assert clock.pending() == 1
+        clock.advance(10.0)
+        assert fired[-1] == ("late", 9.0)
+        assert clock.pending() == 0
+
+    def test_same_instant_callbacks_fire_in_schedule_order(self):
+        clock = VirtualClock()
+        fired: list[str] = []
+        clock.schedule(1.0, lambda: fired.append("first"))
+        clock.schedule(1.0, lambda: fired.append("second"))
+        clock.advance(2.0)
+        assert fired == ["first", "second"]
+
+    def test_callback_may_schedule_further_callbacks(self):
+        clock = VirtualClock()
+        fired: list[float] = []
+
+        def chain():
+            fired.append(clock.now)
+            if len(fired) < 3:
+                clock.schedule(clock.now + 1.0, chain)
+
+        clock.schedule(1.0, chain)
+        clock.advance(10.0)
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_past_callback_fires_on_next_advance(self):
+        clock = VirtualClock(start=10.0)
+        fired: list[float] = []
+        clock.schedule(5.0, lambda: fired.append(clock.now))
+        clock.advance(0.5)
+        assert fired == [10.0]  # fired immediately, time never rewinds

@@ -1,0 +1,166 @@
+"""Tests for the seeded workload generators."""
+
+from __future__ import annotations
+
+import collections
+
+import pytest
+
+from repro.testing.generators import (
+    WorkloadConfig,
+    WorkloadGenerator,
+    workload_corpus,
+)
+
+
+class TestDeterminism:
+    def test_same_config_same_workload(self):
+        first = WorkloadGenerator(seed=42)
+        second = WorkloadGenerator(WorkloadConfig(seed=42))
+        assert first.clicks() == second.clicks()
+        assert first.query_sessions(5) == second.query_sessions(5)
+        assert list(first.arrival_times(10.0, 5.0)) == list(
+            second.arrival_times(10.0, 5.0)
+        )
+
+    def test_method_streams_are_independent(self):
+        """Calling methods in a different order (or not at all) never
+        changes what the other methods produce."""
+        ordered = WorkloadGenerator(seed=7)
+        clicks_first = ordered.clicks()
+        queries_after = ordered.query_sessions(3)
+
+        reordered = WorkloadGenerator(seed=7)
+        queries_before = reordered.query_sessions(3)
+        clicks_after = reordered.clicks()
+
+        assert clicks_first == clicks_after
+        assert queries_after == queries_before
+
+    def test_different_seeds_differ(self):
+        assert (
+            WorkloadGenerator(seed=1).clicks()
+            != WorkloadGenerator(seed=2).clicks()
+        )
+
+
+class TestClickShape:
+    def test_session_count_and_item_range(self):
+        config = WorkloadConfig(seed=3, num_sessions=20, num_items=10)
+        clicks = WorkloadGenerator(config).clicks()
+        sessions = {c.session_id for c in clicks}
+        assert sessions == set(range(20))
+        assert all(0 <= c.item_id < 10 for c in clicks)
+
+    def test_clicks_of_a_session_share_a_timestamp(self):
+        clicks = WorkloadGenerator(seed=4).clicks()
+        per_session = collections.defaultdict(set)
+        for click in clicks:
+            per_session[click.session_id].add(click.timestamp)
+        assert all(len(stamps) == 1 for stamps in per_session.values())
+
+    def test_granularity_produces_timestamp_ties(self):
+        config = WorkloadConfig(
+            seed=5, num_sessions=50, timestamp_granularity=2_000.0
+        )
+        clicks = WorkloadGenerator(config).clicks()
+        timestamps = {c.timestamp for c in clicks}
+        # 50 sessions collapse onto very few quantised instants.
+        assert len(timestamps) < 10
+        assert all(t % 2_000.0 == 0 for t in timestamps)
+
+    def test_zero_granularity_keeps_timestamps_distinct(self):
+        config = WorkloadConfig(
+            seed=5, num_sessions=50, timestamp_granularity=0.0
+        )
+        clicks = WorkloadGenerator(config).clicks()
+        timestamps = {c.timestamp for c in clicks}
+        assert len(timestamps) == 50
+
+    def test_popularity_skew_concentrates_head_items(self):
+        skewed = WorkloadGenerator(
+            WorkloadConfig(seed=6, num_sessions=200, popularity_exponent=1.5)
+        ).clicks()
+        counts = collections.Counter(c.item_id for c in skewed)
+        head = sum(counts[i] for i in range(3))
+        # With alpha=1.5 over 25 items, the top-3 items dominate.
+        assert head > len(skewed) * 0.4
+
+    def test_bot_sessions_are_long_and_narrow(self):
+        config = WorkloadConfig(
+            seed=7,
+            num_sessions=10,
+            bot_fraction=0.2,
+            bot_session_length=20,
+            bot_item_pool=2,
+        )
+        clicks = WorkloadGenerator(config).clicks()
+        per_session = collections.defaultdict(list)
+        for click in clicks:
+            per_session[click.session_id].append(click.item_id)
+        # Bots occupy the first session ids by construction.
+        for bot_id in (0, 1):
+            assert len(per_session[bot_id]) == 20
+            assert set(per_session[bot_id]) <= {0, 1}
+        for human_id in range(2, 10):
+            assert len(per_session[human_id]) <= config.max_session_length
+
+    def test_bursty_sessions_share_a_window(self):
+        config = WorkloadConfig(
+            seed=8,
+            num_sessions=40,
+            bursty_fraction=0.5,
+            timestamp_granularity=500.0,
+        )
+        clicks = WorkloadGenerator(config).clicks()
+        burst_stamps = {
+            c.timestamp for c in clicks if c.session_id < 20
+        }
+        assert len(burst_stamps) <= 2  # one granule (plus boundary spill)
+
+
+class TestSchedules:
+    def test_arrival_times_sorted_and_bounded(self):
+        arrivals = list(WorkloadGenerator(seed=9).arrival_times(30.0, 4.0))
+        assert arrivals == sorted(arrivals)
+        assert all(0.0 < t < 30.0 for t in arrivals)
+        # Poisson(4/s over 30s) ~ 120 arrivals; loose deterministic bounds.
+        assert 60 < len(arrivals) < 200
+
+    def test_chaos_kill_times_within_window(self):
+        plans = WorkloadGenerator(seed=10).chaos_kill_times(
+            ["pod-0", "pod-1"], duration=100.0, restart_after=15.0
+        )
+        assert len(plans) == 2
+        assert plans == sorted(plans)
+        for at, pod_id, restart in plans:
+            assert 20.0 <= at <= 70.0
+            assert pod_id in ("pod-0", "pod-1")
+            assert restart == at + 15.0
+
+
+class TestValidationAndCorpus:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(num_sessions=0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(min_session_length=5, max_session_length=2)
+        with pytest.raises(ValueError):
+            WorkloadConfig(bot_fraction=1.5)
+        with pytest.raises(ValueError):
+            WorkloadConfig(popularity_exponent=-1.0)
+
+    def test_generator_accepts_overrides(self):
+        generator = WorkloadGenerator(seed=11, num_sessions=3)
+        assert generator.config.num_sessions == 3
+        assert generator.config.seed == 11
+
+    def test_corpus_covers_every_regime_with_distinct_seeds(self):
+        corpus = workload_corpus(200, base_seed=1000)
+        assert len(corpus) == 200
+        assert len({config.seed for config in corpus}) == 200
+        # Every regime recurs dozens of times.
+        tied = [c for c in corpus if c.timestamp_granularity >= 10_000.0]
+        bots = [c for c in corpus if c.bot_fraction > 0]
+        tiny = [c for c in corpus if c.num_sessions <= 4]
+        assert len(tied) == 25 and len(bots) == 25 and len(tiny) == 25

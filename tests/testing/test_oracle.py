@@ -1,0 +1,134 @@
+"""Tests for the differential oracle, shrinker and regression corpus."""
+
+from __future__ import annotations
+
+from repro.core.index import SessionIndex
+from repro.core.types import Click
+from repro.core.vmis import VMISKNN
+from repro.testing.generators import WorkloadConfig, workload_corpus
+from repro.testing.oracle import (
+    DifferentialRunner,
+    DivergenceCase,
+    HyperParams,
+    default_grid,
+    load_regression,
+    write_regression,
+)
+
+
+def _buggy_truncation(clicks, p):
+    """Deliberately wrong VMIS-kNN: truncates the index one session short.
+
+    The classic off-by-one — an index built with ``m - 1`` sessions per
+    item silently drops the oldest eligible neighbour.
+    """
+    index = SessionIndex.from_clicks(
+        clicks, max_sessions_per_item=max(1, p.m - 1)
+    )
+    return VMISKNN(
+        index,
+        m=max(1, p.m - 1),
+        k=p.k,
+        decay=p.decay,
+        match_weight=p.match_weight,
+    )
+
+
+class TestGrid:
+    def test_default_grid_is_the_full_cross_product(self):
+        grid = default_grid()
+        assert len(grid) == 4 * 3 * 3 * 2
+        assert len(set(grid)) == len(grid)
+        assert HyperParams(1, 1, "linear", "paper") in grid
+        assert HyperParams(64, 20, "log", "uniform") in grid
+
+
+class TestEquivalence:
+    def test_core_implementations_agree_on_a_small_corpus(self):
+        report = DifferentialRunner().run_corpus(
+            workload_corpus(8, base_seed=4000)
+        )
+        assert report.workloads == 8
+        assert report.comparisons == 8 * len(default_grid()) * 2
+        assert report.equivalent, report.divergences[0].describe()
+
+    def test_engines_rank_match_inside_their_envelope(self):
+        runner = DifferentialRunner(include_engines=True)
+        config = WorkloadConfig(seed=4100, num_sessions=12, num_items=10)
+        inside = HyperParams(m=64, k=20, decay="linear", match_weight="paper")
+        report = runner.run_corpus([config], grid=[inside])
+        assert report.equivalent, report.divergences[0].describe()
+
+    def test_engines_skipped_outside_their_envelope(self):
+        """Out-of-envelope grid points must not produce engine comparisons."""
+        runner = DifferentialRunner(include_engines=True)
+        config = WorkloadConfig(seed=4200, num_sessions=12, num_items=10)
+        outside = HyperParams(m=64, k=20, decay="quadratic", match_weight="paper")
+        report = runner.run_corpus([config], grid=[outside])
+        assert report.equivalent
+        engine_cases = [
+            d for d in report.divergences if d.impl_b.startswith("engine-")
+        ]
+        assert engine_cases == []
+
+
+class TestBugInjectionDemo:
+    """End-to-end: a planted scoring bug is caught and shrunk to a
+    handful of clicks — the workflow a real divergence would follow."""
+
+    def test_injected_bug_is_caught_and_shrunk(self, tmp_path):
+        runner = DifferentialRunner(
+            extra_implementations={"buggy-truncation": _buggy_truncation}
+        )
+        report = runner.run_corpus(
+            workload_corpus(20, base_seed=4300),
+            grid=[HyperParams(m=2, k=20)],
+            stop_on_first=True,
+        )
+        assert not report.equivalent, "the planted bug must be detected"
+        case = next(
+            d for d in report.divergences if d.impl_b == "buggy-truncation"
+        )
+
+        shrunk = runner.shrink(case)
+        assert shrunk.impl_b == "buggy-truncation"
+        assert len(shrunk.clicks) <= 5, shrunk.describe()
+        assert len(shrunk.query) <= 2
+        # The shrunk case still reproduces the divergence on its own.
+        assert runner._still_diverges(shrunk, shrunk.clicks, shrunk.query)
+
+        path = write_regression(shrunk, tmp_path)
+        reloaded = load_regression(path)
+        assert reloaded.clicks == shrunk.clicks
+        assert reloaded.query == shrunk.query
+        assert reloaded.params == shrunk.params
+        assert reloaded.output_a == shrunk.output_a
+        assert reloaded.output_b == shrunk.output_b
+
+
+class TestRegressionFixtures:
+    def _case(self) -> DivergenceCase:
+        return DivergenceCase(
+            clicks=[Click(0, 1, 100.0), Click(1, 1, 100.0)],
+            query=[1],
+            params=HyperParams(m=1, k=1),
+            impl_a="vsknn",
+            impl_b="vmis",
+            output_a=[(1, 1.0)],
+            output_b=[(1, 0.5)],
+        )
+
+    def test_write_is_idempotent(self, tmp_path):
+        first = write_regression(self._case(), tmp_path)
+        second = write_regression(self._case(), tmp_path)
+        assert first == second
+        assert first.name.startswith("divergence-vmis-")
+        assert len(list(tmp_path.glob("*.json"))) == 1
+
+    def test_filename_tracks_content(self, tmp_path):
+        case = self._case()
+        other = self._case()
+        other.query = [1, 1]
+        assert write_regression(case, tmp_path) != write_regression(
+            other, tmp_path
+        )
