@@ -1,0 +1,58 @@
+"""serenade-lint: project-invariant static analysis for this repository.
+
+The serving claims of the paper (p90 < 7 ms under a 50 ms SLA) rest on
+invariants the code can only keep by discipline: all timing flows
+through injectable clocks, deadlines propagate through every stage,
+thread-shared state stays under its declared lock. ``repro.analysis``
+is an AST-based rule engine that enforces those invariants *before*
+code runs:
+
+* ``python -m repro.analysis src/repro`` — CLI for CI and the pre-PR
+  checklist (text or ``--format json`` output, exit 1 on findings);
+* :func:`analyze_paths` — the pytest-importable API, used by
+  ``tests/analysis`` to keep the tree clean forever.
+
+Rules (see ``docs/static-analysis.md`` for the catalog):
+
+========  ==============================================================
+SRN001    clock hygiene — no direct ``time.*``/``datetime.now``/
+          module-level ``random.*`` calls outside the injected seams
+SRN002    float equality — no ``==``/``!=`` on score-typed expressions
+          in ranking code; use :mod:`repro.core.floatcmp`
+SRN003    deadline propagation — a function accepting a ``Deadline``
+          must check or forward it, never construct a fresh one
+SRN004    lock discipline — ``@guarded_by`` attributes only touched
+          under their lock; lock-acquisition graph must be acyclic
+SRN005    serving-path exception hygiene — no broad ``except`` that
+          swallows without counting a metric or logging
+SRN000    meta — malformed/unused suppressions, unused baseline
+          entries, unparsable files
+========  ==============================================================
+
+Findings are silenced inline with ``# serenade: ignore[SRN00x] reason``
+(the reason is mandatory) or grandfathered in the committed baseline
+file; unused suppressions and baseline entries are themselves findings,
+so the baseline can only shrink.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.config import AnalysisConfig, load_config
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.engine import AnalysisReport, analyze_paths
+from repro.analysis.registry import all_rules, get_rule
+
+# Importing the rules package registers every rule.
+from repro.analysis import rules as _rules  # noqa: F401
+
+__all__ = [
+    "AnalysisConfig",
+    "AnalysisReport",
+    "Baseline",
+    "Diagnostic",
+    "all_rules",
+    "analyze_paths",
+    "get_rule",
+    "load_config",
+]

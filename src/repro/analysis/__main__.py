@@ -1,0 +1,103 @@
+"""``python -m repro.analysis`` — the serenade-lint CLI.
+
+Exit codes: 0 clean, 1 findings, 2 usage/configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.config import AnalysisConfig, discover_config, load_config
+from repro.analysis.engine import analyze_paths, iter_rule_docs
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="serenade-lint: project-invariant static analysis",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format",
+    )
+    parser.add_argument(
+        "--config",
+        metavar="PYPROJECT",
+        help="explicit pyproject.toml (default: discovered from first path)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report findings even when baselined",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline file from current findings and exit",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, name, rationale in iter_rule_docs():
+            print(f"{rule_id} {name}")
+            print(f"    {rationale}")
+        return 0
+
+    try:
+        if args.config:
+            config: AnalysisConfig = load_config(args.config)
+        else:
+            config = discover_config(Path(args.paths[0]))
+    except (OSError, ValueError) as error:
+        print(f"error: cannot load config: {error}", file=sys.stderr)
+        return 2
+
+    try:
+        report = analyze_paths(
+            args.paths, config, use_baseline=not args.no_baseline
+        )
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        baseline_path = config.baseline_path()
+        if baseline_path is None:
+            print("error: no baseline file configured", file=sys.stderr)
+            return 2
+        Baseline.from_findings(report.raw_findings).save(baseline_path)
+        print(
+            f"wrote {baseline_path} with "
+            f"{len(report.raw_findings)} entr(y/ies)"
+        )
+        return 0
+
+    if args.format == "json":
+        print(report.render_json())
+    else:
+        print(report.render_text())
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

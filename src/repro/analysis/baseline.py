@@ -1,0 +1,100 @@
+"""The committed baseline: grandfathered findings that may only shrink.
+
+A baseline entry matches findings by ``(rule, path, message)`` — line
+numbers are deliberately excluded so unrelated edits above a
+grandfathered finding do not resurrect it. Matching is multiset-style:
+an entry with ``count: 2`` absorbs at most two identical findings.
+Entries that match nothing are reported as SRN000 findings, so a fixed
+violation *must* be deleted from the baseline in the same change.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.diagnostics import META_RULE, Diagnostic
+
+BASELINE_VERSION = 1
+
+Key = tuple[str, str, str]  # (rule, path, message)
+
+
+@dataclass
+class Baseline:
+    """Multiset of grandfathered findings."""
+
+    entries: Counter = field(default_factory=Counter)
+
+    @classmethod
+    def from_findings(cls, findings: list[Diagnostic]) -> "Baseline":
+        baseline = cls()
+        for finding in findings:
+            if finding.rule == META_RULE:
+                continue
+            baseline.entries[(finding.rule, finding.path, finding.message)] += 1
+        return baseline
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if payload.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"baseline {path} has unsupported version "
+                f"{payload.get('version')!r}"
+            )
+        baseline = cls()
+        for entry in payload.get("entries", []):
+            key = (entry["rule"], entry["path"], entry["message"])
+            baseline.entries[key] += int(entry.get("count", 1))
+        return baseline
+
+    def save(self, path: Path) -> None:
+        entries = [
+            {"rule": rule, "path": file_path, "message": message, "count": count}
+            for (rule, file_path, message), count in sorted(self.entries.items())
+        ]
+        payload = {"version": BASELINE_VERSION, "entries": entries}
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    def __len__(self) -> int:
+        return sum(self.entries.values())
+
+    def apply(
+        self, findings: list[Diagnostic]
+    ) -> tuple[list[Diagnostic], int, list[Diagnostic]]:
+        """Split findings into (kept, baselined_count, unused_entry_findings).
+
+        Consumes entries as findings match them; whatever remains in the
+        multiset afterwards is unused and reported as SRN000.
+        """
+        remaining = Counter(self.entries)
+        kept: list[Diagnostic] = []
+        baselined = 0
+        for finding in findings:
+            key: Key = (finding.rule, finding.path, finding.message)
+            if finding.suppressible and remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                baselined += 1
+            else:
+                kept.append(finding)
+        unused = [
+            Diagnostic(
+                file_path,
+                0,
+                0,
+                META_RULE,
+                f"unused baseline entry for {rule}: {message!r} no longer "
+                "occurs — delete it from the baseline",
+            )
+            for (rule, file_path, message), count in sorted(remaining.items())
+            for _ in range(count)
+        ]
+        return kept, baselined, unused

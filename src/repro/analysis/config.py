@@ -1,0 +1,292 @@
+"""Per-path rule configuration, loaded from ``[tool.serenade-lint]``.
+
+The configuration lives in ``pyproject.toml`` so the scoping decisions
+(which layers each invariant covers) are reviewed like code::
+
+    [tool.serenade-lint]
+    baseline = "serenade-lint-baseline.json"
+    exclude = ["src/repro/baselines"]
+
+    [tool.serenade-lint.rules.SRN001]
+    paths = ["src/repro/serving", "src/repro/core"]
+
+A rule with no ``paths`` entry applies everywhere (minus ``exclude``).
+Python 3.10 has no ``tomllib``; a minimal TOML-subset reader covers the
+table/string/list/bool/number shapes this section uses.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+from typing import Any
+
+SECTION = "serenade-lint"
+DEFAULT_BASELINE = "serenade-lint-baseline.json"
+
+
+@dataclass
+class AnalysisConfig:
+    """Resolved configuration for one analysis run."""
+
+    #: directory repo-relative paths are resolved against.
+    root: Path = field(default_factory=Path.cwd)
+    #: baseline file path (relative to root); ``None`` disables baselining.
+    baseline: str | None = DEFAULT_BASELINE
+    #: path prefixes excluded from every rule.
+    exclude: tuple[str, ...] = ()
+    #: rule id -> path prefixes the rule is scoped to (empty = everywhere).
+    rule_paths: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: rule id -> free-form options (rule-specific knobs).
+    rule_options: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+    def relpath(self, path: Path) -> str:
+        """Repo-relative POSIX form of ``path`` (absolute if outside root)."""
+        try:
+            rel = path.resolve().relative_to(self.root.resolve())
+        except ValueError:
+            return path.resolve().as_posix()
+        return rel.as_posix()
+
+    def is_excluded(self, relpath: str) -> bool:
+        return any(_under(relpath, prefix) for prefix in self.exclude)
+
+    def rule_applies(self, rule_id: str, relpath: str) -> bool:
+        """Does ``rule_id`` cover the file at ``relpath``?"""
+        if self.is_excluded(relpath):
+            return False
+        scoped = self.rule_paths.get(rule_id)
+        if not scoped:
+            return True
+        return any(_under(relpath, prefix) for prefix in scoped)
+
+    def baseline_path(self) -> Path | None:
+        if self.baseline is None:
+            return None
+        return self.root / self.baseline
+
+    def option(self, rule_id: str, key: str, default: Any = None) -> Any:
+        return self.rule_options.get(rule_id, {}).get(key, default)
+
+
+def _under(relpath: str, prefix: str) -> bool:
+    """Is ``relpath`` the prefix path itself or inside it?"""
+    pure = PurePosixPath(relpath)
+    pure_prefix = PurePosixPath(prefix)
+    return pure == pure_prefix or pure.is_relative_to(pure_prefix)
+
+
+def load_config(pyproject: str | Path) -> AnalysisConfig:
+    """Load ``[tool.serenade-lint]`` from a pyproject file."""
+    pyproject = Path(pyproject)
+    payload = _load_toml(pyproject)
+    section = payload.get("tool", {}).get(SECTION, {})
+    rules = section.get("rules", {})
+    rule_paths: dict[str, tuple[str, ...]] = {}
+    rule_options: dict[str, dict[str, Any]] = {}
+    for rule_id, options in rules.items():
+        options = dict(options)
+        paths = options.pop("paths", [])
+        if paths:
+            rule_paths[rule_id] = tuple(str(p) for p in paths)
+        if options:
+            rule_options[rule_id] = options
+    return AnalysisConfig(
+        root=pyproject.parent,
+        baseline=section.get("baseline", DEFAULT_BASELINE),
+        exclude=tuple(str(p) for p in section.get("exclude", [])),
+        rule_paths=rule_paths,
+        rule_options=rule_options,
+    )
+
+
+def discover_config(start: str | Path) -> AnalysisConfig:
+    """Find the nearest ``pyproject.toml`` at or above ``start``.
+
+    Falls back to a default config rooted at ``start`` (all rules
+    everywhere, no baseline) when no pyproject declares the section.
+    """
+    start = Path(start).resolve()
+    if start.is_file():
+        start = start.parent
+    for directory in (start, *start.parents):
+        candidate = directory / "pyproject.toml"
+        if candidate.is_file():
+            config = load_config(candidate)
+            return config
+    return AnalysisConfig(root=start, baseline=None)
+
+
+# -- TOML loading -------------------------------------------------------------
+
+
+def _load_toml(path: Path) -> dict[str, Any]:
+    text = path.read_text(encoding="utf-8")
+    try:
+        import tomllib
+    except ImportError:  # Python 3.10: stdlib tomllib arrived in 3.11
+        return _parse_minimal_toml(text)
+    return tomllib.loads(text)
+
+
+_TABLE_RE = re.compile(r"^\[([^\]]+)\]\s*$")
+_KEY_RE = re.compile(r"^([A-Za-z0-9_.\"'-]+)\s*=\s*(.+)$")
+
+
+def _parse_minimal_toml(text: str) -> dict[str, Any]:
+    """A TOML subset reader: tables, strings, string lists, bools, numbers.
+
+    Good enough for the ``[tool.serenade-lint]`` section (and the other
+    flat tables of this repo's pyproject); not a general TOML parser —
+    multi-line values and inline tables are out of scope and raise.
+    """
+    root: dict[str, Any] = {}
+    current = root
+    pending: str | None = None
+    for raw in text.splitlines():
+        line = raw.strip()
+        if pending is not None:
+            pending += " " + line
+            if _balanced(pending):
+                key, value = pending.split("=", 1)
+                current[_unquote(key.strip())] = _parse_value(value.strip())
+                pending = None
+            continue
+        if not line or line.startswith("#"):
+            continue
+        table = _TABLE_RE.match(line)
+        if table:
+            name = table.group(1).strip()
+            if name.startswith("["):  # array-of-tables [[x]] unsupported
+                raise ValueError(f"unsupported TOML construct: {line!r}")
+            current = root
+            for part in _split_table_name(name):
+                current = current.setdefault(part, {})
+            continue
+        entry = _KEY_RE.match(line)
+        if entry:
+            value_text = entry.group(2).strip()
+            if not _balanced(value_text):
+                pending = line
+                continue
+            current[_unquote(entry.group(1).strip())] = _parse_value(value_text)
+            continue
+        raise ValueError(f"unsupported TOML line: {line!r}")
+    if pending is not None:
+        raise ValueError(f"unterminated TOML value: {pending!r}")
+    return root
+
+
+def _split_table_name(name: str) -> list[str]:
+    parts: list[str] = []
+    token = ""
+    quote: str | None = None
+    for char in name:
+        if quote:
+            if char == quote:
+                quote = None
+            else:
+                token += char
+        elif char in ("'", '"'):
+            quote = char
+        elif char == ".":
+            parts.append(token.strip())
+            token = ""
+        else:
+            token += char
+    parts.append(token.strip())
+    return [part for part in parts if part]
+
+
+def _balanced(value: str) -> bool:
+    """Are all brackets/quotes of a (single-line joined) value closed?"""
+    depth = 0
+    quote: str | None = None
+    for char in value:
+        if quote:
+            if char == quote:
+                quote = None
+        elif char in ("'", '"'):
+            quote = char
+        elif char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+        elif char == "#" and depth == 0:
+            break
+    return depth <= 0 and quote is None
+
+
+def _strip_comment(value: str) -> str:
+    out = ""
+    quote: str | None = None
+    for char in value:
+        if quote:
+            if char == quote:
+                quote = None
+        elif char in ("'", '"'):
+            quote = char
+        elif char == "#":
+            break
+        out += char
+    return out.strip()
+
+
+def _parse_value(value: str) -> Any:
+    value = _strip_comment(value)
+    if value.startswith("["):
+        inner = value.strip()[1:-1].strip()
+        if not inner:
+            return []
+        return [_parse_value(item) for item in _split_items(inner)]
+    if value in ("true", "false"):
+        return value == "true"
+    if value and (value[0] in "\"'"):
+        return _unquote(value)
+    try:
+        return int(value)
+    except ValueError:
+        pass
+    try:
+        return float(value)
+    except ValueError:
+        pass
+    raise ValueError(f"unsupported TOML value: {value!r}")
+
+
+def _split_items(inner: str) -> list[str]:
+    items: list[str] = []
+    token = ""
+    depth = 0
+    quote: str | None = None
+    for char in inner:
+        if quote:
+            token += char
+            if char == quote:
+                quote = None
+        elif char in ("'", '"'):
+            token += char
+            quote = char
+        elif char == "[":
+            depth += 1
+            token += char
+        elif char == "]":
+            depth -= 1
+            token += char
+        elif char == "," and depth == 0:
+            if token.strip():
+                items.append(token.strip())
+            token = ""
+        else:
+            token += char
+    if token.strip():
+        items.append(token.strip())
+    return items
+
+
+def _unquote(text: str) -> str:
+    text = text.strip()
+    if len(text) >= 2 and text[0] in "\"'" and text[-1] == text[0]:
+        return text[1:-1]
+    return text

@@ -1,0 +1,34 @@
+"""The finding type shared by every rule and output format."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+#: Rule id of meta findings (parse errors, suppression/baseline misuse).
+#: SRN000 findings are never suppressible and never baselined.
+META_RULE = "SRN000"
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding: a rule violated at a position in a file.
+
+    Ordering is (path, line, column, rule, message), which is also the
+    report order — deterministic across runs and machines.
+    """
+
+    path: str  #: repo-relative POSIX path
+    line: int  #: 1-based line
+    column: int  #: 0-based column (ast convention)
+    rule: str  #: e.g. ``"SRN001"``
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.column}: {self.rule} {self.message}"
+
+    def to_json(self) -> dict[str, object]:
+        return asdict(self)
+
+    @property
+    def suppressible(self) -> bool:
+        return self.rule != META_RULE

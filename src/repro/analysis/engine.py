@@ -1,0 +1,279 @@
+"""The analysis engine: parse once, run scoped rules, filter, report.
+
+Flow per run:
+
+1. Collect ``.py`` files (explicit files verbatim, directories walked
+   recursively, ``__pycache__``/hidden dirs skipped) and parse each once
+   into a :class:`ParsedModule` carrying the AST, source lines, the
+   import-alias map, and the file's inline suppressions.
+2. For each registered rule, run ``check_module`` over the modules its
+   path scope covers, then ``finalize`` with all covered modules (this
+   is where the project-wide lock graph lives).
+3. Drop findings silenced by a same-line suppression, then findings
+   absorbed by the committed baseline.
+4. Emit SRN000 meta findings: parse errors, malformed or unused
+   suppressions, unused baseline entries.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.diagnostics import META_RULE, Diagnostic
+from repro.analysis.registry import all_rules
+from repro.analysis.suppress import (
+    Suppression,
+    scan_suppressions,
+    unused_suppression_findings,
+)
+
+REPORT_VERSION = 1
+
+
+@dataclass
+class ParsedModule:
+    """One source file, parsed once and shared by every rule."""
+
+    path: Path
+    relpath: str
+    tree: ast.Module
+    source_lines: list[str]
+    #: local name -> fully qualified name, from import statements.
+    #: ``import time`` -> {"time": "time"}; ``from time import monotonic as m``
+    #: -> {"m": "time.monotonic"}; ``import numpy as np`` -> {"np": "numpy"}.
+    aliases: dict[str, str] = field(default_factory=dict)
+    suppressions: list[Suppression] = field(default_factory=list)
+
+    def qualified_name(self, node: ast.AST) -> str | None:
+        """Resolve a Name/Attribute chain to a dotted name, alias-expanded.
+
+        ``np.random.seed`` with ``import numpy as np`` resolves to
+        ``numpy.random.seed``. Returns ``None`` for non-name expressions
+        (calls, subscripts) anywhere in the chain.
+        """
+        parts: list[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        parts.append(current.id)
+        parts.reverse()
+        head = self.aliases.get(parts[0], parts[0])
+        return ".".join([head, *parts[1:]])
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one run produced, ready to render."""
+
+    findings: list[Diagnostic]
+    suppressed: int
+    baselined: int
+    files: int
+    rules: list[str]
+    #: findings after suppression but before baselining (--update-baseline).
+    raw_findings: list[Diagnostic] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def render_text(self) -> str:
+        lines = [finding.render() for finding in self.findings]
+        lines.append(
+            f"{len(self.findings)} finding(s) in {self.files} file(s) "
+            f"({self.suppressed} suppressed, {self.baselined} baselined)"
+        )
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        payload = {
+            "version": REPORT_VERSION,
+            "tool": "serenade-lint",
+            "findings": [finding.to_json() for finding in self.findings],
+            "counts": {
+                "findings": len(self.findings),
+                "suppressed": self.suppressed,
+                "baselined": self.baselined,
+                "files": self.files,
+            },
+            "rules": self.rules,
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def collect_files(paths: Sequence[str | Path], config: AnalysisConfig) -> list[Path]:
+    """Expand the CLI path arguments into a sorted list of ``.py`` files."""
+    files: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            files.add(path.resolve())
+            continue
+        if not path.is_dir():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        for candidate in sorted(path.rglob("*.py")):
+            if any(
+                part == "__pycache__" or part.startswith(".")
+                for part in candidate.parts
+            ):
+                continue
+            files.add(candidate.resolve())
+    return sorted(
+        path for path in files if not config.is_excluded(config.relpath(path))
+    )
+
+
+def parse_module(
+    path: Path, config: AnalysisConfig
+) -> tuple[ParsedModule | None, list[Diagnostic]]:
+    """Parse one file; on syntax error return a meta finding instead."""
+    relpath = config.relpath(path)
+    source = path.read_text(encoding="utf-8")
+    source_lines = source.splitlines()
+    suppressions, problems = scan_suppressions(relpath, source_lines)
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        problems.append(
+            Diagnostic(
+                relpath,
+                error.lineno or 1,
+                (error.offset or 1) - 1,
+                META_RULE,
+                f"syntax error: {error.msg}",
+            )
+        )
+        return None, problems
+    module = ParsedModule(
+        path=path,
+        relpath=relpath,
+        tree=tree,
+        source_lines=source_lines,
+        aliases=_collect_aliases(tree),
+        suppressions=suppressions,
+    )
+    return module, problems
+
+
+def _collect_aliases(tree: ast.Module) -> dict[str, str]:
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                local = name.asname or name.name.split(".", 1)[0]
+                target = name.name if name.asname else local
+                aliases[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or node.module is None:
+                continue  # relative imports never reach stdlib clock/rng
+            for name in node.names:
+                if name.name == "*":
+                    continue
+                local = name.asname or name.name
+                aliases[local] = f"{node.module}.{name.name}"
+    return aliases
+
+
+def analyze_paths(
+    paths: Sequence[str | Path],
+    config: AnalysisConfig,
+    *,
+    use_baseline: bool = True,
+) -> AnalysisReport:
+    """Run every registered rule over ``paths`` and build the report."""
+    files = collect_files(paths, config)
+    meta: list[Diagnostic] = []
+    modules: list[ParsedModule] = []
+    for path in files:
+        module, problems = parse_module(path, config)
+        meta.extend(problems)
+        if module is not None:
+            modules.append(module)
+
+    rules = [cls() for cls in all_rules()]
+    raw: list[Diagnostic] = []
+    for rule in rules:
+        covered = [
+            module
+            for module in modules
+            if config.rule_applies(rule.rule_id, module.relpath)
+        ]
+        for module in covered:
+            raw.extend(rule.check_module(module, config))
+        finalize = getattr(rule, "finalize", None)
+        if finalize is not None:
+            raw.extend(finalize(covered, config))
+
+    by_path = {module.relpath: module for module in modules}
+    survived, suppressed = _apply_suppressions(raw, by_path)
+    unbaselined = sorted(survived)
+
+    baselined = 0
+    if use_baseline:
+        baseline_path = config.baseline_path()
+        baseline = (
+            Baseline.load(baseline_path) if baseline_path is not None else Baseline()
+        )
+        survived, baselined, unused_entries = baseline.apply(survived)
+        meta.extend(unused_entries)
+
+    for module in modules:
+        meta.extend(unused_suppression_findings(module.relpath, module.suppressions))
+
+    findings = sorted(survived + meta)
+    return AnalysisReport(
+        findings=findings,
+        suppressed=suppressed,
+        baselined=baselined,
+        files=len(files),
+        rules=[rule.rule_id for rule in rules],
+        raw_findings=unbaselined,
+    )
+
+
+def _apply_suppressions(
+    findings: Iterable[Diagnostic], by_path: dict[str, ParsedModule]
+) -> tuple[list[Diagnostic], int]:
+    survived: list[Diagnostic] = []
+    suppressed = 0
+    for finding in findings:
+        module = by_path.get(finding.path)
+        suppression = (
+            _suppression_on_line(module.suppressions, finding.line)
+            if module is not None
+            else None
+        )
+        if (
+            finding.suppressible
+            and suppression is not None
+            and suppression.covers(finding.rule)
+        ):
+            suppression.used_rules.add(finding.rule)
+            suppressed += 1
+        else:
+            survived.append(finding)
+    return survived, suppressed
+
+
+def _suppression_on_line(
+    suppressions: list[Suppression], line: int
+) -> Suppression | None:
+    for suppression in suppressions:
+        if suppression.line == line:
+            return suppression
+    return None
+
+
+def iter_rule_docs() -> Iterator[tuple[str, str, str]]:
+    """(rule_id, name, rationale) for ``--list-rules`` and the docs."""
+    for cls in all_rules():
+        yield cls.rule_id, cls.name, cls.rationale

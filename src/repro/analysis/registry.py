@@ -1,0 +1,74 @@
+"""Rule registry: how rules declare themselves to the engine.
+
+A rule is a class with ``rule_id``/``name``/``rationale`` attributes and
+a ``check_module`` method; rules that need a whole-project view (the
+lock-acquisition graph) also implement ``finalize``. Registration is a
+decorator so adding a rule is: write the class, decorate it, import the
+module from :mod:`repro.analysis.rules`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import TYPE_CHECKING, Iterable, Iterator, Protocol, TypeVar
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.analysis.config import AnalysisConfig
+    from repro.analysis.diagnostics import Diagnostic
+    from repro.analysis.engine import ParsedModule
+
+RULE_ID_RE = re.compile(r"^SRN\d{3}$")
+
+
+class Rule(Protocol):
+    """The interface the engine drives."""
+
+    rule_id: str
+    name: str
+    rationale: str
+
+    def check_module(
+        self, module: "ParsedModule", config: "AnalysisConfig"
+    ) -> Iterator["Diagnostic"]:
+        """Yield findings for one parsed module."""
+        ...  # pragma: no cover - protocol
+
+    def finalize(
+        self, modules: "Iterable[ParsedModule]", config: "AnalysisConfig"
+    ) -> Iterator["Diagnostic"]:
+        """Yield findings that need the whole project (optional)."""
+        ...  # pragma: no cover - protocol
+
+
+_RULES: dict[str, type] = {}
+
+_RuleT = TypeVar("_RuleT", bound=type)
+
+
+def register(cls: _RuleT) -> _RuleT:
+    """Class decorator adding a rule to the registry."""
+    rule_id = getattr(cls, "rule_id", "")
+    if not RULE_ID_RE.match(rule_id):
+        raise ValueError(f"rule id {rule_id!r} does not match SRNnnn")
+    if rule_id in _RULES:
+        raise ValueError(f"rule {rule_id} registered twice")
+    _RULES[rule_id] = cls
+    return cls
+
+
+def all_rules() -> list[type]:
+    """Registered rule classes, ordered by rule id."""
+    return [cls for _, cls in sorted(_RULES.items())]
+
+
+def get_rule(rule_id: str) -> type:
+    try:
+        return _RULES[rule_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown rule {rule_id!r}; known: {sorted(_RULES)}"
+        ) from None
+
+
+def known_rule_ids() -> set[str]:
+    return set(_RULES)

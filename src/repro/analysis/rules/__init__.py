@@ -1,0 +1,17 @@
+"""Rule modules; importing this package registers every rule."""
+
+from repro.analysis.rules import (  # noqa: F401  (import = registration)
+    srn001_clock,
+    srn002_float_eq,
+    srn003_deadline,
+    srn004_locks,
+    srn005_exceptions,
+)
+
+__all__ = [
+    "srn001_clock",
+    "srn002_float_eq",
+    "srn003_deadline",
+    "srn004_locks",
+    "srn005_exceptions",
+]

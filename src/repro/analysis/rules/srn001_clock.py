@@ -1,0 +1,149 @@
+"""SRN001: clock and RNG hygiene.
+
+Serving, cluster, core, and index code must take time and randomness
+through injected seams (a ``Clock`` parameter, ``VirtualClock``, a
+``random.Random`` instance passed in) so the deterministic simulation
+harness can control them. A direct ``time.monotonic()`` call inside a
+function body escapes the harness; the *reference* ``time.monotonic``
+as a default argument is the seam itself and is allowed — only calls
+are flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import register
+
+if TYPE_CHECKING:
+    from repro.analysis.config import AnalysisConfig
+    from repro.analysis.engine import ParsedModule
+
+#: time.* functions that read the wall/monotonic clock or block on it.
+_TIME_FUNCTIONS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+        "sleep",
+    }
+)
+
+#: datetime constructors that capture "now" implicitly.
+_DATETIME_NOW = frozenset(
+    {
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: module-level random.* functions sharing the hidden global Random().
+#: random.Random / random.SystemRandom constructors are the seam — allowed.
+_RANDOM_FUNCTIONS = frozenset(
+    {
+        "random",
+        "uniform",
+        "randint",
+        "randrange",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "gauss",
+        "normalvariate",
+        "lognormvariate",
+        "expovariate",
+        "betavariate",
+        "gammavariate",
+        "triangular",
+        "vonmisesvariate",
+        "paretovariate",
+        "weibullvariate",
+        "seed",
+        "getrandbits",
+        "randbytes",
+        "getstate",
+        "setstate",
+    }
+)
+
+#: numpy.random module-level functions using the hidden global state.
+#: numpy.random.default_rng / Generator / SeedSequence are the seam.
+_NUMPY_RANDOM_ALLOWED = frozenset({"default_rng", "Generator", "SeedSequence"})
+
+
+@register
+class ClockHygieneRule:
+    rule_id = "SRN001"
+    name = "clock-hygiene"
+    rationale = (
+        "Direct time/datetime/global-random calls bypass the injected "
+        "Clock and rng seams, making latency and sampling behaviour "
+        "invisible to the deterministic simulation harness."
+    )
+
+    def check_module(
+        self, module: "ParsedModule", config: "AnalysisConfig"
+    ) -> Iterator[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = module.qualified_name(node.func)
+            if qualified is None:
+                continue
+            verdict = _classify(qualified)
+            if verdict is None:
+                continue
+            yield Diagnostic(
+                module.relpath,
+                node.lineno,
+                node.col_offset,
+                self.rule_id,
+                verdict,
+            )
+
+    def finalize(
+        self, modules: "Iterable[ParsedModule]", config: "AnalysisConfig"
+    ) -> Iterator[Diagnostic]:
+        return iter(())
+
+
+def _classify(qualified: str) -> str | None:
+    """Return the finding message for a banned call, else ``None``."""
+    if "." in qualified:
+        head, _, tail = qualified.partition(".")
+        if head == "time" and tail in _TIME_FUNCTIONS:
+            return (
+                f"direct call to time.{tail}(); inject a Clock "
+                "(see repro.core.deadline.Clock) so the simulation "
+                "harness can control time"
+            )
+        if qualified in _DATETIME_NOW:
+            return (
+                f"direct call to {qualified}(); take 'now' from an "
+                "injected clock instead"
+            )
+        if head == "random" and tail in _RANDOM_FUNCTIONS:
+            return (
+                f"call to global random.{tail}(); pass a seeded "
+                "random.Random instance through the call chain"
+            )
+        if qualified.startswith("numpy.random."):
+            leaf = qualified.rsplit(".", 1)[1]
+            if leaf not in _NUMPY_RANDOM_ALLOWED:
+                return (
+                    f"call to global {qualified}(); use an injected "
+                    "numpy.random.default_rng(seed) Generator"
+                )
+        return None
+    # bare name resolved through `from time import monotonic` etc.
+    return None

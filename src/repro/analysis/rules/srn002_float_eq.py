@@ -1,0 +1,92 @@
+"""SRN002: no exact float equality on score expressions.
+
+Ranking scores accumulate float error along different evaluation orders
+(the SQL engine sums per-shard, the reference engine sums per-session),
+so ``score == other`` is order-dependent. Ranking code must compare
+through the tie envelope helpers in :mod:`repro.core.floatcmp`, which
+use the differential oracle's relative epsilon.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import register
+
+if TYPE_CHECKING:
+    from repro.analysis.config import AnalysisConfig
+    from repro.analysis.engine import ParsedModule
+
+#: identifiers that name score-like float quantities in this codebase.
+_SCORE_NAME_RE = re.compile(
+    r"(?:^|_)(?:score|scores|similarity|sim|weight|weights|match|idf|"
+    r"decay|boost|rank_value)(?:_|$)|(?:^|_)(?:scored|weighted)(?:_|$)",
+    re.IGNORECASE,
+)
+
+
+def _is_score_name(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        return bool(_SCORE_NAME_RE.search(node.id))
+    if isinstance(node, ast.Attribute):
+        return bool(_SCORE_NAME_RE.search(node.attr))
+    return False
+
+
+def _is_float_constant(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and isinstance(node.value, float)
+
+
+@register
+class FloatEqualityRule:
+    rule_id = "SRN002"
+    name = "float-equality"
+    rationale = (
+        "Exact ==/!= on float scores is evaluation-order dependent; the "
+        "reference and SQL engines sum in different orders, so ties must "
+        "go through repro.core.floatcmp's relative-epsilon envelope."
+    )
+
+    def check_module(
+        self, module: "ParsedModule", config: "AnalysisConfig"
+    ) -> Iterator[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for index, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[index], operands[index + 1]
+                if not self._float_equality(left, right):
+                    continue
+                op_text = "==" if isinstance(op, ast.Eq) else "!="
+                yield Diagnostic(
+                    module.relpath,
+                    node.lineno,
+                    node.col_offset,
+                    self.rule_id,
+                    f"exact float {op_text} on a score expression; use "
+                    "repro.core.floatcmp.scores_tied/scores_differ/"
+                    "is_zero_score instead",
+                )
+
+    @staticmethod
+    def _float_equality(left: ast.expr, right: ast.expr) -> bool:
+        # flag `<anything> == 0.5`-style float-literal comparisons and
+        # `score == other` comparisons between score-named expressions.
+        # A non-float constant operand (string/int/None sentinel) means
+        # this is not a float comparison, whatever the names say.
+        if _is_float_constant(left) or _is_float_constant(right):
+            return True
+        if any(isinstance(operand, ast.Constant) for operand in (left, right)):
+            return False
+        return _is_score_name(left) or _is_score_name(right)
+
+    def finalize(
+        self, modules: "Iterable[ParsedModule]", config: "AnalysisConfig"
+    ) -> Iterator[Diagnostic]:
+        return iter(())

@@ -1,0 +1,233 @@
+"""SRN003: deadline propagation.
+
+Any function that accepts a ``Deadline`` owns part of the 50 ms SLA
+budget. The contract:
+
+* the parameter must actually be used (a dead ``deadline`` parameter is
+  an SLA hole — callers believe the budget is honoured);
+* fresh ``Deadline(...)`` / ``Deadline.after_ms(...)`` construction is
+  forbidden except as the ``deadline = Deadline...`` default-fill inside
+  an ``if deadline is None:`` guard — constructing a new budget mid-call
+  silently resets the clock the caller started;
+* loops containing blocking calls must consult the deadline somewhere in
+  the loop body (check-before-iterate);
+* ``future.result()`` with no timeout blocks unboundedly; it must derive
+  its timeout from the deadline.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import register
+
+if TYPE_CHECKING:
+    from repro.analysis.config import AnalysisConfig
+    from repro.analysis.engine import ParsedModule
+
+#: method/function names that can block long enough to matter inside a loop.
+_BLOCKING_NAMES = frozenset(
+    {
+        "recommend",
+        "recommend_batch",
+        "handle",
+        "result",
+        "submit",
+        "sleep",
+        "join",
+        "wait",
+        "acquire",
+        "fit",
+        "run",
+    }
+)
+
+_FunctionDef = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _deadline_param(node: ast.FunctionDef | ast.AsyncFunctionDef) -> str | None:
+    """Name of the Deadline parameter, if the function takes one."""
+    args = node.args
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        if arg.arg == "deadline":
+            return arg.arg
+        annotation = arg.annotation
+        if annotation is not None and "Deadline" in ast.dump(annotation):
+            return arg.arg
+    return None
+
+
+def _is_deadline_constructor(call: ast.Call) -> bool:
+    func = call.func
+    if isinstance(func, ast.Name) and func.id == "Deadline":
+        return True
+    if isinstance(func, ast.Attribute):
+        # Deadline.after_ms(...), deadline_mod.Deadline(...)
+        if func.attr == "Deadline":
+            return True
+        value = func.value
+        if isinstance(value, ast.Name) and value.id == "Deadline":
+            return True
+    return False
+
+
+def _is_none_guard(test: ast.expr, param: str) -> bool:
+    """``<param> is None`` (the default-fill idiom)."""
+    return (
+        isinstance(test, ast.Compare)
+        and isinstance(test.left, ast.Name)
+        and test.left.id == param
+        and len(test.ops) == 1
+        and isinstance(test.ops[0], ast.Is)
+        and isinstance(test.comparators[0], ast.Constant)
+        and test.comparators[0].value is None
+    )
+
+
+@register
+class DeadlinePropagationRule:
+    rule_id = "SRN003"
+    name = "deadline-propagation"
+    rationale = (
+        "A Deadline parameter is a promise to honour the caller's "
+        "latency budget; dropping it, re-minting it, or blocking without "
+        "it silently breaks the 50 ms SLA chain."
+    )
+
+    def check_module(
+        self, module: "ParsedModule", config: "AnalysisConfig"
+    ) -> Iterator[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, _FunctionDef):
+                continue
+            param = _deadline_param(node)
+            if param is None:
+                continue
+            yield from self._check_function(module, node, param)
+
+    def _check_function(
+        self,
+        module: "ParsedModule",
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        param: str,
+    ) -> Iterator[Diagnostic]:
+        body_nodes = [n for stmt in func.body for n in ast.walk(stmt)]
+        reads = [
+            n
+            for n in body_nodes
+            if isinstance(n, ast.Name)
+            and n.id == param
+            and isinstance(n.ctx, ast.Load)
+        ]
+        if not reads:
+            yield Diagnostic(
+                module.relpath,
+                func.lineno,
+                func.col_offset,
+                self.rule_id,
+                f"function {func.name!r} accepts a deadline but never "
+                "consults it; check deadline.expired()/remaining() before "
+                "work and forward it to callees",
+            )
+            return
+
+        guarded_lines = self._none_guard_lines(func, param)
+        for node in body_nodes:
+            if isinstance(node, ast.Call) and _is_deadline_constructor(node):
+                if node.lineno not in guarded_lines:
+                    yield Diagnostic(
+                        module.relpath,
+                        node.lineno,
+                        node.col_offset,
+                        self.rule_id,
+                        "constructs a fresh Deadline inside a "
+                        "deadline-accepting function; forward the caller's "
+                        "budget instead of re-minting it",
+                    )
+
+        read_lines = {n.lineno for n in reads}
+        for node in body_nodes:
+            if isinstance(node, (ast.For, ast.While, ast.AsyncFor)):
+                yield from self._check_loop(module, node, read_lines)
+
+        for node in body_nodes:
+            finding = self._naked_result_call(module, node)
+            if finding is not None:
+                yield finding
+
+    def _none_guard_lines(
+        self, func: ast.FunctionDef | ast.AsyncFunctionDef, param: str
+    ) -> set[int]:
+        """Lines inside ``if <param> is None:`` blocks (default-fill zone)."""
+        lines: set[int] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.If) and _is_none_guard(node.test, param):
+                for stmt in node.body:
+                    for inner in ast.walk(stmt):
+                        lineno = getattr(inner, "lineno", None)
+                        if lineno is not None:
+                            lines.add(lineno)
+        return lines
+
+    def _check_loop(
+        self,
+        module: "ParsedModule",
+        loop: ast.For | ast.While | ast.AsyncFor,
+        read_lines: set[int],
+    ) -> Iterator[Diagnostic]:
+        blocking = None
+        for node in ast.walk(loop):
+            if isinstance(node, ast.Call):
+                name = None
+                if isinstance(node.func, ast.Attribute):
+                    name = node.func.attr
+                elif isinstance(node.func, ast.Name):
+                    name = node.func.id
+                if name in _BLOCKING_NAMES:
+                    blocking = node
+                    break
+        if blocking is None:
+            return
+        last_line = max(
+            (getattr(n, "lineno", loop.lineno) for n in ast.walk(loop)),
+            default=loop.lineno,
+        )
+        if not any(loop.lineno <= line <= last_line for line in read_lines):
+            yield Diagnostic(
+                module.relpath,
+                loop.lineno,
+                loop.col_offset,
+                self.rule_id,
+                "loop performs blocking calls without consulting the "
+                "deadline; check deadline.expired()/remaining() each "
+                "iteration",
+            )
+
+    def _naked_result_call(
+        self, module: "ParsedModule", node: ast.AST
+    ) -> Diagnostic | None:
+        if not isinstance(node, ast.Call):
+            return None
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "result"):
+            return None
+        # ignore `self.result(...)`-style domain methods with arguments or
+        # keyword timeouts — only flag the zero-argument blocking form.
+        if node.args or node.keywords:
+            return None
+        return Diagnostic(
+            module.relpath,
+            node.lineno,
+            node.col_offset,
+            self.rule_id,
+            "blocking Future.result() without a deadline-derived timeout; "
+            "pass timeout=deadline.remaining() (None only when no deadline "
+            "was given)",
+        )
+
+    def finalize(
+        self, modules: "Iterable[ParsedModule]", config: "AnalysisConfig"
+    ) -> Iterator[Diagnostic]:
+        return iter(())

@@ -1,0 +1,110 @@
+"""SRN005: serving-path exception hygiene.
+
+A broad ``except Exception:`` on the serving path is sometimes the
+right call — degrade instead of 500 — but *silently* swallowing is
+never right: every broad handler must re-raise, log, or bump a metric
+so the failure is visible to monitoring. A handler that does none of
+those turns an outage into a mystery.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import register
+
+if TYPE_CHECKING:
+    from repro.analysis.config import AnalysisConfig
+    from repro.analysis.engine import ParsedModule
+
+_BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+#: attribute names whose call counts as "made the failure visible".
+_EVIDENCE_CALLS = frozenset(
+    {
+        "warning",
+        "error",
+        "exception",
+        "critical",
+        "info",
+        "debug",
+        "log",
+        "increment",
+        "inc",
+        "observe",
+        "record",
+        "record_failure",
+        "record_fallback",
+        "add_metric",
+        "set",
+    }
+)
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    exc = handler.type
+    if exc is None:
+        return True  # bare except
+    names: list[ast.expr] = (
+        list(exc.elts) if isinstance(exc, ast.Tuple) else [exc]
+    )
+    for name in names:
+        if isinstance(name, ast.Name) and name.id in _BROAD_NAMES:
+            return True
+        if isinstance(name, ast.Attribute) and name.attr in _BROAD_NAMES:
+            return True
+    return False
+
+
+def _has_evidence(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.AugAssign):
+            return True  # counter bump, e.g. self.shed_count += 1
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in _EVIDENCE_CALLS:
+                return True
+            if isinstance(func, ast.Name) and func.id in _EVIDENCE_CALLS:
+                return True
+    return False
+
+
+@register
+class ExceptionHygieneRule:
+    rule_id = "SRN005"
+    name = "exception-hygiene"
+    rationale = (
+        "Broad except handlers on the serving path must leave evidence — "
+        "a re-raise, a log line, or a metric bump — or failures degrade "
+        "silently and monitoring sees a healthy service."
+    )
+
+    def check_module(
+        self, module: "ParsedModule", config: "AnalysisConfig"
+    ) -> Iterator[Diagnostic]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad(node):
+                continue
+            if _has_evidence(node):
+                continue
+            caught = "bare except" if node.type is None else "broad except"
+            yield Diagnostic(
+                module.relpath,
+                node.lineno,
+                node.col_offset,
+                self.rule_id,
+                f"{caught} swallows the failure without logging, metrics, "
+                "or re-raise; add logger.warning(..., exc_info=True) or a "
+                "counter bump so monitoring can see it",
+            )
+
+    def finalize(
+        self, modules: "Iterable[ParsedModule]", config: "AnalysisConfig"
+    ) -> Iterator[Diagnostic]:
+        return iter(())

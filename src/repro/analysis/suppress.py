@@ -1,0 +1,149 @@
+"""Inline suppressions: ``# serenade: ignore[SRN00x] reason``.
+
+A suppression silences findings of the listed rules **on its own line**
+and must carry a non-empty reason — a suppression without a reason is
+itself a finding (SRN000), as is a suppression that silenced nothing.
+That pair of meta-rules is what keeps the suppression count honest: the
+set can only shrink unless someone writes down *why* it grew.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from repro.analysis.diagnostics import META_RULE, Diagnostic
+from repro.analysis.registry import RULE_ID_RE
+
+#: matches the marker inside a COMMENT token; the marker must be a real
+#: comment — the same text inside a docstring or string literal is prose.
+SUPPRESSION_RE = re.compile(
+    r"#\s*serenade:\s*ignore\s*(?:\[(?P<rules>[^\]]*)\])?(?P<reason>[^#]*)"
+)
+
+
+@dataclass
+class Suppression:
+    """One inline suppression comment."""
+
+    line: int
+    rules: tuple[str, ...]
+    reason: str
+    #: rules that actually silenced a finding (filled by the engine).
+    used_rules: set[str] = field(default_factory=set)
+
+    def covers(self, rule_id: str) -> bool:
+        return rule_id in self.rules
+
+
+def scan_suppressions(
+    relpath: str, source_lines: list[str]
+) -> tuple[list[Suppression], list[Diagnostic]]:
+    """Find suppressions and malformed-suppression findings in a file."""
+    suppressions: list[Suppression] = []
+    problems: list[Diagnostic] = []
+    for lineno, column, text in _iter_comments(source_lines):
+        if "serenade:" not in text:
+            continue
+        match = SUPPRESSION_RE.search(text)
+        if match is None:
+            continue
+        column = column + match.start()
+        rules_text = match.group("rules")
+        reason = (match.group("reason") or "").strip()
+        if rules_text is None:
+            problems.append(
+                Diagnostic(
+                    relpath,
+                    lineno,
+                    column,
+                    META_RULE,
+                    "suppression must name the rules it silences: "
+                    "`# serenade: ignore[SRN00x] reason`",
+                )
+            )
+            continue
+        rules = tuple(
+            rule.strip() for rule in rules_text.split(",") if rule.strip()
+        )
+        bad = [rule for rule in rules if not RULE_ID_RE.match(rule)]
+        if not rules or bad:
+            problems.append(
+                Diagnostic(
+                    relpath,
+                    lineno,
+                    column,
+                    META_RULE,
+                    f"suppression names invalid rule ids {bad or '(none)'}; "
+                    "expected SRNnnn",
+                )
+            )
+            continue
+        if META_RULE in rules:
+            problems.append(
+                Diagnostic(
+                    relpath,
+                    lineno,
+                    column,
+                    META_RULE,
+                    "SRN000 meta findings cannot be suppressed",
+                )
+            )
+            continue
+        if not reason:
+            problems.append(
+                Diagnostic(
+                    relpath,
+                    lineno,
+                    column,
+                    META_RULE,
+                    "suppression requires a reason: "
+                    "`# serenade: ignore[%s] <why this is safe>`"
+                    % ",".join(rules),
+                )
+            )
+            continue
+        suppressions.append(Suppression(lineno, rules, reason))
+    return suppressions, problems
+
+
+def _iter_comments(source_lines: list[str]) -> list[tuple[int, int, str]]:
+    """(line, column, text) for each comment token in the source."""
+    source = "\n".join(source_lines) + "\n"
+    comments: list[tuple[int, int, str]] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                comments.append((token.start[0], token.start[1], token.string))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # Unparsable tail; the engine reports the syntax error separately.
+        pass
+    return comments
+
+
+def unused_suppression_findings(
+    relpath: str, suppressions: list[Suppression]
+) -> list[Diagnostic]:
+    """SRN000 findings for suppressions (or listed rules) that did nothing."""
+    findings = []
+    for suppression in suppressions:
+        unused = [
+            rule
+            for rule in suppression.rules
+            if rule not in suppression.used_rules
+        ]
+        if unused:
+            findings.append(
+                Diagnostic(
+                    relpath,
+                    suppression.line,
+                    0,
+                    META_RULE,
+                    "unused suppression for %s: no matching finding on this "
+                    "line — remove it" % ",".join(unused),
+                )
+            )
+    return findings

@@ -69,7 +69,7 @@ class ItemKNNRecommender(TrainableMixin):
                 self._neighbors.setdefault(right, []).append(
                     ScoredItem(left, similarity)
                 )
-        for item, neighbor_list in self._neighbors.items():
+        for neighbor_list in self._neighbors.values():
             neighbor_list.sort(key=lambda s: (-s.score, s.item_id))
             del neighbor_list[self.neighbors_per_item :]
         return self

@@ -23,6 +23,7 @@ from typing import Iterable
 
 from repro.cluster.loadgen import TimedRequest
 from repro.cluster.metrics import LatencyRecorder
+from repro.core.deadline import Clock
 from repro.serving.app import ServingCluster
 
 
@@ -94,6 +95,7 @@ class AutoscalingSimulator:
         policy: AutoscalePolicy,
         cores_per_pod: int = 3,
         evaluation_interval: float = 10.0,
+        perf_clock: Clock = time.perf_counter,
     ) -> None:
         policy.validate()
         if cores_per_pod < 1:
@@ -104,6 +106,7 @@ class AutoscalingSimulator:
         self.policy = policy
         self.cores_per_pod = cores_per_pod
         self.evaluation_interval = evaluation_interval
+        self._perf = perf_clock
 
     def run(self, arrivals: Iterable[TimedRequest]) -> AutoscaleRunResult:
         result = AutoscaleRunResult(total_requests=0, latency=LatencyRecorder())
@@ -153,9 +156,9 @@ class AutoscalingSimulator:
                 window_start += self.evaluation_interval
 
             pod_id = self.cluster.router.route(timed.request.session_key)
-            started = time.perf_counter()
+            started = self._perf()
             self.cluster.pods[pod_id].handle(timed.request)
-            service = time.perf_counter() - started
+            service = self._perf() - started
             window_busy += service
 
             cores = free_at[pod_id]

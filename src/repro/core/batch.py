@@ -53,6 +53,7 @@ from typing import Sequence
 from repro.core.deadline import Deadline
 from repro.core.heaps import BoundedTopK
 from repro.core.index import SessionIndex
+from repro.core.locking import guarded_by
 from repro.core.predictor import SessionRecommender, batch_via_loop
 from repro.core.scoring import score_items, top_n
 from repro.core.types import ItemId, ScoredItem, SessionId
@@ -61,6 +62,7 @@ from repro.core.vmis import VMISKNN
 CacheKey = tuple[tuple[ItemId, ...], int]
 
 
+@guarded_by("_lock", "_entries", "hits", "misses")
 class LRUResultCache:
     """Thread-safe LRU cache over recommendation lists, with counters.
 
@@ -108,7 +110,8 @@ class LRUResultCache:
                 self._entries.popitem(last=False)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def clear(self) -> None:
         with self._lock:
@@ -116,12 +119,14 @@ class LRUResultCache:
 
     def info(self) -> dict[str, float]:
         """Counters for monitoring: hits, misses, hit rate, occupancy."""
-        lookups = self.hits + self.misses
+        with self._lock:
+            hits, misses, size = self.hits, self.misses, len(self._entries)
+        lookups = hits + misses
         return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "hit_rate": self.hits / lookups if lookups else 0.0,
-            "size": len(self._entries),
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": hits / lookups if lookups else 0.0,
+            "size": size,
             "maxsize": self.maxsize,
         }
 
@@ -350,7 +355,7 @@ class BatchPredictionEngine:
     def __enter__(self) -> "BatchPredictionEngine":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # -- the SessionRecommender surface --------------------------------------
@@ -473,11 +478,15 @@ class BatchPredictionEngine:
             ]
         out = []
         for chunk, future in zip(chunks, futures):
-            if deadline is None:
-                out.extend(future.result())
-                continue
+            # timeout=None (no deadline) blocks indefinitely, matching the
+            # bare result() this replaces; with a deadline the remaining
+            # budget bounds every chunk join.
             try:
-                out.extend(future.result(timeout=deadline.remaining()))
+                out.extend(
+                    future.result(
+                        timeout=None if deadline is None else deadline.remaining()
+                    )
+                )
             except FutureTimeout:
                 future.cancel()
                 out.extend([None] * len(chunk))
@@ -508,7 +517,23 @@ class BatchPredictionEngine:
                 pool.submit(_shard_candidates, shard, capped)
                 for shard in self._shards
             ]
-            per_shard = [future.result() for future in futures]
+            per_shard = []
+            try:
+                for future in futures:
+                    per_shard.append(
+                        future.result(
+                            timeout=None
+                            if deadline is None
+                            else deadline.remaining()
+                        )
+                    )
+            except FutureTimeout:
+                # The shard fan-out is all-or-nothing: without every
+                # shard's candidates no session can be merged, so the
+                # whole batch is shed.
+                for future in futures:
+                    future.cancel()
+                return [None] * len(capped)
         out: list[list[ScoredItem] | None] = []
         for position, items in enumerate(capped):
             if deadline is not None and deadline.expired:

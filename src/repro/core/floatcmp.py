@@ -1,0 +1,64 @@
+"""Tie-envelope helpers for comparing floating-point scores.
+
+Ludewig & Jannach's replication study (arXiv:1803.09587) documents how
+silent float-comparison drift — ties broken by summation order, exact
+``==`` on accumulated similarities — corrupts kNN-recommender results.
+The differential oracle (:mod:`repro.testing.oracle`) already treats two
+similarities as tied when their gap is below a relative epsilon; this
+module is the shared home of that envelope so ranking code and the
+oracle agree on one definition, and so the ``SRN002`` rule of
+:mod:`repro.analysis` can forbid raw ``==``/``!=`` on score-typed
+expressions in ranking code.
+
+Two kinds of comparison are legitimate on scores:
+
+* :func:`scores_tied` / :func:`scores_differ` — the oracle's relative
+  tie envelope, for deciding whether two accumulated scores are
+  distinguishable above float noise;
+* :func:`is_zero_score` — an *exact* zero test, valid only for values
+  that are structurally zero (a weight function returning the literal
+  ``0.0``, an accumulator that was never added to), never for values
+  that merely ought to cancel.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CUT_EPSILON",
+    "is_zero_score",
+    "scores_differ",
+    "scores_tied",
+]
+
+#: Relative gap below which two scores count as a float tie. This is the
+#: oracle's neighbour-cut epsilon: differences smaller than this are
+#: indistinguishable from summation-order noise.
+CUT_EPSILON = 1e-9
+
+
+def scores_tied(a: float, b: float, rel_epsilon: float = CUT_EPSILON) -> bool:
+    """Whether two scores are indistinguishable above float noise.
+
+    The gap is compared against ``rel_epsilon`` scaled by the larger
+    magnitude (floored at 1.0 so scores near zero use an absolute
+    envelope), matching the oracle's neighbour-cut stability test.
+    """
+    gap = abs(a - b)
+    return gap <= rel_epsilon * max(1.0, abs(a), abs(b))
+
+
+def scores_differ(a: float, b: float, rel_epsilon: float = CUT_EPSILON) -> bool:
+    """Whether the gap between two scores exceeds the tie envelope."""
+    return not scores_tied(a, b, rel_epsilon)
+
+
+def is_zero_score(value: float) -> bool:
+    """Exact zero test for *structurally* zero scores.
+
+    Use this only where zero arises from construction — a match weight
+    defined piecewise with a literal ``0.0`` branch, an accumulator no
+    contribution was added to — not where a sum is merely expected to
+    cancel. The exactness is the point: it keeps "no contribution"
+    decisions bit-stable across implementations.
+    """
+    return value == 0.0  # serenade: ignore[SRN002] the exact-zero seam itself

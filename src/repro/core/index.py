@@ -97,7 +97,7 @@ class SessionIndex:
 
         # Posting lists were appended in ascending-timestamp order; reverse
         # and truncate so each holds the m most recent sessions, newest first.
-        for item, postings in item_to_sessions.items():
+        for postings in item_to_sessions.values():
             postings.reverse()
             if len(postings) > max_sessions_per_item:
                 del postings[max_sessions_per_item:]

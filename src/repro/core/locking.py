@@ -1,0 +1,85 @@
+"""Declarative lock-discipline annotations checked by ``repro.analysis``.
+
+The serving stack's thread-shared state (circuit breakers, admission
+queues, LRU caches, the KV memtable) is protected by per-instance
+``threading.Lock`` objects, but nothing ties an attribute to the lock
+that guards it — the discipline lives in comments and reviewer memory.
+These decorators make the discipline *declared*:
+
+* :func:`guarded_by` marks which attributes of a class are protected by
+  which lock attribute;
+* :func:`holds_lock` marks a method whose **caller** must already hold
+  the named lock (or have exclusive access, e.g. during construction),
+  so the method body may touch guarded state without re-acquiring it.
+
+At runtime the decorators only attach metadata (``__guarded_by__`` /
+``__holds_lock__``) — zero overhead on the request path. The
+``SRN004`` rule of :mod:`repro.analysis` reads the same declarations
+from the AST and statically verifies that
+
+1. every shared mutable attribute of a lock-holding class is declared,
+2. declared attributes are only touched under their lock (or inside
+   ``__init__`` / a :func:`holds_lock` method),
+3. :func:`holds_lock` methods are only called with the lock held, and
+4. the inter-procedural lock-acquisition graph is free of ordering
+   cycles (potential deadlocks).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+__all__ = ["guarded_by", "holds_lock"]
+
+_ClassT = TypeVar("_ClassT", bound=type)
+_FuncT = TypeVar("_FuncT", bound=Callable)
+
+
+def guarded_by(lock_attr: str, *attributes: str) -> Callable[[_ClassT], _ClassT]:
+    """Declare that ``attributes`` of the decorated class are protected
+    by the lock stored in ``lock_attr``.
+
+    Usage::
+
+        @guarded_by("_lock", "_entries", "hits", "misses")
+        class LRUResultCache: ...
+
+    Stack the decorator to declare several locks on one class. The
+    declaration is cumulative and inherited metadata is never mutated
+    in place.
+    """
+    if not lock_attr:
+        raise ValueError("guarded_by needs a lock attribute name")
+
+    def decorate(cls: _ClassT) -> _ClassT:
+        declared: dict[str, tuple[str, ...]] = dict(
+            getattr(cls, "__guarded_by__", {})
+        )
+        declared[lock_attr] = tuple(
+            dict.fromkeys(declared.get(lock_attr, ()) + attributes)
+        )
+        cls.__guarded_by__ = declared
+        return cls
+
+    return decorate
+
+
+def holds_lock(lock_attr: str) -> Callable[[_FuncT], _FuncT]:
+    """Declare that the decorated method runs with ``lock_attr`` held.
+
+    The *caller* is responsible for acquiring the lock (or otherwise
+    guaranteeing exclusive access — e.g. a helper invoked only from
+    ``__init__`` before the instance is shared). The static checker
+    verifies call sites instead of the method body.
+    """
+    if not lock_attr:
+        raise ValueError("holds_lock needs a lock attribute name")
+
+    def decorate(func: _FuncT) -> _FuncT:
+        held: tuple[str, ...] = tuple(
+            dict.fromkeys(getattr(func, "__holds_lock__", ()) + (lock_attr,))
+        )
+        func.__holds_lock__ = held
+        return func
+
+    return decorate

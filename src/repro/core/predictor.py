@@ -22,7 +22,7 @@ The surface has three methods:
 
 from __future__ import annotations
 
-from typing import Iterable, Protocol, Sequence, runtime_checkable
+from typing import Any, Iterable, Protocol, Sequence, runtime_checkable
 
 from repro.core.types import Click, ItemId, ScoredItem
 
@@ -109,10 +109,10 @@ class TrainableMixin(BatchMixin):
     keep the same contract.
     """
 
-    def fit(self, clicks: Sequence[Click]):
+    def fit(self, clicks: Sequence[Click]) -> "TrainableMixin":
         raise NotImplementedError
 
     @classmethod
-    def from_clicks(cls, clicks: Iterable[Click], **kwargs):
+    def from_clicks(cls, clicks: Iterable[Click], **kwargs: Any) -> "TrainableMixin":
         """One-shot construction: ``cls(**kwargs).fit(clicks)``."""
         return cls(**kwargs).fit(list(clicks))

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from repro.core.floatcmp import is_zero_score
 from repro.core.index import SessionIndex
 from repro.core.types import ItemId, ScoredItem, SessionId, insertion_orders
 from repro.core.weights import MatchWeightFn, resolve_match_weight
@@ -66,7 +67,7 @@ def score_items(
             # No overlap with the evolving session: contributes nothing.
             continue
         match = weight_fn(last_shared)
-        if match == 0.0:
+        if is_zero_score(match):
             continue
         base = match * similarity * length_factor
         for item in neighbor_items:

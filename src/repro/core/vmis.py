@@ -31,7 +31,7 @@ the paper's "VMIS-kNN-no-opt" variant.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 from repro.core.heaps import BoundedTopK, MostRecentTracker
 from repro.core.index import SessionIndex
@@ -103,7 +103,7 @@ class VMISKNN(BatchMixin):
         self.exclude_current_items = exclude_current_items
         self.max_session_items = max_session_items
 
-    def _capped(self, session_items):
+    def _capped(self, session_items: Sequence[ItemId]) -> Sequence[ItemId]:
         """Apply the paper's cap on evolving-session length: only the
         most recent items take part, bounding prediction cost."""
         if (
@@ -127,13 +127,13 @@ class VMISKNN(BatchMixin):
 
     @classmethod
     def from_clicks(
-        cls, clicks: Iterable[Click], m: int = 500, **kwargs
+        cls, clicks: Iterable[Click], m: int = 500, **kwargs: Any
     ) -> "VMISKNN":
         """Build the index from raw clicks and construct the recommender."""
         return cls(m=m, **kwargs).fit(clicks)
 
     @classmethod
-    def no_opt(cls, index: SessionIndex, **kwargs) -> "VMISKNN":
+    def no_opt(cls, index: SessionIndex, **kwargs: Any) -> "VMISKNN":
         """The paper's VMIS-kNN-no-opt: binary heaps, no early stopping."""
         kwargs.setdefault("heap_arity", 2)
         kwargs.setdefault("early_stopping", False)

@@ -11,7 +11,7 @@ VMIS-kNN is exactly that this full candidate set is materialised (Section
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 from repro.core.index import SessionIndex
 from repro.core.predictor import BatchMixin
@@ -77,7 +77,7 @@ class VSKNN(BatchMixin):
         return self
 
     @classmethod
-    def from_clicks(cls, clicks: Iterable[Click], **kwargs) -> "VSKNN":
+    def from_clicks(cls, clicks: Iterable[Click], **kwargs: Any) -> "VSKNN":
         """Build storage from raw clicks and construct the recommender."""
         return cls(**kwargs).fit(clicks)
 

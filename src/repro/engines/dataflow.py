@@ -30,6 +30,7 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from repro.core.floatcmp import scores_differ
 from repro.core.index import SessionIndex
 from repro.core.predictor import BatchMixin
 from repro.core.scoring import score_items, top_n
@@ -115,12 +116,16 @@ class SessionSimilarityDataflow:
         old_facts = self._current_facts()
         self._items.append(item)
         new_facts = self._current_facts()
-        # Differential update: only changed facts produce deltas.
+        # Differential update: only changed facts produce deltas. "Changed"
+        # uses the tie envelope — decay weights that moved by less than
+        # float noise are the same fact re-derived, not a retraction.
         for fact_item, weight in old_facts.items():
-            if new_facts.get(fact_item) != weight:
+            new_weight = new_facts.get(fact_item)
+            if new_weight is None or scores_differ(new_weight, weight):
                 self._apply_input_delta(fact_item, weight, -1)
         for fact_item, weight in new_facts.items():
-            if old_facts.get(fact_item) != weight:
+            old_weight = old_facts.get(fact_item)
+            if old_weight is None or scores_differ(old_weight, weight):
                 self._apply_input_delta(fact_item, weight, +1)
 
     def _current_facts(self) -> dict[ItemId, float]:

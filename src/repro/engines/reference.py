@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+from repro.core.floatcmp import is_zero_score
 from repro.core.index import SessionIndex
 from repro.core.predictor import BatchMixin
 from repro.core.scoring import top_n
@@ -101,7 +102,7 @@ class ReferenceVSKNN(BatchMixin):
             if not shared_positions:
                 continue
             match = paper_match_weight(max(shared_positions))
-            if match == 0.0:
+            if is_zero_score(match):
                 continue
             for item in items:
                 scores[item] = scores.get(item, 0.0) + (

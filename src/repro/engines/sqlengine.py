@@ -34,6 +34,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Sequence
 
+from repro.core.floatcmp import is_zero_score
 from repro.core.index import SessionIndex
 from repro.core.predictor import BatchMixin
 from repro.core.scoring import top_n
@@ -281,7 +282,8 @@ class SQLVMIS(BatchMixin):
             )
 
         joined = executor.filter(
-            joined, lambda r: match_by_session[r[sid_position]] != 0.0
+            joined,
+            lambda r: not is_zero_score(match_by_session[r[sid_position]]),
         )
         scored = executor.project(
             joined,

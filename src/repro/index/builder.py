@@ -25,6 +25,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from repro.core.deadline import Clock
 from repro.core.index import SessionIndex
 from repro.core.types import Click, ItemId, SessionId, Timestamp
 
@@ -59,28 +60,32 @@ class IndexBuilder:
     """
 
     def __init__(
-        self, max_sessions_per_item: int = 5000, min_session_length: int = 1
+        self,
+        max_sessions_per_item: int = 5000,
+        min_session_length: int = 1,
+        perf_clock: Clock = time.perf_counter,
     ) -> None:
         if max_sessions_per_item < 1:
             raise ValueError("max_sessions_per_item must be >= 1")
         self.max_sessions_per_item = max_sessions_per_item
         self.min_session_length = min_session_length
         self.last_report: BuildReport | None = None
+        self._perf = perf_clock
 
     def build(self, clicks: Iterable[Click]) -> SessionIndex:
         """Run all pipeline stages and return the finished index."""
         report = BuildReport()
-        started = time.perf_counter()
+        started = self._perf()
         sessions = self._sessionize(clicks, report)
-        report.stage_seconds["sessionize"] = time.perf_counter() - started
+        report.stage_seconds["sessionize"] = self._perf() - started
 
-        started = time.perf_counter()
+        started = self._perf()
         ordered = self._assign_ids(sessions, report)
-        report.stage_seconds["assign_ids"] = time.perf_counter() - started
+        report.stage_seconds["assign_ids"] = self._perf() - started
 
-        started = time.perf_counter()
+        started = self._perf()
         index = self._invert_and_pack(ordered, report)
-        report.stage_seconds["invert_and_pack"] = time.perf_counter() - started
+        report.stage_seconds["invert_and_pack"] = self._perf() - started
 
         self.last_report = report
         return index
@@ -141,7 +146,7 @@ class IndexBuilder:
 
         m = self.max_sessions_per_item
         kept = 0
-        for item, posting_list in item_to_sessions.items():
+        for posting_list in item_to_sessions.values():
             posting_list.reverse()
             if len(posting_list) > m:
                 del posting_list[m:]

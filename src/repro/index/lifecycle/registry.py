@@ -26,12 +26,14 @@ import hashlib
 import json
 import os
 import re
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
 from repro.core.index import SessionIndex
+from repro.core.locking import guarded_by
 from repro.index.serialization import deserialize_index, serialize_index
 
 ARTIFACT_NAME = "index.vmis"
@@ -93,6 +95,7 @@ def atomic_write_bytes(path: Path, data: bytes) -> None:
     _fsync_directory(path.parent)
 
 
+@guarded_by("_lock", "_fallbacks")
 class IndexRegistry:
     """A directory of versioned index artifacts plus the CURRENT pointer."""
 
@@ -100,9 +103,18 @@ class IndexRegistry:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self._clock = clock
-        #: versions skipped because their artifact failed verification,
-        #: in the order they were discovered (cleared on each load call).
-        self.last_fallbacks: list[str] = []
+        self._lock = threading.Lock()
+        # Versions skipped because their artifact failed verification,
+        # in the order they were discovered (cleared on each load call).
+        # Guarded: load_current may race a monitoring scrape reading
+        # last_fallbacks from another thread.
+        self._fallbacks: list[str] = []
+
+    @property
+    def last_fallbacks(self) -> list[str]:
+        """Snapshot of the versions skipped by the latest load call."""
+        with self._lock:
+            return list(self._fallbacks)
 
     # -- registration ---------------------------------------------------------
 
@@ -223,7 +235,8 @@ class IndexRegistry:
         :attr:`last_fallbacks`. Raises :class:`RegistryError` only when
         *no* version at or below CURRENT is loadable.
         """
-        self.last_fallbacks = []
+        with self._lock:
+            self._fallbacks = []
         current = self.current_version()
         if current is None:
             raise RegistryError("nothing promoted yet")
@@ -232,7 +245,8 @@ class IndexRegistry:
             try:
                 return self.load(version), version
             except (ValueError, RegistryError):
-                self.last_fallbacks.append(version)
+                with self._lock:
+                    self._fallbacks.append(version)
         raise RegistryError(
             f"no loadable version at or below {current!r} "
             f"(tried {self.last_fallbacks})"

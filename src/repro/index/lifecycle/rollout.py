@@ -31,6 +31,7 @@ skipped and converge to the committed version on restart.
 from __future__ import annotations
 
 import enum
+import logging
 import math
 import random
 import time
@@ -41,6 +42,8 @@ from repro.cluster.metrics import percentile
 from repro.core.predictor import SessionRecommender
 from repro.serving.app import RecommenderFactory, ServingCluster
 from repro.serving.server import RecommendationRequest
+
+logger = logging.getLogger(__name__)
 
 
 class RolloutState(enum.Enum):
@@ -248,6 +251,10 @@ class RolloutController:
                 if not isinstance(ranked, list):
                     return False
         except Exception:
+            logger.warning(
+                "health check failed: probe session crashed the replica",
+                exc_info=True,
+            )
             return False
         return True
 
@@ -292,6 +299,11 @@ class RolloutController:
                 failed = response.degraded
                 elapsed = response.service_seconds
             except Exception:
+                logger.debug(
+                    "canary probe request failed on pod %s",
+                    pod_id,
+                    exc_info=True,
+                )
                 failed = True
             if is_canary:
                 stats.canary_requests += 1

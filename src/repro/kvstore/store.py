@@ -20,11 +20,13 @@ import time
 from pathlib import Path
 from typing import Callable, Iterator
 
+from repro.core.locking import guarded_by, holds_lock
 from repro.kvstore.wal import OP_DELETE, OP_PUT, WalRecord, WriteAheadLog
 
 Clock = Callable[[], float]
 
 
+@guarded_by("_lock", "_memtable", "_wal")
 class KVStore:
     """Thread-safe in-process key-value store with TTL and optional WAL."""
 
@@ -54,7 +56,10 @@ class KVStore:
             self._replay(wal_path)
             self._wal = WriteAheadLog(wal_path, sync_every=sync_every)
 
+    @holds_lock("_lock")
     def _replay(self, wal_path: str | Path) -> None:
+        # Called from __init__ before the store is shared; annotated as a
+        # lock-holder because it touches the memtable single-threaded.
         now = self._clock()
         for record in WriteAheadLog.replay(wal_path):
             if record.op == OP_PUT:
@@ -100,6 +105,7 @@ class KVStore:
                 self._wal.append(WalRecord(OP_DELETE, key))
             return existed
 
+    @holds_lock("_lock")
     def _remove_if_live(self, key: bytes) -> bool:
         entry = self._memtable.pop(key, None)
         if entry is None:
@@ -142,9 +148,9 @@ class KVStore:
 
     def compact(self) -> None:
         """Rewrite the WAL to contain exactly the live entries."""
-        if self._wal is None:
-            return
         with self._lock:
+            if self._wal is None:
+                return
             path = self._wal.path
             self._wal.close()
             tmp = path.with_suffix(path.suffix + ".compact")
@@ -189,8 +195,9 @@ class KVStore:
             )
 
     def close(self) -> None:
-        if self._wal is not None:
-            self._wal.close()
+        with self._lock:
+            if self._wal is not None:
+                self._wal.close()
 
     def __enter__(self) -> "KVStore":
         return self

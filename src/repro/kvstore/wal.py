@@ -66,7 +66,9 @@ class WriteAheadLog:
         self.path = Path(path)
         self.sync_every = sync_every
         self._appends_since_sync = 0
-        self._handle: BinaryIO = open(self.path, "ab")
+        # The WAL handle deliberately outlives any one scope: it is held
+        # open for the store's lifetime and closed via close()/compact().
+        self._handle: BinaryIO = open(self.path, "ab")  # noqa: SIM115
 
     def append(self, record: WalRecord) -> None:
         """Append one record, honouring the fsync policy.

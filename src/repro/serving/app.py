@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import time
 from pathlib import Path
-from typing import Callable, Sequence
+from typing import Any, Callable, Sequence
 
 from repro.core.batch import BatchPredictionEngine
 from repro.core.index import SessionIndex
@@ -238,7 +238,7 @@ class ServingCluster:
         num_pods: int = 2,
         m: int = 500,
         k: int = 100,
-        **kwargs,
+        **kwargs: Any,
     ) -> "ServingCluster":
         """Cluster of VMIS-kNN pods sharing one prebuilt index object.
 

@@ -37,6 +37,7 @@ import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro.core.deadline import Clock
 from repro.serving.app import ServingCluster
 from repro.serving.monitoring import MetricsRegistry
 from repro.serving.resilience import BreakerState, Overloaded
@@ -125,10 +126,17 @@ def parse_batch_payload(payload: dict) -> tuple[list[list[int]], int]:
 
 
 class SerenadeService:
-    """The application object behind the HTTP handler (testable directly)."""
+    """The application object behind the HTTP handler (testable directly).
 
-    def __init__(self, cluster: ServingCluster) -> None:
+    ``perf_clock`` is the latency clock seam: tests drive it with a
+    ``VirtualClock`` so reported ``latency_ms`` is deterministic.
+    """
+
+    def __init__(
+        self, cluster: ServingCluster, perf_clock: Clock | None = None
+    ) -> None:
         self.cluster = cluster
+        self._perf: Clock = perf_clock if perf_clock is not None else time.perf_counter
         self.metrics = MetricsRegistry()
         self._requests = self.metrics.counter(
             "serenade_requests_total", "Recommendation requests by status"
@@ -183,13 +191,13 @@ class SerenadeService:
         """Handle one /v1/recommend call; raises BadRequest on bad input
         and Overloaded (HTTP 429) when admission control sheds the call."""
         request = parse_recommend_payload(payload)
-        started = time.perf_counter()
+        started = self._perf()
         try:
             response = self.cluster.handle(request)
         except Overloaded:
             self._requests.increment(status="shed")
             raise
-        elapsed = time.perf_counter() - started
+        elapsed = self._perf() - started
         self._requests.increment(status="ok")
         self._latency.observe(elapsed)
         return {
@@ -206,9 +214,9 @@ class SerenadeService:
     def recommend_batch(self, payload: dict) -> dict:
         """Handle one /v1/recommend_batch call via the cluster batch engine."""
         sessions, count = parse_batch_payload(payload)
-        started = time.perf_counter()
+        started = self._perf()
         results = self.cluster.handle_batch(sessions, how_many=count)
-        elapsed = time.perf_counter() - started
+        elapsed = self._perf() - started
         self._batch_requests.increment(status="ok")
         self._batch_sessions.increment(amount=len(sessions))
         cache = self.cluster.batch_engine().cache_info()
@@ -288,7 +296,7 @@ class _Handler(BaseHTTPRequestHandler):
     def service(self) -> SerenadeService:
         return self.server.service  # type: ignore[attr-defined]
 
-    def log_message(self, format: str, *args) -> None:  # noqa: A002
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
         pass  # keep test output quiet; metrics carry the signal
 
     def _send_json(self, status: int, body: dict) -> None:
@@ -370,8 +378,14 @@ class SerenadeHTTPServer:
         server.stop()
     """
 
-    def __init__(self, cluster: ServingCluster, host: str = "127.0.0.1", port: int = 0) -> None:
-        self.service = SerenadeService(cluster)
+    def __init__(
+        self,
+        cluster: ServingCluster,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        perf_clock: Clock | None = None,
+    ) -> None:
+        self.service = SerenadeService(cluster, perf_clock=perf_clock)
         self._httpd = _Server((host, port), _Handler)
         self._httpd.service = self.service  # type: ignore[attr-defined]
         self._thread: threading.Thread | None = None
@@ -399,5 +413,5 @@ class SerenadeHTTPServer:
     def __enter__(self) -> "SerenadeHTTPServer":
         return self.start()
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.stop()

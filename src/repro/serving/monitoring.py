@@ -16,7 +16,12 @@ from __future__ import annotations
 
 import threading
 from bisect import bisect_left
-from typing import Iterable
+from typing import Callable, Iterable, TypeVar
+
+from repro.core.locking import guarded_by
+
+#: metric class resolved by MetricsRegistry._get_or_create.
+_M = TypeVar("_M")
 
 # Default latency buckets in seconds: 100 µs .. 1 s, roughly log-spaced.
 DEFAULT_BUCKETS = (
@@ -37,6 +42,7 @@ DEFAULT_BUCKETS = (
 )
 
 
+@guarded_by("_lock", "_values")
 class Counter:
     """A monotonic counter with optional label sets."""
 
@@ -70,6 +76,7 @@ class Counter:
         return lines
 
 
+@guarded_by("_lock", "_values")
 class Gauge:
     """A value that can go up and down (breaker states, queue depths)."""
 
@@ -101,6 +108,7 @@ class Gauge:
         return lines
 
 
+@guarded_by("_lock", "_counts", "_sum", "_total")
 class Histogram:
     """A fixed-bucket histogram of observations (typically seconds)."""
 
@@ -129,11 +137,13 @@ class Histogram:
 
     @property
     def count(self) -> int:
-        return self._total
+        with self._lock:
+            return self._total
 
     @property
     def sum(self) -> float:
-        return self._sum
+        with self._lock:
+            return self._sum
 
     def quantile(self, q: float) -> float:
         """Estimate a quantile from the bucket counts.
@@ -173,6 +183,7 @@ class Histogram:
         return lines
 
 
+@guarded_by("_lock", "_metrics")
 class MetricsRegistry:
     """Holds the service's metrics and renders the exposition text."""
 
@@ -196,7 +207,9 @@ class MetricsRegistry:
             name, lambda: Histogram(name, help_text, buckets), Histogram
         )
 
-    def _get_or_create(self, name, factory, expected_type):
+    def _get_or_create(
+        self, name: str, factory: Callable[[], _M], expected_type: type[_M]
+    ) -> _M:
         with self._lock:
             metric = self._metrics.get(name)
             if metric is None:

@@ -38,6 +38,7 @@ from typing import Sequence
 
 from repro.core.deadline import DEFAULT_BUDGET_SECONDS, Clock, Deadline
 from repro.core.index import SessionIndex
+from repro.core.locking import guarded_by, holds_lock
 from repro.core.predictor import SessionRecommender, batch_via_loop
 from repro.core.types import ItemId, ScoredItem
 
@@ -45,7 +46,9 @@ from repro.core.types import ItemId, ScoredItem
 class Overloaded(RuntimeError):
     """The cluster shed this request (HTTP 429 semantics)."""
 
-    def __init__(self, message: str = "overloaded", retry_after_ms: float = 100.0):
+    def __init__(
+        self, message: str = "overloaded", retry_after_ms: float = 100.0
+    ) -> None:
         super().__init__(message)
         self.retry_after_ms = retry_after_ms
 
@@ -88,6 +91,14 @@ class BreakerState(enum.Enum):
     HALF_OPEN = "half-open"
 
 
+@guarded_by(
+    "_lock",
+    "_window",
+    "_state",
+    "_opened_at",
+    "_probe_in_flight",
+    "short_circuits",
+)
 class CircuitBreaker:
     """Failure-rate circuit breaker with a half-open probe.
 
@@ -182,12 +193,14 @@ class CircuitBreaker:
                 if failures / len(self._window) >= self.failure_threshold:
                     self._trip()
 
+    @holds_lock("_lock")
     def _trip(self) -> None:
         self._state = BreakerState.OPEN
         self._opened_at = self._clock()
         self._probe_in_flight = False
         self._window.clear()
 
+    @holds_lock("_lock")
     def _maybe_half_open(self) -> None:
         if (
             self._state is BreakerState.OPEN
@@ -460,6 +473,7 @@ class FallbackChain:
             self._pool.shutdown(wait=False)
 
 
+@guarded_by("_lock", "counters")
 class ResilientRecommender:
     """The deadline-budget wrapper installed as a pod's recommender.
 
@@ -565,6 +579,7 @@ class AdmissionToken:
         return self._shed
 
 
+@guarded_by("_lock", "_queue", "shed_count", "admitted_count")
 class AdmissionController:
     """A bounded queue in front of the cluster, shedding oldest-first.
 

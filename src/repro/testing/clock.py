@@ -26,9 +26,12 @@ import itertools
 import threading
 from typing import Callable
 
+from repro.core.locking import guarded_by
+
 __all__ = ["VirtualClock"]
 
 
+@guarded_by("_lock", "_now", "_scheduled")
 class VirtualClock:
     """A controllable monotonic clock; callable like ``time.monotonic``.
 

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, replace
-from typing import Iterator, Sequence
+from typing import Any, Iterator, Sequence
 
 from repro.core.types import Click, ItemId
 
@@ -73,7 +73,9 @@ class WorkloadConfig:
 class WorkloadGenerator:
     """Deterministic click-log / query / schedule generator."""
 
-    def __init__(self, config: WorkloadConfig | None = None, **overrides) -> None:
+    def __init__(
+        self, config: WorkloadConfig | None = None, **overrides: Any
+    ) -> None:
         self.config = replace(config or WorkloadConfig(), **overrides)
         cfg = self.config
         # Unnormalised power-law popularity weights over item ids; used

@@ -36,9 +36,10 @@ import json
 from dataclasses import dataclass, field
 from itertools import product
 from pathlib import Path
-from typing import Callable, Iterable, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
 from repro.core.batch import BatchPredictionEngine
+from repro.core.floatcmp import scores_differ
 from repro.core.index import SessionIndex
 from repro.core.types import Click, ItemId
 from repro.core.vmis import VMISKNN
@@ -180,8 +181,8 @@ def _engine_implementations() -> dict[str, ImplFactory]:
     from repro.engines.hashmap import HashmapVMIS
     from repro.engines.sqlengine import SQLVMIS
 
-    def build(cls):
-        def factory(clicks: list[Click], p: HyperParams):
+    def build(cls: type) -> ImplFactory:
+        def factory(clicks: list[Click], p: HyperParams) -> object:
             index = SessionIndex.from_clicks(clicks, max_sessions_per_item=p.m)
             return cls(index, m=p.m, k=p.k)
 
@@ -201,10 +202,6 @@ def _in_engine_envelope(clicks: Sequence[Click], p: HyperParams) -> bool:
         and p.decay == "linear"
         and p.match_weight == "paper"
     )
-
-
-#: relative gap below which two neighbour similarities count as a float tie.
-_CUT_EPSILON = 1e-9
 
 
 def _neighbor_cut_stable(
@@ -227,8 +224,7 @@ def _neighbor_cut_stable(
     )
     if len(similarities) <= p.k:
         return True  # every candidate is selected; there is no cut
-    gap = similarities[p.k - 1] - similarities[p.k]
-    return gap > _CUT_EPSILON * max(1.0, abs(similarities[p.k - 1]))
+    return scores_differ(similarities[p.k - 1], similarities[p.k])
 
 
 class DifferentialRunner:
@@ -262,17 +258,21 @@ class DifferentialRunner:
 
     # -- single-case comparison ---------------------------------------------
 
-    def _query(self, impl, query: Sequence[ItemId]) -> list[tuple[ItemId, float]]:
+    def _query(
+        self, impl: Any, query: Sequence[ItemId]
+    ) -> list[tuple[ItemId, float]]:
         scored = impl.recommend(list(query), how_many=self.how_many)
         return [(s.item_id, s.score) for s in scored]
 
     @staticmethod
-    def _close(impl) -> None:
+    def _close(impl: Any) -> None:
         close = getattr(impl, "close", None)
         if callable(close):
             close()
 
-    def _output(self, impl, query: Sequence[ItemId]) -> list[tuple[ItemId, float]]:
+    def _output(
+        self, impl: Any, query: Sequence[ItemId]
+    ) -> list[tuple[ItemId, float]]:
         try:
             return self._query(impl, query)
         finally:
@@ -346,7 +346,12 @@ class DifferentialRunner:
             self._close(impl)
         return divergences
 
-    def _still_diverges(self, case: DivergenceCase, clicks, query) -> bool:
+    def _still_diverges(
+        self,
+        case: DivergenceCase,
+        clicks: Sequence[Click],
+        query: Sequence[ItemId],
+    ) -> bool:
         if not clicks or not query:
             return False
         build = self.implementations.get(case.impl_b) or (

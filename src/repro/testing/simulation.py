@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import replace
-from typing import Iterable, Iterator, Sequence
+from typing import Any, Iterable, Iterator, Sequence
 
 from repro.cluster.chaos import ChaosInjector, ChaosReport, ChaosSchedule, PodKill
 from repro.cluster.loadgen import TimedRequest
@@ -58,7 +58,7 @@ class SimulatedCluster:
         index: SessionIndex,
         clock: VirtualClock | None = None,
         resilience: ResiliencePolicy | None = None,
-        **kwargs,
+        **kwargs: Any,
     ) -> "SimulatedCluster":
         """Build a fully virtualised cluster around a prebuilt index.
 

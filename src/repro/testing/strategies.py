@@ -66,7 +66,7 @@ def install_profiles(default: str = "dev") -> str:
 
 @st.composite
 def click_logs(
-    draw,
+    draw: st.DrawFn,
     max_sessions: int = 10,
     max_items: int = 6,
     max_session_length: int = 4,
@@ -99,7 +99,7 @@ def click_logs(
 
 @st.composite
 def evolving_sessions(
-    draw, max_items: int = 6, max_length: int = 5
+    draw: st.DrawFn, max_items: int = 6, max_length: int = 5
 ) -> list[int]:
     """An evolving session over the same tiny item pool."""
     return draw(

@@ -1,0 +1,23 @@
+"""Malformed or unused suppressions — each comment is an SRN000 finding."""
+
+import time
+
+
+def missing_reason() -> float:
+    return time.time()  # serenade: ignore[SRN001]
+
+
+def missing_rule_list() -> float:
+    return time.time()  # serenade: ignore because reasons
+
+
+def unknown_rule() -> int:
+    return 1  # serenade: ignore[SRN999] no such rule
+
+
+def meta_rule() -> int:
+    return 2  # serenade: ignore[SRN000] the meta rule is not suppressible
+
+
+def unused() -> int:
+    return 3  # serenade: ignore[SRN002] nothing to suppress here

@@ -1,0 +1,38 @@
+"""Seeded SRN001 violations: ambient clock and RNG calls in logic code."""
+
+import random
+import time
+from datetime import datetime
+from time import monotonic as mono
+
+from repro.core.deadline import Clock
+
+
+def elapsed_bad() -> float:
+    start = time.monotonic()  # violation: ambient clock call
+    time.sleep(0.01)  # violation: real sleep
+    return time.monotonic() - start  # violation
+
+
+def stamp_bad() -> str:
+    return datetime.now().isoformat()  # violation: wall-clock timestamp
+
+
+def aliased_bad() -> float:
+    return mono()  # violation: aliased time.monotonic call
+
+
+def jitter_bad() -> float:
+    return random.random()  # violation: ambient module-level RNG
+
+
+def elapsed_good(clock: Clock = time.monotonic) -> float:
+    # Referencing time.monotonic as an injectable default is the seam
+    # itself — only *calls* are violations.
+    start = clock()
+    return clock() - start
+
+
+def jitter_good(seed: int) -> float:
+    rng = random.Random(seed)  # constructing a seeded RNG is allowed
+    return rng.random()

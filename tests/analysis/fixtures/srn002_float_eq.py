@@ -1,0 +1,24 @@
+"""Seeded SRN002 violations: exact float comparison on score-like values."""
+
+
+def cut_bad(score: float, other_score: float) -> bool:
+    if score == 0.0:  # violation: float-literal equality
+        return False
+    return score != other_score  # violation: score-named operands
+
+
+def weight_bad(weight: float) -> bool:
+    return weight == 1.0  # violation: float-literal equality
+
+
+def cut_good(score: float, other_score: float) -> bool:
+    from repro.core.floatcmp import is_zero_score, scores_differ
+
+    if is_zero_score(score):
+        return False
+    return scores_differ(score, other_score)
+
+
+def not_scores(decay: str, count: int) -> bool:
+    # String/int comparisons are out of scope even with score-ish names.
+    return decay == "linear" and count == 0

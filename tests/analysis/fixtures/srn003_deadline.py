@@ -1,0 +1,42 @@
+"""Seeded SRN003 violations: deadline parameters that leak the SLA budget."""
+
+from repro.core.deadline import Deadline
+
+
+def dead_param_bad(session, deadline: Deadline | None = None):  # violation
+    return list(session)
+
+
+def reminted_bad(session, deadline: Deadline | None = None):
+    if deadline is not None and deadline.expired():
+        return None
+    budget = Deadline.after_ms(50.0)  # violation: re-mints the budget
+    return budget
+
+
+def loop_bad(shards, deadline: Deadline | None = None):
+    if deadline is not None and deadline.expired():
+        return []
+    out = []
+    for shard in shards:  # violation: blocking loop never re-checks
+        out.append(shard.recommend([]))
+    return out
+
+
+def naked_result_bad(future, deadline: Deadline | None = None):
+    if deadline is not None and deadline.expired():
+        return None
+    return future.result()  # violation: unbounded block
+
+
+def propagated_good(shards, future, deadline: Deadline | None = None):
+    if deadline is None:
+        deadline = Deadline.after_ms(50.0)  # allowed: default-fill idiom
+    out = []
+    for shard in shards:
+        if deadline.expired():
+            break
+        out.append(shard.recommend([], deadline=deadline))
+    timeout = deadline.remaining()
+    out.append(future.result(timeout=timeout))
+    return out

@@ -1,0 +1,56 @@
+"""Seeded SRN005 violations: broad excepts that swallow serving-path errors."""
+
+import logging
+
+logger = logging.getLogger(__name__)
+
+
+def swallow_bare_bad(pod):
+    try:
+        return pod.recommend([])
+    except:  # noqa: E722  # violation: silently swallowed
+        return None
+
+
+def swallow_broad_bad(pod):
+    try:
+        return pod.recommend([])
+    except Exception:  # violation: no log/metric/re-raise
+        return None
+
+
+def swallow_tuple_bad(pod):
+    try:
+        return pod.recommend([])
+    except (RuntimeError, Exception):  # violation: broad member swallowed
+        return None
+
+
+def logged_good(pod):
+    try:
+        return pod.recommend([])
+    except Exception:
+        logger.warning("pod failed; falling back", exc_info=True)
+        return None
+
+
+def counted_good(pod, metrics):
+    try:
+        return pod.recommend([])
+    except Exception:
+        metrics.increment("pod_failures")
+        return None
+
+
+def reraise_good(pod):
+    try:
+        return pod.recommend([])
+    except Exception:
+        raise
+
+
+def narrow_good(pod):
+    try:
+        return pod.recommend([])
+    except KeyError:  # narrow excepts may stay silent
+        return None

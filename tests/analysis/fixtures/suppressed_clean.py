@@ -1,0 +1,7 @@
+"""A real violation neutralised by a well-formed inline suppression."""
+
+import time
+
+
+def sampled_now() -> float:
+    return time.time()  # serenade: ignore[SRN001] fixture exercises suppression

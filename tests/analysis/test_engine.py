@@ -1,0 +1,253 @@
+"""Engine-level behaviour: suppressions, baseline round-trip, JSON, CLI."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    AnalysisConfig,
+    Baseline,
+    analyze_paths,
+    get_rule,
+    load_config,
+)
+from repro.analysis.__main__ import main as lint_main
+from repro.analysis.diagnostics import META_RULE, Diagnostic
+from repro.analysis.registry import all_rules
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+VIOLATING_SOURCE = '''\
+import time
+
+
+def now() -> float:
+    return time.time()
+'''
+
+CLEAN_SOURCE = '''\
+def now(clock) -> float:
+    return clock()
+'''
+
+
+def fixture_config() -> AnalysisConfig:
+    return AnalysisConfig(root=FIXTURES, baseline=None)
+
+
+# -- suppressions -------------------------------------------------------------
+
+
+def test_wellformed_suppression_silences_finding():
+    report = analyze_paths(
+        [FIXTURES / "suppressed_clean.py"], fixture_config(), use_baseline=False
+    )
+    assert report.clean
+    assert report.suppressed == 1
+
+
+def test_suppression_without_reason_is_a_finding_and_does_not_silence():
+    report = analyze_paths(
+        [FIXTURES / "bad_suppressions.py"], fixture_config(), use_baseline=False
+    )
+    by_line = {}
+    for finding in report.findings:
+        by_line.setdefault(finding.line, set()).add(finding.rule)
+    # reason-less suppression: SRN000 plus the un-silenced SRN001.
+    assert by_line[7] == {META_RULE, "SRN001"}
+    # rule-list-less suppression: same.
+    assert by_line[11] == {META_RULE, "SRN001"}
+    # suppressing the meta rule itself is refused.
+    assert by_line[19] == {META_RULE}
+    messages = {d.line: d.message for d in report.findings if d.rule == META_RULE}
+    assert "requires a reason" in messages[7]
+    assert "must name the rules" in messages[11]
+    assert "cannot be suppressed" in messages[19]
+
+
+def test_unused_suppression_is_a_finding():
+    report = analyze_paths(
+        [FIXTURES / "bad_suppressions.py"], fixture_config(), use_baseline=False
+    )
+    unused = [d for d in report.findings if "unused suppression" in d.message]
+    assert {d.line for d in unused} == {15, 23}
+
+
+def test_suppression_marker_in_docstring_is_not_a_suppression(tmp_path):
+    source = (
+        '"""Docs may mention `# serenade: ignore[SRN001] reason` freely."""\n'
+        + VIOLATING_SOURCE
+    )
+    target = tmp_path / "mod.py"
+    target.write_text(source)
+    config = AnalysisConfig(root=tmp_path, baseline=None)
+    report = analyze_paths([target], config, use_baseline=False)
+    # the docstring mention neither suppresses nor trips SRN000.
+    assert report.suppressed == 0
+    assert [d.rule for d in report.findings] == ["SRN001"]
+
+
+# -- baseline -----------------------------------------------------------------
+
+
+def test_baseline_round_trip_absorbs_then_flags_unused(tmp_path):
+    target = tmp_path / "legacy.py"
+    target.write_text(VIOLATING_SOURCE)
+    baseline_file = tmp_path / "baseline.json"
+    config = AnalysisConfig(root=tmp_path, baseline=baseline_file.name)
+
+    first = analyze_paths([target], config, use_baseline=True)
+    assert [d.rule for d in first.findings] == ["SRN001"]
+
+    # grandfather the finding, as --update-baseline would.
+    Baseline.from_findings(first.raw_findings).save(baseline_file)
+    second = analyze_paths([target], config, use_baseline=True)
+    assert second.clean
+    assert second.baselined == 1
+
+    # fix the violation: the stale entry must now fail the run.
+    target.write_text(CLEAN_SOURCE)
+    third = analyze_paths([target], config, use_baseline=True)
+    assert [d.rule for d in third.findings] == [META_RULE]
+    assert "unused baseline entry" in third.findings[0].message
+
+
+def test_baseline_survives_save_load_cycle(tmp_path):
+    finding = Diagnostic("a/b.py", 3, 0, "SRN001", "direct call to time.time()")
+    baseline_file = tmp_path / "baseline.json"
+    Baseline.from_findings([finding, finding]).save(baseline_file)
+    loaded = Baseline.load(baseline_file)
+    assert len(loaded) == 2
+    kept, baselined, unused = loaded.apply([finding])
+    assert (kept, baselined) == ([], 1)
+    assert len(unused) == 1  # one count left over
+
+
+def test_baseline_never_absorbs_meta_findings():
+    meta = Diagnostic("a.py", 1, 0, META_RULE, "syntax error: boom")
+    assert len(Baseline.from_findings([meta])) == 0
+
+
+def test_baseline_rejects_unknown_version(tmp_path):
+    bad = tmp_path / "baseline.json"
+    bad.write_text(json.dumps({"version": 99, "entries": []}))
+    with pytest.raises(ValueError, match="unsupported version"):
+        Baseline.load(bad)
+
+
+# -- report formats -----------------------------------------------------------
+
+
+def test_json_report_schema():
+    report = analyze_paths(
+        [FIXTURES / "srn001_clock.py"], fixture_config(), use_baseline=False
+    )
+    payload = json.loads(report.render_json())
+    assert payload["version"] == 1
+    assert payload["tool"] == "serenade-lint"
+    assert set(payload["counts"]) == {
+        "findings",
+        "suppressed",
+        "baselined",
+        "files",
+    }
+    assert payload["counts"]["findings"] == len(payload["findings"]) > 0
+    assert payload["rules"] == [cls.rule_id for cls in all_rules()]
+    for finding in payload["findings"]:
+        assert set(finding) == {"path", "line", "column", "rule", "message"}
+        assert isinstance(finding["line"], int)
+
+
+def test_syntax_error_becomes_meta_finding(tmp_path):
+    target = tmp_path / "broken.py"
+    target.write_text("def oops(:\n")
+    config = AnalysisConfig(root=tmp_path, baseline=None)
+    report = analyze_paths([target], config, use_baseline=False)
+    assert [d.rule for d in report.findings] == [META_RULE]
+    assert "syntax error" in report.findings[0].message
+
+
+# -- registry and config ------------------------------------------------------
+
+
+def test_registry_exposes_all_five_rules():
+    assert [cls.rule_id for cls in all_rules()] == [
+        "SRN001",
+        "SRN002",
+        "SRN003",
+        "SRN004",
+        "SRN005",
+    ]
+    assert get_rule("SRN004").name == "lock-discipline"
+
+
+def test_config_rule_scoping(tmp_path):
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text(
+        "[tool.serenade-lint]\n"
+        'baseline = "b.json"\n'
+        'exclude = ["src/vendored"]\n'
+        "\n"
+        "[tool.serenade-lint.rules.SRN001]\n"
+        'paths = ["src/serving", "src/core"]\n'
+    )
+    config = load_config(pyproject)
+    assert config.baseline == "b.json"
+    assert config.rule_applies("SRN001", "src/serving/http.py")
+    assert not config.rule_applies("SRN001", "src/cluster/pod.py")
+    # unscoped rules apply everywhere except excludes.
+    assert config.rule_applies("SRN004", "src/cluster/pod.py")
+    assert not config.rule_applies("SRN004", "src/vendored/x.py")
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def _write_pyproject(tmp_path: Path) -> None:
+    (tmp_path / "pyproject.toml").write_text("[tool.serenade-lint]\n")
+
+
+def test_cli_exit_zero_on_clean_tree(tmp_path, capsys):
+    _write_pyproject(tmp_path)
+    (tmp_path / "ok.py").write_text(CLEAN_SOURCE)
+    assert lint_main([str(tmp_path / "ok.py")]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_cli_exit_one_on_findings_and_json_output(tmp_path, capsys):
+    _write_pyproject(tmp_path)
+    bad = tmp_path / "bad.py"
+    bad.write_text(VIOLATING_SOURCE)
+    assert lint_main([str(bad), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["counts"]["findings"] == 1
+    assert payload["findings"][0]["rule"] == "SRN001"
+
+
+def test_cli_exit_two_on_missing_path(tmp_path, capsys):
+    _write_pyproject(tmp_path)
+    assert lint_main([str(tmp_path / "nope")]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_cli_update_baseline_then_clean(tmp_path, capsys):
+    _write_pyproject(tmp_path)
+    bad = tmp_path / "bad.py"
+    bad.write_text(VIOLATING_SOURCE)
+    assert lint_main([str(bad), "--update-baseline"]) == 0
+    assert (tmp_path / "serenade-lint-baseline.json").exists()
+    assert lint_main([str(bad)]) == 0
+    out = capsys.readouterr().out
+    assert "1 baselined" in out
+    # --no-baseline resurfaces the grandfathered finding.
+    assert lint_main([str(bad), "--no-baseline"]) == 1
+
+
+def test_cli_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("SRN001", "SRN002", "SRN003", "SRN004", "SRN005"):
+        assert rule_id in out

@@ -22,7 +22,7 @@ def pattern_clicks():
     rng = np.random.default_rng(3)
     for session in range(300):
         start = int(rng.integers(0, 10)) * 2
-        for offset, item in enumerate((start, start + 1)):
+        for item in (start, start + 1):
             timestamp += 5
             clicks.append(Click(session, item, timestamp))
     return clicks

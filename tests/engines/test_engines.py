@@ -151,7 +151,7 @@ class TestMemoryBudgets:
 class TestGarbageCollectorSimulator:
     def test_collects_at_threshold(self):
         gc = GarbageCollectorSimulator(young_generation_size=10)
-        for i in range(25):
+        for _ in range(25):
             gc.allocate(object())
         assert gc.collections == 2
         assert gc.objects_traced == 20
