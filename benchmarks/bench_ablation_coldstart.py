@@ -27,7 +27,9 @@ from repro.data.synthetic import generate_clickstream
 from repro.index.builder import build_index
 from repro.index.maintenance import IncrementalIndexer
 
-from conftest import write_report
+from repro.bench.report import BenchReport, HIGHER
+
+from conftest import publish
 
 NUM_NEW_ITEMS = 25
 SESSIONS_PER_NEW_ITEM = 8
@@ -93,20 +95,39 @@ def test_ablation_coldstart_window(benchmark, coldstart_setup):
 
     benchmark(lambda: recommendable(fresh, new_items, probes))
 
-    lines = [
+    report = BenchReport(
+        "ablation_coldstart",
+        metadata={
+            "new_items": NUM_NEW_ITEMS,
+            "sessions_per_new_item": SESSIONS_PER_NEW_ITEM,
+        },
+    )
+    report.note(
         f"{NUM_NEW_ITEMS} new items x {SESSIONS_PER_NEW_ITEM} sessions "
-        "introduced after the last index build",
-        "",
+        "introduced after the last index build"
+    )
+    report.note()
+    report.note(
         f"stale index (yesterday's build):  new-item coverage "
-        f"{stale_coverage:.0%}   [paper: new items invisible for a day]",
+        f"{stale_coverage:.0%}   [paper: new items invisible for a day]"
+    )
+    report.note(
         f"daily rebuild:                    new-item coverage "
-        f"{fresh_coverage:.0%}",
+        f"{fresh_coverage:.0%}"
+    )
+    report.note(
         f"incremental ingest (section 7):   new-item coverage "
-        f"{incremental_coverage:.0%}",
-        "",
-        "shape checks: stale = 0%, rebuild > 0%, incremental == rebuild",
-    ]
-    write_report("ablation_coldstart", "\n".join(lines))
+        f"{incremental_coverage:.0%}"
+    )
+    report.note()
+    report.check("stale index sees no new items", stale_coverage == 0.0)
+    report.check("daily rebuild recovers coverage", fresh_coverage > 0.5)
+    report.check(
+        "incremental ingest matches rebuild",
+        incremental_coverage == fresh_coverage,
+    )
+    report.metric("fresh_coverage", fresh_coverage, "", HIGHER)
+    publish(report)
 
     assert stale_coverage == 0.0
     assert fresh_coverage > 0.5

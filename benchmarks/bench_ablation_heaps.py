@@ -20,7 +20,9 @@ import pytest
 
 from repro.core.vmis import VMISKNN
 
-from conftest import write_report
+from repro.bench.report import BenchReport, Column, HIGHER
+
+from conftest import publish
 
 M, K = 500, 100
 
@@ -69,22 +71,26 @@ def test_ablation_heap_arity(benchmark, bench_index, bench_prefixes, arity):
 def test_ablation_summary(benchmark, ablation_results):
     benchmark(lambda: None)
 
-    lines = [f"{'configuration':<36} {'mean us':>9}"]
-    lines.append("-" * 46)
+    report = BenchReport("ablation_heaps", metadata={"m": M, "k": K})
+    report.table(
+        Column("configuration", 36, align="<"),
+        Column("mean us", 9, fmt=".1f"),
+    )
     for name, mean_us in sorted(ablation_results.items(), key=lambda kv: kv[1]):
-        lines.append(f"{name:<36} {mean_us:>9.1f}")
+        report.row(name, mean_us)
     default = ablation_results["arity=8, early-stop on (default)"]
     no_opt = ablation_results["arity=2, early-stop off (no-opt)"]
     no_early = ablation_results["arity=8, early-stop off"]
-    lines.append("")
-    lines.append(
+    report.note()
+    report.note(
         f"optimised vs no-opt: {no_opt / default:.3f}x "
         "(paper: optimisations worth 6-12%)"
     )
-    lines.append(
+    report.note(
         f"early stopping alone: {no_early / default:.3f}x at arity 8"
     )
-    write_report("ablation_heaps", "\n".join(lines))
+    report.metric("noopt_speedup", no_opt / default, "x", HIGHER)
+    publish(report)
 
     assert default <= no_opt * 1.02  # optimised config wins (2% noise floor)
     assert default <= no_early * 1.02  # early stopping never hurts

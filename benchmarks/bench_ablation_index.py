@@ -27,7 +27,9 @@ from repro.index.builder import build_index
 from repro.index.compression import CompressedSessionIndex, compression_ratio
 from repro.index.maintenance import IncrementalIndexer
 
-from conftest import write_report
+from repro.bench.report import BenchReport, HIGHER
+
+from conftest import publish
 
 M, K = 500, 100
 
@@ -91,15 +93,24 @@ def test_ablation_compressed_index(benchmark, compression_results, bench_index_m
 
     results = compression_results
     overhead = results["compressed_us"] / results["plain_us"]
-    lines = [
+    report = BenchReport(
+        "ablation_compressed_index", metadata={"m": M, "k": K}
+    )
+    report.note(
         f"compression ratio: {results['ratio']:.2f}x "
-        "(delta+varint arenas vs flat 8-byte entries)",
+        "(delta+varint arenas vs flat 8-byte entries)"
+    )
+    report.note(
         f"query latency: plain {results['plain_us']:.1f} us, "
         f"compressed {results['compressed_us']:.1f} us "
-        f"({overhead:.2f}x overhead)",
-        f"results identical on compressed index: {results['agreement']}",
-    ]
-    write_report("ablation_compressed_index", "\n".join(lines))
+        f"({overhead:.2f}x overhead)"
+    )
+    report.check(
+        "results identical on compressed index", results["agreement"]
+    )
+    report.metric("compression_ratio", results["ratio"], "x", HIGHER)
+    report.metric("decode_overhead", overhead, "x")
+    publish(report)
 
     assert results["ratio"] > 2.0
     assert results["agreement"]
@@ -121,12 +132,21 @@ def test_ablation_incremental_maintenance(benchmark, maintenance_results, bench_
     speedup = results["rebuild_seconds"] / max(
         results["incremental_seconds"], 1e-9
     )
-    lines = [
-        f"one-day batch: {results['sessions_added']} new sessions",
-        f"incremental ingest: {results['incremental_seconds'] * 1e3:.1f} ms",
-        f"full rebuild:       {results['rebuild_seconds'] * 1e3:.1f} ms",
-        f"incremental speedup for the daily refresh: {speedup:.1f}x",
-    ]
-    write_report("ablation_incremental_maintenance", "\n".join(lines))
+    report = BenchReport(
+        "ablation_incremental_maintenance",
+        metadata={"sessions_added": results["sessions_added"], "m": M},
+    )
+    report.note(f"one-day batch: {results['sessions_added']} new sessions")
+    report.note(
+        f"incremental ingest: {results['incremental_seconds'] * 1e3:.1f} ms"
+    )
+    report.note(
+        f"full rebuild:       {results['rebuild_seconds'] * 1e3:.1f} ms"
+    )
+    report.note(
+        f"incremental speedup for the daily refresh: {speedup:.1f}x"
+    )
+    report.metric("incremental_speedup", speedup, "x", HIGHER)
+    publish(report)
 
     assert results["incremental_seconds"] < results["rebuild_seconds"]

@@ -17,7 +17,9 @@ from repro.core.index import SessionIndex
 from repro.data.synthetic import generate_clickstream
 from repro.index.capacity import NATIVE, extrapolate, measure_index
 
-from conftest import write_report
+from repro.bench.report import BenchReport
+
+from conftest import publish
 
 PAPER_SESSIONS = 111_000_000
 PAPER_ITEMS = 6_500_000
@@ -61,23 +63,39 @@ def test_capacity_planning(benchmark, capacity_estimates):
     interactions_ratio = (
         production_estimate.stored_session_items / PAPER_INTERACTIONS
     )
-    lines = [
-        "sample index:",
-        sample_estimate.render(),
-        "",
+    report = BenchReport(
+        "capacity_planning",
+        metadata={
+            "paper_sessions": PAPER_SESSIONS,
+            "paper_items": PAPER_ITEMS,
+            "paper_gigabytes": PAPER_GIGABYTES,
+        },
+    )
+    report.note("sample index:")
+    report.note(sample_estimate.render())
+    report.note()
+    report.note(
         f"extrapolated to the paper's production scale "
-        f"({PAPER_SESSIONS / 1e6:.0f}M sessions, {PAPER_ITEMS / 1e6:.1f}M items):",
-        production_estimate.render(),
-        "",
+        f"({PAPER_SESSIONS / 1e6:.0f}M sessions, {PAPER_ITEMS / 1e6:.1f}M items):"
+    )
+    report.note(production_estimate.render())
+    report.note()
+    report.note(
         f"paper reports ~{PAPER_GIGABYTES:.0f} GB; "
         f"extrapolation: {production_estimate.total_gigabytes:.1f} GiB "
-        "(same order; the artifact also carries Avro decode buffers)",
+        "(same order; the artifact also carries Avro decode buffers)"
+    )
+    report.note(
         f"extrapolated stored interactions: "
         f"{production_estimate.stored_session_items / 1e6:.0f}M vs paper's "
         f"{PAPER_INTERACTIONS / 1e6:.0f}M "
-        f"(ratio {interactions_ratio:.2f})",
-    ]
-    write_report("capacity_planning", "\n".join(lines))
+        f"(ratio {interactions_ratio:.2f})"
+    )
+    report.metric(
+        "extrapolated_gib", production_estimate.total_gigabytes, "GiB"
+    )
+    report.metric("interactions_ratio", interactions_ratio, "")
+    publish(report)
 
     assert 1.0 < production_estimate.total_gigabytes < 40.0
     assert 0.5 < interactions_ratio < 2.0

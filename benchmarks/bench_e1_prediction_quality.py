@@ -21,7 +21,9 @@ from repro.data.split import sliding_window_splits
 from repro.data.synthetic import generate_clickstream
 from repro.eval.evaluator import evaluate_next_item
 
-from conftest import write_report
+from repro.bench.report import BenchReport, Column, HIGHER
+
+from conftest import publish
 
 NUM_WINDOWS = 2  # the paper uses 5; reduced for laptop-scale training
 MAX_PREDICTIONS = 400
@@ -79,12 +81,28 @@ def test_e1_prediction_quality(benchmark, quality_results, bench_index_m500, ben
 
     benchmark(predict_batch)
 
-    header = f"{'model':<10} {'MRR@20':>8} {'MAP@20':>8} {'Prec@20':>8} {'R@20':>8}"
-    lines = [header, "-" * len(header)]
+    report = BenchReport(
+        "e1_prediction_quality",
+        metadata={
+            "windows": NUM_WINDOWS,
+            "max_predictions": MAX_PREDICTIONS,
+            "neural_steps": NEURAL_STEPS,
+        },
+    )
+    report.table(
+        Column("model", 10, align="<"),
+        Column("MRR@20", 8, fmt=".4f"),
+        Column("MAP@20", 8, fmt=".4f"),
+        Column("Prec@20", 8, fmt=".4f"),
+        Column("R@20", 8, fmt=".4f"),
+    )
     for name, metrics in quality_results.items():
-        lines.append(
-            f"{name:<10} {metrics['mrr']:>8.4f} {metrics['map']:>8.4f} "
-            f"{metrics['prec']:>8.4f} {metrics['recall']:>8.4f}"
+        report.row(
+            name,
+            metrics["mrr"],
+            metrics["map"],
+            metrics["prec"],
+            metrics["recall"],
         )
     vmis = quality_results["VMIS-kNN"]
     best_neural_mrr = max(
@@ -93,16 +111,18 @@ def test_e1_prediction_quality(benchmark, quality_results, bench_index_m500, ben
     best_neural_map = max(
         quality_results[n]["map"] for n in ("GRU4Rec", "NARM", "STAMP")
     )
-    lines.append("")
-    lines.append(
-        f"paper shape check: VMIS-kNN MRR {vmis['mrr']:.4f} >= best neural "
-        f"{best_neural_mrr:.4f}: {vmis['mrr'] >= best_neural_mrr}"
+    report.note()
+    report.check(
+        f"VMIS-kNN MRR {vmis['mrr']:.4f} >= best neural {best_neural_mrr:.4f}",
+        vmis["mrr"] >= best_neural_mrr,
     )
-    lines.append(
-        f"paper shape check: VMIS-kNN MAP {vmis['map']:.4f} >= best neural "
-        f"{best_neural_map:.4f}: {vmis['map'] >= best_neural_map}"
+    report.check(
+        f"VMIS-kNN MAP {vmis['map']:.4f} >= best neural {best_neural_map:.4f}",
+        vmis["map"] >= best_neural_map,
     )
-    write_report("e1_prediction_quality", "\n".join(lines))
+    report.metric("vmis_mrr_at_20", vmis["mrr"], "", HIGHER)
+    report.metric("vmis_map_at_20", vmis["map"], "", HIGHER)
+    publish(report)
 
     assert vmis["mrr"] >= best_neural_mrr
     assert vmis["map"] >= best_neural_map

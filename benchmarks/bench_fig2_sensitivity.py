@@ -17,7 +17,9 @@ from repro.data.datasets import load_dataset
 from repro.data.split import temporal_split
 from repro.eval.gridsearch import grid_search
 
-from conftest import write_report
+from repro.bench.report import BenchReport
+
+from conftest import publish
 
 KS = [50, 100, 500, 1500]
 MS = [20, 50, 100, 500, 1000]
@@ -56,29 +58,32 @@ def test_fig2_hyperparameter_sensitivity(benchmark, grid_results):
 
     benchmark(one_grid_point)
 
-    lines = []
+    report = BenchReport(
+        "fig2_sensitivity",
+        metadata={"ks": KS, "ms": MS, "max_predictions": MAX_PREDICTIONS},
+    )
     for name, result in grid_results.items():
         for metric, label in (("mrr", "MRR@20"), ("precision", "Prec@20")):
             best = result.best(metric)
-            lines.append(f"[{name}] {label} heatmap (lighter = better):")
-            lines.append(result.heatmap(metric))
-            lines.append(
+            report.note(f"[{name}] {label} heatmap (lighter = better):")
+            report.note(result.heatmap(metric))
+            report.note(
                 f"best {label}: k={best.k}, m={best.m} -> "
                 f"{best.metric(metric):.4f}"
             )
             values = [p.metric(metric) for p in result.points]
             assert max(values) > min(values), "surface must not be flat"
-            lines.append(
-                "unimodal ridge (tolerance 10%): "
-                f"{result.is_unimodal_ridge(metric, tolerance=0.1 * max(values))}"
+            report.check(
+                f"[{name}] {label} unimodal ridge (tolerance 10%)",
+                result.is_unimodal_ridge(metric, tolerance=0.1 * max(values)),
             )
-            lines.append("")
+            report.note()
         mrr_best = result.best("mrr")
         prec_best = result.best("precision")
-        lines.append(
+        report.note(
             f"[{name}] optimum differs per metric (paper finding): "
             f"MRR@(k={mrr_best.k},m={mrr_best.m}) vs "
             f"Prec@(k={prec_best.k},m={prec_best.m})"
         )
-        lines.append("")
-    write_report("fig2_sensitivity", "\n".join(lines))
+        report.note()
+    publish(report)

@@ -37,7 +37,9 @@ from repro.engines import (
     SQLVMIS,
 )
 
-from conftest import write_report
+from repro.bench.report import BenchReport, Column
+
+from conftest import publish
 
 DATASET_SIZES = {"small-sim": 6_000, "medium-sim": 18_000, "large-sim": 45_000}
 M, K = 500, 100
@@ -121,21 +123,30 @@ def test_fig3a_implementation_comparison(benchmark, implementation_results):
 
     benchmark(serve_growing_sessions)
 
-    lines = [
-        f"{'dataset':<12} {'engine':<10} {'median us':>10} {'p90 us':>10}"
-    ]
-    lines.append("-" * 46)
+    report = BenchReport(
+        "fig3a_implementations",
+        metadata={
+            "dataset_sizes": DATASET_SIZES,
+            "m": M,
+            "k": K,
+            "vspy_budget": VSPY_BUDGET,
+            "sql_budget": SQL_BUDGET,
+        },
+    )
+    report.table(
+        Column("dataset", 12, align="<"),
+        Column("engine", 10, align="<"),
+        Column("median us", 10),
+        Column("p90 us", 10),
+    )
     for dataset_name, engines in implementation_results.items():
         for engine_name, outcome in engines.items():
             if outcome == "X":
-                lines.append(
-                    f"{dataset_name:<12} {engine_name:<10} {'X':>10} {'X':>10}"
-                )
+                report.row(dataset_name, engine_name, "X", "X")
             else:
                 median, p90 = outcome
-                lines.append(
-                    f"{dataset_name:<12} {engine_name:<10} "
-                    f"{median:>10.1f} {p90:>10.1f}"
+                report.row(
+                    dataset_name, engine_name, f"{median:.1f}", f"{p90:.1f}"
                 )
 
     largest = implementation_results["large-sim"]
@@ -144,22 +155,22 @@ def test_fig3a_implementation_comparison(benchmark, implementation_results):
     }
     failures = [name for name, outcome in largest.items() if outcome == "X"]
     vmis_p90 = completing["VMIS-kNN"][1]
-    lines.append("")
-    lines.append(
-        "paper shape check: VMIS-kNN lowest p90 among completing engines "
-        f"on the largest dataset: "
-        f"{all(vmis_p90 <= o[1] for o in completing.values())}"
+    report.note()
+    report.check(
+        "VMIS-kNN lowest p90 among completing engines on the largest dataset",
+        all(vmis_p90 <= o[1] for o in completing.values()),
     )
-    lines.append(
+    report.note(
         f"paper shape check: memory failures on the largest dataset (X): "
         f"{failures} (paper: Python/Java/SQL fail on ecom-60m+)"
     )
-    lines.append(
+    report.note(
         "paper shape check: VMIS-Diff always completes but trails VMIS-kNN "
         "badly (indexing of intermediates), VMIS-SQL slowest completing "
         "engine where it completes"
     )
-    write_report("fig3a_implementations", "\n".join(lines))
+    report.metric("vmis_p90_us", vmis_p90, "us")
+    publish(report)
 
     assert all(vmis_p90 <= outcome[1] for outcome in completing.values())
     assert "VS-Py" in failures and "VMIS-SQL" in failures

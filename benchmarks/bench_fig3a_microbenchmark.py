@@ -26,7 +26,9 @@ from repro.core.vsknn import VSKNN
 from repro.data.split import temporal_split
 from repro.data.synthetic import generate_clickstream
 
-from conftest import write_report
+from repro.bench.report import BenchReport, Column, HIGHER
+
+from conftest import publish
 
 MS = [100, 250, 500, 1000]
 K = 100
@@ -104,33 +106,46 @@ def test_fig3a_micro_vsknn(benchmark, micro_workload, m):
 def test_fig3a_microbenchmark_summary(benchmark, micro_results):
     benchmark(lambda: None)  # the work happened in the fixture
 
-    lines = [f"{'m':>6} {'VS-kNN us':>10} {'no-opt us':>10} {'VMIS us':>10} {'speedup':>8}"]
-    lines.append("-" * 48)
+    report = BenchReport(
+        "fig3a_microbenchmark",
+        metadata={"k": K, "ms": MS, "regime": "heavy posting lists"},
+    )
+    report.table(
+        Column("m", 6),
+        Column("VS-kNN us", 10, fmt=".1f"),
+        Column("no-opt us", 10, fmt=".1f"),
+        Column("VMIS us", 10, fmt=".1f"),
+        Column("speedup", 8, fmt=".2f"),
+    )
     for m, row in micro_results.items():
-        speedup = row["VS-kNN"] / row["VMIS-kNN"]
-        lines.append(
-            f"{m:>6} {row['VS-kNN']:>10.1f} {row['VMIS-kNN-no-opt']:>10.1f} "
-            f"{row['VMIS-kNN']:>10.1f} {speedup:>7.2f}x"
+        report.row(
+            m,
+            row["VS-kNN"],
+            row["VMIS-kNN-no-opt"],
+            row["VMIS-kNN"],
+            row["VS-kNN"] / row["VMIS-kNN"],
         )
 
     total_vs = sum(row["VS-kNN"] for row in micro_results.values())
     total_noopt = sum(row["VMIS-kNN-no-opt"] for row in micro_results.values())
     total_vmis = sum(row["VMIS-kNN"] for row in micro_results.values())
-    lines.append("")
-    lines.append(
-        f"paper shape check: VMIS faster than VS-kNN at every m: "
-        f"{all(r['VMIS-kNN'] < r['VS-kNN'] for r in micro_results.values())}"
+    report.note()
+    report.check(
+        "VMIS faster than VS-kNN at every m (paper)",
+        all(r["VMIS-kNN"] < r["VS-kNN"] for r in micro_results.values()),
     )
-    lines.append(
-        "paper shape check: optimisations help on aggregate "
-        f"(no-opt {total_noopt:.0f}us vs opt {total_vmis:.0f}us): "
-        f"{total_vmis <= total_noopt}"
+    report.check(
+        "optimisations help on aggregate "
+        f"(no-opt {total_noopt:.0f}us vs opt {total_vmis:.0f}us, paper: 6-12%)",
+        total_vmis <= total_noopt,
     )
-    lines.append(
+    report.note(
         f"aggregate VS-kNN/VMIS speedup: {total_vs / total_vmis:.2f}x "
         "(paper: 3-5x)"
     )
-    write_report("fig3a_microbenchmark", "\n".join(lines))
+    report.metric("aggregate_speedup", total_vs / total_vmis, "x", HIGHER)
+    report.metric("vmis_total_us", total_vmis, "us")
+    publish(report)
 
     assert all(r["VMIS-kNN"] < r["VS-kNN"] for r in micro_results.values())
     assert total_vmis <= total_noopt * 1.05  # allow 5% timing noise

@@ -27,7 +27,9 @@ from repro.serving.app import ServingCluster
 from repro.serving.server import RecommendationRequest
 from repro.serving.variants import ServingVariant, session_view
 
-from conftest import write_report
+from repro.bench.report import BenchReport, HIGHER
+
+from conftest import publish
 
 SAMPLE_FRACTION = 0.05
 DURATION = 120.0
@@ -78,23 +80,40 @@ def test_fig3b_load_test(benchmark, load_test_result, bench_index_m500):
     usage_rps_correlation = float(np.corrcoef(rps_series, usage_series)[0, 1])
     slope = float(np.polyfit(rps_series, usage_series, 1)[0])
 
-    lines = [
-        format_timeline(result.timeline),
-        "",
+    report = BenchReport(
+        "fig3b_load_test",
+        metadata={
+            "sample_fraction": SAMPLE_FRACTION,
+            "duration_s": DURATION,
+            "cores_per_pod": CORES_PER_POD,
+            "pods": 2,
+        },
+    )
+    report.note(format_timeline(result.timeline))
+    report.note()
+    report.note(
         f"core usage vs rps: correlation {usage_rps_correlation:.3f}, "
         f"slope {slope * 1000:.1f}% per 1000 rps "
-        "(paper: linear with a gentle slope)",
+        "(paper: linear with a gentle slope)"
+    )
+    report.note(
         f"total requests executed: {result.total_requests} "
-        f"(sampled at {SAMPLE_FRACTION:.0%} of nominal load)",
-        f"peak nominal load: {peak_rps:.0f} rps "
-        f"(paper: >1000 rps)",
+        f"(sampled at {SAMPLE_FRACTION:.0%} of nominal load)"
+    )
+    report.note(f"peak nominal load: {peak_rps:.0f} rps (paper: >1000 rps)")
+    report.note(
         f"latency p75={summary['p75']:.2f} ms p90={summary['p90']:.2f} ms "
-        f"p99.5={summary['p99.5']:.2f} ms (paper: p90 < 7 ms, p99.5 < 15 ms)",
-        f"SLA (50 ms) attainment: {result.sla_attainment:.4f}",
+        f"p99.5={summary['p99.5']:.2f} ms (paper: p90 < 7 ms, p99.5 < 15 ms)"
+    )
+    report.note(f"SLA (50 ms) attainment: {result.sla_attainment:.4f}")
+    report.note(
         f"peak per-pod core usage: {peak_usage:.0f}% of {CORES_PER_POD} cores "
-        "(paper: about one core of three in use)",
-    ]
-    write_report("fig3b_load_test", "\n".join(lines))
+        "(paper: about one core of three in use)"
+    )
+    report.metric("peak_nominal_rps", peak_rps, "rps", HIGHER)
+    report.metric("latency_p90_ms", summary["p90"], "ms")
+    report.metric("sla_attainment", result.sla_attainment, "", HIGHER)
+    publish(report)
 
     assert peak_rps > 1000
     assert summary["p90"] < 50.0
@@ -150,18 +169,37 @@ def test_fig3b_batched_throughput(bench_index_m500, bench_split):
     serial_rps = len(views) / serial_seconds
     batched_rps = len(views) / batched_seconds
     speedup = batched_rps / serial_rps
-    lines = [
+    report = BenchReport(
+        "fig3b_batched_throughput",
+        metadata={
+            "requests": len(views),
+            "replay_epochs": REPLAY_EPOCHS,
+            "batch_size": BATCH_SIZE,
+            "variant": "serenade-hist",
+        },
+    )
+    report.note(
         f"workload: {len(views)} serenade-hist requests "
-        f"({len(views) // REPLAY_EPOCHS} steps x {REPLAY_EPOCHS} epochs)",
-        f"serial recommend(): {serial_rps:,.0f} rps ({serial_seconds:.2f} s)",
+        f"({len(views) // REPLAY_EPOCHS} steps x {REPLAY_EPOCHS} epochs)"
+    )
+    report.note(
+        f"serial recommend(): {serial_rps:,.0f} rps ({serial_seconds:.2f} s)"
+    )
+    report.note(
         f"batched engine (4 workers, cache 8192): {batched_rps:,.0f} rps "
-        f"({batched_seconds:.2f} s)",
+        f"({batched_seconds:.2f} s)"
+    )
+    report.note(
         f"throughput: {speedup:.1f}x serial "
         f"(cache hit rate {cache['hit_rate']:.1%}, "
         f"{cache['hits']}/{cache['hits'] + cache['misses']} lookups; "
-        "single-core runner, so the gain is cache-driven)",
-    ]
-    write_report("fig3b_batched_throughput", "\n".join(lines))
+        "single-core runner, so the gain is cache-driven)"
+    )
+    report.metric("serial_rps", serial_rps, "rps", HIGHER)
+    report.metric("batched_rps", batched_rps, "rps", HIGHER)
+    report.metric("batched_speedup", speedup, "x", HIGHER)
+    report.metric("cache_hit_rate", cache["hit_rate"], "", HIGHER)
+    publish(report)
 
     assert speedup >= 2.0
     assert cache["hit_rate"] > 0.5
@@ -236,19 +274,37 @@ def test_fig3b_degraded_mode(bench_index_m500):
     raw_max = max(raw_latency.samples) * 1e3
     guarded_max = max(guarded_latency.samples) * 1e3
 
-    lines = [
-        f"workload: {REQUESTS} requests, primary stalls {SLOW_SECONDS * 1e3:.0f} ms "
-        f"on 1 in {SLOW_EVERY} calls (10%)",
+    report = BenchReport(
+        "fig3b_degraded_mode",
+        metadata={
+            "requests": REQUESTS,
+            "slow_every": SLOW_EVERY,
+            "slow_seconds": SLOW_SECONDS,
+            "budget_ms": 50.0,
+        },
+    )
+    report.note(
+        f"workload: {REQUESTS} requests, primary stalls "
+        f"{SLOW_SECONDS * 1e3:.0f} ms on 1 in {SLOW_EVERY} calls (10%)"
+    )
+    report.note(
         f"guardrails off: p90={raw_p90:.2f} ms max={raw_max:.0f} ms "
-        f"SLA(50ms) attainment={raw_sla:.3f} degraded=0",
+        f"SLA(50ms) attainment={raw_sla:.3f} degraded=0"
+    )
+    report.note(
         f"guardrails on (50 ms budget): p90={guarded_p90:.2f} ms "
         f"max={guarded_max:.0f} ms SLA(50ms) attainment={guarded_sla:.3f} "
         f"degraded={guarded_degraded}/{REQUESTS} "
-        f"({guarded_degraded / REQUESTS:.1%})",
+        f"({guarded_degraded / REQUESTS:.1%})"
+    )
+    report.note(
         "every stalled call was abandoned at its deadline and served by a "
-        "fallback stage inside the budget",
-    ]
-    write_report("fig3b_degraded_mode", "\n".join(lines))
+        "fallback stage inside the budget"
+    )
+    report.metric("guarded_p90_ms", guarded_p90, "ms")
+    report.metric("guarded_sla", guarded_sla, "", HIGHER)
+    report.metric("degraded_fraction", guarded_degraded / REQUESTS, "")
+    publish(report)
 
     assert raw_sla < 1.0  # the stalls do break the raw path's SLA
     assert raw_max >= SLOW_SECONDS * 1e3

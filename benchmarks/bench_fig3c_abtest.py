@@ -28,7 +28,9 @@ from repro.core.vmis import VMISKNN
 from repro.serving.app import ServingCluster
 from repro.serving.variants import ServingVariant
 
-from conftest import write_report
+from repro.bench.report import BenchReport, Column, HIGHER
+
+from conftest import publish
 
 # 21 days compressed: each simulated "day" is 600 s of diurnal profile,
 # sampled thinly so the full three weeks stay executable.
@@ -84,26 +86,42 @@ def test_fig3c_latency_timeline(benchmark, timeline_result):
     benchmark(lambda: None)  # heavy lifting happened in the fixture
 
     result = timeline_result
-    lines = [f"{'day':>4} {'rps':>7} {'p75ms':>8} {'p90ms':>8} {'p99.5ms':>8}"]
-    lines.append("-" * 40)
+    report = BenchReport(
+        "fig3c_latency_timeline",
+        metadata={
+            "days": NUM_DAYS,
+            "day_seconds": DAY_SECONDS,
+            "sample_fraction": SAMPLE_FRACTION,
+        },
+    )
+    report.table(
+        Column("day", 4),
+        Column("rps", 7, fmt=".0f"),
+        Column("p75ms", 8, fmt=".2f"),
+        Column("p90ms", 8, fmt=".2f"),
+        Column("p99.5ms", 8, fmt=".2f"),
+    )
     for day, bucket in enumerate(result.timeline, start=1):
-        lines.append(
-            f"{day:>4} {bucket.requests_per_second:>7.0f} "
-            f"{bucket.latency_p75_ms:>8.2f} {bucket.latency_p90_ms:>8.2f} "
-            f"{bucket.latency_p995_ms:>8.2f}"
+        report.row(
+            day,
+            bucket.requests_per_second,
+            bucket.latency_p75_ms,
+            bucket.latency_p90_ms,
+            bucket.latency_p995_ms,
         )
     rps_values = [b.requests_per_second for b in result.timeline]
     p90_values = [b.latency_p90_ms for b in result.timeline]
-    lines.append("")
-    lines.append(
+    report.note()
+    report.note(
         f"load range {min(rps_values):.0f}-{max(rps_values):.0f} rps "
         "(paper: 200-600 rps)"
     )
-    lines.append(
+    report.note(
         f"p90 range {min(p90_values):.2f}-{max(p90_values):.2f} ms "
         "(paper: consistently ~5 ms, always < 50 ms SLA)"
     )
-    write_report("fig3c_latency_timeline", "\n".join(lines))
+    report.metric("worst_p90_ms", max(p90_values), "ms")
+    publish(report)
 
     assert len(result.timeline) == NUM_DAYS
     assert max(p90_values) < 50.0
@@ -113,25 +131,39 @@ def test_fig3c_latency_timeline(benchmark, timeline_result):
 def test_fig3c_abtest_engagement(benchmark, abtest_report):
     benchmark(lambda: None)
 
-    report = abtest_report
-    hist_test = report.slot_tests["serenade-hist"]
-    recent_test = report.slot_tests["serenade-recent"]
-    hist_pressure = report.arms["serenade-hist"].cannibalisation_pressure
-    recent_pressure = report.arms["serenade-recent"].cannibalisation_pressure
-    lines = [
-        report.summary(),
-        "",
+    experiment = abtest_report
+    hist_test = experiment.slot_tests["serenade-hist"]
+    recent_test = experiment.slot_tests["serenade-recent"]
+    hist_pressure = experiment.arms["serenade-hist"].cannibalisation_pressure
+    recent_pressure = experiment.arms["serenade-recent"].cannibalisation_pressure
+    report = BenchReport(
+        "fig3c_abtest",
+        metadata={"control": "legacy", "alpha": 0.1},
+    )
+    report.note(experiment.summary())
+    report.note()
+    report.note(
         f"serenade-hist   slot uplift {hist_test.relative_uplift * 100:+.2f}% "
-        f"(p={hist_test.p_value:.2e})   [paper: +2.85%, significant]",
+        f"(p={hist_test.p_value:.2e})   [paper: +2.85%, significant]"
+    )
+    report.note(
         f"serenade-recent slot uplift {recent_test.relative_uplift * 100:+.2f}% "
-        f"(p={recent_test.p_value:.2e})   [paper: +5.72%, significant]",
-        "",
-        "cannibalisation pressure (overlap with co-purchase slot):",
-        f"  serenade-hist   {hist_pressure:.3f}",
+        f"(p={recent_test.p_value:.2e})   [paper: +5.72%, significant]"
+    )
+    report.note()
+    report.note("cannibalisation pressure (overlap with co-purchase slot):")
+    report.note(f"  serenade-hist   {hist_pressure:.3f}")
+    report.note(
         f"  serenade-recent {recent_pressure:.3f}   "
-        "[paper: recent cannibalises other slots; hist preferred]",
-    ]
-    write_report("fig3c_abtest", "\n".join(lines))
+        "[paper: recent cannibalises other slots; hist preferred]"
+    )
+    report.metric(
+        "hist_uplift_pct", hist_test.relative_uplift * 100, "%", HIGHER
+    )
+    report.metric(
+        "recent_uplift_pct", recent_test.relative_uplift * 100, "%", HIGHER
+    )
+    publish(report)
 
     assert hist_test.relative_uplift > 0
     assert recent_test.relative_uplift > 0

@@ -22,7 +22,9 @@ import pytest
 from repro.kvstore.store import KVStore
 from repro.serving.session_store import encode_items
 
-from conftest import write_report
+from repro.bench.report import BenchReport
+
+from conftest import publish
 
 NUM_OPERATIONS = 200_000
 NUM_SESSIONS = 20_000
@@ -73,19 +75,37 @@ def test_kvstore_microbenchmark(benchmark, latency_profile):
     benchmark(mixed_operations)
 
     profile = latency_profile
-    lines = [
+    report = BenchReport(
+        "kvstore_microbenchmark",
+        metadata={
+            "operations": NUM_OPERATIONS,
+            "session_keys": NUM_SESSIONS,
+            "network_read_p995_ms": NETWORK_READ_P995_MS,
+        },
+    )
+    report.note(
         f"workload: {NUM_OPERATIONS:,} reads + {NUM_OPERATIONS:,} writes over "
-        f"{NUM_SESSIONS:,} session keys",
+        f"{NUM_SESSIONS:,} session keys"
+    )
+    report.note(
         f"read  p50={profile['read_p50_us']:.2f} us  "
-        f"p99={profile['read_p99_us']:.2f} us   (paper RocksDB: p99 = 5 us)",
+        f"p99={profile['read_p99_us']:.2f} us   (paper RocksDB: p99 = 5 us)"
+    )
+    report.note(
         f"write p50={profile['write_p50_us']:.2f} us  "
-        f"p99={profile['write_p99_us']:.2f} us   (paper RocksDB: p99 = 18 us)",
-        f"networked store comparison point: {NETWORK_READ_P995_MS} ms p99.5",
-        "",
-        "paper shape check: local p99 read is ~3 orders of magnitude below "
-        f"a network read: {profile['read_p99_us'] < NETWORK_READ_P995_MS * 1e3 / 100}",
-    ]
-    write_report("kvstore_microbenchmark", "\n".join(lines))
+        f"p99={profile['write_p99_us']:.2f} us   (paper RocksDB: p99 = 18 us)"
+    )
+    report.note(
+        f"networked store comparison point: {NETWORK_READ_P995_MS} ms p99.5"
+    )
+    report.note()
+    report.check(
+        "local p99 read is ~3 orders of magnitude below a network read",
+        profile["read_p99_us"] < NETWORK_READ_P995_MS * 1e3 / 100,
+    )
+    report.metric("read_p99_us", profile["read_p99_us"], "us")
+    report.metric("write_p99_us", profile["write_p99_us"], "us")
+    publish(report)
 
     assert profile["read_p99_us"] < 1000.0  # well under a millisecond
     assert profile["write_p99_us"] < 1000.0

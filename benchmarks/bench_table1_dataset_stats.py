@@ -14,7 +14,9 @@ import pytest
 from repro.data.datasets import DATASET_PROFILES, load_dataset
 from repro.data.stats import dataset_statistics, format_table
 
-from conftest import write_report
+from repro.bench.report import BenchReport
+
+from conftest import publish
 
 SCALE = 0.004
 SEED = 11
@@ -38,15 +40,18 @@ def test_table1_dataset_statistics(benchmark, all_stats):
 
     benchmark(regenerate_one)
 
-    table = format_table(all_stats)
-    checks = []
+    report = BenchReport(
+        "table1_dataset_stats", metadata={"scale": SCALE, "seed": SEED}
+    )
+    report.note(format_table(all_stats))
+    report.note()
+    report.note("shape checks (paper: p50 in 2-4, long p99 tail):")
     for stats in all_stats:
         assert 2 <= stats.clicks_per_session_p50 <= 6, stats.name
         assert stats.clicks_per_session_p99 >= 12, stats.name
-        checks.append(f"{stats.name}: p50={stats.clicks_per_session_p50:.0f} "
-                      f"p99={stats.clicks_per_session_p99:.0f} OK")
-    write_report(
-        "table1_dataset_stats",
-        table + "\n\nshape checks (paper: p50 in 2-4, long p99 tail):\n"
-        + "\n".join(checks),
-    )
+        report.check(
+            f"{stats.name}: p50={stats.clicks_per_session_p50:.0f} "
+            f"p99={stats.clicks_per_session_p99:.0f}",
+            True,
+        )
+    publish(report)

@@ -1,9 +1,11 @@
 """Shared fixtures and reporting helpers for the benchmark suite.
 
 Every benchmark module reproduces one table or figure of the paper (see
-DESIGN.md §4). Besides the pytest-benchmark timings, each module prints
-the paper-style rows and writes them to ``benchmarks/results/<exp>.txt``
-so the regenerated artifacts survive the run.
+DESIGN.md §4). Besides the pytest-benchmark timings, each module builds
+a typed :class:`repro.bench.BenchReport` — structured tables, shape
+checks and headline metrics — and hands it to :func:`publish`, which
+renders the human-readable ``benchmarks/results/<exp>.txt`` artifact and
+its machine-readable ``<exp>.json`` sibling in one step.
 """
 
 from __future__ import annotations
@@ -12,6 +14,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.bench.report import BenchReport
 from repro.core.index import SessionIndex
 from repro.data.clicklog import ClickLog
 from repro.data.split import TrainTestSplit, temporal_split
@@ -21,11 +24,10 @@ from repro.testing.generators import WorkloadConfig, WorkloadGenerator
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
-def write_report(name: str, text: str) -> None:
-    """Print a report and persist it under benchmarks/results/."""
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
-    print(f"\n=== {name} ===\n{text}\n")
+def publish(report: BenchReport) -> None:
+    """Render a report, print it, and persist both artifacts."""
+    text = report.write(RESULTS_DIR)
+    print(f"\n=== {report.name} ===\n{text}\n")
 
 
 @pytest.fixture(scope="session")

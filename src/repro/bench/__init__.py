@@ -1,0 +1,90 @@
+"""Structured perf trajectory: runner, schema, regression gate.
+
+This package is the measurement spine every perf PR reports through
+(ROADMAP item 3). It turns the benchmark arms into machine-readable,
+schema-versioned ``BENCH_<arm>.json`` records — p50/p90/p99 latency,
+throughput, SLA attainment, peak memory, with full provenance — and
+gates regressions against a committed baseline under per-metric noise
+envelopes with a shrink-only ratchet:
+
+.. code-block:: bash
+
+    python -m repro bench run --profile quick --out /tmp/bench
+    python -m repro bench compare --candidate /tmp/bench
+    python -m repro bench list
+"""
+
+from repro.bench.arms import ARMS, PROFILES, ArmResult, ArmSpec, BenchProfile
+from repro.bench.comparator import (
+    ArmComparison,
+    ComparisonReport,
+    Envelope,
+    EnvelopePolicy,
+    MetricVerdict,
+    compare_dirs,
+    compare_records,
+    tighten_baseline,
+)
+from repro.bench.probes import (
+    LatencyProbe,
+    MemoryProbe,
+    current_git_sha,
+    fingerprint_env,
+)
+from repro.bench.report import BenchReport, Column
+from repro.bench.runner import (
+    DEFAULT_SEED,
+    arm_names,
+    baseline_status,
+    run_arm,
+    run_arms,
+    summarize_record,
+)
+from repro.bench.schema import (
+    CORE_METRICS,
+    SCHEMA_VERSION,
+    BenchRecord,
+    BenchSchemaError,
+    Metric,
+    load_record,
+    record_path,
+    save_record,
+    validate_record,
+)
+
+__all__ = [
+    "ARMS",
+    "ArmComparison",
+    "ArmResult",
+    "ArmSpec",
+    "BenchProfile",
+    "BenchRecord",
+    "BenchReport",
+    "BenchSchemaError",
+    "CORE_METRICS",
+    "Column",
+    "ComparisonReport",
+    "DEFAULT_SEED",
+    "Envelope",
+    "EnvelopePolicy",
+    "LatencyProbe",
+    "MemoryProbe",
+    "Metric",
+    "MetricVerdict",
+    "PROFILES",
+    "SCHEMA_VERSION",
+    "arm_names",
+    "baseline_status",
+    "compare_dirs",
+    "compare_records",
+    "current_git_sha",
+    "fingerprint_env",
+    "load_record",
+    "record_path",
+    "run_arm",
+    "run_arms",
+    "save_record",
+    "summarize_record",
+    "tighten_baseline",
+    "validate_record",
+]

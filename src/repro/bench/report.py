@@ -1,0 +1,192 @@
+"""Typed benchmark reports: structured rows in, text + JSON out.
+
+The benchmark suite used to build reports as free-form strings and hand
+them to ``write_report(name, text)`` — readable for humans, useless for
+machines. :class:`BenchReport` replaces that: modules declare tables
+(:class:`Column` specs plus value rows), shape checks, headline metrics
+and free-text notes, and the report renders **both** artifacts from one
+source of truth:
+
+* ``benchmarks/results/<name>.txt`` — the legacy human-readable table,
+  unchanged in spirit;
+* ``benchmarks/results/<name>.json`` — a structured record (rows,
+  checks, metrics, metadata) the regression gate and future tooling can
+  consume without parsing prose.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.bench.schema import HIGHER, LOWER, Metric
+
+#: Version of the report JSON layout (independent of BENCH_* records).
+REPORT_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Column:
+    """One table column: header, width, alignment and value format."""
+
+    header: str
+    width: int = 10
+    align: str = ">"
+    fmt: str = ""
+
+    def format_cell(self, value: object) -> str:
+        if self.fmt and isinstance(value, (int, float)) and not isinstance(
+            value, bool
+        ):
+            text = format(value, self.fmt)
+        else:
+            text = str(value)
+        return format(text, f"{self.align}{self.width}")
+
+
+class _Table:
+    def __init__(self, columns: Sequence[Column]) -> None:
+        self.columns = tuple(columns)
+        self.rows: list[tuple[object, ...]] = []
+
+    def add(self, values: Sequence[object]) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} cells, table has "
+                f"{len(self.columns)} columns"
+            )
+        self.rows.append(tuple(values))
+
+    def render(self) -> list[str]:
+        header = " ".join(
+            format(c.header, f"{c.align}{c.width}") for c in self.columns
+        )
+        lines = [header, "-" * len(header)]
+        for row in self.rows:
+            lines.append(
+                " ".join(
+                    column.format_cell(value)
+                    for column, value in zip(self.columns, row)
+                )
+            )
+        return lines
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "columns": [c.header for c in self.columns],
+            "rows": [list(row) for row in self.rows],
+        }
+
+
+class BenchReport:
+    """One benchmark module's structured result artifact."""
+
+    def __init__(
+        self,
+        name: str,
+        title: str = "",
+        metadata: Mapping[str, object] | None = None,
+    ) -> None:
+        self.name = name
+        self.title = title
+        self.metadata: dict[str, object] = dict(metadata or {})
+        self._sections: list[object] = []  # _Table | str (rendered line)
+        self._checks: list[tuple[str, bool]] = []
+        self._metrics: dict[str, Metric] = {}
+
+    # -- content -------------------------------------------------------
+
+    def table(self, *columns: Column) -> None:
+        """Start a new table; subsequent :meth:`row` calls append to it."""
+        self._sections.append(_Table(columns))
+
+    def row(self, *values: object) -> None:
+        tables = [s for s in self._sections if isinstance(s, _Table)]
+        if not tables:
+            raise ValueError("call table(...) before row(...)")
+        tables[-1].add(values)
+
+    def note(self, text: str = "") -> None:
+        """A free-text line (the escape hatch for prose findings)."""
+        self._sections.append(text)
+
+    def check(self, label: str, passed: bool) -> bool:
+        """Record a paper shape check; returns ``passed`` so callers can
+        keep asserting on the same expression they report."""
+        self._checks.append((label, bool(passed)))
+        self._sections.append(f"shape check: {label}: {bool(passed)}")
+        return bool(passed)
+
+    def metric(
+        self,
+        name: str,
+        value: float,
+        unit: str = "",
+        direction: str = LOWER,
+    ) -> float:
+        """Record a headline scalar for the JSON record (not rendered in
+        the text artifact unless also stated via :meth:`note`)."""
+        self._metrics[name] = Metric(float(value), unit, direction)
+        return float(value)
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def checks(self) -> list[tuple[str, bool]]:
+        return list(self._checks)
+
+    @property
+    def metrics(self) -> dict[str, Metric]:
+        return dict(self._metrics)
+
+    def all_checks_passed(self) -> bool:
+        return all(passed for _, passed in self._checks)
+
+    # -- rendering -----------------------------------------------------
+
+    def render_text(self) -> str:
+        lines: list[str] = []
+        if self.title:
+            lines.append(self.title)
+            lines.append("")
+        for section in self._sections:
+            if isinstance(section, _Table):
+                lines.extend(section.render())
+            else:
+                lines.append(section)
+        return "\n".join(lines)
+
+    def to_record(self) -> dict[str, object]:
+        return {
+            "report_schema_version": REPORT_SCHEMA_VERSION,
+            "report": self.name,
+            "title": self.title,
+            "metadata": dict(self.metadata),
+            "tables": [
+                s.to_dict() for s in self._sections if isinstance(s, _Table)
+            ],
+            "checks": [
+                {"label": label, "passed": passed}
+                for label, passed in self._checks
+            ],
+            "metrics": {
+                name: metric.to_dict()
+                for name, metric in self._metrics.items()
+            },
+        }
+
+    def write(self, directory: str | Path) -> str:
+        """Persist both artifacts; returns the rendered text."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        text = self.render_text()
+        (directory / f"{self.name}.txt").write_text(text + "\n")
+        (directory / f"{self.name}.json").write_text(
+            json.dumps(self.to_record(), indent=2, sort_keys=True) + "\n"
+        )
+        return text
+
+
+__all__ = ["BenchReport", "Column", "HIGHER", "LOWER", "REPORT_SCHEMA_VERSION"]

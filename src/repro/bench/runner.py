@@ -1,0 +1,135 @@
+"""The structured benchmark runner: arms in, ``BENCH_<arm>.json`` out.
+
+``python -m repro bench run`` drives this module: it executes the
+registered gate arms under a named profile, assembles each
+:class:`~repro.bench.schema.BenchRecord` with full provenance (schema
+version, seed, git sha, environment fingerprint, workload regime) and
+publishes the records atomically. The comparator
+(:mod:`repro.bench.comparator`) then turns two directories of records
+into a gate verdict.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from repro.bench.arms import ARMS, PROFILES, ArmSpec, BenchProfile
+from repro.bench.probes import current_git_sha, fingerprint_env
+from repro.bench.schema import (
+    BenchRecord,
+    load_record,
+    record_path,
+    save_record,
+    validate_record,
+)
+
+#: The seed every committed baseline uses; ``bench run`` defaults to it.
+DEFAULT_SEED = 2022
+
+
+def arm_names() -> list[str]:
+    return sorted(ARMS)
+
+
+def resolve_arms(names: Iterable[str] | None) -> list[ArmSpec]:
+    """Map arm names to specs; ``None`` or ``["all"]`` means every arm."""
+    requested = list(names or [])
+    if not requested or requested == ["all"]:
+        return [ARMS[name] for name in arm_names()]
+    specs = []
+    for name in requested:
+        if name not in ARMS:
+            raise ValueError(
+                f"unknown arm {name!r}; known: {', '.join(arm_names())}"
+            )
+        specs.append(ARMS[name])
+    return specs
+
+
+def resolve_profile(name: str) -> BenchProfile:
+    if name not in PROFILES:
+        raise ValueError(
+            f"unknown profile {name!r}; known: {', '.join(sorted(PROFILES))}"
+        )
+    return PROFILES[name]
+
+
+def run_arm(
+    spec: ArmSpec,
+    profile: BenchProfile,
+    seed: int = DEFAULT_SEED,
+    clock: Callable[[], float] = time.perf_counter,
+    wall_clock: Callable[[], float] = time.time,
+) -> BenchRecord:
+    """Execute one arm and assemble its provenance-stamped record."""
+    outcome = spec.run(profile, seed, clock)
+    record = BenchRecord(
+        arm=spec.name,
+        profile=profile.name,
+        seed=seed,
+        git_sha=current_git_sha(),
+        created_unix=wall_clock(),
+        env=fingerprint_env(),
+        workload=dict(outcome.workload),
+        metrics=dict(outcome.metrics),
+        notes=tuple(outcome.notes),
+    )
+    validate_record(record)
+    return record
+
+
+def run_arms(
+    names: Sequence[str] | None,
+    profile_name: str,
+    out_dir: str | Path,
+    seed: int = DEFAULT_SEED,
+    clock: Callable[[], float] = time.perf_counter,
+    wall_clock: Callable[[], float] = time.time,
+) -> list[tuple[BenchRecord, Path]]:
+    """Run the requested arms and publish one record per arm."""
+    profile = resolve_profile(profile_name)
+    published: list[tuple[BenchRecord, Path]] = []
+    for spec in resolve_arms(names):
+        record = run_arm(spec, profile, seed, clock, wall_clock)
+        path = save_record(record, out_dir)
+        published.append((record, path))
+    return published
+
+
+def summarize_record(record: BenchRecord) -> str:
+    """One human line per arm, the shape the CLI prints after a run."""
+    p90 = record.metric_value("latency_p90_ms")
+    throughput = record.metric_value("throughput_rps")
+    sla = record.metric_value("sla_attainment")
+    memory_mib = record.metric_value("peak_memory_bytes") / (1024 * 1024)
+    return (
+        f"{record.arm:<10} p90 {p90:8.3f} ms   "
+        f"throughput {throughput:10,.0f} rps   "
+        f"SLA {sla:6.1%}   peak mem {memory_mib:8.1f} MiB"
+    )
+
+
+def baseline_status(directory: str | Path) -> list[str]:
+    """``bench list`` lines: every arm with its baseline state."""
+    lines = []
+    for name in arm_names():
+        spec = ARMS[name]
+        path = record_path(directory, name)
+        if path.exists():
+            try:
+                record = load_record(path)
+            except Exception as error:  # surfaced, not swallowed
+                state = f"UNREADABLE baseline ({error})"
+            else:
+                state = (
+                    f"baseline @ {record.git_sha[:12]} "
+                    f"(profile {record.profile}, seed {record.seed}): "
+                    f"p90 {record.metric_value('latency_p90_ms'):.3f} ms"
+                )
+        else:
+            state = "no baseline committed"
+        lines.append(f"{name:<10} {state}")
+        lines.append(f"{'':<10}   {spec.description}")
+    return lines

@@ -1,0 +1,206 @@
+"""The on-disk contract of the perf trajectory: ``BENCH_<arm>.json``.
+
+Every benchmark arm run by :mod:`repro.bench.runner` produces one
+:class:`BenchRecord` — the machine-readable counterpart of the paper's
+headline table: latency percentiles, throughput, SLA attainment and peak
+memory, stamped with enough provenance (schema version, seed, git sha,
+environment fingerprint, workload regime) that two records can be
+compared honestly or rejected as incomparable.
+
+The schema is versioned so the regression gate can refuse records
+written by an older layout instead of silently misreading them;
+:func:`record_from_dict` raises :class:`BenchSchemaError` on anything it
+does not fully understand.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Mapping
+
+#: Bump on any incompatible change to the record layout. The comparator
+#: refuses records whose version differs from the reader's.
+SCHEMA_VERSION = 1
+
+#: Every gate arm must report at least these metrics (the paper's
+#: headline quantities); :func:`validate_record` enforces it.
+CORE_METRICS = (
+    "latency_p50_ms",
+    "latency_p90_ms",
+    "latency_p99_ms",
+    "throughput_rps",
+    "sla_attainment",
+    "peak_memory_bytes",
+)
+
+#: Metric directions: which way is better.
+LOWER = "lower"
+HIGHER = "higher"
+
+
+class BenchSchemaError(ValueError):
+    """A BENCH_*.json record is malformed, incomplete or from another
+    schema version — the gate must refuse it, not guess."""
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One measured quantity with its unit and improvement direction."""
+
+    value: float
+    unit: str
+    direction: str = LOWER
+
+    def __post_init__(self) -> None:
+        if self.direction not in (LOWER, HIGHER):
+            raise BenchSchemaError(
+                f"metric direction must be {LOWER!r} or {HIGHER!r}, "
+                f"got {self.direction!r}"
+            )
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "value": self.value,
+            "unit": self.unit,
+            "direction": self.direction,
+        }
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """One arm's structured result — the unit of the perf trajectory."""
+
+    arm: str
+    profile: str
+    seed: int
+    git_sha: str
+    created_unix: float
+    env: Mapping[str, object]
+    workload: Mapping[str, object]
+    metrics: Mapping[str, Metric]
+    notes: tuple[str, ...] = ()
+    schema_version: int = SCHEMA_VERSION
+
+    def metric_value(self, name: str) -> float:
+        return self.metrics[name].value
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "schema_version": self.schema_version,
+            "arm": self.arm,
+            "profile": self.profile,
+            "seed": self.seed,
+            "git_sha": self.git_sha,
+            "created_unix": self.created_unix,
+            "env": dict(self.env),
+            "workload": dict(self.workload),
+            "metrics": {
+                name: metric.to_dict() for name, metric in self.metrics.items()
+            },
+            "notes": list(self.notes),
+        }
+
+
+def _require(payload: Mapping[str, object], key: str, kind: type) -> object:
+    if key not in payload:
+        raise BenchSchemaError(f"record is missing required field {key!r}")
+    value = payload[key]
+    if kind is float and isinstance(value, int):
+        value = float(value)
+    if not isinstance(value, kind):
+        raise BenchSchemaError(
+            f"field {key!r} must be {kind.__name__}, "
+            f"got {type(value).__name__}"
+        )
+    return value
+
+
+def record_from_dict(payload: Mapping[str, object]) -> BenchRecord:
+    """Parse and validate one record; raise :class:`BenchSchemaError`
+    on anything malformed or from a different schema version."""
+    if not isinstance(payload, Mapping):
+        raise BenchSchemaError(
+            f"record must be a JSON object, got {type(payload).__name__}"
+        )
+    version = _require(payload, "schema_version", int)
+    if version != SCHEMA_VERSION:
+        raise BenchSchemaError(
+            f"record has schema version {version}, this reader understands "
+            f"{SCHEMA_VERSION}; regenerate it with `repro bench run`"
+        )
+    raw_metrics = _require(payload, "metrics", Mapping)
+    metrics: dict[str, Metric] = {}
+    for name, entry in raw_metrics.items():
+        if not isinstance(entry, Mapping):
+            raise BenchSchemaError(f"metric {name!r} must be an object")
+        metrics[name] = Metric(
+            value=float(_require(entry, "value", float)),
+            unit=str(_require(entry, "unit", str)),
+            direction=str(entry.get("direction", LOWER)),
+        )
+    record = BenchRecord(
+        arm=str(_require(payload, "arm", str)),
+        profile=str(_require(payload, "profile", str)),
+        seed=int(_require(payload, "seed", int)),
+        git_sha=str(_require(payload, "git_sha", str)),
+        created_unix=float(_require(payload, "created_unix", float)),
+        env=dict(_require(payload, "env", Mapping)),
+        workload=dict(_require(payload, "workload", Mapping)),
+        metrics=metrics,
+        notes=tuple(str(note) for note in payload.get("notes", ())),
+        schema_version=version,
+    )
+    return record
+
+
+def validate_record(record: BenchRecord) -> None:
+    """Check the gate contract: all core metrics present."""
+    missing = [name for name in CORE_METRICS if name not in record.metrics]
+    if missing:
+        raise BenchSchemaError(
+            f"arm {record.arm!r} record is missing core metrics: "
+            f"{', '.join(missing)}"
+        )
+
+
+def record_filename(arm: str) -> str:
+    return f"BENCH_{arm}.json"
+
+
+def record_path(directory: str | Path, arm: str) -> Path:
+    return Path(directory) / record_filename(arm)
+
+
+def load_record(path: str | Path) -> BenchRecord:
+    """Load one ``BENCH_<arm>.json``; :class:`BenchSchemaError` covers
+    unreadable JSON as well as schema violations."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise BenchSchemaError(f"cannot read record {path}: {error}") from error
+    return record_from_dict(payload)
+
+
+def save_record(record: BenchRecord, directory: str | Path) -> Path:
+    """Atomically publish a record as ``BENCH_<arm>.json`` (tmp + rename,
+    the same discipline as the index registry)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = record_path(directory, record.arm)
+    tmp = path.with_suffix(".json.tmp")
+    tmp.write_text(json.dumps(record.to_dict(), indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+    return path
+
+
+def iter_record_paths(directory: str | Path) -> Iterator[tuple[str, Path]]:
+    """All ``(arm, path)`` pairs of BENCH_*.json files in a directory."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return
+    for path in sorted(directory.glob("BENCH_*.json")):
+        yield path.stem[len("BENCH_"):], path

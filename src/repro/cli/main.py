@@ -16,6 +16,9 @@ HTTP serving component:
     python -m repro index build clicks.tsv --registry registry/
     python -m repro index promote --registry registry/ --clicks clicks.tsv
     python -m repro index list --registry registry/
+    python -m repro bench run --profile quick --out /tmp/bench
+    python -m repro bench compare --candidate /tmp/bench
+    python -m repro bench list
     python -m repro serve daily.vmis --port 8080
 """
 
@@ -240,6 +243,75 @@ def build_parser() -> argparse.ArgumentParser:
     )
     index_list.add_argument(
         "--registry", required=True, help="index registry directory"
+    )
+
+    bench_cmd = commands.add_parser(
+        "bench",
+        help="structured benchmark trajectory and regression gate",
+    )
+    bench_sub = bench_cmd.add_subparsers(dest="bench_command", required=True)
+
+    bench_run = bench_sub.add_parser(
+        "run", help="run gate arms and write BENCH_<arm>.json records"
+    )
+    bench_run.add_argument(
+        "--arms",
+        default="all",
+        help="comma-separated arm names, or 'all' (default)",
+    )
+    bench_run.add_argument(
+        "--profile",
+        choices=["quick", "full", "smoke"],
+        default="quick",
+        help="workload sizes: quick (CI gate), full, smoke (tests only)",
+    )
+    bench_run.add_argument(
+        "--seed",
+        type=int,
+        default=2022,
+        help="workload seed (must match the baseline's to be comparable)",
+    )
+    bench_run.add_argument(
+        "--out", default=".", help="directory for BENCH_<arm>.json records"
+    )
+
+    bench_compare = bench_sub.add_parser(
+        "compare",
+        help="gate candidate records against the committed baseline",
+    )
+    bench_compare.add_argument(
+        "--baseline",
+        default=".",
+        help="directory holding committed BENCH_<arm>.json baselines",
+    )
+    bench_compare.add_argument(
+        "--candidate",
+        required=True,
+        help="directory holding freshly run BENCH_<arm>.json records",
+    )
+    bench_compare.add_argument(
+        "--arms",
+        default=None,
+        help="comma-separated arm subset (default: union of both dirs)",
+    )
+    bench_compare.add_argument(
+        "--envelope-file",
+        default=None,
+        help="JSON noise-envelope overrides "
+        '({"metric": {"rel": .., "abs": ..}})',
+    )
+    bench_compare.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="ratchet the baseline where the candidate improved beyond "
+        "the envelope (shrink-only; refused on any regression)",
+    )
+
+    bench_list = bench_sub.add_parser(
+        "list", help="show gate arms and committed baseline status"
+    )
+    bench_list.add_argument(
+        "--baseline", default=".", help="baseline directory to inspect"
     )
 
     serve = commands.add_parser("serve", help="start the HTTP serving component")
@@ -562,6 +634,93 @@ def cmd_index(args) -> int:
     return _INDEX_COMMANDS[args.index_command](args)
 
 
+def _arm_list(text: str | None) -> list[str] | None:
+    if text is None or text == "all":
+        return None
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def _cmd_bench_run(args) -> int:
+    from repro.bench import run_arms, summarize_record
+
+    try:
+        published = run_arms(
+            _arm_list(args.arms), args.profile, args.out, seed=args.seed
+        )
+    except ValueError as error:
+        print(f"bench run refused: {error}")
+        return 2
+    for record, path in published:
+        print(summarize_record(record))
+        print(f"           -> {path}")
+    return 0
+
+
+def _cmd_bench_compare(args) -> int:
+    from repro.bench import (
+        BenchSchemaError,
+        EnvelopePolicy,
+        compare_dirs,
+        load_record,
+        record_path,
+        save_record,
+        tighten_baseline,
+    )
+    from repro.bench.comparator import ARM_ERROR, ARM_REGRESSION
+
+    try:
+        policy = (
+            EnvelopePolicy.from_json(args.envelope_file)
+            if args.envelope_file
+            else None
+        )
+    except BenchSchemaError as error:
+        print(f"bench compare refused: {error}")
+        return 2
+    report = compare_dirs(
+        args.baseline, args.candidate, arms=_arm_list(args.arms), policy=policy
+    )
+    print(report.render())
+    if args.update_baseline and report.exit_code == 0:
+        for arm in report.arms:
+            if arm.status in (ARM_ERROR, ARM_REGRESSION):
+                continue
+            base_path = record_path(args.baseline, arm.arm)
+            cand_path = record_path(args.candidate, arm.arm)
+            if not cand_path.exists():
+                continue
+            if not base_path.exists():
+                saved = save_record(load_record(cand_path), args.baseline)
+                print(f"new baseline committed: {saved}")
+                continue
+            tightened = tighten_baseline(
+                load_record(base_path), load_record(cand_path), policy
+            )
+            if tightened is not None:
+                saved = save_record(tightened, args.baseline)
+                print(f"baseline ratcheted: {saved}")
+    return report.exit_code
+
+
+def _cmd_bench_list(args) -> int:
+    from repro.bench import baseline_status
+
+    for line in baseline_status(args.baseline):
+        print(line)
+    return 0
+
+
+_BENCH_COMMANDS = {
+    "run": _cmd_bench_run,
+    "compare": _cmd_bench_compare,
+    "list": _cmd_bench_list,
+}
+
+
+def cmd_bench(args) -> int:
+    return _BENCH_COMMANDS[args.bench_command](args)
+
+
 def cmd_serve(args) -> int:
     from repro.serving.app import ServingCluster
     from repro.serving.http import SerenadeHTTPServer
@@ -618,6 +777,7 @@ _COMMANDS = {
     "grid-search": cmd_grid_search,
     "experiment": cmd_experiment,
     "index": cmd_index,
+    "bench": cmd_bench,
     "serve": cmd_serve,
 }
 

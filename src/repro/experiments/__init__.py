@@ -8,7 +8,6 @@ from repro.experiments.config import (
 )
 from repro.experiments.registry import (
     RecommenderConfig,
-    build_model,
     build_recommender,
     register_model,
     register_recommender,
@@ -28,7 +27,6 @@ __all__ = [
     "ModelSpec",
     "ProtocolSpec",
     "RecommenderConfig",
-    "build_model",
     "build_recommender",
     "register_model",
     "register_recommender",

@@ -16,14 +16,11 @@ spellings with identical semantics::
 
 Third-party models can be registered at runtime: classes (anything whose
 ``cls(**params)`` is fittable) via :func:`register_recommender`, or
-legacy callable builders via :func:`register_model`. The old
-``build_model(name, clicks, params)`` entry point survives as a thin
-deprecation shim over the factory.
+legacy callable builders via :func:`register_model`.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
 
@@ -133,22 +130,6 @@ def build_recommender(
             "training clicks"
         )
     return builder(list(clicks), config.kwargs())
-
-
-def build_model(
-    name: str, train_clicks: Sequence[Click], params: dict
-) -> SessionRecommender:
-    """Deprecated spelling of :func:`build_recommender`."""
-    warnings.warn(
-        "build_model(name, clicks, params) is deprecated; use "
-        "build_recommender(name, RecommenderConfig.from_params(params), "
-        "clicks=clicks)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return build_recommender(
-        name, RecommenderConfig.from_params(params), clicks=train_clicks
-    )
 
 
 def registered_models() -> list[str]:

@@ -1,0 +1,287 @@
+"""The regression gate: envelopes, verdicts, ratchet discipline."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.bench.comparator import (
+    ARM_ERROR,
+    ARM_IMPROVED,
+    ARM_MISSING,
+    ARM_NEW,
+    ARM_OK,
+    ARM_REGRESSION,
+    METRIC_IMPROVED,
+    METRIC_MISSING,
+    METRIC_NEW,
+    METRIC_OK,
+    METRIC_REGRESSED,
+    Envelope,
+    EnvelopePolicy,
+    compare_dirs,
+    compare_records,
+    tighten_baseline,
+)
+from repro.bench.schema import (
+    SCHEMA_VERSION,
+    BenchSchemaError,
+    Metric,
+    load_record,
+    save_record,
+)
+
+from .test_schema import make_record
+
+
+def with_metrics(record, **overrides):
+    metrics = dict(record.metrics)
+    for name, value in overrides.items():
+        metrics[name] = replace(metrics[name], value=value)
+    return replace(record, metrics=metrics)
+
+
+def verdict_for(comparison, metric):
+    return next(v for v in comparison.verdicts if v.metric == metric)
+
+
+class TestEnvelopeSemantics:
+    def test_identical_records_pass(self):
+        record = make_record()
+        comparison = compare_records(record, record)
+        assert comparison.status == ARM_OK
+        assert all(v.status == METRIC_OK for v in comparison.verdicts)
+
+    def test_within_envelope_passes(self):
+        baseline = make_record()
+        # +50% p90 is inside the 75% relative envelope.
+        candidate = with_metrics(baseline, latency_p90_ms=3.0)
+        comparison = compare_records(baseline, candidate)
+        assert comparison.status == ARM_OK
+        assert verdict_for(comparison, "latency_p90_ms").status == METRIC_OK
+
+    def test_injected_2x_slowdown_fails_the_gate(self):
+        """The CI failure mode: double every latency metric -> exit 1."""
+        baseline = make_record()
+        candidate = with_metrics(
+            baseline,
+            latency_p50_ms=2.0,
+            latency_p90_ms=4.0,
+            latency_p99_ms=9.0,
+        )
+        comparison = compare_records(baseline, candidate)
+        assert comparison.status == ARM_REGRESSION
+        regressed = {v.metric for v in comparison.regressions}
+        assert "latency_p90_ms" in regressed
+
+    def test_both_bounds_must_trip(self):
+        # A huge relative change below the absolute floor stays quiet:
+        # p50 0.02 -> 0.06 ms is +200% but only 0.04 ms (< 0.05 floor).
+        baseline = with_metrics(make_record(), latency_p50_ms=0.02)
+        candidate = with_metrics(baseline, latency_p50_ms=0.06)
+        comparison = compare_records(baseline, candidate)
+        assert verdict_for(comparison, "latency_p50_ms").status == METRIC_OK
+
+    def test_higher_is_better_direction(self):
+        baseline = make_record()
+        # Throughput halving is a regression even though the value fell.
+        candidate = with_metrics(baseline, throughput_rps=400.0)
+        comparison = compare_records(baseline, candidate)
+        assert (
+            verdict_for(comparison, "throughput_rps").status
+            == METRIC_REGRESSED
+        )
+        # Doubling is an improvement.
+        faster = with_metrics(baseline, throughput_rps=2000.0)
+        comparison = compare_records(baseline, faster)
+        assert comparison.status == ARM_IMPROVED
+
+    def test_sla_absolute_drop_gates(self):
+        baseline = make_record()
+        candidate = with_metrics(baseline, sla_attainment=0.95)
+        comparison = compare_records(baseline, candidate)
+        assert comparison.status == ARM_REGRESSION
+
+    def test_vanished_metric_is_a_regression(self):
+        baseline = make_record()
+        candidate = replace(
+            baseline,
+            metrics={
+                k: v
+                for k, v in baseline.metrics.items()
+                if k != "peak_memory_bytes"
+            },
+        )
+        comparison = compare_records(baseline, candidate)
+        assert comparison.status == ARM_REGRESSION
+        assert (
+            verdict_for(comparison, "peak_memory_bytes").status
+            == METRIC_MISSING
+        )
+
+    def test_new_metric_is_not_a_regression(self):
+        baseline = make_record()
+        metrics = dict(baseline.metrics)
+        metrics["cache_hit_rate"] = Metric(0.9, "", "higher")
+        candidate = replace(baseline, metrics=metrics)
+        comparison = compare_records(baseline, candidate)
+        assert comparison.status == ARM_OK
+        assert (
+            verdict_for(comparison, "cache_hit_rate").status == METRIC_NEW
+        )
+
+
+class TestIncomparableRecords:
+    def test_profile_mismatch_is_an_error(self):
+        baseline = make_record()
+        candidate = replace(baseline, profile="full")
+        comparison = compare_records(baseline, candidate)
+        assert comparison.status == ARM_ERROR
+        assert "profile mismatch" in comparison.message
+
+    def test_seed_mismatch_is_an_error(self):
+        baseline = make_record()
+        candidate = replace(baseline, seed=7)
+        comparison = compare_records(baseline, candidate)
+        assert comparison.status == ARM_ERROR
+        assert "seed mismatch" in comparison.message
+
+    def test_direction_flip_is_an_error(self):
+        baseline = make_record()
+        metrics = dict(baseline.metrics)
+        metrics["latency_p50_ms"] = Metric(1.0, "ms", "higher")
+        candidate = replace(baseline, metrics=metrics)
+        comparison = compare_records(baseline, candidate)
+        assert comparison.status == ARM_ERROR
+
+
+class TestCompareDirs:
+    def test_missing_baseline_is_new_and_passes(self, tmp_path):
+        baseline_dir = tmp_path / "base"
+        candidate_dir = tmp_path / "cand"
+        baseline_dir.mkdir()
+        save_record(make_record(), candidate_dir)
+        report = compare_dirs(baseline_dir, candidate_dir)
+        assert report.arms[0].status == ARM_NEW
+        assert report.exit_code == 0
+        assert "commit" in report.arms[0].message
+
+    def test_vanished_arm_fails(self, tmp_path):
+        baseline_dir = tmp_path / "base"
+        candidate_dir = tmp_path / "cand"
+        candidate_dir.mkdir()
+        save_record(make_record(), baseline_dir)
+        report = compare_dirs(baseline_dir, candidate_dir)
+        assert report.arms[0].status == ARM_MISSING
+        assert report.exit_code == 1
+
+    def test_requested_arm_absent_everywhere_is_an_error(self, tmp_path):
+        (tmp_path / "base").mkdir()
+        (tmp_path / "cand").mkdir()
+        report = compare_dirs(
+            tmp_path / "base", tmp_path / "cand", arms=["fig3a"]
+        )
+        assert report.arms[0].status == ARM_ERROR
+        assert report.exit_code == 2
+
+    def test_malformed_candidate_is_an_error(self, tmp_path):
+        baseline_dir = tmp_path / "base"
+        candidate_dir = tmp_path / "cand"
+        save_record(make_record(), baseline_dir)
+        candidate_dir.mkdir()
+        (candidate_dir / "BENCH_fig3a.json").write_text("{broken")
+        report = compare_dirs(baseline_dir, candidate_dir)
+        assert report.arms[0].status == ARM_ERROR
+        assert report.exit_code == 2
+
+    def test_old_schema_version_is_an_error(self, tmp_path):
+        baseline_dir = tmp_path / "base"
+        candidate_dir = tmp_path / "cand"
+        save_record(make_record(), baseline_dir)
+        payload = make_record().to_dict()
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        candidate_dir.mkdir()
+        (candidate_dir / "BENCH_fig3a.json").write_text(json.dumps(payload))
+        report = compare_dirs(baseline_dir, candidate_dir)
+        assert report.arms[0].status == ARM_ERROR
+        assert report.exit_code == 2
+        assert "schema version" in report.arms[0].message
+
+    def test_render_states_the_verdict(self, tmp_path):
+        save_record(make_record(), tmp_path / "base")
+        save_record(make_record(), tmp_path / "cand")
+        report = compare_dirs(tmp_path / "base", tmp_path / "cand")
+        assert report.render().endswith("gate verdict: PASS")
+
+
+class TestRatchet:
+    def test_improvement_beyond_envelope_tightens(self):
+        baseline = make_record()
+        candidate = with_metrics(baseline, latency_p90_ms=0.2)  # -90%
+        tightened = tighten_baseline(baseline, candidate)
+        assert tightened is not None
+        assert tightened.metric_value("latency_p90_ms") == 0.2
+        # Untouched metrics keep the baseline value.
+        assert tightened.metric_value("latency_p50_ms") == 1.0
+        assert any("ratcheted" in note for note in tightened.notes)
+
+    def test_noise_improvement_does_not_tighten(self):
+        baseline = make_record()
+        candidate = with_metrics(baseline, latency_p90_ms=1.8)  # -10%
+        assert tighten_baseline(baseline, candidate) is None
+
+    def test_regression_refuses_to_refresh(self):
+        baseline = make_record()
+        candidate = with_metrics(baseline, latency_p90_ms=40.0)
+        with pytest.raises(BenchSchemaError, match="regressed"):
+            tighten_baseline(baseline, candidate)
+
+    def test_ratchet_never_loosens(self):
+        baseline = make_record()
+        fast = with_metrics(baseline, latency_p90_ms=0.2)
+        tightened = tighten_baseline(baseline, fast)
+        # A later run back at the old speed is now a regression.
+        comparison = compare_records(tightened, baseline)
+        assert comparison.status == ARM_REGRESSION
+
+
+class TestEnvelopePolicy:
+    def test_policy_file_overrides(self, tmp_path):
+        policy_path = tmp_path / "envelopes.json"
+        policy_path.write_text(
+            json.dumps(
+                {
+                    "latency_p90_ms": {"rel": 0.0, "abs": 0.0},
+                    "default": {"rel": 9.0, "abs": 9.0},
+                }
+            )
+        )
+        policy = EnvelopePolicy.from_json(policy_path)
+        assert policy.envelope_for("latency_p90_ms") == Envelope(0.0, 0.0)
+        assert policy.envelope_for("unheard_of") == Envelope(9.0, 9.0)
+        # The zero envelope turns any wiggle into a regression.
+        baseline = make_record()
+        candidate = with_metrics(baseline, latency_p90_ms=2.001)
+        comparison = compare_records(baseline, candidate, policy)
+        assert comparison.status == ARM_REGRESSION
+
+    def test_malformed_policy_rejected(self, tmp_path):
+        path = tmp_path / "envelopes.json"
+        path.write_text(json.dumps({"latency_p90_ms": {"rel": 0.1}}))
+        with pytest.raises(BenchSchemaError, match="rel"):
+            EnvelopePolicy.from_json(path)
+
+    def test_unreadable_policy_rejected(self, tmp_path):
+        with pytest.raises(BenchSchemaError, match="cannot read"):
+            EnvelopePolicy.from_json(tmp_path / "nope.json")
+
+
+class TestDiskRoundTrip:
+    def test_tightened_baseline_survives_reload(self, tmp_path):
+        baseline = make_record()
+        candidate = with_metrics(baseline, latency_p90_ms=0.2)
+        tightened = tighten_baseline(baseline, candidate)
+        path = save_record(tightened, tmp_path)
+        assert load_record(path) == tightened

@@ -1,0 +1,121 @@
+"""Latency/memory probes and provenance helpers."""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import pytest
+
+from repro.bench.probes import (
+    LatencyProbe,
+    MemoryProbe,
+    current_git_sha,
+    fingerprint_env,
+    percentile,
+)
+
+
+class FakeClock:
+    """Deterministic clock: each call advances by the next step."""
+
+    def __init__(self, steps):
+        self._steps = iter(steps)
+        self._now = 0.0
+
+    def __call__(self) -> float:
+        self._now += next(self._steps, 0.0)
+        return self._now
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        samples = [5.0, 1.0, 3.0, 2.0, 4.0]
+        assert percentile(samples, 0) == 1.0
+        assert percentile(samples, 50) == 3.0
+        assert percentile(samples, 100) == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="no samples"):
+            percentile([], 50)
+
+
+class TestLatencyProbe:
+    def test_sample_uses_injected_clock(self):
+        probe = LatencyProbe(clock=FakeClock([0.0, 0.25, 0.0, 0.75]))
+        assert probe.sample(lambda: "x") == "x"
+        probe.sample(lambda: None)
+        assert probe.samples == [0.25, 0.75]
+        assert probe.percentile_ms(100) == 750.0
+        assert probe.total_seconds() == 1.0
+        assert probe.throughput_rps() == 2.0
+
+    def test_sla_attainment(self):
+        probe = LatencyProbe()
+        for seconds in (0.01, 0.02, 0.2):
+            probe.record(seconds)
+        assert probe.sla_attainment(50.0) == pytest.approx(2 / 3)
+
+    def test_merge_best_keeps_per_position_minimum(self):
+        first = LatencyProbe()
+        second = LatencyProbe()
+        for value in (3.0, 1.0):
+            first.record(value)
+        for value in (2.0, 2.0):
+            second.record(value)
+        first.merge_best(second)
+        assert first.samples == [2.0, 1.0]
+
+    def test_merge_best_rejects_length_mismatch(self):
+        first, second = LatencyProbe(), LatencyProbe()
+        first.record(1.0)
+        with pytest.raises(ValueError, match="same call sequence"):
+            first.merge_best(second)
+
+    def test_empty_probe_rejects_reduction(self):
+        probe = LatencyProbe()
+        with pytest.raises(ValueError):
+            probe.percentile_ms(90)
+        with pytest.raises(ValueError):
+            probe.throughput_rps()
+        with pytest.raises(ValueError):
+            probe.sla_attainment(50.0)
+
+
+class TestMemoryProbe:
+    def test_captures_peak(self):
+        with MemoryProbe() as probe:
+            blob = bytearray(4_000_000)
+            del blob
+        assert probe.peak_bytes >= 4_000_000
+
+    def test_nesting_leaves_outer_trace_running(self):
+        was_tracing = tracemalloc.is_tracing()
+        if not was_tracing:
+            tracemalloc.start()
+        try:
+            with MemoryProbe():
+                pass
+            assert tracemalloc.is_tracing()
+        finally:
+            if not was_tracing:
+                tracemalloc.stop()
+
+
+class TestProvenance:
+    def test_fingerprint_shape(self):
+        env = fingerprint_env()
+        assert set(env) == {
+            "python",
+            "implementation",
+            "platform",
+            "machine",
+            "cpu_count",
+        }
+        assert env["cpu_count"] >= 1
+
+    def test_git_sha_inside_repo(self):
+        sha = current_git_sha()
+        assert sha == "unknown" or len(sha) == 40
+
+    def test_git_sha_outside_repo(self, tmp_path):
+        assert current_git_sha(root=str(tmp_path)) == "unknown"

@@ -1,0 +1,89 @@
+"""BenchReport: one source of truth, two artifacts."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.report import (
+    REPORT_SCHEMA_VERSION,
+    BenchReport,
+    Column,
+)
+from repro.bench.schema import HIGHER
+
+
+def sample_report() -> BenchReport:
+    report = BenchReport(
+        "demo", title="Demo table", metadata={"sessions": 100}
+    )
+    report.table(
+        Column("name", 8, align="<"),
+        Column("us", 8, fmt=".1f"),
+    )
+    report.row("vmis", 12.34567)
+    report.row("vsknn", 45.6)
+    report.note()
+    report.check("vmis faster", True)
+    report.metric("speedup", 3.7, "x", HIGHER)
+    return report
+
+
+class TestRendering:
+    def test_text_has_header_rows_and_checks(self):
+        text = sample_report().render_text()
+        assert "Demo table" in text
+        assert "name" in text and "us" in text
+        assert "12.3" in text  # fmt applied
+        assert "shape check: vmis faster: True" in text
+
+    def test_column_alignment(self):
+        column = Column("x", 6, align="<")
+        assert column.format_cell("ab") == "ab    "
+        assert Column("x", 6).format_cell("ab") == "    ab"
+
+    def test_column_fmt_skips_strings_and_bools(self):
+        column = Column("x", 6, fmt=".1f")
+        assert column.format_cell("X").strip() == "X"
+        assert column.format_cell(True).strip() == "True"
+        assert column.format_cell(1.25).strip() == "1.2"
+
+    def test_row_before_table_rejected(self):
+        report = BenchReport("demo")
+        with pytest.raises(ValueError, match="table"):
+            report.row(1)
+
+    def test_row_width_mismatch_rejected(self):
+        report = BenchReport("demo")
+        report.table(Column("a"), Column("b"))
+        with pytest.raises(ValueError, match="cells"):
+            report.row(1)
+
+
+class TestChecksAndMetrics:
+    def test_check_returns_outcome(self):
+        report = BenchReport("demo")
+        assert report.check("yes", True) is True
+        assert report.check("no", False) is False
+        assert report.checks == [("yes", True), ("no", False)]
+        assert not report.all_checks_passed()
+
+    def test_metric_recorded(self):
+        report = sample_report()
+        assert report.metrics["speedup"].value == 3.7
+        assert report.metrics["speedup"].direction == HIGHER
+
+
+class TestArtifacts:
+    def test_write_produces_text_and_json(self, tmp_path):
+        text = sample_report().write(tmp_path)
+        assert (tmp_path / "demo.txt").read_text() == text + "\n"
+        payload = json.loads((tmp_path / "demo.json").read_text())
+        assert payload["report_schema_version"] == REPORT_SCHEMA_VERSION
+        assert payload["report"] == "demo"
+        assert payload["metadata"] == {"sessions": 100}
+        assert payload["tables"][0]["columns"] == ["name", "us"]
+        assert payload["tables"][0]["rows"][0] == ["vmis", 12.34567]
+        assert payload["checks"] == [{"label": "vmis faster", "passed": True}]
+        assert payload["metrics"]["speedup"]["value"] == 3.7

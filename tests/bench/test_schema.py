@@ -1,0 +1,162 @@
+"""BENCH_*.json schema: round-trips, versioning, validation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.schema import (
+    CORE_METRICS,
+    HIGHER,
+    LOWER,
+    SCHEMA_VERSION,
+    BenchRecord,
+    BenchSchemaError,
+    Metric,
+    iter_record_paths,
+    load_record,
+    record_filename,
+    record_from_dict,
+    record_path,
+    save_record,
+    validate_record,
+)
+
+
+def make_record(arm="fig3a", **metric_overrides) -> BenchRecord:
+    values = {
+        "latency_p50_ms": 1.0,
+        "latency_p90_ms": 2.0,
+        "latency_p99_ms": 4.0,
+        "throughput_rps": 1000.0,
+        "sla_attainment": 1.0,
+        "peak_memory_bytes": 10_000_000.0,
+    }
+    values.update(metric_overrides)
+    metrics = {
+        name: Metric(
+            value,
+            unit="ms" if "ms" in name else "",
+            direction=(
+                HIGHER
+                if name in ("throughput_rps", "sla_attainment")
+                else LOWER
+            ),
+        )
+        for name, value in values.items()
+    }
+    return BenchRecord(
+        arm=arm,
+        profile="quick",
+        seed=2022,
+        git_sha="deadbeef",
+        created_unix=1_700_000_000.0,
+        env={"python": "3.11.7"},
+        workload={"sessions": 8000},
+        metrics=metrics,
+        notes=("test record",),
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        record = make_record()
+        clone = record_from_dict(record.to_dict())
+        assert clone == record
+
+    def test_json_round_trip(self, tmp_path):
+        record = make_record()
+        path = save_record(record, tmp_path)
+        assert path == record_path(tmp_path, "fig3a")
+        assert load_record(path) == record
+
+    def test_filename_layout(self):
+        assert record_filename("capacity") == "BENCH_capacity.json"
+
+    def test_iter_record_paths(self, tmp_path):
+        save_record(make_record("fig3a"), tmp_path)
+        save_record(make_record("capacity"), tmp_path)
+        (tmp_path / "unrelated.json").write_text("{}")
+        arms = [arm for arm, _ in iter_record_paths(tmp_path)]
+        assert arms == ["capacity", "fig3a"]
+
+    def test_iter_missing_directory(self, tmp_path):
+        assert list(iter_record_paths(tmp_path / "nope")) == []
+
+
+class TestValidation:
+    def test_core_metrics_enforced(self):
+        record = make_record()
+        validate_record(record)  # fine as built
+        crippled = BenchRecord(
+            arm=record.arm,
+            profile=record.profile,
+            seed=record.seed,
+            git_sha=record.git_sha,
+            created_unix=record.created_unix,
+            env=record.env,
+            workload=record.workload,
+            metrics={
+                k: v
+                for k, v in record.metrics.items()
+                if k != "latency_p90_ms"
+            },
+        )
+        with pytest.raises(BenchSchemaError, match="latency_p90_ms"):
+            validate_record(crippled)
+
+    def test_all_core_metrics_named(self):
+        record = make_record()
+        assert set(CORE_METRICS) <= set(record.metrics)
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(BenchSchemaError, match="direction"):
+            Metric(1.0, "ms", direction="sideways")
+
+    def test_old_schema_version_rejected(self):
+        payload = make_record().to_dict()
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(BenchSchemaError, match="regenerate"):
+            record_from_dict(payload)
+
+    def test_missing_field_rejected(self):
+        payload = make_record().to_dict()
+        del payload["git_sha"]
+        with pytest.raises(BenchSchemaError, match="git_sha"):
+            record_from_dict(payload)
+
+    def test_wrong_type_rejected(self):
+        payload = make_record().to_dict()
+        payload["seed"] = "not-a-seed"
+        with pytest.raises(BenchSchemaError, match="seed"):
+            record_from_dict(payload)
+
+    def test_malformed_metric_rejected(self):
+        payload = make_record().to_dict()
+        payload["metrics"]["latency_p50_ms"] = "fast"
+        with pytest.raises(BenchSchemaError, match="latency_p50_ms"):
+            record_from_dict(payload)
+
+    def test_malformed_json_file(self, tmp_path):
+        path = tmp_path / "BENCH_fig3a.json"
+        path.write_text("{not json")
+        with pytest.raises(BenchSchemaError, match="cannot read"):
+            load_record(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(BenchSchemaError, match="cannot read"):
+            load_record(tmp_path / "BENCH_fig3a.json")
+
+
+class TestAtomicity:
+    def test_save_leaves_no_tmp(self, tmp_path):
+        save_record(make_record(), tmp_path)
+        assert [p.name for p in tmp_path.iterdir()] == ["BENCH_fig3a.json"]
+
+    def test_saved_json_is_stable(self, tmp_path):
+        path = save_record(make_record(), tmp_path)
+        first = path.read_text()
+        save_record(make_record(), tmp_path)
+        assert path.read_text() == first
+        assert json.loads(first)["schema_version"] == SCHEMA_VERSION

@@ -307,6 +307,157 @@ class TestIndexLifecycleCommands:
         assert "no versions registered" in capsys.readouterr().out
 
 
+class TestBenchCommands:
+    @pytest.fixture(scope="class")
+    def bench_dir(self, tmp_path_factory):
+        """One smoke run of the fig3a arm, shared across the class."""
+        out = tmp_path_factory.mktemp("bench-cli")
+        code = main(
+            [
+                "bench",
+                "run",
+                "--arms",
+                "fig3a",
+                "--profile",
+                "smoke",
+                "--seed",
+                "5",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        return out
+
+    def test_run_writes_record_and_summary(self, bench_dir, capsys):
+        capsys.readouterr()
+        assert (bench_dir / "BENCH_fig3a.json").exists()
+        payload = json.loads((bench_dir / "BENCH_fig3a.json").read_text())
+        assert payload["profile"] == "smoke"
+        assert payload["seed"] == 5
+        assert "latency_p90_ms" in payload["metrics"]
+
+    def test_run_unknown_arm_refused(self, tmp_path, capsys):
+        code = main(
+            ["bench", "run", "--arms", "fig9z", "--out", str(tmp_path)]
+        )
+        assert code == 2
+        assert "bench run refused" in capsys.readouterr().out
+
+    def test_run_rejects_unknown_profile(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["bench", "run", "--profile", "leisurely"]
+            )
+
+    def test_compare_self_passes(self, bench_dir, capsys):
+        code = main(
+            [
+                "bench",
+                "compare",
+                "--baseline",
+                str(bench_dir),
+                "--candidate",
+                str(bench_dir),
+            ]
+        )
+        assert code == 0
+        assert "gate verdict: PASS" in capsys.readouterr().out
+
+    def test_compare_missing_baseline_prompts_commit(
+        self, bench_dir, tmp_path, capsys
+    ):
+        empty = tmp_path / "no-baselines"
+        empty.mkdir()
+        code = main(
+            [
+                "bench",
+                "compare",
+                "--baseline",
+                str(empty),
+                "--candidate",
+                str(bench_dir),
+            ]
+        )
+        assert code == 0
+        assert "no committed baseline" in capsys.readouterr().out
+
+    def test_compare_injected_slowdown_fails(self, bench_dir, tmp_path, capsys):
+        """The CI demo: a synthetic 2x slowdown must trip the gate."""
+        slowed = tmp_path / "slowed"
+        slowed.mkdir()
+        payload = json.loads((bench_dir / "BENCH_fig3a.json").read_text())
+        for name, metric in payload["metrics"].items():
+            if name.startswith("latency_"):
+                metric["value"] *= 2.0
+        (slowed / "BENCH_fig3a.json").write_text(json.dumps(payload))
+        code = main(
+            [
+                "bench",
+                "compare",
+                "--baseline",
+                str(bench_dir),
+                "--candidate",
+                str(slowed),
+            ]
+        )
+        assert code == 1
+        assert "gate verdict: REGRESSION" in capsys.readouterr().out
+
+    def test_compare_update_baseline_commits_new_arm(
+        self, bench_dir, tmp_path, capsys
+    ):
+        baseline = tmp_path / "fresh-baseline"
+        baseline.mkdir()
+        code = main(
+            [
+                "bench",
+                "compare",
+                "--baseline",
+                str(baseline),
+                "--candidate",
+                str(bench_dir),
+                "--update-baseline",
+            ]
+        )
+        assert code == 0
+        assert "new baseline committed" in capsys.readouterr().out
+        assert (baseline / "BENCH_fig3a.json").exists()
+
+    def test_compare_envelope_file_overrides(self, bench_dir, tmp_path, capsys):
+        # Zero-width envelopes make even an identical re-read pass, but a
+        # tiny wiggle fail — prove the file is honoured.
+        wiggled = tmp_path / "wiggled"
+        wiggled.mkdir()
+        payload = json.loads((bench_dir / "BENCH_fig3a.json").read_text())
+        payload["metrics"]["latency_p90_ms"]["value"] *= 1.01
+        (wiggled / "BENCH_fig3a.json").write_text(json.dumps(payload))
+        envelope_file = tmp_path / "strict.json"
+        envelope_file.write_text(
+            json.dumps({"latency_p90_ms": {"rel": 0.0, "abs": 0.0}})
+        )
+        code = main(
+            [
+                "bench",
+                "compare",
+                "--baseline",
+                str(bench_dir),
+                "--candidate",
+                str(wiggled),
+                "--envelope-file",
+                str(envelope_file),
+            ]
+        )
+        assert code == 1
+
+    def test_list_reports_baseline_state(self, bench_dir, tmp_path, capsys):
+        assert main(["bench", "list", "--baseline", str(bench_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "fig3a" in out and "baseline @" in out
+        assert main(["bench", "list", "--baseline", str(tmp_path)]) == 0
+        assert "no baseline committed" in capsys.readouterr().out
+
+
 class TestServeCommand:
     def test_serve_starts_and_answers(self, index_artifact, monkeypatch, capsys):
         """Start `repro serve` with a patched sleep that exits immediately

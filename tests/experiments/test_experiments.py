@@ -13,7 +13,6 @@ from repro.experiments import (
     ModelSpec,
     ProtocolSpec,
     RecommenderConfig,
-    build_model,
     build_recommender,
     register_model,
     register_recommender,
@@ -105,7 +104,7 @@ class TestRegistry:
 
     def test_unknown_model(self):
         with pytest.raises(ValueError, match="unknown model"):
-            build_model("alexnet", [], {})
+            build_recommender("alexnet", RecommenderConfig(), clicks=[])
 
     def test_custom_registration(self):
         class Constant:
@@ -114,7 +113,9 @@ class TestRegistry:
 
         register_model("constant-test", lambda clicks, params: Constant())
         try:
-            model = build_model("constant-test", [], {})
+            model = build_recommender(
+                "constant-test", RecommenderConfig(), clicks=[]
+            )
             assert model.recommend([5])[0].item_id == 1
         finally:
             from repro.experiments import registry
@@ -194,13 +195,11 @@ class TestFactory:
 
             del registry._CLASSES["constant-class-test"]
 
-    def test_build_model_warns_deprecated(self):
-        from repro.data.synthetic import generate_clickstream
+    def test_build_model_removed(self):
+        import repro.experiments
 
-        clicks = list(generate_clickstream(num_sessions=60, num_items=20, seed=4))
-        with pytest.warns(DeprecationWarning, match="build_recommender"):
-            model = build_model("vmis", clicks, {"m": 20, "k": 10})
-        assert model.index is not None
+        assert not hasattr(repro.experiments, "build_model")
+        assert "build_model" not in repro.experiments.__all__
 
 
 class TestRunner:
