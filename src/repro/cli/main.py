@@ -19,6 +19,9 @@ HTTP serving component:
     python -m repro bench run --profile quick --out /tmp/bench
     python -m repro bench compare --candidate /tmp/bench
     python -m repro bench list
+    python -m repro stream produce clicks.tsv --log-dir events/
+    python -m repro stream consume --log-dir events/ --out stream.vmis
+    python -m repro stream status --log-dir events/
     python -m repro serve daily.vmis --port 8080
 """
 
@@ -312,6 +315,80 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_list.add_argument(
         "--baseline", default=".", help="baseline directory to inspect"
+    )
+
+    stream_cmd = commands.add_parser(
+        "stream",
+        help="fault-tolerant streaming click ingestion (event-bus lifecycle)",
+    )
+    stream_sub = stream_cmd.add_subparsers(dest="stream_command", required=True)
+
+    stream_produce = stream_sub.add_parser(
+        "produce",
+        help="publish a click log TSV into a file-backed partitioned log",
+    )
+    stream_produce.add_argument("clicks", help="click log TSV")
+    stream_produce.add_argument(
+        "--log-dir", required=True, help="partitioned event-log directory"
+    )
+    stream_produce.add_argument(
+        "--partitions",
+        type=int,
+        default=4,
+        help="partition count (fixed at log creation)",
+    )
+    stream_produce.add_argument(
+        "--producer-id",
+        default="cli",
+        help="idempotent-producer identity (re-running the same producer "
+        "over the same log deduplicates, it never double-publishes)",
+    )
+
+    stream_consume = stream_sub.add_parser(
+        "consume",
+        help="consume the log into an incremental index artifact (resumable)",
+    )
+    stream_consume.add_argument(
+        "--log-dir", required=True, help="partitioned event-log directory"
+    )
+    stream_consume.add_argument(
+        "--out", required=True, help="index artifact to write/update (.vmis)"
+    )
+    stream_consume.add_argument("--m", type=int, default=500)
+    stream_consume.add_argument(
+        "--group",
+        default="indexer",
+        help="consumer-group id (committed offsets are stored per group)",
+    )
+    stream_consume.add_argument(
+        "--session-gap",
+        type=float,
+        default=1800.0,
+        help="inactivity seconds after which a session seals",
+    )
+    stream_consume.add_argument(
+        "--lateness",
+        type=float,
+        default=300.0,
+        help="allowed out-of-order lateness (event-time seconds)",
+    )
+    stream_consume.add_argument(
+        "--flush",
+        action="store_true",
+        help="seal every open session at end of stream (terminal drain); "
+        "without it open sessions stay pending and replay on resume",
+    )
+
+    stream_status = stream_sub.add_parser(
+        "status", help="show partitions, offsets, consumer lag and watermark"
+    )
+    stream_status.add_argument(
+        "--log-dir", required=True, help="partitioned event-log directory"
+    )
+    stream_status.add_argument(
+        "--group",
+        default="indexer",
+        help="consumer-group id to report committed offsets/lag for",
     )
 
     serve = commands.add_parser("serve", help="start the HTTP serving component")
@@ -721,6 +798,146 @@ def cmd_bench(args) -> int:
     return _BENCH_COMMANDS[args.bench_command](args)
 
 
+def _cmd_stream_produce(args) -> int:
+    from repro.streaming import ClickProducer, PartitionedLog
+
+    clicks = ClickLog.from_tsv(args.clicks)
+    try:
+        log = PartitionedLog(args.partitions, directory=args.log_dir)
+    except ValueError as error:
+        print(f"stream produce refused: {error}")
+        return 2
+    producer = ClickProducer(log, args.producer_id)
+    receipts = producer.publish_all(clicks.clicks)
+    log.close()
+    new = sum(1 for receipt in receipts if not receipt.deduplicated)
+    print(
+        f"published {len(receipts):,} clicks as producer "
+        f"{args.producer_id!r} ({new:,} new, "
+        f"{len(receipts) - new:,} deduplicated) -> "
+        f"{log.num_partitions} partitions in {args.log_dir}"
+    )
+    return 0
+
+
+def _stream_paths(args) -> tuple:
+    from pathlib import Path
+
+    log_dir = Path(args.log_dir)
+    return log_dir, log_dir / f"offsets-{args.group}.json"
+
+
+def _cmd_stream_consume(args) -> int:
+    import json as json_module
+    from pathlib import Path
+
+    from repro.index.maintenance import IncrementalIndexer
+    from repro.streaming import (
+        CommittedOffsets,
+        ConsumerGroup,
+        PartitionedLog,
+        StreamingIndexer,
+        StreamingPolicy,
+    )
+
+    try:
+        log = PartitionedLog.open(args.log_dir)
+    except FileNotFoundError as error:
+        print(f"stream consume refused: {error}")
+        return 2
+    _, offsets_path = _stream_paths(args)
+    out_path = Path(args.out)
+    state_path = Path(str(args.out) + ".state.json")
+    if out_path.exists() and state_path.exists():
+        index = load_index(out_path)
+        state = json_module.loads(state_path.read_text(encoding="utf-8"))
+        indexer = IncrementalIndexer.restore(index, state)
+        resumed = True
+    else:
+        indexer = IncrementalIndexer(max_sessions_per_item=args.m)
+        resumed = False
+    group = ConsumerGroup(log, args.group, CommittedOffsets(offsets_path))
+    try:
+        policy = StreamingPolicy(
+            session_gap_seconds=args.session_gap,
+            allowed_lateness_seconds=args.lateness,
+        )
+    except ValueError as error:
+        print(f"stream consume refused: {error}")
+        return 2
+    # Offsets are committed only after the index artifact is durably
+    # written below: a crash in between replays, it never loses clicks.
+    pipeline = StreamingIndexer(
+        log, indexer, group=group, policy=policy, commit_each_step=False
+    )
+    pipeline.run_until_caught_up()
+    if args.flush:
+        pipeline.flush()
+    save_index(indexer.index, out_path)
+    state_path.write_text(
+        json_module.dumps(indexer.state_dict()), encoding="utf-8"
+    )
+    pipeline.commit()
+    log.close()
+    health = pipeline.health()
+    print(
+        f"{'resumed' if resumed else 'started'} group {args.group!r}: "
+        f"applied {pipeline.sessions_applied:,} sessions "
+        f"({pipeline.sessions_duplicate:,} duplicate, "
+        f"{pipeline.sessions_stale:,} stale, "
+        f"{pipeline.too_late_events:,} too-late clicks), "
+        f"{health['pending_sessions']} still open"
+        f"{' (flushed)' if args.flush else ''}"
+    )
+    print(
+        f"index: {indexer.index.num_sessions:,} sessions, "
+        f"{indexer.index.num_items:,} items -> {out_path} "
+        f"(+ {state_path.name})"
+    )
+    return 0
+
+
+def _cmd_stream_status(args) -> int:
+    from repro.streaming import CommittedOffsets, PartitionedLog
+
+    try:
+        log = PartitionedLog.open(args.log_dir)
+    except FileNotFoundError as error:
+        print(f"stream status refused: {error}")
+        return 2
+    _, offsets_path = _stream_paths(args)
+    offsets = CommittedOffsets(offsets_path if offsets_path.exists() else None)
+    total_lag = 0
+    print(f"log {args.log_dir}: {log.num_partitions} partitions, "
+          f"{log.total_records():,} records")
+    for partition in range(log.num_partitions):
+        end = log.end_offset(partition)
+        committed = offsets.get(partition)
+        lag = max(0, end - committed)
+        total_lag += lag
+        print(
+            f"  partition {partition}: end {end:>8,}  "
+            f"committed[{args.group}] {committed:>8,}  lag {lag:>8,}"
+        )
+    head = log.max_event_time()
+    head_text = f"{head}" if head is not None else "n/a"
+    print(f"group {args.group!r} lag {total_lag:,} events; "
+          f"event-time head {head_text}")
+    log.close()
+    return 0
+
+
+_STREAM_COMMANDS = {
+    "produce": _cmd_stream_produce,
+    "consume": _cmd_stream_consume,
+    "status": _cmd_stream_status,
+}
+
+
+def cmd_stream(args) -> int:
+    return _STREAM_COMMANDS[args.stream_command](args)
+
+
 def cmd_serve(args) -> int:
     from repro.serving.app import ServingCluster
     from repro.serving.http import SerenadeHTTPServer
@@ -778,6 +995,7 @@ _COMMANDS = {
     "experiment": cmd_experiment,
     "index": cmd_index,
     "bench": cmd_bench,
+    "stream": cmd_stream,
     "serve": cmd_serve,
 }
 

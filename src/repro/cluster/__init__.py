@@ -18,6 +18,7 @@ from repro.cluster.chaos import (
     ChaosInjector,
     ChaosReport,
     ChaosSchedule,
+    ConsumerCrash,
     PodKill,
 )
 from repro.cluster.abtest import (
@@ -62,6 +63,7 @@ __all__ = [
     "ChaosInjector",
     "ChaosReport",
     "ChaosSchedule",
+    "ConsumerCrash",
     "PodKill",
     "ABTestReport",
     "ArmOutcome",

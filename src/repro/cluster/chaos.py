@@ -46,22 +46,49 @@ class PodKill:
 
 
 @dataclass(frozen=True)
+class ConsumerCrash:
+    """Crash the cluster's streaming index consumer (and restart it later).
+
+    The crash kills the consumer mid-whatever-it-was-doing: buffered
+    unsealed sessions and uncommitted poll progress are lost, exactly the
+    state the commit low-watermark protects. On restart the consumer
+    rejoins its group and replays from the committed offsets.
+    """
+
+    at_time: float
+    restart_at: float | None = None
+
+    def validate(self) -> None:
+        if self.restart_at is not None and self.restart_at <= self.at_time:
+            raise ValueError("restart_at must be after at_time")
+
+
+@dataclass(frozen=True)
 class ChaosSchedule:
-    """A validated plan of pod kills/restarts for one chaos run."""
+    """A validated plan of pod kills and streaming faults for one run."""
 
     kills: tuple[PodKill, ...]
+    stream_faults: tuple[ConsumerCrash, ...]
 
-    def __init__(self, kills: Iterable[PodKill]) -> None:
+    def __init__(
+        self,
+        kills: Iterable[PodKill] = (),
+        stream_faults: Iterable[ConsumerCrash] = (),
+    ) -> None:
         ordered = tuple(sorted(kills, key=lambda kill: kill.at_time))
         for kill in ordered:
             kill.validate()
         object.__setattr__(self, "kills", ordered)
+        crashes = tuple(sorted(stream_faults, key=lambda fault: fault.at_time))
+        for fault in crashes:
+            fault.validate()
+        object.__setattr__(self, "stream_faults", crashes)
 
     def __iter__(self) -> Iterator[PodKill]:
         return iter(self.kills)
 
     def __len__(self) -> int:
-        return len(self.kills)
+        return len(self.kills) + len(self.stream_faults)
 
 
 @dataclass
@@ -106,6 +133,21 @@ class ChaosReport:
     # Per displaced session: seconds from the kill until a request saw
     # >= 2 items of stored history again (the paper's recovery claim).
     recovery_horizon: dict[str, float] = field(default_factory=dict)
+    # Streaming-ingestion faults applied (ConsumerCrash events).
+    consumer_crashes: int = 0
+    consumer_restarts: int = 0
+    # (arrival time, streaming lag in events) sampled at every arrival
+    # while a streaming pipeline is attached — the lag trajectory the
+    # determinism tests compare bit-for-bit across seeded replays.
+    lag_trajectory: list[tuple[float, int]] = field(default_factory=list)
+    # Final streaming health snapshot (empty without a pipeline).
+    streaming: dict = field(default_factory=dict)
+
+    @property
+    def max_lag_events(self) -> int:
+        if not self.lag_trajectory:
+            return 0
+        return max(lag for _, lag in self.lag_trajectory)
 
     @property
     def availability(self) -> float:
@@ -145,6 +187,8 @@ class ChaosInjector:
     def run(self, arrivals: Iterable[TimedRequest]) -> ChaosReport:
         pending = list(self.schedule)
         restarts: list[tuple[float, str, ChaosEventOutcome]] = []
+        stream_pending = list(self.schedule.stream_faults)
+        stream_restarts: list[float] = []
         latency = LatencyRecorder()
         report = ChaosReport(
             total_requests=0, failed_requests=0, events=[], latency=latency
@@ -153,6 +197,7 @@ class ChaosInjector:
         true_history: dict[str, int] = {}
         owner_before_kill: dict[str, str] = {}
         kill_time: dict[str, float] = {}
+        streaming = getattr(self.cluster, "streaming", None)
 
         for timed in arrivals:
             now = timed.arrival_time
@@ -160,6 +205,17 @@ class ChaosInjector:
             self._apply_due_kills(
                 pending, restarts, now, report, owner_before_kill, kill_time
             )
+            if streaming is not None:
+                self._apply_due_stream_faults(
+                    stream_pending, stream_restarts, now, report, streaming
+                )
+                # The supervised consumer polls alongside serving: one
+                # step per arrival while alive, none while crashed — so
+                # the sampled trajectory shows lag freezing across a
+                # crash window and draining again after the restart.
+                if not streaming.crashed:
+                    streaming.step()
+                report.lag_trajectory.append((now, streaming.lag_events()))
 
             request = timed.request
             true_history[request.session_key] = (
@@ -199,6 +255,13 @@ class ChaosInjector:
                     report.recovery_horizon[request.session_key] = (
                         now - kill_time[request.session_key]
                     )
+        if streaming is not None:
+            # Apply faults scheduled after the last arrival, then snapshot.
+            horizon = float("inf")
+            self._apply_due_stream_faults(
+                stream_pending, stream_restarts, horizon, report, streaming
+            )
+            report.streaming = streaming.health()
         return report
 
     def _apply_due_kills(
@@ -220,6 +283,26 @@ class ChaosInjector:
             if kill.restart_at is not None:
                 restarts.append((kill.restart_at, kill.pod_id, outcome))
                 restarts.sort(key=lambda entry: entry[0])
+
+    def _apply_due_stream_faults(
+        self, pending, restarts, now, report, streaming
+    ) -> None:
+        """Crash/restart the streaming consumer per the schedule."""
+        while restarts and restarts[0] <= now:
+            restarts.pop(0)
+            streaming.restart()
+            report.consumer_restarts += 1
+        while pending and pending[0].at_time <= now:
+            fault = pending.pop(0)
+            streaming.crash()
+            report.consumer_crashes += 1
+            if fault.restart_at is not None:
+                if fault.restart_at <= now:
+                    streaming.restart()
+                    report.consumer_restarts += 1
+                else:
+                    restarts.append(fault.restart_at)
+                    restarts.sort()
 
     def _apply_due_restarts(self, restarts, now, report) -> None:
         while restarts and restarts[0][0] <= now:

@@ -16,14 +16,48 @@ The result after any number of ``apply_batch`` calls is identical to a
 full rebuild over the concatenated click log (verified property-based in
 the test suite), while touching only the new postings — the ablation
 benchmark quantifies the saving.
+
+For the streaming path (:mod:`repro.streaming`) the indexer is hardened
+for **at-least-once** delivery: every applied session is fingerprinted
+by ``(external id, timestamp, item sequence)``, and re-applying an
+identical session — the replay-after-crash case — is an idempotent
+no-op, counted but never double-indexed. Out-of-order sessions can be
+skipped-and-counted (``on_stale="skip"``) instead of raising, which is
+the defence-in-depth mode the streaming pipeline runs in. The
+fingerprint map round-trips through :meth:`IncrementalIndexer.state_dict`
+/ :meth:`IncrementalIndexer.restore` so a CLI consumer can resume against
+a reloaded index artifact.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+from dataclasses import dataclass
+from typing import Any, Iterable
 
 from repro.core.index import SessionIndex
 from repro.core.types import Click, ItemId, SessionId, Timestamp, clicks_to_sessions
+
+__all__ = ["ApplyReport", "IncrementalIndexer", "rebuild_equivalent"]
+
+
+@dataclass(frozen=True, slots=True)
+class ApplyReport:
+    """Accounting for one ``apply_batch`` call (at-least-once bookkeeping)."""
+
+    sessions_applied: int = 0
+    #: exact replays of already indexed sessions, skipped idempotently.
+    sessions_skipped_duplicate: int = 0
+    #: sessions older than the newest indexed one, skipped under
+    #: ``on_stale="skip"`` (always 0 under the default ``"raise"``).
+    sessions_skipped_stale: int = 0
+
+    @property
+    def sessions_seen(self) -> int:
+        return (
+            self.sessions_applied
+            + self.sessions_skipped_duplicate
+            + self.sessions_skipped_stale
+        )
 
 
 class IncrementalIndexer:
@@ -40,37 +74,62 @@ class IncrementalIndexer:
             item_session_counts={},
             max_sessions_per_item=max_sessions_per_item,
         )
+        # Fingerprints of applied sessions: external id -> (timestamp,
+        # clicked items in session order). An incoming session matching
+        # its fingerprint exactly is a redelivery, not new data.
+        self._applied: dict[SessionId, tuple[Timestamp, tuple[ItemId, ...]]] = {}
+        self.last_report = ApplyReport()
 
     @property
     def index(self) -> SessionIndex:
         """The live index; valid to query between batches."""
         return self._index
 
-    def apply_batch(self, clicks: Iterable[Click]) -> int:
+    def apply_batch(self, clicks: Iterable[Click], on_stale: str = "raise") -> int:
         """Ingest one batch of finished sessions; returns sessions added.
 
-        Raises if a new session's timestamp precedes the newest already
-        indexed session — the incremental scheme relies on append-only
-        time order, which daily batch boundaries guarantee.
+        Exact redeliveries of already applied sessions (same external id,
+        timestamp and item sequence) are skipped idempotently, so replay
+        after an at-least-once consumer restart never double-counts.
+
+        With ``on_stale="raise"`` (the default, the daily-batch contract)
+        a batch whose oldest *new* session precedes the newest indexed
+        session raises — the incremental scheme relies on append-only
+        time order, which daily batch boundaries guarantee. With
+        ``on_stale="skip"`` such sessions are dropped and counted in
+        :attr:`last_report` instead (the streaming pipeline's
+        defence-in-depth mode).
         """
+        if on_stale not in ("raise", "skip"):
+            raise ValueError(f"on_stale must be 'raise' or 'skip', got {on_stale!r}")
         grouped = clicks_to_sessions(clicks)
         batch: list[tuple[Timestamp, SessionId, list[ItemId]]] = []
+        duplicates = 0
         for session_id, events in grouped.items():
             timestamp = max(ts for ts, _ in events)
-            batch.append((timestamp, session_id, [item for _, item in events]))
+            items = [item for _, item in events]
+            if self._applied.get(session_id) == (timestamp, tuple(items)):
+                duplicates += 1
+                continue
+            batch.append((timestamp, session_id, items))
         batch.sort(key=lambda row: (row[0], row[1]))
 
         index = self._index
+        stale = 0
         if batch and index.session_timestamps:
             newest = index.session_timestamps[-1]
             if batch[0][0] < newest:
-                raise ValueError(
-                    f"batch starts at {batch[0][0]} before newest indexed "
-                    f"session at {newest}; batches must be time-ordered"
-                )
+                if on_stale == "raise":
+                    raise ValueError(
+                        f"batch starts at {batch[0][0]} before newest indexed "
+                        f"session at {newest}; batches must be time-ordered"
+                    )
+                fresh = [row for row in batch if row[0] >= newest]
+                stale = len(batch) - len(fresh)
+                batch = fresh
 
         m = self.max_sessions_per_item
-        for timestamp, _, items in batch:
+        for timestamp, session_id, items in batch:
             internal_id = len(index.session_timestamps)
             distinct = tuple(dict.fromkeys(items))
             index.session_timestamps.append(timestamp)
@@ -83,9 +142,58 @@ class IncrementalIndexer:
                 index.item_session_counts[item] = (
                     index.item_session_counts.get(item, 0) + 1
                 )
-        # New sessions shift |H| and counts; cached idf values are stale.
-        index._idf_cache.clear()
+            self._applied[session_id] = (timestamp, tuple(items))
+        if batch:
+            # New sessions shift |H| and counts; cached idf values are stale.
+            index._idf_cache.clear()
+        self.last_report = ApplyReport(
+            sessions_applied=len(batch),
+            sessions_skipped_duplicate=duplicates,
+            sessions_skipped_stale=stale,
+        )
         return len(batch)
+
+    def applied_fingerprint(
+        self, session_id: SessionId
+    ) -> tuple[Timestamp, tuple[ItemId, ...]] | None:
+        """The ``(timestamp, items)`` fingerprint of an applied session.
+
+        ``None`` when the session has never been applied. The streaming
+        pipeline uses this to tell a harmless redelivery (the click is
+        inside the fingerprint) from a genuinely late click for an
+        already sealed session.
+        """
+        return self._applied.get(session_id)
+
+    @property
+    def newest_timestamp(self) -> Timestamp | None:
+        """Timestamp of the newest indexed session (``None`` when empty)."""
+        if not self._index.session_timestamps:
+            return None
+        return self._index.session_timestamps[-1]
+
+    # -- persistence (CLI resume) --------------------------------------------
+
+    def state_dict(self) -> dict[str, Any]:
+        """JSON-serialisable replay-protection state (pairs with the index)."""
+        return {
+            "max_sessions_per_item": self.max_sessions_per_item,
+            "applied": [
+                [session_id, timestamp, list(items)]
+                for session_id, (timestamp, items) in sorted(self._applied.items())
+            ],
+        }
+
+    @classmethod
+    def restore(cls, index: SessionIndex, state: dict[str, Any]) -> IncrementalIndexer:
+        """Rebuild an indexer around a loaded index + saved ``state_dict``."""
+        indexer = cls(max_sessions_per_item=int(state["max_sessions_per_item"]))
+        indexer._index = index
+        indexer._applied = {
+            int(session_id): (int(timestamp), tuple(int(i) for i in items))
+            for session_id, timestamp, items in state["applied"]
+        }
+        return indexer
 
 
 def rebuild_equivalent(

@@ -140,6 +140,10 @@ class ServingCluster:
         )
         self.recovered_sessions = 0
         self.rerouted_requests = 0
+        #: optional streaming ingestion pipeline (see repro.streaming);
+        #: attached via :meth:`attach_streaming`, surfaced in /healthz
+        #: and /metrics, and allowed to resize admission under lag.
+        self.streaming: Any | None = None
         # -- index lifecycle state (see repro.index.lifecycle.rollout) --
         #: the committed version label: what new/restarted pods load.
         self.index_version = index_version
@@ -427,6 +431,24 @@ class ServingCluster:
         close = getattr(recommender, "close", None)
         if callable(close):
             close()
+
+    # -- streaming ingestion -------------------------------------------------
+
+    def attach_streaming(self, pipeline: Any) -> None:
+        """Attach a :class:`~repro.streaming.pipeline.StreamingIndexer`.
+
+        The pipeline's consumer lag then shows up in ``/metrics`` and
+        ``/healthz``; when the cluster has an admission controller, the
+        pipeline should have been built with ``admission=cluster.admission``
+        so lag feeds backpressure into the serving path.
+        """
+        self.streaming = pipeline
+
+    def streaming_info(self) -> dict:
+        """Streaming ingestion health for ``/healthz`` and operators."""
+        if self.streaming is None:
+            return {"enabled": False}
+        return {"enabled": True, **self.streaming.health()}
 
     # -- introspection -------------------------------------------------------
 

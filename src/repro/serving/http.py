@@ -186,6 +186,21 @@ class SerenadeService:
             "serenade_index_rollbacks_total",
             "Automatic index rollbacks (canary or rolling stage failures)",
         )
+        # Streaming ingestion series (repro.streaming): gauges are
+        # point-in-time snapshots of the attached pipeline on scrape.
+        self._streaming_lag = self.metrics.gauge(
+            "serenade_streaming_lag_events",
+            "Acknowledged clicks not yet visible in the index "
+            "(unread backlog + buffered unsealed sessions)",
+        )
+        self._streaming_watermark = self.metrics.gauge(
+            "serenade_streaming_watermark_seconds",
+            "Event-time watermark of the streaming consumer group",
+        )
+        self._index_staleness = self.metrics.gauge(
+            "serenade_index_staleness_seconds",
+            "Event-time gap between the log head and the indexed head",
+        )
 
     def recommend(self, payload: dict) -> dict:
         """Handle one /v1/recommend call; raises BadRequest on bad input
@@ -263,6 +278,11 @@ class SerenadeService:
         rollback_delta = rollout["rollback_count"] - self._rollbacks.value()
         if rollback_delta > 0:
             self._rollbacks.increment(rollback_delta)
+        streaming = self.cluster.streaming
+        if streaming is not None:
+            self._streaming_lag.set(float(streaming.lag_events()))
+            self._streaming_watermark.set(streaming.watermark_seconds())
+            self._index_staleness.set(streaming.staleness_seconds())
         return self.metrics.render_prometheus()
 
     def health(self) -> dict:
@@ -270,6 +290,7 @@ class SerenadeService:
             "status": "ok",
             "pods": self.cluster.router.pods,
             "index": self.cluster.rollout_info(),
+            "streaming": self.cluster.streaming_info(),
             "requests_served": self.cluster.total_requests(),
             "result_cache": self.cluster.cache_info(),
             "resilience": {

@@ -579,7 +579,7 @@ class AdmissionToken:
         return self._shed
 
 
-@guarded_by("_lock", "_queue", "shed_count", "admitted_count")
+@guarded_by("_lock", "_queue", "capacity", "shed_count", "admitted_count")
 class AdmissionController:
     """A bounded queue in front of the cluster, shedding oldest-first.
 
@@ -613,6 +613,23 @@ class AdmissionController:
                 oldest._shed = True
                 self.shed_count += 1
         return token
+
+    def resize(self, capacity: int) -> None:
+        """Change capacity at runtime (streaming backpressure drives this).
+
+        Shrinking below the current queue depth sheds oldest-first
+        immediately, exactly as :meth:`submit` would — backpressure from
+        a lagging index consumer turns into fast 429s rather than stale
+        recommendations.
+        """
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        with self._lock:
+            self.capacity = capacity
+            while len(self._queue) > self.capacity:
+                oldest = self._queue.popleft()
+                oldest._shed = True
+                self.shed_count += 1
 
     def release(self, token: AdmissionToken) -> None:
         with self._lock:

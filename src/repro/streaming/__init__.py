@@ -1,0 +1,74 @@
+"""Fault-tolerant streaming click ingestion (ROADMAP item: event bus).
+
+An in-process, Kafka-shaped event bus that carries clicks from producers
+into the incremental index maintainer within "seconds" of event time
+instead of the daily batch cadence:
+
+* :mod:`repro.streaming.log` — the partitioned append-only record log
+  with broker-side idempotent-producer dedup;
+* :mod:`repro.streaming.producer` — retrying publishers whose sequence
+  numbers make redelivery after a lost ack harmless;
+* :mod:`repro.streaming.consumer` — consumer groups, committed offsets
+  and deterministic partition rebalancing;
+* :mod:`repro.streaming.watermark` — event-time watermarks with bounded
+  allowed lateness;
+* :mod:`repro.streaming.pipeline` — the streaming indexer that turns
+  polled records into sealed sessions for
+  :class:`~repro.index.maintenance.IncrementalIndexer`, commits offsets
+  at the replay-safe low watermark and feeds consumer lag back into
+  admission control;
+* :mod:`repro.streaming.faults` — seeded fault injection (transient
+  rejects, lost acks, duplicated/reordered delivery) for the chaos and
+  differential suites.
+
+Everything here is clock-hygienic (SRN001): time and randomness enter
+only through injected seams, so the same seed replays the same lag
+trajectory bit-for-bit on :class:`~repro.testing.clock.VirtualClock`.
+"""
+
+from repro.streaming.consumer import CommittedOffsets, ConsumerGroup
+from repro.streaming.faults import (
+    DeliveryFaultPlan,
+    DeliveryFaults,
+    FlakyTransport,
+    TransportFaultPlan,
+)
+from repro.streaming.log import AppendResult, PartitionedLog, StreamRecord
+from repro.streaming.pipeline import (
+    BackpressurePolicy,
+    StepReport,
+    StreamingIndexer,
+    StreamingPolicy,
+)
+from repro.streaming.producer import (
+    AckLost,
+    ClickProducer,
+    PublishFailed,
+    PublishReceipt,
+    RetryPolicy,
+    TransientPublishError,
+)
+from repro.streaming.watermark import WatermarkTracker
+
+__all__ = [
+    "AckLost",
+    "AppendResult",
+    "BackpressurePolicy",
+    "ClickProducer",
+    "CommittedOffsets",
+    "ConsumerGroup",
+    "DeliveryFaultPlan",
+    "DeliveryFaults",
+    "FlakyTransport",
+    "PartitionedLog",
+    "PublishFailed",
+    "PublishReceipt",
+    "RetryPolicy",
+    "StepReport",
+    "StreamRecord",
+    "StreamingIndexer",
+    "StreamingPolicy",
+    "TransientPublishError",
+    "TransportFaultPlan",
+    "WatermarkTracker",
+]

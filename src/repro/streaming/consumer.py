@@ -1,0 +1,213 @@
+"""Consumer groups: committed offsets, positions, partition rebalancing.
+
+The delivery contract is Kafka's: **at-least-once**. A consumer's
+*position* (next offset to read) advances as it polls; its *committed*
+offset only moves when it explicitly commits. On crash/restart or on a
+rebalance that moves a partition to another member, consumption resumes
+from the committed offset — records between the commit and the old
+position are redelivered, never lost. Downstream idempotence (the
+hardened :class:`~repro.index.maintenance.IncrementalIndexer`) turns
+that into effectively-once indexing.
+
+Rebalancing is deterministic: partitions are range-assigned over the
+sorted member ids, so the same join/leave order always yields the same
+assignment — a requirement for seeded replay.
+
+Committed offsets can be file-backed (JSON, written atomically via
+tmp + ``os.replace``) so a restarted CLI consumer resumes where the
+previous process left off.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.streaming.log import PartitionedLog, StreamRecord
+
+__all__ = ["CommittedOffsets", "ConsumerGroup"]
+
+
+class CommittedOffsets:
+    """Durable per-partition committed offsets (optionally file-backed)."""
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self._path = Path(path) if path is not None else None
+        self._offsets: dict[int, int] = {}
+        if self._path is not None and self._path.exists():
+            raw = json.loads(self._path.read_text(encoding="utf-8"))
+            self._offsets = {int(k): int(v) for k, v in raw.items()}
+
+    def get(self, partition: int) -> int:
+        """The committed offset (first offset *not yet* processed)."""
+        return self._offsets.get(partition, 0)
+
+    def commit(self, partition: int, offset: int) -> None:
+        """Advance the committed offset; commits never move backwards."""
+        if offset < 0:
+            raise ValueError(f"offset must be >= 0, got {offset}")
+        if offset <= self._offsets.get(partition, 0):
+            return
+        self._offsets[partition] = offset
+        if self._path is not None:
+            self._save()
+
+    def as_dict(self) -> dict[int, int]:
+        return dict(self._offsets)
+
+    def _save(self) -> None:
+        assert self._path is not None
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self._path.with_suffix(self._path.suffix + ".tmp")
+        tmp.write_text(
+            json.dumps({str(k): v for k, v in sorted(self._offsets.items())}),
+            encoding="utf-8",
+        )
+        os.replace(tmp, self._path)
+
+
+class ConsumerGroup:
+    """Coordinates members over a log's partitions, Kafka-group style."""
+
+    def __init__(
+        self,
+        log: PartitionedLog,
+        group_id: str = "default",
+        offsets: CommittedOffsets | None = None,
+    ) -> None:
+        self.log = log
+        self.group_id = group_id
+        self.offsets = offsets if offsets is not None else CommittedOffsets()
+        self._members: set[str] = set()
+        self._assignment: dict[str, list[int]] = {}
+        self._positions: dict[int, int] = {}
+        self.generation = 0
+        self.rebalance_count = 0
+
+    # -- membership ----------------------------------------------------------
+
+    def join(self, member_id: str) -> list[int]:
+        """Add a member and rebalance; returns its new assignment."""
+        if member_id in self._members:
+            raise ValueError(f"member {member_id!r} already joined")
+        self._members.add(member_id)
+        self._rebalance()
+        return self.assignment(member_id)
+
+    def leave(self, member_id: str) -> None:
+        """Remove a member (crash or clean shutdown) and rebalance."""
+        if member_id not in self._members:
+            raise ValueError(f"member {member_id!r} not in group")
+        self._members.discard(member_id)
+        self._rebalance()
+
+    def members(self) -> list[str]:
+        return sorted(self._members)
+
+    def assignment(self, member_id: str) -> list[int]:
+        self._check_member(member_id)
+        return list(self._assignment.get(member_id, []))
+
+    def _rebalance(self) -> None:
+        """Range-assign partitions over sorted members, deterministically.
+
+        Partitions whose owner changed reset their position to the
+        committed offset: the new owner replays the uncommitted suffix
+        (at-least-once), exactly like a Kafka generation bump.
+        """
+        old_owner: dict[int, str] = {}
+        for member, partitions in self._assignment.items():
+            for partition in partitions:
+                old_owner[partition] = member
+        members = sorted(self._members)
+        self._assignment = {member: [] for member in members}
+        if members:
+            for partition in range(self.log.num_partitions):
+                owner = members[partition % len(members)]
+                self._assignment[owner].append(partition)
+                if old_owner.get(partition) != owner:
+                    self._positions[partition] = self.offsets.get(partition)
+        self.generation += 1
+        self.rebalance_count += 1
+
+    # -- consuming -----------------------------------------------------------
+
+    def poll(self, member_id: str, max_records: int = 512) -> list[StreamRecord]:
+        """Read up to ``max_records`` across the member's partitions.
+
+        The budget is spread round-robin over assigned partitions so one
+        hot partition cannot starve the others.
+        """
+        self._check_member(member_id)
+        assigned = self._assignment.get(member_id, [])
+        if not assigned or max_records < 1:
+            return []
+        out: list[StreamRecord] = []
+        remaining = max_records
+        for index, partition in enumerate(assigned):
+            if remaining <= 0:
+                break
+            # Ceil-divide the remaining budget over the remaining
+            # partitions: fair shares that still fill the whole budget.
+            left = len(assigned) - index
+            share = max(1, -(-remaining // left))
+            position = self._positions.setdefault(
+                partition, self.offsets.get(partition)
+            )
+            records = self.log.read(partition, position, min(share, remaining))
+            if records:
+                self._positions[partition] = records[-1].offset + 1
+                out.extend(records)
+                remaining -= len(records)
+        return out
+
+    def position(self, partition: int) -> int:
+        """Next offset this group will read from ``partition``."""
+        return self._positions.get(partition, self.offsets.get(partition))
+
+    def commit_to(self, member_id: str, partition: int, offset: int) -> None:
+        """Commit ``partition`` up to ``offset`` (exclusive), owner-checked."""
+        self._check_member(member_id)
+        if partition not in self._assignment.get(member_id, []):
+            raise ValueError(
+                f"member {member_id!r} does not own partition {partition}"
+            )
+        self.offsets.commit(partition, offset)
+
+    def commit_positions(self, member_id: str) -> None:
+        """Commit every owned partition at its current position."""
+        self._check_member(member_id)
+        for partition in self._assignment.get(member_id, []):
+            self.offsets.commit(partition, self.position(partition))
+
+    # -- introspection -------------------------------------------------------
+
+    def lag(self) -> int:
+        """Acknowledged records not yet read by the group's positions."""
+        return sum(
+            max(0, self.log.end_offset(p) - self.position(p))
+            for p in range(self.log.num_partitions)
+        )
+
+    def committed_lag(self) -> int:
+        """Acknowledged records past the committed offsets (replay size)."""
+        return sum(
+            max(0, self.log.end_offset(p) - self.offsets.get(p))
+            for p in range(self.log.num_partitions)
+        )
+
+    def info(self) -> dict[str, object]:
+        return {
+            "group_id": self.group_id,
+            "generation": self.generation,
+            "members": self.members(),
+            "assignment": {m: list(ps) for m, ps in self._assignment.items()},
+            "committed": self.offsets.as_dict(),
+            "lag": self.lag(),
+            "committed_lag": self.committed_lag(),
+        }
+
+    def _check_member(self, member_id: str) -> None:
+        if member_id not in self._members:
+            raise ValueError(f"member {member_id!r} not in group")

@@ -1,0 +1,122 @@
+"""Seeded fault injection for the streaming path.
+
+Two seams, matching where real systems fail:
+
+* :class:`FlakyTransport` sits between producer and log — transient
+  broker rejects (nothing appended) and lost acks (appended, but the
+  producer doesn't know). Lost acks are the interesting case: the
+  producer retries with the same sequence and broker dedup must hold.
+* :class:`DeliveryFaults` sits between consumer poll and the pipeline —
+  duplicated and reordered delivery of already acknowledged records.
+  It is a pure, seeded transform over each polled batch, so injection
+  composes with :class:`~repro.testing.clock.VirtualClock` replay.
+
+All randomness comes from :class:`random.Random` instances owned by the
+injector (SRN001): the same seed produces the same fault pattern.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.types import Click
+from repro.streaming.log import AppendResult, PartitionedLog, StreamRecord
+from repro.streaming.producer import AckLost, TransientPublishError
+
+__all__ = [
+    "DeliveryFaultPlan",
+    "DeliveryFaults",
+    "FlakyTransport",
+    "TransportFaultPlan",
+]
+
+
+@dataclass(frozen=True)
+class TransportFaultPlan:
+    """Producer-side fault rates (both in ``[0, 1]``)."""
+
+    #: probability a publish attempt is rejected before any append.
+    reject_rate: float = 0.0
+    #: probability the append succeeds but the ack is dropped.
+    ack_loss_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("reject_rate", "ack_loss_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+class FlakyTransport:
+    """A producer→log wire that drops requests and acks at seeded rates."""
+
+    def __init__(
+        self,
+        log: PartitionedLog,
+        plan: TransportFaultPlan,
+        rng: random.Random,
+    ) -> None:
+        self.log = log
+        self.plan = plan
+        self._rng = rng
+        self.rejects = 0
+        self.lost_acks = 0
+
+    def __call__(
+        self, partition: int, click: Click, producer_id: str, sequence: int
+    ) -> AppendResult:
+        if self._rng.random() < self.plan.reject_rate:
+            self.rejects += 1
+            raise TransientPublishError("injected broker reject")
+        result = self.log.append(partition, click, producer_id, sequence)
+        # The append happened; losing the ack *after* it is what forces
+        # the producer into the dangerous resend-same-record path.
+        if self._rng.random() < self.plan.ack_loss_rate:
+            self.lost_acks += 1
+            raise AckLost("injected ack loss")
+        return result
+
+
+@dataclass(frozen=True)
+class DeliveryFaultPlan:
+    """Consumer-side fault rates (both in ``[0, 1]``)."""
+
+    #: probability each polled record is delivered twice.
+    duplicate_rate: float = 0.0
+    #: probability a polled batch is shuffled before the pipeline sees it.
+    shuffle_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("duplicate_rate", "shuffle_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+class DeliveryFaults:
+    """A seeded poll transform injecting duplicated/reordered delivery.
+
+    Plug into :class:`~repro.streaming.pipeline.StreamingIndexer` as its
+    ``poll_transform``.
+    """
+
+    def __init__(self, plan: DeliveryFaultPlan, rng: random.Random) -> None:
+        self.plan = plan
+        self._rng = rng
+        self.duplicated = 0
+        self.shuffled_batches = 0
+
+    def __call__(self, records: list[StreamRecord]) -> list[StreamRecord]:
+        if not records:
+            return records
+        out: list[StreamRecord] = []
+        for record in records:
+            out.append(record)
+            if self._rng.random() < self.plan.duplicate_rate:
+                out.append(record)
+                self.duplicated += 1
+        if self._rng.random() < self.plan.shuffle_rate:
+            self._rng.shuffle(out)
+            self.shuffled_batches += 1
+        return out

@@ -1,0 +1,242 @@
+"""The partitioned append-only click log (the in-process "broker").
+
+Clicks are partitioned **by session id**, so every record of one session
+lands in one partition and a single consumer observes that session's
+clicks in publish order. Offsets are dense per partition (0, 1, 2, …)
+and a record, once acknowledged, is never mutated or dropped — replay
+from any committed offset yields exactly the acknowledged suffix.
+
+Idempotent publish is enforced broker-side, as in Kafka's idempotent
+producer: each producer stamps records with a monotonically increasing
+per-partition ``sequence``, and the log remembers the highest sequence
+(and its offset) per ``(partition, producer_id)``. A retry of an already
+appended record — the "ack was lost" case — is recognised by its stale
+sequence and acknowledged again *without* a second append, so producer
+retry storms cannot duplicate data.
+
+With a ``directory`` the log is file-backed: one JSONL file per
+partition, flushed on every append (the ack means "durable"), replayed
+on open so a restarted process resumes with identical offsets and dedup
+state.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO
+
+from repro.core.types import Click, SessionId
+
+__all__ = ["AppendResult", "PartitionedLog", "StreamRecord"]
+
+
+@dataclass(frozen=True, slots=True)
+class StreamRecord:
+    """One acknowledged click with its position and producer provenance."""
+
+    partition: int
+    offset: int
+    producer_id: str
+    sequence: int
+    click: Click
+
+
+@dataclass(frozen=True, slots=True)
+class AppendResult:
+    """The broker's ack: where the record lives, and whether it was new."""
+
+    partition: int
+    offset: int
+    #: True when the append was recognised as a retry of an already
+    #: acknowledged sequence and therefore did not create a new record.
+    deduplicated: bool = False
+
+
+class PartitionedLog:
+    """An append-only, partition-sharded record log with producer dedup."""
+
+    def __init__(
+        self, num_partitions: int = 4, directory: str | Path | None = None
+    ) -> None:
+        if num_partitions < 1:
+            raise ValueError(
+                f"num_partitions must be >= 1, got {num_partitions}"
+            )
+        self.num_partitions = num_partitions
+        self._partitions: list[list[StreamRecord]] = [
+            [] for _ in range(num_partitions)
+        ]
+        # (partition, producer_id) -> (highest acked sequence, its offset).
+        self._producer_high: dict[tuple[int, str], tuple[int, int]] = {}
+        self._max_event_time: int | None = None
+        self._directory = Path(directory) if directory is not None else None
+        self._files: list[IO[str]] | None = None
+        if self._directory is not None:
+            self._directory.mkdir(parents=True, exist_ok=True)
+            meta_path = self._directory / "log-meta.json"
+            if meta_path.exists():
+                stored = int(
+                    json.loads(meta_path.read_text(encoding="utf-8"))[
+                        "num_partitions"
+                    ]
+                )
+                if stored != num_partitions:
+                    raise ValueError(
+                        f"log at {self._directory} has {stored} partitions, "
+                        f"requested {num_partitions}; partition count is "
+                        "fixed at log creation"
+                    )
+            else:
+                meta_path.write_text(
+                    json.dumps({"num_partitions": num_partitions}),
+                    encoding="utf-8",
+                )
+            self._replay_directory()
+            self._files = [
+                open(self._segment_path(p), "a", encoding="utf-8")
+                for p in range(num_partitions)
+            ]
+
+    @classmethod
+    def open(cls, directory: str | Path) -> "PartitionedLog":
+        """Open an existing file-backed log, partition count from its meta."""
+        meta_path = Path(directory) / "log-meta.json"
+        if not meta_path.exists():
+            raise FileNotFoundError(f"no partitioned log at {directory}")
+        stored = int(
+            json.loads(meta_path.read_text(encoding="utf-8"))["num_partitions"]
+        )
+        return cls(stored, directory=directory)
+
+    # -- partitioning --------------------------------------------------------
+
+    def partition_for(self, session_id: SessionId) -> int:
+        """Stable session→partition routing (``hash()`` is salted; ``%`` is not)."""
+        return session_id % self.num_partitions
+
+    # -- producing -----------------------------------------------------------
+
+    def append(
+        self, partition: int, click: Click, producer_id: str, sequence: int
+    ) -> AppendResult:
+        """Append one record, deduplicating retried sequences.
+
+        A ``sequence`` at or below the highest already acknowledged for
+        ``(partition, producer_id)`` is treated as a redelivery: the log
+        re-acks the original offset instead of appending again.
+        """
+        self._check_partition(partition)
+        if sequence < 0:
+            raise ValueError(f"sequence must be >= 0, got {sequence}")
+        key = (partition, producer_id)
+        high = self._producer_high.get(key)
+        if high is not None and sequence <= high[0]:
+            return AppendResult(partition, high[1], deduplicated=True)
+        offset = len(self._partitions[partition])
+        record = StreamRecord(partition, offset, producer_id, sequence, click)
+        self._partitions[partition].append(record)
+        self._producer_high[key] = (sequence, offset)
+        if self._max_event_time is None or click.timestamp > self._max_event_time:
+            self._max_event_time = click.timestamp
+        if self._files is not None:
+            self._persist(record)
+        return AppendResult(partition, offset, deduplicated=False)
+
+    # -- consuming -----------------------------------------------------------
+
+    def read(
+        self, partition: int, offset: int, max_records: int = 512
+    ) -> list[StreamRecord]:
+        """Records of ``partition`` starting at ``offset`` (at most ``max_records``)."""
+        self._check_partition(partition)
+        if offset < 0:
+            raise ValueError(f"offset must be >= 0, got {offset}")
+        if max_records < 1:
+            return []
+        return self._partitions[partition][offset : offset + max_records]
+
+    def end_offset(self, partition: int) -> int:
+        """One past the last acknowledged offset (0 for an empty partition)."""
+        self._check_partition(partition)
+        return len(self._partitions[partition])
+
+    def end_offsets(self) -> dict[int, int]:
+        return {p: len(records) for p, records in enumerate(self._partitions)}
+
+    def total_records(self) -> int:
+        return sum(len(records) for records in self._partitions)
+
+    def max_event_time(self) -> int | None:
+        """Largest click timestamp ever acknowledged (``None`` when empty)."""
+        return self._max_event_time
+
+    # -- durability ----------------------------------------------------------
+
+    def close(self) -> None:
+        if self._files is not None:
+            for handle in self._files:
+                handle.close()
+            self._files = None
+
+    def _segment_path(self, partition: int) -> Path:
+        assert self._directory is not None
+        return self._directory / f"partition-{partition:04d}.jsonl"
+
+    def _persist(self, record: StreamRecord) -> None:
+        assert self._files is not None
+        handle = self._files[record.partition]
+        click = record.click
+        handle.write(
+            json.dumps(
+                [
+                    record.producer_id,
+                    record.sequence,
+                    click.session_id,
+                    click.item_id,
+                    click.timestamp,
+                ]
+            )
+            + "\n"
+        )
+        # The ack promises durability: flush before the append returns.
+        handle.flush()
+
+    def _replay_directory(self) -> None:
+        for partition in range(self.num_partitions):
+            path = self._segment_path(partition)
+            if not path.exists():
+                continue
+            with open(path, encoding="utf-8") as handle:
+                for offset, line in enumerate(handle):
+                    if not line.strip():
+                        continue
+                    producer_id, sequence, session_id, item_id, timestamp = (
+                        json.loads(line)
+                    )
+                    click = Click(
+                        session_id=int(session_id),
+                        item_id=int(item_id),
+                        timestamp=int(timestamp),
+                    )
+                    record = StreamRecord(
+                        partition, offset, str(producer_id), int(sequence), click
+                    )
+                    self._partitions[partition].append(record)
+                    self._producer_high[(partition, str(producer_id))] = (
+                        int(sequence),
+                        offset,
+                    )
+                    if (
+                        self._max_event_time is None
+                        or click.timestamp > self._max_event_time
+                    ):
+                        self._max_event_time = click.timestamp
+
+    def _check_partition(self, partition: int) -> None:
+        if not 0 <= partition < self.num_partitions:
+            raise ValueError(
+                f"partition {partition} out of range "
+                f"[0, {self.num_partitions})"
+            )

@@ -1,0 +1,475 @@
+"""The streaming indexer: polled records → sealed sessions → fresh index.
+
+This is the glue between the event bus and
+:class:`~repro.index.maintenance.IncrementalIndexer`, and the place
+where the **bounded-staleness contract** is enforced:
+
+* polled clicks are buffered per session until the watermark passes the
+  session's last event plus the inactivity gap — only then is the
+  session *sealed* and applied to the index (matching the batch
+  lifecycle's "finished sessions only" rule);
+* offsets are committed at the **low watermark**: the smallest offset
+  still needed by a buffered (unsealed) session. A crash between poll
+  and apply therefore replays every unsealed click — acknowledged
+  clicks are never lost, and the indexer's idempotent re-apply makes the
+  replay harmless;
+* every acknowledged click is accounted for: applied, replayed
+  (redelivery of indexed data), or counted too-late/stale — nothing is
+  silently dropped;
+* consumer lag feeds back into :class:`~repro.serving.resilience
+  .AdmissionController` via :meth:`AdmissionController.resize`, shedding
+  request load *before* the index falls behind the configured bound.
+
+All time is event time or injected virtual time; the pipeline itself
+never reads a wall clock (SRN001), so a seeded run replays the same lag
+trajectory exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.types import Click, SessionId
+from repro.index.maintenance import IncrementalIndexer
+from repro.streaming.consumer import ConsumerGroup
+from repro.streaming.log import PartitionedLog, StreamRecord
+from repro.streaming.watermark import WatermarkTracker
+
+if TYPE_CHECKING:
+    from repro.serving.resilience import AdmissionController
+    from repro.testing.clock import VirtualClock
+
+__all__ = [
+    "BackpressurePolicy",
+    "StepReport",
+    "StreamingIndexer",
+    "StreamingPolicy",
+]
+
+
+@dataclass(frozen=True)
+class BackpressurePolicy:
+    """Maps consumer lag to an admission-control capacity.
+
+    Up to ``target_lag_events`` the serving path runs at full capacity;
+    beyond it capacity shrinks linearly, reaching ``min_capacity`` at
+    ``max_lag_events``. Shedding earlier keeps the indexer's share of
+    the machine and stops the staleness bound from being breached under
+    sustained overload.
+    """
+
+    target_lag_events: int = 256
+    max_lag_events: int = 4096
+    min_capacity: int = 8
+
+    def __post_init__(self) -> None:
+        if self.max_lag_events <= self.target_lag_events:
+            raise ValueError("max_lag_events must exceed target_lag_events")
+        if self.min_capacity < 1:
+            raise ValueError("min_capacity must be >= 1")
+
+    def capacity_for(self, lag_events: int, full_capacity: int) -> int:
+        if lag_events <= self.target_lag_events:
+            return full_capacity
+        if lag_events >= self.max_lag_events:
+            return min(self.min_capacity, full_capacity)
+        span = self.max_lag_events - self.target_lag_events
+        fraction = (lag_events - self.target_lag_events) / span
+        scaled = round(full_capacity - fraction * (full_capacity - self.min_capacity))
+        return max(min(self.min_capacity, full_capacity), int(scaled))
+
+
+@dataclass(frozen=True)
+class StreamingPolicy:
+    """Knobs of the streaming ingestion path."""
+
+    #: a session is sealed once the watermark passes its last event by
+    #: this much (the paper's 30-minute session inactivity convention).
+    session_gap_seconds: float = 1800.0
+    #: watermark slack for out-of-order arrival (event time units).
+    allowed_lateness_seconds: float = 300.0
+    #: poll budget per step across all assigned partitions.
+    poll_max_records: int = 512
+    #: the bounded-staleness contract: the pipeline is "within bound"
+    #: while acked-but-unindexed events stay at or below this.
+    staleness_bound_events: int = 4096
+    backpressure: BackpressurePolicy = field(default_factory=BackpressurePolicy)
+
+    def __post_init__(self) -> None:
+        if self.session_gap_seconds <= 0:
+            raise ValueError("session_gap_seconds must be > 0")
+        if self.allowed_lateness_seconds < 0:
+            raise ValueError("allowed_lateness_seconds must be >= 0")
+        if self.allowed_lateness_seconds > self.session_gap_seconds:
+            # An on-time click (ts >= watermark) must always be able to
+            # join the index: sealed sessions sit at or below
+            # ``watermark - gap``, so lateness beyond the gap could admit
+            # a click older than the newest sealed session — which the
+            # append-only indexer would have to drop as stale.
+            raise ValueError(
+                "allowed_lateness_seconds must not exceed session_gap_seconds"
+            )
+        if self.poll_max_records < 1:
+            raise ValueError("poll_max_records must be >= 1")
+        if self.staleness_bound_events < 1:
+            raise ValueError("staleness_bound_events must be >= 1")
+
+
+@dataclass(frozen=True, slots=True)
+class StepReport:
+    """What one :meth:`StreamingIndexer.step` actually did."""
+
+    polled: int
+    sessions_applied: int
+    sessions_duplicate: int
+    sessions_stale: int
+    replayed_records: int
+    too_late_events: int
+    lag_events: int
+    committed: dict[int, int]
+
+
+@dataclass
+class _PendingSession:
+    """Clicks of one not-yet-sealed session, keyed by log offset.
+
+    Offset keying makes duplicate delivery of the same record an
+    idempotent overwrite, and the minimum key is the session's
+    contribution to the commit low watermark.
+    """
+
+    partition: int
+    clicks: dict[int, Click] = field(default_factory=dict)
+
+    @property
+    def last_event(self) -> int:
+        return max(click.timestamp for click in self.clicks.values())
+
+    @property
+    def min_offset(self) -> int:
+        return min(self.clicks)
+
+
+class StreamingIndexer:
+    """Consumes a :class:`PartitionedLog` into an incremental index."""
+
+    def __init__(
+        self,
+        log: PartitionedLog,
+        indexer: IncrementalIndexer,
+        group: ConsumerGroup | None = None,
+        member_id: str = "indexer-0",
+        policy: StreamingPolicy | None = None,
+        admission: "AdmissionController | None" = None,
+        poll_transform: Callable[[list[StreamRecord]], list[StreamRecord]] | None = None,
+        commit_each_step: bool = True,
+    ) -> None:
+        self.log = log
+        self.indexer = indexer
+        self.policy = policy if policy is not None else StreamingPolicy()
+        self.group = group if group is not None else ConsumerGroup(log, "indexer")
+        self.member_id = member_id
+        self.group.join(member_id)
+        self.admission = admission
+        self._full_capacity = admission.capacity if admission is not None else 0
+        self._poll_transform = poll_transform
+        # When False, step()/flush() never commit offsets; the owner
+        # calls commit() explicitly after persisting downstream state
+        # (the CLI consumer commits only after the index artifact is on
+        # disk, so a crash in between replays instead of losing data).
+        self.commit_each_step = commit_each_step
+        # One event-time tracker per partition actually consumed from:
+        # the *global* watermark is held back by backlogged partitions
+        # (min over them), so cross-partition read skew can never make
+        # an unread click retroactively "late".
+        self._trackers: dict[int, WatermarkTracker] = {}
+        self._pending: dict[SessionId, _PendingSession] = {}
+        self._crashed = False
+        # Lifetime counters (survive restarts; they describe the pipeline,
+        # not one consumer incarnation).
+        self.steps = 0
+        self.events_consumed = 0
+        self.replayed_records = 0
+        self.too_late_events = 0
+        self.sessions_applied = 0
+        self.sessions_duplicate = 0
+        self.sessions_stale = 0
+        self.crash_count = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    def crash(self) -> None:
+        """Kill the consumer: all un-applied in-memory state is lost."""
+        if self._crashed:
+            return
+        self._crashed = True
+        self.crash_count += 1
+        self.group.leave(self.member_id)
+
+    def restart(self) -> None:
+        """Bring the consumer back; it replays from the committed offsets.
+
+        The index itself is pod state and survives; only the consumer's
+        buffers and watermark are rebuilt from the replayed records. The
+        indexer's idempotent re-apply absorbs any sealed sessions the
+        replay delivers again.
+        """
+        if not self._crashed:
+            return
+        self._pending.clear()
+        self._trackers.clear()
+        self._crashed = False
+        self.group.join(self.member_id)
+
+    # -- the consume loop ----------------------------------------------------
+
+    def step(self) -> StepReport:
+        """Poll once, seal what the watermark allows, apply, commit."""
+        if self._crashed:
+            raise RuntimeError("streaming indexer is crashed; restart() first")
+        self.steps += 1
+        records = self.group.poll(self.member_id, self.policy.poll_max_records)
+        if self._poll_transform is not None:
+            records = self._poll_transform(records)
+        replayed = 0
+        too_late = 0
+        for record in records:
+            self.events_consumed += 1
+            tracker = self._trackers.get(record.partition)
+            if tracker is None:
+                tracker = WatermarkTracker(self.policy.allowed_lateness_seconds)
+                self._trackers[record.partition] = tracker
+            tracker.observe(record.click.timestamp)
+            disposition = self._ingest(record)
+            if disposition == "replayed":
+                replayed += 1
+            elif disposition == "too_late":
+                too_late += 1
+        self.replayed_records += replayed
+        self.too_late_events += too_late
+
+        applied, duplicates, stale = self._seal_and_apply(self._sealable())
+        committed = self._commit_low_watermark() if self.commit_each_step else {}
+        lag = self.lag_events()
+        self._apply_backpressure(lag)
+        return StepReport(
+            polled=len(records),
+            sessions_applied=applied,
+            sessions_duplicate=duplicates,
+            sessions_stale=stale,
+            replayed_records=replayed,
+            too_late_events=too_late,
+            lag_events=lag,
+            committed=committed,
+        )
+
+    def flush(self) -> int:
+        """Seal *every* buffered session (end-of-stream) and commit fully.
+
+        Returns the number of sessions applied. After a drained log is
+        flushed the streamed index is exactly the batch rebuild of the
+        acknowledged clicks (the convergence half of the contract).
+        """
+        if self._crashed:
+            raise RuntimeError("streaming indexer is crashed; restart() first")
+        applied, _, _ = self._seal_and_apply(sorted(self._pending))
+        if self.commit_each_step:
+            self.group.commit_positions(self.member_id)
+        self._apply_backpressure(self.lag_events())
+        return applied
+
+    def commit(self) -> dict[int, int]:
+        """Commit offsets at the replay-safe low watermark, explicitly.
+
+        For ``commit_each_step=False`` owners: call after downstream
+        state (e.g. the index artifact) is durably persisted.
+        """
+        return self._commit_low_watermark()
+
+    def run_until_caught_up(self, max_steps: int = 10_000) -> int:
+        """Step until the group has read every acknowledged record."""
+        taken = 0
+        while self.group.lag() > 0:
+            if taken >= max_steps:
+                raise RuntimeError(f"not caught up after {max_steps} steps")
+            self.step()
+            taken += 1
+        return taken
+
+    def _ingest(self, record: StreamRecord) -> str:
+        click = record.click
+        session_id = click.session_id
+        pending = self._pending.get(session_id)
+        if pending is not None:
+            pending.clicks[record.offset] = click
+            return "buffered"
+        fingerprint = self.indexer.applied_fingerprint(session_id)
+        if fingerprint is not None:
+            sealed_ts, sealed_items = fingerprint
+            if click.timestamp <= sealed_ts and click.item_id in sealed_items:
+                # Redelivery of a record that is already inside the
+                # applied session — the at-least-once replay case.
+                return "replayed"
+            # A genuinely new click for an already sealed session: it
+            # arrived beyond the lateness bound. Counted, never applied.
+            return "too_late"
+        self._pending[session_id] = _PendingSession(
+            partition=record.partition, clicks={record.offset: click}
+        )
+        return "buffered"
+
+    def current_watermark(self) -> float | None:
+        """The group-wide event-time watermark.
+
+        Per-partition trackers advance with consumption; the global
+        watermark is the *minimum* over partitions that still have
+        unread backlog (they may yet deliver clicks at their tracked
+        event times), or the maximum over all consumed partitions once
+        every backlog is drained. Fully deterministic: it depends only
+        on log contents and the poll sequence.
+        """
+        if not self._trackers:
+            return None
+        backlogged = [
+            watermark
+            for partition, tracker in self._trackers.items()
+            if (watermark := tracker.watermark) is not None
+            and self.group.position(partition) < self.log.end_offset(partition)
+        ]
+        if backlogged:
+            return min(backlogged)
+        return max(
+            tracker.watermark
+            for tracker in self._trackers.values()
+            if tracker.watermark is not None
+        )
+
+    def _sealable(self) -> list[SessionId]:
+        watermark = self.current_watermark()
+        if watermark is None:
+            return []
+        threshold = watermark - self.policy.session_gap_seconds
+        return sorted(
+            session_id
+            for session_id, pending in self._pending.items()
+            if pending.last_event <= threshold
+        )
+
+    def _seal_and_apply(self, session_ids: list[SessionId]) -> tuple[int, int, int]:
+        if not session_ids:
+            return (0, 0, 0)
+        clicks: list[Click] = []
+        for session_id in session_ids:
+            pending = self._pending.pop(session_id)
+            clicks.extend(pending.clicks[offset] for offset in sorted(pending.clicks))
+        applied = self.indexer.apply_batch(clicks, on_stale="skip")
+        report = self.indexer.last_report
+        self.sessions_applied += report.sessions_applied
+        self.sessions_duplicate += report.sessions_skipped_duplicate
+        self.sessions_stale += report.sessions_skipped_stale
+        assert applied == report.sessions_applied
+        return (
+            report.sessions_applied,
+            report.sessions_skipped_duplicate,
+            report.sessions_skipped_stale,
+        )
+
+    def _commit_low_watermark(self) -> dict[int, int]:
+        """Commit each owned partition up to its replay-safe offset."""
+        floors: dict[int, int] = {}
+        for pending in self._pending.values():
+            offset = pending.min_offset
+            floor = floors.get(pending.partition)
+            if floor is None or offset < floor:
+                floors[pending.partition] = offset
+        committed: dict[int, int] = {}
+        for partition in self.group.assignment(self.member_id):
+            target = floors.get(partition, self.group.position(partition))
+            self.group.commit_to(self.member_id, partition, target)
+            committed[partition] = self.group.offsets.get(partition)
+        return committed
+
+    # -- observability + backpressure ----------------------------------------
+
+    def lag_events(self) -> int:
+        """Acked clicks not yet visible in the index (unread + buffered)."""
+        buffered = sum(len(p.clicks) for p in self._pending.values())
+        return self.group.lag() + buffered
+
+    def staleness_seconds(self) -> float:
+        """Event-time gap between the log head and the indexed head."""
+        head = self.log.max_event_time()
+        if head is None:
+            return 0.0
+        indexed = self.indexer.newest_timestamp
+        if indexed is None:
+            return float(head)
+        return float(max(0, head - indexed))
+
+    def watermark_seconds(self) -> float:
+        watermark = self.current_watermark()
+        return float(watermark) if watermark is not None else 0.0
+
+    @property
+    def late_events(self) -> int:
+        """Clicks that arrived behind their partition's watermark."""
+        return sum(tracker.late_events for tracker in self._trackers.values())
+
+    def within_staleness_bound(self) -> bool:
+        return self.lag_events() <= self.policy.staleness_bound_events
+
+    def _apply_backpressure(self, lag_events: int) -> None:
+        if self.admission is None:
+            return
+        capacity = self.policy.backpressure.capacity_for(
+            lag_events, self._full_capacity
+        )
+        if capacity != self.admission.capacity:
+            self.admission.resize(capacity)
+
+    def health(self) -> dict[str, object]:
+        """The ``/healthz`` streaming section."""
+        return {
+            "crashed": self._crashed,
+            "group": self.group.info(),
+            "lag_events": self.lag_events(),
+            "staleness_seconds": self.staleness_seconds(),
+            "watermark_seconds": self.watermark_seconds(),
+            "within_staleness_bound": self.within_staleness_bound(),
+            "pending_sessions": len(self._pending),
+            "sessions_applied": self.sessions_applied,
+            "sessions_duplicate": self.sessions_duplicate,
+            "sessions_stale": self.sessions_stale,
+            "replayed_records": self.replayed_records,
+            "too_late_events": self.too_late_events,
+            "late_events": self.late_events,
+            "crash_count": self.crash_count,
+        }
+
+    # -- virtual-time driving ------------------------------------------------
+
+    def schedule_on(
+        self, clock: "VirtualClock", interval: float, until: float
+    ) -> None:
+        """Register a recurring ``step`` on a virtual clock until ``until``.
+
+        Crashed ticks are skipped (the consumer is down); once
+        :meth:`restart` runs, the next tick resumes stepping — matching
+        how a supervised consumer process behaves.
+        """
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+
+        def tick() -> None:
+            if not self._crashed:
+                self.step()
+            next_at = clock.now + interval
+            if next_at <= until:
+                clock.schedule(next_at, tick)
+
+        clock.schedule(clock.now + interval, tick)

@@ -1,0 +1,177 @@
+"""Retrying, idempotent click producers.
+
+The producer assigns each click a per-partition sequence number *before*
+the first publish attempt and reuses it across retries. Together with
+the broker-side high-water dedup in :class:`~repro.streaming.log
+.PartitionedLog` this gives the Kafka idempotent-producer guarantee:
+transient rejects and lost acks are retried with jittered exponential
+backoff, and a retry of a record the broker already holds is re-acked
+instead of re-appended — at-least-once attempts, exactly-once log
+contents.
+
+Clock hygiene (SRN001): backoff sleeps go through the injected ``sleep``
+seam (``time.sleep`` only as the default argument) and jitter comes from
+a seeded :class:`random.Random` instance, so retry storms replay
+deterministically under :class:`~repro.testing.clock.VirtualClock`.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Protocol
+
+from repro.core.types import Click
+from repro.streaming.log import AppendResult, PartitionedLog
+
+__all__ = [
+    "AckLost",
+    "ClickProducer",
+    "PublishFailed",
+    "PublishReceipt",
+    "RetryPolicy",
+    "Transport",
+    "TransientPublishError",
+]
+
+
+class TransientPublishError(RuntimeError):
+    """The broker transiently rejected the publish; nothing was appended."""
+
+
+class AckLost(RuntimeError):
+    """The append may have happened but the acknowledgement was lost.
+
+    The producer cannot distinguish this from a reject — it must retry
+    with the *same* sequence and rely on broker dedup.
+    """
+
+
+class PublishFailed(RuntimeError):
+    """Retries exhausted without an acknowledgement."""
+
+    def __init__(self, message: str, attempts: int) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+
+
+class Transport(Protocol):
+    """The wire between producer and log; fault injection wraps this."""
+
+    def __call__(
+        self, partition: int, click: Click, producer_id: str, sequence: int
+    ) -> AppendResult: ...
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Jittered exponential backoff for publish retries."""
+
+    max_attempts: int = 8
+    base_backoff_seconds: float = 0.01
+    multiplier: float = 2.0
+    max_backoff_seconds: float = 1.0
+    #: uniform jitter fraction added on top of the exponential delay.
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before retry number ``attempt`` (1-based)."""
+        base = min(
+            self.base_backoff_seconds * self.multiplier ** (attempt - 1),
+            self.max_backoff_seconds,
+        )
+        return base * (1.0 + self.jitter * rng.random())
+
+
+@dataclass(frozen=True, slots=True)
+class PublishReceipt:
+    """The producer-side view of one acknowledged click."""
+
+    partition: int
+    offset: int
+    sequence: int
+    attempts: int
+    #: the ack came from broker dedup (an earlier attempt had landed).
+    deduplicated: bool
+
+
+class ClickProducer:
+    """Publishes clicks through a (possibly faulty) transport, idempotently."""
+
+    def __init__(
+        self,
+        log: PartitionedLog,
+        producer_id: str,
+        transport: Transport | None = None,
+        retry: RetryPolicy | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.log = log
+        self.producer_id = producer_id
+        self._transport: Transport = transport if transport is not None else log.append
+        self.retry = retry if retry is not None else RetryPolicy()
+        self._sleep = sleep
+        self._rng = rng if rng is not None else random.Random(0)
+        # Next sequence per partition; assigned once per click, reused
+        # across retries (that reuse is what makes retries idempotent).
+        self._sequences: dict[int, int] = {}
+        self.acked_count = 0
+        self.retry_count = 0
+        self.deduplicated_acks = 0
+
+    def publish(self, click: Click) -> PublishReceipt:
+        """Publish one click, retrying until acked or attempts exhausted."""
+        partition = self.log.partition_for(click.session_id)
+        sequence = self._sequences.get(partition, 0)
+        attempts = 0
+        last_error: Exception | None = None
+        while attempts < self.retry.max_attempts:
+            attempts += 1
+            try:
+                result = self._transport(
+                    partition, click, self.producer_id, sequence
+                )
+            except (TransientPublishError, AckLost) as error:
+                last_error = error
+                self.retry_count += 1
+                if attempts < self.retry.max_attempts:
+                    self._sleep(self.retry.delay(attempts, self._rng))
+                continue
+            self._sequences[partition] = sequence + 1
+            self.acked_count += 1
+            if result.deduplicated:
+                self.deduplicated_acks += 1
+            return PublishReceipt(
+                partition=result.partition,
+                offset=result.offset,
+                sequence=sequence,
+                attempts=attempts,
+                deduplicated=result.deduplicated,
+            )
+        # The record may have been appended with its ack lost, so this
+        # sequence is burned: reusing it for a *different* click would be
+        # wrongly deduplicated by the broker. The caller may re-publish
+        # this click (fresh sequence); broker-level duplication from that
+        # is absorbed by the indexer's session-level idempotence.
+        self._sequences[partition] = sequence + 1
+        raise PublishFailed(
+            f"publish of session {click.session_id} item {click.item_id} "
+            f"failed after {attempts} attempts: {last_error}",
+            attempts=attempts,
+        )
+
+    def publish_all(self, clicks: Iterable[Click]) -> list[PublishReceipt]:
+        return [self.publish(click) for click in clicks]
+
+    def info(self) -> dict[str, int]:
+        return {
+            "acked": self.acked_count,
+            "retries": self.retry_count,
+            "deduplicated_acks": self.deduplicated_acks,
+        }

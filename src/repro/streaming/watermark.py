@@ -1,0 +1,66 @@
+"""Event-time watermarks with bounded allowed lateness.
+
+The stream carries *event* timestamps (when the click happened), and the
+log delivers records in *publish* order — the two disagree whenever
+producers race or retry. The watermark is the pipeline's claim about
+event-time completeness: ``watermark = max observed event time −
+allowed_lateness``. Records at or above the watermark are on time;
+records below it arrived later than the configured bound and are
+counted (never silently dropped — the counter is part of the
+bounded-staleness contract's accounting).
+"""
+
+from __future__ import annotations
+
+__all__ = ["WatermarkTracker"]
+
+
+class WatermarkTracker:
+    """Tracks the event-time high water and flags beyond-lateness events."""
+
+    def __init__(self, allowed_lateness: float = 0.0) -> None:
+        if allowed_lateness < 0:
+            raise ValueError(
+                f"allowed_lateness must be >= 0, got {allowed_lateness}"
+            )
+        self.allowed_lateness = allowed_lateness
+        self._max_event_time: float | None = None
+        self.events_observed = 0
+        self.late_events = 0
+
+    @property
+    def max_event_time(self) -> float | None:
+        return self._max_event_time
+
+    @property
+    def watermark(self) -> float | None:
+        """Current watermark, or ``None`` before any event."""
+        if self._max_event_time is None:
+            return None
+        return self._max_event_time - self.allowed_lateness
+
+    def observe(self, event_time: float) -> bool:
+        """Ingest one event time; returns ``True`` when it is on time.
+
+        "On time" means at or above the watermark *before* this event is
+        folded in — an event can never make itself late.
+        """
+        self.events_observed += 1
+        watermark = self.watermark
+        on_time = watermark is None or event_time >= watermark
+        if not on_time:
+            self.late_events += 1
+        if self._max_event_time is None or event_time > self._max_event_time:
+            self._max_event_time = event_time
+        return on_time
+
+    def info(self) -> dict[str, float]:
+        return {
+            "watermark": self.watermark if self.watermark is not None else 0.0,
+            "max_event_time": (
+                self._max_event_time if self._max_event_time is not None else 0.0
+            ),
+            "allowed_lateness": self.allowed_lateness,
+            "events_observed": float(self.events_observed),
+            "late_events": float(self.late_events),
+        }

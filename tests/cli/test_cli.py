@@ -547,3 +547,124 @@ class TestExperimentCommand:
         assert "cli-exp" in output and "vmis" in output
         payload = json.loads(results_path.read_text())
         assert len(payload["outcomes"]) == 2
+
+
+class TestStreamCommands:
+    def produce(self, clicks_tsv, log_dir, *extra):
+        return main(
+            ["stream", "produce", str(clicks_tsv), "--log-dir", str(log_dir)]
+            + list(extra)
+        )
+
+    def consume(self, log_dir, out, *extra):
+        return main(
+            [
+                "stream",
+                "consume",
+                "--log-dir",
+                str(log_dir),
+                "--out",
+                str(out),
+                "--m",
+                "200",
+            ]
+            + list(extra)
+        )
+
+    def test_produce_then_status_round_trip(self, clicks_tsv, tmp_path, capsys):
+        log_dir = tmp_path / "events"
+        assert self.produce(clicks_tsv, log_dir, "--partitions", "3") == 0
+        produced = capsys.readouterr().out
+        assert "published" in produced and "3 partitions" in produced
+
+        assert main(["stream", "status", "--log-dir", str(log_dir)]) == 0
+        status = capsys.readouterr().out
+        assert "3 partitions" in status
+        # Nothing consumed yet: the whole log is lag for the group.
+        assert "committed[indexer]        0" in status
+
+    def test_produce_rerun_is_deduplicated(self, clicks_tsv, tmp_path, capsys):
+        from repro.data.clicklog import ClickLog
+        from repro.streaming import PartitionedLog
+
+        log_dir = tmp_path / "events"
+        assert self.produce(clicks_tsv, log_dir) == 0
+        capsys.readouterr()
+        # The retried publish (same idempotent producer id) re-acks
+        # every click without growing the log.
+        assert self.produce(clicks_tsv, log_dir) == 0
+        assert "0 new" in capsys.readouterr().out
+        log = PartitionedLog.open(log_dir)
+        assert log.total_records() == len(ClickLog.from_tsv(clicks_tsv).clicks)
+        log.close()
+
+    def test_consume_builds_artifact_and_commits(
+        self, clicks_tsv, tmp_path, capsys
+    ):
+        from repro.cli.main import load_index
+        from repro.data.clicklog import ClickLog
+        from repro.core.index import SessionIndex
+
+        log_dir = tmp_path / "events"
+        out = tmp_path / "stream.vmis"
+        assert self.produce(clicks_tsv, log_dir) == 0
+        capsys.readouterr()
+
+        assert self.consume(log_dir, out, "--flush") == 0
+        output = capsys.readouterr().out
+        assert "started group 'indexer'" in output
+        assert "(flushed)" in output
+        assert out.exists()
+        assert (tmp_path / "stream.vmis.state.json").exists()
+
+        # The streamed artifact equals the batch build over the same log.
+        clicks = ClickLog.from_tsv(clicks_tsv).clicks
+        oracle = SessionIndex.from_clicks(clicks, max_sessions_per_item=200)
+        streamed = load_index(out)
+        assert streamed.session_items == oracle.session_items
+        assert streamed.item_to_sessions == oracle.item_to_sessions
+
+        # Offsets committed: status now reports zero lag for the group.
+        assert main(["stream", "status", "--log-dir", str(log_dir)]) == 0
+        assert "lag 0 events" in capsys.readouterr().out
+
+    def test_consume_resumes_idempotently(self, clicks_tsv, tmp_path, capsys):
+        log_dir = tmp_path / "events"
+        out = tmp_path / "stream.vmis"
+        assert self.produce(clicks_tsv, log_dir) == 0
+        assert self.consume(log_dir, out, "--flush") == 0
+        capsys.readouterr()
+        # Nothing new in the log: the resumed consumer applies nothing.
+        assert self.consume(log_dir, out, "--flush") == 0
+        resumed = capsys.readouterr().out
+        assert "resumed group 'indexer'" in resumed
+        assert "applied 0 sessions" in resumed
+
+    def test_refusals(self, clicks_tsv, tmp_path, capsys):
+        missing = tmp_path / "nowhere"
+        assert main(["stream", "status", "--log-dir", str(missing)]) == 2
+        assert "refused" in capsys.readouterr().out
+        assert (
+            self.consume(missing, tmp_path / "x.vmis") == 2
+        )
+        assert "refused" in capsys.readouterr().out
+
+        log_dir = tmp_path / "events"
+        assert self.produce(clicks_tsv, log_dir) == 0
+        capsys.readouterr()
+        # Partition count is fixed at creation; a conflicting produce refuses.
+        assert self.produce(clicks_tsv, log_dir, "--partitions", "7") == 2
+        assert "partition count is fixed" in capsys.readouterr().out
+        # lateness > session gap breaks the sealing invariant: refused.
+        assert (
+            self.consume(
+                log_dir,
+                tmp_path / "x.vmis",
+                "--session-gap",
+                "60",
+                "--lateness",
+                "120",
+            )
+            == 2
+        )
+        assert "refused" in capsys.readouterr().out

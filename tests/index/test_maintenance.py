@@ -135,3 +135,80 @@ class TestCapEviction:
         assert indexer.index.item_to_sessions[2] == [0]  # still points at 0
         assert indexer.index.session_items[0] == (1, 2)
         assert indexer.index.session_timestamps[0] == 11
+
+
+class TestAtLeastOnceHardening:
+    """The streaming-path guarantees: idempotent replay, stale skipping,
+    and replay-protection state that survives a save/load cycle."""
+
+    SESSION = [Click(0, 1, 10), Click(0, 2, 11), Click(0, 1, 12)]
+
+    def test_exact_redelivery_is_an_idempotent_noop(self):
+        indexer = IncrementalIndexer(max_sessions_per_item=8)
+        indexer.apply_batch(self.SESSION)
+        snapshot = (
+            dict(indexer.index.item_to_sessions),
+            list(indexer.index.session_timestamps),
+            dict(indexer.index.item_session_counts),
+        )
+        added = indexer.apply_batch(self.SESSION)  # crash-replay case
+        assert added == 0
+        assert indexer.last_report.sessions_skipped_duplicate == 1
+        assert (
+            dict(indexer.index.item_to_sessions),
+            list(indexer.index.session_timestamps),
+            dict(indexer.index.item_session_counts),
+        ) == snapshot
+
+    def test_changed_session_is_not_a_duplicate(self):
+        """Same external id but a different item sequence: not a replay."""
+        indexer = IncrementalIndexer()
+        indexer.apply_batch(self.SESSION)
+        grown = self.SESSION + [Click(0, 3, 13)]
+        assert indexer.apply_batch(grown) == 1
+        assert indexer.last_report.sessions_skipped_duplicate == 0
+
+    def test_on_stale_skip_counts_instead_of_raising(self):
+        indexer = IncrementalIndexer()
+        indexer.apply_batch([Click(0, 1, 1000)])
+        mixed = [Click(1, 2, 500), Click(2, 3, 1500)]
+        added = indexer.apply_batch(mixed, on_stale="skip")
+        assert added == 1  # the fresh session went in
+        assert indexer.last_report.sessions_skipped_stale == 1
+        assert indexer.last_report.sessions_seen == 2
+        assert indexer.index.num_sessions == 2
+
+    def test_on_stale_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="on_stale"):
+            IncrementalIndexer().apply_batch([], on_stale="ignore")
+
+    def test_applied_fingerprint_keeps_item_repeats(self):
+        indexer = IncrementalIndexer()
+        indexer.apply_batch(self.SESSION)
+        assert indexer.applied_fingerprint(0) == (12, (1, 2, 1))
+        assert indexer.applied_fingerprint(99) is None
+
+    def test_state_dict_restore_round_trip(self):
+        indexer = IncrementalIndexer(max_sessions_per_item=3)
+        indexer.apply_batch(self.SESSION)
+        indexer.apply_batch([Click(1, 2, 20)])
+
+        resumed = IncrementalIndexer.restore(
+            indexer.index, indexer.state_dict()
+        )
+        assert resumed.max_sessions_per_item == 3
+        # Replay protection carried over: redelivery is still a no-op...
+        assert resumed.apply_batch(self.SESSION) == 0
+        assert resumed.last_report.sessions_skipped_duplicate == 1
+        # ...and genuinely new sessions still apply.
+        assert resumed.apply_batch([Click(2, 5, 30)]) == 1
+        assert resumed.index.num_sessions == 3
+
+    def test_state_dict_is_json_serialisable(self):
+        import json
+
+        indexer = IncrementalIndexer()
+        indexer.apply_batch(self.SESSION)
+        state = json.loads(json.dumps(indexer.state_dict()))
+        resumed = IncrementalIndexer.restore(indexer.index, state)
+        assert resumed.applied_fingerprint(0) == (12, (1, 2, 1))

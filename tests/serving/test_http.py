@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import re
 import urllib.error
 import urllib.request
 
@@ -359,3 +360,90 @@ class TestGuardrailedEndpoints:
             service.cluster.handle = original
         status, text = get(guarded_server, "/metrics")
         assert 'serenade_requests_total{status="shed"} 1' in text
+
+
+class TestStreamingObservability:
+    @pytest.fixture()
+    def streaming_server(self, toy_index, toy_clicks):
+        from repro.index.maintenance import IncrementalIndexer
+        from repro.streaming import (
+            ClickProducer,
+            PartitionedLog,
+            StreamingIndexer,
+            StreamingPolicy,
+        )
+
+        cluster = ServingCluster.with_index(toy_index, num_pods=1, m=10, k=10)
+        log = PartitionedLog(num_partitions=2)
+        ClickProducer(log, "http-test").publish_all(
+            sorted(toy_clicks, key=lambda c: (c.timestamp, c.session_id))
+        )
+        pipeline = StreamingIndexer(
+            log,
+            IncrementalIndexer(max_sessions_per_item=10),
+            policy=StreamingPolicy(session_gap_seconds=3600.0),
+        )
+        cluster.attach_streaming(pipeline)
+        with SerenadeHTTPServer(cluster, port=0) as running:
+            yield running, pipeline, log
+
+    @staticmethod
+    def gauge_value(text, name):
+        match = re.search(rf"^{name} (\S+)$", text, flags=re.MULTILINE)
+        assert match, f"{name} not in exposition"
+        return float(match.group(1))
+
+    def test_metrics_expose_streaming_gauges(self, streaming_server):
+        server, pipeline, log = streaming_server
+        status, text = get(server, "/metrics")
+        assert status == 200
+        # Nothing consumed yet: the whole log is lag, the watermark has
+        # not opened, and staleness spans the log's full event-time range.
+        assert self.gauge_value(text, "serenade_streaming_lag_events") == float(
+            log.total_records()
+        )
+        assert (
+            self.gauge_value(text, "serenade_streaming_watermark_seconds")
+            == 0.0
+        )
+        assert self.gauge_value(
+            text, "serenade_index_staleness_seconds"
+        ) == float(log.max_event_time())
+
+    def test_metrics_track_the_consumer_draining(self, streaming_server):
+        server, pipeline, log = streaming_server
+        pipeline.run_until_caught_up()
+        pipeline.flush()
+        status, text = get(server, "/metrics")
+        assert status == 200
+        assert self.gauge_value(text, "serenade_streaming_lag_events") == 0.0
+        assert (
+            self.gauge_value(text, "serenade_index_staleness_seconds") == 0.0
+        )
+        # The watermark followed the newest event time in the log,
+        # trailing it by the allowed lateness window.
+        assert self.gauge_value(
+            text, "serenade_streaming_watermark_seconds"
+        ) == float(log.max_event_time()) - pipeline.policy.allowed_lateness_seconds
+
+    def test_healthz_reports_consumer_group_health(self, streaming_server):
+        server, pipeline, log = streaming_server
+        pipeline.run_until_caught_up()
+        pipeline.flush()
+        status, text = get(server, "/healthz")
+        assert status == 200
+        streaming = json.loads(text)["streaming"]
+        assert streaming["enabled"] is True
+        assert streaming["crashed"] is False
+        assert streaming["lag_events"] == 0
+        assert streaming["within_staleness_bound"] is True
+        assert streaming["group"]["members"] == [pipeline.member_id]
+        # The snapshot is exactly the pipeline's own health dict (as it
+        # looks after the JSON round trip, which stringifies int keys).
+        expected = json.loads(json.dumps({"enabled": True, **pipeline.health()}))
+        assert streaming == expected
+
+    def test_healthz_without_streaming_reports_disabled(self, server):
+        status, text = get(server, "/healthz")
+        assert status == 200
+        assert json.loads(text)["streaming"] == {"enabled": False}

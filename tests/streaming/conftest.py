@@ -1,0 +1,62 @@
+"""Shared helpers for the streaming tests: workloads and convergence.
+
+The central assertion of this package is *convergence*: after every
+acknowledged click has been consumed and every session flushed, the
+streamed index must equal the batch rebuild of the same clicks
+component by component. ``assert_index_equal`` spells that out so a
+failure names the diverging component instead of printing two reprs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import pytest
+
+from repro.core.index import SessionIndex
+from repro.core.types import Click
+from repro.testing.generators import WorkloadConfig, WorkloadGenerator
+
+
+def assert_index_equal(actual: SessionIndex, expected: SessionIndex) -> None:
+    assert actual.session_timestamps == expected.session_timestamps
+    assert actual.session_items == expected.session_items
+    assert actual.item_to_sessions == expected.item_to_sessions
+    assert actual.item_session_counts == expected.item_session_counts
+
+
+def publish_order(clicks: list[Click]) -> list[Click]:
+    """The order a well-behaved upstream emits clicks: by event time."""
+    return sorted(clicks, key=lambda c: (c.timestamp, c.session_id, c.item_id))
+
+
+def safe_session_gap(clicks: list[Click], lateness: float) -> float:
+    """A gap no real session in ``clicks`` ever exceeds internally.
+
+    Sealing with this gap can never cut a session in half, so exact
+    convergence with the batch oracle is achievable (and asserted).
+    """
+    by_session: dict[int, list[int]] = defaultdict(list)
+    for click in clicks:
+        by_session[click.session_id].append(click.timestamp)
+    widest = 0
+    for stamps in by_session.values():
+        stamps.sort()
+        for earlier, later in zip(stamps, stamps[1:]):
+            widest = max(widest, later - earlier)
+    return float(widest) + lateness + 1.0
+
+
+@pytest.fixture()
+def workload_clicks() -> list[Click]:
+    """~40 interleaved sessions with timestamp ties and popularity skew."""
+    config = WorkloadConfig(
+        seed=7,
+        num_sessions=40,
+        num_items=30,
+        min_session_length=1,
+        max_session_length=6,
+        timestamp_granularity=10.0,
+        time_span=4_000.0,
+    )
+    return WorkloadGenerator(config).clicks()

@@ -1,0 +1,120 @@
+"""ConsumerCrash through the ChaosInjector: lag trajectories, replayable.
+
+The injector drives a serving cluster through seeded arrivals while the
+attached streaming consumer polls alongside; a scheduled ConsumerCrash
+freezes consumption and the restart drains the backlog. The whole
+scenario is seeded, so two runs produce bit-identical lag trajectories
+and ChaosReports — the determinism the simulation harness promises.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.chaos import ChaosInjector, ChaosSchedule, ConsumerCrash, PodKill
+from repro.cluster.loadgen import TrafficGenerator, constant_rate
+from repro.core.index import SessionIndex
+from repro.index.maintenance import IncrementalIndexer
+from repro.serving.app import ServingCluster
+from repro.streaming import (
+    ClickProducer,
+    PartitionedLog,
+    StreamingIndexer,
+    StreamingPolicy,
+)
+from tests.streaming.conftest import publish_order, safe_session_gap
+
+pytestmark = pytest.mark.chaos
+
+
+def make_scenario(click_log, *, events=1_200):
+    """A cluster with an attached, pre-loaded streaming consumer."""
+    index = SessionIndex.from_clicks(click_log, max_sessions_per_item=100)
+    cluster = ServingCluster.with_index(index, num_pods=2, m=100, k=50)
+    clicks = publish_order(click_log.clicks)[:events]
+    log = PartitionedLog(num_partitions=2)
+    ClickProducer(log, "p").publish_all(clicks)
+    pipeline = StreamingIndexer(
+        log,
+        IncrementalIndexer(max_sessions_per_item=100),
+        policy=StreamingPolicy(
+            session_gap_seconds=safe_session_gap(clicks, 0.0),
+            poll_max_records=4,  # drains slowly: the lag curve is visible
+        ),
+    )
+    cluster.attach_streaming(pipeline)
+    return cluster, pipeline
+
+
+def run_chaos(click_log, *, seed=5, crash_at=3.0, restart_at=6.0):
+    cluster, pipeline = make_scenario(click_log)
+    schedule = ChaosSchedule(
+        stream_faults=[ConsumerCrash(at_time=crash_at, restart_at=restart_at)]
+    )
+    generator = TrafficGenerator(click_log, seed=seed)
+    injector = ChaosInjector(cluster, schedule)
+    report = injector.run(generator.generate(constant_rate(40), duration=12))
+    return report, pipeline
+
+
+class TestConsumerCrashInjection:
+    def test_crash_and_restart_are_applied(self, small_log):
+        report, pipeline = run_chaos(small_log)
+        assert report.consumer_crashes == 1
+        assert report.consumer_restarts == 1
+        assert pipeline.crash_count == 1
+        assert not pipeline.crashed
+
+    def test_lag_freezes_during_the_crash_window(self, small_log):
+        report, _ = run_chaos(small_log, crash_at=3.0, restart_at=6.0)
+        in_window = [
+            lag for at, lag in report.lag_trajectory if 3.0 < at <= 6.0
+        ]
+        after = [lag for at, lag in report.lag_trajectory if at > 6.0]
+        # No consumption while crashed: the lag plateaus...
+        assert len(set(in_window)) == 1
+        # ...and the restarted consumer drains it back down.
+        assert min(after) < in_window[0]
+        assert report.max_lag_events >= in_window[0]
+
+    def test_final_streaming_snapshot_is_reported(self, small_log):
+        report, pipeline = run_chaos(small_log)
+        assert report.streaming == pipeline.health()
+        assert report.streaming["crash_count"] == 1
+
+    def test_crash_schedule_is_validated(self):
+        with pytest.raises(ValueError, match="restart_at"):
+            ChaosSchedule(
+                stream_faults=[ConsumerCrash(at_time=5.0, restart_at=5.0)]
+            )
+
+    def test_schedule_len_counts_both_fault_kinds(self):
+        schedule = ChaosSchedule(
+            kills=[PodKill(1.0, "pod-0")],
+            stream_faults=[ConsumerCrash(2.0)],
+        )
+        assert len(schedule) == 2
+
+    def test_crash_without_restart_stays_down(self, small_log):
+        report, pipeline = run_chaos(small_log, crash_at=2.0, restart_at=None)
+        assert report.consumer_crashes == 1
+        assert report.consumer_restarts == 0
+        assert pipeline.crashed
+        tail = [lag for at, lag in report.lag_trajectory if at > 2.0]
+        assert len(set(tail)) == 1  # frozen until the end of the run
+
+
+class TestSeededReplay:
+    def test_same_seed_same_report(self, small_log):
+        first, _ = run_chaos(small_log, seed=9)
+        second, _ = run_chaos(small_log, seed=9)
+        assert first.lag_trajectory == second.lag_trajectory
+        assert first.streaming == second.streaming
+        assert first.total_requests == second.total_requests
+        assert first.consumer_crashes == second.consumer_crashes
+        assert first.consumer_restarts == second.consumer_restarts
+
+    def test_different_seed_different_arrivals(self, small_log):
+        first, _ = run_chaos(small_log, seed=9)
+        second, _ = run_chaos(small_log, seed=10)
+        assert first.lag_trajectory != second.lag_trajectory

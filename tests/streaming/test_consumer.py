@@ -1,0 +1,157 @@
+"""Consumer groups: offsets, at-least-once redelivery, rebalancing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.types import Click
+from repro.streaming import CommittedOffsets, ConsumerGroup, PartitionedLog
+
+
+def filled_log(num_partitions=4, per_partition=10):
+    log = PartitionedLog(num_partitions=num_partitions)
+    for partition in range(num_partitions):
+        for sequence in range(per_partition):
+            log.append(
+                partition,
+                Click(partition + num_partitions * sequence, 1, sequence),
+                "p",
+                sequence,
+            )
+    return log
+
+
+class TestCommittedOffsets:
+    def test_defaults_to_zero_and_moves_monotonically(self):
+        offsets = CommittedOffsets()
+        assert offsets.get(0) == 0
+        offsets.commit(0, 5)
+        offsets.commit(0, 3)  # never backwards
+        assert offsets.get(0) == 5
+        with pytest.raises(ValueError, match="offset"):
+            offsets.commit(0, -1)
+
+    def test_file_backed_offsets_survive_restart(self, tmp_path):
+        path = tmp_path / "offsets.json"
+        offsets = CommittedOffsets(path)
+        offsets.commit(0, 7)
+        offsets.commit(2, 3)
+        reloaded = CommittedOffsets(path)
+        assert reloaded.as_dict() == {0: 7, 2: 3}
+
+
+class TestMembership:
+    def test_join_assigns_every_partition_deterministically(self):
+        group = ConsumerGroup(filled_log(4))
+        assert group.join("a") == [0, 1, 2, 3]
+        # A second member splits the range; sorted member ids decide.
+        group.join("b")
+        assert group.assignment("a") == [0, 2]
+        assert group.assignment("b") == [1, 3]
+
+    def test_double_join_and_unknown_member_rejected(self):
+        group = ConsumerGroup(filled_log(2))
+        group.join("a")
+        with pytest.raises(ValueError, match="already joined"):
+            group.join("a")
+        with pytest.raises(ValueError, match="not in group"):
+            group.poll("ghost")
+        with pytest.raises(ValueError, match="not in group"):
+            group.leave("ghost")
+
+    def test_generation_bumps_on_every_rebalance(self):
+        group = ConsumerGroup(filled_log(2))
+        group.join("a")
+        group.join("b")
+        group.leave("b")
+        assert group.generation == 3
+        assert group.rebalance_count == 3
+
+
+class TestPolling:
+    def test_poll_round_robins_partitions(self):
+        group = ConsumerGroup(filled_log(2, per_partition=6))
+        group.join("a")
+        records = group.poll("a", max_records=6)
+        assert len(records) == 6
+        # The budget is split across both partitions, not drained from one.
+        assert {r.partition for r in records} == {0, 1}
+
+    def test_position_advances_but_committed_does_not(self):
+        group = ConsumerGroup(filled_log(1, per_partition=8))
+        group.join("a")
+        group.poll("a", max_records=5)
+        assert group.position(0) == 5
+        assert group.offsets.get(0) == 0
+        assert group.lag() == 3
+        assert group.committed_lag() == 8
+
+    def test_commit_requires_ownership(self):
+        group = ConsumerGroup(filled_log(2))
+        group.join("a")
+        group.join("b")  # partition 1 now belongs to b
+        with pytest.raises(ValueError, match="does not own"):
+            group.commit_to("a", 1, 4)
+
+    def test_commit_positions_commits_every_owned_partition(self):
+        group = ConsumerGroup(filled_log(2, per_partition=4))
+        group.join("a")
+        group.poll("a", max_records=100)
+        group.commit_positions("a")
+        assert group.offsets.as_dict() == {0: 4, 1: 4}
+        assert group.committed_lag() == 0
+
+
+class TestRebalance:
+    def test_new_owner_resumes_from_committed_offset(self):
+        """Rebalance mid-partition: the uncommitted suffix is redelivered
+        to the new owner — at-least-once, with (partition, offset) as the
+        dedup key downstream."""
+        log = filled_log(2, per_partition=10)
+        group = ConsumerGroup(log)
+
+        seen: set[tuple[int, int]] = set()
+        replayed = 0
+
+        def consume(records):
+            nonlocal replayed
+            for record in records:
+                key = (record.partition, record.offset)
+                if key in seen:
+                    replayed += 1
+                seen.add(key)
+
+        group.join("a")
+        consume(group.poll("a", max_records=8))  # offsets 0-3 of each
+        group.commit_to("a", 0, 2)
+        group.commit_to("a", 1, 1)
+
+        group.join("b")  # partition 1 moves to b mid-partition
+        assert group.position(1) == group.offsets.get(1) == 1
+        # Partition 0 kept its owner, so its position did not rewind.
+        assert group.position(0) == 4
+
+        while group.lag() > 0:
+            for member in ("a", "b"):
+                consume(group.poll(member, max_records=4))
+        # Every acknowledged record was seen, none lost to the rebalance.
+        assert len(seen) == log.total_records()
+        # Partition 1's consumed-but-uncommitted suffix (offsets 1-3) was
+        # redelivered to the new owner; the offset key catches all three.
+        assert replayed == 3
+
+    def test_leave_hands_partitions_to_survivors(self):
+        group = ConsumerGroup(filled_log(3))
+        group.join("a")
+        group.join("b")
+        group.leave("a")
+        assert group.assignment("b") == [0, 1, 2]
+
+    def test_info_snapshot(self):
+        group = ConsumerGroup(filled_log(2, per_partition=3), "indexer")
+        group.join("a")
+        info = group.info()
+        assert info["group_id"] == "indexer"
+        assert info["members"] == ["a"]
+        assert info["assignment"] == {"a": [0, 1]}
+        assert info["lag"] == 6

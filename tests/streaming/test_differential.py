@@ -1,0 +1,165 @@
+"""The bounded-staleness differential: streamed index vs batch oracle.
+
+The DifferentialRunner's ``extra_implementations`` hook holds a
+"streamed" implementation — VMIS-kNN over an index built by publishing
+the click log through the faulty streaming path (retry storms,
+duplicated + shuffled delivery, a consumer crash mid-batch) — to
+bit-exactness against the batch-built reference. Along the way the
+pipeline's bounded-staleness contract is asserted at every chunk
+boundary: acked-but-unindexed events never exceed the configured bound
+while the consumer keeps up, and acked clicks are never lost.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.types import Click
+from repro.core.vmis import VMISKNN
+from repro.index.maintenance import IncrementalIndexer
+from repro.streaming import (
+    ClickProducer,
+    DeliveryFaultPlan,
+    DeliveryFaults,
+    FlakyTransport,
+    PartitionedLog,
+    PublishFailed,
+    StreamingIndexer,
+    StreamingPolicy,
+    TransportFaultPlan,
+)
+from repro.testing.generators import WorkloadConfig, WorkloadGenerator
+from repro.testing.oracle import DifferentialRunner, HyperParams
+from tests.streaming.conftest import publish_order, safe_session_gap
+
+pytestmark = pytest.mark.chaos
+
+#: acked-but-unindexed events must stay at or below this while the
+#: consumer is caught up (chunk size 16 + one poll in flight).
+STALENESS_BOUND = 64
+
+
+def stream_index_through_faults(
+    clicks: list[Click], m: int, seed: int
+) -> IncrementalIndexer:
+    """Build an index by streaming ``clicks`` through the full gauntlet."""
+    lateness = 20.0
+    log = PartitionedLog(num_partitions=3)
+    transport = FlakyTransport(
+        log,
+        TransportFaultPlan(reject_rate=0.2, ack_loss_rate=0.2),
+        random.Random(seed),
+    )
+    producer = ClickProducer(
+        log,
+        "p",
+        transport=transport,
+        sleep=lambda _: None,
+        rng=random.Random(seed + 1),
+    )
+    faults = DeliveryFaults(
+        DeliveryFaultPlan(duplicate_rate=0.3, shuffle_rate=0.5),
+        random.Random(seed + 2),
+    )
+    indexer = IncrementalIndexer(max_sessions_per_item=m)
+    pipeline = StreamingIndexer(
+        log,
+        indexer,
+        policy=StreamingPolicy(
+            session_gap_seconds=safe_session_gap(clicks, lateness),
+            allowed_lateness_seconds=lateness,
+            poll_max_records=16,
+            staleness_bound_events=STALENESS_BOUND,
+        ),
+        poll_transform=faults,
+    )
+    ordered = publish_order(clicks)
+    for start in range(0, len(ordered), 16):
+        for click in ordered[start : start + 16]:
+            while True:
+                try:
+                    producer.publish(click)
+                    break
+                except PublishFailed:
+                    continue
+        pipeline.run_until_caught_up()
+        # The bounded-staleness contract, checked at every boundary: a
+        # caught-up consumer holds acked-but-unindexed events (open
+        # sessions only) under the bound.
+        assert pipeline.within_staleness_bound()
+        if start == 48:  # crash mid-stream; committed offsets recover it
+            pipeline.crash()
+            pipeline.restart()
+    pipeline.run_until_caught_up()
+    pipeline.flush()
+
+    # Zero acked loss: every acknowledged click is in the index ledger.
+    assert log.total_records() == len(clicks)
+    assert pipeline.lag_events() == 0
+    assert pipeline.too_late_events == 0
+    assert pipeline.sessions_stale == 0
+    return indexer
+
+
+class TestStreamedDifferential:
+    def test_streamed_impl_is_bit_exact_against_the_oracle_family(self):
+        """compare_many holds the streamed implementation (plus the whole
+        core family) to bit-exactness against the VS-kNN reference."""
+
+        def streamed(clicks: list[Click], p: HyperParams) -> VMISKNN:
+            indexer = stream_index_through_faults(list(clicks), p.m, seed=17)
+            return VMISKNN(
+                indexer.index,
+                m=p.m,
+                k=p.k,
+                decay=p.decay,
+                match_weight=p.match_weight,
+            )
+
+        runner = DifferentialRunner(
+            extra_implementations={"streamed": streamed}
+        )
+        generator = WorkloadGenerator(
+            WorkloadConfig(
+                seed=21,
+                num_sessions=30,
+                num_items=20,
+                max_session_length=5,
+                timestamp_granularity=10.0,
+            )
+        )
+        clicks = generator.clicks()
+        queries = generator.query_sessions(3)
+        for params in (
+            HyperParams(m=64, k=20),
+            HyperParams(m=5, k=3, decay="quadratic"),
+        ):
+            divergences = runner.compare_many(clicks, queries, params)
+            assert divergences == [], divergences[0].describe()
+
+    def test_streamed_divergence_would_be_caught(self):
+        """Negative control: a corrupted streamed index *does* diverge —
+        the oracle has teeth."""
+
+        def corrupted(clicks: list[Click], p: HyperParams) -> VMISKNN:
+            indexer = stream_index_through_faults(list(clicks), p.m, seed=3)
+            index = indexer.index
+            # Losing the inverted index entirely: every query comes back
+            # empty, which the oracle must flag on any non-empty reference.
+            index.item_to_sessions = {}
+            return VMISKNN(index, m=p.m, k=p.k)
+
+        runner = DifferentialRunner(
+            extra_implementations={"streamed-corrupt": corrupted}
+        )
+        generator = WorkloadGenerator(
+            WorkloadConfig(seed=8, num_sessions=25, num_items=12)
+        )
+        divergences = runner.compare_many(
+            generator.clicks(),
+            generator.query_sessions(3),
+            HyperParams(m=64, k=20),
+        )
+        assert any(d.impl_b == "streamed-corrupt" for d in divergences)

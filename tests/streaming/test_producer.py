@@ -1,0 +1,159 @@
+"""The idempotent producer: retries, backoff, burned sequences."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.types import Click
+from repro.streaming import (
+    AckLost,
+    ClickProducer,
+    PartitionedLog,
+    PublishFailed,
+    RetryPolicy,
+    TransientPublishError,
+)
+from repro.streaming.faults import FlakyTransport, TransportFaultPlan
+
+
+def make_producer(log, transport=None, retry=None):
+    sleeps: list[float] = []
+    producer = ClickProducer(
+        log,
+        "p0",
+        transport=transport,
+        retry=retry,
+        sleep=sleeps.append,
+        rng=random.Random(0),
+    )
+    return producer, sleeps
+
+
+class TestHappyPath:
+    def test_sequences_advance_per_partition(self):
+        log = PartitionedLog(num_partitions=2)
+        producer, _ = make_producer(log)
+        receipts = producer.publish_all(
+            [Click(0, 1, 10), Click(1, 2, 11), Click(2, 3, 12)]
+        )
+        # Sessions 0 and 2 share partition 0; each partition numbers its
+        # own sequences independently.
+        assert [(r.partition, r.sequence) for r in receipts] == [
+            (0, 0),
+            (1, 0),
+            (0, 1),
+        ]
+        assert all(r.attempts == 1 for r in receipts)
+        assert producer.info() == {
+            "acked": 3,
+            "retries": 0,
+            "deduplicated_acks": 0,
+        }
+
+
+class TestRetries:
+    def test_transient_rejects_are_retried_with_backoff(self):
+        log = PartitionedLog(num_partitions=1)
+        failures = iter([True, True, False])
+
+        def transport(partition, click, producer_id, sequence):
+            if next(failures):
+                raise TransientPublishError("injected")
+            return log.append(partition, click, producer_id, sequence)
+
+        producer, sleeps = make_producer(log, transport=transport)
+        receipt = producer.publish(Click(0, 1, 10))
+        assert receipt.attempts == 3
+        assert not receipt.deduplicated
+        assert len(sleeps) == 2  # one backoff per failed attempt
+        assert sleeps[0] < sleeps[1]  # exponential growth (with jitter)
+        assert log.total_records() == 1
+
+    def test_lost_ack_retry_is_deduplicated_by_the_broker(self):
+        log = PartitionedLog(num_partitions=1)
+        lose_next = iter([True, False])
+
+        def transport(partition, click, producer_id, sequence):
+            result = log.append(partition, click, producer_id, sequence)
+            if next(lose_next):
+                raise AckLost("injected")
+            return result
+
+        producer, _ = make_producer(log, transport=transport)
+        receipt = producer.publish(Click(0, 1, 10))
+        # The first attempt appended; the retry was re-acked, not re-added.
+        assert receipt.deduplicated
+        assert log.total_records() == 1
+        assert producer.deduplicated_acks == 1
+
+    def test_backoff_delay_is_capped(self):
+        policy = RetryPolicy(
+            max_attempts=10,
+            base_backoff_seconds=0.1,
+            multiplier=10.0,
+            max_backoff_seconds=0.5,
+            jitter=0.0,
+        )
+        rng = random.Random(0)
+        assert policy.delay(1, rng) == pytest.approx(0.1)
+        assert policy.delay(5, rng) == pytest.approx(0.5)
+
+    def test_retry_policy_needs_at_least_one_attempt(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+
+
+class TestExhaustion:
+    def test_publish_failed_burns_the_sequence(self):
+        """After exhausted retries the record *may* be in the log, so the
+        sequence must never be reused for a different click."""
+        log = PartitionedLog(num_partitions=1)
+        down = {"on": True}
+
+        def transport(partition, click, producer_id, sequence):
+            result = log.append(partition, click, producer_id, sequence)
+            if down["on"]:
+                raise AckLost("injected")
+            return result
+
+        producer, _ = make_producer(
+            log, transport=transport, retry=RetryPolicy(max_attempts=3)
+        )
+        with pytest.raises(PublishFailed) as excinfo:
+            producer.publish(Click(0, 1, 10))
+        assert excinfo.value.attempts == 3
+        assert log.total_records() == 1  # it *did* land, ack was lost
+
+        # The next (different) click must get a fresh sequence and a
+        # fresh record — not be swallowed by broker dedup.
+        down["on"] = False
+        receipt = producer.publish(Click(0, 2, 11))
+        assert receipt.sequence == 1
+        assert not receipt.deduplicated
+        assert log.total_records() == 2
+
+
+class TestRetryStorm:
+    def test_storm_never_duplicates_log_contents(self):
+        """High reject + ack-loss rates: every click lands exactly once."""
+        log = PartitionedLog(num_partitions=3)
+        transport = FlakyTransport(
+            log,
+            TransportFaultPlan(reject_rate=0.25, ack_loss_rate=0.25),
+            random.Random(99),
+        )
+        producer, _ = make_producer(log, transport=transport)
+        clicks = [Click(s, s % 7, 100 + s) for s in range(120)]
+        for click in clicks:
+            while True:
+                try:
+                    producer.publish(click)
+                    break
+                except PublishFailed:
+                    continue  # re-publish with a fresh sequence
+        assert transport.rejects > 0 and transport.lost_acks > 0
+        assert producer.retry_count > 0
+        # Broker dedup held through the storm: one record per click.
+        assert log.total_records() == len(clicks)

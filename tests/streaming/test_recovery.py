@@ -1,0 +1,259 @@
+"""The recovery matrix: crashes, handovers, storms — zero acked loss.
+
+Every scenario here runs against the same acceptance bar: after the
+consumer recovers and the stream is drained + flushed, the streamed
+index equals the batch rebuild of every acknowledged click, exactly.
+All scheduling is virtual or event-driven (SRN001), so each scenario
+replays bit-identically under its seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.index import SessionIndex
+from repro.core.types import Click
+from repro.index.maintenance import IncrementalIndexer
+from repro.streaming import (
+    ClickProducer,
+    ConsumerGroup,
+    DeliveryFaultPlan,
+    DeliveryFaults,
+    FlakyTransport,
+    PartitionedLog,
+    PublishFailed,
+    StreamingIndexer,
+    StreamingPolicy,
+    TransportFaultPlan,
+)
+from repro.testing.clock import VirtualClock
+from tests.streaming.conftest import (
+    assert_index_equal,
+    publish_order,
+    safe_session_gap,
+)
+
+pytestmark = pytest.mark.chaos
+
+
+def make_policy(clicks, lateness=20.0, poll=8):
+    return StreamingPolicy(
+        session_gap_seconds=safe_session_gap(clicks, lateness),
+        allowed_lateness_seconds=lateness,
+        poll_max_records=poll,
+    )
+
+
+def oracle(clicks, m=100):
+    return SessionIndex.from_clicks(clicks, max_sessions_per_item=m)
+
+
+class TestCrashRecovery:
+    def test_crash_before_any_commit_replays_everything(self, workload_clicks):
+        """Crash mid-batch with nothing committed: the restart replays
+        the entire log and the idempotent indexer absorbs it."""
+        log = PartitionedLog(num_partitions=3)
+        ClickProducer(log, "p").publish_all(publish_order(workload_clicks))
+        pipeline = StreamingIndexer(
+            log,
+            IncrementalIndexer(max_sessions_per_item=100),
+            policy=make_policy(workload_clicks),
+            commit_each_step=False,  # nothing commits before the crash
+        )
+        for _ in range(4):
+            pipeline.step()
+        consumed_before = pipeline.events_consumed
+        assert consumed_before > 0
+
+        pipeline.crash()
+        with pytest.raises(RuntimeError, match="restart"):
+            pipeline.step()
+        pipeline.restart()
+        # Positions rewound to the (empty) committed offsets.
+        assert pipeline.group.lag() == log.total_records()
+
+        pipeline.run_until_caught_up()
+        pipeline.flush()
+        assert pipeline.crash_count == 1
+        assert_index_equal(pipeline.indexer.index, oracle(workload_clicks))
+
+    def test_crash_after_commit_replays_only_the_suffix(self, workload_clicks):
+        """Crash mid-batch with the low watermark committed: the restart
+        replays the unsealed suffix only — still zero acked loss."""
+        log = PartitionedLog(num_partitions=3)
+        ClickProducer(log, "p").publish_all(publish_order(workload_clicks))
+        pipeline = StreamingIndexer(
+            log,
+            IncrementalIndexer(max_sessions_per_item=100),
+            policy=make_policy(workload_clicks),
+        )
+        while pipeline.sessions_applied == 0:
+            pipeline.step()
+
+        pipeline.crash()
+        pipeline.restart()
+        # The committed low watermark spared the applied prefix.
+        assert pipeline.group.lag() < log.total_records()
+
+        pipeline.run_until_caught_up()
+        pipeline.flush()
+        assert_index_equal(pipeline.indexer.index, oracle(workload_clicks))
+
+    def test_repeated_crashes_still_converge(self, workload_clicks):
+        log = PartitionedLog(num_partitions=2)
+        producer = ClickProducer(log, "p")
+        pipeline = StreamingIndexer(
+            log,
+            IncrementalIndexer(max_sessions_per_item=100),
+            policy=make_policy(workload_clicks),
+        )
+        ordered = publish_order(workload_clicks)
+        for round_number, start in enumerate(range(0, len(ordered), 25)):
+            producer.publish_all(ordered[start : start + 25])
+            pipeline.step()
+            if round_number % 2 == 0:  # crash every other round
+                pipeline.crash()
+                pipeline.restart()
+        pipeline.run_until_caught_up()
+        pipeline.flush()
+        assert pipeline.crash_count >= 2
+        assert_index_equal(pipeline.indexer.index, oracle(workload_clicks))
+
+
+class TestRebalanceHandover:
+    def test_partition_handover_mid_stream(self, workload_clicks):
+        """Consumer A dies mid-partition; consumer B joins the same group
+        and the same index, replays the uncommitted suffix and finishes
+        the job — the rebalance loses nothing."""
+        log = PartitionedLog(num_partitions=3)
+        ClickProducer(log, "p").publish_all(publish_order(workload_clicks))
+        group = ConsumerGroup(log, "indexer")
+        indexer = IncrementalIndexer(max_sessions_per_item=100)
+        policy = make_policy(workload_clicks)
+
+        first = StreamingIndexer(
+            log, indexer, group=group, member_id="indexer-0", policy=policy
+        )
+        while first.sessions_applied == 0:
+            first.step()
+        first.crash()  # leaves the group; partitions are orphaned
+        committed = sum(group.offsets.as_dict().values())
+
+        second = StreamingIndexer(
+            log, indexer, group=group, member_id="indexer-1", policy=policy
+        )
+        assert group.members() == ["indexer-1"]
+        second.run_until_caught_up()
+        second.flush()
+        # The new owner consumed exactly the records past the committed
+        # offsets — the uncommitted suffix was redelivered, the committed
+        # prefix was not, and nothing acknowledged went missing.
+        assert second.events_consumed == log.total_records() - committed
+        assert_index_equal(indexer.index, oracle(workload_clicks))
+
+
+class TestRetryStorm:
+    def test_storm_plus_faulty_delivery_converges(self, workload_clicks):
+        """The full gauntlet: rejects, lost acks, duplicated + shuffled
+        delivery, and a crash in the middle. Exactly-once contents."""
+        lateness = 20.0
+        gap = safe_session_gap(workload_clicks, lateness)
+        for seed in (11, 23, 37):
+            log = PartitionedLog(num_partitions=3)
+            transport = FlakyTransport(
+                log,
+                TransportFaultPlan(reject_rate=0.2, ack_loss_rate=0.2),
+                random.Random(seed),
+            )
+            producer = ClickProducer(
+                log,
+                "p",
+                transport=transport,
+                sleep=lambda _: None,
+                rng=random.Random(seed + 1),
+            )
+            faults = DeliveryFaults(
+                DeliveryFaultPlan(duplicate_rate=0.3, shuffle_rate=0.5),
+                random.Random(seed + 2),
+            )
+            pipeline = StreamingIndexer(
+                log,
+                IncrementalIndexer(max_sessions_per_item=100),
+                policy=StreamingPolicy(
+                    session_gap_seconds=gap,
+                    allowed_lateness_seconds=lateness,
+                    poll_max_records=8,
+                ),
+                poll_transform=faults,
+            )
+            ordered = publish_order(workload_clicks)
+            published = 0
+            for start in range(0, len(ordered), 16):
+                for click in ordered[start : start + 16]:
+                    while True:
+                        try:
+                            producer.publish(click)
+                            break
+                        except PublishFailed:
+                            continue
+                    published += 1
+                pipeline.run_until_caught_up()
+                if start == 32:
+                    pipeline.crash()
+                    pipeline.restart()
+            pipeline.run_until_caught_up()
+            pipeline.flush()
+
+            assert published == len(workload_clicks)
+            assert producer.retry_count > 0
+            # Broker dedup held: exactly one record per acknowledged click.
+            assert log.total_records() == len(workload_clicks)
+            assert_index_equal(pipeline.indexer.index, oracle(workload_clicks))
+
+
+class TestVirtualTimeDeterminism:
+    def scenario(self, clicks, seed):
+        """One fully virtual run: arrivals, consumer ticks, a crash and a
+        restart all scheduled on the same VirtualClock."""
+        clock = VirtualClock()
+        log = PartitionedLog(num_partitions=2)
+        producer = ClickProducer(
+            log, "p", sleep=clock.sleep, rng=random.Random(seed)
+        )
+        pipeline = StreamingIndexer(
+            log,
+            IncrementalIndexer(max_sessions_per_item=100),
+            policy=make_policy(clicks),
+        )
+        ordered = publish_order(clicks)
+        # Publish in bursts of 5 clicks every 2 virtual seconds.
+        for burst, start in enumerate(range(0, len(ordered), 5)):
+            chunk = ordered[start : start + 5]
+            clock.schedule(
+                2.0 * (burst + 1), lambda c=chunk: producer.publish_all(c)
+            )
+        horizon = 2.0 * (len(ordered) // 5 + 3)
+        pipeline.schedule_on(clock, interval=1.0, until=horizon)
+        clock.schedule(horizon / 3, pipeline.crash)
+        clock.schedule(horizon / 2, pipeline.restart)
+
+        trajectory = []
+        sample_at = 1.5
+        while sample_at <= horizon:
+            clock.advance_to(sample_at)
+            trajectory.append((sample_at, pipeline.lag_events()))
+            sample_at += 1.5
+        pipeline.run_until_caught_up()
+        pipeline.flush()
+        return trajectory, pipeline
+
+    def test_same_seed_same_lag_trajectory(self, workload_clicks):
+        first_trajectory, first = self.scenario(workload_clicks, seed=3)
+        second_trajectory, second = self.scenario(workload_clicks, seed=3)
+        assert first_trajectory == second_trajectory
+        assert first.health() == second.health()
+        assert first.crash_count == second.crash_count == 1
+        assert_index_equal(first.indexer.index, second.indexer.index)
+        assert_index_equal(first.indexer.index, oracle(workload_clicks))

@@ -1,0 +1,66 @@
+"""Event-time watermarks and the allowed-lateness boundary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.streaming import WatermarkTracker
+
+
+class TestWatermark:
+    def test_starts_empty(self):
+        tracker = WatermarkTracker(allowed_lateness=10.0)
+        assert tracker.watermark is None
+        assert tracker.max_event_time is None
+
+    def test_watermark_trails_the_high_water_by_lateness(self):
+        tracker = WatermarkTracker(allowed_lateness=10.0)
+        tracker.observe(100.0)
+        assert tracker.watermark == 90.0
+        tracker.observe(250.0)
+        assert tracker.watermark == 240.0
+
+    def test_older_events_never_regress_the_watermark(self):
+        tracker = WatermarkTracker(allowed_lateness=0.0)
+        tracker.observe(100.0)
+        tracker.observe(50.0)
+        assert tracker.watermark == 100.0
+
+    def test_rejects_negative_lateness(self):
+        with pytest.raises(ValueError, match="allowed_lateness"):
+            WatermarkTracker(allowed_lateness=-1.0)
+
+
+class TestLateness:
+    def test_event_inside_the_lateness_window_is_on_time(self):
+        tracker = WatermarkTracker(allowed_lateness=10.0)
+        assert tracker.observe(100.0)
+        assert tracker.observe(91.0)  # within the window
+        assert tracker.observe(90.0)  # exactly on the watermark: on time
+        assert tracker.late_events == 0
+
+    def test_event_behind_the_watermark_is_late_but_counted(self):
+        tracker = WatermarkTracker(allowed_lateness=10.0)
+        tracker.observe(100.0)
+        assert not tracker.observe(89.0)
+        assert tracker.late_events == 1
+        assert tracker.events_observed == 2
+
+    def test_an_event_cannot_make_itself_late(self):
+        """Lateness is judged against the watermark *before* the event
+        is folded in — the first event is always on time."""
+        tracker = WatermarkTracker(allowed_lateness=0.0)
+        assert tracker.observe(42.0)
+        assert tracker.late_events == 0
+
+    def test_info_is_json_friendly(self):
+        tracker = WatermarkTracker(allowed_lateness=5.0)
+        tracker.observe(100.0)
+        tracker.observe(10.0)
+        assert tracker.info() == {
+            "watermark": 95.0,
+            "max_event_time": 100.0,
+            "allowed_lateness": 5.0,
+            "events_observed": 2.0,
+            "late_events": 1.0,
+        }
