@@ -16,7 +16,10 @@ function the structured runner can execute outside pytest:
   through the partitioned event log in chunks, each chunk's
   commit-to-visible latency (publish ack → index catch-up) measured
   end to end, plus the event-time staleness the sealing policy leaves
-  behind.
+  behind;
+* **ring** — the tail-at-scale regime: a replicated shard ring serving
+  a flash-sale trace with one straggler pod, replayed twice (hedging
+  on / off) on a virtual clock to price deadline-derived hedged reads.
 
 Arms follow the repo's timing discipline (CONTRIBUTING): interleaved
 rounds with per-call best-of merging, warm-up before measurement, and
@@ -34,6 +37,8 @@ from typing import Callable, Mapping
 
 from repro.bench.probes import LatencyProbe, MemoryProbe
 from repro.bench.schema import HIGHER, LOWER, Metric
+from repro.cluster.chaos import ChaosReport, ChaosSchedule, PodSlowdown
+from repro.cluster.loadgen import TimedRequest
 from repro.core.batch import BatchPredictionEngine
 from repro.core.index import SessionIndex
 from repro.core.vmis import VMISKNN
@@ -42,6 +47,8 @@ from repro.data.split import TrainTestSplit, temporal_split
 from repro.data.synthetic import generate_clickstream
 from repro.index.capacity import NATIVE, extrapolate, measure_index
 from repro.index.maintenance import IncrementalIndexer
+from repro.serving.ring import ReplicationPolicy
+from repro.serving.server import RecommendationRequest
 from repro.serving.variants import ServingVariant, session_view
 from repro.streaming import (
     ClickProducer,
@@ -49,6 +56,9 @@ from repro.streaming import (
     StreamingIndexer,
     StreamingPolicy,
 )
+from repro.testing.clock import VirtualClock
+from repro.testing.generators import WorkloadGenerator
+from repro.testing.simulation import SimulatedCluster
 
 Clock = Callable[[], float]
 
@@ -80,6 +90,18 @@ class BenchProfile:
     streaming_items: int
     #: clicks published per chunk; one commit-to-visible sample per chunk.
     streaming_chunk: int
+    # -- ring arm (appended with defaults: older profiles stay valid) --
+    ring_sessions: int = 4_000
+    ring_items: int = 800
+    ring_pods: int = 10
+    #: simulated seconds of flash-sale traffic and its off-spike rate.
+    ring_duration: float = 60.0
+    ring_rate: float = 30.0
+    #: every pod stalls this much (baseline jitter floor)...
+    ring_base_stall_ms: float = 5.0
+    #: ...except one straggler pod, which stalls this much (the GC-pause
+    #: regime hedging exists for: 1 of ring_pods ≈ 10% of requests).
+    ring_straggler_ms: float = 200.0
 
 
 PROFILES: dict[str, BenchProfile] = {
@@ -101,6 +123,10 @@ PROFILES: dict[str, BenchProfile] = {
         streaming_sessions=4_000,
         streaming_items=800,
         streaming_chunk=512,
+        ring_sessions=4_000,
+        ring_items=800,
+        ring_duration=60.0,
+        ring_rate=30.0,
     ),
     # Mirrors the pytest benchmark arms' workload sizes.
     "full": BenchProfile(
@@ -119,6 +145,10 @@ PROFILES: dict[str, BenchProfile] = {
         streaming_sessions=20_000,
         streaming_items=2_500,
         streaming_chunk=1_024,
+        ring_sessions=12_000,
+        ring_items=1_500,
+        ring_duration=120.0,
+        ring_rate=50.0,
     ),
     # Sub-second sizes for the test suite; never use for real baselines.
     "smoke": BenchProfile(
@@ -137,6 +167,10 @@ PROFILES: dict[str, BenchProfile] = {
         streaming_sessions=600,
         streaming_items=200,
         streaming_chunk=256,
+        ring_sessions=800,
+        ring_items=200,
+        ring_duration=20.0,
+        ring_rate=12.0,
     ),
 }
 
@@ -464,6 +498,160 @@ def run_streaming(
     )
 
 
+def _flash_sale_trace(
+    profile: BenchProfile, seed: int, split: TrainTestSplit
+) -> list[TimedRequest]:
+    """Deterministic flash-sale request trace over held-out sessions.
+
+    Arrival instants come from the workload generator's flash-sale
+    process; a fixed pool of concurrent "clients" (client ``i`` takes
+    every ``pool_size``-th arrival) walks held-out sessions back to
+    back, so the whole trace is a pure function of ``(profile, seed)``.
+    """
+    generator = WorkloadGenerator(seed=seed)
+    arrivals = generator.flash_sale_arrival_times(
+        profile.ring_duration, profile.ring_rate
+    )
+    sequences = [
+        items for items in split.test_sequences().values() if len(items) >= 2
+    ]
+    if not sequences:
+        raise ValueError("held-out day has no usable sessions")
+    pool_size = 2 * profile.ring_pods
+    walkers: dict[int, tuple[str, list[int], int]] = {}
+    session_counter = 0
+    next_sequence = 0
+    trace: list[TimedRequest] = []
+    for index, arrival in enumerate(arrivals):
+        client = index % pool_size
+        if client not in walkers:
+            sequence = sequences[next_sequence % len(sequences)]
+            next_sequence += 1
+            walkers[client] = (f"s{session_counter}", sequence, 0)
+            session_counter += 1
+        session_key, sequence, position = walkers[client]
+        trace.append(
+            TimedRequest(
+                arrival,
+                RecommendationRequest(
+                    session_key=session_key, item_id=sequence[position]
+                ),
+            )
+        )
+        position += 1
+        if position >= len(sequence):
+            del walkers[client]
+        else:
+            walkers[client] = (session_key, sequence, position)
+    return trace
+
+
+def run_ring(
+    profile: BenchProfile, seed: int, clock: Clock = time.perf_counter
+) -> ArmResult:
+    """Replicated-ring regime: hedged vs unhedged tail under a straggler.
+
+    One identical flash-sale trace is replayed twice through a replicated
+    ring (R=2) where every pod carries a small base stall and exactly one
+    pod is a hard straggler — once with deadline-derived hedged reads,
+    once without. Latencies are virtual-clock arithmetic (injected stall
+    plus the hedge race), so the record is bit-stable across machines;
+    the wall ``clock`` is deliberately unused.
+    """
+    del clock  # virtual-clock arm: wall time would break determinism
+    log = generate_clickstream(
+        num_sessions=profile.ring_sessions,
+        num_items=profile.ring_items,
+        num_categories=60,
+        days=14,
+        seed=seed,
+    )
+    split = temporal_split(log, test_days=1)
+    with MemoryProbe() as memory:
+        index = SessionIndex.from_clicks(split.train, max_sessions_per_item=500)
+    trace = _flash_sale_trace(profile, seed, split)
+    straggler = "pod-0"
+    schedule = ChaosSchedule(
+        slowdowns=[
+            PodSlowdown(
+                at_time=0.0,
+                pod_id=f"pod-{pod}",
+                delay_seconds=profile.ring_base_stall_ms / 1e3,
+            )
+            for pod in range(1, profile.ring_pods)
+        ]
+        + [
+            PodSlowdown(
+                at_time=0.0,
+                pod_id=straggler,
+                delay_seconds=profile.ring_straggler_ms / 1e3,
+            )
+        ],
+    )
+
+    def replay(hedge_enabled: bool) -> ChaosReport:
+        policy = ReplicationPolicy(
+            replication_factor=2,
+            hedge_enabled=hedge_enabled,
+            budget_ms=SLA_BUDGET_MS,
+        )
+        simulated = SimulatedCluster.with_index(
+            index,
+            clock=VirtualClock(),
+            num_pods=profile.ring_pods,
+            replication=policy,
+        )
+        return simulated.run(trace, schedule)
+
+    hedged = replay(True)
+    unhedged = replay(False)
+    recorder = hedged.latency
+    p99_ms = recorder.percentile(99) * 1e3
+    p99_unhedged_ms = unhedged.latency.percentile(99) * 1e3
+    metrics = {
+        "latency_p50_ms": Metric(recorder.percentile(50) * 1e3, "ms", LOWER),
+        "latency_p90_ms": Metric(recorder.percentile(90) * 1e3, "ms", LOWER),
+        "latency_p99_ms": Metric(p99_ms, "ms", LOWER),
+        "sla_attainment": Metric(
+            recorder.fraction_within(SLA_BUDGET_MS / 1e3), "fraction", HIGHER
+        ),
+        "throughput_rps": Metric(
+            len(recorder.samples) / sum(recorder.samples), "rps", HIGHER
+        ),
+        "peak_memory_bytes": Metric(float(memory.peak_bytes), "bytes", LOWER),
+        "latency_p99_unhedged_ms": Metric(p99_unhedged_ms, "ms", LOWER),
+        "hedge_improvement": Metric(p99_unhedged_ms / p99_ms, "x", HIGHER),
+    }
+    ring = hedged.ring
+    return ArmResult(
+        metrics=metrics,
+        workload={
+            "regime": "ring-flash-sale-straggler",
+            "sessions": profile.ring_sessions,
+            "items": profile.ring_items,
+            "pods": profile.ring_pods,
+            "requests": len(trace),
+            "duration_seconds": profile.ring_duration,
+            "base_rate_rps": profile.ring_rate,
+            "base_stall_ms": profile.ring_base_stall_ms,
+            "straggler": straggler,
+            "straggler_ms": profile.ring_straggler_ms,
+            "replication_factor": 2,
+            "hedge_fraction": ring.get("hedge_fraction"),
+            "hedges_fired": ring.get("hedges_fired"),
+            "hedge_wins": ring.get("hedge_wins"),
+        },
+        notes=(
+            f"{len(trace)} flash-sale requests over {profile.ring_pods} pods "
+            f"(1 straggler at {profile.ring_straggler_ms:.0f} ms), R=2",
+            f"hedged p99 {p99_ms:.1f} ms vs unhedged {p99_unhedged_ms:.1f} ms "
+            f"({p99_unhedged_ms / p99_ms:.1f}x); "
+            f"{ring.get('hedges_fired')} hedges fired, "
+            f"{ring.get('hedge_wins')} won",
+        ),
+    )
+
+
 @dataclass(frozen=True)
 class ArmSpec:
     """One registered arm: name, one-line role, and its runner."""
@@ -497,6 +685,12 @@ ARMS: dict[str, ArmSpec] = {
         "streaming ingestion: per-chunk commit-to-visible latency "
         "through the partitioned log and event-time staleness",
         run_streaming,
+    ),
+    "ring": ArmSpec(
+        "ring",
+        "replicated shard ring: flash-sale trace with one straggler pod, "
+        "hedged vs unhedged tail latency on the virtual clock",
+        run_ring,
     ),
 }
 

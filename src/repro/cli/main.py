@@ -426,6 +426,27 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="serve the raw path: no deadlines, fallbacks, breakers or shedding",
     )
+    serve.add_argument(
+        "--replication",
+        type=int,
+        default=0,
+        metavar="R",
+        help="replicated shard ring with R copies per session "
+        "(1 leader + R-1 followers; 0 = single-copy sticky routing)",
+    )
+    serve.add_argument(
+        "--vnodes",
+        type=int,
+        default=128,
+        help="virtual nodes per pod on the consistent-hash ring",
+    )
+    serve.add_argument(
+        "--hedge-fraction",
+        type=float,
+        default=0.25,
+        help="hedge a slow leader after this fraction of the remaining "
+        "deadline budget (requires --replication >= 2)",
+    )
 
     return parser
 
@@ -942,6 +963,7 @@ def cmd_serve(args) -> int:
     from repro.serving.app import ServingCluster
     from repro.serving.http import SerenadeHTTPServer
     from repro.serving.resilience import ResiliencePolicy
+    from repro.serving.ring import ReplicationPolicy
 
     index = load_index(args.index)
     resilience = (
@@ -951,6 +973,17 @@ def cmd_serve(args) -> int:
             budget_ms=args.sla_ms, queue_capacity=args.max_inflight
         )
     )
+    replication = (
+        ReplicationPolicy(
+            replication_factor=args.replication,
+            virtual_nodes=args.vnodes,
+            hedge_enabled=args.replication >= 2,
+            hedge_fraction=args.hedge_fraction,
+            budget_ms=args.sla_ms,
+        )
+        if args.replication >= 1
+        else None
+    )
     cluster = ServingCluster.with_index(
         index,
         num_pods=args.pods,
@@ -959,6 +992,7 @@ def cmd_serve(args) -> int:
         cache_size=args.cache_size,
         resilience=resilience,
         wal_dir=args.wal_dir,
+        replication=replication,
     )
     server = SerenadeHTTPServer(cluster, host=args.host, port=args.port)
     server.start()
@@ -968,10 +1002,16 @@ def cmd_serve(args) -> int:
         else f"SLA {args.sla_ms:g} ms, max inflight {args.max_inflight}"
     )
     wal = f", WAL {args.wal_dir}" if args.wal_dir else ""
+    ring = (
+        f", ring R={args.replication} "
+        f"(vnodes {args.vnodes}, hedge {args.hedge_fraction:g})"
+        if replication is not None
+        else ""
+    )
     print(
         f"serving {index.num_items:,} items on "
         f"http://{args.host}:{server.port} "
-        f"({args.pods} pods, cache {args.cache_size}, {guardrails}{wal}; "
+        f"({args.pods} pods, cache {args.cache_size}, {guardrails}{wal}{ring}; "
         f"POST /v1/recommend, POST /v1/recommend_batch, "
         f"GET /healthz, GET /metrics)"
     )

@@ -19,7 +19,9 @@ from repro.cluster.chaos import (
     ChaosReport,
     ChaosSchedule,
     ConsumerCrash,
+    NetworkPartition,
     PodKill,
+    PodSlowdown,
 )
 from repro.cluster.abtest import (
     ABTest,
@@ -64,7 +66,9 @@ __all__ = [
     "ChaosReport",
     "ChaosSchedule",
     "ConsumerCrash",
+    "NetworkPartition",
     "PodKill",
+    "PodSlowdown",
     "ABTestReport",
     "ArmOutcome",
     "BucketStats",

@@ -155,10 +155,18 @@ class AutoscalingSimulator:
                 window_busy = 0.0
                 window_start += self.evaluation_interval
 
-            pod_id = self.cluster.router.route(timed.request.session_key)
-            started = self._perf()
-            self.cluster.pods[pod_id].handle(timed.request)
-            service = self._perf() - started
+            if self.cluster.coordinator is not None:
+                # Ring mode: scaling flows through rebalance/decommission
+                # and the coordinator routes, replicates and hedges; its
+                # service time already resolves the hedge race.
+                response = self.cluster.handle(timed.request)
+                pod_id = response.served_by
+                service = response.service_seconds
+            else:
+                pod_id = self.cluster.router.route(timed.request.session_key)
+                started = self._perf()
+                self.cluster.pods[pod_id].handle(timed.request)
+                service = self._perf() - started
             window_busy += service
 
             cores = free_at[pod_id]

@@ -46,6 +46,51 @@ class PodKill:
 
 
 @dataclass(frozen=True)
+class PodSlowdown:
+    """Make one pod a straggler: its predictions stall for a fixed delay.
+
+    Models the tail-at-scale reality (GC pause, noisy neighbour, cold
+    cache) that request hedging exists to absorb. The stall applies from
+    ``at_time`` until ``until`` (forever if ``None``) and burns virtual
+    time under simulation, so hedge races stay deterministic.
+    """
+
+    at_time: float
+    pod_id: str
+    delay_seconds: float
+    until: float | None = None
+
+    def validate(self) -> None:
+        if self.delay_seconds <= 0.0:
+            raise ValueError("delay_seconds must be > 0")
+        if self.until is not None and self.until <= self.at_time:
+            raise ValueError("until must be after at_time")
+
+
+@dataclass(frozen=True)
+class NetworkPartition:
+    """Cut the replication link between two pods (requires a ring cluster).
+
+    Both pods keep serving; only leader↔follower tail shipping across the
+    pair stops. Keys appended during the partition make the follower's
+    copy stale, which the coordinator fences: the stale replica is never
+    hedged to for those keys, and loses them on promotion rather than
+    serving a rewound session.
+    """
+
+    at_time: float
+    pod_a: str
+    pod_b: str
+    heal_at: float | None = None
+
+    def validate(self) -> None:
+        if self.pod_a == self.pod_b:
+            raise ValueError("cannot partition a pod from itself")
+        if self.heal_at is not None and self.heal_at <= self.at_time:
+            raise ValueError("heal_at must be after at_time")
+
+
+@dataclass(frozen=True)
 class ConsumerCrash:
     """Crash the cluster's streaming index consumer (and restart it later).
 
@@ -65,15 +110,19 @@ class ConsumerCrash:
 
 @dataclass(frozen=True)
 class ChaosSchedule:
-    """A validated plan of pod kills and streaming faults for one run."""
+    """A validated plan of kills, stragglers, partitions and stream faults."""
 
     kills: tuple[PodKill, ...]
     stream_faults: tuple[ConsumerCrash, ...]
+    slowdowns: tuple[PodSlowdown, ...]
+    partitions: tuple[NetworkPartition, ...]
 
     def __init__(
         self,
         kills: Iterable[PodKill] = (),
         stream_faults: Iterable[ConsumerCrash] = (),
+        slowdowns: Iterable[PodSlowdown] = (),
+        partitions: Iterable[NetworkPartition] = (),
     ) -> None:
         ordered = tuple(sorted(kills, key=lambda kill: kill.at_time))
         for kill in ordered:
@@ -83,12 +132,25 @@ class ChaosSchedule:
         for fault in crashes:
             fault.validate()
         object.__setattr__(self, "stream_faults", crashes)
+        stalls = tuple(sorted(slowdowns, key=lambda fault: fault.at_time))
+        for fault in stalls:
+            fault.validate()
+        object.__setattr__(self, "slowdowns", stalls)
+        cuts = tuple(sorted(partitions, key=lambda fault: fault.at_time))
+        for fault in cuts:
+            fault.validate()
+        object.__setattr__(self, "partitions", cuts)
 
     def __iter__(self) -> Iterator[PodKill]:
         return iter(self.kills)
 
     def __len__(self) -> int:
-        return len(self.kills) + len(self.stream_faults)
+        return (
+            len(self.kills)
+            + len(self.stream_faults)
+            + len(self.slowdowns)
+            + len(self.partitions)
+        )
 
 
 @dataclass
@@ -136,6 +198,13 @@ class ChaosReport:
     # Streaming-ingestion faults applied (ConsumerCrash events).
     consumer_crashes: int = 0
     consumer_restarts: int = 0
+    # Straggler / partition faults applied (and partitions later healed).
+    slowdowns_applied: int = 0
+    partitions_applied: int = 0
+    partitions_healed: int = 0
+    # Final replicated-ring snapshot (``{"enabled": False}`` without one):
+    # failover/hedge/fence counters for the chaos assertions.
+    ring: dict = field(default_factory=dict)
     # (arrival time, streaming lag in events) sampled at every arrival
     # while a streaming pipeline is attached — the lag trajectory the
     # determinism tests compare bit-for-bit across seeded replays.
@@ -189,6 +258,10 @@ class ChaosInjector:
         restarts: list[tuple[float, str, ChaosEventOutcome]] = []
         stream_pending = list(self.schedule.stream_faults)
         stream_restarts: list[float] = []
+        slow_pending = list(self.schedule.slowdowns)
+        slow_resets: list[tuple[float, str]] = []
+        cut_pending = list(self.schedule.partitions)
+        cut_heals: list[tuple[float, str, str]] = []
         latency = LatencyRecorder()
         report = ChaosReport(
             total_requests=0, failed_requests=0, events=[], latency=latency
@@ -205,6 +278,8 @@ class ChaosInjector:
             self._apply_due_kills(
                 pending, restarts, now, report, owner_before_kill, kill_time
             )
+            self._apply_due_slowdowns(slow_pending, slow_resets, now, report)
+            self._apply_due_partitions(cut_pending, cut_heals, now, report)
             if streaming is not None:
                 self._apply_due_stream_faults(
                     stream_pending, stream_restarts, now, report, streaming
@@ -262,7 +337,39 @@ class ChaosInjector:
                 stream_pending, stream_restarts, horizon, report, streaming
             )
             report.streaming = streaming.health()
+        report.ring = self.cluster.ring_info()
         return report
+
+    def _apply_due_slowdowns(self, pending, resets, now, report) -> None:
+        """Install/clear straggler stalls per the schedule."""
+        while resets and resets[0][0] <= now:
+            _, pod_id = resets.pop(0)
+            server = self.cluster.pods.get(pod_id)
+            if server is not None:
+                server.injected_stall_seconds = 0.0
+        while pending and pending[0].at_time <= now:
+            fault = pending.pop(0)
+            server = self.cluster.pods.get(fault.pod_id)
+            if server is not None:
+                server.injected_stall_seconds = fault.delay_seconds
+                report.slowdowns_applied += 1
+            if fault.until is not None:
+                resets.append((fault.until, fault.pod_id))
+                resets.sort(key=lambda entry: entry[0])
+
+    def _apply_due_partitions(self, pending, heals, now, report) -> None:
+        """Cut/heal replication links per the schedule (ring clusters)."""
+        while heals and heals[0][0] <= now:
+            _, pod_a, pod_b = heals.pop(0)
+            self.cluster.heal_partition(pod_a, pod_b)
+            report.partitions_healed += 1
+        while pending and pending[0].at_time <= now:
+            fault = pending.pop(0)
+            self.cluster.partition(fault.pod_a, fault.pod_b)
+            report.partitions_applied += 1
+            if fault.heal_at is not None:
+                heals.append((fault.heal_at, fault.pod_a, fault.pod_b))
+                heals.sort(key=lambda entry: entry[0])
 
     def _apply_due_kills(
         self, pending, restarts, now, report, owner_before_kill, kill_time

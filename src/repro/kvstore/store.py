@@ -77,13 +77,23 @@ class KVStore:
             return 0.0
         return self._clock() + ttl
 
-    def put(self, key: bytes, value: bytes, ttl: float | None = None) -> None:
-        """Insert or overwrite an entry; ``ttl`` overrides the default."""
+    def now(self) -> float:
+        """The store's current clock reading (the injected time source)."""
+        return self._clock()
+
+    def put(self, key: bytes, value: bytes, ttl: float | None = None) -> float:
+        """Insert or overwrite an entry; ``ttl`` overrides the default.
+
+        Returns the absolute expiry the entry was stored with (0.0 =
+        never), so callers mirroring writes into a replication stream can
+        ship the exact expiry rather than recomputing it.
+        """
         expire_at = self._expire_at(ttl)
         with self._lock:
             self._memtable[key] = (value, expire_at)
             if self._wal is not None:
                 self._wal.append(WalRecord(OP_PUT, key, value, expire_at))
+        return expire_at
 
     def get(self, key: bytes) -> bytes | None:
         """Read an entry; expired entries are removed and read as missing."""

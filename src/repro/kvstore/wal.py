@@ -52,6 +52,58 @@ class WalRecord:
         return _CRC.pack(zlib.crc32(bytes(body)) & 0xFFFFFFFF) + bytes(body)
 
 
+def iter_records(data: bytes) -> Iterator[WalRecord]:
+    """Decode a record stream from a byte buffer.
+
+    Stops silently at a torn or corrupt final record — the same recovery
+    contract as :meth:`WriteAheadLog.replay`, shared with the replication
+    tail-shipping path, whose shipped byte ranges are WAL-encoded records
+    and must survive a truncated transfer the same way a crashed log does.
+    """
+    offset = 0
+    total = len(data)
+    while offset + _CRC.size <= total:
+        (stored_crc,) = _CRC.unpack_from(data, offset)
+        record, consumed = _try_decode(data, offset + _CRC.size)
+        if record is None:
+            return  # torn tail
+        body = data[offset + _CRC.size : offset + _CRC.size + consumed]
+        if zlib.crc32(body) & 0xFFFFFFFF != stored_crc:
+            return  # corrupted tail
+        yield record
+        offset += _CRC.size + consumed
+
+
+def _try_decode(data: bytes, offset: int) -> tuple[WalRecord | None, int]:
+    start = offset
+    total = len(data)
+    if offset + 1 + _LEN.size > total:
+        return None, 0
+    op = data[offset]
+    offset += 1
+    (key_len,) = _LEN.unpack_from(data, offset)
+    offset += _LEN.size
+    if offset + key_len > total:
+        return None, 0
+    key = data[offset : offset + key_len]
+    offset += key_len
+    if op == OP_DELETE:
+        return WalRecord(op, key), offset - start
+    if op != OP_PUT:
+        return None, 0
+    if offset + _EXPIRY.size + _LEN.size > total:
+        return None, 0
+    (expire_at,) = _EXPIRY.unpack_from(data, offset)
+    offset += _EXPIRY.size
+    (value_len,) = _LEN.unpack_from(data, offset)
+    offset += _LEN.size
+    if offset + value_len > total:
+        return None, 0
+    value = data[offset : offset + value_len]
+    offset += value_len
+    return WalRecord(op, key, value, expire_at), offset - start
+
+
 class WriteAheadLog:
     """Append-only durability log; one instance owns one file handle."""
 
@@ -105,46 +157,4 @@ class WriteAheadLog:
         path = Path(path)
         if not path.exists():
             return
-        data = path.read_bytes()
-        offset = 0
-        total = len(data)
-        while offset + _CRC.size <= total:
-            (stored_crc,) = _CRC.unpack_from(data, offset)
-            record, consumed = WriteAheadLog._try_decode(data, offset + _CRC.size)
-            if record is None:
-                return  # torn tail
-            body = data[offset + _CRC.size : offset + _CRC.size + consumed]
-            if zlib.crc32(body) & 0xFFFFFFFF != stored_crc:
-                return  # corrupted tail
-            yield record
-            offset += _CRC.size + consumed
-
-    @staticmethod
-    def _try_decode(data: bytes, offset: int) -> tuple[WalRecord | None, int]:
-        start = offset
-        total = len(data)
-        if offset + 1 + _LEN.size > total:
-            return None, 0
-        op = data[offset]
-        offset += 1
-        (key_len,) = _LEN.unpack_from(data, offset)
-        offset += _LEN.size
-        if offset + key_len > total:
-            return None, 0
-        key = data[offset : offset + key_len]
-        offset += key_len
-        if op == OP_DELETE:
-            return WalRecord(op, key), offset - start
-        if op != OP_PUT:
-            return None, 0
-        if offset + _EXPIRY.size + _LEN.size > total:
-            return None, 0
-        (expire_at,) = _EXPIRY.unpack_from(data, offset)
-        offset += _EXPIRY.size
-        (value_len,) = _LEN.unpack_from(data, offset)
-        offset += _LEN.size
-        if offset + value_len > total:
-            return None, 0
-        value = data[offset : offset + value_len]
-        offset += value_len
-        return WalRecord(op, key, value, expire_at), offset - start
+        yield from iter_records(path.read_bytes())

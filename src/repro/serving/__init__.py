@@ -14,7 +14,14 @@ from repro.serving.resilience import (
     ResilientRecommender,
     StageOutcome,
     StaticRecommender,
+    hedge_delay_seconds,
     popularity_from_index,
+)
+from repro.serving.ring import (
+    HashRing,
+    ReplicationLink,
+    ReplicationPolicy,
+    RingCoordinator,
 )
 from repro.serving.router import StickySessionRouter
 from repro.serving.rules import (
@@ -41,11 +48,15 @@ __all__ = [
     "FallbackChain",
     "FallbackStage",
     "Gauge",
+    "HashRing",
     "Histogram",
     "MetricsRegistry",
     "Overloaded",
+    "ReplicationLink",
+    "ReplicationPolicy",
     "ResiliencePolicy",
     "ResilientRecommender",
+    "RingCoordinator",
     "SerenadeHTTPServer",
     "SerenadeService",
     "FRONTEND_SLOT_SIZE",
@@ -63,6 +74,7 @@ __all__ = [
     "exclude_adult",
     "exclude_seen_in_session",
     "exclude_unavailable",
+    "hedge_delay_seconds",
     "popularity_from_index",
     "session_view",
 ]

@@ -56,6 +56,7 @@ from repro.serving.resilience import (
     StaticRecommender,
     popularity_from_index,
 )
+from repro.serving.ring import ReplicationPolicy, RingCoordinator
 from repro.serving.router import StickySessionRouter
 from repro.serving.rules import BusinessRules
 from repro.serving.server import (
@@ -85,6 +86,7 @@ class ServingCluster:
         wal_dir: str | Path | None = None,
         index_version: str | None = None,
         perf_clock: Clock | None = None,
+        replication: ReplicationPolicy | None = None,
     ) -> None:
         """Build the cluster.
 
@@ -114,11 +116,23 @@ class ServingCluster:
                 monotonic clocks; the deterministic simulation layer
                 (:mod:`repro.testing.simulation`) injects a
                 :class:`~repro.testing.clock.VirtualClock` here.
+            replication: enable the replicated shard ring with this
+                policy: each session gets one leader and R-1 followers on
+                the consistent-hash ring, leader appends tail-ship to the
+                followers, leader death promotes an in-sync follower, and
+                slow leaders are hedged against a follower within the
+                deadline budget. ``None`` keeps single-copy sticky
+                routing (seed behaviour).
         """
         if num_pods < 1:
             raise ValueError("num_pods must be >= 1")
         self._factory = recommender_factory
-        self.router = StickySessionRouter()
+        self.replication = replication
+        self.router = (
+            StickySessionRouter(virtual_nodes=replication.virtual_nodes)
+            if replication is not None
+            else StickySessionRouter()
+        )
         self.pods: dict[str, RecommendationServer] = {}
         self._cache_size = cache_size
         self._batch_workers = batch_workers
@@ -156,6 +170,12 @@ class ServingCluster:
         self._rules = rules
         self._clock = clock
         self._record_service_times = record_service_times
+        #: the replicated-ring request coordinator (None = seed routing).
+        self.coordinator: RingCoordinator | None = (
+            RingCoordinator(self, replication, perf_clock=perf_clock)
+            if replication is not None
+            else None
+        )
         for pod_number in range(num_pods):
             self._spawn_pod(f"pod-{pod_number}", rules, clock, record_service_times)
 
@@ -227,6 +247,10 @@ class ServingCluster:
             record_service_times=record_service_times,
             wal_path=self._pod_wal_path(pod_id),
             perf_clock=self._perf_clock,
+            replicate_sessions=self.replication is not None,
+            # Chaos stalls must burn *virtual* time when a virtual perf
+            # clock is injected, so the hedge race stays deterministic.
+            stall_sleep=getattr(self._perf_clock, "sleep", None),
         )
         self.pods[pod_id] = server
         self.pod_versions[pod_id] = self.index_version
@@ -280,6 +304,12 @@ class ServingCluster:
             pod_id = self.router.route(session_key)
         return pod_id
 
+    def _serve(self, request: RecommendationRequest) -> RecommendationResponse:
+        """Dispatch to the ring coordinator or the single-copy pod path."""
+        if self.coordinator is not None:
+            return self.coordinator.handle(request)
+        return self.pods[self.route_live(request.session_key)].handle(request)
+
     def handle(self, request: RecommendationRequest) -> RecommendationResponse:
         """Route a frontend request to the owning pod and serve it.
 
@@ -288,15 +318,12 @@ class ServingCluster:
         request (possibly this one) is shed with :class:`Overloaded`.
         """
         if self.admission is None:
-            return self.pods[self.route_live(request.session_key)].handle(request)
+            return self._serve(request)
         token = self.admission.submit(request.session_key)
         try:
             if token.shed:
                 raise Overloaded()
-            pod_id = self.route_live(request.session_key)
-            if token.shed:  # shed while routing: abort before predicting
-                raise Overloaded()
-            return self.pods[pod_id].handle(request)
+            return self._serve(request)
         finally:
             self.admission.release(token)
 
@@ -350,12 +377,19 @@ class ServingCluster:
         self._spawn_pod(pod_id, self._rules, self._clock, self._record_service_times)
         server = self.pods[pod_id]
         self.recovered_sessions += len(server.sessions)
+        if self.coordinator is not None:
+            # The pod's virtual points are back on the ring: move the
+            # sessions in its segments onto it (snapshot + catch-up).
+            self.coordinator.rebalance()
         return server
 
     def scale_to(self, num_pods: int) -> None:
-        """Elastically add/remove pods (sessions on removed pods are lost,
-        the trade-off the paper accepts and discusses in §4.2). Planned
-        scale-down is graceful: the pod deregisters and deletes its WAL."""
+        """Elastically add/remove pods. Planned scale-down is graceful:
+        the pod deregisters and deletes its WAL. Without replication,
+        sessions on removed pods are lost (the trade-off the paper accepts
+        and discusses in §4.2); with the ring, scale-up triggers a
+        minimal-movement rebalance and scale-down drains every session to
+        its new owners *before* the WAL is deleted."""
         if num_pods < 1:
             raise ValueError("num_pods must be >= 1")
         current = len(self.pods)
@@ -366,9 +400,16 @@ class ServingCluster:
                 self._clock,
                 self._record_service_times,
             )
+        if self.coordinator is not None and num_pods > current:
+            self.coordinator.rebalance()
         for pod_number in range(num_pods, current):
             pod_id = f"pod-{pod_number}"
-            self.router.remove_pod(pod_id)
+            if self.coordinator is not None:
+                # Drain-then-delete: hand the WAL tail to the new owners
+                # first, only then close and delete the store.
+                self.coordinator.decommission(pod_id)
+            else:
+                self.router.remove_pod(pod_id)
             server = self.pods.pop(pod_id)
             self.pod_versions.pop(pod_id, None)
             server.sessions.close(delete_wal=True)
@@ -449,6 +490,31 @@ class ServingCluster:
         if self.streaming is None:
             return {"enabled": False}
         return {"enabled": True, **self.streaming.health()}
+
+    # -- replication ring ----------------------------------------------------
+
+    def partition(self, pod_a: str, pod_b: str) -> None:
+        """Cut the replication link between two pods (NetworkPartition).
+
+        Requests keep flowing to both pods; only leader→follower tail
+        shipping stops, so the follower's copies of keys appended during
+        the partition go stale and are fenced.
+        """
+        if self.coordinator is None:
+            raise RuntimeError("partition requires a replicated ring")
+        self.coordinator.partition(pod_a, pod_b)
+
+    def heal_partition(self, pod_a: str, pod_b: str) -> None:
+        """Restore a cut link; the next append ships the catch-up tail."""
+        if self.coordinator is None:
+            raise RuntimeError("heal_partition requires a replicated ring")
+        self.coordinator.heal_partition(pod_a, pod_b)
+
+    def ring_info(self) -> dict:
+        """Replicated-ring state for ``/metrics``, ``/healthz``, operators."""
+        if self.coordinator is None:
+            return {"enabled": False}
+        return self.coordinator.info()
 
     # -- introspection -------------------------------------------------------
 

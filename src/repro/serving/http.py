@@ -201,6 +201,36 @@ class SerenadeService:
             "serenade_index_staleness_seconds",
             "Event-time gap between the log head and the indexed head",
         )
+        # Replicated-ring series: per-shard placement gauges plus the
+        # hedge/failover counters of the coordinator (synced on scrape).
+        self._ring_leader_sessions = self.metrics.gauge(
+            "serenade_ring_leader_sessions",
+            "Sessions this pod leads on the replicated ring",
+        )
+        self._ring_follower_sessions = self.metrics.gauge(
+            "serenade_ring_follower_sessions",
+            "Sessions this pod follows on the replicated ring",
+        )
+        self._ring_replication_lag = self.metrics.gauge(
+            "serenade_ring_replication_lag_bytes",
+            "Unacked replication-log bytes per leader->follower link",
+        )
+        self._ring_hedges = self.metrics.counter(
+            "serenade_ring_hedges_fired_total",
+            "Hedged follower reads fired after the hedge delay",
+        )
+        self._ring_hedge_wins = self.metrics.counter(
+            "serenade_ring_hedge_wins_total",
+            "Hedged reads that beat the leader's response",
+        )
+        self._ring_fenced_hedges = self.metrics.counter(
+            "serenade_ring_fenced_hedges_total",
+            "Hedge attempts refused because the follower was stale/partitioned",
+        )
+        self._ring_failovers = self.metrics.counter(
+            "serenade_ring_failovers_total",
+            "Leader deaths that promoted a follower",
+        )
 
     def recommend(self, payload: dict) -> dict:
         """Handle one /v1/recommend call; raises BadRequest on bad input
@@ -283,6 +313,23 @@ class SerenadeService:
             self._streaming_lag.set(float(streaming.lag_events()))
             self._streaming_watermark.set(streaming.watermark_seconds())
             self._index_staleness.set(streaming.staleness_seconds())
+        ring = self.cluster.ring_info()
+        if ring["enabled"]:
+            for pod_id, count in ring["leader_sessions"].items():
+                self._ring_leader_sessions.set(float(count), pod=pod_id)
+            for pod_id, count in ring["follower_sessions"].items():
+                self._ring_follower_sessions.set(float(count), pod=pod_id)
+            for link, lag in ring["replication_lag"].items():
+                self._ring_replication_lag.set(float(lag), link=link)
+            for counter, key in (
+                (self._ring_hedges, "hedges_fired"),
+                (self._ring_hedge_wins, "hedge_wins"),
+                (self._ring_fenced_hedges, "fenced_hedges"),
+                (self._ring_failovers, "failovers"),
+            ):
+                ring_delta = ring[key] - counter.value()
+                if ring_delta > 0:
+                    counter.increment(ring_delta)
         return self.metrics.render_prometheus()
 
     def health(self) -> dict:
@@ -291,6 +338,7 @@ class SerenadeService:
             "pods": self.cluster.router.pods,
             "index": self.cluster.rollout_info(),
             "streaming": self.cluster.streaming_info(),
+            "ring": self.cluster.ring_info(),
             "requests_served": self.cluster.total_requests(),
             "result_cache": self.cluster.cache_info(),
             "resilience": {

@@ -82,6 +82,20 @@ class ResiliencePolicy:
         return Deadline(self.budget_ms / 1000.0, clock=clock)
 
 
+def hedge_delay_seconds(deadline: Deadline, fraction: float) -> float:
+    """How long to wait on a primary before hedging to a replica.
+
+    The tail-at-scale recipe: fire the backup request after a fixed
+    fraction of the request's *remaining* budget. Deriving the delay from
+    the deadline (not a constant) means a request that arrives with most
+    of its budget already burned hedges sooner — the hedge exists to
+    protect the SLA, so it scales with what is left of it.
+    """
+    if not 0.0 < fraction < 1.0:
+        raise ValueError("hedge fraction must be in (0, 1)")
+    return deadline.remaining() * fraction
+
+
 # -- circuit breaker ---------------------------------------------------------
 
 

@@ -4,64 +4,64 @@ Serenade partitions evolving sessions *and* their requests over the
 serving pods by session identifier, relying on Kubernetes session affinity
 so that every request of a session lands on the pod that holds its state.
 
-We implement the affinity with **rendezvous (highest-random-weight)
-hashing**: each (session, pod) pair gets a deterministic weight, and a
-session routes to the live pod with the highest weight. This gives the two
-invariants the design needs:
+The affinity is implemented by the consistent-hash ring of
+:class:`~repro.serving.ring.HashRing` (virtual nodes on a 64-bit circle);
+this router is the thin session→pod façade over it. The ring gives the
+two invariants the design needs:
 
 * stability — the same session key always maps to the same pod while the
   pod set is unchanged;
-* minimal disruption — removing a pod only remaps the sessions that were
-  on that pod; adding a pod only steals the sessions that now rank it first.
+* minimal disruption — removing a pod only remaps the sessions in that
+  pod's ring segments; adding a pod only steals the segments its virtual
+  points now delimit. (An earlier revision used rendezvous hashing, which
+  has the same properties for single-owner routing but no natural replica
+  placement; the ring's clockwise preference list is what the replicated
+  shard layer builds on.)
 """
 
 from __future__ import annotations
 
-import hashlib
-
-
-def _weight(session_key: str, pod_id: str) -> int:
-    digest = hashlib.blake2b(
-        f"{session_key}\x00{pod_id}".encode("utf-8"), digest_size=8
-    ).digest()
-    return int.from_bytes(digest, "big")
+from repro.serving.ring import DEFAULT_VIRTUAL_NODES, HashRing
 
 
 class StickySessionRouter:
-    """Rendezvous-hash router over a mutable set of pod identifiers."""
+    """Consistent-hash router over a mutable set of pod identifiers."""
 
-    def __init__(self, pod_ids: list[str] | None = None) -> None:
-        self._pods: list[str] = []
+    def __init__(
+        self,
+        pod_ids: list[str] | None = None,
+        virtual_nodes: int = DEFAULT_VIRTUAL_NODES,
+    ) -> None:
+        self.ring = HashRing(virtual_nodes=virtual_nodes)
         for pod_id in pod_ids or []:
             self.add_pod(pod_id)
 
     @property
     def pods(self) -> list[str]:
         """Live pod ids, insertion-ordered."""
-        return list(self._pods)
+        return self.ring.pods
 
     def add_pod(self, pod_id: str) -> None:
         """Register a pod; duplicate ids are rejected."""
-        if pod_id in self._pods:
-            raise ValueError(f"pod {pod_id!r} already registered")
-        self._pods.append(pod_id)
+        self.ring.add_pod(pod_id)
 
     def remove_pod(self, pod_id: str) -> None:
         """Deregister a pod (machine failure or scale-down)."""
-        try:
-            self._pods.remove(pod_id)
-        except ValueError:
-            raise ValueError(f"pod {pod_id!r} is not registered") from None
+        self.ring.remove_pod(pod_id)
 
     def route(self, session_key: str) -> str:
         """The pod that owns this session's state."""
-        if not self._pods:
+        if not self.ring.pods:
             raise RuntimeError("no pods registered")
-        return max(self._pods, key=lambda pod: _weight(session_key, pod))
+        return self.ring.primary(session_key)
+
+    def preference_list(self, session_key: str, n: int) -> list[str]:
+        """The session's replica placement: leader first, then followers."""
+        return self.ring.preference_list(session_key, n)
 
     def assignment_counts(self, session_keys: list[str]) -> dict[str, int]:
         """How many of the given sessions each pod would receive."""
-        counts = {pod: 0 for pod in self._pods}
+        counts = {pod: 0 for pod in self.pods}
         for key in session_keys:
             counts[self.route(key)] += 1
         return counts

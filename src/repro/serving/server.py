@@ -12,13 +12,18 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Callable
 
+from repro.core.deadline import Deadline
 from repro.core.predictor import SessionRecommender
 from repro.core.types import ItemId, ScoredItem
 from repro.kvstore.store import Clock
+from repro.serving.resilience import ResilientRecommender
 from repro.serving.rules import BusinessRules
 from repro.serving.session_store import SessionStore
 from repro.serving.variants import ServingVariant, session_view
+
+SleepFn = Callable[[float], None]
 
 FRONTEND_SLOT_SIZE = 21  # items required by the product-detail-page UI
 OVERFETCH_FACTOR = 2  # fetch extra so business rules can drop some
@@ -84,12 +89,17 @@ class RecommendationServer:
         record_service_times: bool = True,
         wal_path: str | None = None,
         perf_clock: Clock | None = None,
+        replicate_sessions: bool = False,
+        stall_sleep: SleepFn | None = None,
     ) -> None:
         self.pod_id = pod_id
         self.recommender = recommender
         self.rules = rules or BusinessRules()
         self.sessions = SessionStore(
-            ttl_seconds=session_ttl, clock=clock, wal_path=wal_path
+            ttl_seconds=session_ttl,
+            clock=clock,
+            wal_path=wal_path,
+            replicate=replicate_sessions,
         )
         self.stats = ServerStats()
         self._record_service_times = record_service_times
@@ -97,6 +107,11 @@ class RecommendationServer:
         # simulation layer can measure *virtual* elapsed time instead of
         # real CPU time, making latency assertions exact.
         self._perf = perf_clock if perf_clock is not None else time.perf_counter
+        #: chaos fault-injection knob (PodSlowdown): every prediction on
+        #: this pod first stalls this long, modelling a straggler replica
+        #: (GC pause, noisy neighbour). 0.0 = healthy.
+        self.injected_stall_seconds = 0.0
+        self._stall_sleep = stall_sleep if stall_sleep is not None else time.sleep
 
     def replace_recommender(self, recommender: SessionRecommender) -> None:
         """Swap in a freshly built index replica (the daily rollout).
@@ -114,8 +129,14 @@ class RecommendationServer:
             if callable(close):
                 close()
 
-    def handle(self, request: RecommendationRequest) -> RecommendationResponse:
-        """Process one request: update state, predict, filter."""
+    def update_session(self, request: RecommendationRequest) -> list[ItemId]:
+        """Step 2 of Figure 1: the session read-modify-write.
+
+        Returns the variant's view of the (possibly updated) session —
+        the input to :meth:`predict`. Exposed separately so the ring
+        coordinator can run the leader's state update, replicate it, and
+        only then race the prediction against a hedge.
+        """
         perf = self._perf
         started = perf()
         if request.consent:
@@ -128,20 +149,40 @@ class RecommendationServer:
             visible = session_view(
                 [], ServingVariant.DEPERSONALISED, request.item_id
             )
-        store_done = perf()
-        raw = self.recommender.recommend(
-            visible, how_many=request.how_many * OVERFETCH_FACTOR
-        )
-        predict_done = perf()
-        final = self.rules.apply(raw, visible, request.how_many)
-        elapsed = perf() - started
-        self.stats.store_seconds += store_done - started
-        self.stats.predict_seconds += predict_done - store_done
+        self.stats.store_seconds += perf() - started
+        return visible
 
-        self.stats.requests += 1
-        self.stats.busy_seconds += elapsed
-        if self._record_service_times:
-            self.stats.service_times.append(elapsed)
+    def predict(
+        self,
+        visible: list[ItemId],
+        how_many: int,
+        deadline: Deadline | None = None,
+    ) -> tuple[list[ScoredItem], bool, str]:
+        """Step 3: model + business rules over a session view.
+
+        Honours an injected chaos stall first (a straggler pod is slow at
+        *prediction*, not at its local state read). Returns the final item
+        list plus the ``(degraded, stage)`` annotation from the guardrail
+        layer. A caller-supplied deadline is propagated to a resilient
+        recommender so hedged follower calls run under the *remaining*
+        request budget instead of a fresh one.
+        """
+        perf = self._perf
+        started = perf()
+        if self.injected_stall_seconds > 0.0:
+            self._stall_sleep(self.injected_stall_seconds)
+        if isinstance(self.recommender, ResilientRecommender):
+            raw = self.recommender.recommend(
+                visible,
+                how_many=how_many * OVERFETCH_FACTOR,
+                deadline=deadline,
+            )
+        else:
+            raw = self.recommender.recommend(
+                visible, how_many=how_many * OVERFETCH_FACTOR
+            )
+        final = self.rules.apply(raw, visible, how_many)
+        self.stats.predict_seconds += perf() - started
         # When the resilience layer wraps the recommender, annotate the
         # response with how the request was actually served.
         degraded, stage = False, "primary"
@@ -150,6 +191,23 @@ class RecommendationServer:
             outcome = outcome_probe()
             if outcome is not None:
                 degraded, stage = outcome.degraded, outcome.stage
+        return final, degraded, stage
+
+    def record_service(self, elapsed: float) -> None:
+        """Account one served request against this pod's counters."""
+        self.stats.requests += 1
+        self.stats.busy_seconds += elapsed
+        if self._record_service_times:
+            self.stats.service_times.append(elapsed)
+
+    def handle(self, request: RecommendationRequest) -> RecommendationResponse:
+        """Process one request: update state, predict, filter."""
+        perf = self._perf
+        started = perf()
+        visible = self.update_session(request)
+        final, degraded, stage = self.predict(visible, request.how_many)
+        elapsed = perf() - started
+        self.record_service(elapsed)
         return RecommendationResponse(
             session_key=request.session_key,
             items=tuple(final),

@@ -8,7 +8,7 @@ exactly the paper's RocksDB configuration; every update refreshes the TTL.
 
 Values are struct-packed item-id arrays, keyed by the external session key.
 
-Two robustness properties layered on the seed behaviour:
+Robustness properties layered on the seed behaviour:
 
 * **WAL-backed crash recovery** — give the store a ``wal_path`` and every
   update is logged before it is acknowledged; a pod that crashes and
@@ -19,17 +19,30 @@ Two robustness properties layered on the seed behaviour:
 * **Corruption tolerance** — a corrupt stored value must never take the
   request path down. It is treated as an empty session, counted in
   :attr:`corrupt_sessions`, and logged once per store.
+* **Replication tail** (``replicate=True``) — every mutation is also
+  mirrored as a WAL-encoded record into an in-memory replication log with
+  monotonically increasing byte offsets. A leader ships
+  :meth:`tail_bytes` since a follower's acked offset; the follower
+  :meth:`apply_tail`-s them. Records are full-value puts, so re-applying
+  any suffix is idempotent, TTL-expired entries in a shipped tail are
+  dropped at apply time, and a torn final record is truncated away —
+  the same recovery matrix the on-disk WAL honours. :meth:`snapshot`
+  rebases the log onto a snapshot of the live set so a follower that
+  acked before the rebase resyncs from the snapshot instead of a lost
+  byte range.
 """
 
 from __future__ import annotations
 
 import logging
 import struct
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.core.types import ItemId
 from repro.kvstore.store import Clock, KVStore
+from repro.kvstore.wal import OP_DELETE, OP_PUT, WalRecord, iter_records
 
 logger = logging.getLogger(__name__)
 
@@ -53,6 +66,20 @@ def decode_items(value: bytes) -> list[ItemId]:
     ]
 
 
+@dataclass
+class TailApplyReport:
+    """What :meth:`SessionStore.apply_tail` did with a shipped byte range."""
+
+    #: records applied to the local store (puts + deletes).
+    applied: int = 0
+    #: puts whose TTL had already expired when the tail arrived; dropped.
+    expired_dropped: int = 0
+    #: records for keys outside this replica's ownership filter; skipped.
+    filtered: int = 0
+    #: True when the range ended in a torn/corrupt record (truncated away).
+    torn: bool = False
+
+
 class SessionStore:
     """Evolving sessions in a local KV store with inactivity expiry."""
 
@@ -63,6 +90,7 @@ class SessionStore:
         clock: Clock | None = None,
         wal_path: str | Path | None = None,
         sync_every: int = 0,
+        replicate: bool = False,
     ) -> None:
         """Create a store for one serving pod.
 
@@ -75,6 +103,9 @@ class SessionStore:
                 at this path is replayed on open. ``None`` = memory-only
                 (the seed behaviour, and the paper's durability stance).
             sync_every: fsync the WAL every N appends (0 = flush only).
+            replicate: mirror every mutation into the in-memory
+                replication log so a ring leader can tail-ship state to
+                its followers (see :mod:`repro.serving.ring`).
         """
         kwargs = {"default_ttl": ttl_seconds}
         if clock is not None:
@@ -87,6 +118,17 @@ class SessionStore:
         self.wal_path = Path(wal_path) if wal_path is not None else None
         self.corrupt_sessions = 0
         self._corruption_logged = False
+        # -- replication log (leader side of the tail-shipping protocol) --
+        self._replicating = replicate
+        #: records appended after the last rebase, WAL-encoded.
+        self._repl_log = bytearray()
+        #: offset where ``_repl_log`` starts in the global offset stream.
+        self._repl_base = 0
+        #: snapshot of the live set at the last rebase (served to any
+        #: follower whose acked offset predates ``_repl_base``).
+        self._repl_snapshot = b""
+
+    # -- decoding -------------------------------------------------------------
 
     def _decode_tolerant(self, session_key: str, value: bytes) -> list[ItemId]:
         """Decode a stored value; a corrupt one reads as an empty session."""
@@ -104,6 +146,12 @@ class SessionStore:
                 )
             return []
 
+    # -- mutation -------------------------------------------------------------
+
+    def _mirror(self, record: WalRecord) -> None:
+        if self._replicating:
+            self._repl_log += record.encode()
+
     def append_click(self, session_key: str, item_id: ItemId) -> list[ItemId]:
         """Record one interaction and return the updated item history.
 
@@ -118,8 +166,105 @@ class SessionStore:
         items.append(item_id)
         if len(items) > self.max_items:
             del items[: len(items) - self.max_items]
-        self._store.put(key, encode_items(items))
+        encoded = encode_items(items)
+        expire_at = self._store.put(key, encoded)
+        self._mirror(WalRecord(OP_PUT, key, encoded, expire_at))
         return items
+
+    def put_session(
+        self, session_key: str, items: Sequence[ItemId]
+    ) -> list[ItemId]:
+        """Install a full session value (rebalance / drain snapshot path).
+
+        Unlike :meth:`append_click` this replaces the whole history at
+        once — the "WAL snapshot" half of snapshot-plus-catch-up-tail
+        state transfer. The ``max_items`` cap and TTL refresh apply as
+        they would have on the source pod.
+        """
+        kept = list(items)[-self.max_items :]
+        key = session_key.encode("utf-8")
+        encoded = encode_items(kept)
+        expire_at = self._store.put(key, encoded)
+        self._mirror(WalRecord(OP_PUT, key, encoded, expire_at))
+        return kept
+
+    def drop_session(self, session_key: str) -> bool:
+        """Forget a session immediately (e.g., consent revocation)."""
+        key = session_key.encode("utf-8")
+        existed = self._store.delete(key)
+        self._mirror(WalRecord(OP_DELETE, key))
+        return existed
+
+    # -- replication tail -----------------------------------------------------
+
+    @property
+    def replication_offset(self) -> int:
+        """Byte offset at the head of the replication log (monotonic)."""
+        return self._repl_base + len(self._repl_log)
+
+    def tail_bytes(self, since: int) -> bytes:
+        """The WAL-encoded record range from ``since`` to the head.
+
+        ``since`` is the follower's acked offset. A follower that acked
+        before the last :meth:`snapshot` rebase receives the snapshot
+        plus everything after it — a full resync, correct because every
+        record is a full-value put (last-writer-wins by byte order).
+        """
+        if since >= self.replication_offset:
+            return b""
+        if since >= self._repl_base:
+            return bytes(self._repl_log[since - self._repl_base :])
+        return self._repl_snapshot + bytes(self._repl_log)
+
+    def apply_tail(
+        self,
+        data: bytes,
+        key_filter: Callable[[str], bool] | None = None,
+    ) -> TailApplyReport:
+        """Apply a shipped record range to this (follower) store.
+
+        The apply contract mirrors WAL replay:
+
+        * records are full-value puts, so duplicate delivery at the
+          replication-offset boundary re-applies idempotently;
+        * a put whose ``expire_at`` has already passed is dropped (the
+          session died of inactivity while the tail was in flight);
+        * a torn final record truncates silently — the shipped prefix is
+          applied, the torn suffix re-ships on the next round;
+        * ``key_filter`` keeps only the keys this replica owns on the
+          ring (other leaders' keys flow through the same per-pod log).
+
+        Applied records are mirrored into this store's own replication
+        log, so a promoted follower can in turn tail-ship to *its*
+        followers without a rebuild.
+        """
+        report = TailApplyReport()
+        consumed = 0
+        now = self._store.now()
+        for record in iter_records(data):
+            consumed += len(record.encode())
+            key_str = record.key.decode("utf-8")
+            if key_filter is not None and not key_filter(key_str):
+                report.filtered += 1
+                continue
+            if record.op == OP_DELETE:
+                self._store.delete(record.key)
+                self._mirror(record)
+                report.applied += 1
+                continue
+            if record.expire_at != 0.0 and record.expire_at <= now:
+                report.expired_dropped += 1
+                continue
+            ttl = record.expire_at - now if record.expire_at != 0.0 else None
+            self._store.put(record.key, record.value, ttl=ttl)
+            self._mirror(
+                WalRecord(OP_PUT, record.key, record.value, record.expire_at)
+            )
+            report.applied += 1
+        report.torn = consumed < len(data)
+        return report
+
+    # -- reads ----------------------------------------------------------------
 
     def get_session(self, session_key: str) -> list[ItemId] | None:
         """Current item history, or None if unknown/expired.
@@ -131,10 +276,6 @@ class SessionStore:
         if value is None:
             return None
         return self._decode_tolerant(session_key, value)
-
-    def drop_session(self, session_key: str) -> bool:
-        """Forget a session immediately (e.g., consent revocation)."""
-        return self._store.delete(session_key.encode("utf-8"))
 
     def sweep_expired(self) -> int:
         """Evict idle sessions; returns how many were dropped."""
@@ -153,21 +294,41 @@ class SessionStore:
                 out[key] = items
         return out
 
+    # -- maintenance ----------------------------------------------------------
+
     def snapshot(self) -> int:
         """Compact the WAL down to the live session set.
 
         Returns the number of live sessions in the snapshot. A no-op for
-        memory-only stores.
+        memory-only stores. With replication on, the in-memory log is
+        rebased onto the same live-set snapshot, bounding its growth:
+        in-sync followers keep tailing from the new base; lagging ones
+        resync from the snapshot.
         """
         self._store.compact()
-        return len(self.session_keys())
+        keys = self.session_keys()
+        if self._replicating:
+            snapshot = bytearray()
+            for session_key in keys:
+                key = session_key.encode("utf-8")
+                value = self._store.get(key)
+                if value is None:
+                    continue
+                expire_at = self._store.put(key, value)
+                snapshot += WalRecord(OP_PUT, key, value, expire_at).encode()
+            self._repl_base = self.replication_offset
+            self._repl_log = bytearray()
+            self._repl_snapshot = bytes(snapshot)
+        return len(keys)
 
     def close(self, delete_wal: bool = False) -> None:
         """Release the WAL handle; optionally delete the log.
 
         ``delete_wal=True`` is the graceful-decommission path (planned
         scale-down): the pod's sessions are gone for good, so a later pod
-        with the same id must not resurrect them.
+        with the same id must not resurrect them. In a replicated ring
+        the coordinator hands the session state to the new owners
+        *before* calling this (see ``RingCoordinator.decommission``).
         """
         self._store.close()
         if delete_wal and self.wal_path is not None:

@@ -161,6 +161,45 @@ class WorkloadGenerator:
                 return
             yield now
 
+    def flash_sale_arrival_times(
+        self,
+        duration: float,
+        base_rate: float,
+        spike_start_fraction: float = 0.4,
+        spike_duration_fraction: float = 0.2,
+        spike_multiplier: float = 8.0,
+    ) -> Iterator[float]:
+        """Poisson arrivals with a flash-sale spike in the middle.
+
+        The instantaneous rate is ``base_rate`` outside the spike window
+        and ``base_rate × spike_multiplier`` inside it — the
+        doors-open-at-noon shape that stresses hedging and autoscaling at
+        once: the spike multiplies the number of requests that land on a
+        straggler pod exactly when there is the least headroom.
+        """
+        if not 0.0 <= spike_start_fraction <= 1.0:
+            raise ValueError("spike_start_fraction must be in [0, 1]")
+        if spike_duration_fraction < 0.0:
+            raise ValueError("spike_duration_fraction must be >= 0")
+        if spike_multiplier < 1.0:
+            raise ValueError("spike_multiplier must be >= 1")
+        rng = self._rng(5)
+        spike_start = duration * spike_start_fraction
+        spike_end = min(
+            duration, spike_start + duration * spike_duration_fraction
+        )
+        now = 0.0
+        while True:
+            rate = (
+                base_rate * spike_multiplier
+                if spike_start <= now < spike_end
+                else base_rate
+            )
+            now += rng.expovariate(rate)
+            if now >= duration:
+                return
+            yield now
+
     def chaos_kill_times(
         self, pod_ids: Sequence[str], duration: float, restart_after: float | None = None
     ) -> list[tuple[float, str, float | None]]:

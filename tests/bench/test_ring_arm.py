@@ -1,0 +1,81 @@
+"""The ring bench arm: hedged-vs-unhedged tail latency, deterministically.
+
+ISSUE acceptance: under a 10%-of-requests straggler regime (one slow pod
+out of ten), p99 with hedging stays inside the 50 ms SLA and is at least
+2x better than with hedging disabled — measured on the virtual clock, so
+the record is bit-reproducible for the regression gate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.arms import ARMS, PROFILES, SLA_BUDGET_MS, run_ring
+from repro.bench.schema import CORE_METRICS
+
+SMOKE = PROFILES["smoke"]
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_ring(SMOKE, seed=2022)
+
+
+def value(result, name):
+    return result.metrics[name].value
+
+
+class TestRegistration:
+    def test_ring_arm_registered(self):
+        assert "ring" in ARMS
+        assert ARMS["ring"].run is run_ring
+        assert "straggler" in ARMS["ring"].description
+
+
+class TestMetrics:
+    def test_core_metrics_present(self, result):
+        assert set(CORE_METRICS) <= set(result.metrics)
+        assert value(result, "latency_p50_ms") > 0
+        assert value(result, "peak_memory_bytes") > 0
+        assert 0.0 <= value(result, "sla_attainment") <= 1.0
+
+    def test_hedging_holds_the_sla_under_stragglers(self, result):
+        """The acceptance bar: hedged p99 inside 50 ms, >= 2x better."""
+        assert value(result, "latency_p99_ms") <= SLA_BUDGET_MS
+        assert value(result, "latency_p99_unhedged_ms") > SLA_BUDGET_MS
+        assert value(result, "hedge_improvement") >= 2.0
+
+    def test_hedge_race_resolves_at_the_derived_delay(self, result):
+        """hedge delay (12.5 ms) + follower base stall (5 ms) exactly:
+        the virtual-clock race is arithmetic, not a measurement."""
+        assert value(result, "latency_p99_ms") == pytest.approx(17.5)
+        assert value(result, "latency_p99_unhedged_ms") == pytest.approx(
+            SMOKE.ring_straggler_ms
+        )
+
+    def test_workload_describes_the_regime(self, result):
+        workload = result.workload
+        assert workload["regime"] == "ring-flash-sale-straggler"
+        assert workload["straggler"] == "pod-0"
+        assert workload["replication_factor"] == 2
+        assert workload["requests"] > 0
+        assert workload["hedges_fired"] > 0
+        assert workload["hedge_wins"] > 0
+
+
+class TestDeterminism:
+    def test_identical_runs_modulo_memory(self, result):
+        """Same profile + seed => identical metrics and workload, except
+        peak memory (tracemalloc is not bit-stable across runs)."""
+        again = run_ring(SMOKE, seed=2022)
+        strip = lambda r: {  # noqa: E731 - local one-liner
+            name: metric
+            for name, metric in r.metrics.items()
+            if name != "peak_memory_bytes"
+        }
+        assert strip(result) == strip(again)
+        assert dict(result.workload) == dict(again.workload)
+
+    def test_seed_changes_the_trace(self, result):
+        other = run_ring(SMOKE, seed=7)
+        assert other.workload["requests"] != result.workload["requests"]

@@ -27,7 +27,13 @@ from repro.bench.schema import (
 class TestResolution:
     def test_arm_names_are_the_registry(self):
         assert arm_names() == sorted(ARMS)
-        assert set(arm_names()) == {"capacity", "fig3a", "fig3b", "streaming"}
+        assert set(arm_names()) == {
+            "capacity",
+            "fig3a",
+            "fig3b",
+            "ring",
+            "streaming",
+        }
 
     def test_resolve_all(self):
         assert [s.name for s in resolve_arms(None)] == arm_names()

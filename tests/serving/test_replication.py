@@ -1,0 +1,202 @@
+"""SessionStore replication-tail tests: the at-least-once apply matrix.
+
+Mirrors the streaming suite's delivery-edge-case matrix for the
+leader→follower tail-shipping path: duplicate delivery at the acked
+offset boundary (idempotent re-apply), TTL-expired entries arriving in a
+shipped tail (dropped), a torn final record (truncated, re-ships later),
+ownership filtering, snapshot rebase resync, and delete propagation.
+"""
+
+from __future__ import annotations
+
+from repro.serving.session_store import SessionStore, TailApplyReport
+from repro.testing.clock import VirtualClock
+
+
+def make_store(clock: VirtualClock, **kwargs) -> SessionStore:
+    return SessionStore(ttl_seconds=60.0, clock=clock, replicate=True, **kwargs)
+
+
+def make_pair(clock: VirtualClock) -> tuple[SessionStore, SessionStore]:
+    return make_store(clock), make_store(clock)
+
+
+class TestTailShipping:
+    def test_tail_replicates_appends(self):
+        clock = VirtualClock()
+        leader, follower = make_pair(clock)
+        leader.append_click("s1", 10)
+        leader.append_click("s1", 11)
+        leader.append_click("s2", 20)
+        report = follower.apply_tail(leader.tail_bytes(0))
+        assert report.applied == 3
+        assert not report.torn
+        assert follower.as_dict() == leader.as_dict()
+
+    def test_offset_advances_monotonically(self):
+        clock = VirtualClock()
+        leader = make_store(clock)
+        assert leader.replication_offset == 0
+        leader.append_click("s", 1)
+        first = leader.replication_offset
+        assert first > 0
+        leader.append_click("s", 2)
+        assert leader.replication_offset > first
+        assert leader.tail_bytes(leader.replication_offset) == b""
+
+    def test_incremental_tail_since_acked_offset(self):
+        clock = VirtualClock()
+        leader, follower = make_pair(clock)
+        leader.append_click("s", 1)
+        follower.apply_tail(leader.tail_bytes(0))
+        acked = leader.replication_offset
+        leader.append_click("s", 2)
+        report = follower.apply_tail(leader.tail_bytes(acked))
+        assert report.applied == 1
+        assert follower.get_session("s") == [1, 2]
+
+    def test_delete_propagates(self):
+        clock = VirtualClock()
+        leader, follower = make_pair(clock)
+        leader.append_click("gone", 1)
+        follower.apply_tail(leader.tail_bytes(0))
+        acked = leader.replication_offset
+        leader.drop_session("gone")
+        follower.apply_tail(leader.tail_bytes(acked))
+        assert follower.get_session("gone") is None
+
+
+class TestApplyEdgeCases:
+    """The failover matrix the ISSUE names explicitly."""
+
+    def test_duplicate_apply_at_offset_boundary_is_idempotent(self):
+        """Re-shipping from an older offset (ack lost in failover) must
+        re-apply cleanly: records are full-value puts."""
+        clock = VirtualClock()
+        leader, follower = make_pair(clock)
+        leader.append_click("s", 1)
+        leader.append_click("s", 2)
+        follower.apply_tail(leader.tail_bytes(0))
+        before = follower.as_dict()
+        # The whole range again, then a strict suffix again: both no-ops
+        # in effect, not errors.
+        follower.apply_tail(leader.tail_bytes(0))
+        assert follower.as_dict() == before
+        leader.append_click("s", 3)
+        follower.apply_tail(leader.tail_bytes(0))
+        assert follower.get_session("s") == [1, 2, 3]
+
+    def test_ttl_expired_entries_in_shipped_tail_dropped(self):
+        """A session that died of inactivity while the tail was in
+        flight must not be resurrected on the follower."""
+        clock = VirtualClock()
+        leader, follower = make_pair(clock)
+        leader.append_click("stale", 1)
+        tail = leader.tail_bytes(0)
+        clock.advance(61.0)  # past the 60 s TTL
+        leader.append_click("fresh", 2)
+        report = follower.apply_tail(tail + leader.tail_bytes(len(tail)))
+        assert report.expired_dropped == 1
+        assert report.applied == 1
+        assert follower.get_session("stale") is None
+        assert follower.get_session("fresh") == [2]
+
+    def test_torn_final_record_truncated(self):
+        """A mid-record cut (the ship died mid-write) applies the intact
+        prefix and flags the torn suffix for the next round."""
+        clock = VirtualClock()
+        leader, follower = make_pair(clock)
+        leader.append_click("a", 1)
+        leader.append_click("b", 2)
+        tail = leader.tail_bytes(0)
+        report = follower.apply_tail(tail[:-3])
+        assert report.torn
+        assert report.applied == 1
+        assert follower.get_session("a") == [1]
+        assert follower.get_session("b") is None
+        # The full range later (re-ship from the still-acked offset)
+        # completes the transfer.
+        follower.apply_tail(tail)
+        assert follower.get_session("b") == [2]
+
+    def test_key_filter_skips_foreign_keys(self):
+        """Per-pod logs interleave many shards; a follower applies only
+        the keys it owns on the ring."""
+        clock = VirtualClock()
+        leader, follower = make_pair(clock)
+        leader.append_click("mine", 1)
+        leader.append_click("theirs", 2)
+        report = follower.apply_tail(
+            leader.tail_bytes(0), key_filter=lambda key: key == "mine"
+        )
+        assert report.applied == 1
+        assert report.filtered == 1
+        assert follower.get_session("mine") == [1]
+        assert follower.get_session("theirs") is None
+
+    def test_max_items_cap_respected_via_put_session(self):
+        clock = VirtualClock()
+        store = SessionStore(
+            ttl_seconds=60.0, max_items=3, clock=clock, replicate=True
+        )
+        kept = store.put_session("s", [1, 2, 3, 4, 5])
+        assert kept == [3, 4, 5]
+        assert store.get_session("s") == [3, 4, 5]
+
+
+class TestSnapshotRebase:
+    def test_snapshot_rebases_log_and_serves_full_resync(self):
+        clock = VirtualClock()
+        leader = make_store(clock)
+        leader.append_click("s1", 1)
+        leader.drop_session("s1")
+        leader.append_click("s2", 2)
+        head = leader.replication_offset
+        leader.snapshot()
+        # The head offset survives the rebase; in-sync followers see an
+        # empty tail, lagging ones get snapshot + log (full resync).
+        assert leader.replication_offset == head
+        assert leader.tail_bytes(head) == b""
+        fresh = make_store(clock)
+        report = fresh.apply_tail(leader.tail_bytes(0))
+        assert report.applied >= 1
+        assert fresh.as_dict() == leader.as_dict()
+        assert fresh.get_session("s1") is None
+
+    def test_post_snapshot_appends_still_ship(self):
+        clock = VirtualClock()
+        leader, follower = make_pair(clock)
+        leader.append_click("s", 1)
+        leader.snapshot()
+        leader.append_click("s", 2)
+        follower.apply_tail(leader.tail_bytes(0))
+        assert follower.get_session("s") == [1, 2]
+
+
+class TestPromotedFollowerReships:
+    def test_applied_records_mirror_into_own_log(self):
+        """A promoted follower must be able to tail-ship what it applied
+        — the chain leader → follower → next follower."""
+        clock = VirtualClock()
+        leader, follower = make_pair(clock)
+        third = make_store(clock)
+        leader.append_click("s", 1)
+        leader.append_click("s", 2)
+        follower.apply_tail(leader.tail_bytes(0))
+        assert follower.replication_offset > 0
+        third.apply_tail(follower.tail_bytes(0))
+        assert third.get_session("s") == [1, 2]
+
+
+class TestReportDefaults:
+    def test_fresh_report_is_empty(self):
+        report = TailApplyReport()
+        assert (report.applied, report.expired_dropped, report.filtered) == (0, 0, 0)
+        assert not report.torn
+
+    def test_non_replicating_store_has_empty_tail(self):
+        clock = VirtualClock()
+        store = SessionStore(ttl_seconds=60.0, clock=clock)
+        store.append_click("s", 1)
+        assert store.replication_offset == 0
+        assert store.tail_bytes(0) == b""
