@@ -40,6 +40,7 @@ from repro.bench.schema import HIGHER, LOWER, Metric
 from repro.cluster.chaos import ChaosReport, ChaosSchedule, PodSlowdown
 from repro.cluster.loadgen import TimedRequest
 from repro.core.batch import BatchPredictionEngine
+from repro.core.colindex import ColumnarSessionIndex, VMISKNNColumnar
 from repro.core.index import SessionIndex
 from repro.core.vmis import VMISKNN
 from repro.core.vsknn import VSKNN
@@ -274,6 +275,84 @@ def run_fig3a(
             f"VMIS-kNN find_neighbors over {len(prefixes)} growing-session "
             f"prefixes, best of {profile.rounds} interleaved rounds",
             f"VS-kNN/VMIS-kNN aggregate speedup {speedup:.2f}x",
+        ),
+    )
+
+
+def run_fig3a_vec(
+    profile: BenchProfile, seed: int, clock: Clock = time.perf_counter
+) -> ArmResult:
+    """Figure 3(a) vectorized sub-arm: columnar scorer vs the heap path.
+
+    Identical workload, index contents and hyperparameters to ``fig3a``;
+    the only variable is the scoring implementation —
+    :class:`VMISKNNColumnar` over struct-of-arrays numpy buffers against
+    the interpreted d-ary-heap ``VMISKNN``. The two are bit-identical
+    (the differential oracle enforces it; this arm spot-checks every
+    prefix once before timing), so the speedup is pure implementation.
+    """
+    log = generate_clickstream(
+        num_sessions=profile.fig3a_sessions,
+        num_items=profile.fig3a_items,
+        num_categories=40,
+        mean_session_length=8.0,
+        length_tail=0.2,
+        days=14,
+        seed=seed,
+    )
+    split = temporal_split(log, test_days=1)
+    with MemoryProbe() as memory:
+        index = SessionIndex.from_clicks(
+            split.train, max_sessions_per_item=2**62
+        )
+        columnar = ColumnarSessionIndex.from_session_index(index)
+    models = {
+        "vmis-columnar": VMISKNNColumnar(columnar, m=500, k=100),
+        "vmis": VMISKNN(index, m=500, k=100),
+    }
+    prefixes = _prediction_prefixes(split, profile.fig3a_queries)
+    heap_model = models["vmis"]
+    vector_model = models["vmis-columnar"]
+    mismatches = sum(
+        1
+        for prefix in prefixes
+        if vector_model.find_neighbors(prefix)
+        != heap_model.find_neighbors(prefix)
+    )
+    if mismatches:
+        raise AssertionError(
+            f"columnar scorer diverged from the heap path on "
+            f"{mismatches}/{len(prefixes)} prefixes"
+        )
+    probes = _interleaved_best(models, prefixes, profile.rounds, clock)
+    vector = probes["vmis-columnar"]
+    heap = probes["vmis"]
+    p50_speedup = heap.percentile_ms(50) / vector.percentile_ms(50)
+    total_speedup = heap.total_seconds() / vector.total_seconds()
+    metrics = dict(_latency_metrics(vector))
+    metrics["throughput_rps"] = Metric(vector.throughput_rps(), "rps", HIGHER)
+    metrics["peak_memory_bytes"] = Metric(
+        float(memory.peak_bytes), "bytes", LOWER
+    )
+    metrics["vectorized_p50_speedup"] = Metric(p50_speedup, "x", HIGHER)
+    metrics["vectorized_speedup"] = Metric(total_speedup, "x", HIGHER)
+    return ArmResult(
+        metrics=metrics,
+        workload={
+            "regime": "fig3a-vectorized",
+            "sessions": profile.fig3a_sessions,
+            "items": profile.fig3a_items,
+            "queries": len(prefixes),
+            "rounds": profile.rounds,
+            "m": 500,
+            "k": 100,
+        },
+        notes=(
+            f"columnar find_neighbors over {len(prefixes)} prefixes, "
+            f"best of {profile.rounds} interleaved rounds; bit-equal to "
+            f"the heap path on all {len(prefixes)} prefixes",
+            f"heap-path/columnar p50 speedup {p50_speedup:.1f}x "
+            f"(aggregate {total_speedup:.1f}x)",
         ),
     )
 
@@ -667,6 +746,12 @@ ARMS: dict[str, ArmSpec] = {
         "Figure 3(a) microbenchmark: VMIS-kNN neighbour-search latency "
         "and the VS-kNN speedup",
         run_fig3a,
+    ),
+    "fig3a_vec": ArmSpec(
+        "fig3a_vec",
+        "Figure 3(a) vectorized sub-arm: columnar numpy scorer vs the "
+        "interpreted heap path, bit-equal by construction",
+        run_fig3a_vec,
     ),
     "fig3b": ArmSpec(
         "fig3b",

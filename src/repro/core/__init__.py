@@ -5,6 +5,7 @@ from repro.core.batch import (
     LRUResultCache,
     shard_index,
 )
+from repro.core.colindex import ColumnarSessionIndex, VMISKNNColumnar
 from repro.core.heaps import BoundedTopK, DAryMinHeap, MostRecentTracker
 from repro.core.index import SessionIndex
 from repro.core.predictor import (
@@ -38,6 +39,7 @@ __all__ = [
     "BatchPredictionEngine",
     "BoundedTopK",
     "Click",
+    "ColumnarSessionIndex",
     "DAryMinHeap",
     "DECAY_FUNCTIONS",
     "EvolvingSession",
@@ -53,6 +55,7 @@ __all__ = [
     "TrainableMixin",
     "TrainableRecommender",
     "VMISKNN",
+    "VMISKNNColumnar",
     "VSKNN",
     "batch_via_loop",
     "decay_weights",

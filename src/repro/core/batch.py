@@ -566,11 +566,13 @@ class BatchPredictionEngine:
         merged: dict[SessionId, float] = {}
         for shard_map in shard_maps:
             merged.update(shard_map)
-        timestamps = model.index.session_timestamps
         if len(merged) > model.m:
-            kept = heapq.nlargest(
-                model.m, merged, key=lambda sid: (timestamps[sid], sid)
-            )
+            # Internal ids ascend with (timestamp, external id) at build
+            # time, so ordering by the id alone IS the recency order with
+            # its deterministic tie-break: nlargest over a
+            # (timestamps[sid], sid) key would select and order the very
+            # same ids while paying a timestamp lookup per candidate.
+            kept = heapq.nlargest(model.m, merged)
             merged = {sid: merged[sid] for sid in kept}
         # Internal session ids ascend with (timestamp, external id), so the
         # id tiebreak reproduces the serial path's deterministic

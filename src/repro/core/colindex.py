@@ -1,0 +1,643 @@
+"""Columnar (struct-of-arrays) session index and the vectorized scorer.
+
+The interpreted :class:`~repro.core.vmis.VMISKNN` walks posting lists one
+entry at a time, maintaining the bounded similarity hashmap ``r`` and the
+recency heap ``b_t`` per candidate. This module stores the same index as
+contiguous numpy buffers — the shape the paper's Rust implementation (and
+ann-benchmarks' bulk columnar loaders) uses — and replaces the
+heap-per-candidate loop with bulk array operations:
+
+* **layout** — per-item posting runs live back to back in one int64
+  ``posting_sessions`` array addressed by an ``posting_offsets`` table
+  (``run(i) = posting_sessions[offsets[i]:offsets[i+1]]``), with a
+  parallel float64 ``posting_timestamps`` array; session metadata
+  (timestamps, per-session item lists) uses the same offset-table shape.
+* **scoring** — the query gathers the posting runs of its distinct items
+  (newest first), prunes each run by binary search against the best
+  run's m-th largest id (the vectorized analogue of early stopping),
+  selects the retained sample with one sort + dedup over the pruned
+  candidate window, accumulates similarities with one ``np.bincount``,
+  and takes the top-k via ``np.partition`` + lexsort.
+
+**Equality contract.** The scorer is *bit-identical* to the heap path —
+same floats, same order, not merely the same ranking. Two build-time
+invariants make that possible:
+
+1. Internal session ids are assigned in ascending ``(timestamp, external
+   id)`` order, so the id ordering *refines* the timestamp ordering:
+   ``id_a < id_b`` whenever ``ts_a < ts_b``. The heap path's retained
+   sample — driven by ``(timestamp, id)`` comparisons against the heap
+   root, including lossless early stopping on newest-first runs — is
+   therefore exactly the ``m`` largest distinct internal ids over the
+   union of the query's posting runs, a pure integer selection.
+2. A finally-retained session is inserted at its first encounter and
+   never evicted (eviction only removes the current ``m``-th largest id,
+   which a finally-retained id can never be), so its similarity is the
+   sum of the decay weights of *all* distinct query items containing it,
+   accumulated in distinct-item newest-first order. ``np.bincount``
+   applies its per-element additions sequentially in input order, so
+   feeding it the concatenated runs newest-item-first reproduces the
+   heap path's float additions operation for operation.
+
+Only the first ``m`` entries of each run can matter: runs hold strictly
+descending distinct ids, so any entry past position ``m`` is dominated by
+``m`` larger ids in its own run. That bounds the candidate window to
+``|distinct query items| * m`` regardless of posting-list length.
+
+The d-ary heap path stays as the differential oracle; see
+``tests/testing/test_columnar_properties.py`` and the corpus sweep in
+:mod:`repro.testing.oracle`, which hold the two paths bit-equal.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.floatcmp import is_zero_score
+from repro.core.index import SessionIndex
+from repro.core.predictor import BatchMixin
+from repro.core.types import (
+    Click,
+    ItemId,
+    ScoredItem,
+    SessionId,
+    insertion_orders,
+    unique_items_reversed,
+)
+from repro.core.weights import (
+    DecayFn,
+    MatchWeightFn,
+    resolve_decay,
+    resolve_match_weight,
+)
+
+__all__ = ["ColumnarSessionIndex", "VMISKNNColumnar"]
+
+_INT = np.int64
+_FLOAT = np.float64
+
+
+def _as_int_array(values: Any) -> np.ndarray:
+    return np.ascontiguousarray(values, dtype=_INT)
+
+
+def _as_float_array(values: Any) -> np.ndarray:
+    return np.ascontiguousarray(values, dtype=_FLOAT)
+
+
+class ColumnarSessionIndex:
+    """Struct-of-arrays view of the (M, t) index.
+
+    All buffers are contiguous ``int64``/``float64`` numpy arrays:
+
+    Attributes:
+        item_ids: distinct item ids with a posting run, ascending — row
+            ``r`` of every per-item array describes ``item_ids[r]``.
+        item_frequencies: untruncated per-item session counts ``h_i``.
+        posting_offsets: ``[num_rows + 1]`` offsets into the posting
+            arrays; row ``r``'s run is ``[offsets[r], offsets[r+1])``.
+        posting_sessions: concatenated posting runs, strictly descending
+            internal session id within each run (newest first).
+        posting_timestamps: session timestamp parallel to every
+            ``posting_sessions`` entry (``t[posting_sessions]``).
+        session_timestamps: the ``t`` array, indexed by internal id.
+        session_item_offsets: ``[num_sessions + 1]`` offsets into the
+            session-item arrays.
+        session_item_values: concatenated distinct-item lists per
+            session, click order (what ``items_of`` returns).
+        max_sessions_per_item: the build-time posting cap ``m``.
+
+    Derived at construction (not part of the serialized payload):
+    ``session_item_rows`` maps every session item to its posting row,
+    ``idf_values`` precomputes ``log(|H| / h_i)`` per row with
+    ``math.log`` so values are bit-identical to
+    :meth:`SessionIndex.idf`, and ``_item_row`` is the item → row hash.
+    """
+
+    def __init__(
+        self,
+        item_ids: Any,
+        item_frequencies: Any,
+        posting_offsets: Any,
+        posting_sessions: Any,
+        session_timestamps: Any,
+        session_item_offsets: Any,
+        session_item_values: Any,
+        max_sessions_per_item: int,
+        posting_timestamps: Any | None = None,
+    ) -> None:
+        self.item_ids = _as_int_array(item_ids)
+        self.item_frequencies = _as_int_array(item_frequencies)
+        self.posting_offsets = _as_int_array(posting_offsets)
+        self.posting_sessions = _as_int_array(posting_sessions)
+        self.session_timestamps = _as_float_array(session_timestamps)
+        self.session_item_offsets = _as_int_array(session_item_offsets)
+        self.session_item_values = _as_int_array(session_item_values)
+        self.max_sessions_per_item = max_sessions_per_item
+        self._validate_layout()
+        # Postings validate before the timestamp gather below: an
+        # out-of-range id must raise ValueError, not IndexError (and a
+        # negative one must never silently wrap around).
+        self._validate_postings()
+        if posting_timestamps is None:
+            posting_timestamps = self.session_timestamps[self.posting_sessions]
+        self.posting_timestamps = _as_float_array(posting_timestamps)
+        # Ascending mirror of the posting payload: run ``r`` ascending is
+        # ``asc[P - offsets[r+1] : P - offsets[r]]``. The scorer prunes
+        # runs by binary search against the retention threshold — the
+        # vectorized analogue of early stopping — which wants ascending
+        # contiguous slices. Derived, never serialized.
+        self.posting_sessions_asc = np.ascontiguousarray(
+            self.posting_sessions[::-1]
+        )
+        self.session_item_rows = self._resolve_session_item_rows()
+        self.idf_values = self._compute_idf()
+        self._item_row: dict[ItemId, int] = {
+            int(item): row for row, item in enumerate(self.item_ids.tolist())
+        }
+
+    # -- construction-time validation ----------------------------------------
+
+    def _validate_layout(self) -> None:
+        rows = self.item_ids.shape[0]
+        if self.item_frequencies.shape[0] != rows:
+            raise ValueError("item_frequencies length must match item_ids")
+        if self.posting_offsets.shape[0] != rows + 1:
+            raise ValueError("posting_offsets must have num_rows + 1 entries")
+        if rows and not np.all(np.diff(self.item_ids) > 0):
+            raise ValueError("item_ids must be strictly ascending")
+        for name, offsets, payload in (
+            ("posting", self.posting_offsets, self.posting_sessions),
+            ("session_item", self.session_item_offsets, self.session_item_values),
+        ):
+            if offsets.shape[0] == 0 or offsets[0] != 0:
+                raise ValueError(f"{name}_offsets must start at 0")
+            if np.any(np.diff(offsets) < 0):
+                raise ValueError(f"{name}_offsets must be non-decreasing")
+            if offsets[-1] != payload.shape[0]:
+                raise ValueError(
+                    f"{name}_offsets must end at the payload length "
+                    f"({int(offsets[-1])} != {payload.shape[0]})"
+                )
+        if self.session_item_offsets.shape[0] != self.num_sessions + 1:
+            raise ValueError(
+                "session_item_offsets must have num_sessions + 1 entries"
+            )
+
+    def _validate_postings(self) -> None:
+        sessions = self.posting_sessions
+        if sessions.size == 0:
+            return
+        if sessions.min() < 0 or sessions.max() >= self.num_sessions:
+            raise ValueError("posting session id out of range")
+        # Strictly descending ids inside every run: check all adjacent
+        # pairs at once, exempting the positions where a new run starts.
+        deltas = np.diff(sessions)
+        boundary = np.zeros(deltas.shape[0], dtype=bool)
+        run_starts = self.posting_offsets[1:-1]
+        in_range = (run_starts >= 1) & (run_starts <= deltas.shape[0])
+        boundary[run_starts[in_range] - 1] = True
+        if np.any(deltas[~boundary] >= 0):
+            raise ValueError(
+                "posting runs must be strictly descending session ids "
+                "(newest first)"
+            )
+
+    def _resolve_session_item_rows(self) -> np.ndarray:
+        values = self.session_item_values
+        if values.size == 0:
+            return np.zeros(0, dtype=_INT)
+        rows = np.searchsorted(self.item_ids, values)
+        in_range = rows < self.item_ids.shape[0]
+        hit = np.zeros(values.shape[0], dtype=bool)
+        hit[in_range] = self.item_ids[rows[in_range]] == values[in_range]
+        if not bool(hit.all()):
+            missing = int(values[~hit][0])
+            raise ValueError(
+                f"session item {missing} has no posting row: the columnar "
+                "index requires a consistent SessionIndex (every stored "
+                "session item must carry a posting list)"
+            )
+        return _as_int_array(rows)
+
+    def _compute_idf(self) -> np.ndarray:
+        # math.log elementwise, not np.log: SessionIndex.idf memoises
+        # math.log(|H| / h_i) and the equality contract is bit-level.
+        num_sessions = self.num_sessions
+        return _as_float_array(
+            [
+                math.log(num_sessions / count) if count else 0.0
+                for count in self.item_frequencies.tolist()
+            ]
+        )
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_session_index(cls, index: SessionIndex) -> "ColumnarSessionIndex":
+        """Pack a :class:`SessionIndex` into contiguous columnar buffers."""
+        items = sorted(index.item_to_sessions)
+        posting_offsets = np.zeros(len(items) + 1, dtype=_INT)
+        runs: list[list[SessionId]] = []
+        for row, item in enumerate(items):
+            run = index.item_to_sessions[item]
+            posting_offsets[row + 1] = posting_offsets[row] + len(run)
+            runs.append(run)
+        posting_sessions = (
+            np.concatenate([_as_int_array(run) for run in runs])
+            if runs
+            else np.zeros(0, dtype=_INT)
+        )
+        session_item_offsets = np.zeros(index.num_sessions + 1, dtype=_INT)
+        flat_items: list[ItemId] = []
+        for sid, session in enumerate(index.session_items):
+            session_item_offsets[sid + 1] = session_item_offsets[sid] + len(
+                session
+            )
+            flat_items.extend(session)
+        return cls(
+            item_ids=items,
+            item_frequencies=[index.item_session_counts[i] for i in items],
+            posting_offsets=posting_offsets,
+            posting_sessions=posting_sessions,
+            session_timestamps=index.session_timestamps,
+            session_item_offsets=session_item_offsets,
+            session_item_values=flat_items,
+            max_sessions_per_item=index.max_sessions_per_item,
+        )
+
+    @classmethod
+    def from_clicks(
+        cls, clicks: Iterable[Click], max_sessions_per_item: int = 5000
+    ) -> "ColumnarSessionIndex":
+        """Build the columnar index straight from raw click events."""
+        return cls.from_session_index(
+            SessionIndex.from_clicks(
+                clicks, max_sessions_per_item=max_sessions_per_item
+            )
+        )
+
+    def to_session_index(self) -> SessionIndex:
+        """Unpack back into the dict/list index (timestamps as floats)."""
+        item_ids = self.item_ids.tolist()
+        offsets = self.posting_offsets.tolist()
+        sessions = self.posting_sessions.tolist()
+        item_to_sessions = {
+            item: sessions[offsets[row] : offsets[row + 1]]
+            for row, item in enumerate(item_ids)
+        }
+        frequencies = dict(zip(item_ids, self.item_frequencies.tolist()))
+        session_offsets = self.session_item_offsets.tolist()
+        flat = self.session_item_values.tolist()
+        session_items = [
+            tuple(flat[session_offsets[sid] : session_offsets[sid + 1]])
+            for sid in range(self.num_sessions)
+        ]
+        return SessionIndex(
+            item_to_sessions=item_to_sessions,
+            session_timestamps=self.session_timestamps.tolist(),
+            session_items=session_items,
+            item_session_counts=frequencies,
+            max_sessions_per_item=self.max_sessions_per_item,
+        )
+
+    # -- SessionIndex-compatible query surface -------------------------------
+
+    @property
+    def num_sessions(self) -> int:
+        """Number of historical sessions |H|."""
+        return self.session_item_offsets.shape[0] - 1
+
+    @property
+    def num_items(self) -> int:
+        """Number of distinct items |I| with at least one posting."""
+        return self.item_ids.shape[0]
+
+    def sessions_for_item(self, item_id: ItemId) -> list[SessionId]:
+        """Posting run ``m_i``, most recent sessions first; [] if unknown."""
+        row = self._item_row.get(item_id)
+        if row is None:
+            return []
+        start, end = self.posting_offsets[row], self.posting_offsets[row + 1]
+        return [int(s) for s in self.posting_sessions[start:end]]
+
+    def timestamp_of(self, session_id: SessionId) -> float:
+        """Timestamp lookup in the ``t`` array (stored as float64)."""
+        return float(self.session_timestamps[session_id])
+
+    def items_of(self, session_id: SessionId) -> tuple[ItemId, ...]:
+        """Distinct items of a historical session, in click order."""
+        start = self.session_item_offsets[session_id]
+        end = self.session_item_offsets[session_id + 1]
+        return tuple(
+            int(i) for i in self.session_item_values[start:end]
+        )
+
+    def idf(self, item_id: ItemId) -> float:
+        """``log(|H| / h_i)``; 0.0 for unseen items."""
+        row = self._item_row.get(item_id)
+        if row is None:
+            return 0.0
+        return float(self.idf_values[row])
+
+    def memory_profile(self) -> dict[str, int]:
+        """Element counts, matching :meth:`SessionIndex.memory_profile`."""
+        return {
+            "num_items": self.num_items,
+            "num_sessions": self.num_sessions,
+            "posting_entries": int(self.posting_sessions.shape[0]),
+            "stored_session_items": int(self.session_item_values.shape[0]),
+        }
+
+
+class VMISKNNColumnar(BatchMixin):
+    """VMIS-kNN over the columnar index, bit-identical to the heap path.
+
+    Constructor surface mirrors :class:`~repro.core.vmis.VMISKNN` (minus
+    the heap knobs, which have no columnar counterpart): the heap path
+    remains the differential oracle and this scorer must reproduce its
+    outputs float for float under every configuration.
+    """
+
+    def __init__(
+        self,
+        index: ColumnarSessionIndex | None = None,
+        m: int = 500,
+        k: int = 100,
+        decay: str | DecayFn = "linear",
+        match_weight: str | MatchWeightFn = "paper",
+        scoring_style: str = "vmis",
+        exclude_current_items: bool = False,
+        max_session_items: int | None = None,
+    ) -> None:
+        if m < 1 or k < 1:
+            raise ValueError(f"m and k must be >= 1, got m={m}, k={k}")
+        if max_session_items is not None and max_session_items < 1:
+            raise ValueError("max_session_items must be >= 1 or None")
+        self.index = index
+        self.m = m
+        self.k = k
+        self.decay = decay
+        self.match_weight = match_weight
+        self.scoring_style = scoring_style
+        self.exclude_current_items = exclude_current_items
+        self.max_session_items = max_session_items
+
+    def _capped(self, session_items: Sequence[ItemId]) -> Sequence[ItemId]:
+        """The evolving-session length cap; applied exactly once."""
+        if (
+            self.max_session_items is not None
+            and len(session_items) > self.max_session_items
+        ):
+            return session_items[-self.max_session_items :]
+        return session_items
+
+    def fit(self, clicks: Iterable[Click]) -> "VMISKNNColumnar":
+        """Build the columnar (M, t) index from raw clicks; returns self."""
+        self.index = ColumnarSessionIndex.from_clicks(
+            clicks, max_sessions_per_item=self.m
+        )
+        return self
+
+    @classmethod
+    def from_clicks(
+        cls, clicks: Iterable[Click], m: int = 500, **kwargs: Any
+    ) -> "VMISKNNColumnar":
+        """Build the index from raw clicks and construct the recommender."""
+        return cls(m=m, **kwargs).fit(clicks)
+
+    # -- neighbour search (Lines 8-39 of Algorithm 2, vectorized) -----------
+
+    def find_neighbors(
+        self, session_items: Sequence[ItemId]
+    ) -> list[tuple[SessionId, float]]:
+        """Top-k neighbours, identical to ``VMISKNN.find_neighbors``."""
+        ids, scores = self._neighbor_arrays(self._capped(session_items))
+        # tolist() converts to python int/float in one C pass; zipping
+        # the scalars builds the exact tuples the heap path returns.
+        return list(zip(ids.tolist(), scores.tolist()))
+
+    def _neighbor_arrays(
+        self, session_items: Sequence[ItemId]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Neighbour ids + similarities, descending ``(score, id)`` order.
+
+        ``session_items`` must already be capped by the caller, exactly
+        like ``VMISKNN._matching_similarities``.
+        """
+        empty = (np.zeros(0, dtype=_INT), np.zeros(0, dtype=_FLOAT))
+        if not session_items:
+            return empty
+        index = self.index
+        if index is None:
+            raise RuntimeError("fit() must be called before recommending")
+        decay_fn = resolve_decay(self.decay)
+        session_length = len(session_items)
+        positions: dict[ItemId, int] = {}
+        for position, item in enumerate(session_items, start=1):
+            positions[item] = position
+
+        offsets = index.posting_offsets
+        asc = index.posting_sessions_asc
+        total = asc.shape[0]
+        item_row = index._item_row
+        m = self.m
+
+        # Gather the posting runs of the distinct items, newest first, as
+        # slices of the ascending mirror (run ``r`` ascending occupies
+        # ``asc[total - offsets[r+1] : total - offsets[r]]``). Only the
+        # head of each run — its min(m, len) largest ids — can reach the
+        # retained sample: runs are strictly descending distinct ids, so
+        # entry m and beyond is dominated by m larger ids in its own run.
+        # While gathering, track the largest per-run m-th id: the global
+        # m-th largest *distinct* id over the union is at least that, so
+        # everything below it prunes by binary search before the sort —
+        # the vectorized analogue of the heap path's early stopping.
+        lows: list[int] = []
+        highs: list[int] = []
+        run_weights: list[float] = []
+        prune_floor = -1  # ids are >= 0; -1 disables pruning
+        for item in unique_items_reversed(session_items):
+            row = item_row.get(item)
+            if row is None:
+                continue
+            start, end = offsets[row], offsets[row + 1]
+            if end == start:
+                continue
+            high = total - start
+            low = total - end
+            if high - low > m:
+                low = high - m
+                mth = asc[low]
+                if mth > prune_floor:
+                    prune_floor = mth
+            lows.append(low)
+            highs.append(high)
+            run_weights.append(decay_fn(positions[item], session_length))
+        if not run_weights:
+            return empty
+
+        # The heap path's recency sample b_t keeps the m most recent
+        # matching sessions, ties on the timestamp broken towards the
+        # larger id. Ids refine (timestamp, external id), so that sample
+        # is exactly the m largest distinct internal ids over the union.
+        if len(run_weights) == 1:
+            # A lone run is already the distinct ascending candidate set:
+            # its head is the retained sample and every retained session
+            # receives exactly one weight contribution (0.0 + w, the
+            # same addition the hashmap r performs on first encounter).
+            retained = asc[lows[0] : highs[0]]
+            scores = np.zeros(retained.shape[0], dtype=_FLOAT)
+            scores += run_weights[0]
+        else:
+            segments: list[np.ndarray] = []
+            for low, high in zip(lows, highs):
+                segment = asc[low:high]
+                if prune_floor >= 0 and segment[0] < prune_floor:
+                    segment = segment[segment.searchsorted(prune_floor) :]
+                segments.append(segment)
+            lengths = _as_int_array(
+                [segment.shape[0] for segment in segments]
+            )
+            candidates = np.concatenate(segments)
+            weights = _as_float_array(run_weights).repeat(lengths)
+
+            ordered = np.sort(candidates)
+            first = np.empty(ordered.shape[0], dtype=bool)
+            first[0] = True
+            np.not_equal(ordered[1:], ordered[:-1], out=first[1:])
+            distinct = ordered[first]
+            if distinct.shape[0] > m:
+                retained = distinct[-m:]
+                keep = candidates >= retained[0]
+                candidates = candidates[keep]
+                weights = weights[keep]
+            else:
+                retained = distinct
+
+            # Accumulate similarities for the retained sample with one
+            # ordered pass: bincount adds its weights sequentially in
+            # input order — segments are concatenated distinct-query-item
+            # newest-first, and within a run a session appears at most
+            # once, so the additions land per session in the same order
+            # as the hashmap r in the heap path.
+            slots = retained.searchsorted(candidates)
+            scores = np.bincount(
+                slots, weights=weights, minlength=retained.shape[0]
+            )
+
+        # Top-k by (similarity, id), both descending — the BoundedTopK
+        # tie-break. np.partition bounds the sort to the candidates at or
+        # above the k-th score; exact ties at the cut are resolved by the
+        # id leg of the lexsort, matching the heap's displacement rule.
+        if retained.shape[0] > self.k:
+            cutoff = np.partition(scores, retained.shape[0] - self.k)[
+                retained.shape[0] - self.k
+            ]
+            at_or_above = scores >= cutoff
+            retained = retained[at_or_above]
+            scores = scores[at_or_above]
+        order = np.lexsort((-retained, -scores))[: self.k]
+        return retained[order], scores[order]
+
+    # -- item scoring (Lines 6-7 of Algorithm 2, vectorized) ----------------
+
+    def recommend(
+        self, session_items: Sequence[ItemId], how_many: int = 21
+    ) -> list[ScoredItem]:
+        """Full prediction; bit-identical to ``VMISKNN.recommend``."""
+        if self.scoring_style not in ("vmis", "vsknn"):
+            raise ValueError(f"unknown scoring style {self.scoring_style!r}")
+        session_items = self._capped(session_items)
+        neighbor_ids, neighbor_sims = self._neighbor_arrays(session_items)
+        if not session_items or neighbor_ids.shape[0] == 0:
+            return []
+        index = self.index
+        assert index is not None  # _neighbor_arrays raised otherwise
+        weight_fn = resolve_match_weight(self.match_weight)
+        orders = insertion_orders(session_items)
+        length_factor = (
+            1.0 / len(session_items) if self.scoring_style == "vsknn" else 1.0
+        )
+
+        # Concatenate the neighbours' item rows in neighbour order; every
+        # per-element operation below inherits that order, which is what
+        # keeps the float accumulation identical to score_items.
+        offsets = index.session_item_offsets
+        row_values = index.session_item_rows
+        segments = [
+            row_values[offsets[sid] : offsets[sid + 1]]
+            for sid in neighbor_ids.tolist()
+        ]
+        lengths = _as_int_array([seg.shape[0] for seg in segments])
+        concat = (
+            np.concatenate(segments) if len(segments) > 1 else segments[0]
+        )
+        if concat.shape[0] == 0:
+            return []
+        local_rows = np.unique(concat)
+        local = np.searchsorted(local_rows, concat)
+
+        # Most recent shared item per neighbour: scatter the query's
+        # insertion orders onto the local row window, then segmented max.
+        query_order = np.zeros(local_rows.shape[0], dtype=_INT)
+        for item, position in orders.items():
+            row = index._item_row.get(item)
+            if row is None:
+                continue
+            slot = np.searchsorted(local_rows, row)
+            if slot < local_rows.shape[0] and local_rows[slot] == row:
+                query_order[slot] = position
+        starts = np.zeros(lengths.shape[0], dtype=_INT)
+        np.cumsum(lengths[:-1], out=starts[1:])
+        reduce_starts = np.minimum(starts, concat.shape[0] - 1)
+        last_shared = np.where(
+            lengths > 0,
+            np.maximum.reduceat(query_order[local], reduce_starts),
+            0,
+        )
+
+        # Per-neighbour base weights; neighbours with no shared item or a
+        # structurally zero match weight contribute nothing (base 0.0
+        # additions leave every accumulator bit-untouched) and must not
+        # mark their items as scored.
+        bases = np.zeros(neighbor_ids.shape[0], dtype=_FLOAT)
+        contributes = np.zeros(neighbor_ids.shape[0], dtype=bool)
+        sims = neighbor_sims.tolist()
+        for position, shared in enumerate(last_shared.tolist()):
+            if shared == 0:
+                continue
+            match = weight_fn(shared)
+            if is_zero_score(match):
+                continue
+            bases[position] = match * sims[position] * length_factor
+            contributes[position] = True
+
+        idf = index.idf_values[local_rows]
+        if self.scoring_style == "vsknn":
+            idf = idf + 1.0
+        values = np.repeat(bases, lengths) * idf[local]
+        accumulated = np.bincount(
+            local, weights=values, minlength=local_rows.shape[0]
+        )
+        scored = np.zeros(local_rows.shape[0], dtype=bool)
+        scored[local[np.repeat(contributes, lengths)]] = True
+        if self.exclude_current_items:
+            for item in set(session_items):
+                row = index._item_row.get(item)
+                if row is None:
+                    continue
+                slot = np.searchsorted(local_rows, row)
+                if slot < local_rows.shape[0] and local_rows[slot] == row:
+                    scored[slot] = False
+
+        out_items = index.item_ids[local_rows[scored]]
+        out_scores = accumulated[scored]
+        ranked = np.lexsort((out_items, -out_scores))[:how_many]
+        return [
+            ScoredItem(int(item), float(score))
+            for item, score in zip(out_items[ranked], out_scores[ranked])
+        ]

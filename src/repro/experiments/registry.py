@@ -30,6 +30,7 @@ from repro.baselines.neural import GRU4Rec, NARM, STAMP
 from repro.baselines.popularity import PopularityRecommender
 from repro.baselines.sknn import SKNNRecommender
 from repro.baselines.stan import STANRecommender
+from repro.core.colindex import VMISKNNColumnar
 from repro.core.predictor import SessionRecommender
 from repro.core.types import Click
 from repro.core.vmis import VMISKNN
@@ -145,6 +146,7 @@ def recommender_class(name: str) -> type | None:
 
 for _name, _class in {
     "vmis": VMISKNN,
+    "vmis-columnar": VMISKNNColumnar,
     "vsknn": VSKNN,
     "sknn": SKNNRecommender,
     "stan": STANRecommender,

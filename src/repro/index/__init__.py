@@ -29,9 +29,15 @@ from repro.index.lifecycle import (
 from repro.index.maintenance import IncrementalIndexer, rebuild_equivalent
 from repro.index.parallel import ParallelIndexBuilder, build_index_parallel
 from repro.index.serialization import (
+    deserialize_artifact,
+    deserialize_columnar,
     deserialize_index,
+    load_artifact,
     load_index,
+    save_artifact,
     save_index,
+    serialize_artifact,
+    serialize_columnar,
     serialize_index,
 )
 
@@ -60,10 +66,16 @@ __all__ = [
     "build_index",
     "build_index_parallel",
     "compression_ratio",
+    "deserialize_artifact",
+    "deserialize_columnar",
     "deserialize_index",
+    "load_artifact",
     "load_index",
     "rebuild_equivalent",
+    "save_artifact",
     "save_index",
+    "serialize_artifact",
+    "serialize_columnar",
     "serialize_index",
     "uncompressed_payload_bytes",
 ]

@@ -32,9 +32,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
 
-from repro.core.index import SessionIndex
 from repro.core.locking import guarded_by
-from repro.index.serialization import deserialize_index, serialize_index
+from repro.index.serialization import (
+    IndexArtifact,
+    deserialize_artifact,
+    serialize_artifact,
+)
 
 ARTIFACT_NAME = "index.vmis"
 MANIFEST_NAME = "manifest.json"
@@ -120,13 +123,18 @@ class IndexRegistry:
 
     def register(
         self,
-        index: SessionIndex,
+        index: IndexArtifact,
         build_stats: dict | None = None,
         provenance: dict | None = None,
     ) -> IndexManifest:
-        """Serialise, checksum and atomically publish a new version."""
+        """Serialise, checksum and atomically publish a new version.
+
+        Accepts either index layout — the dict/list ``SessionIndex``
+        (``VMIS`` container) or the numpy ``ColumnarSessionIndex``
+        (``VMIC`` container); :func:`load` dispatches on the magic.
+        """
         version = self._next_version()
-        data = serialize_index(index)
+        data = serialize_artifact(index)
         manifest = IndexManifest(
             version=version,
             checksum_sha256=hashlib.sha256(data).hexdigest(),
@@ -223,11 +231,11 @@ class IndexRegistry:
             )
         return data
 
-    def load(self, version: str) -> SessionIndex:
+    def load(self, version: str) -> IndexArtifact:
         """Load one version, verifying checksum before deserialisation."""
-        return deserialize_index(self._read_verified(version))
+        return deserialize_artifact(self._read_verified(version))
 
-    def load_current(self) -> tuple[SessionIndex, str]:
+    def load_current(self) -> tuple[IndexArtifact, str]:
         """Load the promoted version, falling back past corrupt artifacts.
 
         Walks from CURRENT towards older versions until one verifies and

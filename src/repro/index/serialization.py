@@ -15,6 +15,18 @@ container with the same roles — versioned, schema'd, checksummed:
 Varints use the LEB128 scheme; posting lists are *descending*, so they are
 stored as first value + positive deltas, which keeps varints short and is
 the usual inverted-index trick.
+
+The columnar index (:class:`~repro.core.colindex.ColumnarSessionIndex`)
+has its own container, magic ``VMIC``: the same envelope (magic, u32
+version, length-prefixed JSON header, trailing CRC32) around the raw
+little-endian buffers in a fixed order — ``item_ids``,
+``item_frequencies``, ``posting_offsets``, ``posting_sessions`` (int64),
+``session_timestamps`` (float64), ``session_item_offsets``,
+``session_item_values`` (int64). The parallel ``posting_timestamps``
+array is *derived* on load (``t[posting_sessions]``), which both halves
+the posting payload and guarantees the two arrays can never disagree.
+:func:`serialize_artifact` / :func:`deserialize_artifact` dispatch on the
+artifact type / magic so the registry can version either layout.
 """
 
 from __future__ import annotations
@@ -23,11 +35,20 @@ import json
 import struct
 import zlib
 from pathlib import Path
+from typing import Union
 
+import numpy as np
+
+from repro.core.colindex import ColumnarSessionIndex
 from repro.core.index import SessionIndex
 
 MAGIC = b"VMIS"
 FORMAT_VERSION = 1
+
+COLUMNAR_MAGIC = b"VMIC"
+COLUMNAR_FORMAT_VERSION = 1
+
+IndexArtifact = Union[SessionIndex, ColumnarSessionIndex]
 
 
 def _write_varint(out: bytearray, value: int) -> None:
@@ -167,6 +188,110 @@ def deserialize_index(data: bytes) -> SessionIndex:
     )
 
 
+def serialize_columnar(index: ColumnarSessionIndex) -> bytes:
+    """Serialize a columnar index to the ``VMIC`` binary container."""
+    out = bytearray()
+    out += COLUMNAR_MAGIC
+    out += struct.pack("<I", COLUMNAR_FORMAT_VERSION)
+
+    header = json.dumps(
+        {
+            "num_sessions": index.num_sessions,
+            "num_items": index.num_items,
+            "posting_entries": int(index.posting_sessions.shape[0]),
+            "session_item_entries": int(index.session_item_values.shape[0]),
+            "max_sessions_per_item": index.max_sessions_per_item,
+        }
+    ).encode("utf-8")
+    out += struct.pack("<I", len(header))
+    out += header
+
+    for buffer, dtype in (
+        (index.item_ids, "<i8"),
+        (index.item_frequencies, "<i8"),
+        (index.posting_offsets, "<i8"),
+        (index.posting_sessions, "<i8"),
+        (index.session_timestamps, "<f8"),
+        (index.session_item_offsets, "<i8"),
+        (index.session_item_values, "<i8"),
+    ):
+        out += np.ascontiguousarray(buffer, dtype=dtype).tobytes()
+
+    out += struct.pack("<I", zlib.crc32(bytes(out)) & 0xFFFFFFFF)
+    return bytes(out)
+
+
+def deserialize_columnar(data: bytes) -> ColumnarSessionIndex:
+    """Parse a ``VMIC`` container back into a columnar index.
+
+    The CRC is verified before anything else, so truncation and bit
+    flips surface as ``ValueError`` exactly like the ``VMIS`` container;
+    the constructor's structural validation is a second line of defence.
+    """
+    if len(data) < 12 or data[:4] != COLUMNAR_MAGIC:
+        raise ValueError("not a VMIC columnar index file (bad magic)")
+    stored_crc = struct.unpack("<I", data[-4:])[0]
+    actual_crc = zlib.crc32(data[:-4]) & 0xFFFFFFFF
+    if stored_crc != actual_crc:
+        raise ValueError(
+            f"columnar index file corrupted: "
+            f"crc {actual_crc:#x} != stored {stored_crc:#x}"
+        )
+    version = struct.unpack("<I", data[4:8])[0]
+    if version != COLUMNAR_FORMAT_VERSION:
+        raise ValueError(f"unsupported columnar format version {version}")
+
+    header_len = struct.unpack("<I", data[8:12])[0]
+    offset = 12 + header_len
+    header = json.loads(data[12:offset].decode("utf-8"))
+    num_sessions = header["num_sessions"]
+    num_items = header["num_items"]
+    posting_entries = header["posting_entries"]
+    session_item_entries = header["session_item_entries"]
+
+    def take(count: int, dtype: str) -> np.ndarray:
+        nonlocal offset
+        end = offset + 8 * count
+        if end > len(data) - 4:
+            raise ValueError("columnar index file corrupted: buffer overrun")
+        buffer = np.frombuffer(data, dtype=dtype, count=count, offset=offset)
+        offset = end
+        return buffer.copy()  # detach from (read-only) file bytes
+
+    item_ids = take(num_items, "<i8")
+    item_frequencies = take(num_items, "<i8")
+    posting_offsets = take(num_items + 1, "<i8")
+    posting_sessions = take(posting_entries, "<i8")
+    session_timestamps = take(num_sessions, "<f8")
+    session_item_offsets = take(num_sessions + 1, "<i8")
+    session_item_values = take(session_item_entries, "<i8")
+
+    return ColumnarSessionIndex(
+        item_ids=item_ids,
+        item_frequencies=item_frequencies,
+        posting_offsets=posting_offsets,
+        posting_sessions=posting_sessions,
+        session_timestamps=session_timestamps,
+        session_item_offsets=session_item_offsets,
+        session_item_values=session_item_values,
+        max_sessions_per_item=header["max_sessions_per_item"],
+    )
+
+
+def serialize_artifact(index: IndexArtifact) -> bytes:
+    """Serialize either index layout, dispatching on the artifact type."""
+    if isinstance(index, ColumnarSessionIndex):
+        return serialize_columnar(index)
+    return serialize_index(index)
+
+
+def deserialize_artifact(data: bytes) -> IndexArtifact:
+    """Parse either container, dispatching on the leading magic."""
+    if data[:4] == COLUMNAR_MAGIC:
+        return deserialize_columnar(data)
+    return deserialize_index(data)
+
+
 def save_index(index: SessionIndex, path: str | Path) -> int:
     """Write an index artifact; returns the number of bytes written."""
     data = serialize_index(index)
@@ -177,3 +302,15 @@ def save_index(index: SessionIndex, path: str | Path) -> int:
 def load_index(path: str | Path) -> SessionIndex:
     """Load an index artifact written by :func:`save_index`."""
     return deserialize_index(Path(path).read_bytes())
+
+
+def save_artifact(index: IndexArtifact, path: str | Path) -> int:
+    """Write either index layout; returns the number of bytes written."""
+    data = serialize_artifact(index)
+    Path(path).write_bytes(data)
+    return len(data)
+
+
+def load_artifact(path: str | Path) -> IndexArtifact:
+    """Load an artifact of either layout, dispatching on its magic."""
+    return deserialize_artifact(Path(path).read_bytes())

@@ -10,7 +10,8 @@ Two comparison strengths, matched to what each implementation promises:
 
 * **bit-exact** (scores and ranks) — ``VSKNN`` (untruncated index,
   ``scoring_style="vmis"``) vs ``VMISKNN`` vs ``VMISKNN.no_opt`` vs
-  :class:`~repro.core.batch.BatchPredictionEngine` with both shard
+  :class:`~repro.core.colindex.VMISKNNColumnar` (the vectorized scorer)
+  vs :class:`~repro.core.batch.BatchPredictionEngine` with both shard
   strategies. These are documented as exactly equivalent, including
   floating-point summation order and all tie-breaking.
 * **rank-exact** — the :mod:`repro.engines` study backends (hashmap /
@@ -39,6 +40,7 @@ from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.core.batch import BatchPredictionEngine
+from repro.core.colindex import ColumnarSessionIndex, VMISKNNColumnar
 from repro.core.floatcmp import scores_differ
 from repro.core.index import SessionIndex
 from repro.core.types import Click, ItemId
@@ -151,6 +153,18 @@ def _core_implementations() -> dict[str, ImplFactory]:
             index, m=p.m, k=p.k, decay=p.decay, match_weight=p.match_weight
         )
 
+    def vmis_columnar(clicks: list[Click], p: HyperParams) -> VMISKNNColumnar:
+        # The vectorized scorer is held to *bit*-equality with the heap
+        # path, not rank-equality: same index contents, columnar layout.
+        index = SessionIndex.from_clicks(clicks, max_sessions_per_item=p.m)
+        return VMISKNNColumnar(
+            ColumnarSessionIndex.from_session_index(index),
+            m=p.m,
+            k=p.k,
+            decay=p.decay,
+            match_weight=p.match_weight,
+        )
+
     def batch_sessions(
         clicks: list[Click], p: HyperParams
     ) -> BatchPredictionEngine:
@@ -170,6 +184,7 @@ def _core_implementations() -> dict[str, ImplFactory]:
         REFERENCE: vsknn,
         "vmis": vmis,
         "vmis-no-opt": vmis_no_opt,
+        "vmis-columnar": vmis_columnar,
         "batch-sessions": batch_sessions,
         "batch-index": batch_index,
     }

@@ -30,6 +30,7 @@ class TestResolution:
         assert set(arm_names()) == {
             "capacity",
             "fig3a",
+            "fig3a_vec",
             "fig3b",
             "ring",
             "streaming",

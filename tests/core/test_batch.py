@@ -301,3 +301,83 @@ class TestBatchDeadlines:
             # 200 ms of work per chunk against a 10 ms budget: all shed.
             assert results == [[], [], [], []]
             assert engine.deadline_shed == 4
+
+
+class TestMergeCandidateTieBreak:
+    """Pin the index-sharded merge's recency tie-break (batch.py).
+
+    ``_merge_candidates`` truncates the shard union to the ``m`` most
+    recent sessions with ``heapq.nlargest`` over the internal ids alone.
+    That is only correct because build-time id assignment refines the
+    ``(timestamp, external id)`` order — these tests keep both the
+    refinement audit and the end-to-end equality honest on workloads
+    where every timestamp ties.
+    """
+
+    @pytest.fixture(scope="class")
+    def tied_model(self):
+        from repro.testing.generators import WorkloadConfig, WorkloadGenerator
+
+        generator = WorkloadGenerator(
+            WorkloadConfig(
+                seed=88,
+                num_sessions=80,
+                num_items=12,
+                timestamp_granularity=10_000.0,  # every timestamp ties
+            )
+        )
+        return VMISKNN.from_clicks(generator.clicks(), m=7, k=5)
+
+    def test_id_order_refines_recency_order(self, tied_model):
+        import heapq
+
+        timestamps = tied_model.index.session_timestamps
+        candidates = list(range(tied_model.index.num_sessions))
+        by_id = heapq.nlargest(tied_model.m, candidates)
+        by_recency = heapq.nlargest(
+            tied_model.m, candidates, key=lambda sid: (timestamps[sid], sid)
+        )
+        assert by_id == by_recency
+
+    def test_merge_truncation_keeps_most_recent_ids(self, tied_model):
+        """A shard union larger than m keeps exactly the m largest ids,
+        in descending order (the deterministic session-id tie-break)."""
+        import heapq
+        from unittest import mock
+
+        union = {sid: 1.0 for sid in range(0, 30, 2)}
+        shard_maps = [
+            {sid: sim for sid, sim in union.items() if sid % 3 == r}
+            for r in range(3)
+        ]
+        with mock.patch(
+            "repro.core.batch.score_items", side_effect=score_spy
+        ) as spy:
+            BatchPredictionEngine._merge_candidates(
+                tied_model, [0], shard_maps, how_many=5
+            )
+        (_, _, neighbors), _ = spy.call_args
+        # Retention keeps the m largest ids; with every similarity tied,
+        # the k-neighbour heap then breaks ties towards larger ids too.
+        retained = heapq.nlargest(tied_model.m, union)
+        expected_ids = heapq.nlargest(tied_model.k, retained)
+        assert [sid for sid, _ in neighbors] == expected_ids
+
+    def test_sharded_batch_matches_serial_on_tied_timestamps(self, tied_model):
+        sequences = list(tied_model.index.session_items)[:40]
+        queries = [list(items[: max(1, len(items) - 1)]) for items in sequences]
+        serial = [
+            scored_pairs(tied_model.recommend(items, how_many=10))
+            for items in queries
+        ]
+        with BatchPredictionEngine(
+            tied_model, num_workers=3, shard_strategy="index", cache_size=0
+        ) as engine:
+            batched = engine.recommend_batch(queries, how_many=10)
+        assert [scored_pairs(ranked) for ranked in batched] == serial
+
+
+def score_spy(index, items, neighbors, **kwargs):
+    from repro.core.scoring import score_items
+
+    return score_items(index, items, neighbors, **kwargs)
