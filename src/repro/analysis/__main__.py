@@ -27,9 +27,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the per-file result cache",
     )
     parser.add_argument(
         "--config",
@@ -74,7 +79,10 @@ def main(argv: list[str] | None = None) -> int:
 
     try:
         report = analyze_paths(
-            args.paths, config, use_baseline=not args.no_baseline
+            args.paths,
+            config,
+            use_baseline=not args.no_baseline,
+            use_cache=not args.no_cache,
         )
     except FileNotFoundError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -94,6 +102,8 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.format == "json":
         print(report.render_json())
+    elif args.format == "sarif":
+        print(report.render_sarif())
     else:
         print(report.render_text())
     return 0 if report.clean else 1

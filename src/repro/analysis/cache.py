@@ -1,0 +1,186 @@
+"""On-disk per-file result cache keyed by content hash.
+
+CI lint time must stay flat as the tree grows, so the engine caches the
+expensive per-file work — parsing, the per-module rule phase, and the
+module summary — keyed by:
+
+* the sha256 of the file's bytes (a content edit invalidates only that
+  file), and
+* a run *fingerprint* covering the engine/summary schema versions, the
+  registered rule ids, and the scoping/options configuration (any rule
+  or config change invalidates everything — stale summaries are worse
+  than a cold run).
+
+The interprocedural phase is deliberately **not** cached: it is
+recomputed from summaries every run, which is what keeps cross-module
+findings correct when one file of a call chain changes while its peers
+are cache-hits. One entry is one JSON file named by the sha256 of the
+repo-relative path, so entries never collide and a cache wipe is just
+``rm -r``. Corrupt or unreadable entries degrade to a cache miss.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.summaries import SUMMARY_VERSION, ModuleSummary
+from repro.analysis.suppress import Suppression
+
+CACHE_SCHEMA_VERSION = 1
+
+
+def content_hash(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+_PACKAGE_FINGERPRINT: str | None = None
+
+
+def package_fingerprint() -> str:
+    """Hash of the analysis package's own source.
+
+    Folding this into the run fingerprint means editing a rule (or the
+    engine, or the summary schema) invalidates every cache entry — the
+    cache can never replay findings a deleted check produced.
+    """
+    global _PACKAGE_FINGERPRINT
+    if _PACKAGE_FINGERPRINT is None:
+        root = Path(__file__).parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(path.relative_to(root).as_posix().encode("utf-8"))
+            digest.update(path.read_bytes())
+        _PACKAGE_FINGERPRINT = digest.hexdigest()
+    return _PACKAGE_FINGERPRINT
+
+
+def run_fingerprint(
+    rule_ids: list[str],
+    config_payload: dict[str, Any],
+    engine_version: int,
+) -> str:
+    """Hash of everything besides file content that affects per-file results."""
+    payload = {
+        "cache_schema": CACHE_SCHEMA_VERSION,
+        "summary_version": SUMMARY_VERSION,
+        "engine_version": engine_version,
+        "package": package_fingerprint(),
+        "rules": sorted(rule_ids),
+        "config": config_payload,
+    }
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+
+
+@dataclass
+class CacheEntry:
+    """The cached result of analyzing one file."""
+
+    relpath: str
+    #: per-module rule findings (before suppression/baselining).
+    findings: list[Diagnostic]
+    #: SRN000 problems found while parsing (bad suppressions etc.).
+    problems: list[Diagnostic]
+    suppressions: list[Suppression]
+    summary: ModuleSummary
+
+
+def _diag_to_dict(diag: Diagnostic) -> dict[str, Any]:
+    return {
+        "path": diag.path,
+        "line": diag.line,
+        "column": diag.column,
+        "rule": diag.rule,
+        "message": diag.message,
+    }
+
+
+def _diag_from_dict(payload: dict[str, Any]) -> Diagnostic:
+    return Diagnostic(
+        payload["path"],
+        payload["line"],
+        payload["column"],
+        payload["rule"],
+        payload["message"],
+    )
+
+
+class SummaryCache:
+    """One directory of per-file JSON entries under a shared fingerprint."""
+
+    def __init__(self, directory: Path, fingerprint: str) -> None:
+        self.directory = directory
+        self.fingerprint = fingerprint
+        self.hits = 0
+        self.misses = 0
+
+    def _entry_path(self, relpath: str) -> Path:
+        name = hashlib.sha256(relpath.encode("utf-8")).hexdigest()
+        return self.directory / f"{name}.json"
+
+    def load(self, relpath: str, file_hash: str) -> CacheEntry | None:
+        """The cached entry for this exact content, or None."""
+        path = self._entry_path(relpath)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (
+            payload.get("fingerprint") != self.fingerprint
+            or payload.get("content_hash") != file_hash
+            or payload.get("relpath") != relpath
+        ):
+            self.misses += 1
+            return None
+        try:
+            entry = CacheEntry(
+                relpath=relpath,
+                findings=[_diag_from_dict(d) for d in payload["findings"]],
+                problems=[_diag_from_dict(d) for d in payload["problems"]],
+                suppressions=[
+                    Suppression(
+                        line=s["line"],
+                        rules=tuple(s["rules"]),
+                        reason=s["reason"],
+                    )
+                    for s in payload["suppressions"]
+                ],
+                summary=ModuleSummary.from_dict(payload["summary"]),
+            )
+        except (KeyError, TypeError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def store(self, entry: CacheEntry, file_hash: str) -> None:
+        """Persist one file's results; failures are non-fatal."""
+        payload = {
+            "fingerprint": self.fingerprint,
+            "content_hash": file_hash,
+            "relpath": entry.relpath,
+            "findings": [_diag_to_dict(d) for d in entry.findings],
+            "problems": [_diag_to_dict(d) for d in entry.problems],
+            "suppressions": [
+                {"line": s.line, "rules": list(s.rules), "reason": s.reason}
+                for s in entry.suppressions
+            ],
+            "summary": entry.summary.to_dict(),
+        }
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            path = self._entry_path(entry.relpath)
+            tmp = path.with_suffix(".tmp")
+            tmp.write_text(
+                json.dumps(payload, sort_keys=True), encoding="utf-8"
+            )
+            tmp.replace(path)
+        except OSError:
+            pass  # a read-only checkout just runs cold every time

@@ -1,0 +1,213 @@
+"""The project call graph, built from module summaries.
+
+Nodes are ``(relpath, qualname)`` function references; edges come from
+the :class:`~repro.analysis.summaries.CallFact` records, resolved
+alias-aware:
+
+* ``self.m()`` — a method of the caller's own class;
+* ``self.attr.m()`` — through the class's ``attr_types`` map (the
+  ``self.x = ClassName(...)`` / annotated-``__init__``-param inference
+  SRN004 introduced);
+* ``f()`` / ``mod.f()`` / ``Class.method()`` — through the import-alias
+  map against every module's dotted import path.
+
+Unresolvable calls (dynamic receivers, stdlib, third-party) simply have
+no edge — every analysis on top is designed so a missing edge can hide a
+finding but never invent one.
+
+:func:`strongly_connected` (Tarjan, iterative, deterministic) moved here
+from SRN004, which now imports it: the lock-acquisition graph and the
+call graph share their cycle machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.summaries import (
+    BLOCKING_NAMES,
+    CallFact,
+    ClassFact,
+    FunctionFact,
+    ModuleSummary,
+)
+
+FunctionRef = tuple[str, str]  # (relpath, qualname)
+
+
+class ProjectIndex:
+    """Symbol + call-graph index over a set of module summaries."""
+
+    def __init__(self, summaries: list[ModuleSummary]) -> None:
+        self.summaries = summaries
+        #: class name -> (fact, relpath); later definitions win, matching
+        #: the original SRN004 global-by-name resolution.
+        self.classes: dict[str, tuple[ClassFact, str]] = {}
+        #: (relpath, qualname) -> fact.
+        self.functions: dict[FunctionRef, FunctionFact] = {}
+        #: (class name, method name) -> (relpath, fact).
+        self.methods: dict[tuple[str, str], tuple[str, FunctionFact]] = {}
+        #: dotted module path -> summary.
+        self.modules: dict[str, ModuleSummary] = {}
+        for summary in summaries:
+            if summary.module_name is not None:
+                self.modules[summary.module_name] = summary
+            for cls in summary.classes:
+                self.classes[cls.name] = (cls, summary.relpath)
+            for func in summary.functions:
+                ref = (summary.relpath, func.qualname)
+                self.functions[ref] = func
+                if func.cls is not None:
+                    self.methods[(func.cls, func.name)] = (
+                        summary.relpath,
+                        func,
+                    )
+
+    # -- resolution -----------------------------------------------------------
+
+    def resolve(
+        self, summary: ModuleSummary, caller: FunctionFact, call: CallFact
+    ) -> FunctionRef | None:
+        """The project function a call site targets, if determinable."""
+        if call.kind == "self":
+            if caller.cls is None:
+                return None
+            ref = (summary.relpath, f"{caller.cls}.{call.method}")
+            if ref in self.functions:
+                return ref
+            return None
+        if call.kind == "attr":
+            if caller.cls is None or call.attr is None:
+                return None
+            entry = self.classes.get(caller.cls)
+            if entry is None:
+                return None
+            type_name = entry[0].attr_types.get(call.attr)
+            if type_name is None:
+                return None
+            target = self.methods.get((type_name, call.method))
+            if target is None:
+                return None
+            return (target[0], target[1].qualname)
+        if call.dotted is None:
+            return None
+        return self._resolve_dotted(summary, call.dotted)
+
+    def _resolve_dotted(
+        self, summary: ModuleSummary, dotted: str
+    ) -> FunctionRef | None:
+        if "." not in dotted:
+            # bare name: a function of the caller's own module.
+            ref = (summary.relpath, dotted)
+            if ref in self.functions:
+                return ref
+            return None
+        head, leaf = dotted.rsplit(".", 1)
+        # module.function — the module's dotted path is the prefix.
+        module = self.modules.get(head)
+        if module is not None:
+            ref = (module.relpath, leaf)
+            if ref in self.functions:
+                return ref
+        # Class.method / pkg.Class.method — penultimate segment names a
+        # known class (classes are registered by re-exported name, so
+        # ``from repro.streaming import PartitionedLog`` still resolves).
+        cls_name = head.rsplit(".", 1)[-1]
+        target = self.methods.get((cls_name, leaf))
+        if target is not None:
+            return (target[0], target[1].qualname)
+        return None
+
+    # -- call graph -----------------------------------------------------------
+
+    def edges(self) -> Iterator[tuple[FunctionRef, FunctionRef, CallFact]]:
+        """Every resolved (caller, callee, site) edge, deterministic order."""
+        for summary in self.summaries:
+            for func in summary.functions:
+                caller = (summary.relpath, func.qualname)
+                for call in func.calls:
+                    callee = self.resolve(summary, func, call)
+                    if callee is not None:
+                        yield caller, callee, call
+
+    def callees(self) -> dict[FunctionRef, list[tuple[FunctionRef, CallFact]]]:
+        out: dict[FunctionRef, list[tuple[FunctionRef, CallFact]]] = {}
+        for caller, callee, site in self.edges():
+            out.setdefault(caller, []).append((callee, site))
+        return out
+
+    def may_block(self) -> set[FunctionRef]:
+        """Functions that can reach a blocking operation, transitively.
+
+        Seeds are functions containing a call whose leaf name is in
+        :data:`~repro.analysis.summaries.BLOCKING_NAMES`; blocking-ness
+        then propagates callee → caller over the resolved call graph to
+        fixpoint.
+        """
+        blocking: set[FunctionRef] = {
+            ref
+            for ref, func in self.functions.items()
+            if any(call.method in BLOCKING_NAMES for call in func.calls)
+        }
+        callers: dict[FunctionRef, set[FunctionRef]] = {}
+        for caller, callee, _ in self.edges():
+            callers.setdefault(callee, set()).add(caller)
+        frontier = sorted(blocking)
+        while frontier:
+            ref = frontier.pop()
+            for caller in sorted(callers.get(ref, ())):
+                if caller not in blocking:
+                    blocking.add(caller)
+                    frontier.append(caller)
+        return blocking
+
+
+def strongly_connected(graph: dict[str, set[str]]) -> list[set[str]]:
+    """Tarjan's SCC, iterative, deterministic order."""
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    result: list[set[str]] = []
+    counter = 0
+
+    for start in sorted(graph):
+        if start in index:
+            continue
+        work: list[tuple[str, Iterator[str]]] = [
+            (start, iter(sorted(graph[start])))
+        ]
+        index[start] = lowlink[start] = counter
+        counter += 1
+        stack.append(start)
+        on_stack.add(start)
+        while work:
+            node, children = work[-1]
+            advanced = False
+            for child in children:
+                if child not in index:
+                    index[child] = lowlink[child] = counter
+                    counter += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(sorted(graph[child]))))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: set[str] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                result.append(component)
+    return result

@@ -1,0 +1,277 @@
+"""Per-function control-flow graphs for the flow-sensitive rules.
+
+The graph is statement-granular: every ``ast.stmt`` of a function body
+becomes one node, plus three synthetic nodes — ``ENTRY``, ``EXIT``
+(normal completion: ``return`` or falling off the end) and
+``RAISE_EXIT`` (an exception escaping the function). Edges carry a kind:
+
+* ``NORMAL`` — the statement completed and control continues;
+* ``EXCEPTION`` — the statement raised; the edge leads to the innermost
+  enclosing handler, the enclosing ``finally``, or ``RAISE_EXIT``.
+
+Exception edges are deliberately conservative: any statement that
+contains a call, subscript, attribute access or explicit ``raise`` is
+assumed able to raise. ``try``/``finally`` is modelled by routing every
+abrupt exit (exception, ``return``, ``break``, ``continue``) through the
+``finally`` body before it reaches its real target; the ``finally``
+block is shared between the normal and exceptional routes, which merges
+their states conservatively — sound for the may-leak (SRN009) and
+must-precede (SRN008) analyses built on top.
+
+``break``/``continue`` target the enclosing loop, ``while True`` gets no
+fall-through exit edge, and ``with`` bodies nest normally (the context
+manager's ``__exit__`` runs on both routes, which is exactly why
+``with`` counts as "closed on every path" for resource tracking).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+NORMAL = "normal"
+EXCEPTION = "exception"
+
+ENTRY = 0
+EXIT = 1
+RAISE_EXIT = 2
+
+
+@dataclass
+class Node:
+    """One CFG node: a statement, or a synthetic entry/exit."""
+
+    node_id: int
+    stmt: ast.stmt | None
+    #: outgoing (target node id, edge kind) pairs.
+    succs: list[tuple[int, str]] = field(default_factory=list)
+
+
+@dataclass
+class CFG:
+    """Control-flow graph of one function body."""
+
+    nodes: dict[int, Node]
+
+    @property
+    def entry(self) -> Node:
+        return self.nodes[ENTRY]
+
+    @property
+    def exit(self) -> Node:
+        return self.nodes[EXIT]
+
+    @property
+    def raise_exit(self) -> Node:
+        return self.nodes[RAISE_EXIT]
+
+    def statements(self) -> list[Node]:
+        return [node for node in self.nodes.values() if node.stmt is not None]
+
+
+def _may_raise(stmt: ast.stmt) -> bool:
+    """Conservatively: can executing this statement raise?"""
+    if isinstance(stmt, (ast.Raise, ast.Assert)):
+        return True
+    for node in ast.walk(stmt):
+        if isinstance(node, (ast.Call, ast.Subscript, ast.Attribute, ast.Await)):
+            return True
+        if isinstance(node, ast.BinOp):
+            return True
+    return False
+
+
+class _Builder:
+    """Structural CFG construction with loop and finally context stacks."""
+
+    def __init__(self) -> None:
+        self.nodes: dict[int, Node] = {
+            ENTRY: Node(ENTRY, None),
+            EXIT: Node(EXIT, None),
+            RAISE_EXIT: Node(RAISE_EXIT, None),
+        }
+        self._next_id = RAISE_EXIT + 1
+        #: innermost-first (break target, continue target) node ids.
+        self.loops: list[tuple[int, int]] = []
+        #: innermost-first finally entry node ids abrupt exits route through.
+        self.finallies: list[int] = []
+        #: innermost-first exception targets: list of handler-entry ids
+        #: (may end at a finally entry or RAISE_EXIT).
+        self.exc_targets: list[list[int]] = [[RAISE_EXIT]]
+
+    def new_node(self, stmt: ast.stmt) -> Node:
+        node = Node(self._next_id, stmt)
+        self.nodes[self._next_id] = node
+        self._next_id += 1
+        return node
+
+    def edge(self, src: int, dst: int, kind: str = NORMAL) -> None:
+        pair = (dst, kind)
+        node = self.nodes[src]
+        if pair not in node.succs:
+            node.succs.append(pair)
+
+    # -- abrupt-exit routing --------------------------------------------------
+
+    def abrupt_target(self, real_target: int, below: int) -> int:
+        """Route an abrupt exit through finallies inner than ``below``.
+
+        ``below`` is the length of the finally stack at the point the
+        real target was established (0 for return/raise, the loop's
+        depth for break/continue).
+        """
+        pending = self.finallies[below:]
+        if pending:
+            return pending[-1]  # innermost finally first; it chains onward
+        return real_target
+
+    def block(self, stmts: list[ast.stmt], preds: list[int]) -> list[int]:
+        """Wire a statement list; returns the fall-through predecessors."""
+        current = preds
+        for stmt in stmts:
+            current = self.statement(stmt, current)
+            if not current:
+                break  # unreachable code after return/raise/break
+        return current
+
+    def statement(self, stmt: ast.stmt, preds: list[int]) -> list[int]:
+        node = self.new_node(stmt)
+        for pred in preds:
+            self.edge(pred, node.node_id)
+        if _may_raise(stmt) and not isinstance(
+            stmt, (ast.Try, ast.With, ast.AsyncWith)
+        ):
+            for target in self.exc_targets[-1]:
+                self.edge(node.node_id, target, EXCEPTION)
+
+        if isinstance(stmt, ast.Return):
+            self.edge(node.node_id, self.abrupt_target(EXIT, 0))
+            return []
+        if isinstance(stmt, ast.Raise):
+            for target in self.exc_targets[-1]:
+                self.edge(node.node_id, target, EXCEPTION)
+            return []
+        if isinstance(stmt, ast.Break):
+            if self.loops:
+                break_target, _ = self.loops[-1]
+                self.edge(node.node_id, self.abrupt_target(break_target, 0))
+            return []
+        if isinstance(stmt, ast.Continue):
+            if self.loops:
+                _, continue_target = self.loops[-1]
+                self.edge(node.node_id, self.abrupt_target(continue_target, 0))
+            return []
+        if isinstance(stmt, ast.If):
+            then_out = self.block(stmt.body, [node.node_id])
+            else_out = self.block(stmt.orelse, [node.node_id])
+            if not stmt.orelse:
+                else_out = [node.node_id]
+            return then_out + else_out
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, node)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            body_out = self.block(stmt.body, [node.node_id])
+            return body_out
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, node)
+        return [node.node_id]
+
+    def _loop(
+        self, stmt: ast.While | ast.For | ast.AsyncFor, node: Node
+    ) -> list[int]:
+        # ``node`` doubles as the loop header (condition / iterator).
+        after_preds: list[int] = []
+        infinite = (
+            isinstance(stmt, ast.While)
+            and isinstance(stmt.test, ast.Constant)
+            and bool(stmt.test.value)
+        )
+        if not infinite:
+            after_preds.append(node.node_id)
+        # break edges land on the loop's *successor*; we don't know its
+        # node yet, so collect them through a placeholder join node — the
+        # header re-test serves as the continue target.
+        join = Node(self._next_id, None)
+        self.nodes[self._next_id] = join
+        self._next_id += 1
+        self.loops.append((join.node_id, node.node_id))
+        body_out = self.block(stmt.body, [node.node_id])
+        self.loops.pop()
+        for out in body_out:
+            self.edge(out, node.node_id)  # back edge
+        else_out = self.block(stmt.orelse, after_preds) if stmt.orelse else after_preds
+        return else_out + [join.node_id]
+
+    def _try(self, stmt: ast.Try, node: Node) -> list[int]:
+        has_finally = bool(stmt.finalbody)
+        finally_entry: Node | None = None
+        if has_finally:
+            # The finally body is wired once and shared by every route.
+            finally_entry = Node(self._next_id, None)
+            self.nodes[self._next_id] = finally_entry
+            self._next_id += 1
+            self.finallies.append(finally_entry.node_id)
+
+        handler_entries: list[int] = []
+        handler_nodes: list[Node] = []
+        for handler in stmt.handlers:
+            entry = Node(self._next_id, None)
+            self.nodes[self._next_id] = entry
+            self._next_id += 1
+            handler_entries.append(entry.node_id)
+            handler_nodes.append(entry)
+        body_exc_targets = handler_entries or (
+            [finally_entry.node_id] if finally_entry is not None
+            else list(self.exc_targets[-1])
+        )
+
+        self.exc_targets.append(body_exc_targets)
+        body_out = self.block(stmt.body, [node.node_id])
+        self.exc_targets.pop()
+        else_out = (
+            self.block(stmt.orelse, body_out) if stmt.orelse else body_out
+        )
+
+        handler_out: list[int] = []
+        for entry in handler_nodes:
+            handler_out.extend(
+                self.block(
+                    stmt.handlers[handler_nodes.index(entry)].body,
+                    [entry.node_id],
+                )
+            )
+
+        if finally_entry is not None:
+            self.finallies.pop()
+            for out in else_out + handler_out:
+                self.edge(out, finally_entry.node_id)
+            # A handler itself raising, or no handler matching, reaches
+            # the finally too (already routed via body_exc_targets when
+            # there are no handlers).
+            for entry_id in handler_entries:
+                self.edge(entry_id, finally_entry.node_id, EXCEPTION)
+            final_out = self.block(stmt.finalbody, [finally_entry.node_id])
+            # The shared finally block continues to the normal successor
+            # *and* re-raises toward the enclosing target: both routes
+            # pass through the same nodes, conservatively merging state.
+            outer = self.abrupt_target(RAISE_EXIT, 0) if not self.finallies else (
+                self.finallies[-1]
+            )
+            if not self.finallies:
+                outer_targets = list(self.exc_targets[-1])
+            else:
+                outer_targets = [outer]
+            for out in final_out:
+                for target in outer_targets:
+                    self.edge(out, target, EXCEPTION)
+            return final_out
+        return else_out + handler_out
+
+
+def build_cfg(func: ast.FunctionDef | ast.AsyncFunctionDef) -> CFG:
+    """Build the statement-level CFG of one function body."""
+    builder = _Builder()
+    out = builder.block(func.body, [ENTRY])
+    for pred in out:
+        builder.edge(pred, EXIT)
+    return CFG(nodes=builder.nodes)

@@ -24,6 +24,7 @@ from typing import Any
 
 SECTION = "serenade-lint"
 DEFAULT_BASELINE = "serenade-lint-baseline.json"
+DEFAULT_CACHE = ".serenade-lint-cache"
 
 
 @dataclass
@@ -40,6 +41,11 @@ class AnalysisConfig:
     rule_paths: dict[str, tuple[str, ...]] = field(default_factory=dict)
     #: rule id -> free-form options (rule-specific knobs).
     rule_options: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: per-file result cache directory (relative to root); ``None``
+    #: disables caching. Configs built in code default to disabled so
+    #: fixture/unit runs never write cache directories; ``load_config``
+    #: defaults it on.
+    cache: str | None = None
 
     def relpath(self, path: Path) -> str:
         """Repo-relative POSIX form of ``path`` (absolute if outside root)."""
@@ -69,6 +75,25 @@ class AnalysisConfig:
     def option(self, rule_id: str, key: str, default: Any = None) -> Any:
         return self.rule_options.get(rule_id, {}).get(key, default)
 
+    def cache_dir(self) -> Path | None:
+        if self.cache is None:
+            return None
+        return self.root / self.cache
+
+    def fingerprint_payload(self) -> dict[str, Any]:
+        """The config facets that affect per-file results (cache key input)."""
+        return {
+            "exclude": list(self.exclude),
+            "rule_paths": {
+                rule: list(paths)
+                for rule, paths in sorted(self.rule_paths.items())
+            },
+            "rule_options": {
+                rule: dict(sorted(options.items()))
+                for rule, options in sorted(self.rule_options.items())
+            },
+        }
+
 
 def _under(relpath: str, prefix: str) -> bool:
     """Is ``relpath`` the prefix path itself or inside it?"""
@@ -92,12 +117,16 @@ def load_config(pyproject: str | Path) -> AnalysisConfig:
             rule_paths[rule_id] = tuple(str(p) for p in paths)
         if options:
             rule_options[rule_id] = options
+    cache = section.get("cache", DEFAULT_CACHE)
+    if cache is False:  # `cache = false` opts a repo out
+        cache = None
     return AnalysisConfig(
         root=pyproject.parent,
         baseline=section.get("baseline", DEFAULT_BASELINE),
         exclude=tuple(str(p) for p in section.get("exclude", [])),
         rule_paths=rule_paths,
         rule_options=rule_options,
+        cache=str(cache) if cache is not None else None,
     )
 
 

@@ -1,0 +1,83 @@
+"""The abstract-interpretation core: forward dataflow over a CFG.
+
+A rule instantiates :class:`ForwardAnalysis` with three ingredients:
+
+* ``initial`` — the fact at function entry;
+* ``join(a, b)`` — the lattice join (must be commutative, associative,
+  idempotent and monotone for the worklist to terminate);
+* ``transfer(stmt, fact)`` — the effect of completing one statement.
+
+Exception edges propagate the statement's *input* fact by default: a
+statement that raised is assumed not to have completed its effect, which
+is the conservative direction for both may-leak (a ``close()`` that
+raised first did not close) and must-precede (a call that raised did not
+happen). Override ``exception_transfer`` for other semantics.
+
+Facts must be immutable values with ``==`` (frozensets, tuples, frozen
+dataclasses, dicts are copied by the analysis' own transfer); the solver
+iterates to fixpoint with a worklist and is deterministic — nodes are
+processed in ascending id order.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Generic, TypeVar
+
+from repro.analysis.cfg import CFG, ENTRY, EXCEPTION, Node
+
+Fact = TypeVar("Fact")
+
+
+class ForwardAnalysis(Generic[Fact]):
+    """A forward may/must dataflow problem over one function CFG."""
+
+    def __init__(
+        self,
+        initial: Fact,
+        join: Callable[[Fact, Fact], Fact],
+        transfer: Callable[[ast.stmt, Fact], Fact],
+        exception_transfer: Callable[[ast.stmt, Fact], Fact] | None = None,
+    ) -> None:
+        self.initial = initial
+        self.join = join
+        self.transfer = transfer
+        self.exception_transfer = exception_transfer or (
+            lambda stmt, fact: fact
+        )
+
+    def solve(self, cfg: CFG) -> dict[int, Fact]:
+        """Fact *entering* each node, at fixpoint.
+
+        Unreachable nodes are absent from the result. Synthetic nodes
+        (entry/exits/joins) have identity transfer.
+        """
+        facts: dict[int, Fact] = {ENTRY: self.initial}
+        worklist: list[int] = [ENTRY]
+        in_worklist = {ENTRY}
+        while worklist:
+            worklist.sort(reverse=True)
+            node_id = worklist.pop()
+            in_worklist.discard(node_id)
+            node = cfg.nodes[node_id]
+            incoming = facts[node_id]
+            for succ_id, kind in node.succs:
+                out = self._edge_fact(node, incoming, kind)
+                if succ_id not in facts:
+                    facts[succ_id] = out
+                    changed = True
+                else:
+                    merged = self.join(facts[succ_id], out)
+                    changed = merged != facts[succ_id]
+                    facts[succ_id] = merged
+                if changed and succ_id not in in_worklist:
+                    worklist.append(succ_id)
+                    in_worklist.add(succ_id)
+        return facts
+
+    def _edge_fact(self, node: Node, incoming: Fact, kind: str) -> Fact:
+        if node.stmt is None:
+            return incoming
+        if kind == EXCEPTION:
+            return self.exception_transfer(node.stmt, incoming)
+        return self.transfer(node.stmt, incoming)

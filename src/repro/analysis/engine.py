@@ -1,17 +1,26 @@
-"""The analysis engine: parse once, run scoped rules, filter, report.
+"""The analysis engine: parse once, cache per file, run scoped rules.
 
 Flow per run:
 
 1. Collect ``.py`` files (explicit files verbatim, directories walked
-   recursively, ``__pycache__``/hidden dirs skipped) and parse each once
-   into a :class:`ParsedModule` carrying the AST, source lines, the
-   import-alias map, and the file's inline suppressions.
-2. For each registered rule, run ``check_module`` over the modules its
-   path scope covers, then ``finalize`` with all covered modules (this
-   is where the project-wide lock graph lives).
-3. Drop findings silenced by a same-line suppression, then findings
+   recursively, ``__pycache__``/hidden dirs skipped).
+2. For each file, consult the content-hash cache. A hit replays the
+   stored per-module findings, suppressions and
+   :class:`~repro.analysis.summaries.ModuleSummary` without parsing; a
+   miss parses the file into a :class:`ParsedModule` (AST, source lines,
+   import-alias map, inline suppressions), runs every covered rule's
+   ``check_module``, builds the summary, and stores the entry.
+3. Run the interprocedural phase: each rule's optional
+   ``project(summaries, config)`` hook over the summaries its path scope
+   covers. This phase is recomputed every run — it is cheap relative to
+   parsing, and recomputing it is what keeps cross-module findings
+   correct when only one file of a call chain changed. (The legacy
+   ``finalize(modules, config)`` hook still runs, but only over the
+   modules parsed *this* run — rules needing project state must use
+   ``project``.)
+4. Drop findings silenced by a same-line suppression, then findings
    absorbed by the committed baseline.
-4. Emit SRN000 meta findings: parse errors, malformed or unused
+5. Emit SRN000 meta findings: parse errors, malformed or unused
    suppressions, unused baseline entries.
 """
 
@@ -24,16 +33,18 @@ from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
 from repro.analysis.baseline import Baseline
+from repro.analysis.cache import CacheEntry, SummaryCache, content_hash, run_fingerprint
 from repro.analysis.config import AnalysisConfig
 from repro.analysis.diagnostics import META_RULE, Diagnostic
 from repro.analysis.registry import all_rules
+from repro.analysis.summaries import ModuleSummary, build_module_summary
 from repro.analysis.suppress import (
     Suppression,
     scan_suppressions,
     unused_suppression_findings,
 )
 
-REPORT_VERSION = 1
+REPORT_VERSION = 2
 
 
 @dataclass
@@ -81,6 +92,10 @@ class AnalysisReport:
     rules: list[str]
     #: findings after suppression but before baselining (--update-baseline).
     raw_findings: list[Diagnostic] = field(default_factory=list)
+    #: files parsed and rule-checked this run (cache misses + cold files).
+    analyzed: int = 0
+    #: files replayed from the content-hash cache.
+    cached: int = 0
 
     @property
     def clean(self) -> bool:
@@ -90,7 +105,8 @@ class AnalysisReport:
         lines = [finding.render() for finding in self.findings]
         lines.append(
             f"{len(self.findings)} finding(s) in {self.files} file(s) "
-            f"({self.suppressed} suppressed, {self.baselined} baselined)"
+            f"({self.analyzed} analyzed, {self.cached} cached, "
+            f"{self.suppressed} suppressed, {self.baselined} baselined)"
         )
         return "\n".join(lines)
 
@@ -104,10 +120,17 @@ class AnalysisReport:
                 "suppressed": self.suppressed,
                 "baselined": self.baselined,
                 "files": self.files,
+                "analyzed": self.analyzed,
+                "cached": self.cached,
             },
             "rules": self.rules,
         }
         return json.dumps(payload, indent=2, sort_keys=True)
+
+    def render_sarif(self) -> str:
+        from repro.analysis.sarif import render_sarif
+
+        return render_sarif(self)
 
 
 def collect_files(paths: Sequence[str | Path], config: AnalysisConfig) -> list[Path]:
@@ -133,11 +156,12 @@ def collect_files(paths: Sequence[str | Path], config: AnalysisConfig) -> list[P
 
 
 def parse_module(
-    path: Path, config: AnalysisConfig
+    path: Path, config: AnalysisConfig, source: str | None = None
 ) -> tuple[ParsedModule | None, list[Diagnostic]]:
     """Parse one file; on syntax error return a meta finding instead."""
     relpath = config.relpath(path)
-    source = path.read_text(encoding="utf-8")
+    if source is None:
+        source = path.read_text(encoding="utf-8")
     source_lines = source.splitlines()
     suppressions, problems = scan_suppressions(relpath, source_lines)
     try:
@@ -188,33 +212,94 @@ def analyze_paths(
     config: AnalysisConfig,
     *,
     use_baseline: bool = True,
+    use_cache: bool = True,
 ) -> AnalysisReport:
     """Run every registered rule over ``paths`` and build the report."""
     files = collect_files(paths, config)
-    meta: list[Diagnostic] = []
-    modules: list[ParsedModule] = []
-    for path in files:
-        module, problems = parse_module(path, config)
-        meta.extend(problems)
-        if module is not None:
-            modules.append(module)
-
     rules = [cls() for cls in all_rules()]
+
+    cache: SummaryCache | None = None
+    cache_dir = config.cache_dir()
+    if use_cache and cache_dir is not None:
+        cache = SummaryCache(
+            cache_dir,
+            run_fingerprint(
+                [rule.rule_id for rule in rules],
+                config.fingerprint_payload(),
+                REPORT_VERSION,
+            ),
+        )
+
+    meta: list[Diagnostic] = []
     raw: list[Diagnostic] = []
+    modules: list[ParsedModule] = []  # parsed this run (cache misses)
+    summaries: list[ModuleSummary] = []  # every file, cached or fresh
+    suppressions_by_path: dict[str, list[Suppression]] = {}
+    analyzed = 0
+    cached = 0
+
+    for path in files:
+        relpath = config.relpath(path)
+        source = path.read_text(encoding="utf-8")
+        file_hash = content_hash(source.encode("utf-8"))
+        if cache is not None:
+            entry = cache.load(relpath, file_hash)
+            if entry is not None:
+                raw.extend(entry.findings)
+                meta.extend(entry.problems)
+                summaries.append(entry.summary)
+                suppressions_by_path[relpath] = entry.suppressions
+                cached += 1
+                continue
+        module, problems = parse_module(path, config, source)
+        analyzed += 1
+        meta.extend(problems)
+        file_findings: list[Diagnostic] = []
+        suppressions: list[Suppression] = []
+        if module is None:
+            summary = ModuleSummary(relpath=relpath, module_name=None)
+        else:
+            modules.append(module)
+            suppressions = module.suppressions
+            summary = build_module_summary(module)
+            for rule in rules:
+                if config.rule_applies(rule.rule_id, relpath):
+                    file_findings.extend(rule.check_module(module, config))
+        summaries.append(summary)
+        suppressions_by_path[relpath] = suppressions
+        raw.extend(file_findings)
+        if cache is not None:
+            cache.store(
+                CacheEntry(
+                    relpath=relpath,
+                    findings=file_findings,
+                    problems=problems,
+                    suppressions=suppressions,
+                    summary=summary,
+                ),
+                file_hash,
+            )
+
+    # Interprocedural phase — always recomputed from summaries.
     for rule in rules:
-        covered = [
-            module
-            for module in modules
-            if config.rule_applies(rule.rule_id, module.relpath)
-        ]
-        for module in covered:
-            raw.extend(rule.check_module(module, config))
+        project = getattr(rule, "project", None)
+        if project is not None:
+            covered_summaries = [
+                summary
+                for summary in summaries
+                if config.rule_applies(rule.rule_id, summary.relpath)
+            ]
+            raw.extend(project(covered_summaries, config))
         finalize = getattr(rule, "finalize", None)
         if finalize is not None:
+            covered = [
+                module
+                for module in modules
+                if config.rule_applies(rule.rule_id, module.relpath)
+            ]
             raw.extend(finalize(covered, config))
 
-    by_path = {module.relpath: module for module in modules}
-    survived, suppressed = _apply_suppressions(raw, by_path)
+    survived, suppressed = _apply_suppressions(raw, suppressions_by_path)
     unbaselined = sorted(survived)
 
     baselined = 0
@@ -226,8 +311,8 @@ def analyze_paths(
         survived, baselined, unused_entries = baseline.apply(survived)
         meta.extend(unused_entries)
 
-    for module in modules:
-        meta.extend(unused_suppression_findings(module.relpath, module.suppressions))
+    for relpath, suppressions in suppressions_by_path.items():
+        meta.extend(unused_suppression_findings(relpath, suppressions))
 
     findings = sorted(survived + meta)
     return AnalysisReport(
@@ -237,19 +322,22 @@ def analyze_paths(
         files=len(files),
         rules=[rule.rule_id for rule in rules],
         raw_findings=unbaselined,
+        analyzed=analyzed,
+        cached=cached,
     )
 
 
 def _apply_suppressions(
-    findings: Iterable[Diagnostic], by_path: dict[str, ParsedModule]
+    findings: Iterable[Diagnostic],
+    suppressions_by_path: dict[str, list[Suppression]],
 ) -> tuple[list[Diagnostic], int]:
     survived: list[Diagnostic] = []
     suppressed = 0
     for finding in findings:
-        module = by_path.get(finding.path)
+        suppressions = suppressions_by_path.get(finding.path)
         suppression = (
-            _suppression_on_line(module.suppressions, finding.line)
-            if module is not None
+            _suppression_on_line(suppressions, finding.line)
+            if suppressions is not None
             else None
         )
         if (

@@ -2,9 +2,15 @@
 
 A rule is a class with ``rule_id``/``name``/``rationale`` attributes and
 a ``check_module`` method; rules that need a whole-project view (the
-lock-acquisition graph) also implement ``finalize``. Registration is a
-decorator so adding a rule is: write the class, decorate it, import the
-module from :mod:`repro.analysis.rules`.
+call graph, the lock-acquisition graph) also implement ``project``,
+which receives the cached-or-fresh module summaries and is recomputed
+every run. Registration is a decorator so adding a rule is: write the
+class, decorate it, import the module from :mod:`repro.analysis.rules`.
+
+The legacy ``finalize`` hook (parsed modules instead of summaries) still
+exists but only sees the modules parsed *this* run — under the warm
+cache that is a subset of the project, so project-wide logic belongs in
+``project``.
 """
 
 from __future__ import annotations
@@ -16,6 +22,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from repro.analysis.config import AnalysisConfig
     from repro.analysis.diagnostics import Diagnostic
     from repro.analysis.engine import ParsedModule
+    from repro.analysis.summaries import ModuleSummary
 
 RULE_ID_RE = re.compile(r"^SRN\d{3}$")
 
@@ -33,10 +40,16 @@ class Rule(Protocol):
         """Yield findings for one parsed module."""
         ...  # pragma: no cover - protocol
 
+    def project(
+        self, summaries: "list[ModuleSummary]", config: "AnalysisConfig"
+    ) -> Iterator["Diagnostic"]:
+        """Yield interprocedural findings from module summaries (optional)."""
+        ...  # pragma: no cover - protocol
+
     def finalize(
         self, modules: "Iterable[ParsedModule]", config: "AnalysisConfig"
     ) -> Iterator["Diagnostic"]:
-        """Yield findings that need the whole project (optional)."""
+        """Legacy whole-project hook; sees only freshly parsed modules."""
         ...  # pragma: no cover - protocol
 
 

@@ -6,6 +6,10 @@ from repro.analysis.rules import (  # noqa: F401  (import = registration)
     srn003_deadline,
     srn004_locks,
     srn005_exceptions,
+    srn006_buffers,
+    srn007_deadline_flow,
+    srn008_escape,
+    srn009_resources,
 )
 
 __all__ = [
@@ -14,4 +18,8 @@ __all__ = [
     "srn003_deadline",
     "srn004_locks",
     "srn005_exceptions",
+    "srn006_buffers",
+    "srn007_deadline_flow",
+    "srn008_escape",
+    "srn009_resources",
 ]

@@ -22,27 +22,14 @@ from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.analysis.diagnostics import Diagnostic
 from repro.analysis.registry import register
+from repro.analysis.summaries import BLOCKING_NAMES
 
 if TYPE_CHECKING:
     from repro.analysis.config import AnalysisConfig
     from repro.analysis.engine import ParsedModule
 
-#: method/function names that can block long enough to matter inside a loop.
-_BLOCKING_NAMES = frozenset(
-    {
-        "recommend",
-        "recommend_batch",
-        "handle",
-        "result",
-        "submit",
-        "sleep",
-        "join",
-        "wait",
-        "acquire",
-        "fit",
-        "run",
-    }
-)
+#: shared with the interprocedural may-block fixpoint (SRN007).
+_BLOCKING_NAMES = BLOCKING_NAMES
 
 _FunctionDef = (ast.FunctionDef, ast.AsyncFunctionDef)
 

@@ -19,173 +19,34 @@ The rule then checks, statically:
 * project-wide: a lock-acquisition graph (nodes ``Class.lock``, edges
   "acquired while holding") — a cycle is a potential deadlock, and a
   plain ``Lock`` re-acquired while held is a guaranteed one.
+
+The project-wide phase runs over the cached
+:class:`~repro.analysis.summaries.ModuleSummary` facts (acquire sites
+with held-context, alias-resolved call sites), so a warm cache rebuilds
+the acquisition graph without re-parsing anything; the class collector
+and SCC machinery this rule originally owned now live in
+:mod:`repro.analysis.symbols` and :mod:`repro.analysis.callgraph`,
+shared with the other interprocedural rules.
 """
 
 from __future__ import annotations
 
 import ast
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterable, Iterator
+from typing import TYPE_CHECKING, Iterator
 
+from repro.analysis.callgraph import strongly_connected
 from repro.analysis.diagnostics import Diagnostic
 from repro.analysis.registry import register
+from repro.analysis.summaries import CallFact, ClassFact, FunctionFact
+from repro.analysis.symbols import INIT_METHODS, ClassInfo, collect_class_info, self_attr
 
 if TYPE_CHECKING:
     from repro.analysis.config import AnalysisConfig
     from repro.analysis.engine import ParsedModule
+    from repro.analysis.summaries import ModuleSummary
 
-_LOCK_CONSTRUCTORS = {
-    "threading.Lock": "lock",
-    "threading.RLock": "rlock",
-    "threading.Condition": "rlock",  # Condition wraps an RLock by default
-}
-
-_INIT_METHODS = frozenset({"__init__", "__post_init__", "__enter__"})
-
-_FunctionDef = (ast.FunctionDef, ast.AsyncFunctionDef)
-
-
-@dataclass
-class ClassInfo:
-    """Everything SRN004 needs to know about one class."""
-
-    name: str
-    relpath: str
-    node: ast.ClassDef
-    lock_attrs: set[str] = field(default_factory=set)
-    rlock_attrs: set[str] = field(default_factory=set)
-    #: attribute -> lock attribute guarding it (from @guarded_by).
-    guarded: dict[str, str] = field(default_factory=dict)
-    #: method name -> lock attrs the caller must hold (from @holds_lock).
-    holds: dict[str, set[str]] = field(default_factory=dict)
-    methods: dict[str, ast.FunctionDef] = field(default_factory=dict)
-    #: attribute -> class name, inferred from ``self.x = ClassName(...)``.
-    attr_types: dict[str, str] = field(default_factory=dict)
-
-    @property
-    def all_locks(self) -> set[str]:
-        return self.lock_attrs | self.rlock_attrs
-
-    def lock_node(self, lock_attr: str) -> str:
-        return f"{self.name}.{lock_attr}"
-
-
-def _self_attr(node: ast.AST) -> str | None:
-    """``self.X`` -> ``"X"``; anything else -> ``None``."""
-    if (
-        isinstance(node, ast.Attribute)
-        and isinstance(node.value, ast.Name)
-        and node.value.id == "self"
-    ):
-        return node.attr
-    return None
-
-
-def _string_args(call: ast.Call) -> list[str]:
-    return [
-        arg.value
-        for arg in call.args
-        if isinstance(arg, ast.Constant) and isinstance(arg.value, str)
-    ]
-
-
-def _decorator_call(node: ast.expr, name: str) -> ast.Call | None:
-    if isinstance(node, ast.Call):
-        func = node.func
-        if isinstance(func, ast.Name) and func.id == name:
-            return node
-        if isinstance(func, ast.Attribute) and func.attr == name:
-            return node
-    return None
-
-
-def collect_class_info(module: "ParsedModule") -> list[ClassInfo]:
-    infos: list[ClassInfo] = []
-    for node in ast.walk(module.tree):
-        if not isinstance(node, ast.ClassDef):
-            continue
-        info = ClassInfo(name=node.name, relpath=module.relpath, node=node)
-        for decorator in node.decorator_list:
-            call = _decorator_call(decorator, "guarded_by")
-            if call is not None:
-                names = _string_args(call)
-                if names:
-                    lock_attr, *attrs = names
-                    for attr in attrs:
-                        info.guarded[attr] = lock_attr
-        for item in node.body:
-            if not isinstance(item, _FunctionDef):
-                continue
-            info.methods[item.name] = item
-            for decorator in item.decorator_list:
-                call = _decorator_call(decorator, "holds_lock")
-                if call is not None:
-                    info.holds.setdefault(item.name, set()).update(
-                        _string_args(call)
-                    )
-            param_types: dict[str, str] = {}
-            if item.name == "__init__":
-                for arg in [*item.args.posonlyargs, *item.args.args]:
-                    leaf = _annotation_class(arg.annotation)
-                    if leaf is not None:
-                        param_types[arg.arg] = leaf
-            for stmt in ast.walk(item):
-                targets: list[ast.expr]
-                value: ast.expr | None
-                if isinstance(stmt, ast.Assign):
-                    targets, value = stmt.targets, stmt.value
-                elif isinstance(stmt, ast.AnnAssign):
-                    targets, value = [stmt.target], stmt.value
-                else:
-                    continue
-                annotated = (
-                    _annotation_class(stmt.annotation)
-                    if isinstance(stmt, ast.AnnAssign)
-                    else None
-                )
-                for target in targets:
-                    attr = _self_attr(target)
-                    if attr is None:
-                        continue
-                    if isinstance(value, ast.Call):
-                        qualified = module.qualified_name(value.func)
-                        kind = _LOCK_CONSTRUCTORS.get(qualified or "")
-                        if kind == "lock":
-                            info.lock_attrs.add(attr)
-                            continue
-                        if kind == "rlock":
-                            info.rlock_attrs.add(attr)
-                            continue
-                        if qualified is not None and item.name == "__init__":
-                            leaf = qualified.rsplit(".", 1)[-1]
-                            if leaf[:1].isupper():
-                                info.attr_types[attr] = leaf
-                                continue
-                    if item.name != "__init__":
-                        continue
-                    if annotated is not None:
-                        info.attr_types.setdefault(attr, annotated)
-                    elif isinstance(value, ast.Name) and value.id in param_types:
-                        info.attr_types.setdefault(attr, param_types[value.id])
-        infos.append(info)
-    return infos
-
-
-def _annotation_class(annotation: ast.expr | None) -> str | None:
-    """Class name from a simple annotation (``B``, ``mod.B``, ``"B"``)."""
-    if annotation is None:
-        return None
-    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
-        leaf = annotation.value.strip().rsplit(".", 1)[-1]
-    elif isinstance(annotation, ast.Name):
-        leaf = annotation.id
-    elif isinstance(annotation, ast.Attribute):
-        leaf = annotation.attr
-    else:
-        return None
-    if leaf[:1].isupper() and leaf.isidentifier():
-        return leaf
-    return None
+#: (acquisition site file, line) — dedup/reporting key for graph edges.
+_Site = tuple[str, int]
 
 
 @register
@@ -248,7 +109,7 @@ class LockDisciplineRule:
         if isinstance(node, (ast.With, ast.AsyncWith)):
             acquired = set(held)
             for item in node.items:
-                attr = _self_attr(item.context_expr)
+                attr = self_attr(item.context_expr)
                 if attr is not None and attr in info.all_locks:
                     acquired = acquired | {attr}
                 yield from self._check_expr(
@@ -271,8 +132,8 @@ class LockDisciplineRule:
         node: ast.AST,
         held: set[str],
     ) -> Iterator[Diagnostic]:
-        in_init = method_name in _INIT_METHODS
-        attr = _self_attr(node)
+        in_init = method_name in INIT_METHODS
+        attr = self_attr(node)
         if attr is not None and isinstance(node, ast.Attribute):
             lock = info.guarded.get(attr)
             if lock is not None and not in_init and lock not in held:
@@ -302,7 +163,7 @@ class LockDisciplineRule:
                     "it only during construction",
                 )
         if isinstance(node, ast.Call):
-            callee = _self_attr(node.func)
+            callee = self_attr(node.func)
             if callee is not None and callee in info.holds and not in_init:
                 missing = info.holds[callee] - held
                 if missing:
@@ -315,33 +176,69 @@ class LockDisciplineRule:
                         f"without holding {sorted(missing)!r}",
                     )
 
-    # -- project-wide lock graph ---------------------------------------------
+    # -- project-wide lock graph (from summaries) -----------------------------
 
-    def finalize(
-        self, modules: "Iterable[ParsedModule]", config: "AnalysisConfig"
+    def project(
+        self, summaries: "list[ModuleSummary]", config: "AnalysisConfig"
     ) -> Iterator[Diagnostic]:
-        classes: dict[str, ClassInfo] = {}
-        class_modules: dict[str, "ParsedModule"] = {}
-        for module in modules:
-            for info in collect_class_info(module):
-                classes[info.name] = info
-                class_modules[info.name] = module
+        #: class name -> (relpath, fact); later definitions win the name
+        #: but keep their first insertion position (dict semantics), which
+        #: keeps report order stable.
+        classes: dict[str, tuple[str, ClassFact]] = {}
+        functions: dict[tuple[str, str], FunctionFact] = {}
+        for summary in summaries:
+            for cls in summary.classes:
+                classes[cls.name] = (summary.relpath, cls)
+            for func in summary.functions:
+                functions[(summary.relpath, func.qualname)] = func
 
-        # What each (class, method) acquires, transitively (fixpoint).
+        def method_fact(
+            relpath: str, cls_name: str, method: str
+        ) -> FunctionFact | None:
+            return functions.get((relpath, f"{cls_name}.{method}"))
+
+        def resolve(cls: ClassFact, call: CallFact) -> tuple[str, str] | None:
+            """``self.m()`` / ``self.attr.m()`` -> (class, method)."""
+            if call.kind == "self":
+                if call.method in cls.methods:
+                    return (cls.name, call.method)
+                return None
+            if call.kind == "attr" and call.attr is not None:
+                type_name = cls.attr_types.get(call.attr)
+                if type_name is not None and type_name in classes:
+                    if call.method in classes[type_name][1].methods:
+                        return (type_name, call.method)
+            return None
+
+        # What each (class, method) acquires directly, plus call edges for
+        # the transitive fixpoint.
         direct: dict[tuple[str, str], set[str]] = {}
         calls: dict[tuple[str, str], list[tuple[str, str]]] = {}
-        edges: dict[tuple[str, str], tuple[str, int]] = {}
-        self_edges: dict[str, tuple[str, int]] = {}
+        edges: dict[tuple[str, str], _Site] = {}
+        self_edges: dict[str, _Site] = {}
 
-        for info in classes.values():
-            for method_name, method in info.methods.items():
-                key = (info.name, method_name)
+        for cls_name, (relpath, cls) in classes.items():
+            for method_name in cls.methods:
+                fact = method_fact(relpath, cls_name, method_name)
+                if fact is None:
+                    continue
+                key = (cls_name, method_name)
                 direct[key] = set()
                 calls[key] = []
-                self._scan_graph(
-                    info, classes, method.body, set(), key, direct, calls,
-                    edges, self_edges,
-                )
+                for acquire in fact.acquires:
+                    node_id = cls.lock_node(acquire.lock)
+                    direct[key].add(node_id)
+                    site = (relpath, acquire.line)
+                    if acquire.lock in acquire.held:
+                        self_edges.setdefault(node_id, site)
+                    for holder in sorted(acquire.held):
+                        edge = (cls.lock_node(holder), node_id)
+                        if edge[0] != edge[1]:
+                            edges.setdefault(edge, site)
+                for call in fact.calls:
+                    callee = resolve(cls, call)
+                    if callee is not None:
+                        calls[key].append(callee)
 
         acquires = dict(direct)
         changed = True
@@ -355,173 +252,41 @@ class LockDisciplineRule:
                         changed = True
 
         # Call-mediated edges: holding H, calling something that acquires L.
-        for info in classes.values():
-            for method_name, method in info.methods.items():
-                key = (info.name, method_name)
-                self._scan_call_edges(
-                    info, classes, method.body,
-                    set(info.holds.get(method_name, ())),
-                    acquires, edges, self_edges,
-                )
+        for cls_name, (relpath, cls) in classes.items():
+            rlocks = set(cls.rlock_attrs)
+            for method_name in cls.methods:
+                fact = method_fact(relpath, cls_name, method_name)
+                if fact is None:
+                    continue
+                for call in fact.calls:
+                    if not call.held:
+                        continue
+                    callee = resolve(cls, call)
+                    if callee is None:
+                        continue
+                    site = (relpath, call.line)
+                    for target in sorted(acquires.get(callee, set())):
+                        for holder in call.held:
+                            holder_id = cls.lock_node(holder)
+                            if holder_id == target:
+                                # Re-entry through a call chain; RLocks are fine.
+                                if holder not in rlocks:
+                                    self_edges.setdefault(target, site)
+                            else:
+                                edges.setdefault((holder_id, target), site)
 
         yield from self._report_self_edges(classes, self_edges)
         yield from self._report_cycles(edges)
 
-    def _lock_nodes(self, info: ClassInfo, held: set[str]) -> set[str]:
-        return {info.lock_node(attr) for attr in held}
-
-    def _scan_graph(
-        self,
-        info: ClassInfo,
-        classes: dict[str, ClassInfo],
-        stmts: list[ast.stmt],
-        held: set[str],
-        key: tuple[str, str],
-        direct: dict[tuple[str, str], set[str]],
-        calls: dict[tuple[str, str], list[tuple[str, str]]],
-        edges: dict[tuple[str, str], tuple[str, int]],
-        self_edges: dict[str, tuple[str, int]],
-    ) -> None:
-        for stmt in stmts:
-            self._scan_graph_node(
-                info, classes, stmt, held, key, direct, calls, edges, self_edges
-            )
-
-    def _scan_graph_node(
-        self,
-        info: ClassInfo,
-        classes: dict[str, ClassInfo],
-        node: ast.AST,
-        held: set[str],
-        key: tuple[str, str],
-        direct: dict[tuple[str, str], set[str]],
-        calls: dict[tuple[str, str], list[tuple[str, str]]],
-        edges: dict[tuple[str, str], tuple[str, int]],
-        self_edges: dict[str, tuple[str, int]],
-    ) -> None:
-        if isinstance(node, (ast.With, ast.AsyncWith)):
-            acquired = set(held)
-            for item in node.items:
-                attr = _self_attr(item.context_expr)
-                if attr is not None and attr in info.all_locks:
-                    node_id = info.lock_node(attr)
-                    direct[key].add(node_id)
-                    site = (info.relpath, item.context_expr.lineno)
-                    if attr in held:
-                        self_edges.setdefault(node_id, site)
-                    for holder in held:
-                        edge = (info.lock_node(holder), node_id)
-                        if edge[0] != edge[1]:
-                            edges.setdefault(edge, site)
-                    acquired.add(attr)
-            for stmt in node.body:
-                self._scan_graph_node(
-                    info, classes, stmt, acquired, key, direct, calls,
-                    edges, self_edges,
-                )
-            return
-        callee = self._resolve_call(info, classes, node)
-        if callee is not None:
-            calls[key].append(callee)
-        for child in ast.iter_child_nodes(node):
-            self._scan_graph_node(
-                info, classes, child, held, key, direct, calls, edges,
-                self_edges,
-            )
-
-    def _scan_call_edges(
-        self,
-        info: ClassInfo,
-        classes: dict[str, ClassInfo],
-        stmts: list[ast.stmt],
-        held: set[str],
-        acquires: dict[tuple[str, str], set[str]],
-        edges: dict[tuple[str, str], tuple[str, int]],
-        self_edges: dict[str, tuple[str, int]],
-    ) -> None:
-        for stmt in stmts:
-            self._scan_call_edges_node(
-                info, classes, stmt, held, acquires, edges, self_edges
-            )
-
-    def _scan_call_edges_node(
-        self,
-        info: ClassInfo,
-        classes: dict[str, ClassInfo],
-        node: ast.AST,
-        held: set[str],
-        acquires: dict[tuple[str, str], set[str]],
-        edges: dict[tuple[str, str], tuple[str, int]],
-        self_edges: dict[str, tuple[str, int]],
-    ) -> None:
-        if isinstance(node, (ast.With, ast.AsyncWith)):
-            acquired = set(held)
-            for item in node.items:
-                attr = _self_attr(item.context_expr)
-                if attr is not None and attr in info.all_locks:
-                    acquired.add(attr)
-            for stmt in node.body:
-                self._scan_call_edges_node(
-                    info, classes, stmt, acquired, acquires, edges, self_edges
-                )
-            return
-        if held:
-            callee = self._resolve_call(info, classes, node)
-            if callee is not None and isinstance(node, ast.Call):
-                site = (info.relpath, node.lineno)
-                callee_class = classes.get(callee[0])
-                reentrant_ok = (
-                    callee_class.rlock_attrs if callee_class else set()
-                )
-                for target in acquires.get(callee, set()):
-                    for holder in held:
-                        holder_id = info.lock_node(holder)
-                        if holder_id == target:
-                            # Re-entry through a call chain; RLocks are fine.
-                            if holder not in info.rlock_attrs:
-                                self_edges.setdefault(target, site)
-                        else:
-                            edges.setdefault((holder_id, target), site)
-                del reentrant_ok
-        for child in ast.iter_child_nodes(node):
-            self._scan_call_edges_node(
-                info, classes, child, held, acquires, edges, self_edges
-            )
-
-    def _resolve_call(
-        self,
-        info: ClassInfo,
-        classes: dict[str, ClassInfo],
-        node: ast.AST,
-    ) -> tuple[str, str] | None:
-        """``self.m()`` / ``self.attr.m()`` -> (class name, method name)."""
-        if not isinstance(node, ast.Call):
-            return None
-        func = node.func
-        if not isinstance(func, ast.Attribute):
-            return None
-        owner = func.value
-        attr = _self_attr(owner)
-        if isinstance(owner, ast.Name) and owner.id == "self":
-            if func.attr in info.methods:
-                return (info.name, func.attr)
-            return None
-        if attr is not None:
-            type_name = info.attr_types.get(attr)
-            if type_name is not None and type_name in classes:
-                if func.attr in classes[type_name].methods:
-                    return (type_name, func.attr)
-        return None
-
     def _report_self_edges(
         self,
-        classes: dict[str, ClassInfo],
-        self_edges: dict[str, tuple[str, int]],
+        classes: dict[str, tuple[str, ClassFact]],
+        self_edges: dict[str, _Site],
     ) -> Iterator[Diagnostic]:
         for node_id, (relpath, lineno) in sorted(self_edges.items()):
             class_name, _, lock_attr = node_id.partition(".")
-            info = classes.get(class_name)
-            if info is not None and lock_attr in info.rlock_attrs:
+            entry = classes.get(class_name)
+            if entry is not None and lock_attr in entry[1].rlock_attrs:
                 continue  # RLock re-entry is legal
             yield Diagnostic(
                 relpath,
@@ -533,13 +298,13 @@ class LockDisciplineRule:
             )
 
     def _report_cycles(
-        self, edges: dict[tuple[str, str], tuple[str, int]]
+        self, edges: dict[tuple[str, str], _Site]
     ) -> Iterator[Diagnostic]:
         graph: dict[str, set[str]] = {}
         for src, dst in edges:
             graph.setdefault(src, set()).add(dst)
             graph.setdefault(dst, set())
-        for component in _strongly_connected(graph):
+        for component in strongly_connected(graph):
             if len(component) < 2:
                 continue
             members = sorted(component)
@@ -557,52 +322,3 @@ class LockDisciplineRule:
                 "lock-ordering cycle (potential deadlock): "
                 + " -> ".join([*members, members[0]]),
             )
-
-
-def _strongly_connected(graph: dict[str, set[str]]) -> list[set[str]]:
-    """Tarjan's SCC, iterative, deterministic order."""
-    index: dict[str, int] = {}
-    lowlink: dict[str, int] = {}
-    on_stack: set[str] = set()
-    stack: list[str] = []
-    result: list[set[str]] = []
-    counter = 0
-
-    for start in sorted(graph):
-        if start in index:
-            continue
-        work: list[tuple[str, Iterator[str]]] = [(start, iter(sorted(graph[start])))]
-        index[start] = lowlink[start] = counter
-        counter += 1
-        stack.append(start)
-        on_stack.add(start)
-        while work:
-            node, children = work[-1]
-            advanced = False
-            for child in children:
-                if child not in index:
-                    index[child] = lowlink[child] = counter
-                    counter += 1
-                    stack.append(child)
-                    on_stack.add(child)
-                    work.append((child, iter(sorted(graph[child]))))
-                    advanced = True
-                    break
-                if child in on_stack:
-                    lowlink[node] = min(lowlink[node], index[child])
-            if advanced:
-                continue
-            work.pop()
-            if work:
-                parent = work[-1][0]
-                lowlink[parent] = min(lowlink[parent], lowlink[node])
-            if lowlink[node] == index[node]:
-                component: set[str] = set()
-                while True:
-                    member = stack.pop()
-                    on_stack.discard(member)
-                    component.add(member)
-                    if member == node:
-                        break
-                result.append(component)
-    return result

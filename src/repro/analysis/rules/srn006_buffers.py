@@ -1,0 +1,307 @@
+"""SRN006: columnar buffer contracts.
+
+The vectorized scorer's speed rests on three properties of the columnar
+index arrays: pinned dtypes (``int64``/``float64``), C-contiguity, and
+immutability after construction — the serving path shares one
+:class:`ColumnarSessionIndex` across pods without locks precisely
+because nothing writes to it. Classes declare the contract with
+:func:`repro.core.contracts.frozen_buffers`::
+
+    @frozen_buffers("item_ids", "posting_sessions", ...)
+    class ColumnarSessionIndex: ...
+
+The rule checks, per declared buffer attribute:
+
+* no store, subscript store, augmented assignment, or in-place mutator
+  call (``resize``/``sort``/``fill``/``put``/``partition``/``setflags``)
+  after construction — construction being ``__init__``/``__post_init__``
+  plus the private helper methods they (transitively) call on ``self``;
+* construction assigns the buffer through a dtype-pinning conversion:
+  ``np.asarray``/``np.array``/``np.ascontiguousarray`` without an
+  explicit ``dtype`` inherit whatever the caller passed — on the hot
+  path that silently turns an ``int32`` list into an object array and a
+  20x slowdown. ``np.ascontiguousarray`` applied to an expression rooted
+  at an already-frozen ``self`` buffer is exempt (its dtype is pinned);
+* construction must not bind a buffer to a bare caller-supplied name:
+  ``self.ids = ids`` aliases memory the caller still owns and can
+  mutate — convert or copy it.
+
+A module-level helper used as ``self.ids = _as_int_array(ids)`` is
+followed one level deep: if every ``return`` in the helper pins a dtype
+the assignment is fine; a dtype-less conversion inside the helper is
+flagged at the assignment site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import register
+from repro.analysis.symbols import (
+    INIT_METHODS,
+    ClassInfo,
+    FunctionDefs,
+    collect_class_info,
+    self_attr,
+)
+
+if TYPE_CHECKING:
+    from repro.analysis.config import AnalysisConfig
+    from repro.analysis.engine import ParsedModule
+
+_CONVERSIONS = frozenset(
+    {"numpy.asarray", "numpy.array", "numpy.ascontiguousarray"}
+)
+_MUTATORS = frozenset(
+    {"resize", "sort", "fill", "put", "partition", "itemset", "setflags"}
+)
+
+
+def _construction_methods(info: ClassInfo) -> set[str]:
+    """``__init__``-family plus private helpers reachable via self-calls."""
+    construction = {name for name in info.methods if name in INIT_METHODS}
+    frontier = list(construction)
+    while frontier:
+        method = info.methods.get(frontier.pop())
+        if method is None:
+            continue
+        for node in ast.walk(method):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = self_attr(node.func)
+            if (
+                callee is not None
+                and callee.startswith("_")
+                and callee in info.methods
+                and callee not in construction
+            ):
+                construction.add(callee)
+                frontier.append(callee)
+    return construction
+
+
+def _has_dtype(call: ast.Call) -> bool:
+    if any(kw.arg == "dtype" for kw in call.keywords):
+        return True
+    return len(call.args) >= 2  # positional dtype
+
+
+def _rooted_at_frozen_self(node: ast.expr, frozen: tuple[str, ...]) -> bool:
+    """Is the expression built from ``self.<frozen buffer>``?"""
+    current = node
+    while isinstance(current, ast.Subscript):
+        current = current.value
+    attr = self_attr(current)
+    return attr is not None and attr in frozen
+
+
+def _module_helpers(module: "ParsedModule") -> dict[str, ast.FunctionDef]:
+    return {
+        stmt.name: stmt
+        for stmt in module.tree.body
+        if isinstance(stmt, FunctionDefs)
+    }
+
+
+@register
+class BufferContractRule:
+    rule_id = "SRN006"
+    name = "frozen-buffer-contracts"
+    rationale = (
+        "The columnar scorer assumes int64/float64 C-contiguous arrays "
+        "that never change after ColumnarSessionIndex construction; a "
+        "stray in-place write or dtype-less conversion silently breaks "
+        "lock-free sharing or falls off the vectorized fast path."
+    )
+
+    def check_module(
+        self, module: "ParsedModule", config: "AnalysisConfig"
+    ) -> Iterator[Diagnostic]:
+        helpers = _module_helpers(module)
+        for info in collect_class_info(module):
+            if not info.frozen_buffers:
+                continue
+            construction = _construction_methods(info)
+            for method_name, method in info.methods.items():
+                in_construction = method_name in construction
+                yield from self._check_method(
+                    module, info, helpers, method, in_construction
+                )
+
+    def _check_method(
+        self,
+        module: "ParsedModule",
+        info: ClassInfo,
+        helpers: dict[str, ast.FunctionDef],
+        method: ast.FunctionDef,
+        in_construction: bool,
+    ) -> Iterator[Diagnostic]:
+        for node in ast.walk(method):
+            if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    yield from self._check_store(
+                        module, info, helpers, node, target, in_construction
+                    )
+            elif isinstance(node, ast.Call):
+                yield from self._check_mutator(info, node, in_construction)
+
+    def _check_store(
+        self,
+        module: "ParsedModule",
+        info: ClassInfo,
+        helpers: dict[str, ast.FunctionDef],
+        stmt: ast.stmt,
+        target: ast.expr,
+        in_construction: bool,
+    ) -> Iterator[Diagnostic]:
+        frozen = info.frozen_buffers
+        # Subscript store: self.buf[...] = ... / self.buf[...] += ...
+        if isinstance(target, ast.Subscript) and _rooted_at_frozen_self(
+            target, frozen
+        ):
+            if not in_construction:
+                attr = self._frozen_root(target, frozen)
+                yield Diagnostic(
+                    info.relpath,
+                    target.lineno,
+                    target.col_offset,
+                    self.rule_id,
+                    f"in-place write to frozen buffer {info.name}.{attr} "
+                    "after construction; the index is shared lock-free and "
+                    "must never be mutated",
+                )
+            return
+        attr = self_attr(target)
+        if attr is None or attr not in frozen:
+            return
+        if not in_construction:
+            yield Diagnostic(
+                info.relpath,
+                target.lineno,
+                target.col_offset,
+                self.rule_id,
+                f"frozen buffer {info.name}.{attr} reassigned after "
+                "construction; @frozen_buffers attributes are "
+                "write-once in __init__",
+            )
+            return
+        value = getattr(stmt, "value", None)
+        if value is None or isinstance(stmt, ast.AugAssign):
+            return
+        yield from self._check_construction_value(
+            module, info, helpers, attr, value
+        )
+
+    def _frozen_root(
+        self, node: ast.expr, frozen: tuple[str, ...]
+    ) -> str | None:
+        current = node
+        while isinstance(current, ast.Subscript):
+            current = current.value
+        return self_attr(current)
+
+    def _check_construction_value(
+        self,
+        module: "ParsedModule",
+        info: ClassInfo,
+        helpers: dict[str, ast.FunctionDef],
+        attr: str,
+        value: ast.expr,
+    ) -> Iterator[Diagnostic]:
+        if isinstance(value, ast.Name):
+            yield Diagnostic(
+                info.relpath,
+                value.lineno,
+                value.col_offset,
+                self.rule_id,
+                f"frozen buffer {info.name}.{attr} aliases the "
+                f"caller-owned name {value.id!r}; convert it "
+                "(np.ascontiguousarray(..., dtype=...)) so later caller "
+                "mutations cannot reach the shared index",
+            )
+            return
+        if not isinstance(value, ast.Call):
+            return
+        qualified = module.qualified_name(value.func)
+        if qualified in _CONVERSIONS:
+            yield from self._check_conversion(
+                module, info, attr, value, qualified
+            )
+            return
+        # One level of module-helper return flow.
+        if isinstance(value.func, ast.Name):
+            helper = helpers.get(value.func.id)
+            if helper is None:
+                return
+            for node in ast.walk(helper):
+                if not isinstance(node, ast.Return) or node.value is None:
+                    continue
+                returned = node.value
+                if not isinstance(returned, ast.Call):
+                    continue
+                returned_qual = module.qualified_name(returned.func)
+                if returned_qual in _CONVERSIONS and not _has_dtype(returned):
+                    yield Diagnostic(
+                        info.relpath,
+                        value.lineno,
+                        value.col_offset,
+                        self.rule_id,
+                        f"frozen buffer {info.name}.{attr} built by "
+                        f"{value.func.id}() whose "
+                        f"{returned_qual.rsplit('.', 1)[-1]} return has no "
+                        "explicit dtype; pin int64/float64 so the hot path "
+                        "never sees a surprise dtype",
+                    )
+
+    def _check_conversion(
+        self,
+        module: "ParsedModule",
+        info: ClassInfo,
+        attr: str,
+        call: ast.Call,
+        qualified: str,
+    ) -> Iterator[Diagnostic]:
+        if _has_dtype(call):
+            return
+        if (
+            qualified == "numpy.ascontiguousarray"
+            and call.args
+            and _rooted_at_frozen_self(call.args[0], info.frozen_buffers)
+        ):
+            return  # re-layout of an already-pinned frozen buffer
+        yield Diagnostic(
+            info.relpath,
+            call.lineno,
+            call.col_offset,
+            self.rule_id,
+            f"frozen buffer {info.name}.{attr} assigned from dtype-less "
+            f"{qualified.rsplit('.', 1)[-1]}(); pin dtype=np.int64/np.float64 "
+            "explicitly — inherited dtypes fall off the vectorized path",
+        )
+
+    def _check_mutator(
+        self, info: ClassInfo, call: ast.Call, in_construction: bool
+    ) -> Iterator[Diagnostic]:
+        if in_construction:
+            return
+        func = call.func
+        if not isinstance(func, ast.Attribute) or func.attr not in _MUTATORS:
+            return
+        if _rooted_at_frozen_self(func.value, info.frozen_buffers):
+            attr = self_attr(func.value) or "<buffer>"
+            yield Diagnostic(
+                info.relpath,
+                call.lineno,
+                call.col_offset,
+                self.rule_id,
+                f"in-place mutator .{func.attr}() on frozen buffer "
+                f"{info.name}.{attr} after construction; the shared index "
+                "must stay immutable",
+            )

@@ -1,0 +1,77 @@
+"""SRN007: interprocedural deadline propagation.
+
+SRN003 checks deadline hygiene *inside* one function (loops re-check,
+``.result()`` carries a timeout). What it cannot see is a deadline
+silently dropped at a call boundary: a serving entry point receives a
+:class:`~repro.core.deadline.Deadline`, calls a helper that also accepts
+one and transitively blocks — but doesn't pass it. The budget the client
+negotiated evaporates one frame down the stack, and the tail-latency SLA
+is lost where no intra-function rule can see it.
+
+This rule runs over the project call graph
+(:class:`~repro.analysis.callgraph.ProjectIndex`): for every function
+that takes a deadline, every resolved call edge to a project function
+that (a) also accepts a deadline and (b) may transitively reach a
+blocking operation must reference the caller's deadline in some
+argument. Unresolvable calls (stdlib, dynamic receivers) produce no
+edge and no finding — the rule under-approximates rather than guesses.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.callgraph import ProjectIndex
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import register
+
+if TYPE_CHECKING:
+    from repro.analysis.config import AnalysisConfig
+    from repro.analysis.engine import ParsedModule
+    from repro.analysis.summaries import ModuleSummary
+
+
+@register
+class DeadlineFlowRule:
+    rule_id = "SRN007"
+    name = "deadline-flow"
+    rationale = (
+        "A deadline that stops flowing at a call boundary silently "
+        "un-bounds every blocking operation below it; the SLA is only as "
+        "good as the deepest frame that still knows the budget."
+    )
+
+    def check_module(
+        self, module: "ParsedModule", config: "AnalysisConfig"
+    ) -> Iterator[Diagnostic]:
+        return iter(())
+
+    def project(
+        self, summaries: "list[ModuleSummary]", config: "AnalysisConfig"
+    ) -> Iterator[Diagnostic]:
+        index = ProjectIndex(summaries)
+        blocking = index.may_block()
+        for summary in summaries:
+            for func in summary.functions:
+                if func.deadline_param is None:
+                    continue
+                for call in func.calls:
+                    if call.passes_deadline:
+                        continue
+                    callee_ref = index.resolve(summary, func, call)
+                    if callee_ref is None or callee_ref not in blocking:
+                        continue
+                    callee = index.functions[callee_ref]
+                    if callee.deadline_param is None:
+                        continue
+                    yield Diagnostic(
+                        summary.relpath,
+                        call.line,
+                        call.col,
+                        self.rule_id,
+                        f"{func.qualname} holds deadline "
+                        f"{func.deadline_param!r} but calls blocking "
+                        f"{callee.qualname} (which accepts "
+                        f"{callee.deadline_param!r}) without passing it; "
+                        "the budget stops flowing here",
+                    )

@@ -1,0 +1,255 @@
+"""SRN008: guarded state escaping its lock, and happens-before contracts.
+
+Two ways replicated-shard state corrupts without any rule in SRN004's
+reach:
+
+1. **Escape**: a ``@guarded_by`` container leaves the lock's custody —
+   returned raw, or handed to a thread/executor/replication callback.
+   Every later mutation happens outside the lock the class promised.
+   The rule flags ``return self.<guarded container>`` and passing a
+   guarded attribute into a concurrency-launch call
+   (``Thread``/``Timer``/``submit``/``map``/``apply_async``/
+   ``add_done_callback``/...). Only *container* attributes count
+   (inferred from their ``__init__`` initializer: ``{}``/``[]``/
+   ``set()``/``dict()``/``defaultdict``/``deque``/``OrderedDict``) —
+   returning a guarded int is a value copy, not an escape.
+
+2. **Ordering**: the ring's correctness leans on happens-before edges
+   (WAL append before ack, state update before predict). A class
+   declares them with :func:`repro.core.contracts.happens_before`::
+
+       @happens_before("update_session", "predict")
+       class RingCoordinator: ...
+
+   and the rule runs a must-analysis over each method's CFG: at every
+   call of the *second* operation, a call of the *first* must have
+   completed on **all** paths from function entry (facts are sets of
+   completed call names; the join is intersection; exception edges
+   assume the call did not complete). Matching is by leaf call name, so
+   ``leader.update_session(...)`` satisfies the edge for a later
+   ``leader.predict(...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dataflow import ForwardAnalysis
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import register
+from repro.analysis.symbols import (
+    INIT_METHODS,
+    ClassInfo,
+    FunctionDefs,
+    collect_class_info,
+    self_attr,
+)
+
+if TYPE_CHECKING:
+    from repro.analysis.config import AnalysisConfig
+    from repro.analysis.engine import ParsedModule
+
+#: constructors of container types whose guarded instances must not escape.
+_CONTAINER_CALLS = frozenset(
+    {"dict", "list", "set", "defaultdict", "deque", "OrderedDict", "Counter"}
+)
+
+#: call leaf names that move their arguments onto another thread of control.
+_LAUNCH_CALLS = frozenset(
+    {
+        "Thread",
+        "Timer",
+        "submit",
+        "map",
+        "apply_async",
+        "apply",
+        "add_done_callback",
+        "call_soon",
+        "call_soon_threadsafe",
+        "run_in_executor",
+        "start_new_thread",
+    }
+)
+
+
+def _container_attrs(info: ClassInfo) -> set[str]:
+    """Guarded attributes initialized to a mutable container in __init__."""
+    init = info.methods.get("__init__")
+    if init is None:
+        return set()
+    containers: set[str] = set()
+    for stmt in ast.walk(init):
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            targets, value = [stmt.target], stmt.value
+        else:
+            continue
+        if value is None:
+            continue
+        is_container = isinstance(value, (ast.Dict, ast.List, ast.Set, ast.DictComp, ast.ListComp, ast.SetComp))
+        if isinstance(value, ast.Call):
+            func = value.func
+            leaf = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr
+                if isinstance(func, ast.Attribute)
+                else None
+            )
+            is_container = leaf in _CONTAINER_CALLS
+        if not is_container:
+            continue
+        for target in targets:
+            attr = self_attr(target)
+            if attr is not None and attr in info.guarded:
+                containers.add(attr)
+    return containers
+
+
+def _call_names(stmt: ast.stmt) -> list[str]:
+    """Leaf names of the calls *this CFG node executes*, in order.
+
+    The CFG is statement-granular, so a compound statement's body runs as
+    separate nodes — counting the whole subtree at the header would make
+    an ``else``-branch call look completed on the ``then`` path (and
+    nested ``def`` bodies look executed at definition time). Only the
+    header expressions (``if``/``while`` test, ``for`` iterable, ``with``
+    items) execute at the header node; simple statements execute whole.
+    """
+    headers: list[ast.expr]
+    if isinstance(stmt, (ast.If, ast.While)):
+        headers = [stmt.test]
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        headers = [stmt.iter]
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        headers = [item.context_expr for item in stmt.items]
+    elif isinstance(stmt, (ast.Try, *FunctionDefs, ast.ClassDef)):
+        headers = []
+    else:
+        headers = [stmt]  # type: ignore[list-item]
+    names: list[str] = []
+    for header in headers:
+        for node in ast.walk(header):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                names.append(func.attr)
+            elif isinstance(func, ast.Name):
+                names.append(func.id)
+    return names
+
+
+@register
+class SharedStateEscapeRule:
+    rule_id = "SRN008"
+    name = "shared-state-escape"
+    rationale = (
+        "A guarded container that escapes its lock is mutated unsynchronized "
+        "by whoever received it, and an acknowledged write that was not yet "
+        "logged is lost on failover; both invariants are declared on the "
+        "class and checked here against every method."
+    )
+
+    def check_module(
+        self, module: "ParsedModule", config: "AnalysisConfig"
+    ) -> Iterator[Diagnostic]:
+        for info in collect_class_info(module):
+            if info.guarded:
+                yield from self._check_escapes(info)
+            if info.ordering:
+                yield from self._check_ordering(info)
+
+    # -- escape ---------------------------------------------------------------
+
+    def _check_escapes(self, info: ClassInfo) -> Iterator[Diagnostic]:
+        containers = _container_attrs(info)
+        if not containers:
+            return
+        for method_name, method in info.methods.items():
+            if method_name in INIT_METHODS:
+                continue
+            for node in ast.walk(method):
+                if isinstance(node, ast.Return) and node.value is not None:
+                    attr = self_attr(node.value)
+                    if attr in containers:
+                        yield Diagnostic(
+                            info.relpath,
+                            node.lineno,
+                            node.col_offset,
+                            self.rule_id,
+                            f"{info.name}.{method_name} returns guarded "
+                            f"container self.{attr} by reference; the caller "
+                            "mutates it outside "
+                            f"{info.guarded[attr]!r} — return a copy",
+                        )
+                elif isinstance(node, ast.Call):
+                    yield from self._check_launch(info, containers, node)
+
+    def _check_launch(
+        self, info: ClassInfo, containers: set[str], call: ast.Call
+    ) -> Iterator[Diagnostic]:
+        func = call.func
+        leaf = (
+            func.attr
+            if isinstance(func, ast.Attribute)
+            else func.id
+            if isinstance(func, ast.Name)
+            else None
+        )
+        if leaf not in _LAUNCH_CALLS:
+            return
+        arguments = list(call.args) + [
+            kw.value for kw in call.keywords if kw.value is not None
+        ]
+        for argument in arguments:
+            for node in ast.walk(argument):
+                attr = self_attr(node)
+                if attr in containers:
+                    yield Diagnostic(
+                        info.relpath,
+                        node.lineno,
+                        node.col_offset,
+                        self.rule_id,
+                        f"guarded container self.{attr} escapes to "
+                        f"{leaf}(); the other thread of control mutates it "
+                        f"outside {info.guarded[attr]!r} — pass a snapshot",
+                    )
+
+    # -- happens-before -------------------------------------------------------
+
+    def _check_ordering(self, info: ClassInfo) -> Iterator[Diagnostic]:
+        for method_name, method in info.methods.items():
+            if method_name in INIT_METHODS:
+                continue
+            cfg = build_cfg(method)
+            analysis: ForwardAnalysis[frozenset[str]] = ForwardAnalysis(
+                initial=frozenset(),
+                join=lambda a, b: a & b,
+                transfer=lambda stmt, fact: fact | frozenset(_call_names(stmt)),
+            )
+            facts = analysis.solve(cfg)
+            for node in cfg.statements():
+                entering = facts.get(node.node_id)
+                if entering is None:
+                    continue  # unreachable
+                assert node.stmt is not None
+                called_here = _call_names(node.stmt)
+                for first, second in info.ordering:
+                    if second not in called_here:
+                        continue
+                    if first in entering or first in called_here[: called_here.index(second)]:
+                        continue
+                    yield Diagnostic(
+                        info.relpath,
+                        node.stmt.lineno,
+                        node.stmt.col_offset,
+                        self.rule_id,
+                        f"{info.name} declares happens_before("
+                        f"{first!r}, {second!r}) but this {second}() call is "
+                        f"reachable without a completed {first}() on some "
+                        "path",
+                    )

@@ -1,0 +1,219 @@
+"""SRN009: resource lifecycle — close on every exit path.
+
+WAL handles, thread pools and session stores hold file descriptors and
+worker threads; a path that leaves one open (early ``return``, or an
+exception between open and close) leaks until process exit — in the
+streaming consumer that is a descriptor per restart, in the benchmark
+loop it is a thread pool per iteration.
+
+The rule runs a may-leak forward analysis over each function's CFG.
+A *resource* is a local bound to a tracked constructor::
+
+    log = PartitionedLog(path)          # open
+    pool = ThreadPoolExecutor(4)        # open
+    store = SessionStore.open(path)     # open (Class.open factory)
+
+The fact is the set of ``(name, line)`` pairs that *may* still be open;
+``close()``/``shutdown()``/``stop()``/``terminate()`` on the name clears
+it on the normal edge only — the exception edge keeps the input fact,
+because a ``close()`` that raised did not close. Escapes (returning the
+resource, storing it on ``self``, yielding it, aliasing it, or passing
+it to another call) transfer ownership and stop the tracking; ``with``
+blocks are managed and never tracked at all. Anything still open
+entering ``EXIT`` or ``RAISE_EXIT`` is a finding, annotated with which
+kind of path leaks.
+
+Tracked type names come from the ``types`` option of
+``[tool.serenade-lint.rules.SRN009]``; the default set covers the
+repo's own resource classes plus ``concurrent.futures`` pools.
+
+One deliberate coarseness: the transfer inspects a compound statement's
+whole subtree at its CFG header node, so a ``close()`` anywhere inside a
+``try`` construct releases the resource for every path through it —
+that is what certifies the ``open(); try: ... finally: close()`` idiom
+without special-casing ``finally`` (the close's own exception edge
+included). The cost is a missed finding when the close is buried in
+one branch of a conditional inside the try; the rule under-approximates
+rather than flag the canonical correct pattern.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.cfg import EXIT, RAISE_EXIT, build_cfg
+from repro.analysis.dataflow import ForwardAnalysis
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import register
+
+if TYPE_CHECKING:
+    from repro.analysis.config import AnalysisConfig
+    from repro.analysis.engine import ParsedModule
+
+DEFAULT_TYPES = (
+    "SessionStore",
+    "PartitionedLog",
+    "ThreadPoolExecutor",
+    "ProcessPoolExecutor",
+)
+
+_CLOSERS = frozenset({"close", "shutdown", "stop", "terminate", "join"})
+
+#: (open-variable name, open-site line) — one tracked may-open resource.
+_Open = tuple[str, int]
+
+
+def _leaf_name(func: ast.expr) -> str | None:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _type_leaf(func: ast.expr) -> str | None:
+    """The class leaf for ``Store(...)`` or ``pkg.Store(...)``."""
+    name = _leaf_name(func)
+    return name
+
+
+def _resource_ctor(value: ast.expr, types: frozenset[str]) -> bool:
+    """Is this expression a tracked-resource construction?"""
+    if not isinstance(value, ast.Call):
+        return False
+    func = value.func
+    leaf = _type_leaf(func)
+    if leaf in types:
+        return True
+    # Class.open(...) factory: the attribute owner names the class.
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr == "open"
+        and _type_leaf(func.value) in types
+    ):
+        return True
+    return False
+
+
+@register
+class ResourceLifecycleRule:
+    rule_id = "SRN009"
+    name = "resource-lifecycle"
+    rationale = (
+        "A WAL handle or thread pool left open on one exit path leaks a "
+        "descriptor or worker threads per call; `with` or try/finally "
+        "makes every path — including the exception edge — release it."
+    )
+
+    def check_module(
+        self, module: "ParsedModule", config: "AnalysisConfig"
+    ) -> Iterator[Diagnostic]:
+        types = frozenset(
+            config.option("SRN009", "types", list(DEFAULT_TYPES))
+        )
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(module, node, types)
+
+    def _check_function(
+        self,
+        module: "ParsedModule",
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        types: frozenset[str],
+    ) -> Iterator[Diagnostic]:
+        cfg = build_cfg(func)
+
+        def transfer(stmt: ast.stmt, fact: frozenset[_Open]) -> frozenset[_Open]:
+            out = set(fact)
+            # Rebinding: any assignment to a plain name drops prior state;
+            # a tracked constructor RHS opens it.
+            if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                value = stmt.value
+                targets = (
+                    stmt.targets
+                    if isinstance(stmt, ast.Assign)
+                    else [stmt.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        out = {
+                            entry for entry in out if entry[0] != target.id
+                        }
+                        if value is not None and _resource_ctor(value, types):
+                            out.add((target.id, stmt.lineno))
+            # Closing and escaping both end our responsibility.
+            for name in _released_names(stmt):
+                out = {entry for entry in out if entry[0] != name}
+            return frozenset(out)
+
+        analysis: ForwardAnalysis[frozenset[_Open]] = ForwardAnalysis(
+            initial=frozenset(),
+            join=lambda a, b: a | b,
+            transfer=transfer,
+        )
+        facts = analysis.solve(cfg)
+        normal_open = facts.get(EXIT, frozenset())
+        raise_open = facts.get(RAISE_EXIT, frozenset())
+        for name, line in sorted(normal_open | raise_open):
+            if (name, line) in normal_open:
+                path = "on some exit path"
+            else:
+                path = "when an exception escapes"
+            yield Diagnostic(
+                module.relpath,
+                line,
+                0,
+                self.rule_id,
+                f"{func.name} opens {name!r} here but may not close it "
+                f"{path}; use `with` or try/finally so every path — "
+                "including the exception edge — releases it",
+            )
+
+
+def _released_names(stmt: ast.stmt) -> set[str]:
+    """Names whose resource this statement closes or gives away."""
+    released: set[str] = set()
+    for node in ast.walk(stmt):
+        # name.close() / name.shutdown() / ...
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _CLOSERS
+                and isinstance(func.value, ast.Name)
+            ):
+                released.add(func.value.id)
+            # passing the bare name to any call transfers ownership.
+            for argument in list(node.args) + [
+                kw.value for kw in node.keywords if kw.value is not None
+            ]:
+                if isinstance(argument, ast.Name):
+                    released.add(argument.id)
+        # return name / yield name — ownership moves to the caller.
+        elif isinstance(node, ast.Return):
+            released |= _names_in(node.value)
+        elif isinstance(node, (ast.Yield, ast.YieldFrom)):
+            released |= _names_in(node.value)
+        # self.attr = name / other = name — aliased beyond our tracking.
+        elif isinstance(node, ast.Assign):
+            if isinstance(node.value, ast.Name) and node.targets:
+                released.add(node.value.id)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.value, ast.Name):
+                released.add(node.value.id)
+    return released
+
+
+def _names_in(value: ast.expr | None) -> set[str]:
+    if value is None:
+        return set()
+    if isinstance(value, ast.Name):
+        return {value.id}
+    if isinstance(value, ast.Tuple):
+        return {
+            element.id
+            for element in value.elts
+            if isinstance(element, ast.Name)
+        }
+    return set()

@@ -1,0 +1,100 @@
+"""SARIF 2.1.0 output for editor and code-scanning integration.
+
+One run object, one result per finding; rule metadata (name, rationale)
+is published in the driver's rule table so viewers can show the help
+text next to each result. Columns are emitted 1-based per the SARIF
+spec (the engine stores ast's 0-based ``col_offset``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+from repro.analysis.diagnostics import META_RULE
+from repro.analysis.registry import all_rules
+
+if TYPE_CHECKING:
+    from repro.analysis.engine import AnalysisReport
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _rule_table() -> list[dict[str, object]]:
+    rules: list[dict[str, object]] = [
+        {
+            "id": META_RULE,
+            "name": "MetaFinding",
+            "shortDescription": {
+                "text": "analysis problems: parse errors, suppression and "
+                "baseline misuse"
+            },
+        }
+    ]
+    for cls in all_rules():
+        rules.append(
+            {
+                "id": cls.rule_id,
+                "name": cls.name,
+                "shortDescription": {"text": cls.name},
+                "fullDescription": {"text": " ".join(cls.rationale.split())},
+            }
+        )
+    return rules
+
+
+def render_sarif(report: "AnalysisReport") -> str:
+    """The report as a SARIF 2.1.0 log, deterministic key order."""
+    rules = _rule_table()
+    rule_index = {rule["id"]: idx for idx, rule in enumerate(rules)}
+    results = []
+    for finding in report.findings:
+        result: dict[str, object] = {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.column + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if finding.rule in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule]
+        results.append(result)
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "serenade-lint",
+                        "informationUri": (
+                            "https://example.invalid/serenade-lint"
+                        ),
+                        "rules": rules,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "originalUriBaseIds": {
+                    "SRCROOT": {"description": {"text": "repository root"}}
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,457 @@
+"""Serializable per-module summaries for the interprocedural phase.
+
+The engine analyzes each file once and distils what the *project-wide*
+rules need into a :class:`ModuleSummary`: per-class contract metadata
+(locks, guards, frozen buffers, call orderings) and one
+:class:`FunctionFact` per function/method recording its deadline
+parameter, every call site (with the locks held around it and whether
+the caller's deadline is forwarded), and every direct lock acquisition
+with its held-context.
+
+Summaries are the unit of caching: they are plain-JSON round-trippable
+(:meth:`ModuleSummary.to_dict` / :meth:`ModuleSummary.from_dict`), so a
+warm run rebuilds the whole call graph and lock graph without parsing a
+single unchanged file. The interprocedural phase is recomputed from
+summaries on every run — it is cheap relative to parsing, and it is what
+lets a one-file edit refresh cross-module findings while every other
+file stays cache-hit.
+
+Traversal semantics deliberately mirror the original SRN004 walker:
+``with self.<lock>:`` nesting defines the held-context, nested function
+bodies are attributed to their enclosing function (a closure's calls
+happen on behalf of its owner, conservatively), and ``with``-item
+expressions are not scanned for call sites.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.analysis.symbols import (
+    ClassInfo,
+    FunctionDefs,
+    collect_class_info,
+    module_name_for,
+    self_attr,
+)
+
+if TYPE_CHECKING:
+    from repro.analysis.engine import ParsedModule
+
+SUMMARY_VERSION = 1
+
+#: method/function leaf names that can block long enough to matter for
+#: the SLA budget (shared with SRN003's intra-function checks).
+BLOCKING_NAMES = frozenset(
+    {
+        "recommend",
+        "recommend_batch",
+        "handle",
+        "result",
+        "submit",
+        "sleep",
+        "join",
+        "wait",
+        "acquire",
+        "fit",
+        "run",
+    }
+)
+
+
+@dataclass
+class CallFact:
+    """One call site inside a function body."""
+
+    #: "self" (self.m()), "attr" (self.x.m()), or "name" (f() / mod.f()).
+    kind: str
+    #: leaf callee name (the method/function identifier).
+    method: str
+    line: int
+    col: int
+    #: for kind="attr": the ``self.<attr>`` receiver attribute.
+    attr: str | None = None
+    #: for kind="name": the alias-expanded dotted target.
+    dotted: str | None = None
+    #: does any argument reference the caller's deadline parameter?
+    passes_deadline: bool = False
+    #: lock attributes held around the call (with-nesting + @holds_lock).
+    held: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "method": self.method,
+            "line": self.line,
+            "col": self.col,
+            "attr": self.attr,
+            "dotted": self.dotted,
+            "passes_deadline": self.passes_deadline,
+            "held": list(self.held),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "CallFact":
+        return cls(
+            kind=payload["kind"],
+            method=payload["method"],
+            line=payload["line"],
+            col=payload["col"],
+            attr=payload.get("attr"),
+            dotted=payload.get("dotted"),
+            passes_deadline=payload.get("passes_deadline", False),
+            held=tuple(payload.get("held", ())),
+        )
+
+
+@dataclass
+class AcquireFact:
+    """One direct ``with self.<lock>:`` acquisition."""
+
+    lock: str
+    line: int
+    #: lock attributes already held when this acquisition runs.
+    held: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"lock": self.lock, "line": self.line, "held": list(self.held)}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "AcquireFact":
+        return cls(
+            lock=payload["lock"],
+            line=payload["line"],
+            held=tuple(payload.get("held", ())),
+        )
+
+
+@dataclass
+class FunctionFact:
+    """Interprocedural facts about one function or method."""
+
+    qualname: str  #: "func" or "Class.method"
+    name: str
+    cls: str | None
+    line: int
+    col: int
+    deadline_param: str | None = None
+    calls: list[CallFact] = field(default_factory=list)
+    acquires: list[AcquireFact] = field(default_factory=list)
+
+    @property
+    def blocks_directly(self) -> bool:
+        return any(call.method in BLOCKING_NAMES for call in self.calls)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "qualname": self.qualname,
+            "name": self.name,
+            "cls": self.cls,
+            "line": self.line,
+            "col": self.col,
+            "deadline_param": self.deadline_param,
+            "calls": [call.to_dict() for call in self.calls],
+            "acquires": [acq.to_dict() for acq in self.acquires],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "FunctionFact":
+        return cls(
+            qualname=payload["qualname"],
+            name=payload["name"],
+            cls=payload.get("cls"),
+            line=payload["line"],
+            col=payload["col"],
+            deadline_param=payload.get("deadline_param"),
+            calls=[CallFact.from_dict(c) for c in payload.get("calls", ())],
+            acquires=[
+                AcquireFact.from_dict(a) for a in payload.get("acquires", ())
+            ],
+        )
+
+
+@dataclass
+class ClassFact:
+    """Serializable slice of :class:`~repro.analysis.symbols.ClassInfo`."""
+
+    name: str
+    line: int
+    col: int
+    lock_attrs: tuple[str, ...] = ()
+    rlock_attrs: tuple[str, ...] = ()
+    guarded: dict[str, str] = field(default_factory=dict)
+    holds: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    attr_types: dict[str, str] = field(default_factory=dict)
+    frozen_buffers: tuple[str, ...] = ()
+    ordering: tuple[tuple[str, str], ...] = ()
+    methods: tuple[str, ...] = ()
+
+    @property
+    def all_locks(self) -> set[str]:
+        return set(self.lock_attrs) | set(self.rlock_attrs)
+
+    def lock_node(self, lock_attr: str) -> str:
+        return f"{self.name}.{lock_attr}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "line": self.line,
+            "col": self.col,
+            "lock_attrs": list(self.lock_attrs),
+            "rlock_attrs": list(self.rlock_attrs),
+            "guarded": dict(self.guarded),
+            "holds": {k: list(v) for k, v in self.holds.items()},
+            "attr_types": dict(self.attr_types),
+            "frozen_buffers": list(self.frozen_buffers),
+            "ordering": [list(pair) for pair in self.ordering],
+            "methods": list(self.methods),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "ClassFact":
+        return cls(
+            name=payload["name"],
+            line=payload["line"],
+            col=payload["col"],
+            lock_attrs=tuple(payload.get("lock_attrs", ())),
+            rlock_attrs=tuple(payload.get("rlock_attrs", ())),
+            guarded=dict(payload.get("guarded", {})),
+            holds={
+                k: tuple(v) for k, v in payload.get("holds", {}).items()
+            },
+            attr_types=dict(payload.get("attr_types", {})),
+            frozen_buffers=tuple(payload.get("frozen_buffers", ())),
+            ordering=tuple(
+                (pair[0], pair[1]) for pair in payload.get("ordering", ())
+            ),
+            methods=tuple(payload.get("methods", ())),
+        )
+
+
+@dataclass
+class ModuleSummary:
+    """Everything the project phase needs to know about one file."""
+
+    relpath: str
+    module_name: str | None
+    classes: list[ClassFact] = field(default_factory=list)
+    functions: list[FunctionFact] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "version": SUMMARY_VERSION,
+            "relpath": self.relpath,
+            "module_name": self.module_name,
+            "classes": [fact.to_dict() for fact in self.classes],
+            "functions": [fact.to_dict() for fact in self.functions],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "ModuleSummary":
+        return cls(
+            relpath=payload["relpath"],
+            module_name=payload.get("module_name"),
+            classes=[ClassFact.from_dict(c) for c in payload.get("classes", ())],
+            functions=[
+                FunctionFact.from_dict(f) for f in payload.get("functions", ())
+            ],
+        )
+
+
+# -- building ----------------------------------------------------------------
+
+
+def deadline_param(node: ast.FunctionDef | ast.AsyncFunctionDef) -> str | None:
+    """Name of the Deadline parameter, if the function takes one."""
+    args = node.args
+    for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+        if arg.arg == "deadline":
+            return arg.arg
+        annotation = arg.annotation
+        if annotation is not None and "Deadline" in ast.dump(annotation):
+            return arg.arg
+    return None
+
+
+def _class_fact(info: ClassInfo) -> ClassFact:
+    return ClassFact(
+        name=info.name,
+        line=info.node.lineno,
+        col=info.node.col_offset,
+        lock_attrs=tuple(sorted(info.lock_attrs)),
+        rlock_attrs=tuple(sorted(info.rlock_attrs)),
+        guarded=dict(info.guarded),
+        holds={k: tuple(sorted(v)) for k, v in info.holds.items()},
+        attr_types=dict(info.attr_types),
+        frozen_buffers=info.frozen_buffers,
+        ordering=info.ordering,
+        methods=tuple(info.methods),
+    )
+
+
+def _references_param(node: ast.expr, param: str) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name) and child.id == param:
+            return True
+    return False
+
+
+def _classify_call(
+    module: "ParsedModule", call: ast.Call, param: str | None
+) -> CallFact | None:
+    func = call.func
+    passes = False
+    if param is not None:
+        passes = any(
+            _references_param(arg, param) for arg in call.args
+        ) or any(
+            kw.value is not None and _references_param(kw.value, param)
+            for kw in call.keywords
+        )
+    if isinstance(func, ast.Attribute):
+        owner = func.value
+        if isinstance(owner, ast.Name) and owner.id == "self":
+            return CallFact(
+                kind="self",
+                method=func.attr,
+                line=call.lineno,
+                col=call.col_offset,
+                passes_deadline=passes,
+            )
+        attr = self_attr(owner)
+        if attr is not None:
+            return CallFact(
+                kind="attr",
+                method=func.attr,
+                line=call.lineno,
+                col=call.col_offset,
+                attr=attr,
+                passes_deadline=passes,
+            )
+        dotted = module.qualified_name(func)
+        if dotted is not None:
+            return CallFact(
+                kind="name",
+                method=func.attr,
+                line=call.lineno,
+                col=call.col_offset,
+                dotted=dotted,
+                passes_deadline=passes,
+            )
+        # dynamic receiver (result of a call/subscript): keep the leaf
+        # name so blocking-name heuristics still see it.
+        return CallFact(
+            kind="name",
+            method=func.attr,
+            line=call.lineno,
+            col=call.col_offset,
+            dotted=None,
+            passes_deadline=passes,
+        )
+    if isinstance(func, ast.Name):
+        dotted = module.aliases.get(func.id, func.id)
+        return CallFact(
+            kind="name",
+            method=dotted.rsplit(".", 1)[-1],
+            line=call.lineno,
+            col=call.col_offset,
+            dotted=dotted,
+            passes_deadline=passes,
+        )
+    return None
+
+
+class _FunctionWalker:
+    """Collect calls/acquires with with-held lock context (SRN004-style)."""
+
+    def __init__(
+        self,
+        module: "ParsedModule",
+        info: ClassInfo | None,
+        base_held: frozenset[str],
+        param: str | None,
+    ) -> None:
+        self.module = module
+        self.info = info
+        self.base_held = base_held
+        self.param = param
+        self.calls: list[CallFact] = []
+        self.acquires: list[AcquireFact] = []
+
+    def walk(self, stmts: list[ast.stmt]) -> None:
+        for stmt in stmts:
+            self._walk_node(stmt, frozenset())
+
+    def _walk_node(self, node: ast.AST, with_held: frozenset[str]) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired = set(with_held)
+            for item in node.items:
+                attr = self_attr(item.context_expr)
+                if (
+                    self.info is not None
+                    and attr is not None
+                    and attr in self.info.all_locks
+                ):
+                    self.acquires.append(
+                        AcquireFact(
+                            lock=attr,
+                            line=item.context_expr.lineno,
+                            held=tuple(sorted(with_held)),
+                        )
+                    )
+                    acquired.add(attr)
+            for stmt in node.body:
+                self._walk_node(stmt, frozenset(acquired))
+            return
+        if isinstance(node, ast.Call):
+            fact = _classify_call(self.module, node, self.param)
+            if fact is not None:
+                fact.held = tuple(sorted(self.base_held | with_held))
+                self.calls.append(fact)
+        for child in ast.iter_child_nodes(node):
+            self._walk_node(child, with_held)
+
+
+def _function_fact(
+    module: "ParsedModule",
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    info: ClassInfo | None,
+) -> FunctionFact:
+    param = deadline_param(func)
+    base_held = frozenset(
+        info.holds.get(func.name, set()) if info is not None else ()
+    )
+    walker = _FunctionWalker(module, info, base_held, param)
+    walker.walk(func.body)
+    cls_name = info.name if info is not None else None
+    qualname = f"{cls_name}.{func.name}" if cls_name else func.name
+    return FunctionFact(
+        qualname=qualname,
+        name=func.name,
+        cls=cls_name,
+        line=func.lineno,
+        col=func.col_offset,
+        deadline_param=param,
+        calls=walker.calls,
+        acquires=walker.acquires,
+    )
+
+
+def build_module_summary(module: "ParsedModule") -> ModuleSummary:
+    """Distil one parsed module into its cacheable summary."""
+    infos = collect_class_info(module)
+    summary = ModuleSummary(
+        relpath=module.relpath,
+        module_name=module_name_for(module.relpath),
+        classes=[_class_fact(info) for info in infos],
+    )
+    for stmt in module.tree.body:
+        if isinstance(stmt, FunctionDefs):
+            summary.functions.append(_function_fact(module, stmt, None))
+    for info in infos:
+        for method in info.methods.values():
+            summary.functions.append(_function_fact(module, method, info))
+    return summary

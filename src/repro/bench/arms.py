@@ -513,23 +513,26 @@ def run_streaming(
 
     def one_pass(probe: LatencyProbe | None, staleness: list[float] | None) -> int:
         stream = PartitionedLog(num_partitions=4)
-        producer = ClickProducer(stream, "bench")
-        pipeline = StreamingIndexer(
-            stream, IncrementalIndexer(max_sessions_per_item=500), policy=policy
-        )
-        for chunk in chunks:
-            def publish_and_catch_up(chunk: list = chunk) -> None:
-                producer.publish_all(chunk)
-                pipeline.run_until_caught_up()
+        try:
+            producer = ClickProducer(stream, "bench")
+            pipeline = StreamingIndexer(
+                stream, IncrementalIndexer(max_sessions_per_item=500), policy=policy
+            )
+            for chunk in chunks:
+                def publish_and_catch_up(chunk: list = chunk) -> None:
+                    producer.publish_all(chunk)
+                    pipeline.run_until_caught_up()
 
-            if probe is None:
-                publish_and_catch_up()
-            else:
-                probe.sample(publish_and_catch_up)
-            if staleness is not None:
-                staleness.append(pipeline.staleness_seconds())
-        pipeline.flush()
-        return pipeline.sessions_applied
+                if probe is None:
+                    publish_and_catch_up()
+                else:
+                    probe.sample(publish_and_catch_up)
+                if staleness is not None:
+                    staleness.append(pipeline.staleness_seconds())
+            pipeline.flush()
+            return pipeline.sessions_applied
+        finally:
+            stream.close()
 
     # Memory pass first, untimed: the probe must not overlap latencies.
     staleness_trajectory: list[float] = []

@@ -34,6 +34,7 @@ import time
 from typing import Sequence
 
 from repro.core.batch import BatchPredictionEngine
+from repro.core.colindex import ColumnarSessionIndex, VMISKNNColumnar
 from repro.core.vmis import VMISKNN
 from repro.data.clicklog import ClickLog
 from repro.data.datasets import dataset_names, load_dataset
@@ -43,6 +44,7 @@ from repro.data.synthetic import generate_clickstream
 from repro.eval.evaluator import evaluate_next_item, evaluate_next_item_batched
 from repro.eval.gridsearch import grid_search
 from repro.experiments.registry import (
+    DEFAULT_MODEL,
     RecommenderConfig,
     build_recommender,
     recommender_class,
@@ -119,6 +121,13 @@ def build_parser() -> argparse.ArgumentParser:
     recommend.add_argument("--m", type=int, default=500)
     recommend.add_argument("--k", type=int, default=100)
     recommend.add_argument("--count", type=int, default=21)
+    recommend.add_argument(
+        "--engine",
+        choices=("columnar", "heap"),
+        default="columnar",
+        help="scorer: vectorized columnar (default) or the per-item-heap "
+        "differential oracle",
+    )
 
     evaluate = commands.add_parser(
         "evaluate", help="next-item evaluation with a held-out last day"
@@ -126,7 +135,7 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("clicks", help="click log TSV")
     evaluate.add_argument(
         "--model",
-        default="vmis",
+        default=DEFAULT_MODEL,
         help=f"registered recommender ({', '.join(registered_models())})",
     )
     evaluate.add_argument("--m", type=int, default=500)
@@ -399,6 +408,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--m", type=int, default=500)
     serve.add_argument("--k", type=int, default=100)
     serve.add_argument(
+        "--engine",
+        choices=("columnar", "heap"),
+        default="columnar",
+        help="pod scorer: vectorized columnar (default) or the "
+        "per-item-heap differential oracle",
+    )
+    serve.add_argument(
         "--cache-size",
         type=int,
         default=1024,
@@ -526,7 +542,13 @@ def cmd_build_index(args) -> int:
 
 def cmd_recommend(args) -> int:
     index = load_index(args.index)
-    model = VMISKNN(index, m=args.m, k=args.k)
+    model: VMISKNN | VMISKNNColumnar
+    if args.engine == "columnar":
+        model = VMISKNNColumnar(
+            ColumnarSessionIndex.from_session_index(index), m=args.m, k=args.k
+        )
+    else:
+        model = VMISKNN(index, m=args.m, k=args.k)
     for rank, scored in enumerate(
         model.recommend(args.session, how_many=args.count), start=1
     ):
@@ -828,9 +850,11 @@ def _cmd_stream_produce(args) -> int:
     except ValueError as error:
         print(f"stream produce refused: {error}")
         return 2
-    producer = ClickProducer(log, args.producer_id)
-    receipts = producer.publish_all(clicks.clicks)
-    log.close()
+    try:
+        producer = ClickProducer(log, args.producer_id)
+        receipts = producer.publish_all(clicks.clicks)
+    finally:
+        log.close()
     new = sum(1 for receipt in receipts if not receipt.deduplicated)
     print(
         f"published {len(receipts):,} clicks as producer "
@@ -866,40 +890,42 @@ def _cmd_stream_consume(args) -> int:
     except FileNotFoundError as error:
         print(f"stream consume refused: {error}")
         return 2
-    _, offsets_path = _stream_paths(args)
-    out_path = Path(args.out)
-    state_path = Path(str(args.out) + ".state.json")
-    if out_path.exists() and state_path.exists():
-        index = load_index(out_path)
-        state = json_module.loads(state_path.read_text(encoding="utf-8"))
-        indexer = IncrementalIndexer.restore(index, state)
-        resumed = True
-    else:
-        indexer = IncrementalIndexer(max_sessions_per_item=args.m)
-        resumed = False
-    group = ConsumerGroup(log, args.group, CommittedOffsets(offsets_path))
     try:
-        policy = StreamingPolicy(
-            session_gap_seconds=args.session_gap,
-            allowed_lateness_seconds=args.lateness,
+        _, offsets_path = _stream_paths(args)
+        out_path = Path(args.out)
+        state_path = Path(str(args.out) + ".state.json")
+        if out_path.exists() and state_path.exists():
+            index = load_index(out_path)
+            state = json_module.loads(state_path.read_text(encoding="utf-8"))
+            indexer = IncrementalIndexer.restore(index, state)
+            resumed = True
+        else:
+            indexer = IncrementalIndexer(max_sessions_per_item=args.m)
+            resumed = False
+        group = ConsumerGroup(log, args.group, CommittedOffsets(offsets_path))
+        try:
+            policy = StreamingPolicy(
+                session_gap_seconds=args.session_gap,
+                allowed_lateness_seconds=args.lateness,
+            )
+        except ValueError as error:
+            print(f"stream consume refused: {error}")
+            return 2
+        # Offsets are committed only after the index artifact is durably
+        # written below: a crash in between replays, it never loses clicks.
+        pipeline = StreamingIndexer(
+            log, indexer, group=group, policy=policy, commit_each_step=False
         )
-    except ValueError as error:
-        print(f"stream consume refused: {error}")
-        return 2
-    # Offsets are committed only after the index artifact is durably
-    # written below: a crash in between replays, it never loses clicks.
-    pipeline = StreamingIndexer(
-        log, indexer, group=group, policy=policy, commit_each_step=False
-    )
-    pipeline.run_until_caught_up()
-    if args.flush:
-        pipeline.flush()
-    save_index(indexer.index, out_path)
-    state_path.write_text(
-        json_module.dumps(indexer.state_dict()), encoding="utf-8"
-    )
-    pipeline.commit()
-    log.close()
+        pipeline.run_until_caught_up()
+        if args.flush:
+            pipeline.flush()
+        save_index(indexer.index, out_path)
+        state_path.write_text(
+            json_module.dumps(indexer.state_dict()), encoding="utf-8"
+        )
+        pipeline.commit()
+    finally:
+        log.close()
     health = pipeline.health()
     print(
         f"{'resumed' if resumed else 'started'} group {args.group!r}: "
@@ -926,25 +952,29 @@ def _cmd_stream_status(args) -> int:
     except FileNotFoundError as error:
         print(f"stream status refused: {error}")
         return 2
-    _, offsets_path = _stream_paths(args)
-    offsets = CommittedOffsets(offsets_path if offsets_path.exists() else None)
-    total_lag = 0
-    print(f"log {args.log_dir}: {log.num_partitions} partitions, "
-          f"{log.total_records():,} records")
-    for partition in range(log.num_partitions):
-        end = log.end_offset(partition)
-        committed = offsets.get(partition)
-        lag = max(0, end - committed)
-        total_lag += lag
-        print(
-            f"  partition {partition}: end {end:>8,}  "
-            f"committed[{args.group}] {committed:>8,}  lag {lag:>8,}"
+    try:
+        _, offsets_path = _stream_paths(args)
+        offsets = CommittedOffsets(
+            offsets_path if offsets_path.exists() else None
         )
-    head = log.max_event_time()
-    head_text = f"{head}" if head is not None else "n/a"
-    print(f"group {args.group!r} lag {total_lag:,} events; "
-          f"event-time head {head_text}")
-    log.close()
+        total_lag = 0
+        print(f"log {args.log_dir}: {log.num_partitions} partitions, "
+              f"{log.total_records():,} records")
+        for partition in range(log.num_partitions):
+            end = log.end_offset(partition)
+            committed = offsets.get(partition)
+            lag = max(0, end - committed)
+            total_lag += lag
+            print(
+                f"  partition {partition}: end {end:>8,}  "
+                f"committed[{args.group}] {committed:>8,}  lag {lag:>8,}"
+            )
+        head = log.max_event_time()
+        head_text = f"{head}" if head is not None else "n/a"
+        print(f"group {args.group!r} lag {total_lag:,} events; "
+              f"event-time head {head_text}")
+    finally:
+        log.close()
     return 0
 
 
@@ -989,6 +1019,7 @@ def cmd_serve(args) -> int:
         num_pods=args.pods,
         m=args.m,
         k=args.k,
+        engine=args.engine,
         cache_size=args.cache_size,
         resilience=resilience,
         wal_dir=args.wal_dir,
@@ -1011,7 +1042,8 @@ def cmd_serve(args) -> int:
     print(
         f"serving {index.num_items:,} items on "
         f"http://{args.host}:{server.port} "
-        f"({args.pods} pods, cache {args.cache_size}, {guardrails}{wal}{ring}; "
+        f"({args.pods} pods, {args.engine} engine, "
+        f"cache {args.cache_size}, {guardrails}{wal}{ring}; "
         f"POST /v1/recommend, POST /v1/recommend_batch, "
         f"GET /healthz, GET /metrics)"
     )

@@ -56,6 +56,7 @@ from typing import Any, Iterable, Sequence
 
 import numpy as np
 
+from repro.core.contracts import frozen_buffers
 from repro.core.floatcmp import is_zero_score
 from repro.core.index import SessionIndex
 from repro.core.predictor import BatchMixin
@@ -81,13 +82,34 @@ _FLOAT = np.float64
 
 
 def _as_int_array(values: Any) -> np.ndarray:
-    return np.ascontiguousarray(values, dtype=_INT)
+    arr = np.ascontiguousarray(values, dtype=_INT)
+    if arr is values:
+        # A conforming ndarray comes back uncopied; the caller would keep
+        # write access to a buffer we are about to freeze and share.
+        arr = arr.copy()
+    return arr
 
 
 def _as_float_array(values: Any) -> np.ndarray:
-    return np.ascontiguousarray(values, dtype=_FLOAT)
+    arr = np.ascontiguousarray(values, dtype=_FLOAT)
+    if arr is values:
+        arr = arr.copy()
+    return arr
 
 
+@frozen_buffers(
+    "item_ids",
+    "item_frequencies",
+    "posting_offsets",
+    "posting_sessions",
+    "posting_timestamps",
+    "session_timestamps",
+    "session_item_offsets",
+    "session_item_values",
+    "posting_sessions_asc",
+    "session_item_rows",
+    "idf_values",
+)
 class ColumnarSessionIndex:
     """Struct-of-arrays view of the (M, t) index.
 
@@ -158,6 +180,11 @@ class ColumnarSessionIndex:
         self._item_row: dict[ItemId, int] = {
             int(item): row for row, item in enumerate(self.item_ids.tolist())
         }
+        # Enforce the @frozen_buffers contract at runtime too: any stray
+        # write after construction raises instead of corrupting shared
+        # serving state.
+        for name in type(self).__frozen_buffers__:
+            getattr(self, name).setflags(write=False)
 
     # -- construction-time validation ----------------------------------------
 

@@ -1,0 +1,90 @@
+"""Declarative data/ordering contracts checked by ``repro.analysis``.
+
+:mod:`repro.core.locking` declares *lock* discipline; this module
+declares the two other invariant families the serving stack leans on:
+
+* :func:`frozen_buffers` marks the numpy buffer attributes of a class
+  that are immutable once construction finishes. The columnar index
+  (:class:`~repro.core.colindex.ColumnarSessionIndex`) publishes its
+  ``int64``/``float64`` arrays to every serving thread without a lock —
+  that is only sound because nothing ever writes them again. ``SRN006``
+  statically rejects post-construction stores, in-place mutators
+  (``resize``/``sort``/``fill``), and dtype-less ``np.asarray``
+  conversions flowing into a frozen buffer.
+* :func:`happens_before` declares an intra-method call ordering: within
+  every method of the decorated class, a call to ``second`` must be
+  preceded — on **every** control-flow path — by a call to ``first``.
+  The ring coordinator uses it to pin the WAL-append-before-ack
+  ordering (``update_session`` must dominate ``predict``): serving a
+  prediction before the click reached the leader's WAL would ack state
+  that a crash could lose. ``SRN008`` verifies the ordering with a
+  flow-sensitive must-analysis over the method CFG.
+
+At runtime both decorators only attach metadata (``__frozen_buffers__``
+/ ``__happens_before__``) — zero overhead on the request path. The
+static rules read the same declarations from the AST.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+__all__ = ["frozen_buffers", "happens_before"]
+
+_ClassT = TypeVar("_ClassT", bound=type)
+
+
+def frozen_buffers(*attributes: str) -> Callable[[_ClassT], _ClassT]:
+    """Declare that ``attributes`` are immutable after construction.
+
+    Usage::
+
+        @frozen_buffers("item_ids", "posting_sessions")
+        class ColumnarSessionIndex: ...
+
+    The decorator is stackable and cumulative; inherited metadata is
+    never mutated in place.
+    """
+    if not attributes:
+        raise ValueError("frozen_buffers needs at least one attribute name")
+
+    def decorate(cls: _ClassT) -> _ClassT:
+        declared: tuple[str, ...] = tuple(
+            dict.fromkeys(getattr(cls, "__frozen_buffers__", ()) + attributes)
+        )
+        cls.__frozen_buffers__ = declared
+        return cls
+
+    return decorate
+
+
+def happens_before(first: str, second: str) -> Callable[[_ClassT], _ClassT]:
+    """Declare that ``first(...)`` must dominate ``second(...)``.
+
+    Within every method of the decorated class, any call whose callee
+    name is ``second`` must be preceded on all control-flow paths by a
+    call whose callee name is ``first`` (receivers are not matched —
+    the ordering is between the *operations*, wherever they live).
+
+    Usage::
+
+        @happens_before("update_session", "predict")
+        class RingCoordinator: ...
+
+    Stack the decorator to declare several orderings.
+    """
+    if not first or not second:
+        raise ValueError("happens_before needs two method names")
+    if first == second:
+        raise ValueError("happens_before needs two distinct method names")
+
+    def decorate(cls: _ClassT) -> _ClassT:
+        declared: tuple[tuple[str, str], ...] = tuple(
+            dict.fromkeys(
+                getattr(cls, "__happens_before__", ()) + ((first, second),)
+            )
+        )
+        cls.__happens_before__ = declared
+        return cls
+
+    return decorate

@@ -7,6 +7,7 @@ from repro.experiments.config import (
     ProtocolSpec,
 )
 from repro.experiments.registry import (
+    DEFAULT_MODEL,
     RecommenderConfig,
     build_recommender,
     register_model,
@@ -20,6 +21,7 @@ from repro.experiments.runner import (
 )
 
 __all__ = [
+    "DEFAULT_MODEL",
     "DatasetSpec",
     "ExperimentConfig",
     "ExperimentReport",

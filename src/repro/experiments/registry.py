@@ -38,6 +38,12 @@ from repro.core.vsknn import VSKNN
 
 ModelBuilder = Callable[[Sequence[Click], dict], SessionRecommender]
 
+#: the scorer the CLI and serving layer pick when none is named. The
+#: vectorized columnar engine is the production default; the per-item-heap
+#: ``"vmis"`` path stays registered as the differential oracle it is
+#: bit-identical to (``repro.testing.oracle`` exercises the equivalence).
+DEFAULT_MODEL = "vmis-columnar"
+
 _REGISTRY: dict[str, ModelBuilder] = {}
 _CLASSES: dict[str, type] = {}
 

@@ -40,6 +40,7 @@ from pathlib import Path
 from typing import Any, Callable, Sequence
 
 from repro.core.batch import BatchPredictionEngine
+from repro.core.colindex import ColumnarSessionIndex, VMISKNNColumnar
 from repro.core.index import SessionIndex
 from repro.core.predictor import SessionRecommender
 from repro.core.types import ItemId, ScoredItem
@@ -266,12 +267,18 @@ class ServingCluster:
         num_pods: int = 2,
         m: int = 500,
         k: int = 100,
+        engine: str = "columnar",
         **kwargs: Any,
     ) -> "ServingCluster":
         """Cluster of VMIS-kNN pods sharing one prebuilt index object.
 
         In production every pod loads its own copy; in-process we can share
-        the immutable index structure safely. When a
+        the immutable index structure safely. ``engine`` selects the
+        scorer: ``"columnar"`` (default) converts the heap index into a
+        frozen :class:`~repro.core.colindex.ColumnarSessionIndex` once and
+        serves through the vectorized scorer; ``"heap"`` keeps the
+        original per-item-heap :class:`~repro.core.vmis.VMISKNN` — the
+        differential oracle, bit-identical by contract. When a
         :class:`ResiliencePolicy` is passed, the fallback chain is derived
         from the same index: VMIS-kNN → index popularity → static top list.
         """
@@ -281,11 +288,20 @@ class ServingCluster:
             kwargs.setdefault(
                 "static_items", popularity.recommend([], how_many=50)
             )
-        return cls(
-            lambda: VMISKNN(index, m=m, k=k, exclude_current_items=True),
-            num_pods=num_pods,
-            **kwargs,
-        )
+        if engine == "columnar":
+            columnar = ColumnarSessionIndex.from_session_index(index)
+            factory: RecommenderFactory = lambda: VMISKNNColumnar(
+                columnar, m=m, k=k, exclude_current_items=True
+            )
+        elif engine == "heap":
+            factory = lambda: VMISKNN(
+                index, m=m, k=k, exclude_current_items=True
+            )
+        else:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected 'columnar' or 'heap'"
+            )
+        return cls(factory, num_pods=num_pods, **kwargs)
 
     # -- request path --------------------------------------------------------
 

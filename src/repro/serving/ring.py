@@ -49,6 +49,7 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
+from repro.core.contracts import happens_before
 from repro.core.deadline import Clock, Deadline
 from repro.core.locking import guarded_by
 from repro.core.types import ItemId
@@ -232,6 +233,7 @@ class ReplicationLink:
         return max(0, leader_offset - self.acked_offset)
 
 
+@happens_before("update_session", "predict")
 @guarded_by(
     "_lock",
     "hedges_fired",

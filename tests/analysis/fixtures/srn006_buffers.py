@@ -1,0 +1,40 @@
+"""Seeded SRN006 violations: dtype-less conversions, caller aliasing,
+and post-construction writes to @frozen_buffers arrays."""
+
+import numpy as np
+
+from repro.core.contracts import frozen_buffers
+
+
+def _loose(values):
+    return np.asarray(values)
+
+
+def _pinned(values):
+    return np.asarray(values, dtype=np.int64)
+
+
+@frozen_buffers("ids", "scores", "offsets", "mirror", "rows")
+class PackedIndex:
+    def __init__(self, ids, scores, offsets, rows):
+        self.ids = np.asarray(ids)  # violation: dtype-less conversion
+        self.scores = np.ascontiguousarray(scores, dtype=np.float64)  # ok
+        self.offsets = offsets  # violation: aliases caller-owned memory
+        self.rows = _loose(rows)  # violation: helper pins no dtype
+        self.mirror = np.ascontiguousarray(self.ids[::-1])  # ok: frozen root
+        self._finish()
+
+    def _finish(self):
+        self.rows = _pinned([])  # ok: construction helper, pinned dtype
+
+    def lookup(self, row):
+        return int(self.ids[row])  # ok: reads are always fine
+
+    def rescale(self, factor):
+        self.scores = self.scores * factor  # violation: reassigned later
+
+    def patch(self, row, value):
+        self.ids[row] = value  # violation: in-place write after construction
+
+    def compact(self):
+        self.ids.sort()  # violation: in-place mutator after construction

@@ -1,0 +1,52 @@
+"""Seeded SRN007 violations: deadlines dropped at call boundaries.
+
+Every function here satisfies SRN003 locally (it consults its own
+deadline); what breaks is the *flow* — a blocking, deadline-accepting
+callee invoked without the caller's budget."""
+
+
+def poll_store(request, deadline):
+    if deadline.expired():
+        return None
+    return request.channel.recommend(request.payload)  # blocking leaf
+
+
+def serve_bad(request, deadline):
+    if deadline.expired():
+        return None
+    return poll_store(request)  # violation: the budget stops flowing here
+
+
+def serve_good(request, deadline):
+    if deadline.expired():
+        return None
+    return poll_store(request, deadline)
+
+
+def tier_two(batch, deadline):
+    if deadline.expired():
+        return []
+    return poll_store(batch, deadline)
+
+
+def tier_one_bad(batch, deadline):
+    if deadline.expired():
+        return []
+    return tier_two(batch)  # violation: callee blocks only transitively
+
+
+class Gateway:
+    def lookup(self, key, deadline):
+        if deadline.expired():
+            return None
+        return self.backend.recommend(key)  # blocking leaf
+
+    def relay_bad(self, key, deadline):
+        if deadline.expired():
+            return None
+        return self.lookup(key)  # violation: self-call drops the deadline
+
+    def relay_good(self, key, deadline):
+        if deadline.expired():
+            return None
+        return self.lookup(key, deadline)

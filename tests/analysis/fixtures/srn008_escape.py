@@ -1,0 +1,63 @@
+"""Seeded SRN008 violations: guarded containers escaping their lock, and
+a happens-before ordering broken on one branch."""
+
+import threading
+
+from repro.core.contracts import happens_before
+from repro.core.locking import guarded_by
+
+
+def replicate(sessions):
+    pass
+
+
+@guarded_by("_lock", "_sessions", "served")
+class ShardState:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._sessions = {}
+        self.served = 0
+
+    def snapshot_bad(self):
+        with self._lock:
+            return self._sessions  # violation: container by reference
+
+    def snapshot_good(self):
+        with self._lock:
+            return dict(self._sessions)
+
+    def count(self):
+        with self._lock:
+            return self.served  # ok: an int is a value copy
+
+    def drain_bad(self, pool):
+        with self._lock:
+            pool.submit(replicate, self._sessions)  # violation: escapes
+
+    def drain_good(self, pool):
+        with self._lock:
+            snapshot = dict(self._sessions)
+        pool.submit(replicate, snapshot)
+
+
+@happens_before("flush", "ack")
+class Journal:
+    def commit(self, record):
+        self.flush(record)
+        self.ack(record)  # ok: flush dominates
+
+    def commit_fast(self, record, fast):
+        if fast:
+            self.prepare(record)
+        else:
+            self.flush(record)
+        self.ack(record)  # violation: the fast branch skipped flush
+
+    def prepare(self, record):
+        pass
+
+    def flush(self, record):
+        pass
+
+    def ack(self, record):
+        pass

@@ -1,0 +1,73 @@
+"""Seeded SRN009 violations: resources left open on some exit path."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+
+class PartitionedLog:
+    def __init__(self, path):
+        self.path = path
+
+    def append(self, record):
+        pass
+
+    def close(self):
+        pass
+
+
+class SessionStore:
+    @classmethod
+    def open(cls, path):
+        return cls()
+
+    def get(self, key):
+        pass
+
+    def close(self):
+        pass
+
+
+def drain_bad(path, records):
+    log = PartitionedLog(path)  # violation: the early return leaks it
+    for record in records:
+        if record is None:
+            return 0
+        log.append(record)
+    log.close()
+    return len(records)
+
+
+def replay_bad(path, records):
+    log = PartitionedLog(path)  # violation: append may raise past close
+    for record in records:
+        log.append(record)
+    log.close()
+    return len(records)
+
+
+def warm_bad(path, keys):
+    store = SessionStore.open(path)  # violation: factory-opened, never closed
+    return [store.get(key) for key in keys]
+
+
+def pool_bad(tasks):
+    pool = ThreadPoolExecutor(2)  # violation: shutdown only on success
+    results = [pool.submit(task) for task in tasks]
+    pool.shutdown()
+    return results
+
+
+def drain_good(path, records):
+    log = PartitionedLog(path)
+    try:
+        for record in records:
+            if record is None:
+                return 0
+            log.append(record)
+    finally:
+        log.close()
+    return len(records)
+
+
+def handoff_good(path):
+    log = PartitionedLog(path)
+    return log  # ownership moves to the caller

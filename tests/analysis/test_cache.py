@@ -1,0 +1,126 @@
+"""Cache behaviour: warm hits, one-file invalidation with fresh
+cross-module findings, fingerprint mismatches, and corruption fallback."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import AnalysisConfig, analyze_paths
+from repro.analysis.cache import (
+    CacheEntry,
+    SummaryCache,
+    run_fingerprint,
+)
+from repro.analysis.summaries import ModuleSummary
+
+LIB_BLOCKING = """
+def poll(request, deadline):
+    if deadline.expired():
+        return None
+    return request.channel.recommend(request.payload)
+"""
+
+LIB_NONBLOCKING = """
+def poll(request, deadline):
+    if deadline.expired():
+        return None
+    return request.payload
+"""
+
+SVC_DROPS_DEADLINE = """
+from lib import poll
+
+
+def serve(request, deadline):
+    if deadline.expired():
+        return None
+    return poll(request)
+"""
+
+
+def make_project(tmp_path):
+    (tmp_path / "lib.py").write_text(textwrap.dedent(LIB_BLOCKING))
+    (tmp_path / "svc.py").write_text(textwrap.dedent(SVC_DROPS_DEADLINE))
+    return AnalysisConfig(root=tmp_path, baseline=None, cache=".lint-cache")
+
+
+def run(tmp_path, config, **kwargs):
+    return analyze_paths([tmp_path], config, use_baseline=False, **kwargs)
+
+
+def test_warm_run_replays_everything_from_cache(tmp_path):
+    config = make_project(tmp_path)
+    cold = run(tmp_path, config)
+    assert (cold.analyzed, cold.cached) == (2, 0)
+    assert [d.rule for d in cold.findings] == ["SRN007"]
+
+    warm = run(tmp_path, config)
+    assert (warm.analyzed, warm.cached) == (0, 2)
+    # identical findings: the project phase reruns over cached summaries.
+    assert [d.render() for d in warm.findings] == [
+        d.render() for d in cold.findings
+    ]
+
+
+def test_one_file_edit_reanalyzes_only_that_file(tmp_path):
+    config = make_project(tmp_path)
+    run(tmp_path, config)
+
+    # Fix the *callee*: svc.py is untouched and stays a cache hit, but the
+    # cross-module SRN007 finding it hosted must disappear anyway.
+    (tmp_path / "lib.py").write_text(textwrap.dedent(LIB_NONBLOCKING))
+    after = run(tmp_path, config)
+    assert (after.analyzed, after.cached) == (1, 1)
+    assert after.findings == []
+
+
+def test_use_cache_false_always_runs_cold(tmp_path):
+    config = make_project(tmp_path)
+    run(tmp_path, config)
+    report = run(tmp_path, config, use_cache=False)
+    assert (report.analyzed, report.cached) == (2, 0)
+
+
+def test_cache_none_config_writes_nothing(tmp_path):
+    config = make_project(tmp_path)
+    config.cache = None
+    run(tmp_path, config)
+    assert not (tmp_path / ".lint-cache").exists()
+
+
+def test_corrupt_entry_degrades_to_cache_miss(tmp_path):
+    config = make_project(tmp_path)
+    run(tmp_path, config)
+    entries = sorted((tmp_path / ".lint-cache").glob("*.json"))
+    assert len(entries) == 2
+    entries[0].write_text("{not json")
+    report = run(tmp_path, config)
+    assert (report.analyzed, report.cached) == (1, 1)
+    assert [d.rule for d in report.findings] == ["SRN007"]
+
+
+def _entry(relpath="x.py"):
+    return CacheEntry(
+        relpath=relpath,
+        findings=[],
+        problems=[],
+        suppressions=[],
+        summary=ModuleSummary(relpath=relpath, module_name="x"),
+    )
+
+
+def test_fingerprint_or_content_mismatch_is_a_miss(tmp_path):
+    cache = SummaryCache(tmp_path, "fp-a")
+    cache.store(_entry(), "hash-1")
+    assert SummaryCache(tmp_path, "fp-b").load("x.py", "hash-1") is None
+    assert SummaryCache(tmp_path, "fp-a").load("x.py", "hash-2") is None
+    hit = SummaryCache(tmp_path, "fp-a").load("x.py", "hash-1")
+    assert hit is not None and hit.relpath == "x.py"
+
+
+def test_run_fingerprint_covers_rules_config_and_engine_version():
+    base = run_fingerprint(["SRN001"], {"exclude": []}, 2)
+    assert base == run_fingerprint(["SRN001"], {"exclude": []}, 2)
+    assert base != run_fingerprint(["SRN001", "SRN002"], {"exclude": []}, 2)
+    assert base != run_fingerprint(["SRN001"], {"exclude": ["tests"]}, 2)
+    assert base != run_fingerprint(["SRN001"], {"exclude": []}, 3)

@@ -1,0 +1,166 @@
+"""Unit tests for the project index: call resolution, may-block fixpoint,
+and the shared Tarjan SCC helper."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import AnalysisConfig
+from repro.analysis.callgraph import ProjectIndex, strongly_connected
+from repro.analysis.engine import parse_module
+from repro.analysis.summaries import build_module_summary
+
+
+def summarize(tmp_path, files: dict[str, str]):
+    """Write ``files`` under tmp_path and build their module summaries."""
+    config = AnalysisConfig(root=tmp_path, baseline=None)
+    summaries = []
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+        module, problems = parse_module(path, config)
+        assert module is not None and not problems
+        summaries.append(build_module_summary(module))
+    return summaries
+
+
+def edge_pairs(index: ProjectIndex):
+    return {(caller, callee) for caller, callee, _ in index.edges()}
+
+
+def test_resolves_self_calls_to_own_class_methods(tmp_path):
+    summaries = summarize(
+        tmp_path,
+        {
+            "svc.py": """
+            class Engine:
+                def outer(self):
+                    return self.inner()
+
+                def inner(self):
+                    return 1
+            """
+        },
+    )
+    index = ProjectIndex(summaries)
+    assert (("svc.py", "Engine.outer"), ("svc.py", "Engine.inner")) in edge_pairs(
+        index
+    )
+
+
+def test_resolves_attr_calls_through_inferred_attr_types(tmp_path):
+    summaries = summarize(
+        tmp_path,
+        {
+            "store.py": """
+            class SessionStore:
+                def get(self, key):
+                    return key
+            """,
+            "svc.py": """
+            from store import SessionStore
+
+            class Handler:
+                def __init__(self):
+                    self.store = SessionStore()
+
+                def lookup(self, key):
+                    return self.store.get(key)
+            """,
+        },
+    )
+    index = ProjectIndex(summaries)
+    assert (
+        ("svc.py", "Handler.lookup"),
+        ("store.py", "SessionStore.get"),
+    ) in edge_pairs(index)
+
+
+def test_resolves_bare_and_imported_function_calls(tmp_path):
+    summaries = summarize(
+        tmp_path,
+        {
+            "lib.py": """
+            def fetch(key):
+                return key
+
+            def fetch_twice(key):
+                return fetch(key), fetch(key)
+            """,
+            "svc.py": """
+            from lib import fetch
+
+            def serve(key):
+                return fetch(key)
+            """,
+        },
+    )
+    index = ProjectIndex(summaries)
+    pairs = edge_pairs(index)
+    # bare name inside its own module, and an alias-expanded import.
+    assert (("lib.py", "fetch_twice"), ("lib.py", "fetch")) in pairs
+    assert (("svc.py", "serve"), ("lib.py", "fetch")) in pairs
+
+
+def test_unresolvable_calls_produce_no_edges(tmp_path):
+    summaries = summarize(
+        tmp_path,
+        {
+            "svc.py": """
+            import json
+
+            def serve(request):
+                request.channel.send(request.payload)  # dynamic receiver
+                return json.dumps({})  # stdlib, not in the project
+            """
+        },
+    )
+    index = ProjectIndex(summaries)
+    assert edge_pairs(index) == set()
+
+
+def test_may_block_propagates_to_transitive_callers(tmp_path):
+    summaries = summarize(
+        tmp_path,
+        {
+            "lib.py": """
+            import time
+
+            def leaf():
+                time.sleep(1)
+
+            def middle():
+                return leaf()
+
+            def top():
+                return middle()
+
+            def unrelated():
+                return 42
+            """
+        },
+    )
+    blocking = ProjectIndex(summaries).may_block()
+    assert ("lib.py", "leaf") in blocking
+    assert ("lib.py", "middle") in blocking
+    assert ("lib.py", "top") in blocking
+    assert ("lib.py", "unrelated") not in blocking
+
+
+def test_strongly_connected_finds_cycles_and_singletons():
+    graph = {
+        "a": {"b"},
+        "b": {"a", "c"},
+        "c": set(),
+    }
+    components = strongly_connected(graph)
+    assert {"a", "b"} in components
+    assert {"c"} in components
+    assert len(components) == 2
+
+
+def test_strongly_connected_is_deterministic():
+    graph = {name: set() for name in "zyxw"}
+    graph["z"].add("y")
+    assert strongly_connected(graph) == strongly_connected(graph)

@@ -146,19 +146,44 @@ def test_json_report_schema():
         [FIXTURES / "srn001_clock.py"], fixture_config(), use_baseline=False
     )
     payload = json.loads(report.render_json())
-    assert payload["version"] == 1
+    assert payload["version"] == 2
     assert payload["tool"] == "serenade-lint"
     assert set(payload["counts"]) == {
         "findings",
         "suppressed",
         "baselined",
         "files",
+        "analyzed",
+        "cached",
     }
+    assert payload["counts"]["analyzed"] == 1
+    assert payload["counts"]["cached"] == 0
     assert payload["counts"]["findings"] == len(payload["findings"]) > 0
     assert payload["rules"] == [cls.rule_id for cls in all_rules()]
     for finding in payload["findings"]:
         assert set(finding) == {"path", "line", "column", "rule", "message"}
         assert isinstance(finding["line"], int)
+
+
+def test_sarif_report_schema():
+    report = analyze_paths(
+        [FIXTURES / "srn001_clock.py"], fixture_config(), use_baseline=False
+    )
+    payload = json.loads(report.render_sarif())
+    assert payload["version"] == "2.1.0"
+    (run,) = payload["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "serenade-lint"
+    rule_ids = {rule["id"] for rule in driver["rules"]}
+    assert {cls.rule_id for cls in all_rules()} <= rule_ids
+    assert META_RULE in rule_ids
+    assert len(run["results"]) == len(report.findings) > 0
+    for result, finding in zip(run["results"], report.findings):
+        assert result["ruleId"] == finding.rule
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == finding.line
+        # SARIF columns are 1-based; the engine stores ast's 0-based.
+        assert region["startColumn"] == finding.column + 1
 
 
 def test_syntax_error_becomes_meta_finding(tmp_path):
@@ -173,15 +198,20 @@ def test_syntax_error_becomes_meta_finding(tmp_path):
 # -- registry and config ------------------------------------------------------
 
 
-def test_registry_exposes_all_five_rules():
+def test_registry_exposes_all_rules():
     assert [cls.rule_id for cls in all_rules()] == [
         "SRN001",
         "SRN002",
         "SRN003",
         "SRN004",
         "SRN005",
+        "SRN006",
+        "SRN007",
+        "SRN008",
+        "SRN009",
     ]
     assert get_rule("SRN004").name == "lock-discipline"
+    assert get_rule("SRN006").name == "frozen-buffer-contracts"
 
 
 def test_config_rule_scoping(tmp_path):

@@ -42,3 +42,21 @@ def test_config_scopes_hot_path_rules():
     # SRN004's lock graph is project-wide by design.
     assert config.rule_applies("SRN004", "src/repro/kvstore/store.py")
     assert config.rule_applies("SRN005", "src/repro/serving/resilience.py")
+
+
+def test_config_scopes_interprocedural_rules():
+    """The dataflow rules must cover the layers whose contracts they check."""
+    config = load_config(REPO_ROOT / "pyproject.toml")
+    # SRN006 guards the frozen numpy buffers of the columnar index.
+    assert config.rule_applies("SRN006", "src/repro/core/colindex.py")
+    assert not config.rule_applies("SRN006", "src/repro/cli/main.py")
+    # SRN007 tracks deadline flow through the serving call chain.
+    assert config.rule_applies("SRN007", "src/repro/serving/server.py")
+    assert config.rule_applies("SRN007", "src/repro/core/batch.py")
+    # SRN008's escape analysis is project-wide, like the lock graph.
+    assert config.rule_applies("SRN008", "src/repro/kvstore/store.py")
+    assert config.rule_applies("SRN008", "tests/analysis/fixtures/x.py")
+    # SRN009 covers every layer that opens WAL handles, stores, or pools.
+    assert config.rule_applies("SRN009", "src/repro/streaming/ingest.py")
+    assert config.rule_applies("SRN009", "src/repro/cli/main.py")
+    assert config.rule_applies("SRN009", "src/repro/bench/arms.py")

@@ -25,6 +25,10 @@ RULE_FIXTURES = {
     "SRN003": "srn003_deadline.py",
     "SRN004": "srn004_locks.py",
     "SRN005": "srn005_exceptions.py",
+    "SRN006": "srn006_buffers.py",
+    "SRN007": "srn007_deadline_flow.py",
+    "SRN008": "srn008_escape.py",
+    "SRN009": "srn009_resources.py",
 }
 
 

@@ -41,6 +41,41 @@ class TestRouting:
         assert len(cluster.all_service_times()) == 10
 
 
+class TestEngineSelection:
+    def test_default_engine_is_columnar_and_shares_one_index(self, toy_index):
+        from repro.core.colindex import ColumnarSessionIndex, VMISKNNColumnar
+
+        cluster = ServingCluster.with_index(toy_index, num_pods=3, m=10, k=10)
+        recommenders = [s.recommender for s in cluster.pods.values()]
+        assert all(isinstance(r, VMISKNNColumnar) for r in recommenders)
+        assert isinstance(recommenders[0].index, ColumnarSessionIndex)
+        # the SessionIndex -> columnar conversion runs once; pods share it.
+        assert len({id(r.index) for r in recommenders}) == 1
+
+    def test_heap_engine_is_the_differential_oracle(self, toy_index):
+        cluster = ServingCluster.with_index(
+            toy_index, num_pods=1, m=10, k=10, engine="heap"
+        )
+        for server in cluster.pods.values():
+            assert isinstance(server.recommender, VMISKNN)
+
+    def test_columnar_and_heap_engines_agree_bit_for_bit(self, toy_index):
+        columnar = ServingCluster.with_index(toy_index, num_pods=2, m=10, k=10)
+        heap = ServingCluster.with_index(
+            toy_index, num_pods=2, m=10, k=10, engine="heap"
+        )
+        for key, item in [("u-1", 1), ("u-1", 2), ("u-2", 4), ("u-3", 2)]:
+            got = columnar.handle(RecommendationRequest(key, item))
+            want = heap.handle(RecommendationRequest(key, item))
+            assert [(s.item_id, s.score) for s in got.items] == [
+                (s.item_id, s.score) for s in want.items
+            ]
+
+    def test_unknown_engine_raises(self, toy_index):
+        with pytest.raises(ValueError, match="unknown engine"):
+            ServingCluster.with_index(toy_index, num_pods=1, engine="gpu")
+
+
 class TestScaling:
     def test_scale_up_adds_pods(self, cluster):
         cluster.scale_to(5)
@@ -98,12 +133,13 @@ class TestStagedSwap:
         cluster = ServingCluster.with_index(
             toy_index, num_pods=3, m=10, k=10, index_version="v1"
         )
+        untouched = cluster.pods["pod-0"].recommender
         fresh = SessionIndex.from_clicks(toy_clicks, max_sessions_per_item=3)
         cluster.swap_pod_recommender(
             "pod-1", lambda: VMISKNN(fresh, m=3, k=5), version="v2"
         )
         assert cluster.pods["pod-1"].recommender.index is fresh
-        assert cluster.pods["pod-0"].recommender.index is toy_index
+        assert cluster.pods["pod-0"].recommender is untouched
         info = cluster.rollout_info()
         assert info["pod_versions"] == {
             "pod-0": "v1",
@@ -201,6 +237,7 @@ class TestBatchServing:
 
     def test_cache_size_wraps_pod_recommenders(self, toy_index):
         from repro.core.batch import BatchPredictionEngine
+        from repro.core.colindex import VMISKNNColumnar
 
         cached = ServingCluster.with_index(
             toy_index, num_pods=2, m=10, k=10, cache_size=32
@@ -209,7 +246,7 @@ class TestBatchServing:
         for server in cached.pods.values():
             assert isinstance(server.recommender, BatchPredictionEngine)
         for server in plain.pods.values():
-            assert isinstance(server.recommender, VMISKNN)
+            assert isinstance(server.recommender, VMISKNNColumnar)
 
     def test_single_query_path_uses_cache(self, toy_index):
         cluster = ServingCluster.with_index(
